@@ -1,0 +1,163 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  1. delta-margin sweep of Algorithm 2 (which layers get cut first).
+//  2. floor vs round activation quantizer (paper Section 3 chooses floor
+//     for the lighter MCU implementation; what does it cost?).
+//  3. Planner scheme sensitivity: PC+ICN vs PC+Thresholds RO accounting.
+#include <cmath>
+#include <cstdio>
+
+#include "core/bit_allocation.hpp"
+#include "core/calibration.hpp"
+#include "core/quantizer.hpp"
+#include "data/synthetic.hpp"
+#include "eval/report.hpp"
+#include "eval/trainer.hpp"
+#include "models/mobilenet_v1.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "tensor/rng.hpp"
+
+using namespace mixq;
+using core::BitWidth;
+
+namespace {
+
+/// Train once per configuration and report PTQ (calibrated, no retraining)
+/// vs QAT integer-only accuracy at a given precision pair.
+void ptq_vs_qat(eval::TextTable& t, BitWidth qw, BitWidth qa) {
+  data::SyntheticSpec d;
+  d.hw = 8;
+  d.num_classes = 4;
+  d.train_size = 256;
+  d.test_size = 128;
+  d.seed = 1234;
+  auto [train, test] = data::make_synthetic(d);
+
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.qw = qw;
+  mcfg.qa = qa;
+  mcfg.wgran = core::Granularity::kPerChannel;
+
+  // PTQ: float-train, calibrate, convert.
+  Rng rng1(9);
+  auto fmodel = models::build_small_cnn(mcfg, &rng1);
+  core::set_float_mode(fmodel, true);
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 8;
+  eval::train_qat(fmodel, train, test, tcfg);
+  core::calibrate_activations(fmodel, train.images);
+  const double ptq = eval::evaluate_integer(
+      runtime::convert_qat_model(fmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+
+  // QAT: same init, trained quantized.
+  Rng rng2(9);
+  auto qmodel = models::build_small_cnn(mcfg, &rng2);
+  eval::train_qat(qmodel, train, test, tcfg);
+  const double qat = eval::evaluate_integer(
+      runtime::convert_qat_model(qmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+
+  const std::string label =
+      "W" + std::to_string(core::bits(qw)) + "A" +
+      std::to_string(core::bits(qa));
+  t.add_row({label, eval::fmt_pct(ptq * 100), eval::fmt_pct(qat * 100),
+             eval::fmt_f2((qat - ptq) * 100)});
+}
+
+}  // namespace
+
+int main() {
+  // ---------------------------------------------------------------- (1)
+  std::printf("=== Ablation 1: Algorithm 2 delta margin (224_1.0, 2MB) ===\n\n");
+  const auto net = models::build_mobilenet_v1({224, 1.0});
+  eval::TextTable t1({"delta", "weight cuts", "first cut layer",
+                      "fc bits", "RO total"});
+  for (double delta : {0.0, 0.02, 0.05, 0.10, 0.25}) {
+    core::AllocConfig cfg;
+    cfg.scheme = core::Scheme::kPCICN;
+    cfg.delta = delta;
+    core::BitAssignment a = core::BitAssignment::uniform8(net.size());
+    std::string log;
+    int cuts = 0;
+    core::cut_weight_bits(net, cfg, a, &cuts, &log);
+    const std::string first =
+        log.empty() ? "-" : log.substr(log.find('[') + 1,
+                                       log.find(']') - log.find('[') - 1);
+    char d[16];
+    std::snprintf(d, sizeof(d), "%.2f", delta);
+    t1.add_row({d, std::to_string(cuts), first,
+                std::to_string(core::bits(a.qw.back())),
+                eval::fmt_bytes(core::net_ro_bytes(net, cfg.scheme, a.qw))});
+  }
+  std::printf("%s\n", t1.str().c_str());
+  std::printf("Observation: a larger delta shifts cuts toward earlier "
+              "(central) layers, the paper's rationale for protecting the "
+              "quantization-critical last layers.\n\n");
+
+  // ---------------------------------------------------------------- (2)
+  std::printf("=== Ablation 2: floor vs round activation quantizer ===\n\n");
+  Rng rng(5);
+  eval::TextTable t2({"Q", "RMS err (round)", "RMS err (floor)",
+                      "floor/round"});
+  for (BitWidth q : {BitWidth::kQ2, BitWidth::kQ4, BitWidth::kQ8}) {
+    const core::QuantParams p = core::make_quant_params(0.0f, 6.0f, q);
+    double se_round = 0.0, se_floor = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const float x = static_cast<float>(rng.uniform(0.0, 6.0));
+      const float r =
+          core::fake_quantize_value(x, p, core::RoundMode::kNearest);
+      const float f = core::fake_quantize_value(x, p, core::RoundMode::kFloor);
+      se_round += (r - x) * (r - x);
+      se_floor += (f - x) * (f - x);
+    }
+    const double rms_r = std::sqrt(se_round / n);
+    const double rms_f = std::sqrt(se_floor / n);
+    t2.add_row({std::to_string(core::bits(q)), eval::fmt_f2(rms_r * 1000),
+                eval::fmt_f2(rms_f * 1000), eval::fmt_f2(rms_f / rms_r)});
+  }
+  std::printf("%s", t2.str().c_str());
+  std::printf("(RMS errors in 1e-3 units over [0,6].) floor costs ~2x the\n"
+              "RMS noise of round; QAT absorbs it, and the MCU saves one\n"
+              "add per element (paper Section 3).\n\n");
+
+  // ---------------------------------------------------------------- (3)
+  std::printf("=== Ablation 3: planner RO accounting, ICN vs thresholds ===\n\n");
+  eval::TextTable t3({"Model", "scheme", "weight cuts", "RO total"});
+  for (const auto& cfg_m :
+       {models::MobilenetConfig{224, 1.0}, models::MobilenetConfig{224, 0.75}}) {
+    const auto n2 = models::build_mobilenet_v1(cfg_m);
+    for (core::Scheme s :
+         {core::Scheme::kPCICN, core::Scheme::kPCThresholds}) {
+      core::AllocConfig cfg;
+      cfg.scheme = s;
+      core::BitAssignment a = core::BitAssignment::uniform8(n2.size());
+      int cuts = 0;
+      core::cut_weight_bits(n2, cfg, a, &cuts);
+      t3.add_row({cfg_m.label(), core::to_string(s), std::to_string(cuts),
+                  eval::fmt_bytes(core::net_ro_bytes(n2, s, a.qw))});
+    }
+  }
+  std::printf("%s", t3.str().c_str());
+  std::printf("The thresholds scheme's exponential MT_A forces extra cuts at\n"
+              "equal budget -- the memory argument for ICN (Table 2: 2.12 vs\n"
+              "2.35 MB).\n\n");
+
+  // ---------------------------------------------------------------- (4)
+  std::printf("=== Ablation 4: post-training quantization vs QAT ===\n\n");
+  eval::TextTable t4({"Precision", "PTQ (calibrated)", "QAT", "QAT gain"});
+  ptq_vs_qat(t4, BitWidth::kQ8, BitWidth::kQ8);
+  ptq_vs_qat(t4, BitWidth::kQ4, BitWidth::kQ4);
+  ptq_vs_qat(t4, BitWidth::kQ2, BitWidth::kQ4);
+  std::printf("%s", t4.str().c_str());
+  std::printf("Paper Section 3: retraining is essential below 8 bit -- PTQ\n"
+              "holds at INT8 and falls off as precision drops.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Figure 2: the accuracy-latency tradeoff of all 16 mixed-
+// precision MobilenetV1 configurations on the STM32H7 (M_RO = 2 MB,
+// M_RW = 512 kB), for MixQ-PL and MixQ-PC-ICN. Latency comes from the
+// calibrated Cortex-M7 cycle model; accuracy from the documented proxy
+// (paper values printed alongside). Output is the series a plotting script
+// would consume, grouped by input resolution as in the paper's figure.
+#include <cstdio>
+
+#include "eval/accuracy_proxy.hpp"
+#include "eval/ascii_plot.hpp"
+#include "eval/csv.hpp"
+#include "eval/paper_reference.hpp"
+#include "eval/report.hpp"
+#include "mcu/deployment.hpp"
+#include "models/mobilenet_v1.hpp"
+
+using namespace mixq;
+
+int main() {
+  const mcu::DeviceSpec dev = mcu::stm32h7();
+  eval::CsvWriter csv("results/figure2.csv");
+  csv.row({"mode", "model", "resolution", "width", "mcycles", "latency_ms",
+           "fps", "top1_proxy", "top1_paper", "ro_bytes", "rw_bytes",
+           "act_cuts", "weight_cuts"});
+  std::printf(
+      "=== Figure 2: Accuracy-latency tradeoff on %s (RO=2MB, RW=512kB) ===\n\n",
+      dev.name.c_str());
+
+  for (const mcu::DeployMode mode :
+       {mcu::DeployMode::kMixQPL, mcu::DeployMode::kMixQPCICN}) {
+    std::printf("--- %s ---\n", mcu::to_string(mode).c_str());
+    eval::TextTable t({"Model", "Mcycles", "Latency(ms)", "fps",
+                       "Top1 (proxy)", "Top1 (paper)", "RO used", "RW peak",
+                       "cuts(a/w)"});
+    for (int res : {128, 160, 192, 224}) {
+      for (double w : {0.25, 0.5, 0.75, 1.0}) {
+        const models::MobilenetConfig cfg{res, w};
+        const auto net = models::build_mobilenet_v1(cfg);
+        const auto rep = mcu::plan_deployment(net, dev, mode);
+        const auto fam = mode == mcu::DeployMode::kMixQPL
+                             ? eval::QuantFamily::kPerLayer
+                             : eval::QuantFamily::kPerChannelICN;
+        const double top1 =
+            eval::proxy_top1(cfg, net, rep.alloc.assignment, fam);
+        const auto paper = eval::paper_table4_entry(res, w);
+        const double paper_top1 =
+            mode == mcu::DeployMode::kMixQPL ? paper->top1_mixq_pl
+                                             : paper->top1_mixq_pc_icn;
+        char cuts[32];
+        std::snprintf(cuts, sizeof(cuts), "%d/%d", rep.alloc.act_cuts,
+                      rep.alloc.weight_cuts);
+        t.add_row({cfg.label(),
+                   eval::fmt_f2(static_cast<double>(rep.cycles) / 1e6),
+                   eval::fmt_f2(rep.latency_ms), eval::fmt_f2(rep.fps),
+                   eval::fmt_pct(top1), eval::fmt_pct(paper_top1),
+                   eval::fmt_bytes(rep.alloc.ro_total_bytes),
+                   eval::fmt_bytes(rep.alloc.rw_peak_bytes), cuts});
+        csv.row({mcu::to_string(mode), cfg.label(), std::to_string(res),
+                 eval::fmt_f2(w),
+                 eval::fmt_f2(static_cast<double>(rep.cycles) / 1e6),
+                 eval::fmt_f2(rep.latency_ms), eval::fmt_f2(rep.fps),
+                 eval::fmt_f2(top1), eval::fmt_f2(paper_top1),
+                 std::to_string(rep.alloc.ro_total_bytes),
+                 std::to_string(rep.alloc.rw_peak_bytes),
+                 std::to_string(rep.alloc.act_cuts),
+                 std::to_string(rep.alloc.weight_cuts)});
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  // Re-draw the figure itself: accuracy vs latency, one glyph per mode.
+  {
+    std::vector<eval::PlotPoint> pts;
+    for (int mode_i = 0; mode_i < 2; ++mode_i) {
+      const auto mode = mode_i == 0 ? mcu::DeployMode::kMixQPL
+                                    : mcu::DeployMode::kMixQPCICN;
+      const auto fam = mode_i == 0 ? eval::QuantFamily::kPerLayer
+                                   : eval::QuantFamily::kPerChannelICN;
+      for (const auto& cfg : models::mobilenet_family()) {
+        const auto net = models::build_mobilenet_v1(cfg);
+        const auto rep = mcu::plan_deployment(net, dev, mode);
+        pts.push_back({rep.latency_ms,
+                       eval::proxy_top1(cfg, net, rep.alloc.assignment, fam),
+                       mode_i});
+      }
+    }
+    eval::PlotOptions popt;
+    popt.log_x = true;
+    popt.x_label = "latency [ms]";
+    popt.y_label = "Top-1 [%]   (o = MixQ-PL, x = MixQ-PC-ICN)";
+    std::printf("%s\n", eval::ascii_scatter(pts, popt).c_str());
+  }
+
+  // Headline anchors of the paper's Figure 2 discussion.
+  {
+    const auto fast_net = models::build_mobilenet_v1({128, 0.25});
+    const auto fast =
+        mcu::plan_deployment(fast_net, dev, mcu::DeployMode::kMixQPL);
+    const auto slow_net = models::build_mobilenet_v1({224, 0.75});
+    const auto slow =
+        mcu::plan_deployment(slow_net, dev, mcu::DeployMode::kMixQPCICN);
+    std::printf("Anchors: 128_0.25 MixQ-PL = %.1f fps (paper: ~10 fps); "
+                "224_0.75 PC-ICN is %.1fx slower (paper: ~20x).\n",
+                fast.fps,
+                static_cast<double>(slow.cycles) /
+                    static_cast<double>(fast.cycles));
+    const auto net05 = models::build_mobilenet_v1({192, 0.5});
+    const auto pl = mcu::plan_deployment(net05, dev, mcu::DeployMode::kMixQPL);
+    const auto pc =
+        mcu::plan_deployment(net05, dev, mcu::DeployMode::kMixQPCICN);
+    std::printf("PC-ICN latency overhead vs PL on 192_0.5: %.1f%% "
+                "(paper: ~20%%).\n",
+                (static_cast<double>(pc.cycles) /
+                     static_cast<double>(pl.cycles) -
+                 1.0) * 100.0);
+  }
+  std::printf("series written to results/figure2.csv\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Figure 3 (appendix): the per-tensor weight/activation bit
+// precision of every mixed-precision MobilenetV1 model under the STM32H7
+// constraints, as assigned by Algorithms 1-2. Printed as one row per layer
+// (the paper plots these as bar charts).
+#include <cstdio>
+#include <string>
+
+#include "mcu/deployment.hpp"
+#include "models/mobilenet_v1.hpp"
+
+using namespace mixq;
+
+namespace {
+
+std::string bits_row(const std::vector<core::BitWidth>& qs) {
+  std::string out;
+  for (auto q : qs) {
+    out += std::to_string(core::bits(q));
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 3: per-tensor bit precision (RO=2MB, RW=512kB) ===\n"
+      "Layer order: conv0, dw1, pw1, ..., dw13, pw13, fc (28 layers).\n"
+      "'W' rows list Qw per layer; 'A' rows list Qx of each layer's input\n"
+      "(29 entries: tensor 0 is the network input, fixed at 8 bit).\n\n");
+
+  for (const mcu::DeployMode mode :
+       {mcu::DeployMode::kMixQPL, mcu::DeployMode::kMixQPCICN}) {
+    std::printf("--- %s ---\n", mcu::to_string(mode).c_str());
+    for (const auto& cfg : models::mobilenet_family()) {
+      const auto net = models::build_mobilenet_v1(cfg);
+      const auto rep = mcu::plan_deployment(net, mcu::stm32h7(), mode);
+      std::printf("%-9s W: %s\n", cfg.label().c_str(),
+                  bits_row(rep.alloc.assignment.qw).c_str());
+      std::printf("%-9s A: %s\n", "", bits_row(rep.alloc.assignment.qact).c_str());
+      if (!rep.alloc.assignment.is_uniform8()) {
+        // Name the cut layers, matching the paper's textual description
+        // (e.g. 192_0.5: 4-bit weights on the last pointwise + fc).
+        std::string cuts;
+        for (std::size_t i = 0; i < net.size(); ++i) {
+          if (rep.alloc.assignment.qw[i] != core::BitWidth::kQ8) {
+            cuts += net.layers[i].name + "(w" +
+                    std::to_string(core::bits(rep.alloc.assignment.qw[i])) +
+                    ") ";
+          }
+        }
+        for (std::size_t i = 0; i + 1 < rep.alloc.assignment.qact.size();
+             ++i) {
+          if (rep.alloc.assignment.qact[i + 1] != core::BitWidth::kQ8) {
+            cuts += "Qy[" + net.layers[i].name + "]=" +
+                    std::to_string(
+                        core::bits(rep.alloc.assignment.qact[i + 1])) +
+                    " ";
+          }
+        }
+        std::printf("          cuts: %s\n", cuts.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Google-benchmark microbenches of the integer-only runtime kernels:
+// throughput across precisions (Q2/Q4/Q8), schemes (PL vs PC, ICN vs
+// thresholds) and kernel kinds (conv / depthwise / pointwise / linear).
+// These support the cycle-model factors documented in mcu/cycle_model.hpp.
+#include <benchmark/benchmark.h>
+
+#include "core/thresholds.hpp"
+#include "runtime/fast_kernels.hpp"
+#include "runtime/kernels.hpp"
+#include "tensor/rng.hpp"
+
+using namespace mixq;
+using core::BitWidth;
+using core::Scheme;
+
+namespace {
+
+runtime::QLayer make_layer(runtime::QLayerKind kind, Shape in,
+                           std::int64_t co, std::int64_t k,
+                           std::int64_t stride, BitWidth qx, BitWidth qw,
+                           BitWidth qy, Scheme scheme) {
+  Rng rng(42);
+  runtime::QLayer l;
+  l.kind = kind;
+  l.scheme = scheme;
+  l.spec.kh = l.spec.kw = k;
+  l.spec.stride = stride;
+  l.spec.pad = k / 2;
+  l.in_shape = in;
+  l.out_shape = Shape(in.n, conv_out_dim(in.h, k, stride, k / 2),
+                      conv_out_dim(in.w, k, stride, k / 2), co);
+  l.qx = qx;
+  l.qw = qw;
+  l.qy = qy;
+  l.wshape = kind == runtime::QLayerKind::kDepthwise
+                 ? WeightShape(co, k, k, 1)
+                 : WeightShape(co, k, k, in.c);
+  l.weights = PackedBuffer(l.wshape.numel(), qw);
+  for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+    l.weights.set(i, static_cast<std::uint32_t>(
+                         rng.uniform_int(core::levels(qw))));
+  }
+  l.zx = core::qmax(qx) / 2;
+  if (core::granularity_of(scheme) == core::Granularity::kPerChannel) {
+    for (std::int64_t c = 0; c < co; ++c) {
+      l.zw.push_back(static_cast<std::int32_t>(
+          rng.uniform_int(core::levels(qw))));
+    }
+  } else {
+    l.zw = {core::qmax(qw) / 2};
+  }
+  l.icn.resize(static_cast<std::size_t>(co));
+  for (auto& ch : l.icn) {
+    ch.m = core::decompose_multiplier(rng.uniform(0.001, 0.01));
+    ch.bq = static_cast<std::int32_t>(rng.uniform(-100, 100));
+  }
+  if (scheme == Scheme::kPCThresholds) {
+    const std::int64_t bound =
+        core::phi_bound(l.wshape.per_channel(), qx, qw);
+    l.thresholds =
+        core::derive_threshold_layer(l.icn, l.zy, qy, -bound, bound);
+  }
+  return l;
+}
+
+PackedBuffer random_input(const runtime::QLayer& l) {
+  Rng rng(7);
+  PackedBuffer in(l.in_shape.numel(), l.qx);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    in.set(i, static_cast<std::uint32_t>(
+                  rng.uniform_int(core::levels(l.qx))));
+  }
+  return in;
+}
+
+void run_bench(benchmark::State& state, runtime::QLayer l) {
+  const PackedBuffer in = random_input(l);
+  PackedBuffer out(l.out_shape.numel(), l.qy);
+  std::int64_t macs = 0;
+  switch (l.kind) {
+    case runtime::QLayerKind::kDepthwise:
+      macs = l.out_shape.numel() * l.spec.kh * l.spec.kw;
+      break;
+    default:
+      macs = l.out_shape.numel() * l.spec.kh * l.spec.kw * l.wshape.ci;
+  }
+  for (auto _ : state) {
+    runtime::run_layer(l, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(macs), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Conv3x3(benchmark::State& state) {
+  const auto qw = core::bitwidth_from_int(static_cast<int>(state.range(0)));
+  run_bench(state, make_layer(runtime::QLayerKind::kConv,
+                              Shape(1, 16, 16, 16), 16, 3, 1, BitWidth::kQ8,
+                              qw, BitWidth::kQ8, Scheme::kPCICN));
+}
+BENCHMARK(BM_Conv3x3)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_Depthwise3x3(benchmark::State& state) {
+  const auto qw = core::bitwidth_from_int(static_cast<int>(state.range(0)));
+  run_bench(state, make_layer(runtime::QLayerKind::kDepthwise,
+                              Shape(1, 16, 16, 32), 32, 3, 1, BitWidth::kQ8,
+                              qw, BitWidth::kQ8, Scheme::kPCICN));
+}
+BENCHMARK(BM_Depthwise3x3)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_Pointwise(benchmark::State& state) {
+  const auto qw = core::bitwidth_from_int(static_cast<int>(state.range(0)));
+  run_bench(state, make_layer(runtime::QLayerKind::kConv,
+                              Shape(1, 8, 8, 64), 64, 1, 1, BitWidth::kQ8, qw,
+                              BitWidth::kQ8, Scheme::kPCICN));
+}
+BENCHMARK(BM_Pointwise)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_Linear(benchmark::State& state) {
+  run_bench(state, make_layer(runtime::QLayerKind::kLinear,
+                              Shape(1, 1, 1, 256), 100, 1, 1, BitWidth::kQ8,
+                              BitWidth::kQ4, BitWidth::kQ8, Scheme::kPCICN));
+}
+BENCHMARK(BM_Linear);
+
+void BM_SchemeIcnVsThresholds(benchmark::State& state) {
+  const Scheme s =
+      state.range(0) == 0 ? Scheme::kPCICN : Scheme::kPCThresholds;
+  run_bench(state, make_layer(runtime::QLayerKind::kConv,
+                              Shape(1, 8, 8, 32), 32, 3, 1, BitWidth::kQ8,
+                              BitWidth::kQ4, BitWidth::kQ4, s));
+}
+BENCHMARK(BM_SchemeIcnVsThresholds)->Arg(0)->Arg(1);
+
+void BM_ActPrecisionSweep(benchmark::State& state) {
+  const auto qx = core::bitwidth_from_int(static_cast<int>(state.range(0)));
+  run_bench(state, make_layer(runtime::QLayerKind::kConv,
+                              Shape(1, 16, 16, 16), 16, 3, 1, qx,
+                              BitWidth::kQ8, qx, Scheme::kPCICN));
+}
+BENCHMARK(BM_ActPrecisionSweep)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_FastVsReference(benchmark::State& state) {
+  // Arg 0: reference packed-access kernels; Arg 1: fast unpacked path.
+  const bool fast = state.range(0) == 1;
+  const runtime::QLayer l =
+      make_layer(runtime::QLayerKind::kConv, Shape(1, 16, 16, 16), 16, 3, 1,
+                 BitWidth::kQ8, BitWidth::kQ4, BitWidth::kQ8,
+                 Scheme::kPCICN);
+  const PackedBuffer in = random_input(l);
+  PackedBuffer out(l.out_shape.numel(), l.qy);
+  runtime::Scratch scratch;
+  const std::int64_t macs =
+      l.out_shape.numel() * l.spec.kh * l.spec.kw * l.wshape.ci;
+  for (auto _ : state) {
+    if (fast) {
+      runtime::run_layer_fast(l, in, out, scratch);
+    } else {
+      runtime::run_layer(l, in, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(macs),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FastVsReference)->Arg(0)->Arg(1);
+
+}  // namespace

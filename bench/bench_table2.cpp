@@ -1,0 +1,151 @@
+// Regenerates Table 2: integer-only MobilenetV1_224_1.0 at INT4 under the
+// four conversion strategies.
+//
+// Two parts:
+//  (a) Memory footprints, computed *exactly* from the Table-1 memory model
+//      on the real 224_1.0 architecture -- compared against the paper's MB
+//      numbers.
+//  (b) Accuracy shape, demonstrated by running the actual QAT pipeline
+//      (train -> convert -> integer inference) for each strategy on the
+//      synthetic task, since ImageNet training is out of scope offline
+//      (DESIGN.md, substitutions). The paper's ImageNet accuracies are
+//      printed alongside, plus the calibrated proxy values.
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "eval/accuracy_proxy.hpp"
+#include "eval/paper_reference.hpp"
+#include "eval/report.hpp"
+#include "eval/trainer.hpp"
+#include "models/mobilenet_v1.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+
+using namespace mixq;
+using core::BitWidth;
+using core::Granularity;
+using core::Scheme;
+
+namespace {
+
+struct SmallRun {
+  double fake_acc;
+  double int_acc;
+};
+
+SmallRun run_small(Granularity g, bool fold, Scheme scheme) {
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 256;
+  dspec.test_size = 128;
+  dspec.seed = 20200302;  // identical task for every strategy
+  auto [train, test] = data::make_synthetic(dspec);
+
+  Rng rng(5);
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.qw = BitWidth::kQ4;
+  mcfg.qa = BitWidth::kQ4;
+  mcfg.wgran = g;
+  mcfg.fold_bn = fold;
+  auto model = models::build_small_cnn(mcfg, &rng);
+
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.lr = 3e-3f;
+  const auto tr = eval::train_qat(model, train, test, tcfg);
+
+  SmallRun out{tr.test_accuracy, 0.0};
+  const auto qnet =
+      runtime::convert_qat_model(model, Shape(1, 8, 8, 3), {scheme});
+  out.int_acc = eval::evaluate_integer(qnet, test);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const models::MobilenetConfig cfg{224, 1.0};
+  const auto net = models::build_mobilenet_v1(cfg);
+  const std::vector<BitWidth> q8(net.size(), BitWidth::kQ8);
+  const std::vector<BitWidth> q4(net.size(), BitWidth::kQ4);
+
+  std::printf("=== Table 2: Integer-Only MobilenetV1_224_1.0 ===\n\n");
+  std::printf("(a) Weight memory footprint, exact Table-1 accounting:\n\n");
+  eval::TextTable mem({"Method", "Paper (MB)", "Ours (MB)", "Delta"});
+  const auto add = [&](const std::string& name, double paper_mb,
+                       double ours_mb) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.2f", ours_mb - paper_mb);
+    mem.add_row({name, eval::fmt_f2(paper_mb), eval::fmt_f2(ours_mb), delta});
+  };
+  const double mb = 1024.0 * 1024.0;
+  add("Full-precision (FP32)", 16.27,
+      static_cast<double>(net.total_weights()) * 4.0 / mb);
+  add("PL+FB INT8 [11]", 4.06,
+      static_cast<double>(core::net_ro_bytes(net, Scheme::kPLFoldBN, q8)) / mb);
+  add("PL+FB INT4", 2.05,
+      static_cast<double>(core::net_ro_bytes(net, Scheme::kPLFoldBN, q4)) / mb);
+  add("PL+ICN INT4 (our)", 2.10,
+      static_cast<double>(core::net_ro_bytes(net, Scheme::kPLICN, q4)) / mb);
+  add("PC+ICN INT4 (our)", 2.12,
+      static_cast<double>(core::net_ro_bytes(net, Scheme::kPCICN, q4)) / mb);
+  add("PC+Thresholds INT4", 2.35,
+      static_cast<double>(core::net_ro_bytes(net, Scheme::kPCThresholds, q4)) /
+          mb);
+  std::printf("%s\n", mem.str().c_str());
+
+  std::printf(
+      "(b) ImageNet Top-1: paper values vs calibrated proxy (see DESIGN.md);\n"
+      "    'trained (synthetic)' columns are REAL QAT runs of this repo's\n"
+      "    pipeline on the synthetic task, showing the same qualitative\n"
+      "    ordering (collapse / recovery / PC > PL).\n\n");
+
+  const double proxy_plicn = eval::proxy_top1_uniform(
+      cfg, net, BitWidth::kQ4, BitWidth::kQ4, eval::QuantFamily::kPerLayer);
+  const double proxy_pcicn = eval::proxy_top1_uniform(
+      cfg, net, BitWidth::kQ4, BitWidth::kQ4,
+      eval::QuantFamily::kPerChannelICN);
+
+  const SmallRun fb4 = run_small(Granularity::kPerLayer, /*fold=*/true,
+                                 Scheme::kPLFoldBN);
+  const SmallRun plicn4 = run_small(Granularity::kPerLayer, false,
+                                    Scheme::kPLICN);
+  const SmallRun pcicn4 = run_small(Granularity::kPerChannel, false,
+                                    Scheme::kPCICN);
+  const SmallRun pcthr4 = run_small(Granularity::kPerChannel, false,
+                                    Scheme::kPCThresholds);
+
+  eval::TextTable acc({"Method", "Paper Top1 (ImageNet)", "Proxy Top1",
+                       "Trained fake-q (synthetic)",
+                       "Trained integer-only (synthetic)"});
+  acc.add_row({"PL+FB INT4", "0.1%", "-", eval::fmt_pct(fb4.fake_acc * 100),
+               eval::fmt_pct(fb4.int_acc * 100)});
+  acc.add_row({"PL+ICN INT4", "61.75%", eval::fmt_pct(proxy_plicn),
+               eval::fmt_pct(plicn4.fake_acc * 100),
+               eval::fmt_pct(plicn4.int_acc * 100)});
+  acc.add_row({"PC+ICN INT4", "66.41%", eval::fmt_pct(proxy_pcicn),
+               eval::fmt_pct(pcicn4.fake_acc * 100),
+               eval::fmt_pct(pcicn4.int_acc * 100)});
+  acc.add_row({"PC+Thresholds INT4", "66.46%", eval::fmt_pct(proxy_pcicn),
+               eval::fmt_pct(pcthr4.fake_acc * 100),
+               eval::fmt_pct(pcthr4.int_acc * 100)});
+  std::printf("%s\n", acc.str().c_str());
+
+  std::printf("Qualitative checks (paper Table 2 structure):\n");
+  std::printf("  folding collapse at INT4:        %s (fold %.1f%% vs ICN %.1f%%)\n",
+              plicn4.int_acc > fb4.int_acc + 0.15 ? "REPRODUCED" : "NOT SEEN",
+              fb4.int_acc * 100, plicn4.int_acc * 100);
+  std::printf("  PC+ICN >= PL+ICN:                %s (%.1f%% vs %.1f%%)\n",
+              pcicn4.int_acc >= plicn4.int_acc - 0.02 ? "REPRODUCED"
+                                                      : "NOT SEEN",
+              pcicn4.int_acc * 100, plicn4.int_acc * 100);
+  std::printf("  thresholds == ICN function:      %s (%.1f%% vs %.1f%%)\n",
+              pcthr4.int_acc == pcicn4.int_acc ? "BIT-EXACT" : "DIFFERS",
+              pcthr4.int_acc * 100, pcicn4.int_acc * 100);
+  return 0;
+}

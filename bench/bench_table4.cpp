@@ -1,0 +1,59 @@
+// Regenerates Table 4 (appendix): Top-1 of all 16 mixed-precision
+// MobilenetV1 models under the STM32H7 constraints, MixQ-PL vs
+// MixQ-PC-ICN, with the paper's values and the proxy error summary.
+#include <cmath>
+#include <cstdio>
+
+#include "eval/accuracy_proxy.hpp"
+#include "eval/csv.hpp"
+#include "eval/paper_reference.hpp"
+#include "eval/report.hpp"
+#include "mcu/deployment.hpp"
+#include "models/mobilenet_v1.hpp"
+
+using namespace mixq;
+
+int main() {
+  eval::CsvWriter csv("results/table4.csv");
+  csv.row({"model", "mixq_pl_proxy", "mixq_pl_paper", "mixq_pc_icn_proxy",
+           "mixq_pc_icn_paper"});
+  std::printf(
+      "=== Table 4: Top-1 of mixed-precision MobilenetV1 (RO=2MB, RW=512kB) "
+      "===\n\n");
+  eval::TextTable t({"Model", "MixQ-PL proxy", "MixQ-PL paper",
+                     "MixQ-PC-ICN proxy", "MixQ-PC-ICN paper"});
+  double err_pl = 0.0, err_pc = 0.0;
+  int pc_wins_proxy = 0, pc_wins_paper = 0;
+  for (int res : {224, 192, 160, 128}) {
+    for (double w : {1.0, 0.75, 0.5, 0.25}) {
+      const models::MobilenetConfig cfg{res, w};
+      const auto net = models::build_mobilenet_v1(cfg);
+      const auto rep_pl = mcu::plan_deployment(net, mcu::stm32h7(),
+                                               mcu::DeployMode::kMixQPL);
+      const auto rep_pc = mcu::plan_deployment(net, mcu::stm32h7(),
+                                               mcu::DeployMode::kMixQPCICN);
+      const double pl = eval::proxy_top1(cfg, net, rep_pl.alloc.assignment,
+                                         eval::QuantFamily::kPerLayer);
+      const double pc = eval::proxy_top1(cfg, net, rep_pc.alloc.assignment,
+                                         eval::QuantFamily::kPerChannelICN);
+      const auto paper = eval::paper_table4_entry(res, w);
+      t.add_row({cfg.label(), eval::fmt_pct(pl),
+                 eval::fmt_pct(paper->top1_mixq_pl), eval::fmt_pct(pc),
+                 eval::fmt_pct(paper->top1_mixq_pc_icn)});
+      csv.row({cfg.label(), eval::fmt_f2(pl),
+               eval::fmt_f2(paper->top1_mixq_pl), eval::fmt_f2(pc),
+               eval::fmt_f2(paper->top1_mixq_pc_icn)});
+      err_pl += std::abs(pl - paper->top1_mixq_pl);
+      err_pc += std::abs(pc - paper->top1_mixq_pc_icn);
+      if (pc >= pl) ++pc_wins_proxy;
+      if (paper->top1_mixq_pc_icn >= paper->top1_mixq_pl) ++pc_wins_paper;
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Proxy mean abs error vs paper: MixQ-PL %.2f pts, "
+              "MixQ-PC-ICN %.2f pts.\n",
+              err_pl / 16.0, err_pc / 16.0);
+  std::printf("PC-ICN >= PL on %d/16 configs (paper: %d/16).\n",
+              pc_wins_proxy, pc_wins_paper);
+  return 0;
+}

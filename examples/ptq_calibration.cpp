@@ -1,0 +1,92 @@
+// Post-training quantization vs quantization-aware training, and the
+// effect of percentile calibration -- the workflow choice the paper's
+// Section 3 frames (range statistics "against a specific calibration
+// dataset" vs learned ranges + retraining).
+//
+// Trains ONE float model, then deploys it integer-only three ways
+// (max-calibrated PTQ, percentile-calibrated PTQ, and a QAT run from the
+// same initialisation) at W4A4 per-channel.
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "data/synthetic.hpp"
+#include "eval/report.hpp"
+#include "eval/trainer.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+
+int main() {
+  using namespace mixq;
+  using core::BitWidth;
+
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 256;
+  dspec.test_size = 128;
+  dspec.seed = 404;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.qw = BitWidth::kQ4;
+  mcfg.qa = BitWidth::kQ4;
+  mcfg.wgran = core::Granularity::kPerChannel;
+
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 8;
+  tcfg.lr = 3e-3f;
+
+  // One float training run.
+  Rng rng(404);
+  auto fmodel = models::build_small_cnn(mcfg, &rng);
+  core::set_float_mode(fmodel, true);
+  const auto ftr = eval::train_qat(fmodel, train, test, tcfg);
+  std::printf("float model test accuracy: %.1f%%\n\n",
+              ftr.test_accuracy * 100);
+
+  eval::TextTable t({"Deployment", "Integer-only test acc"});
+
+  // PTQ, max calibration.
+  core::calibrate_activations(fmodel, train.images);
+  const double ptq_max = eval::evaluate_integer(
+      runtime::convert_qat_model(fmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+  t.add_row({"PTQ W4A4 (max calibration)", eval::fmt_pct(ptq_max * 100)});
+
+  // PTQ, 99.9th percentile calibration.
+  core::calibrate_activations_percentile(fmodel, train.images, 0.999);
+  const double ptq_pct = eval::evaluate_integer(
+      runtime::convert_qat_model(fmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+  t.add_row({"PTQ W4A4 (99.9% percentile)", eval::fmt_pct(ptq_pct * 100)});
+
+  // PTQ, KL-divergence calibration (TensorRT [18]).
+  core::calibrate_activations_kl(fmodel, train.images);
+  const double ptq_kl = eval::evaluate_integer(
+      runtime::convert_qat_model(fmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+  t.add_row({"PTQ W4A4 (KL divergence)", eval::fmt_pct(ptq_kl * 100)});
+
+  // QAT from the same initialisation.
+  Rng rng2(404);
+  auto qmodel = models::build_small_cnn(mcfg, &rng2);
+  eval::train_qat(qmodel, train, test, tcfg);
+  const double qat = eval::evaluate_integer(
+      runtime::convert_qat_model(qmodel, Shape(1, 8, 8, 3),
+                                 {core::Scheme::kPCICN}),
+      test);
+  t.add_row({"QAT W4A4", eval::fmt_pct(qat * 100)});
+
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Paper Section 3: \"A quantization-aware retraining ... is\n"
+              "essential to recover accuracy, especially when low-bitwidth\n"
+              "precision is employed.\"\n");
+  return 0;
+}

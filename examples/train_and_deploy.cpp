@@ -1,0 +1,75 @@
+// End-to-end "smart sensor" scenario: plan precisions for a tiny device
+// budget, train the small CNN at exactly those precisions, convert with
+// each deployment scheme, and compare the integer-only accuracy and memory
+// of PL+ICN vs PC+ICN vs PC+Thresholds -- the Table-2 experiment run for
+// real on the synthetic task.
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "eval/report.hpp"
+#include "eval/trainer.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+
+int main() {
+  using namespace mixq;
+  using core::BitWidth;
+  using core::Granularity;
+  using core::Scheme;
+
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 256;
+  dspec.test_size = 128;
+  dspec.seed = 2020;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  struct Row {
+    const char* name;
+    Granularity gran;
+    bool fold;
+    Scheme scheme;
+  };
+  const Row rows[] = {
+      {"PL+FB  W4A4", Granularity::kPerLayer, true, Scheme::kPLFoldBN},
+      {"PL+ICN W4A4", Granularity::kPerLayer, false, Scheme::kPLICN},
+      {"PC+ICN W4A4", Granularity::kPerChannel, false, Scheme::kPCICN},
+      {"PC+Thr W4A4", Granularity::kPerChannel, false, Scheme::kPCThresholds},
+  };
+
+  eval::TextTable t({"Strategy", "fake-q test acc", "integer test acc",
+                     "RO bytes", "RW peak"});
+  for (const Row& row : rows) {
+    Rng rng(77);  // identical init for a fair comparison
+    models::SmallCnnConfig mcfg;
+    mcfg.input_hw = 8;
+    mcfg.base_channels = 8;
+    mcfg.num_blocks = 2;
+    mcfg.num_classes = 4;
+    mcfg.qw = BitWidth::kQ4;
+    mcfg.qa = BitWidth::kQ4;
+    mcfg.wgran = row.gran;
+    mcfg.fold_bn = row.fold;
+    auto model = models::build_small_cnn(mcfg, &rng);
+
+    eval::TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.lr = 3e-3f;
+    const auto tr = eval::train_qat(model, train, test, tcfg);
+
+    const auto qnet =
+        runtime::convert_qat_model(model, Shape(1, 8, 8, 3), {row.scheme});
+    const double int_acc = eval::evaluate_integer(qnet, test);
+    t.add_row({row.name, eval::fmt_pct(tr.test_accuracy * 100),
+               eval::fmt_pct(int_acc * 100),
+               std::to_string(qnet.ro_bytes()),
+               std::to_string(qnet.rw_peak_bytes())});
+  }
+  std::printf(
+      "Table-2 experiment on the synthetic task (same init & data for all):\n\n%s\n"
+      "Expected shape (paper): PL+FB collapses at 4 bit; ICN trains; PC >= PL;\n"
+      "thresholds match ICN accuracy but cost more read-only memory.\n",
+      t.str().c_str());
+  return 0;
+}

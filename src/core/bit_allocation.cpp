@@ -1,0 +1,194 @@
+#include "core/bit_allocation.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mixq::core {
+
+bool BitAssignment::is_uniform8() const {
+  const auto is8 = [](BitWidth q) { return q == BitWidth::kQ8; };
+  return std::all_of(qact.begin(), qact.end(), is8) &&
+         std::all_of(qw.begin(), qw.end(), is8);
+}
+
+bool cut_bits_predicate(std::int64_t numel1, BitWidth q1, std::int64_t numel2,
+                        BitWidth q2, BitWidth q_min) {
+  if (bits(q2) <= bits(q_min)) return false;
+  if (bits(q2) > bits(q1)) return true;
+  if (q2 == q1 &&
+      activation_bytes(numel2, q2) > activation_bytes(numel1, q1)) {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Does layer i violate Eq. 7 under the current assignment?
+bool layer_violates(const NetDesc& net, const AllocConfig& cfg,
+                    const BitAssignment& a, std::size_t i) {
+  const auto& l = net.layers[i];
+  return activation_bytes(l.in_numel, a.qact[i]) +
+             activation_bytes(l.out_numel, a.qact[i + 1]) >
+         cfg.rw_budget;
+}
+
+bool any_violation(const NetDesc& net, const AllocConfig& cfg,
+                   const BitAssignment& a) {
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (layer_violates(net, cfg, a, i)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool cut_activation_bits(const NetDesc& net, const AllocConfig& cfg,
+                         BitAssignment& assignment, int* cuts,
+                         std::string* log) {
+  const std::size_t L = net.size();
+  if (assignment.qact.size() != L + 1) {
+    throw std::invalid_argument("cut_activation_bits: bad assignment size");
+  }
+  std::ostringstream trace;
+  int applied = 0;
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    if (!any_violation(net, cfg, assignment)) break;
+    bool progress = false;
+
+    // Forward pass: cut output precisions (Qy_i == Qx_{i+1}), i = 0..L-2.
+    for (std::size_t i = 0; i + 1 < L; ++i) {
+      const auto& l = net.layers[i];
+      while (layer_violates(net, cfg, assignment, i) &&
+             cut_bits_predicate(l.in_numel, assignment.qact[i], l.out_numel,
+                                assignment.qact[i + 1], cfg.q_act_min)) {
+        assignment.qact[i + 1] = cut_one_step(assignment.qact[i + 1]);
+        ++applied;
+        progress = true;
+        trace << "fwd  cut Qy[" << l.name << "] -> "
+              << bits(assignment.qact[i + 1]) << "b\n";
+      }
+    }
+
+    // Backward pass: cut input precisions (Qx_i == Qy_{i-1}), i = L-1..1.
+    for (std::size_t i = L; i-- > 1;) {
+      const auto& l = net.layers[i];
+      while (layer_violates(net, cfg, assignment, i) &&
+             cut_bits_predicate(l.out_numel, assignment.qact[i + 1],
+                                l.in_numel, assignment.qact[i],
+                                cfg.q_act_min)) {
+        assignment.qact[i] = cut_one_step(assignment.qact[i]);
+        ++applied;
+        progress = true;
+        trace << "bwd  cut Qx[" << l.name << "] -> "
+              << bits(assignment.qact[i]) << "b\n";
+      }
+    }
+
+    if (!progress) {
+      // The paper assumes a solution exists; when both tensors of the
+      // violating layer have equal precision and footprint the rule alone
+      // stalls. Documented fallback: cut the violating layer's output if
+      // possible, else its input (never tensor 0, fixed at 8 bit).
+      bool rescued = false;
+      for (std::size_t i = 0; i < L && !rescued; ++i) {
+        if (!layer_violates(net, cfg, assignment, i)) continue;
+        if (i + 1 < L && bits(assignment.qact[i + 1]) > bits(cfg.q_act_min)) {
+          assignment.qact[i + 1] = cut_one_step(assignment.qact[i + 1]);
+          ++applied;
+          rescued = true;
+          trace << "tie  cut Qy[" << net.layers[i].name << "] -> "
+                << bits(assignment.qact[i + 1]) << "b\n";
+        } else if (i > 0 && bits(assignment.qact[i]) > bits(cfg.q_act_min)) {
+          assignment.qact[i] = cut_one_step(assignment.qact[i]);
+          ++applied;
+          rescued = true;
+          trace << "tie  cut Qx[" << net.layers[i].name << "] -> "
+                << bits(assignment.qact[i]) << "b\n";
+        }
+      }
+      if (!rescued) break;  // nothing cuttable remains
+    }
+  }
+
+  if (cuts != nullptr) *cuts = applied;
+  if (log != nullptr) *log += trace.str();
+  return !any_violation(net, cfg, assignment);
+}
+
+bool cut_weight_bits(const NetDesc& net, const AllocConfig& cfg,
+                     BitAssignment& assignment, int* cuts, std::string* log) {
+  const std::size_t L = net.size();
+  if (assignment.qw.size() != L) {
+    throw std::invalid_argument("cut_weight_bits: bad assignment size");
+  }
+  std::ostringstream trace;
+  int applied = 0;
+
+  while (net_ro_bytes(net, cfg.scheme, assignment.qw) > cfg.ro_budget) {
+    // Footprint shares r_i over the packed weight arrays (paper Alg. 2 l.3).
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < L; ++i) {
+      total += weight_bytes(net.layers[i], assignment.qw[i]);
+    }
+    if (total == 0) break;
+
+    double best_r = -1.0;
+    for (std::size_t i = 0; i < L; ++i) {
+      if (bits(assignment.qw[i]) <= bits(cfg.q_w_min)) continue;
+      const double r =
+          static_cast<double>(weight_bytes(net.layers[i], assignment.qw[i])) /
+          static_cast<double>(total);
+      best_r = std::max(best_r, r);
+    }
+    if (best_r < 0.0) {
+      // Every layer already at the minimum: infeasible.
+      if (cuts != nullptr) *cuts = applied;
+      if (log != nullptr) *log += trace.str();
+      return false;
+    }
+
+    // Among layers within delta of the max share, pick the smallest index.
+    std::size_t pick = L;
+    for (std::size_t i = 0; i < L; ++i) {
+      if (bits(assignment.qw[i]) <= bits(cfg.q_w_min)) continue;
+      const double r =
+          static_cast<double>(weight_bytes(net.layers[i], assignment.qw[i])) /
+          static_cast<double>(total);
+      // ">=" so that delta == 0 still selects the max-share layer itself.
+      if (r >= best_r - cfg.delta) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == L) return false;  // unreachable given best_r >= 0
+
+    assignment.qw[pick] = cut_one_step(assignment.qw[pick]);
+    ++applied;
+    trace << "w    cut Qw[" << net.layers[pick].name << "] -> "
+          << bits(assignment.qw[pick]) << "b\n";
+  }
+
+  if (cuts != nullptr) *cuts = applied;
+  if (log != nullptr) *log += trace.str();
+  return net_ro_bytes(net, cfg.scheme, assignment.qw) <= cfg.ro_budget;
+}
+
+AllocResult plan_mixed_precision(const NetDesc& net, const AllocConfig& cfg) {
+  AllocResult res;
+  res.assignment = BitAssignment::uniform8(net.size());
+  int act_cuts = 0, w_cuts = 0;
+  res.rw_satisfied =
+      cut_activation_bits(net, cfg, res.assignment, &act_cuts, &res.log);
+  res.ro_satisfied =
+      cut_weight_bits(net, cfg, res.assignment, &w_cuts, &res.log);
+  res.act_cuts = act_cuts;
+  res.weight_cuts = w_cuts;
+  res.rw_peak_bytes = net_rw_peak_bytes(net, res.assignment.qact);
+  res.ro_total_bytes = net_ro_bytes(net, cfg.scheme, res.assignment.qw);
+  return res;
+}
+
+}  // namespace mixq::core

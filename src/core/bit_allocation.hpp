@@ -1,0 +1,98 @@
+// mixq/core/bit_allocation.hpp
+//
+// The memory-driven mixed-precision methodology (paper Section 5):
+//
+// * Algorithm 1 "Cut Activation Bits": iterate forward/backward over the L
+//   stacked layers, cutting the precision of the larger of a layer's
+//   input/output activation tensors one step at a time (8 -> 4 -> 2) until
+//   every layer satisfies the read-write constraint
+//   mem(x_i, Qx_i) + mem(y_i, Qy_i) <= M_RW (Eq. 7).
+// * Algorithm 2 "Cut Weights Bits": while the read-only constraint (Eq. 6)
+//   is violated, compute each layer's footprint share r_i, and cut the
+//   layer with the highest share; ties within a delta margin resolve to the
+//   smallest layer index (favouring central layers over the quantization-
+//   critical last layers).
+//
+// Both run *statically*, before quantization-aware retraining.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/memory_model.hpp"
+
+namespace mixq::core {
+
+/// Per-tensor precision assignment for a NetDesc of L layers.
+struct BitAssignment {
+  /// Activation tensor precisions, size L+1: qact[i] is the precision of
+  /// layer i's input (== layer i-1's output). qact[0] is the network input
+  /// (fixed at 8), qact[L] the final output.
+  std::vector<BitWidth> qact;
+  /// Weight precisions, size L.
+  std::vector<BitWidth> qw;
+
+  /// Uniform-8-bit assignment for a network of L layers.
+  static BitAssignment uniform8(std::size_t num_layers) {
+    BitAssignment a;
+    a.qact.assign(num_layers + 1, BitWidth::kQ8);
+    a.qw.assign(num_layers, BitWidth::kQ8);
+    return a;
+  }
+
+  /// True if no tensor was cut below 8 bits.
+  [[nodiscard]] bool is_uniform8() const;
+};
+
+/// Knobs of the two algorithms.
+struct AllocConfig {
+  std::int64_t ro_budget{2 * 1024 * 1024};   ///< M_RO bytes (STM32H7 FLASH)
+  std::int64_t rw_budget{512 * 1024};        ///< M_RW bytes (STM32H7 RAM)
+  Scheme scheme{Scheme::kPCICN};
+  BitWidth q_act_min{BitWidth::kQ2};         ///< Q_{a,min}
+  BitWidth q_w_min{BitWidth::kQ2};           ///< Q_{w,min}
+  double delta{0.05};                        ///< Alg. 2 tie margin on r_i
+  int max_iterations{64};                    ///< safety bound on Alg. 1 sweeps
+};
+
+/// Result of the full planning pass.
+struct AllocResult {
+  BitAssignment assignment;
+  bool rw_satisfied{false};
+  bool ro_satisfied{false};
+  std::int64_t rw_peak_bytes{0};
+  std::int64_t ro_total_bytes{0};
+  int act_cuts{0};   ///< number of single-step activation cuts applied
+  int weight_cuts{0};///< number of single-step weight cuts applied
+  std::string log;   ///< human-readable trace of the cuts
+
+  [[nodiscard]] bool feasible() const { return rw_satisfied && ro_satisfied; }
+};
+
+/// Algorithm 1: assign activation precisions to satisfy Eq. 7.
+/// `assignment` must be pre-sized (use BitAssignment::uniform8); only qact
+/// is modified. Returns false if the constraint cannot be met even at
+/// q_act_min everywhere.
+bool cut_activation_bits(const NetDesc& net, const AllocConfig& cfg,
+                         BitAssignment& assignment, int* cuts = nullptr,
+                         std::string* log = nullptr);
+
+/// The CutBits predicate of Algorithm 1: should tensor 2 (precision q2,
+/// footprint from numel2) be decremented, given the other tensor of the
+/// layer (q1, numel1)? True iff q2 > q_min and (q2 > q1, or q2 == q1 and
+/// mem2 > mem1).
+bool cut_bits_predicate(std::int64_t numel1, BitWidth q1, std::int64_t numel2,
+                        BitWidth q2, BitWidth q_min);
+
+/// Algorithm 2: assign weight precisions to satisfy Eq. 6. Only qw is
+/// modified. Returns false if the budget is infeasible at q_w_min.
+bool cut_weight_bits(const NetDesc& net, const AllocConfig& cfg,
+                     BitAssignment& assignment, int* cuts = nullptr,
+                     std::string* log = nullptr);
+
+/// Full planner: Algorithm 1 then Algorithm 2, with final verification of
+/// both constraints.
+AllocResult plan_mixed_precision(const NetDesc& net, const AllocConfig& cfg);
+
+}  // namespace mixq::core

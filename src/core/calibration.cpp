@@ -1,0 +1,67 @@
+#include "core/calibration.hpp"
+
+#include <stdexcept>
+
+#include "core/bit_allocation.hpp"
+
+namespace mixq::core {
+
+void apply_assignment(QatModel& model, const BitAssignment& assignment) {
+  if (assignment.qw.size() != model.chain.size() ||
+      assignment.qact.size() != model.chain.size() + 1) {
+    throw std::invalid_argument("apply_assignment: size mismatch");
+  }
+  for (std::size_t i = 0; i < model.chain.size(); ++i) {
+    model.chain[i].block->set_weight_bits(assignment.qw[i]);
+    model.chain[i].block->set_act_bits(assignment.qact[i + 1]);
+  }
+}
+
+void set_float_mode(QatModel& model, bool on) {
+  for (auto& item : model.chain) {
+    item.block->set_float_mode(on);
+  }
+}
+
+void calibrate_activations(QatModel& model, const FloatTensor& calib_images,
+                           float margin) {
+  if (margin <= 0.0f) {
+    throw std::invalid_argument("calibrate_activations: margin must be > 0");
+  }
+  // Ensure observers are armed, run the calibration set, then finalize.
+  set_float_mode(model, true);
+  model.forward(calib_images, /*train=*/false);
+  for (auto& item : model.chain) {
+    if (auto* act = item.block->act()) {
+      act->finalize_calibration(margin);
+    }
+  }
+  set_float_mode(model, false);
+}
+
+void calibrate_activations_percentile(QatModel& model,
+                                      const FloatTensor& calib_images,
+                                      double percentile) {
+  set_float_mode(model, true);
+  model.forward(calib_images, /*train=*/false);
+  for (auto& item : model.chain) {
+    if (auto* act = item.block->act()) {
+      act->finalize_calibration_percentile(percentile);
+    }
+  }
+  set_float_mode(model, false);
+}
+
+void calibrate_activations_kl(QatModel& model,
+                              const FloatTensor& calib_images) {
+  set_float_mode(model, true);
+  model.forward(calib_images, /*train=*/false);
+  for (auto& item : model.chain) {
+    if (auto* act = item.block->act()) {
+      act->finalize_calibration_kl();
+    }
+  }
+  set_float_mode(model, false);
+}
+
+}  // namespace mixq::core

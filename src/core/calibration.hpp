@@ -1,0 +1,42 @@
+// mixq/core/calibration.hpp
+//
+// Post-training quantization (PTQ) workflow: train (or load) a float
+// model, pass a calibration dataset through it to collect activation
+// ranges, and only then quantize -- the alternative to quantization-aware
+// retraining the paper's Section 3 discusses ("statistics can be collected
+// ... against a specific calibration dataset"). The paper shows retraining
+// is essential below 8 bit; the PTQ path here exists to demonstrate
+// exactly that comparison (bench_ablation).
+#pragma once
+
+#include "core/qat_model.hpp"
+
+namespace mixq::core {
+
+/// Switch the whole model between float mode (weights unquantized,
+/// activation quantizers act as observing ReLUs) and quantized mode.
+void set_float_mode(QatModel& model, bool on);
+
+/// Run the calibration set through the model (float mode must be active),
+/// then finalize every activation quantizer's range from the observed
+/// maxima and leave the model in quantized mode. `margin` scales the
+/// observed max (e.g. 0.9 approximates a high percentile by trimming the
+/// very peak).
+void calibrate_activations(QatModel& model, const FloatTensor& calib_images,
+                           float margin = 1.0f);
+
+/// Percentile variant: activation ranges cover `percentile` of the
+/// observed positive mass instead of the absolute maximum (TensorRT-style
+/// outlier clipping, paper reference [18]). Useful at sub-byte precision
+/// where a single outlier would waste most quantization levels.
+void calibrate_activations_percentile(QatModel& model,
+                                      const FloatTensor& calib_images,
+                                      double percentile);
+
+/// KL-divergence variant (TensorRT calibration [18]): per activation
+/// tensor, choose the clip that minimises the KL divergence between the
+/// observed distribution and its quantized approximation.
+void calibrate_activations_kl(QatModel& model,
+                              const FloatTensor& calib_images);
+
+}  // namespace mixq::core

@@ -1,0 +1,233 @@
+#include "core/fake_quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::core {
+
+FloatTensor PactActQuant::forward(const FloatTensor& x, bool train) {
+  if (observe_) {
+    // Calibration pass: plain ReLU + max/histogram recording.
+    FloatTensor y(x.shape());
+    float batch_max = obs_max_;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      batch_max = std::max(batch_max, x[i]);
+    }
+    if (batch_max > obs_hist_max_) {
+      // Rebin the existing histogram into the enlarged range.
+      std::vector<std::int64_t> fresh(kHistBins, 0);
+      if (!hist_.empty() && obs_hist_max_ > 0.0f) {
+        for (int b = 0; b < kHistBins; ++b) {
+          const double center =
+              (b + 0.5) / kHistBins * static_cast<double>(obs_hist_max_);
+          int nb = static_cast<int>(center / batch_max * kHistBins);
+          nb = std::min(nb, kHistBins - 1);
+          fresh[static_cast<std::size_t>(nb)] +=
+              hist_[static_cast<std::size_t>(b)];
+        }
+      }
+      hist_ = std::move(fresh);
+      obs_hist_max_ = batch_max;
+    }
+    if (hist_.empty()) hist_.assign(kHistBins, 0);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const float v = std::max(0.0f, x[i]);
+      y[i] = v;
+      if (v > 0.0f && obs_hist_max_ > 0.0f) {
+        int b = static_cast<int>(v / obs_hist_max_ * kHistBins);
+        b = std::min(b, kHistBins - 1);
+        ++hist_[static_cast<std::size_t>(b)];
+      }
+    }
+    obs_max_ = std::max(obs_max_, batch_max);
+    if (train) x_cache_ = x;
+    return y;
+  }
+  if (train && calibrate_ && !calibrated_) {
+    float mx = 0.0f;
+    for (std::int64_t i = 0; i < x.numel(); ++i) mx = std::max(mx, x[i]);
+    alpha_[0] = std::max(mx, 0.1f);
+    calibrated_ = true;
+  }
+  const float alpha = std::max(alpha_[0], 1e-6f);
+  const float s = alpha / static_cast<float>(qmax(q_));
+  FloatTensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float v = x[i];
+    if (v < 0.0f) v = 0.0f;
+    if (v > alpha) v = alpha;
+    // floor quantization (paper Section 3).
+    y[i] = std::floor(v / s) * s;
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+FloatTensor PactActQuant::backward(const FloatTensor& grad_out) {
+  if (x_cache_.empty()) {
+    throw std::logic_error("PactActQuant::backward before forward");
+  }
+  if (observe_) {
+    // Plain ReLU gradient while calibrating.
+    FloatTensor gx(x_cache_.shape());
+    for (std::int64_t i = 0; i < gx.numel(); ++i) {
+      gx[i] = x_cache_[i] > 0.0f ? grad_out[i] : 0.0f;
+    }
+    return gx;
+  }
+  const float alpha = std::max(alpha_[0], 1e-6f);
+  FloatTensor gx(x_cache_.shape());
+  double galpha = 0.0;
+  for (std::int64_t i = 0; i < gx.numel(); ++i) {
+    const float v = x_cache_[i];
+    if (v <= 0.0f) {
+      gx[i] = 0.0f;
+    } else if (v >= alpha) {
+      gx[i] = 0.0f;
+      galpha += grad_out[i];  // PACT: d(clip)/d(alpha) = 1 above the clip
+    } else {
+      gx[i] = grad_out[i];    // STE inside the range
+    }
+  }
+  alpha_grad_[0] += static_cast<float>(galpha);
+  return gx;
+}
+
+void PactActQuant::finalize_calibration_percentile(double percentile) {
+  if (percentile <= 0.0 || percentile > 1.0) {
+    throw std::invalid_argument(
+        "finalize_calibration_percentile: percentile must be in (0, 1]");
+  }
+  if (hist_.empty() || obs_hist_max_ <= 0.0f) {
+    finalize_calibration();
+    return;
+  }
+  std::int64_t total = 0;
+  for (auto c : hist_) total += c;
+  if (total == 0) {
+    finalize_calibration();
+    return;
+  }
+  const auto target = static_cast<std::int64_t>(
+      percentile * static_cast<double>(total));
+  std::int64_t seen = 0;
+  int cut_bin = kHistBins - 1;
+  for (int b = 0; b < kHistBins; ++b) {
+    seen += hist_[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      cut_bin = b;
+      break;
+    }
+  }
+  const float a = static_cast<float>(cut_bin + 1) / kHistBins *
+                  obs_hist_max_;
+  alpha_[0] = std::max(a, 0.1f);
+  calibrated_ = true;
+}
+
+void PactActQuant::finalize_calibration_kl() {
+  if (hist_.empty() || obs_hist_max_ <= 0.0f) {
+    finalize_calibration();
+    return;
+  }
+  std::int64_t total = 0;
+  for (auto c : hist_) total += c;
+  if (total == 0) {
+    finalize_calibration();
+    return;
+  }
+  const int nq = levels(q_);
+  const double eps = 1e-9;
+  double best_kl = 1e300;
+  int best_bin = kHistBins - 1;
+  // Candidate clip points: bin edges from nq bins upward (a clip below one
+  // bucket per level is meaningless).
+  for (int cut = std::max(nq, kHistBins / 16); cut <= kHistBins; cut += 4) {
+    // Reference distribution P: bins [0, cut), with the clipped tail mass
+    // folded into the last bin (saturation).
+    std::vector<double> p(static_cast<std::size_t>(cut));
+    for (int b = 0; b < cut; ++b) {
+      p[static_cast<std::size_t>(b)] =
+          static_cast<double>(hist_[static_cast<std::size_t>(b)]);
+    }
+    for (int b = cut; b < kHistBins; ++b) {
+      p.back() += static_cast<double>(hist_[static_cast<std::size_t>(b)]);
+    }
+    // Quantized distribution Q: P pooled into nq buckets, spread back
+    // uniformly over each bucket's nonzero support.
+    std::vector<double> q(static_cast<std::size_t>(cut), 0.0);
+    for (int bucket = 0; bucket < nq; ++bucket) {
+      const int lo = bucket * cut / nq;
+      const int hi = std::max(lo + 1, (bucket + 1) * cut / nq);
+      double mass = 0.0;
+      int support = 0;
+      for (int b = lo; b < hi && b < cut; ++b) {
+        mass += p[static_cast<std::size_t>(b)];
+        if (p[static_cast<std::size_t>(b)] > 0.0) ++support;
+      }
+      if (support == 0) continue;
+      for (int b = lo; b < hi && b < cut; ++b) {
+        if (p[static_cast<std::size_t>(b)] > 0.0) {
+          q[static_cast<std::size_t>(b)] = mass / support;
+        }
+      }
+    }
+    // KL(P || Q) over normalised distributions.
+    double psum = 0.0, qsum = 0.0;
+    for (double v : p) psum += v;
+    for (double v : q) qsum += v;
+    if (psum <= 0.0 || qsum <= 0.0) continue;
+    double kl = 0.0;
+    for (int b = 0; b < cut; ++b) {
+      const double pv = p[static_cast<std::size_t>(b)] / psum;
+      if (pv <= 0.0) continue;
+      const double qv = q[static_cast<std::size_t>(b)] / qsum + eps;
+      kl += pv * std::log(pv / qv);
+    }
+    if (kl < best_kl) {
+      best_kl = kl;
+      best_bin = cut;
+    }
+  }
+  alpha_[0] = std::max(
+      static_cast<float>(best_bin) / kHistBins * obs_hist_max_, 0.1f);
+  calibrated_ = true;
+}
+
+void LearnedWeightRange::forward(const FloatWeights& w, BitWidth q,
+                                 FloatWeights& out) {
+  const QuantParams p = params(q);
+  const float lo = std::min(range_[0], range_[1]);
+  const float hi = std::max(range_[0], range_[1]);
+  const std::int64_t n = w.numel();
+  mask_.assign(static_cast<std::size_t>(n), 0);
+  if (out.shape() != w.shape()) out = FloatWeights(w.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = w[i];
+    if (v <= lo) {
+      mask_[static_cast<std::size_t>(i)] = -1;
+    } else if (v >= hi) {
+      mask_[static_cast<std::size_t>(i)] = 1;
+    }
+    out[i] = fake_quantize_value(v, p, RoundMode::kNearest);
+  }
+}
+
+void LearnedWeightRange::backward(const std::vector<float>& grad_wq,
+                                  std::vector<float>& grad_w) {
+  if (grad_wq.size() != mask_.size() || grad_w.size() != mask_.size()) {
+    throw std::invalid_argument("LearnedWeightRange::backward: size mismatch");
+  }
+  double ga = 0.0, gb = 0.0;
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    switch (mask_[i]) {
+      case -1: ga += grad_wq[i]; break;
+      case 1: gb += grad_wq[i]; break;
+      default: grad_w[i] += grad_wq[i]; break;  // STE pass-through
+    }
+  }
+  grad_[0] += static_cast<float>(ga);
+  grad_[1] += static_cast<float>(gb);
+}
+
+}  // namespace mixq::core

@@ -1,0 +1,190 @@
+// mixq/core/fake_quant.hpp
+//
+// Fake-quantization modules for quantization-aware training (QAT).
+//
+// * PactActQuant: the PACT activation quantizer [2]. Clips to [0, alpha]
+//   with a *learnable* alpha, quantizes with floor (paper Section 3:
+//   quant_act(x) = floor(clamp(x, 0, b)/S) * S, S = b/(2^Q - 1)), and
+//   backpropagates with the straight-through estimator (STE); gradients of
+//   clipped elements flow into alpha.
+// * LearnedWeightRange: PACT-style asymmetric learned [a, b] range for
+//   per-layer weight quantization (paper Section 6: "the PACT method is
+//   used in case of PL quantization").
+// * InputQuant: fixed-range quantizer for the network input (Q0x = 8).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/quantizer.hpp"
+#include "nn/layer.hpp"
+
+namespace mixq::core {
+
+/// Learnable PACT activation fake-quantizer (an nn::Layer).
+///
+/// `calibrate` (default on) replaces alpha with the observed maximum on the
+/// first training-mode forward, so the clipping range starts where the data
+/// actually lives; afterwards alpha moves only by its PACT gradient. This
+/// mirrors the statistics-collection phase of Section 3.
+class PactActQuant final : public nn::Layer {
+ public:
+  explicit PactActQuant(BitWidth q, float alpha_init = 6.0f,
+                        bool calibrate = true)
+      : q_(q), calibrate_(calibrate), alpha_{alpha_init}, alpha_grad_{0.0f} {}
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<nn::ParamRef> params() override {
+    return {{"pact.alpha", &alpha_, &alpha_grad_}};
+  }
+  [[nodiscard]] std::string name() const override { return "PactActQuant"; }
+
+  [[nodiscard]] float alpha() const { return alpha_[0]; }
+  void set_alpha(float a) { alpha_[0] = a; }
+  [[nodiscard]] BitWidth bitwidth() const { return q_; }
+  void set_bitwidth(BitWidth q) { q_ = q; }
+
+  /// Observe mode (post-training calibration, core/calibration.hpp): the
+  /// layer acts as a plain ReLU while recording the running activation
+  /// maximum and a histogram of positive values. finalize_calibration()
+  /// turns the record into alpha.
+  void set_observe(bool on) { observe_ = on; }
+  [[nodiscard]] bool observing() const { return observe_; }
+  void finalize_calibration(float margin = 1.0f) {
+    alpha_[0] = std::max(obs_max_ * margin, 0.1f);
+    calibrated_ = true;
+  }
+  /// Percentile-based range (outlier clipping): alpha covers `percentile`
+  /// of the observed positive mass. percentile in (0, 1].
+  void finalize_calibration_percentile(double percentile);
+  /// KL-divergence-based range (the TensorRT calibration the paper cites
+  /// as [18]): among candidate clip points, choose the one whose
+  /// `levels(q_)`-bucket quantized distribution is closest (minimum KL
+  /// divergence) to the observed distribution.
+  void finalize_calibration_kl();
+  [[nodiscard]] float observed_max() const { return obs_max_; }
+
+  /// Deployment-side quantization parameters: S = alpha/(2^Q-1), Z = 0.
+  /// The alpha floor matches forward() so g(x) and g'(x) agree exactly.
+  [[nodiscard]] QuantParams deploy_params() const {
+    QuantParams p;
+    p.q = q_;
+    p.scale = std::max(alpha_[0], 1e-6f) / static_cast<float>(qmax(q_));
+    p.zero = 0;
+    return p;
+  }
+
+ private:
+  BitWidth q_;
+  bool calibrate_;
+  bool calibrated_{false};
+  bool observe_{false};
+  float obs_max_{0.0f};
+  /// Histogram of observed positive activations over [0, obs_hist_max_],
+  /// rebinned on the fly when the running max grows.
+  static constexpr int kHistBins = 512;
+  std::vector<std::int64_t> hist_;
+  float obs_hist_max_{0.0f};
+  std::vector<float> alpha_;       // single element; vector for ParamRef
+  std::vector<float> alpha_grad_;  // single element
+  FloatTensor x_cache_;
+};
+
+/// Emulates the deployed integer average pool in the fake-quantized graph:
+/// the integer GAP floor-divides the code sum, so the float graph must
+/// floor the pooled value back onto the source quantizer's grid. Without
+/// this the converted model systematically disagrees with g(x) at the
+/// classifier input. Backward is a straight-through identity.
+class GapRequant final : public nn::Layer {
+ public:
+  explicit GapRequant(const PactActQuant* source) : source_(source) {}
+
+  FloatTensor forward(const FloatTensor& x, bool /*train*/) override {
+    if (source_->observing()) {
+      return x;  // float/calibration mode: the pool is exact, no grid
+    }
+    const float s = source_->deploy_params().scale;
+    FloatTensor y(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      // The small epsilon absorbs float fuzz around exact code boundaries
+      // (the integer path computes floor(sum/hw) exactly).
+      float v = std::floor(x[i] / s + 1e-4f) * s;
+      y[i] = std::max(v, 0.0f);
+    }
+    return y;
+  }
+  FloatTensor backward(const FloatTensor& grad_out) override {
+    return grad_out;
+  }
+  [[nodiscard]] std::string name() const override { return "GapRequant"; }
+
+ private:
+  const PactActQuant* source_;
+};
+
+/// Learned asymmetric weight clipping range [a, b] for per-layer weight
+/// quantization, trained by backpropagation (two-sided PACT).
+class LearnedWeightRange {
+ public:
+  LearnedWeightRange() : range_{-1.0f, 1.0f}, grad_{0.0f, 0.0f} {}
+
+  /// Initialise [a, b] from current weight statistics.
+  void init_from(const FloatWeights& w) {
+    const MinMax mm = observe_minmax(w.data(), w.numel());
+    range_[0] = mm.lo;
+    range_[1] = mm.hi;
+  }
+
+  [[nodiscard]] float a() const { return range_[0]; }
+  [[nodiscard]] float b() const { return range_[1]; }
+
+  /// QuantParams for the current learned range.
+  [[nodiscard]] QuantParams params(BitWidth q) const {
+    // Keep the range ordered and non-degenerate even mid-training.
+    float lo = std::min(range_[0], range_[1] - 1e-6f);
+    float hi = std::max(range_[1], range_[0] + 1e-6f);
+    return make_quant_params(lo, hi, q);
+  }
+
+  /// Fake-quantize `w` into `out` and remember the clip masks for backward.
+  void forward(const FloatWeights& w, BitWidth q, FloatWeights& out);
+
+  /// STE backward: routes the gradient of clipped weights into the range
+  /// endpoints and returns the pass-through mask-weighted gradient for the
+  /// underlying float weights (written into `grad_w`, same layout as w).
+  void backward(const std::vector<float>& grad_wq, std::vector<float>& grad_w);
+
+  [[nodiscard]] nn::ParamRef param_ref() {
+    return {"wrange", &range_, &grad_};
+  }
+
+ private:
+  std::vector<float> range_;  // {a, b}
+  std::vector<float> grad_;   // {da, db}
+  std::vector<std::int8_t> mask_;  // -1 clipped low, +1 clipped high, 0 pass
+};
+
+/// Fixed-range input quantizer (network input is always UINT8, Q0x = 8).
+class InputQuant final : public nn::Layer {
+ public:
+  InputQuant(float lo, float hi, BitWidth q = BitWidth::kQ8)
+      : p_(make_quant_params(lo, hi, q)) {}
+
+  FloatTensor forward(const FloatTensor& x, bool /*train*/) override {
+    FloatTensor y = x;
+    fake_quantize_buffer(y.data(), y.numel(), p_, RoundMode::kNearest);
+    return y;
+  }
+  // STE: the quantizer is an identity for gradients.
+  FloatTensor backward(const FloatTensor& grad_out) override {
+    return grad_out;
+  }
+  [[nodiscard]] std::string name() const override { return "InputQuant"; }
+  [[nodiscard]] const QuantParams& deploy_params() const { return p_; }
+
+ private:
+  QuantParams p_;
+};
+
+}  // namespace mixq::core

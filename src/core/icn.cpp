@@ -1,0 +1,108 @@
+#include "core/icn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::core {
+
+FixedPointMult decompose_multiplier(double m) {
+  FixedPointMult out;
+  if (m == 0.0) return out;
+  if (!std::isfinite(m)) {
+    throw std::invalid_argument("decompose_multiplier: non-finite multiplier");
+  }
+  int exp = 0;
+  double frac = std::frexp(m, &exp);  // m = frac * 2^exp, 0.5 <= |frac| < 1
+  auto mant = static_cast<std::int64_t>(std::llround(frac * 2147483648.0));
+  // llround can push |mant| to 2^31 (frac == +/-0.9999...); renormalise.
+  if (mant == 2147483648LL) {
+    mant = 1073741824LL;  // 2^30 == 0.5 in Q31
+    ++exp;
+  } else if (mant == -2147483648LL) {
+    mant = -1073741824LL;
+    ++exp;
+  }
+  if (exp > 127 || exp < -128) {
+    throw std::invalid_argument("decompose_multiplier: exponent out of INT8");
+  }
+  out.m0_q31 = static_cast<std::int32_t>(mant);
+  out.n0 = static_cast<std::int8_t>(exp);
+  return out;
+}
+
+double multiplier_value(const FixedPointMult& m) {
+  return static_cast<double>(m.m0_q31) / 2147483648.0 *
+         std::ldexp(1.0, m.n0);
+}
+
+std::int64_t fixed_point_floor_mul(std::int64_t v, const FixedPointMult& m) {
+  // value = v * m0 * 2^(n0 - 31), floored. C++20 guarantees arithmetic
+  // right shift on signed operands, which is exactly floor division by a
+  // power of two.
+  const std::int64_t prod = v * static_cast<std::int64_t>(m.m0_q31);
+  const int shift = 31 - static_cast<int>(m.n0);
+  if (shift >= 0) {
+    if (shift >= 63) return prod < 0 ? -1 : 0;
+    return prod >> shift;
+  }
+  return prod << (-shift);
+}
+
+std::int32_t icn_requant(std::int32_t phi, const IcnChannel& ch,
+                         std::int32_t zy, BitWidth qy) {
+  const std::int64_t v =
+      fixed_point_floor_mul(static_cast<std::int64_t>(phi) + ch.bq, ch.m);
+  const std::int64_t y = static_cast<std::int64_t>(zy) + v;
+  return static_cast<std::int32_t>(
+      std::clamp<std::int64_t>(y, 0, qmax(qy)));
+}
+
+IcnChannel derive_icn_channel(double si, double sw, double so,
+                              const BnChannel& bn, double conv_bias) {
+  if (si <= 0.0 || sw <= 0.0 || so <= 0.0) {
+    throw std::invalid_argument("derive_icn_channel: scales must be positive");
+  }
+  double gamma = bn.gamma;
+  const double kGammaEps = 1e-12;
+  if (std::abs(gamma) < kGammaEps) {
+    gamma = gamma < 0.0 ? -kGammaEps : kGammaEps;
+  }
+  const double sigma = bn.sigma;
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("derive_icn_channel: sigma must be positive");
+  }
+  IcnChannel ch;
+  const double m = si * sw / so * gamma / sigma;
+  ch.m = decompose_multiplier(m);
+  const double bq =
+      (conv_bias - bn.mu + static_cast<double>(bn.beta) * sigma / gamma) /
+      (si * sw);
+  const double clamped = std::clamp(bq, -2147483647.0, 2147483647.0);
+  ch.bq = static_cast<std::int32_t>(std::llround(clamped));
+  return ch;
+}
+
+std::vector<IcnChannel> derive_icn_layer(double si,
+                                         const std::vector<double>& sw,
+                                         double so,
+                                         const std::vector<BnChannel>& bn,
+                                         const std::vector<double>& conv_bias) {
+  const std::size_t co = bn.size();
+  if (sw.size() != 1 && sw.size() != co) {
+    throw std::invalid_argument("derive_icn_layer: sw must have size 1 or cO");
+  }
+  if (!conv_bias.empty() && conv_bias.size() != co) {
+    throw std::invalid_argument("derive_icn_layer: bias size mismatch");
+  }
+  std::vector<IcnChannel> out;
+  out.reserve(co);
+  for (std::size_t c = 0; c < co; ++c) {
+    const double swc = sw.size() == 1 ? sw[0] : sw[c];
+    const double bias = conv_bias.empty() ? 0.0 : conv_bias[c];
+    out.push_back(derive_icn_channel(si, swc, so, bn[c], bias));
+  }
+  return out;
+}
+
+}  // namespace mixq::core

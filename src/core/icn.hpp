@@ -1,0 +1,85 @@
+// mixq/core/icn.hpp
+//
+// Integer Channel-Normalization (ICN) -- the paper's first contribution
+// (Section 4, Eq. 4-5). A fake-quantized sub-graph
+//
+//     conv -> batch-norm -> fake-quant activation
+//
+// has transfer function  y = quant_act((phi - mu)/sigma * gamma + beta).
+// Substituting the affine quantization rules of inputs/weights/outputs gives
+//
+//     Y = clamp(Zy + floor(M0 * 2^N0 * (Phi + Bq)), 0, 2^Q - 1)      (Eq. 5)
+//
+// where Phi = sum (X - Zx)(W - Zw) is the integer convolution output and,
+// per output channel c,
+//
+//     M_c  = Si*Sw_c/So * gamma_c/sigma_c       (decomposed M0 * 2^N0)
+//     Bq_c = round((B_c - mu_c + beta_c*sigma_c/gamma_c) / (Si*Sw_c))
+//
+// M0 is stored as a signed Q31 fixed-point INT32 with 0.5 <= |M0| < 1, N0 as
+// INT8. Everything below is integer/fixed-point arithmetic a Cortex-M
+// executes natively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quant_types.hpp"
+
+namespace mixq::core {
+
+/// Fixed-point decomposition M = m0 * 2^n0 with m0 a Q31 signed mantissa.
+struct FixedPointMult {
+  std::int32_t m0_q31{0};  ///< round(M0 * 2^31); 0 encodes M == 0
+  std::int8_t n0{0};
+};
+
+/// Per-output-channel ICN static parameters (Table 1 datatypes: Bq INT32,
+/// M0 INT32, N0 INT8).
+struct IcnChannel {
+  std::int32_t bq{0};
+  FixedPointMult m;
+};
+
+/// Decompose a real multiplier into Q31 mantissa and power-of-two exponent.
+/// Exact contract: |m| in [2^-120, 2^30]; zero maps to {0, 0}.
+FixedPointMult decompose_multiplier(double m);
+
+/// Reconstruct the real value of a FixedPointMult (for tests/reports).
+double multiplier_value(const FixedPointMult& m);
+
+/// The ICN requantization core: floor(m0 * 2^n0 * v) computed exactly in
+/// 64-bit integer arithmetic (arithmetic right shift == floor for negatives).
+std::int64_t fixed_point_floor_mul(std::int64_t v, const FixedPointMult& m);
+
+/// Full Eq. 5: clamp(zy + floor(M*(phi + bq)), 0, 2^Q - 1).
+std::int32_t icn_requant(std::int32_t phi, const IcnChannel& ch,
+                         std::int32_t zy, BitWidth qy);
+
+/// Batch-norm channel parameters as the conversion consumes them.
+/// sigma must already include the epsilon: sigma = sqrt(running_var + eps).
+struct BnChannel {
+  float gamma{1.0f};
+  float beta{0.0f};
+  float mu{0.0f};
+  float sigma{1.0f};
+};
+
+/// Derive the ICN parameters of one output channel (Eq. 4-5).
+/// `conv_bias` is the convolution's own bias B (0 when BN follows directly).
+/// `si`/`so` are the input/output activation scales, `sw` the (per-channel
+/// or per-layer) weight scale. |gamma| is clamped away from zero so the
+/// division is finite; a zero-gamma channel is constant and its weights are
+/// all-zero after training anyway.
+IcnChannel derive_icn_channel(double si, double sw, double so,
+                              const BnChannel& bn, double conv_bias);
+
+/// Derive ICN parameters for a whole layer: one entry per output channel.
+/// For per-layer weight quantization pass a single-element `sw` vector.
+std::vector<IcnChannel> derive_icn_layer(double si,
+                                         const std::vector<double>& sw,
+                                         double so,
+                                         const std::vector<BnChannel>& bn,
+                                         const std::vector<double>& conv_bias);
+
+}  // namespace mixq::core

@@ -1,0 +1,83 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mixq::core {
+
+std::int64_t activation_bytes(std::int64_t numel, BitWidth q) {
+  return packed_bytes(numel, q);
+}
+
+std::int64_t weight_bytes(const LayerDesc& layer, BitWidth qw) {
+  return packed_bytes(layer.weight_numel(), qw);
+}
+
+std::int64_t static_param_bytes(const LayerDesc& layer, Scheme scheme,
+                                BitWidth qw) {
+  const std::int64_t co = layer.out_channels();
+  std::int64_t bytes = 0;
+  bytes += 1;  // Zx (UINT8)
+  bytes += 1;  // Zy (UINT8)
+  switch (scheme) {
+    case Scheme::kPLFoldBN:
+      bytes += 1;        // Zw UINT8
+      bytes += 4 * co;   // Bq INT32 x cO
+      bytes += 4;        // M0 INT32 x 1
+      bytes += 1;        // N0 INT8 x 1
+      break;
+    case Scheme::kPLICN:
+      bytes += 1;        // Zw UINT8
+      bytes += 4 * co;   // Bq INT32 x cO
+      bytes += 4 * co;   // M0 INT32 x cO
+      bytes += 1 * co;   // N0 INT8 x cO
+      break;
+    case Scheme::kPCICN:
+      bytes += 2 * co;   // Zw INT16 x cO
+      bytes += 4 * co;   // Bq INT32 x cO
+      bytes += 4 * co;   // M0 INT32 x cO
+      bytes += 1 * co;   // N0 INT8 x cO
+      break;
+    case Scheme::kPCThresholds:
+      bytes += 2 * co;   // Zw INT16 x cO
+      // Thr: cO * 2^Q INT16 entries (Table 1: grows exponentially with Q).
+      bytes += 2 * co * levels(qw);
+      break;
+  }
+  return bytes;
+}
+
+std::int64_t layer_ro_bytes(const LayerDesc& layer, Scheme scheme,
+                            BitWidth qw) {
+  return weight_bytes(layer, qw) + static_param_bytes(layer, scheme, qw);
+}
+
+std::int64_t net_ro_bytes(const NetDesc& net, Scheme scheme,
+                          const std::vector<BitWidth>& qw) {
+  if (qw.size() != net.size()) {
+    throw std::invalid_argument("net_ro_bytes: qw size mismatch");
+  }
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    total += layer_ro_bytes(net.layers[i], scheme, qw[i]);
+  }
+  return total;
+}
+
+std::int64_t net_rw_peak_bytes(const NetDesc& net,
+                               const std::vector<BitWidth>& qact) {
+  if (qact.size() != net.size() + 1) {
+    throw std::invalid_argument("net_rw_peak_bytes: qact must have L+1 entries");
+  }
+  std::int64_t peak = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const std::int64_t in_b =
+        activation_bytes(net.layers[i].in_numel, qact[i]);
+    const std::int64_t out_b =
+        activation_bytes(net.layers[i].out_numel, qact[i + 1]);
+    peak = std::max(peak, in_b + out_b);
+  }
+  return peak;
+}
+
+}  // namespace mixq::core

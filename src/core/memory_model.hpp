@@ -1,0 +1,51 @@
+// mixq/core/memory_model.hpp
+//
+// Table 1 of the paper: memory requirements of a quantized convolutional
+// layer under the four deployment schemes. Datatypes (Section 4.1):
+//
+//   weights           UINT-Q, densely packed: ceil(numel * Q / 8) bytes
+//   Zx, Zy            UINT8 (1 byte each)
+//   Zw                UINT8 (PL) / INT16 x cO (PC)
+//   Bq                INT32 x cO
+//   M0                INT32 (x1 PL+FB, x cO with ICN)
+//   N0                INT8  (x1 PL+FB, x cO with ICN)
+//   Thr               cO x 2^Q entries (INT16 in the deployed image; the
+//                     reference runtime keeps INT64 for exactness, see
+//                     DESIGN.md) -- replaces Bq/M0/N0 entirely.
+//
+// Activations: a UINT-Q tensor of n elements occupies ceil(n * Q / 8) bytes
+// of read-write memory.
+#pragma once
+
+#include "core/netdesc.hpp"
+#include "core/quant_types.hpp"
+
+namespace mixq::core {
+
+/// Byte size of a packed Q-bit activation tensor of `numel` elements
+/// (the mem(t, Q) of Eq. 6-7).
+std::int64_t activation_bytes(std::int64_t numel, BitWidth q);
+
+/// Byte size of the packed weight array alone.
+std::int64_t weight_bytes(const LayerDesc& layer, BitWidth qw);
+
+/// Byte size of the additional static parameters MT_A of Table 1
+/// (everything read-only except the weight array itself).
+std::int64_t static_param_bytes(const LayerDesc& layer, Scheme scheme,
+                                BitWidth qw);
+
+/// weight_bytes + static_param_bytes: the layer's total read-only footprint.
+std::int64_t layer_ro_bytes(const LayerDesc& layer, Scheme scheme,
+                            BitWidth qw);
+
+/// Total read-only footprint of a network under per-layer weight precisions.
+std::int64_t net_ro_bytes(const NetDesc& net, Scheme scheme,
+                          const std::vector<BitWidth>& qw);
+
+/// Peak read-write requirement: max over layers of in+out activation bytes
+/// (Eq. 7's left-hand side), given per-tensor activation precisions
+/// (qact[i] = precision of layer i's input; size L+1).
+std::int64_t net_rw_peak_bytes(const NetDesc& net,
+                               const std::vector<BitWidth>& qact);
+
+}  // namespace mixq::core

@@ -1,0 +1,72 @@
+// mixq/core/netdesc.hpp
+//
+// Architecture-level description of a network: the minimal metadata the
+// memory model (Table 1), the bit-allocation algorithms (Alg. 1-2) and the
+// MCU cycle model need. Decoupled from the trainable graph so the
+// MobilenetV1 family (too large to instantiate with real weights here) can
+// be described exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace mixq::core {
+
+enum class LayerKind : std::uint8_t {
+  kConv,       ///< standard convolution
+  kDepthwise,  ///< depthwise convolution
+  kPointwise,  ///< 1x1 convolution (tracked separately for the cycle model)
+  kLinear,     ///< fully connected
+};
+
+inline std::string to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDepthwise: return "dw";
+    case LayerKind::kPointwise: return "pw";
+    case LayerKind::kLinear: return "fc";
+  }
+  return "?";
+}
+
+/// One weighted layer of the inference chain. Layer i consumes activation
+/// tensor i and produces activation tensor i+1 (paper: y_i == x_{i+1}, so
+/// fixing Qy_i fixes Qx_{i+1}). `in_numel`/`out_numel` are the exact NHWC
+/// element counts with batch 1; pooling between two weighted layers is
+/// folded into the next layer's in_numel (precision is still shared).
+struct LayerDesc {
+  std::string name;
+  LayerKind kind{LayerKind::kConv};
+  WeightShape wshape{1, 1, 1, 1};
+  Shape in_shape{1, 1, 1, 1};
+  Shape out_shape{1, 1, 1, 1};
+  std::int64_t in_numel{0};
+  std::int64_t out_numel{0};
+  std::int64_t macs{0};
+
+  [[nodiscard]] std::int64_t weight_numel() const { return wshape.numel(); }
+  [[nodiscard]] std::int64_t out_channels() const { return wshape.co; }
+};
+
+/// A stacked network of L weighted layers.
+struct NetDesc {
+  std::string name;
+  std::vector<LayerDesc> layers;
+
+  [[nodiscard]] std::size_t size() const { return layers.size(); }
+  [[nodiscard]] std::int64_t total_macs() const {
+    std::int64_t s = 0;
+    for (const auto& l : layers) s += l.macs;
+    return s;
+  }
+  [[nodiscard]] std::int64_t total_weights() const {
+    std::int64_t s = 0;
+    for (const auto& l : layers) s += l.weight_numel();
+    return s;
+  }
+};
+
+}  // namespace mixq::core

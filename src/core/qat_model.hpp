@@ -1,0 +1,61 @@
+// mixq/core/qat_model.hpp
+//
+// A structured fake-quantized model: an owning Sequential stack plus typed
+// references to the quantized conv chain, which is what the integer-only
+// converter (runtime/convert.hpp) consumes. The chain mirrors the paper's
+// "L stacked quantized convolutional layers" view of a network.
+#pragma once
+
+#include <vector>
+
+#include "core/fake_quant.hpp"
+#include "core/qconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace mixq::core {
+
+/// One element of the conv chain. `gap_before` records a GlobalAvgPool
+/// between the previous block and this one (MobilenetV1's pool before the
+/// classifier).
+struct QatChainItem {
+  QConvBlock* block{nullptr};
+  bool gap_before{false};
+};
+
+/// Owning container: `net` holds every layer in forward order; `input` and
+/// `chain` are non-owning views into it.
+struct QatModel {
+  nn::Sequential net;
+  InputQuant* input{nullptr};
+  std::vector<QatChainItem> chain;
+
+  FloatTensor forward(const FloatTensor& x, bool train) {
+    return net.forward(x, train);
+  }
+  FloatTensor backward(const FloatTensor& g) { return net.backward(g); }
+  std::vector<nn::ParamRef> params() { return net.params(); }
+  void zero_grad() { net.zero_grad(); }
+
+  /// Freeze all batch-norms (paper: after the first epoch).
+  void freeze_all_bn() {
+    for (auto& item : chain) item.block->freeze_bn();
+  }
+  /// Enable folding on every block configured for it (paper: from epoch 2).
+  void enable_folding() {
+    for (auto& item : chain) {
+      if (item.block->config().fold_bn) item.block->enable_folding();
+    }
+  }
+};
+
+// Forward declaration; definition in bit_allocation.hpp.
+struct BitAssignment;
+
+/// Push a planner bit assignment (Algorithms 1-2 output) into the
+/// trainable blocks: block i gets weight precision qw[i] and output
+/// activation precision qact[i+1]. The model is then ready for the
+/// quantization-aware retraining pass of the paper's Figure 1 flow.
+void apply_assignment(QatModel& model, const BitAssignment& assignment);
+
+}  // namespace mixq::core

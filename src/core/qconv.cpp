@@ -1,0 +1,299 @@
+#include "core/qconv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::core {
+
+QConvBlock::QConvBlock(BlockKind kind, std::int64_t ci, std::int64_t co,
+                       nn::ConvSpec spec, QBlockConfig cfg, Rng* rng)
+    : kind_(kind), ci_(ci), co_(co), spec_(spec), cfg_(cfg) {
+  switch (kind_) {
+    case BlockKind::kConv:
+      conv_ = std::make_unique<nn::Conv2D>(ci, co, spec, rng);
+      break;
+    case BlockKind::kDepthwise:
+      if (ci != co) {
+        throw std::invalid_argument("QConvBlock: depthwise needs ci == co");
+      }
+      dw_ = std::make_unique<nn::DepthwiseConv2D>(ci, spec, rng);
+      break;
+    case BlockKind::kLinear: {
+      nn::ConvSpec lin_spec;
+      lin_spec.kh = lin_spec.kw = 1;
+      lin_spec.stride = 1;
+      lin_spec.pad = 0;
+      spec_ = lin_spec;
+      lin_ = std::make_unique<nn::Linear>(ci, co, /*bias=*/true, rng);
+      break;
+    }
+  }
+  if (cfg_.has_bn && kind_ != BlockKind::kLinear) {
+    bn_ = std::make_unique<nn::BatchNorm>(co);
+  } else {
+    cfg_.has_bn = false;
+  }
+  if (cfg_.act_quant) {
+    act_ = std::make_unique<PactActQuant>(cfg_.qa, cfg_.alpha_init);
+  }
+}
+
+const FloatWeights& QConvBlock::raw_weights() const {
+  switch (kind_) {
+    case BlockKind::kConv: return conv_->weights();
+    case BlockKind::kDepthwise: return dw_->weights();
+    case BlockKind::kLinear: return lin_->weights();
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+Shape QConvBlock::out_shape(const Shape& in) const {
+  switch (kind_) {
+    case BlockKind::kConv: return conv_->out_shape(in);
+    case BlockKind::kDepthwise: return dw_->out_shape(in);
+    case BlockKind::kLinear: return Shape(in.n, 1, 1, co_);
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+void QConvBlock::enable_folding() {
+  if (!cfg_.fold_bn) {
+    throw std::logic_error("QConvBlock: folding not configured for this block");
+  }
+  if (bn_ == nullptr) {
+    throw std::logic_error("QConvBlock: folding requires batch-norm");
+  }
+  bn_->freeze();
+  folding_active_ = true;
+}
+
+FloatTensor QConvBlock::conv_forward(const FloatTensor& x,
+                                     const FloatWeights& w, bool train) {
+  switch (kind_) {
+    case BlockKind::kConv: return conv_->forward_with(x, w, train);
+    case BlockKind::kDepthwise: return dw_->forward_with(x, w, train);
+    case BlockKind::kLinear: return lin_->forward_with(x, w, train);
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+FloatTensor QConvBlock::conv_backward(const FloatTensor& g) {
+  switch (kind_) {
+    case BlockKind::kConv: return conv_->backward(g);
+    case BlockKind::kDepthwise: return dw_->backward(g);
+    case BlockKind::kLinear: return lin_->backward(g);
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+std::vector<float>& QConvBlock::raw_weight_grad() {
+  // The underlying layer accumulates dL/d(w_used) into its own grad buffer;
+  // params() of the layer exposes it first.
+  switch (kind_) {
+    case BlockKind::kConv: return *conv_->params().at(0).grad;
+    case BlockKind::kDepthwise: return *dw_->params().at(0).grad;
+    case BlockKind::kLinear: return *lin_->params().at(0).grad;
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+FloatWeights QConvBlock::deploy_weights() const {
+  FloatWeights w = raw_weights();
+  if (folding_active_) {
+    const std::vector<float> sigma = bn_->sigma();
+    const std::vector<float>& gamma = bn_->gamma();
+    const std::int64_t per = w.shape().per_channel();
+    for (std::int64_t oc = 0; oc < co_; ++oc) {
+      const float s = gamma[static_cast<std::size_t>(oc)] /
+                      sigma[static_cast<std::size_t>(oc)];
+      float* wp = w.channel(oc);
+      for (std::int64_t i = 0; i < per; ++i) wp[i] *= s;
+    }
+  }
+  return w;
+}
+
+std::vector<float> QConvBlock::folded_bias() const {
+  if (!folding_active_) {
+    throw std::logic_error("QConvBlock::folded_bias: folding inactive");
+  }
+  const std::vector<float> sigma = bn_->sigma();
+  const std::vector<float>& gamma = bn_->gamma();
+  const std::vector<float>& beta = bn_->beta();
+  const std::vector<float>& mu = bn_->running_mean();
+  std::vector<float> bias(static_cast<std::size_t>(co_));
+  for (std::size_t c = 0; c < bias.size(); ++c) {
+    bias[c] = beta[c] - mu[c] * gamma[c] / sigma[c];
+  }
+  return bias;
+}
+
+WeightQuant QConvBlock::deploy_weight_quant() const {
+  const FloatWeights w = deploy_weights();
+  if (cfg_.wgran == Granularity::kPerChannel) {
+    return weight_quant_per_channel_minmax(w, cfg_.qw);
+  }
+  if (wrange_initialised_) {
+    WeightQuant wq;
+    wq.granularity = Granularity::kPerLayer;
+    wq.q = cfg_.qw;
+    wq.params.push_back(wrange_.params(cfg_.qw));
+    return wq;
+  }
+  return weight_quant_per_layer_minmax(w, cfg_.qw);
+}
+
+std::vector<BnChannel> QConvBlock::bn_channels() const {
+  std::vector<BnChannel> out(static_cast<std::size_t>(co_));
+  if (bn_ == nullptr || folding_active_) {
+    // Identity normalisation: ICN absorbs only the quantization rescale.
+    return out;
+  }
+  const std::vector<float> sigma = bn_->sigma();
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c].gamma = bn_->gamma()[c];
+    out[c].beta = bn_->beta()[c];
+    out[c].mu = bn_->running_mean()[c];
+    out[c].sigma = sigma[c];
+  }
+  return out;
+}
+
+std::vector<float> QConvBlock::conv_bias() const {
+  if (folding_active_) return folded_bias();
+  switch (kind_) {
+    case BlockKind::kConv: return conv_->bias();
+    case BlockKind::kDepthwise: return {};
+    case BlockKind::kLinear: return lin_->bias();
+  }
+  throw std::logic_error("QConvBlock: invalid kind");
+}
+
+std::optional<QuantParams> QConvBlock::act_params() const {
+  if (act_ == nullptr) return std::nullopt;
+  return act_->deploy_params();
+}
+
+FloatTensor QConvBlock::forward(const FloatTensor& x, bool train) {
+  // 1. Effective (possibly folded) float weights.
+  FloatWeights w_eff = deploy_weights();
+  if (folding_active_) {
+    // Remember gamma/sigma to rescale weight gradients in backward.
+    const std::vector<float> sigma = bn_->sigma();
+    const std::vector<float>& gamma = bn_->gamma();
+    fold_scale_.resize(static_cast<std::size_t>(co_));
+    for (std::size_t c = 0; c < fold_scale_.size(); ++c) {
+      fold_scale_[c] = gamma[c] / sigma[c];
+    }
+  }
+
+  // 2. Fake-quantize weights (skipped entirely in float mode).
+  if (float_mode_) {
+    wq_scratch_ = w_eff;
+  } else if (cfg_.wgran == Granularity::kPerLayer) {
+    if (!wrange_initialised_) {
+      wrange_.init_from(w_eff);
+      wrange_initialised_ = true;
+    }
+    wrange_.forward(w_eff, cfg_.qw, wq_scratch_);
+  } else {
+    const WeightQuant wq = weight_quant_per_channel_minmax(w_eff, cfg_.qw);
+    wq_scratch_ = fake_quantize_weights(w_eff, wq);
+  }
+
+  // 3. Convolution with the fake-quantized weights.
+  FloatTensor y = conv_forward(x, wq_scratch_, train);
+
+  // 4. Normalisation: separate BN (ICN path) or folded bias add.
+  if (folding_active_) {
+    const std::vector<float> bias = folded_bias();
+    const Shape s = y.shape();
+    const std::int64_t rows = s.n * s.h * s.w;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* yp = y.data() + r * s.c;
+      for (std::int64_t c = 0; c < s.c; ++c) {
+        yp[c] += bias[static_cast<std::size_t>(c)];
+      }
+    }
+  } else if (bn_ != nullptr) {
+    y = bn_->forward(y, train);
+  }
+
+  // 5. Output fake-quantization (PACT).
+  if (act_ != nullptr) y = act_->forward(y, train);
+  return y;
+}
+
+FloatTensor QConvBlock::backward(const FloatTensor& grad_out) {
+  FloatTensor g = grad_out;
+  if (act_ != nullptr) g = act_->backward(g);
+  if (!folding_active_ && bn_ != nullptr) g = bn_->backward(g);
+  // Folded bias is a per-channel constant: gradient passes through unchanged
+  // (beta/mu/gamma are frozen while folding).
+
+  // Convolution backward accumulates dL/d(wq) into the layer's grad buffer.
+  std::vector<float>& wgrad = raw_weight_grad();
+  std::vector<float> before = wgrad;  // preserve pre-existing accumulation
+  std::fill(wgrad.begin(), wgrad.end(), 0.0f);
+  FloatTensor gx = conv_backward(g);
+  std::vector<float> g_wq = wgrad;  // exactly dL/d(wq) of this call
+
+  // Route dL/d(wq) to the underlying float weights (STE), through the
+  // learned range (PL) and the folding scale if active.
+  std::vector<float> g_w(g_wq.size(), 0.0f);
+  if (float_mode_) {
+    g_w = g_wq;  // no quantizer in the path
+  } else if (cfg_.wgran == Granularity::kPerLayer && wrange_initialised_) {
+    wrange_.backward(g_wq, g_w);
+  } else {
+    g_w = g_wq;  // per-channel min/max clips nothing: full pass-through
+  }
+  if (folding_active_) {
+    const std::int64_t per = raw_weights().shape().per_channel();
+    for (std::int64_t oc = 0; oc < co_; ++oc) {
+      const float s = fold_scale_[static_cast<std::size_t>(oc)];
+      for (std::int64_t i = 0; i < per; ++i) {
+        g_w[static_cast<std::size_t>(oc * per + i)] *= s;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < wgrad.size(); ++i) {
+    wgrad[i] = before[i] + g_w[i];
+  }
+  return gx;
+}
+
+std::vector<nn::ParamRef> QConvBlock::params() {
+  std::vector<nn::ParamRef> out;
+  switch (kind_) {
+    case BlockKind::kConv: {
+      auto ps = conv_->params();
+      out.insert(out.end(), ps.begin(), ps.end());
+      break;
+    }
+    case BlockKind::kDepthwise: {
+      auto ps = dw_->params();
+      out.insert(out.end(), ps.begin(), ps.end());
+      break;
+    }
+    case BlockKind::kLinear: {
+      auto ps = lin_->params();
+      out.insert(out.end(), ps.begin(), ps.end());
+      break;
+    }
+  }
+  if (!folding_active_ && bn_ != nullptr) {
+    auto ps = bn_->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  if (act_ != nullptr) {
+    auto ps = act_->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  if (cfg_.wgran == Granularity::kPerLayer && wrange_initialised_) {
+    out.push_back(wrange_.param_ref());
+  }
+  return out;
+}
+
+}  // namespace mixq::core

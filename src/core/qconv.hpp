@@ -1,0 +1,140 @@
+// mixq/core/qconv.hpp
+//
+// QConvBlock: the trainable fake-quantized unit of the paper --
+// convolution (standard / depthwise / linear) + batch-norm + PACT
+// activation fake-quantizer. Two training-time strategies are supported:
+//
+// * fold_bn == false (ICN path, ours): BN stays a separate layer during
+//   training; at deployment its parameters are absorbed into the ICN
+//   activation (core/icn.hpp). Weights are quantized on their natural range.
+// * fold_bn == true (PL+FB baseline [11]): gamma/sigma is folded into the
+//   weights *before* fake-quantization, emulating deployment-time folding.
+//   With per-layer sub-byte precision this is exactly the configuration the
+//   paper shows collapsing (Table 2, "PL+FB INT4: 0.1%").
+//
+// Weight ranges: learned asymmetric [a,b] (PACT) for per-layer quantization,
+// per-output-channel min/max for per-channel quantization (paper Section 6).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/fake_quant.hpp"
+#include "core/icn.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace mixq::core {
+
+enum class BlockKind : std::uint8_t { kConv, kDepthwise, kLinear };
+
+struct QBlockConfig {
+  BitWidth qw{BitWidth::kQ8};       ///< weight precision
+  BitWidth qa{BitWidth::kQ8};       ///< output activation precision
+  Granularity wgran{Granularity::kPerLayer};
+  bool fold_bn{false};              ///< PL+FB training emulation
+  bool has_bn{true};
+  bool act_quant{true};             ///< false for the logits layer
+  float alpha_init{6.0f};           ///< PACT clip initialisation
+};
+
+class QConvBlock final : public nn::Layer {
+ public:
+  /// kConv / kDepthwise use `spec`; kLinear ignores it (ci -> co features).
+  QConvBlock(BlockKind kind, std::int64_t ci, std::int64_t co,
+             nn::ConvSpec spec, QBlockConfig cfg, Rng* rng = nullptr);
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<nn::ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "QConvBlock"; }
+
+  // --- configuration & introspection -------------------------------------
+  [[nodiscard]] const QBlockConfig& config() const { return cfg_; }
+  [[nodiscard]] BlockKind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t in_channels() const { return ci_; }
+  [[nodiscard]] std::int64_t out_channels() const { return co_; }
+
+  /// Change precisions (used by the mixed-precision planner before the
+  /// quantization-aware retraining pass).
+  void set_weight_bits(BitWidth q) { cfg_.qw = q; }
+  void set_act_bits(BitWidth q) {
+    cfg_.qa = q;
+    if (act_) act_->set_bitwidth(q);
+  }
+
+  /// Float mode (post-training quantization workflow): weights are used
+  /// unquantized and the activation quantizer becomes an observing ReLU.
+  /// Turn off before conversion; the observed statistics then seed the
+  /// activation ranges (core/calibration.hpp).
+  void set_float_mode(bool on) {
+    float_mode_ = on;
+    if (act_) act_->set_observe(on);
+  }
+  [[nodiscard]] bool float_mode() const { return float_mode_; }
+
+  /// Freeze batch-norm statistics and parameters (paper: after 1st epoch).
+  void freeze_bn() {
+    if (bn_) bn_->freeze();
+  }
+  /// Enable batch-norm folding (paper: folding starts at the 2nd epoch;
+  /// requires frozen BN so the folded scale is static).
+  void enable_folding();
+
+  [[nodiscard]] bool folding_active() const { return folding_active_; }
+
+  // --- conversion-time accessors ------------------------------------------
+  /// Float weights as deployed: folded with gamma/sigma when folding is
+  /// active, raw otherwise.
+  [[nodiscard]] FloatWeights deploy_weights() const;
+  /// Per-channel folded bias (beta - mu*gamma/sigma); only for fold mode.
+  [[nodiscard]] std::vector<float> folded_bias() const;
+  /// Quantization parameters of the deployed weights under the block config.
+  [[nodiscard]] WeightQuant deploy_weight_quant() const;
+  /// BN channel parameters (gamma/beta/mu/sigma) for ICN derivation.
+  [[nodiscard]] std::vector<BnChannel> bn_channels() const;
+  /// Convolution bias vector (empty if none).
+  [[nodiscard]] std::vector<float> conv_bias() const;
+  /// Output activation quantizer deployment parameters; nullopt when this
+  /// block emits raw (unquantized) outputs.
+  [[nodiscard]] std::optional<QuantParams> act_params() const;
+
+  [[nodiscard]] nn::Conv2D* conv() { return conv_.get(); }
+  [[nodiscard]] nn::DepthwiseConv2D* dwconv() { return dw_.get(); }
+  [[nodiscard]] nn::Linear* linear() { return lin_.get(); }
+  [[nodiscard]] nn::BatchNorm* bn() { return bn_.get(); }
+  [[nodiscard]] PactActQuant* act() { return act_.get(); }
+  [[nodiscard]] const nn::ConvSpec& conv_spec() const { return spec_; }
+
+  /// Shape of the output for a given input shape.
+  [[nodiscard]] Shape out_shape(const Shape& in) const;
+
+ private:
+  [[nodiscard]] const FloatWeights& raw_weights() const;
+  [[nodiscard]] std::vector<float>& raw_weight_grad();
+  FloatTensor conv_forward(const FloatTensor& x, const FloatWeights& w,
+                           bool train);
+  FloatTensor conv_backward(const FloatTensor& g);
+
+  BlockKind kind_;
+  std::int64_t ci_, co_;
+  nn::ConvSpec spec_;
+  QBlockConfig cfg_;
+  bool folding_active_{false};
+  bool float_mode_{false};
+
+  std::unique_ptr<nn::Conv2D> conv_;
+  std::unique_ptr<nn::DepthwiseConv2D> dw_;
+  std::unique_ptr<nn::Linear> lin_;
+  std::unique_ptr<nn::BatchNorm> bn_;
+  std::unique_ptr<PactActQuant> act_;
+  LearnedWeightRange wrange_;
+  bool wrange_initialised_{false};
+
+  FloatWeights wq_scratch_;        // fake-quantized weights of last forward
+  std::vector<float> fold_scale_;  // gamma/sigma of last folded forward
+};
+
+}  // namespace mixq::core

@@ -1,0 +1,96 @@
+// mixq/core/quant_types.hpp
+//
+// Shared vocabulary types of the quantization core: granularity (per-layer
+// vs per-channel), deployment scheme (folding vs ICN vs thresholds), and the
+// affine quantization parameters of Eq. (1)-(2) of the paper:
+//
+//     t = S * (T - Z),   S = (b - a) / (2^Q - 1)
+//
+// with unsigned codes T in [0, 2^Q - 1] (UINT-Q).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/bitpack.hpp"
+
+namespace mixq::core {
+
+using mixq::BitWidth;
+using mixq::bits;
+using mixq::bitwidth_from_int;
+using mixq::cut_one_step;
+using mixq::levels;
+using mixq::packed_bytes;
+using mixq::qmax;
+
+/// Whether quantization ranges are computed for the whole tensor (PL) or
+/// independently per output channel (PC) -- paper Section 3.
+enum class Granularity : std::uint8_t { kPerLayer, kPerChannel };
+
+/// Integer-only deployment scheme of a convolutional block (Table 1 rows).
+enum class Scheme : std::uint8_t {
+  kPLFoldBN,      ///< per-layer quant, batch-norm folded into weights [11]
+  kPLICN,         ///< per-layer quant + Integer Channel-Normalization (ours)
+  kPCICN,         ///< per-channel quant + ICN (ours)
+  kPCThresholds,  ///< per-channel quant + integer thresholds [21, 8]
+};
+
+inline std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kPLFoldBN: return "PL+FB";
+    case Scheme::kPLICN: return "PL+ICN";
+    case Scheme::kPCICN: return "PC+ICN";
+    case Scheme::kPCThresholds: return "PC+Thresholds";
+  }
+  return "?";
+}
+
+inline Granularity granularity_of(Scheme s) {
+  return (s == Scheme::kPLFoldBN || s == Scheme::kPLICN)
+             ? Granularity::kPerLayer
+             : Granularity::kPerChannel;
+}
+
+inline bool uses_icn(Scheme s) {
+  return s == Scheme::kPLICN || s == Scheme::kPCICN;
+}
+
+/// Affine quantization parameters of one range [a, b] at precision Q.
+/// Codes are unsigned: T = round_or_floor(clamp(t,a,b)/S) + Z maps the real
+/// interval onto [0, 2^Q - 1] with zero-point Z = round(-a/S).
+struct QuantParams {
+  float scale{1.0f};        ///< S
+  std::int32_t zero{0};     ///< Z, in [0, 2^Q - 1]
+  BitWidth q{BitWidth::kQ8};
+
+  /// Real value represented by code T.
+  [[nodiscard]] float dequant(std::int32_t code) const {
+    return scale * static_cast<float>(code - zero);
+  }
+};
+
+/// Quantization parameter set for a weight tensor: one entry for PL, cO
+/// entries for PC.
+struct WeightQuant {
+  Granularity granularity{Granularity::kPerLayer};
+  BitWidth q{BitWidth::kQ8};
+  std::vector<QuantParams> params;  ///< size 1 (PL) or cO (PC)
+
+  [[nodiscard]] const QuantParams& channel(std::int64_t oc) const {
+    return granularity == Granularity::kPerLayer
+               ? params.at(0)
+               : params.at(static_cast<std::size_t>(oc));
+  }
+};
+
+/// Make QuantParams covering [a, b] at precision q. If a == b the scale
+/// degenerates; a tiny range is substituted to keep the math finite.
+QuantParams make_quant_params(float a, float b, BitWidth q);
+
+/// Symmetric variant: range [-b, b], zero-point at mid-scale.
+QuantParams make_symmetric_params(float b, BitWidth q);
+
+}  // namespace mixq::core

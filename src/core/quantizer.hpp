@@ -1,0 +1,66 @@
+// mixq/core/quantizer.hpp
+//
+// The uniform affine quantizer (paper Eq. 1) and range observers.
+//
+//   quant(t)     = round(clamp(t, a, b) / S) * S           (weights)
+//   quant_act(x) = floor(clamp(x, 0, b) / S) * S           (activations)
+//
+// The activation quantizer uses floor because the paper replaces round with
+// floor for a lighter MCU implementation (Section 3, end).
+#pragma once
+
+#include <vector>
+
+#include "core/quant_types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mixq::core {
+
+/// Rounding mode of the real->code mapping.
+enum class RoundMode : std::uint8_t { kNearest, kFloor };
+
+/// Map a real value to its unsigned code in [0, 2^Q - 1].
+std::int32_t quantize_value(float t, const QuantParams& p, RoundMode mode);
+
+/// Fake-quantize: quantize then dequantize (code -> real grid point).
+float fake_quantize_value(float t, const QuantParams& p, RoundMode mode);
+
+/// Quantize a whole float buffer to codes.
+std::vector<std::int32_t> quantize_buffer(const float* data, std::int64_t n,
+                                          const QuantParams& p,
+                                          RoundMode mode);
+
+/// Fake-quantize a buffer in place.
+void fake_quantize_buffer(float* data, std::int64_t n, const QuantParams& p,
+                          RoundMode mode);
+
+/// min/max observer over a buffer (paper: weight ranges from min/max stats).
+struct MinMax {
+  float lo{0.0f};
+  float hi{0.0f};
+};
+MinMax observe_minmax(const float* data, std::int64_t n);
+
+/// Per-layer weight quantization parameters from min/max statistics.
+WeightQuant weight_quant_per_layer_minmax(const FloatWeights& w, BitWidth q);
+
+/// Per-channel weight quantization parameters from per-output-channel
+/// min/max statistics (paper Section 3, PC procedure).
+WeightQuant weight_quant_per_channel_minmax(const FloatWeights& w, BitWidth q);
+
+/// Symmetric per-channel variant: range [-max|w|, +max|w|] per channel
+/// (zero-point at mid-scale). The paper uses the asymmetric form; the
+/// symmetric one is provided for comparison -- it frees the kernel from
+/// the Zw subtraction at the cost of up to one bit of range efficiency.
+WeightQuant weight_quant_per_channel_symmetric(const FloatWeights& w,
+                                               BitWidth q);
+
+/// Quantize a weight bank to unsigned codes under `wq` (nearest rounding).
+std::vector<std::int32_t> quantize_weights(const FloatWeights& w,
+                                           const WeightQuant& wq);
+
+/// Fake-quantized (round-trip) copy of a weight bank.
+FloatWeights fake_quantize_weights(const FloatWeights& w,
+                                   const WeightQuant& wq);
+
+}  // namespace mixq::core

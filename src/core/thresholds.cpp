@@ -1,0 +1,120 @@
+#include "core/thresholds.hpp"
+
+#include <algorithm>
+
+namespace mixq::core {
+
+namespace {
+
+/// Output code of the ICN transfer function for accumulator phi, without
+/// the final clamp (the clamp is what the thresholds encode).
+std::int64_t icn_unclamped(std::int64_t phi, const IcnChannel& ch,
+                           std::int32_t zy) {
+  return static_cast<std::int64_t>(zy) +
+         fixed_point_floor_mul(phi + ch.bq, ch.m);
+}
+
+}  // namespace
+
+std::int32_t threshold_eval(std::int64_t phi, const ThresholdChannel& ch) {
+  std::int32_t code = 0;
+  if (ch.rising) {
+    for (const std::int64_t t : ch.thr) {
+      if (phi >= t) ++code;
+    }
+  } else {
+    for (const std::int64_t t : ch.thr) {
+      if (phi <= t) ++code;
+    }
+  }
+  return code;
+}
+
+ThresholdChannel derive_threshold_channel(const IcnChannel& icn,
+                                          std::int32_t zy, BitWidth qy,
+                                          std::int64_t phi_lo,
+                                          std::int64_t phi_hi) {
+  ThresholdChannel out;
+  out.rising = icn.m.m0_q31 >= 0;
+  const int kmax = qmax(qy);
+  out.thr.reserve(static_cast<std::size_t>(kmax));
+
+  // Sentinels. For a rising channel the predicate is (phi >= thr): int64 max
+  // is never satisfied, int64 min always. For a falling channel the
+  // predicate is (phi <= thr), so the roles swap.
+  constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+  if (icn.m.m0_q31 == 0) {
+    // Constant channel: output is clamp(zy, 0, kmax) for every phi.
+    const std::int64_t c = std::clamp<std::int64_t>(zy, 0, kmax);
+    for (int k = 1; k <= kmax; ++k) {
+      // rising convention here (m0 == 0 defaults to rising).
+      out.thr.push_back(k <= c ? kInt64Min : kInt64Max);
+    }
+    return out;
+  }
+
+  for (int k = 1; k <= kmax; ++k) {
+    if (out.rising) {
+      // Smallest phi in [phi_lo, phi_hi] with icn_unclamped(phi) >= k.
+      if (icn_unclamped(phi_hi, icn, zy) < k) {
+        out.thr.push_back(kInt64Max);  // never crossed
+        continue;
+      }
+      if (icn_unclamped(phi_lo, icn, zy) >= k) {
+        out.thr.push_back(kInt64Min);  // always crossed
+        continue;
+      }
+      std::int64_t lo = phi_lo, hi = phi_hi;  // f(lo) < k <= f(hi)
+      while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (icn_unclamped(mid, icn, zy) >= k) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      out.thr.push_back(hi);
+    } else {
+      // Falling channel: largest phi with icn_unclamped(phi) >= k.
+      if (icn_unclamped(phi_lo, icn, zy) < k) {
+        out.thr.push_back(kInt64Min);  // never crossed (phi <= min is false)
+        continue;
+      }
+      if (icn_unclamped(phi_hi, icn, zy) >= k) {
+        out.thr.push_back(kInt64Max);  // always crossed
+        continue;
+      }
+      std::int64_t lo = phi_lo, hi = phi_hi;  // f(lo) >= k > f(hi)
+      while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (icn_unclamped(mid, icn, zy) >= k) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      out.thr.push_back(lo);
+    }
+  }
+  return out;
+}
+
+std::vector<ThresholdChannel> derive_threshold_layer(
+    const std::vector<IcnChannel>& icn, std::int32_t zy, BitWidth qy,
+    std::int64_t phi_lo, std::int64_t phi_hi) {
+  std::vector<ThresholdChannel> out;
+  out.reserve(icn.size());
+  for (const auto& ch : icn) {
+    out.push_back(derive_threshold_channel(ch, zy, qy, phi_lo, phi_hi));
+  }
+  return out;
+}
+
+std::int64_t phi_bound(std::int64_t per_channel, BitWidth qx, BitWidth qw) {
+  return per_channel * static_cast<std::int64_t>(qmax(qx)) *
+         static_cast<std::int64_t>(qmax(qw));
+}
+
+}  // namespace mixq::core

@@ -1,0 +1,57 @@
+// mixq/core/thresholds.hpp
+//
+// Integer-thresholds deployment (the comparison baseline of Umuroglu &
+// Jahre [21] and Gao et al. [8], Table 1 row "PC+Thresholds").
+//
+// Instead of requantizing Phi with a fixed-point multiply, the quantized
+// activation code is obtained by comparing Phi against a per-channel sorted
+// list of integer thresholds: code = #{k : Phi crosses threshold k}. The
+// thresholds are derived here from the *same* fixed-point ICN transfer
+// function (Eq. 5), which makes the two deployments bit-exact equals -- a
+// property the test suite asserts. The cost is memory: cO * (2^Q - 1)
+// threshold entries per layer versus cO * (Bq, M0, N0) for ICN.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/icn.hpp"
+
+namespace mixq::core {
+
+/// Thresholds of one output channel.
+struct ThresholdChannel {
+  /// thr[k-1] is the threshold of output code k, k = 1 .. 2^Q - 1.
+  /// Ascending when `rising` (M > 0): code = #{k : v >= thr[k-1]} with
+  /// v = Phi + bias shift already applied by the caller? No: v = Phi.
+  /// All shifts are folded into the thresholds themselves, so the kernel
+  /// compares the raw integer accumulator Phi.
+  std::vector<std::int64_t> thr;
+  bool rising{true};  ///< false when the channel multiplier M is negative
+};
+
+/// Evaluate a threshold channel: the quantized output code for accumulator
+/// `phi` (identical result to icn_requant on the source channel).
+std::int32_t threshold_eval(std::int64_t phi, const ThresholdChannel& ch);
+
+/// Derive the thresholds of one channel from its ICN parameters so that
+/// threshold_eval(phi) == icn_requant(phi) for every phi in
+/// [phi_lo, phi_hi]. Thresholds outside the representable window saturate
+/// to +/- int64 sentinels.
+ThresholdChannel derive_threshold_channel(const IcnChannel& icn,
+                                          std::int32_t zy, BitWidth qy,
+                                          std::int64_t phi_lo,
+                                          std::int64_t phi_hi);
+
+/// Whole-layer derivation.
+std::vector<ThresholdChannel> derive_threshold_layer(
+    const std::vector<IcnChannel>& icn, std::int32_t zy, BitWidth qy,
+    std::int64_t phi_lo, std::int64_t phi_hi);
+
+/// Conservative bound on |Phi| for a layer with `per_channel` weights per
+/// output and the given input/weight precisions: every term is at most
+/// qmax(qx) * qmax(qw) in magnitude.
+std::int64_t phi_bound(std::int64_t per_channel, BitWidth qx, BitWidth qw);
+
+}  // namespace mixq::core

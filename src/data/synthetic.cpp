@@ -1,0 +1,132 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::data {
+
+Dataset Dataset::slice(std::int64_t start, std::int64_t count) const {
+  const Shape s = images.shape();
+  if (start < 0 || count < 0 || start + count > s.n) {
+    throw std::out_of_range("Dataset::slice: range out of bounds");
+  }
+  Dataset out;
+  out.images = FloatTensor(Shape(count, s.h, s.w, s.c));
+  const std::int64_t per = s.h * s.w * s.c;
+  std::copy(images.data() + start * per, images.data() + (start + count) * per,
+            out.images.data());
+  out.labels.assign(labels.begin() + start, labels.begin() + start + count);
+  return out;
+}
+
+namespace {
+
+/// Smooth class prototype: a coarse grid of uniform values, bilinearly
+/// upsampled to (hw x hw x C). Low-frequency structure makes classes
+/// separable by small convolutional nets.
+FloatTensor make_prototype(std::int64_t hw, std::int64_t ch, Rng& rng) {
+  constexpr std::int64_t kGrid = 4;
+  std::vector<float> coarse(static_cast<std::size_t>(kGrid * kGrid * ch));
+  rng.fill_uniform(coarse, 0.1, 0.9);
+
+  FloatTensor proto(Shape(1, hw, hw, ch));
+  const double scale = static_cast<double>(kGrid - 1) /
+                       static_cast<double>(std::max<std::int64_t>(hw - 1, 1));
+  for (std::int64_t y = 0; y < hw; ++y) {
+    const double gy = y * scale;
+    const auto y0 = static_cast<std::int64_t>(gy);
+    const std::int64_t y1 = std::min(y0 + 1, kGrid - 1);
+    const double fy = gy - static_cast<double>(y0);
+    for (std::int64_t x = 0; x < hw; ++x) {
+      const double gx = x * scale;
+      const auto x0 = static_cast<std::int64_t>(gx);
+      const std::int64_t x1 = std::min(x0 + 1, kGrid - 1);
+      const double fx = gx - static_cast<double>(x0);
+      for (std::int64_t c = 0; c < ch; ++c) {
+        const auto at = [&](std::int64_t yy, std::int64_t xx) {
+          return static_cast<double>(
+              coarse[static_cast<std::size_t>((yy * kGrid + xx) * ch + c)]);
+        };
+        const double v = (1 - fy) * ((1 - fx) * at(y0, x0) + fx * at(y0, x1)) +
+                         fy * ((1 - fx) * at(y1, x0) + fx * at(y1, x1));
+        proto.at(0, y, x, c) = static_cast<float>(v);
+      }
+    }
+  }
+  return proto;
+}
+
+Dataset sample_from_prototypes(const std::vector<FloatTensor>& protos,
+                               const SyntheticSpec& spec, std::int64_t n,
+                               Rng& rng) {
+  const std::int64_t hw = spec.hw;
+  const std::int64_t ch = spec.channels;
+  Dataset ds;
+  ds.images = FloatTensor(Shape(n, hw, hw, ch));
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per = hw * hw * ch;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::int32_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(spec.num_classes)));
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    const FloatTensor& proto = protos[static_cast<std::size_t>(cls)];
+    const double contrast = 1.0 + rng.uniform(-spec.contrast, spec.contrast);
+    const double bright = rng.uniform(-spec.brightness, spec.brightness);
+    float* dst = ds.images.data() + i * per;
+    for (std::int64_t j = 0; j < per; ++j) {
+      double v = proto[j] * contrast + bright + rng.normal(0.0, spec.noise);
+      dst[j] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+std::pair<Dataset, Dataset> make_synthetic(const SyntheticSpec& spec) {
+  if (spec.num_classes < 2) {
+    throw std::invalid_argument("make_synthetic: need at least 2 classes");
+  }
+  Rng rng(spec.seed);
+  std::vector<FloatTensor> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (std::int64_t k = 0; k < spec.num_classes; ++k) {
+    protos.push_back(make_prototype(spec.hw, spec.channels, rng));
+  }
+  Dataset train = sample_from_prototypes(protos, spec, spec.train_size, rng);
+  Dataset test = sample_from_prototypes(protos, spec, spec.test_size, rng);
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::int64_t> epoch_order(std::int64_t n, Rng& rng) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  // Fisher-Yates with the deterministic Rng.
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(i + 1)));
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(j)]);
+  }
+  return idx;
+}
+
+Dataset gather(const Dataset& ds, const std::vector<std::int64_t>& idx,
+               std::int64_t start, std::int64_t count) {
+  const Shape s = ds.images.shape();
+  Dataset out;
+  out.images = FloatTensor(Shape(count, s.h, s.w, s.c));
+  out.labels.resize(static_cast<std::size_t>(count));
+  const std::int64_t per = s.h * s.w * s.c;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t src = idx.at(static_cast<std::size_t>(start + i));
+    std::copy(ds.images.data() + src * per, ds.images.data() + (src + 1) * per,
+              out.images.data() + i * per);
+    out.labels[static_cast<std::size_t>(i)] =
+        ds.labels[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+}  // namespace mixq::data

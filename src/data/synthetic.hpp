@@ -1,0 +1,54 @@
+// mixq/data/synthetic.hpp
+//
+// Deterministic synthetic classification data -- the offline stand-in for
+// ImageNet (see DESIGN.md, substitutions). Each class is a smooth random
+// spatial prototype; samples are the prototype under nuisance transforms
+// (contrast, brightness, additive noise). The task is learnable to high
+// accuracy by the small CNNs in models/, and, like real image data, is
+// sensitive to activation/weight quantization -- which is what the paper's
+// training experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mixq::data {
+
+struct Dataset {
+  FloatTensor images;                ///< (N, H, W, C), values in [0, 1]
+  std::vector<std::int32_t> labels;  ///< N class indices
+
+  [[nodiscard]] std::int64_t size() const { return images.shape().n; }
+
+  /// Copy rows [start, start+count) into a new dataset (for mini-batches).
+  [[nodiscard]] Dataset slice(std::int64_t start, std::int64_t count) const;
+};
+
+struct SyntheticSpec {
+  std::int64_t num_classes{10};
+  std::int64_t hw{16};
+  std::int64_t channels{3};
+  std::int64_t train_size{512};
+  std::int64_t test_size{256};
+  double noise{0.08};        ///< additive Gaussian noise stddev
+  double contrast{0.15};     ///< contrast jitter half-range
+  double brightness{0.08};   ///< brightness jitter half-range
+  std::uint64_t seed{42};
+};
+
+/// Generate a (train, test) pair. Both draw from the same class prototypes
+/// with independent nuisance; fully deterministic in `seed`.
+std::pair<Dataset, Dataset> make_synthetic(const SyntheticSpec& spec);
+
+/// Deterministically shuffled index order for one epoch.
+std::vector<std::int64_t> epoch_order(std::int64_t n, Rng& rng);
+
+/// Gather a mini-batch by index list.
+Dataset gather(const Dataset& ds, const std::vector<std::int64_t>& idx,
+               std::int64_t start, std::int64_t count);
+
+}  // namespace mixq::data

@@ -1,0 +1,62 @@
+#include "eval/accuracy_proxy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mixq::eval {
+
+using core::BitWidth;
+
+namespace {
+
+double w_penalty(BitWidth q, QuantFamily f, const ProxyParams& p) {
+  switch (q) {
+    case BitWidth::kQ8: return 0.0;
+    case BitWidth::kQ4: return f == QuantFamily::kPerLayer ? p.w4_pl : p.w4_pc;
+    case BitWidth::kQ2: return f == QuantFamily::kPerLayer ? p.w2_pl : p.w2_pc;
+  }
+  return 0.0;
+}
+
+double a_penalty(BitWidth q, const ProxyParams& p) {
+  switch (q) {
+    case BitWidth::kQ8: return 0.0;
+    case BitWidth::kQ4: return p.a4;
+    case BitWidth::kQ2: return p.a2;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double proxy_top1(const models::MobilenetConfig& cfg,
+                  const core::NetDesc& net, const core::BitAssignment& a,
+                  QuantFamily family, const ProxyParams& p) {
+  if (a.qw.size() != net.size() || a.qact.size() != net.size() + 1) {
+    throw std::invalid_argument("proxy_top1: assignment size mismatch");
+  }
+  const double fp = models::mobilenet_fp_top1(cfg);
+  const double total_macs = static_cast<double>(net.total_macs());
+  double drop = family == QuantFamily::kPerLayer ? p.base_drop_pl
+                                                 : p.base_drop_pc;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const double share =
+        static_cast<double>(net.layers[i].macs) / total_macs;
+    drop += share * w_penalty(a.qw[i], family, p);
+    drop += share * 0.5 *
+            (a_penalty(a.qact[i], p) + a_penalty(a.qact[i + 1], p));
+  }
+  return std::max(0.1, fp - drop);
+}
+
+double proxy_top1_uniform(const models::MobilenetConfig& cfg,
+                          const core::NetDesc& net, BitWidth qw, BitWidth qa,
+                          QuantFamily family, const ProxyParams& p) {
+  core::BitAssignment a = core::BitAssignment::uniform8(net.size());
+  std::fill(a.qw.begin(), a.qw.end(), qw);
+  std::fill(a.qact.begin(), a.qact.end(), qa);
+  a.qact.front() = BitWidth::kQ8;  // network input stays 8 bit
+  return proxy_top1(cfg, net, a, family, p);
+}
+
+}  // namespace mixq::eval

@@ -1,0 +1,82 @@
+#include "eval/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mixq::eval {
+
+std::string ascii_scatter(const std::vector<PlotPoint>& points,
+                          const PlotOptions& opts) {
+  if (points.empty()) return "(no points)\n";
+  if (opts.width < 8 || opts.height < 4) {
+    throw std::invalid_argument("ascii_scatter: plot area too small");
+  }
+  const auto tx = [&](double x) {
+    if (!opts.log_x) return x;
+    if (x <= 0.0) {
+      throw std::invalid_argument("ascii_scatter: log_x needs positive x");
+    }
+    return std::log10(x);
+  };
+
+  double xmin = tx(points[0].x), xmax = xmin;
+  double ymin = points[0].y, ymax = ymin;
+  for (const auto& p : points) {
+    xmin = std::min(xmin, tx(p.x));
+    xmax = std::max(xmax, tx(p.x));
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opts.height),
+      std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (const auto& p : points) {
+    const double fx = (tx(p.x) - xmin) / (xmax - xmin);
+    const double fy = (p.y - ymin) / (ymax - ymin);
+    int col = static_cast<int>(std::lround(fx * (opts.width - 1)));
+    int row = static_cast<int>(std::lround((1.0 - fy) * (opts.height - 1)));
+    col = std::clamp(col, 0, opts.width - 1);
+    row = std::clamp(row, 0, opts.height - 1);
+    const char glyph = opts.glyphs.empty()
+                           ? '*'
+                           : opts.glyphs[static_cast<std::size_t>(p.series) %
+                                         opts.glyphs.size()];
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        glyph;
+  }
+
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.2f", ymax);
+  os << buf << " +" << grid.front() << "\n";
+  for (int r = 1; r + 1 < opts.height; ++r) {
+    os << std::string(9, ' ') << "|" << grid[static_cast<std::size_t>(r)]
+       << "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%8.2f", ymin);
+  os << buf << " +" << grid.back() << "\n";
+  os << std::string(10, ' ')
+     << std::string(static_cast<std::size_t>(opts.width), '-') << "\n";
+  const double x_lo = opts.log_x ? std::pow(10.0, xmin) : xmin;
+  const double x_hi = opts.log_x ? std::pow(10.0, xmax) : xmax;
+  std::snprintf(buf, sizeof(buf), "%.4g", x_lo);
+  const std::string left(buf);
+  std::snprintf(buf, sizeof(buf), "%.4g", x_hi);
+  const std::string right(buf);
+  os << std::string(10, ' ') << left
+     << std::string(
+            std::max<std::size_t>(1, static_cast<std::size_t>(opts.width) -
+                                         left.size() - right.size()),
+            ' ')
+     << right << (opts.log_x ? "  (log) " : "  ") << opts.x_label << "\n";
+  os << std::string(10, ' ') << "y: " << opts.y_label << "\n";
+  return os.str();
+}
+
+}  // namespace mixq::eval

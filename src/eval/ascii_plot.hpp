@@ -1,0 +1,34 @@
+// mixq/eval/ascii_plot.hpp
+//
+// Terminal scatter plots, so the figure benches literally re-draw the
+// paper's figures: bench_figure2 renders the accuracy-vs-latency Pareto
+// the way Figure 2 presents it (log-x latency, one glyph per series).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixq::eval {
+
+struct PlotPoint {
+  double x{0.0};
+  double y{0.0};
+  int series{0};  ///< selects the glyph
+};
+
+struct PlotOptions {
+  int width{72};        ///< plot area columns
+  int height{20};       ///< plot area rows
+  bool log_x{false};
+  std::string x_label{"x"};
+  std::string y_label{"y"};
+  /// Glyph per series index (cycles if more series than glyphs).
+  std::string glyphs{"ox+*#@"};
+};
+
+/// Render a scatter plot with axis ranges fitted to the data.
+std::string ascii_scatter(const std::vector<PlotPoint>& points,
+                          const PlotOptions& opts = {});
+
+}  // namespace mixq::eval

@@ -1,0 +1,29 @@
+// mixq/eval/checkpoint.hpp
+//
+// Training checkpoints: serialize every trainable parameter (and the
+// batch-norm running statistics) of a QatModel to a binary blob/file and
+// restore it into a freshly built model of identical architecture. This is
+// how the paper's workflow starts QAT "from pre-trained weights" -- train
+// a float model once, checkpoint, then branch into the per-scheme
+// quantization-aware retraining runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/qat_model.hpp"
+
+namespace mixq::eval {
+
+/// Serialize all parameters + BN running statistics.
+std::vector<std::uint8_t> save_checkpoint(core::QatModel& model);
+
+/// Restore into `model` (must have identical architecture: same parameter
+/// list with matching sizes). Throws std::runtime_error on any mismatch.
+void load_checkpoint(core::QatModel& model,
+                     const std::vector<std::uint8_t>& blob);
+
+void write_checkpoint_file(core::QatModel& model, const std::string& path);
+void read_checkpoint_file(core::QatModel& model, const std::string& path);
+
+}  // namespace mixq::eval

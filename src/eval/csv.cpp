@@ -1,0 +1,34 @@
+#include "eval/csv.hpp"
+
+#include <filesystem>
+
+namespace mixq::eval {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::trunc);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    const std::string& f = fields[i];
+    if (f.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace mixq::eval

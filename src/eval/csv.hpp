@@ -1,0 +1,30 @@
+// mixq/eval/csv.hpp
+//
+// Minimal CSV writer for the benchmark binaries: every bench that
+// regenerates a figure also drops its series as CSV under results/, so a
+// plotting script can redraw the paper's plots directly.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mixq::eval {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`, creating parent directories as needed.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; fields containing commas/quotes are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace mixq::eval

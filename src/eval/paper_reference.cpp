@@ -1,0 +1,57 @@
+#include "eval/paper_reference.hpp"
+
+namespace mixq::eval {
+
+const std::vector<Table2Row>& paper_table2() {
+  static const std::vector<Table2Row> kRows = {
+      {"Full-precision", 70.9, 16.27},
+      {"PL+FB INT8", 70.1, 4.06},
+      {"PL+FB INT4", 0.1, 2.05},
+      {"PL+ICN INT4", 61.75, 2.10},
+      {"PC+ICN INT4", 66.41, 2.12},
+      {"PC W4A4 [16]", 64.3, -1.0},
+      {"PC W4A8 [13]", 65.0, -1.0},
+      {"PC+Thresholds INT4", 66.46, 2.35},
+  };
+  return kRows;
+}
+
+const std::vector<Table4Row>& paper_table4() {
+  static const std::vector<Table4Row> kRows = {
+      {224, 1.0, 59.61, 64.29},  {224, 0.75, 67.06, 68.02},
+      {224, 0.5, 63.12, 63.48},  {224, 0.25, 50.76, 51.70},
+      {192, 1.0, 61.94, 65.88},  {192, 0.75, 64.67, 67.23},
+      {192, 0.5, 59.50, 62.93},  {192, 0.25, 48.12, 49.75},
+      {160, 1.0, 59.49, 64.46},  {160, 0.75, 64.75, 65.70},
+      {160, 0.5, 59.55, 61.25},  {160, 0.25, 44.77, 47.79},
+      {128, 1.0, 49.44, 49.44},  {128, 0.75, 60.44, 63.53},
+      {128, 0.5, 54.20, 58.22},  {128, 0.25, 43.45, 44.68},
+  };
+  return kRows;
+}
+
+std::optional<Table4Row> paper_table4_entry(int resolution, double width) {
+  for (const auto& r : paper_table4()) {
+    if (r.resolution == resolution && r.width == width) return r;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Table3Row>& paper_table3() {
+  static const std::vector<Table3Row> kRows = {
+      {"MobilenetV1_224_0.5", "MixQ-PC-ICN (ours)", 62.9,
+       "1MB RO + 512kB RW"},
+      {"MobilenetV1_192_0.5", "MixQ-PC-ICN (ours)", 60.2,
+       "1MB RO + 256kB RW"},
+      {"MobilenetV1_224_0.5", "INT8 PL+FB [11]", 60.7, "1.34 MB"},
+      {"MobilenetV1_224_0.25", "INT8 PL+FB [11]", 48.0, "0.47 MB"},
+      {"MobilenetV1 [22]", "MIX not-uniform", 57.14, "1.09 MB"},
+      {"MobilenetV1 [22]", "MIX not-uniform", 67.66, "1.58 MB"},
+      {"MobileNetV2 [22]", "MIX not-uniform", 66.75, "0.95 MB"},
+      {"MobileNetV2 [22]", "MIX not-uniform", 70.90, "1.38 MB"},
+      {"SqueezeNext [5]", "MIX not-uniform", 68.02, "1.09 MB"},
+  };
+  return kRows;
+}
+
+}  // namespace mixq::eval

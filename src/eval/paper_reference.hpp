@@ -1,0 +1,42 @@
+// mixq/eval/paper_reference.hpp
+//
+// The numbers the paper itself reports, kept verbatim so every benchmark
+// can print "paper vs measured" side by side (EXPERIMENTS.md records the
+// deltas). Source: Rusci et al., arXiv:1905.13082, Tables 2-4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mixq::eval {
+
+/// Table 2: integer-only MobilenetV1_224_1.0.
+struct Table2Row {
+  std::string method;
+  double top1;            ///< %
+  double footprint_mb;    ///< weight memory footprint (MB); <0 if unreported
+};
+const std::vector<Table2Row>& paper_table2();
+
+/// Table 4 (appendix): Top-1 of the mixed-precision family under the
+/// STM32H7 constraints (M_RO = 2 MB, M_RW = 512 kB).
+struct Table4Row {
+  int resolution;
+  double width;
+  double top1_mixq_pl;
+  double top1_mixq_pc_icn;
+};
+const std::vector<Table4Row>& paper_table4();
+std::optional<Table4Row> paper_table4_entry(int resolution, double width);
+
+/// Table 3: comparison at M_RO = 1 MB.
+struct Table3Row {
+  std::string model;
+  std::string method;
+  double top1;
+  std::string memory;
+};
+const std::vector<Table3Row>& paper_table3();
+
+}  // namespace mixq::eval

@@ -1,0 +1,36 @@
+// mixq/eval/report.hpp
+//
+// Plain-text table formatting shared by the benchmark binaries, which print
+// the paper's tables and figure series as aligned text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixq::eval {
+
+/// Fixed-layout text table: set headers, add rows, render with padding.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Render with column padding and a header underline.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Bytes -> "X.XX MB" / "X.X kB".
+std::string fmt_bytes(std::int64_t bytes);
+/// "%.2f" with a trailing %.
+std::string fmt_pct(double v);
+/// "%.2f"
+std::string fmt_f2(double v);
+
+}  // namespace mixq::eval

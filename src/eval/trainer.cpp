@@ -1,0 +1,115 @@
+#include "eval/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/executor.hpp"
+
+namespace mixq::eval {
+
+TrainResult train_qat(core::QatModel& model, const data::Dataset& train,
+                      const data::Dataset& test, const TrainConfig& cfg) {
+  nn::Adam opt(cfg.lr);
+  Rng rng(cfg.seed);
+  TrainResult res;
+  const int freeze_epoch = cfg.freeze_bn_after_epoch >= 0
+                               ? cfg.freeze_bn_after_epoch
+                               : std::max(0, cfg.epochs - 2);
+
+  // Progressive annealing: remember each block's target precisions and
+  // start them at 8 bit; step_down() lowers every block one level until
+  // its target is reached.
+  std::vector<core::BitWidth> target_qw, target_qa;
+  if (cfg.progressive) {
+    for (auto& item : model.chain) {
+      target_qw.push_back(item.block->config().qw);
+      target_qa.push_back(item.block->config().qa);
+      item.block->set_weight_bits(core::BitWidth::kQ8);
+      item.block->set_act_bits(core::BitWidth::kQ8);
+    }
+  }
+  const auto step_down = [&]() {
+    for (std::size_t i = 0; i < model.chain.size(); ++i) {
+      auto* blk = model.chain[i].block;
+      if (core::bits(blk->config().qw) > core::bits(target_qw[i])) {
+        blk->set_weight_bits(core::cut_one_step(blk->config().qw));
+      }
+      if (core::bits(blk->config().qa) > core::bits(target_qa[i])) {
+        blk->set_act_bits(core::cut_one_step(blk->config().qa));
+      }
+    }
+  };
+  // Two annealing steps suffice for the 8 -> 4 -> 2 ladder; place them in
+  // the first half of training so the target precision still sees several
+  // epochs at a healthy learning rate.
+  const int anneal1 = std::max(1, cfg.epochs / 4);
+  const int anneal2 = std::max(anneal1 + 1, cfg.epochs / 2);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (std::find(cfg.lr_decay_epochs.begin(), cfg.lr_decay_epochs.end(),
+                  epoch) != cfg.lr_decay_epochs.end()) {
+      opt.set_lr(opt.lr() * cfg.lr_decay);
+    }
+    if (epoch == cfg.fold_from_epoch) {
+      model.enable_folding();
+    }
+    if (cfg.progressive && (epoch == anneal1 || epoch == anneal2)) {
+      step_down();
+    }
+
+    const auto order = data::epoch_order(train.size(), rng);
+    double epoch_loss = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    for (std::int64_t start = 0; start + cfg.batch_size <= train.size();
+         start += cfg.batch_size) {
+      const data::Dataset batch =
+          data::gather(train, order, start, cfg.batch_size);
+      model.zero_grad();
+      const FloatTensor logits = model.forward(batch.images, /*train=*/true);
+      const nn::LossResult loss =
+          nn::softmax_cross_entropy(logits, batch.labels);
+      model.backward(loss.grad);
+      opt.step(model.params());
+      epoch_loss += loss.loss;
+      correct += loss.correct;
+      seen += cfg.batch_size;
+      res.final_loss = loss.loss;
+    }
+    if (epoch == freeze_epoch) {
+      model.freeze_all_bn();
+    }
+    if (cfg.verbose && seen > 0) {
+      std::printf("epoch %d loss %.4f acc %.3f\n", epoch,
+                  epoch_loss / static_cast<double>(seen / cfg.batch_size),
+                  static_cast<double>(correct) / static_cast<double>(seen));
+    }
+  }
+
+  res.train_accuracy = evaluate_fake_quant(model, train);
+  res.test_accuracy = evaluate_fake_quant(model, test);
+  return res;
+}
+
+double evaluate_fake_quant(core::QatModel& model, const data::Dataset& ds) {
+  const FloatTensor logits = model.forward(ds.images, /*train=*/false);
+  const auto pred = nn::argmax_classes(logits);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == ds.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double evaluate_integer(const runtime::QuantizedNet& net,
+                        const data::Dataset& ds) {
+  runtime::Executor exec(net);
+  const auto results = exec.run_batch(ds.images);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].predicted == ds.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(results.size());
+}
+
+}  // namespace mixq::eval

@@ -1,0 +1,113 @@
+#include "mcu/cycle_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::mcu {
+
+using core::BitWidth;
+using core::LayerKind;
+using core::Scheme;
+
+namespace {
+
+double base_cpm(const core::LayerDesc& l, const CycleModelParams& p) {
+  switch (l.kind) {
+    case LayerKind::kConv: return p.conv_cpm;
+    case LayerKind::kPointwise: return p.pointwise_cpm;
+    case LayerKind::kDepthwise: return p.depthwise_cpm;
+    case LayerKind::kLinear: return p.linear_cpm;
+  }
+  throw std::logic_error("base_cpm: invalid kind");
+}
+
+int steps_below_8(BitWidth q) {
+  switch (q) {
+    case BitWidth::kQ8: return 0;
+    case BitWidth::kQ4: return 1;
+    case BitWidth::kQ2: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t layer_cycles(const core::LayerDesc& layer, BitWidth qx,
+                          BitWidth qw, BitWidth qy, Scheme scheme,
+                          const CycleModelParams& p) {
+  double cpm = base_cpm(layer, p);
+  cpm *= std::pow(p.weight_unpack_step, steps_below_8(qw));
+  cpm *= std::pow(p.act_unpack_step, steps_below_8(qx));
+  if (core::granularity_of(scheme) == core::Granularity::kPerChannel) {
+    cpm *= p.per_channel_factor;
+  }
+  double requant;
+  switch (scheme) {
+    case Scheme::kPLFoldBN:
+      requant = p.fold_requant_cycles;
+      break;
+    case Scheme::kPLICN:
+    case Scheme::kPCICN:
+      requant = p.icn_requant_cycles;
+      break;
+    case Scheme::kPCThresholds:
+      requant = p.threshold_cycles_per_level *
+                static_cast<double>(core::qmax(qy));
+      break;
+  }
+  const double total = static_cast<double>(layer.macs) * cpm +
+                       static_cast<double>(layer.out_numel) * requant;
+  return static_cast<std::int64_t>(std::llround(total));
+}
+
+std::vector<Scheme> mixq_pl_schemes(const core::NetDesc& net,
+                                    const core::BitAssignment& a) {
+  if (a.qact.size() != net.size() + 1 || a.qw.size() != net.size()) {
+    throw std::invalid_argument("mixq_pl_schemes: assignment size mismatch");
+  }
+  std::vector<Scheme> out(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    // Paper Section 6: folding for fully 8-bit layers, ICN when the layer's
+    // output activation or weights are sub-byte.
+    const bool sub_byte = a.qw[i] != BitWidth::kQ8 ||
+                          a.qact[i + 1] != BitWidth::kQ8;
+    out[i] = sub_byte ? Scheme::kPLICN : Scheme::kPLFoldBN;
+  }
+  return out;
+}
+
+std::vector<Scheme> mixq_pc_icn_schemes(const core::NetDesc& net) {
+  return std::vector<Scheme>(net.size(), Scheme::kPCICN);
+}
+
+std::int64_t net_cycles(const core::NetDesc& net,
+                        const core::BitAssignment& a,
+                        const std::vector<Scheme>& schemes,
+                        const CycleModelParams& p) {
+  if (schemes.size() != net.size()) {
+    throw std::invalid_argument("net_cycles: schemes size mismatch");
+  }
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    total += layer_cycles(net.layers[i], a.qact[i], a.qw[i], a.qact[i + 1],
+                          schemes[i], p);
+  }
+  return total;
+}
+
+double latency_ms(std::int64_t cycles, const DeviceSpec& dev) {
+  return static_cast<double>(cycles) /
+         static_cast<double>(dev.clock_hz) * 1e3;
+}
+
+double fps(std::int64_t cycles, const DeviceSpec& dev) {
+  return static_cast<double>(dev.clock_hz) / static_cast<double>(cycles);
+}
+
+double energy_mj(std::int64_t cycles, const DeviceSpec& dev,
+                 double active_power_mw) {
+  // E = P * t; latency_ms returns milliseconds, so mW * ms = microjoules.
+  return active_power_mw * latency_ms(cycles, dev) * 1e-3;
+}
+
+}  // namespace mixq::mcu

@@ -1,0 +1,80 @@
+// mixq/mcu/cycle_model.hpp
+//
+// Latency model of the extended CMSIS-NN kernels on a Cortex-M7. The paper
+// measures latency in clock cycles on an STM32H7 at 400 MHz (Figure 2); we
+// model it as MAC-proportional kernel time plus per-output requantization
+// cost, with multiplicative factors for the effects the paper reports:
+//
+// * per-channel ICN adds ~20% ("due to the additional subtractions of Zw
+//   biases within the inner loop of the convolution"),
+// * sub-byte operands pay an unpack penalty per precision step,
+// * depthwise convolutions run at a lower MAC/cycle efficiency (no channel
+//   reuse inside the inner loop, as in CMSIS-NN).
+//
+// The constants are calibrated against the two anchors the paper states:
+// MobilenetV1 128_0.25 MixQ-PL runs at ~10 fps at 400 MHz, and the most
+// accurate PC+ICN 224_0.75 configuration is ~20x slower. Validated in
+// tests/mcu/cycle_model_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "core/bit_allocation.hpp"
+#include "core/netdesc.hpp"
+#include "mcu/device.hpp"
+
+namespace mixq::mcu {
+
+struct CycleModelParams {
+  // Base cycles per MAC at 8-bit per-layer quantization.
+  double conv_cpm{2.0};
+  double pointwise_cpm{1.8};
+  double depthwise_cpm{4.5};
+  double linear_cpm{2.0};
+  // Multiplier for per-channel schemes (Zw subtraction in the inner loop).
+  double per_channel_factor{1.2};
+  // Multiplier per precision step below 8 bit of the weight operand
+  // (8->4 applies once, 8->2 twice), covering unpack instructions.
+  double weight_unpack_step{1.10};
+  // Same for the activation operand.
+  double act_unpack_step{1.08};
+  // Requantization cycles per output element.
+  double icn_requant_cycles{8.0};
+  double fold_requant_cycles{6.0};
+  double threshold_cycles_per_level{1.0};  // x (2^Q - 1) comparisons
+
+  /// The calibrated default.
+  static CycleModelParams calibrated() { return {}; }
+};
+
+/// Cycles of one layer under the given precisions and scheme.
+std::int64_t layer_cycles(const core::LayerDesc& layer, core::BitWidth qx,
+                          core::BitWidth qw, core::BitWidth qy,
+                          core::Scheme scheme,
+                          const CycleModelParams& p = CycleModelParams::calibrated());
+
+/// Per-layer deployment schemes of the paper's two evaluated modes.
+/// MixQ-PL: PL+FB for fully-8-bit layers, PL+ICN for sub-byte layers
+/// (Section 6); MixQ-PC-ICN: PC+ICN everywhere.
+std::vector<core::Scheme> mixq_pl_schemes(const core::NetDesc& net,
+                                          const core::BitAssignment& a);
+std::vector<core::Scheme> mixq_pc_icn_schemes(const core::NetDesc& net);
+
+/// Total cycles of a network under a bit assignment and per-layer schemes.
+std::int64_t net_cycles(const core::NetDesc& net,
+                        const core::BitAssignment& a,
+                        const std::vector<core::Scheme>& schemes,
+                        const CycleModelParams& p = CycleModelParams::calibrated());
+
+/// Latency helpers.
+double latency_ms(std::int64_t cycles, const DeviceSpec& dev);
+double fps(std::int64_t cycles, const DeviceSpec& dev);
+
+/// Energy per inference in millijoules, for a given active power draw.
+/// The paper's introduction frames the whole problem by the battery
+/// budget ("the target power envelope must be below tens of mWs"); the
+/// STM32H7 at 400 MHz draws roughly 100 mW active.
+double energy_mj(std::int64_t cycles, const DeviceSpec& dev,
+                 double active_power_mw = 100.0);
+
+}  // namespace mixq::mcu

@@ -1,0 +1,33 @@
+#include "mcu/deployment.hpp"
+
+namespace mixq::mcu {
+
+DeploymentReport plan_deployment(const core::NetDesc& net,
+                                 const DeviceSpec& dev, DeployMode mode,
+                                 const CycleModelParams& p, double delta) {
+  DeploymentReport rep;
+  rep.mode = mode;
+
+  core::AllocConfig cfg;
+  cfg.ro_budget = dev.flash_bytes;
+  cfg.rw_budget = dev.ram_bytes;
+  cfg.delta = delta;
+  // The planner's RO model must match the deployed scheme family. MixQ-PL
+  // plans with the PL+ICN footprint (the superset of PL+FB: identical
+  // weight arrays, slightly larger requant vectors), MixQ-PC-ICN with
+  // PC+ICN.
+  cfg.scheme = mode == DeployMode::kMixQPL ? core::Scheme::kPLICN
+                                           : core::Scheme::kPCICN;
+
+  rep.alloc = core::plan_mixed_precision(net, cfg);
+  rep.schemes = mode == DeployMode::kMixQPL
+                    ? mixq_pl_schemes(net, rep.alloc.assignment)
+                    : mixq_pc_icn_schemes(net);
+  rep.cycles = net_cycles(net, rep.alloc.assignment, rep.schemes, p);
+  rep.latency_ms = latency_ms(rep.cycles, dev);
+  rep.fps = mcu::fps(rep.cycles, dev);
+  rep.fits = rep.alloc.feasible();
+  return rep;
+}
+
+}  // namespace mixq::mcu

@@ -1,0 +1,40 @@
+// mixq/mcu/deployment.hpp
+//
+// End-to-end deployment check: given a network description, a device and a
+// deployment mode, run the memory-driven planner (Alg. 1 + 2), pick the
+// per-layer schemes, and report whether the model fits plus its modeled
+// latency -- the pipeline behind Figure 2 and Table 3.
+#pragma once
+
+#include <string>
+
+#include "core/bit_allocation.hpp"
+#include "mcu/cycle_model.hpp"
+#include "mcu/device.hpp"
+
+namespace mixq::mcu {
+
+/// The two deployment modes evaluated in the paper's Figure 2.
+enum class DeployMode : std::uint8_t { kMixQPL, kMixQPCICN };
+
+inline std::string to_string(DeployMode m) {
+  return m == DeployMode::kMixQPL ? "MixQ-PL" : "MixQ-PC-ICN";
+}
+
+struct DeploymentReport {
+  DeployMode mode{DeployMode::kMixQPCICN};
+  core::AllocResult alloc;
+  std::vector<core::Scheme> schemes;
+  std::int64_t cycles{0};
+  double latency_ms{0.0};
+  double fps{0.0};
+  bool fits{false};
+};
+
+/// Plan precisions for `net` on `dev` and model the resulting latency.
+DeploymentReport plan_deployment(
+    const core::NetDesc& net, const DeviceSpec& dev, DeployMode mode,
+    const CycleModelParams& p = CycleModelParams::calibrated(),
+    double delta = 0.05);
+
+}  // namespace mixq::mcu

@@ -1,0 +1,38 @@
+// mixq/mcu/device.hpp
+//
+// Microcontroller device descriptions. The paper's target is an
+// STMicroelectronics STM32H7 (Cortex-M7 @ 400 MHz, 2 MB FLASH, 512 kB of
+// contiguous SRAM usable for activations). The memory split follows the
+// paper's Section 5 model: read-only (RO) memory for frozen inference
+// parameters, read-write (RW) memory for activation tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mixq::mcu {
+
+struct DeviceSpec {
+  std::string name;
+  std::int64_t flash_bytes{0};  ///< M_RO
+  std::int64_t ram_bytes{0};    ///< M_RW
+  std::int64_t clock_hz{0};
+};
+
+/// The paper's evaluation device: STM32H743 class.
+inline DeviceSpec stm32h7() {
+  return {"STM32H7", 2 * 1024 * 1024, 512 * 1024, 400'000'000};
+}
+
+/// The Table-3 configuration: a 1 MB FLASH part (STM32F7 class) with 512 kB
+/// of RAM.
+inline DeviceSpec stm32_1mb_512k() {
+  return {"STM32-1MB/512kB", 1 * 1024 * 1024, 512 * 1024, 400'000'000};
+}
+
+/// The Table-3 second configuration: 1 MB FLASH, 256 kB RAM.
+inline DeviceSpec stm32_1mb_256k() {
+  return {"STM32-1MB/256kB", 1 * 1024 * 1024, 256 * 1024, 400'000'000};
+}
+
+}  // namespace mixq::mcu

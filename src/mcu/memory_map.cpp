@@ -1,0 +1,96 @@
+#include "mcu/memory_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/memory_model.hpp"
+
+namespace mixq::mcu {
+
+namespace {
+
+std::int64_t align_up(std::int64_t v) {
+  return (v + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+}
+
+std::string layer_label(const runtime::QLayer& l, std::size_t idx) {
+  const char* kind = "?";
+  switch (l.kind) {
+    case runtime::QLayerKind::kConv: kind = "conv"; break;
+    case runtime::QLayerKind::kDepthwise: kind = "dw"; break;
+    case runtime::QLayerKind::kLinear: kind = "fc"; break;
+    case runtime::QLayerKind::kGlobalAvgPool: kind = "pool"; break;
+  }
+  return std::string(kind) + "#" + std::to_string(idx);
+}
+
+}  // namespace
+
+MemoryMap build_memory_map(const runtime::QuantizedNet& net,
+                           const DeviceSpec& dev) {
+  MemoryMap map;
+
+  // FLASH: one region per weighted layer, packed in order.
+  std::int64_t cursor = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& l = net.layers[i];
+    if (l.kind == runtime::QLayerKind::kGlobalAvgPool) continue;
+    core::LayerDesc d;
+    d.wshape = l.wshape;
+    const std::int64_t size =
+        align_up(core::layer_ro_bytes(d, l.scheme, l.qw));
+    map.flash.push_back({layer_label(l, i), cursor, size});
+    cursor += size;
+  }
+  map.flash_used = cursor;
+  map.fits_flash = map.flash_used <= dev.flash_bytes;
+
+  // RAM: ping-pong buffers. Activation tensor 0 is the network input;
+  // tensor i+1 is layer i's output. Even tensors live in buffer A, odd in
+  // buffer B, so a layer always reads one buffer and writes the other.
+  std::int64_t max_even = 0, max_odd = 0;
+  if (!net.layers.empty()) {
+    const auto input_bytes =
+        packed_bytes(net.layers.front().in_shape.numel(),
+                     net.layers.front().qx);
+    max_even = input_bytes;  // tensor 0
+  }
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& l = net.layers[i];
+    if (l.raw_logits) continue;  // head logits live in a tiny float array
+    const std::int64_t out_bytes = packed_bytes(l.out_shape.numel(), l.qy);
+    if ((i + 1) % 2 == 0) {
+      max_even = std::max(max_even, out_bytes);
+    } else {
+      max_odd = std::max(max_odd, out_bytes);
+    }
+  }
+  const std::int64_t a_size = align_up(max_even);
+  const std::int64_t b_size = align_up(max_odd);
+  map.ram.push_back({"act_ping (even tensors)", 0, a_size});
+  map.ram.push_back({"act_pong (odd tensors)", a_size, b_size});
+  map.ram_used = a_size + b_size;
+  map.fits_ram = map.ram_used <= dev.ram_bytes;
+  return map;
+}
+
+std::string MemoryMap::str() const {
+  std::ostringstream os;
+  os << "FLASH (read-only)\n";
+  for (const auto& r : flash) {
+    os << "  0x" << std::hex << r.start << " - 0x" << r.end() << std::dec
+       << "  " << r.size << " B  " << r.name << "\n";
+  }
+  os << "  total " << flash_used << " B"
+     << (fits_flash ? "" : "  ** OVER BUDGET **") << "\n";
+  os << "RAM (read-write)\n";
+  for (const auto& r : ram) {
+    os << "  0x" << std::hex << r.start << " - 0x" << r.end() << std::dec
+       << "  " << r.size << " B  " << r.name << "\n";
+  }
+  os << "  total " << ram_used << " B"
+     << (fits_ram ? "" : "  ** OVER BUDGET **") << "\n";
+  return os.str();
+}
+
+}  // namespace mixq::mcu

@@ -1,0 +1,50 @@
+// mixq/mcu/memory_map.hpp
+//
+// Concrete device memory layout for a deployed network: every layer's
+// packed weights + static parameters get a FLASH address range, and the
+// activations get the two statically allocated ping-pong RAM buffers the
+// executor's dataflow implies (layer i reads buffer A and writes buffer B,
+// layer i+1 swaps). This turns the paper's abstract M_RO / M_RW budget
+// check (Eq. 6-7) into the linker-script-level artifact an MCU engineer
+// actually ships.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcu/device.hpp"
+#include "runtime/qgraph.hpp"
+
+namespace mixq::mcu {
+
+struct Region {
+  std::string name;
+  std::int64_t start{0};  ///< offset from the memory's base
+  std::int64_t size{0};
+
+  [[nodiscard]] std::int64_t end() const { return start + size; }
+};
+
+struct MemoryMap {
+  std::vector<Region> flash;  ///< one region per weighted layer
+  std::vector<Region> ram;    ///< ping-pong buffers (+ per-layer usage)
+  std::int64_t flash_used{0};
+  std::int64_t ram_used{0};
+  bool fits_flash{false};
+  bool fits_ram{false};
+
+  [[nodiscard]] bool fits() const { return fits_flash && fits_ram; }
+  /// Linker-map style rendering.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Word alignment applied to every region (Cortex-M bus friendly).
+inline constexpr std::int64_t kRegionAlign = 4;
+
+/// Lay out `net` on `dev`. Flash regions are packed in layer order; RAM
+/// holds two ping-pong activation buffers sized for the worst even- and
+/// odd-indexed activation tensors.
+MemoryMap build_memory_map(const runtime::QuantizedNet& net,
+                           const DeviceSpec& dev);
+
+}  // namespace mixq::mcu

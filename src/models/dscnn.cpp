@@ -1,0 +1,92 @@
+#include "models/dscnn.hpp"
+
+#include <stdexcept>
+
+namespace mixq::models {
+
+using core::LayerDesc;
+using core::LayerKind;
+using core::NetDesc;
+
+namespace {
+
+struct DsCnnSpec {
+  const char* name;
+  std::int64_t channels;
+  int blocks;
+};
+
+DsCnnSpec spec_of(DsCnnSize size) {
+  switch (size) {
+    case DsCnnSize::kSmall: return {"DS-CNN-S", 64, 4};
+    case DsCnnSize::kMedium: return {"DS-CNN-M", 172, 4};
+    case DsCnnSize::kLarge: return {"DS-CNN-L", 276, 5};
+  }
+  throw std::invalid_argument("build_dscnn: invalid size");
+}
+
+}  // namespace
+
+core::NetDesc build_dscnn(DsCnnSize size) {
+  const DsCnnSpec s = spec_of(size);
+  NetDesc net;
+  net.name = s.name;
+
+  // Input: 49x10 MFCC map, 1 channel. First conv is 10x4 stride (2,2)
+  // in the original; we model it as 10x4 with stride 2 on both axes
+  // (output 25x5).
+  const std::int64_t in_h = 49, in_w = 10;
+  const std::int64_t c = s.channels;
+
+  LayerDesc conv0;
+  conv0.name = "conv0";
+  conv0.kind = LayerKind::kConv;
+  conv0.wshape = WeightShape(c, 10, 4, 1);
+  const std::int64_t out_h = conv_out_dim(in_h, 10, 2, 5);
+  const std::int64_t out_w = conv_out_dim(in_w, 4, 2, 1);
+  conv0.in_shape = Shape(1, in_h, in_w, 1);
+  conv0.out_shape = Shape(1, out_h, out_w, c);
+  conv0.in_numel = conv0.in_shape.numel();
+  conv0.out_numel = conv0.out_shape.numel();
+  conv0.macs = out_h * out_w * c * 10 * 4;
+  net.layers.push_back(conv0);
+
+  std::int64_t h = out_h, w = out_w;
+  for (int b = 0; b < s.blocks; ++b) {
+    LayerDesc dw;
+    dw.name = "dw" + std::to_string(b + 1);
+    dw.kind = LayerKind::kDepthwise;
+    dw.wshape = WeightShape(c, 3, 3, 1);
+    dw.in_shape = Shape(1, h, w, c);
+    dw.out_shape = Shape(1, h, w, c);
+    dw.in_numel = dw.in_shape.numel();
+    dw.out_numel = dw.out_shape.numel();
+    dw.macs = h * w * c * 9;
+    net.layers.push_back(dw);
+
+    LayerDesc pw;
+    pw.name = "pw" + std::to_string(b + 1);
+    pw.kind = LayerKind::kPointwise;
+    pw.wshape = WeightShape(c, 1, 1, c);
+    pw.in_shape = Shape(1, h, w, c);
+    pw.out_shape = Shape(1, h, w, c);
+    pw.in_numel = pw.in_shape.numel();
+    pw.out_numel = pw.out_shape.numel();
+    pw.macs = h * w * c * c;
+    net.layers.push_back(pw);
+  }
+
+  LayerDesc fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.wshape = WeightShape(12, 1, 1, c);
+  fc.in_shape = Shape(1, 1, 1, c);
+  fc.out_shape = Shape(1, 1, 1, 12);
+  fc.in_numel = c;  // post global-average-pool
+  fc.out_numel = 12;
+  fc.macs = c * 12;
+  net.layers.push_back(fc);
+  return net;
+}
+
+}  // namespace mixq::models

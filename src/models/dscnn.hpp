@@ -1,0 +1,24 @@
+// mixq/models/dscnn.hpp
+//
+// DS-CNN keyword-spotting architecture metadata (Zhang et al., "Hello
+// Edge: Keyword Spotting on Microcontrollers" -- the paper's reference
+// [25] and the canonical already-deployable MCU workload its introduction
+// contrasts with ImageNet models). Input is a 49x10 MFCC map; the network
+// is a standard conv followed by depthwise-separable blocks at constant
+// channel width, global average pool, and a 12-keyword classifier.
+//
+// Used by examples and benches to show the planner on a second, much
+// smaller workload family where 8-bit deployments already fit small parts.
+#pragma once
+
+#include "core/netdesc.hpp"
+
+namespace mixq::models {
+
+/// Size variants from the Hello Edge paper (S/M/L).
+enum class DsCnnSize : std::uint8_t { kSmall, kMedium, kLarge };
+
+/// Build the layer-by-layer description.
+core::NetDesc build_dscnn(DsCnnSize size);
+
+}  // namespace mixq::models

@@ -1,0 +1,142 @@
+#include "models/mobilenet_qat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::models {
+
+using core::BlockKind;
+using core::QatModel;
+using core::QBlockConfig;
+using core::QConvBlock;
+
+namespace {
+
+struct BlockSchedule {
+  std::int64_t stride;
+  std::int64_t pw_out;  // reference (width 1.0) output channels
+};
+
+constexpr BlockSchedule kBlocks[13] = {
+    {1, 64},  {2, 128}, {1, 128}, {2, 256}, {1, 256}, {2, 512}, {1, 512},
+    {1, 512}, {1, 512}, {1, 512}, {1, 512}, {2, 1024}, {1, 1024}};
+
+std::int64_t scaled(std::int64_t c, const MobilenetQatConfig& cfg) {
+  return std::max(cfg.min_channels,
+                  static_cast<std::int64_t>(std::llround(
+                      static_cast<double>(c) * cfg.channel_scale)));
+}
+
+QBlockConfig block_cfg(const MobilenetQatConfig& cfg, bool act_quant,
+                       bool has_bn) {
+  QBlockConfig b;
+  b.qw = cfg.qw;
+  b.qa = cfg.qa;
+  b.wgran = cfg.wgran;
+  b.fold_bn = cfg.fold_bn && has_bn;
+  b.has_bn = has_bn;
+  b.act_quant = act_quant;
+  b.alpha_init = cfg.alpha_init;
+  return b;
+}
+
+}  // namespace
+
+core::QatModel build_mobilenet_qat(const MobilenetQatConfig& cfg, Rng* rng) {
+  if (cfg.resolution % 32 != 0) {
+    throw std::invalid_argument("build_mobilenet_qat: resolution must be /32");
+  }
+  QatModel m;
+  m.input = m.net.emplace<core::InputQuant>(0.0f, 1.0f, core::BitWidth::kQ8);
+
+  nn::ConvSpec conv3;
+  conv3.kh = conv3.kw = 3;
+  conv3.stride = 2;
+  conv3.pad = 1;
+  std::int64_t ch = scaled(32, cfg);
+  auto* conv0 = m.net.emplace<QConvBlock>(BlockKind::kConv, cfg.in_channels,
+                                          ch, conv3,
+                                          block_cfg(cfg, true, true), rng);
+  m.chain.push_back({conv0, false});
+
+  for (const auto& b : kBlocks) {
+    nn::ConvSpec dw_spec;
+    dw_spec.kh = dw_spec.kw = 3;
+    dw_spec.stride = b.stride;
+    dw_spec.pad = 1;
+    auto* dw = m.net.emplace<QConvBlock>(BlockKind::kDepthwise, ch, ch,
+                                         dw_spec, block_cfg(cfg, true, true),
+                                         rng);
+    m.chain.push_back({dw, false});
+
+    const std::int64_t co = scaled(b.pw_out, cfg);
+    nn::ConvSpec pw_spec;
+    pw_spec.kh = pw_spec.kw = 1;
+    pw_spec.stride = 1;
+    pw_spec.pad = 0;
+    auto* pw = m.net.emplace<QConvBlock>(BlockKind::kConv, ch, co, pw_spec,
+                                         block_cfg(cfg, true, true), rng);
+    m.chain.push_back({pw, false});
+    ch = co;
+  }
+
+  m.net.emplace<nn::GlobalAvgPool>();
+  m.net.emplace<core::GapRequant>(m.chain.back().block->act());
+  auto* fc = m.net.emplace<QConvBlock>(BlockKind::kLinear, ch,
+                                       cfg.num_classes, nn::ConvSpec{},
+                                       block_cfg(cfg, false, false), rng);
+  m.chain.push_back({fc, true});
+  return m;
+}
+
+core::NetDesc mobilenet_qat_desc(const MobilenetQatConfig& cfg) {
+  core::NetDesc net;
+  net.name = "MobilenetQat";
+  std::int64_t hw = cfg.resolution;
+  std::int64_t ch = scaled(32, cfg);
+
+  auto add = [&](const std::string& name, core::LayerKind kind,
+                 std::int64_t ci, std::int64_t co, std::int64_t k,
+                 std::int64_t stride) {
+    core::LayerDesc l;
+    l.name = name;
+    l.kind = kind;
+    const std::int64_t out_hw = conv_out_dim(hw, k, stride, k / 2);
+    l.in_shape = Shape(1, hw, hw, ci);
+    l.out_shape = Shape(1, out_hw, out_hw, co);
+    l.in_numel = l.in_shape.numel();
+    l.out_numel = l.out_shape.numel();
+    if (kind == core::LayerKind::kDepthwise) {
+      l.wshape = WeightShape(co, k, k, 1);
+      l.macs = out_hw * out_hw * co * k * k;
+    } else {
+      l.wshape = WeightShape(co, k, k, ci);
+      l.macs = out_hw * out_hw * co * k * k * ci;
+    }
+    net.layers.push_back(l);
+    hw = out_hw;
+  };
+
+  add("conv0", core::LayerKind::kConv, cfg.in_channels, ch, 3, 2);
+  for (int b = 0; b < 13; ++b) {
+    add("dw" + std::to_string(b + 1), core::LayerKind::kDepthwise, ch, ch, 3,
+        kBlocks[b].stride);
+    const std::int64_t co = scaled(kBlocks[b].pw_out, cfg);
+    add("pw" + std::to_string(b + 1), core::LayerKind::kPointwise, ch, co, 1,
+        1);
+    ch = co;
+  }
+  core::LayerDesc fc;
+  fc.name = "fc";
+  fc.kind = core::LayerKind::kLinear;
+  fc.wshape = WeightShape(cfg.num_classes, 1, 1, ch);
+  fc.in_shape = Shape(1, 1, 1, ch);
+  fc.out_shape = Shape(1, 1, 1, cfg.num_classes);
+  fc.in_numel = ch;
+  fc.out_numel = cfg.num_classes;
+  fc.macs = ch * cfg.num_classes;
+  net.layers.push_back(fc);
+  return net;
+}
+
+}  // namespace mixq::models

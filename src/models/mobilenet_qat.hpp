@@ -1,0 +1,38 @@
+// mixq/models/mobilenet_qat.hpp
+//
+// Trainable MobilenetV1: the paper's exact topology (standard conv + 13
+// depthwise-separable blocks with the [64,128,128,256,256,512,512x5,
+// 1024,1024] channel schedule and [1,2,1,2,1,2,1,1,1,1,1,2,1] strides),
+// instantiated as a fake-quantized QatModel. A `channel_scale` shrinks the
+// schedule so the full 28-layer network trains in-session on the synthetic
+// dataset (the ImageNet-size original is metadata-only, mobilenet_v1.hpp).
+#pragma once
+
+#include "core/netdesc.hpp"
+#include "core/qat_model.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::models {
+
+struct MobilenetQatConfig {
+  std::int64_t resolution{32};      ///< input H == W (multiple of 32)
+  std::int64_t in_channels{3};
+  double channel_scale{0.25};       ///< multiplies the 32..1024 schedule
+  std::int64_t min_channels{4};
+  std::int64_t num_classes{10};
+
+  core::BitWidth qw{core::BitWidth::kQ8};
+  core::BitWidth qa{core::BitWidth::kQ8};
+  core::Granularity wgran{core::Granularity::kPerChannel};
+  bool fold_bn{false};
+  float alpha_init{6.0f};
+};
+
+/// Build the trainable fake-quantized model (28 weighted layers).
+core::QatModel build_mobilenet_qat(const MobilenetQatConfig& cfg,
+                                   Rng* rng = nullptr);
+
+/// Matching architecture metadata for the planner / memory model.
+core::NetDesc mobilenet_qat_desc(const MobilenetQatConfig& cfg);
+
+}  // namespace mixq::models

@@ -1,0 +1,148 @@
+#include "models/mobilenet_v1.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mixq::models {
+
+using core::LayerDesc;
+using core::LayerKind;
+using core::NetDesc;
+
+std::string MobilenetConfig::label() const {
+  std::ostringstream os;
+  os << resolution << "_";
+  if (width_mult == 1.0) {
+    os << "1.0";
+  } else if (width_mult == 0.75) {
+    os << "0.75";
+  } else if (width_mult == 0.5) {
+    os << "0.5";
+  } else if (width_mult == 0.25) {
+    os << "0.25";
+  } else {
+    os << width_mult;
+  }
+  return os.str();
+}
+
+std::vector<MobilenetConfig> mobilenet_family() {
+  std::vector<MobilenetConfig> out;
+  for (int res : {224, 192, 160, 128}) {
+    for (double w : {1.0, 0.75, 0.5, 0.25}) {
+      out.push_back({res, w});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// TF-slim channel scaling: round to the nearest multiple of 8, never
+/// below 8. For the multipliers used here the product is already integral.
+std::int64_t scaled(std::int64_t c, double alpha) {
+  const auto v = static_cast<std::int64_t>(std::llround(c * alpha));
+  return std::max<std::int64_t>(8, (v / 8) * 8 == v ? v : ((v + 4) / 8) * 8);
+}
+
+LayerDesc make_conv(const std::string& name, LayerKind kind, std::int64_t ci,
+                    std::int64_t co, std::int64_t k, std::int64_t stride,
+                    std::int64_t in_hw) {
+  LayerDesc l;
+  l.name = name;
+  l.kind = kind;
+  const std::int64_t pad = k / 2;
+  const std::int64_t out_hw = mixq::conv_out_dim(in_hw, k, stride, pad);
+  l.in_shape = Shape(1, in_hw, in_hw, ci);
+  l.out_shape = Shape(1, out_hw, out_hw, co);
+  l.in_numel = l.in_shape.numel();
+  l.out_numel = l.out_shape.numel();
+  switch (kind) {
+    case LayerKind::kDepthwise:
+      l.wshape = WeightShape(co, k, k, 1);
+      l.macs = out_hw * out_hw * co * k * k;
+      break;
+    case LayerKind::kConv:
+    case LayerKind::kPointwise:
+      l.wshape = WeightShape(co, k, k, ci);
+      l.macs = out_hw * out_hw * co * k * k * ci;
+      break;
+    case LayerKind::kLinear:
+      throw std::logic_error("make_conv: use make_linear");
+  }
+  return l;
+}
+
+}  // namespace
+
+NetDesc build_mobilenet_v1(const MobilenetConfig& cfg) {
+  if (cfg.resolution % 32 != 0) {
+    throw std::invalid_argument("build_mobilenet_v1: resolution must be /32");
+  }
+  NetDesc net;
+  net.name = "MobilenetV1_" + cfg.label();
+  const double a = cfg.width_mult;
+
+  // Depthwise-separable schedule: (stride of the dw conv, pointwise cO).
+  struct Block {
+    std::int64_t stride;
+    std::int64_t pw_out;
+  };
+  const Block blocks[13] = {
+      {1, 64},  {2, 128}, {1, 128}, {2, 256}, {1, 256}, {2, 512}, {1, 512},
+      {1, 512}, {1, 512}, {1, 512}, {1, 512}, {2, 1024}, {1, 1024}};
+
+  std::int64_t hw = cfg.resolution;
+  std::int64_t ch = scaled(32, a);
+  // conv0: 3x3 stride-2 standard convolution on RGB input.
+  net.layers.push_back(
+      make_conv("conv0", LayerKind::kConv, 3, ch, 3, 2, hw));
+  hw = net.layers.back().out_shape.h;
+
+  for (int b = 0; b < 13; ++b) {
+    const std::int64_t co = scaled(blocks[b].pw_out, a);
+    net.layers.push_back(make_conv("dw" + std::to_string(b + 1),
+                                   LayerKind::kDepthwise, ch, ch, 3,
+                                   blocks[b].stride, hw));
+    hw = net.layers.back().out_shape.h;
+    net.layers.push_back(make_conv("pw" + std::to_string(b + 1),
+                                   LayerKind::kPointwise, ch, co, 1, 1, hw));
+    ch = co;
+  }
+
+  // Classifier: global average pool (folded into in_numel) + 1000-way FC.
+  LayerDesc fc;
+  fc.name = "fc";
+  fc.kind = LayerKind::kLinear;
+  fc.wshape = WeightShape(1000, 1, 1, ch);
+  fc.in_shape = Shape(1, 1, 1, ch);
+  fc.out_shape = Shape(1, 1, 1, 1000);
+  fc.in_numel = ch;  // post-pool
+  fc.out_numel = 1000;
+  fc.macs = ch * 1000;
+  net.layers.push_back(fc);
+  return net;
+}
+
+double mobilenet_fp_top1(const MobilenetConfig& cfg) {
+  // Howard et al., arXiv:1704.04861, Tables 6-7 (ImageNet Top-1 %).
+  struct Entry {
+    int res;
+    double w;
+    double top1;
+  };
+  static const Entry kTable[] = {
+      {224, 1.0, 70.9}, {224, 0.75, 68.4}, {224, 0.5, 63.7}, {224, 0.25, 50.6},
+      {192, 1.0, 70.0}, {192, 0.75, 67.1}, {192, 0.5, 61.7}, {192, 0.25, 47.7},
+      {160, 1.0, 68.0}, {160, 0.75, 65.3}, {160, 0.5, 59.1}, {160, 0.25, 45.5},
+      {128, 1.0, 64.1}, {128, 0.75, 62.1}, {128, 0.5, 56.3}, {128, 0.25, 41.5},
+  };
+  for (const auto& e : kTable) {
+    if (e.res == cfg.resolution && e.w == cfg.width_mult) return e.top1;
+  }
+  throw std::invalid_argument("mobilenet_fp_top1: unknown configuration " +
+                              cfg.label());
+}
+
+}  // namespace mixq::models

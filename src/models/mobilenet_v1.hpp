@@ -1,0 +1,40 @@
+// mixq/models/mobilenet_v1.hpp
+//
+// Exact architecture metadata of the MobilenetV1 family (Howard et al.
+// [10]), the workload of the paper's entire evaluation. A model is labelled
+// `<resolution>_<width>` with resolution in {128, 160, 192, 224} and width
+// multiplier in {0.25, 0.5, 0.75, 1.0} -- 16 configurations.
+//
+// The NetDesc carries per-layer shapes, parameter counts and MACs for the
+// memory model (Table 1 / Eq. 6-7), the bit-allocation algorithms and the
+// MCU cycle model. The global average pool before the classifier is folded
+// into the classifier's input size (precision is shared across the pool,
+// see core/netdesc.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netdesc.hpp"
+
+namespace mixq::models {
+
+struct MobilenetConfig {
+  int resolution{224};
+  double width_mult{1.0};
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// All 16 family members, ordered by resolution then width (descending).
+std::vector<MobilenetConfig> mobilenet_family();
+
+/// Build the exact layer-by-layer description (28 weighted layers:
+/// 1 standard conv, 13 depthwise, 13 pointwise, 1 linear classifier).
+core::NetDesc build_mobilenet_v1(const MobilenetConfig& cfg);
+
+/// Published full-precision ImageNet Top-1 accuracy of each configuration
+/// (Howard et al. 2017, Table 6/7) -- the anchor of the accuracy proxy.
+double mobilenet_fp_top1(const MobilenetConfig& cfg);
+
+}  // namespace mixq::models

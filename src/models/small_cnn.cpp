@@ -1,0 +1,125 @@
+#include "models/small_cnn.hpp"
+
+namespace mixq::models {
+
+using core::BlockKind;
+using core::QatModel;
+using core::QBlockConfig;
+using core::QConvBlock;
+
+namespace {
+
+QBlockConfig block_cfg(const SmallCnnConfig& cfg, bool act_quant,
+                       bool has_bn) {
+  QBlockConfig b;
+  b.qw = cfg.qw;
+  b.qa = cfg.qa;
+  b.wgran = cfg.wgran;
+  b.fold_bn = cfg.fold_bn && has_bn;
+  b.has_bn = has_bn;
+  b.act_quant = act_quant;
+  b.alpha_init = cfg.alpha_init;
+  return b;
+}
+
+std::int64_t block_stride(std::int64_t b) { return b < 2 ? 2 : 1; }
+
+}  // namespace
+
+QatModel build_small_cnn(const SmallCnnConfig& cfg, Rng* rng) {
+  QatModel m;
+  m.input = m.net.emplace<core::InputQuant>(0.0f, 1.0f, core::BitWidth::kQ8);
+
+  nn::ConvSpec conv3;
+  conv3.kh = conv3.kw = 3;
+  conv3.stride = 1;
+  conv3.pad = 1;
+
+  std::int64_t ch = cfg.base_channels;
+  auto* conv0 = m.net.emplace<QConvBlock>(BlockKind::kConv, cfg.in_channels,
+                                          ch, conv3,
+                                          block_cfg(cfg, true, true), rng);
+  m.chain.push_back({conv0, false});
+
+  for (std::int64_t b = 0; b < cfg.num_blocks; ++b) {
+    nn::ConvSpec dw_spec = conv3;
+    dw_spec.stride = block_stride(b);
+    auto* dw = m.net.emplace<QConvBlock>(BlockKind::kDepthwise, ch, ch,
+                                         dw_spec, block_cfg(cfg, true, true),
+                                         rng);
+    m.chain.push_back({dw, false});
+
+    const std::int64_t co = ch * 2;
+    nn::ConvSpec pw_spec;
+    pw_spec.kh = pw_spec.kw = 1;
+    pw_spec.stride = 1;
+    pw_spec.pad = 0;
+    auto* pw = m.net.emplace<QConvBlock>(BlockKind::kConv, ch, co, pw_spec,
+                                         block_cfg(cfg, true, true), rng);
+    m.chain.push_back({pw, false});
+    ch = co;
+  }
+
+  m.net.emplace<nn::GlobalAvgPool>();
+  // Model the integer GAP's floor-division in the fake graph so that the
+  // converted integer-only network matches g(x) at the classifier input.
+  m.net.emplace<core::GapRequant>(m.chain.back().block->act());
+  auto* fc = m.net.emplace<QConvBlock>(BlockKind::kLinear, ch,
+                                       cfg.num_classes, nn::ConvSpec{},
+                                       block_cfg(cfg, false, false), rng);
+  m.chain.push_back({fc, true});
+  return m;
+}
+
+core::NetDesc small_cnn_desc(const SmallCnnConfig& cfg) {
+  core::NetDesc net;
+  net.name = "SmallCnn";
+  std::int64_t hw = cfg.input_hw;
+  std::int64_t ch = cfg.base_channels;
+
+  auto conv = [&](const std::string& name, core::LayerKind kind,
+                  std::int64_t ci, std::int64_t co, std::int64_t k,
+                  std::int64_t stride) {
+    core::LayerDesc l;
+    l.name = name;
+    l.kind = kind;
+    const std::int64_t pad = k / 2;
+    const std::int64_t out_hw = conv_out_dim(hw, k, stride, pad);
+    l.in_shape = Shape(1, hw, hw, ci);
+    l.out_shape = Shape(1, out_hw, out_hw, co);
+    l.in_numel = l.in_shape.numel();
+    l.out_numel = l.out_shape.numel();
+    if (kind == core::LayerKind::kDepthwise) {
+      l.wshape = WeightShape(co, k, k, 1);
+      l.macs = out_hw * out_hw * co * k * k;
+    } else {
+      l.wshape = WeightShape(co, k, k, ci);
+      l.macs = out_hw * out_hw * co * k * k * ci;
+    }
+    net.layers.push_back(l);
+    hw = out_hw;
+  };
+
+  conv("conv0", core::LayerKind::kConv, cfg.in_channels, ch, 3, 1);
+  for (std::int64_t b = 0; b < cfg.num_blocks; ++b) {
+    conv("dw" + std::to_string(b), core::LayerKind::kDepthwise, ch, ch, 3,
+         block_stride(b));
+    conv("pw" + std::to_string(b), core::LayerKind::kPointwise, ch, ch * 2, 1,
+         1);
+    ch *= 2;
+  }
+
+  core::LayerDesc fc;
+  fc.name = "fc";
+  fc.kind = core::LayerKind::kLinear;
+  fc.wshape = WeightShape(cfg.num_classes, 1, 1, ch);
+  fc.in_shape = Shape(1, 1, 1, ch);
+  fc.out_shape = Shape(1, 1, 1, cfg.num_classes);
+  fc.in_numel = ch;
+  fc.out_numel = cfg.num_classes;
+  fc.macs = ch * cfg.num_classes;
+  net.layers.push_back(fc);
+  return net;
+}
+
+}  // namespace mixq::models

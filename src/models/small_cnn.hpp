@@ -1,0 +1,39 @@
+// mixq/models/small_cnn.hpp
+//
+// A trainable depthwise-separable CNN in the MobilenetV1 style, small
+// enough to run quantization-aware training end-to-end inside the test
+// suite and examples. Used to demonstrate the paper's qualitative training
+// results on a real learning task (synthetic dataset): the PL+FB INT4
+// collapse, the ICN recovery, and the PL-vs-PC gap (Table 2's shape).
+#pragma once
+
+#include "core/qat_model.hpp"
+#include "core/netdesc.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::models {
+
+struct SmallCnnConfig {
+  std::int64_t input_hw{16};
+  std::int64_t in_channels{3};
+  std::int64_t base_channels{16};  ///< conv0 output channels
+  std::int64_t num_classes{10};
+  std::int64_t num_blocks{3};      ///< depthwise-separable blocks after conv0
+
+  core::BitWidth qw{core::BitWidth::kQ8};
+  core::BitWidth qa{core::BitWidth::kQ8};
+  core::Granularity wgran{core::Granularity::kPerLayer};
+  bool fold_bn{false};             ///< train in PL+FB emulation mode
+  float alpha_init{6.0f};
+};
+
+/// Build the trainable fake-quantized model. Architecture:
+/// conv0 3x3/s1 -> { dw 3x3 (s2 on even blocks) + pw 1x1 } x num_blocks
+/// -> global average pool -> linear classifier (raw logits).
+core::QatModel build_small_cnn(const SmallCnnConfig& cfg, Rng* rng = nullptr);
+
+/// Architecture metadata of the same network (for memory/latency analyses
+/// and the planner examples).
+core::NetDesc small_cnn_desc(const SmallCnnConfig& cfg);
+
+}  // namespace mixq::models

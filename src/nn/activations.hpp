@@ -1,0 +1,48 @@
+// mixq/nn/activations.hpp
+//
+// Stateless float activations for the training graph. The quantized
+// counterpart (PACT fake-quantizer) lives in core/fake_quant.hpp; ReLU here
+// is used for the float baselines the quantized runs are compared against.
+#pragma once
+
+#include <algorithm>
+
+#include "nn/layer.hpp"
+
+namespace mixq::nn {
+
+/// ReLU with an optional upper cap (cap <= 0 means uncapped). cap = 6 gives
+/// ReLU6, the activation MobilenetV1 uses at full precision.
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(float cap = 0.0f) : cap_(cap) {}
+
+  FloatTensor forward(const FloatTensor& x, bool train) override {
+    FloatTensor y(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      float v = std::max(0.0f, x[i]);
+      if (cap_ > 0.0f) v = std::min(v, cap_);
+      y[i] = v;
+    }
+    if (train) x_cache_ = x;
+    return y;
+  }
+
+  FloatTensor backward(const FloatTensor& grad_out) override {
+    FloatTensor gx(x_cache_.shape());
+    for (std::int64_t i = 0; i < gx.numel(); ++i) {
+      const bool pass =
+          x_cache_[i] > 0.0f && (cap_ <= 0.0f || x_cache_[i] < cap_);
+      gx[i] = pass ? grad_out[i] : 0.0f;
+    }
+    return gx;
+  }
+
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  float cap_;
+  FloatTensor x_cache_;
+};
+
+}  // namespace mixq::nn

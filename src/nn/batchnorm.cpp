@@ -1,0 +1,159 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::nn {
+
+BatchNorm::BatchNorm(std::int64_t channels, float momentum, float eps)
+    : c_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(static_cast<std::size_t>(channels), 1.0f),
+      beta_(static_cast<std::size_t>(channels), 0.0f),
+      gamma_grad_(static_cast<std::size_t>(channels), 0.0f),
+      beta_grad_(static_cast<std::size_t>(channels), 0.0f),
+      running_mean_(static_cast<std::size_t>(channels), 0.0f),
+      running_var_(static_cast<std::size_t>(channels), 1.0f) {}
+
+std::vector<float> BatchNorm::sigma() const {
+  std::vector<float> out(running_var_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::sqrt(running_var_[i] + eps_);
+  }
+  return out;
+}
+
+FloatTensor BatchNorm::forward(const FloatTensor& x, bool train) {
+  if (x.shape().c != c_) {
+    throw std::invalid_argument("BatchNorm: channel mismatch");
+  }
+  const Shape s = x.shape();
+  const std::int64_t rows = s.n * s.h * s.w;
+  FloatTensor y(s);
+
+  const bool batch_stats = train && !frozen_;
+  std::vector<float> mean(static_cast<std::size_t>(c_), 0.0f);
+  std::vector<float> var(static_cast<std::size_t>(c_), 0.0f);
+
+  if (batch_stats) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* xp = x.data() + r * c_;
+      for (std::int64_t ch = 0; ch < c_; ++ch) {
+        mean[static_cast<std::size_t>(ch)] += xp[ch];
+      }
+    }
+    const float inv_rows = 1.0f / static_cast<float>(rows);
+    for (auto& m : mean) m *= inv_rows;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* xp = x.data() + r * c_;
+      for (std::int64_t ch = 0; ch < c_; ++ch) {
+        const float d = xp[ch] - mean[static_cast<std::size_t>(ch)];
+        var[static_cast<std::size_t>(ch)] += d * d;
+      }
+    }
+    for (auto& v : var) v *= inv_rows;
+    // Update running statistics (biased variance, as in inference-time BN).
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const auto i = static_cast<std::size_t>(ch);
+      running_mean_[i] = (1.0f - momentum_) * running_mean_[i] + momentum_ * mean[i];
+      running_var_[i] = (1.0f - momentum_) * running_var_[i] + momentum_ * var[i];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  std::vector<float> inv_std(static_cast<std::size_t>(c_));
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    const auto i = static_cast<std::size_t>(ch);
+    inv_std[i] = 1.0f / std::sqrt(var[i] + eps_);
+  }
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xp = x.data() + r * c_;
+    float* yp = y.data() + r * c_;
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const auto i = static_cast<std::size_t>(ch);
+      yp[ch] = (xp[ch] - mean[i]) * inv_std[i] * gamma_[i] + beta_[i];
+    }
+  }
+
+  if (train) {
+    x_cache_ = x;
+    batch_mean_ = mean;
+    batch_inv_std_ = inv_std;
+    used_batch_stats_ = batch_stats;
+  }
+  return y;
+}
+
+FloatTensor BatchNorm::backward(const FloatTensor& grad_out) {
+  if (x_cache_.empty()) {
+    throw std::logic_error("BatchNorm::backward before forward(train=true)");
+  }
+  const Shape s = x_cache_.shape();
+  const std::int64_t rows = s.n * s.h * s.w;
+  FloatTensor gx(s);
+
+  if (!used_batch_stats_) {
+    // Frozen (or eval-stat) BN is a per-channel affine map; gradient flows
+    // through the fixed scale. gamma/beta still accumulate grads unless
+    // frozen entirely.
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* gp = grad_out.data() + r * c_;
+      const float* xp = x_cache_.data() + r * c_;
+      float* gxp = gx.data() + r * c_;
+      for (std::int64_t ch = 0; ch < c_; ++ch) {
+        const auto i = static_cast<std::size_t>(ch);
+        const float xhat = (xp[ch] - batch_mean_[i]) * batch_inv_std_[i];
+        if (!frozen_) {
+          gamma_grad_[i] += gp[ch] * xhat;
+          beta_grad_[i] += gp[ch];
+        }
+        gxp[ch] = gp[ch] * gamma_[i] * batch_inv_std_[i];
+      }
+    }
+    return gx;
+  }
+
+  // Full batch-norm backward with batch statistics.
+  std::vector<double> sum_g(static_cast<std::size_t>(c_), 0.0);
+  std::vector<double> sum_gx(static_cast<std::size_t>(c_), 0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* gp = grad_out.data() + r * c_;
+    const float* xp = x_cache_.data() + r * c_;
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const auto i = static_cast<std::size_t>(ch);
+      const float xhat = (xp[ch] - batch_mean_[i]) * batch_inv_std_[i];
+      sum_g[i] += gp[ch];
+      sum_gx[i] += static_cast<double>(gp[ch]) * xhat;
+    }
+  }
+  for (std::int64_t ch = 0; ch < c_; ++ch) {
+    const auto i = static_cast<std::size_t>(ch);
+    gamma_grad_[i] += static_cast<float>(sum_gx[i]);
+    beta_grad_[i] += static_cast<float>(sum_g[i]);
+  }
+  const double inv_rows = 1.0 / static_cast<double>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* gp = grad_out.data() + r * c_;
+    const float* xp = x_cache_.data() + r * c_;
+    float* gxp = gx.data() + r * c_;
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const auto i = static_cast<std::size_t>(ch);
+      const double xhat = (xp[ch] - batch_mean_[i]) * batch_inv_std_[i];
+      const double t = gp[ch] - inv_rows * sum_g[i] - inv_rows * sum_gx[i] * xhat;
+      gxp[ch] = static_cast<float>(gamma_[i] * batch_inv_std_[i] * t);
+    }
+  }
+  return gx;
+}
+
+std::vector<ParamRef> BatchNorm::params() {
+  if (frozen_) return {};
+  return {{"bn.gamma", &gamma_, &gamma_grad_},
+          {"bn.beta", &beta_, &beta_grad_}};
+}
+
+}  // namespace mixq::nn

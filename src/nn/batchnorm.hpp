@@ -1,0 +1,62 @@
+// mixq/nn/batchnorm.hpp
+//
+// Channel-wise batch normalisation over NHWC tensors. This layer is central
+// to the paper: the ICN conversion (core/icn.hpp) absorbs gamma/beta/mu/sigma
+// into per-channel integer parameters instead of folding them into the
+// convolution weights. Supports freezing (paper Section 6: "running
+// statistics and learned parameters of batch-normalization layers are frozen
+// after the first training epoch").
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mixq::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::int64_t channels, float momentum = 0.1f,
+                     float eps = 1e-5f);
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+
+  /// Freeze statistics and affine parameters: forward always uses running
+  /// stats and backward passes gradients through without updating gamma/beta.
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  [[nodiscard]] std::int64_t channels() const { return c_; }
+  [[nodiscard]] const std::vector<float>& gamma() const { return gamma_; }
+  [[nodiscard]] std::vector<float>& gamma() { return gamma_; }
+  [[nodiscard]] const std::vector<float>& beta() const { return beta_; }
+  [[nodiscard]] std::vector<float>& beta() { return beta_; }
+  [[nodiscard]] const std::vector<float>& running_mean() const {
+    return running_mean_;
+  }
+  [[nodiscard]] std::vector<float>& running_mean() { return running_mean_; }
+  [[nodiscard]] const std::vector<float>& running_var() const {
+    return running_var_;
+  }
+  [[nodiscard]] std::vector<float>& running_var() { return running_var_; }
+  [[nodiscard]] float eps() const { return eps_; }
+
+  /// sigma_c = sqrt(running_var_c + eps): the denominator the ICN layer uses.
+  [[nodiscard]] std::vector<float> sigma() const;
+
+ private:
+  std::int64_t c_;
+  float momentum_;
+  float eps_;
+  bool frozen_{false};
+  std::vector<float> gamma_, beta_;
+  std::vector<float> gamma_grad_, beta_grad_;
+  std::vector<float> running_mean_, running_var_;
+  // Backward caches (training mode, unfrozen).
+  FloatTensor x_cache_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+  bool used_batch_stats_{false};
+};
+
+}  // namespace mixq::nn

@@ -1,0 +1,127 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::nn {
+
+Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+               ConvSpec spec, Rng* rng)
+    : ci_(in_channels),
+      co_(out_channels),
+      spec_(spec),
+      w_(WeightShape(out_channels, spec.kh, spec.kw, in_channels)),
+      w_grad_(static_cast<std::size_t>(w_.numel()), 0.0f),
+      b_(spec.bias ? static_cast<std::size_t>(out_channels) : 0, 0.0f),
+      b_grad_(b_.size(), 0.0f) {
+  // He-normal initialisation (fan-in), the standard choice for ReLU nets.
+  const double fan_in =
+      static_cast<double>(spec.kh * spec.kw * in_channels);
+  const double stddev = std::sqrt(2.0 / fan_in);
+  Rng local(0xC0FFEE);
+  Rng* r = rng != nullptr ? rng : &local;
+  r->fill_normal(w_.vec(), 0.0, stddev);
+}
+
+Shape Conv2D::out_shape(const Shape& in) const {
+  return Shape(in.n, conv_out_dim(in.h, spec_.kh, spec_.stride, spec_.pad),
+               conv_out_dim(in.w, spec_.kw, spec_.stride, spec_.pad), co_);
+}
+
+FloatTensor Conv2D::forward(const FloatTensor& x, bool train) {
+  return forward_with(x, w_, train);
+}
+
+FloatTensor Conv2D::forward_with(const FloatTensor& x, const FloatWeights& w,
+                                 bool train) {
+  if (x.shape().c != ci_) {
+    throw std::invalid_argument("Conv2D: input channel mismatch");
+  }
+  if (w.shape() != w_.shape()) {
+    throw std::invalid_argument("Conv2D: weight shape mismatch");
+  }
+  const Shape in = x.shape();
+  const Shape out = out_shape(in);
+  FloatTensor y(out);
+
+  const std::int64_t s = spec_.stride;
+  const std::int64_t p = spec_.pad;
+  for (std::int64_t n = 0; n < in.n; ++n) {
+    for (std::int64_t oh = 0; oh < out.h; ++oh) {
+      for (std::int64_t ow = 0; ow < out.w; ++ow) {
+        for (std::int64_t oc = 0; oc < co_; ++oc) {
+          float acc = b_.empty() ? 0.0f : b_[static_cast<std::size_t>(oc)];
+          for (std::int64_t ky = 0; ky < spec_.kh; ++ky) {
+            const std::int64_t ih = oh * s - p + ky;
+            if (ih < 0 || ih >= in.h) continue;
+            for (std::int64_t kx = 0; kx < spec_.kw; ++kx) {
+              const std::int64_t iw = ow * s - p + kx;
+              if (iw < 0 || iw >= in.w) continue;
+              const float* xp = x.data() + in.index(n, ih, iw, 0);
+              const float* wp = w.data() + w.shape().index(oc, ky, kx, 0);
+              for (std::int64_t ic = 0; ic < ci_; ++ic) {
+                acc += xp[ic] * wp[ic];
+              }
+            }
+          }
+          y.at(n, oh, ow, oc) = acc;
+        }
+      }
+    }
+  }
+  if (train) {
+    x_cache_ = x;
+    fwd_weights_ = &w;
+  }
+  return y;
+}
+
+FloatTensor Conv2D::backward(const FloatTensor& grad_out) {
+  if (x_cache_.empty() || fwd_weights_ == nullptr) {
+    throw std::logic_error("Conv2D::backward before forward(train=true)");
+  }
+  const FloatWeights& w = *fwd_weights_;
+  const Shape in = x_cache_.shape();
+  const Shape out = grad_out.shape();
+  FloatTensor gx(in, 0.0f);
+
+  const std::int64_t s = spec_.stride;
+  const std::int64_t p = spec_.pad;
+  for (std::int64_t n = 0; n < in.n; ++n) {
+    for (std::int64_t oh = 0; oh < out.h; ++oh) {
+      for (std::int64_t ow = 0; ow < out.w; ++ow) {
+        for (std::int64_t oc = 0; oc < co_; ++oc) {
+          const float g = grad_out.at(n, oh, ow, oc);
+          if (g == 0.0f) continue;
+          if (!b_grad_.empty()) b_grad_[static_cast<std::size_t>(oc)] += g;
+          for (std::int64_t ky = 0; ky < spec_.kh; ++ky) {
+            const std::int64_t ih = oh * s - p + ky;
+            if (ih < 0 || ih >= in.h) continue;
+            for (std::int64_t kx = 0; kx < spec_.kw; ++kx) {
+              const std::int64_t iw = ow * s - p + kx;
+              if (iw < 0 || iw >= in.w) continue;
+              const float* xp = x_cache_.data() + in.index(n, ih, iw, 0);
+              const float* wp = w.data() + w.shape().index(oc, ky, kx, 0);
+              float* gxp = gx.data() + in.index(n, ih, iw, 0);
+              float* gwp = w_grad_.data() + w.shape().index(oc, ky, kx, 0);
+              for (std::int64_t ic = 0; ic < ci_; ++ic) {
+                gxp[ic] += g * wp[ic];
+                gwp[ic] += g * xp[ic];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  std::vector<ParamRef> out;
+  out.push_back({"conv.w", &w_.vec(), &w_grad_});
+  if (!b_.empty()) out.push_back({"conv.b", &b_, &b_grad_});
+  return out;
+}
+
+}  // namespace mixq::nn

@@ -1,0 +1,63 @@
+// mixq/nn/conv2d.hpp
+//
+// Standard 2D convolution (NHWC activations, (cO,kh,kw,cI) weights) with an
+// explicit backward pass. Used both directly (pointwise 1x1 layers) and as
+// the float reference the integer-only runtime is verified against.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace mixq::nn {
+
+/// Convolution hyper-parameters shared by Conv2D and DepthwiseConv2D.
+struct ConvSpec {
+  std::int64_t kh{3};
+  std::int64_t kw{3};
+  std::int64_t stride{1};
+  std::int64_t pad{1};
+  bool bias{false};  ///< MobilenetV1 conv layers carry no bias (BN follows).
+};
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::int64_t in_channels, std::int64_t out_channels, ConvSpec spec,
+         Rng* rng = nullptr);
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+
+  [[nodiscard]] const FloatWeights& weights() const { return w_; }
+  [[nodiscard]] FloatWeights& weights() { return w_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return b_; }
+  [[nodiscard]] std::vector<float>& bias() { return b_; }
+  [[nodiscard]] const ConvSpec& spec() const { return spec_; }
+  [[nodiscard]] std::int64_t in_channels() const { return ci_; }
+  [[nodiscard]] std::int64_t out_channels() const { return co_; }
+
+  /// Forward using an externally supplied (e.g. fake-quantized) weight bank
+  /// of identical shape. The cached tensors still refer to the supplied
+  /// weights so backward computes STE gradients w.r.t. them.
+  FloatTensor forward_with(const FloatTensor& x, const FloatWeights& w,
+                           bool train);
+
+  /// Shape of the output produced for input shape `in`.
+  [[nodiscard]] Shape out_shape(const Shape& in) const;
+
+ private:
+  std::int64_t ci_;
+  std::int64_t co_;
+  ConvSpec spec_;
+  FloatWeights w_;
+  std::vector<float> w_grad_;
+  std::vector<float> b_;
+  std::vector<float> b_grad_;
+  // Cached for backward.
+  FloatTensor x_cache_;
+  const FloatWeights* fwd_weights_{nullptr};  // weights used in last forward
+};
+
+}  // namespace mixq::nn

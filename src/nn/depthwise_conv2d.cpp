@@ -1,0 +1,110 @@
+#include "nn/depthwise_conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::nn {
+
+DepthwiseConv2D::DepthwiseConv2D(std::int64_t channels, ConvSpec spec,
+                                 Rng* rng)
+    : c_(channels),
+      spec_(spec),
+      w_(WeightShape(channels, spec.kh, spec.kw, 1)),
+      w_grad_(static_cast<std::size_t>(w_.numel()), 0.0f) {
+  const double fan_in = static_cast<double>(spec.kh * spec.kw);
+  const double stddev = std::sqrt(2.0 / fan_in);
+  Rng local(0xDEC0DE);
+  Rng* r = rng != nullptr ? rng : &local;
+  r->fill_normal(w_.vec(), 0.0, stddev);
+}
+
+Shape DepthwiseConv2D::out_shape(const Shape& in) const {
+  return Shape(in.n, conv_out_dim(in.h, spec_.kh, spec_.stride, spec_.pad),
+               conv_out_dim(in.w, spec_.kw, spec_.stride, spec_.pad), c_);
+}
+
+FloatTensor DepthwiseConv2D::forward(const FloatTensor& x, bool train) {
+  return forward_with(x, w_, train);
+}
+
+FloatTensor DepthwiseConv2D::forward_with(const FloatTensor& x,
+                                          const FloatWeights& w, bool train) {
+  if (x.shape().c != c_) {
+    throw std::invalid_argument("DepthwiseConv2D: channel mismatch");
+  }
+  if (w.shape() != w_.shape()) {
+    throw std::invalid_argument("DepthwiseConv2D: weight shape mismatch");
+  }
+  const Shape in = x.shape();
+  const Shape out = out_shape(in);
+  FloatTensor y(out);
+
+  const std::int64_t s = spec_.stride;
+  const std::int64_t p = spec_.pad;
+  for (std::int64_t n = 0; n < in.n; ++n) {
+    for (std::int64_t oh = 0; oh < out.h; ++oh) {
+      for (std::int64_t ow = 0; ow < out.w; ++ow) {
+        float* yp = y.data() + out.index(n, oh, ow, 0);
+        for (std::int64_t ky = 0; ky < spec_.kh; ++ky) {
+          const std::int64_t ih = oh * s - p + ky;
+          if (ih < 0 || ih >= in.h) continue;
+          for (std::int64_t kx = 0; kx < spec_.kw; ++kx) {
+            const std::int64_t iw = ow * s - p + kx;
+            if (iw < 0 || iw >= in.w) continue;
+            const float* xp = x.data() + in.index(n, ih, iw, 0);
+            for (std::int64_t ch = 0; ch < c_; ++ch) {
+              yp[ch] += xp[ch] * w.at(ch, ky, kx, 0);
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) {
+    x_cache_ = x;
+    fwd_weights_ = &w;
+  }
+  return y;
+}
+
+FloatTensor DepthwiseConv2D::backward(const FloatTensor& grad_out) {
+  if (x_cache_.empty() || fwd_weights_ == nullptr) {
+    throw std::logic_error("DepthwiseConv2D::backward before forward");
+  }
+  const FloatWeights& w = *fwd_weights_;
+  const Shape in = x_cache_.shape();
+  const Shape out = grad_out.shape();
+  FloatTensor gx(in, 0.0f);
+
+  const std::int64_t s = spec_.stride;
+  const std::int64_t p = spec_.pad;
+  for (std::int64_t n = 0; n < in.n; ++n) {
+    for (std::int64_t oh = 0; oh < out.h; ++oh) {
+      for (std::int64_t ow = 0; ow < out.w; ++ow) {
+        const float* gp = grad_out.data() + out.index(n, oh, ow, 0);
+        for (std::int64_t ky = 0; ky < spec_.kh; ++ky) {
+          const std::int64_t ih = oh * s - p + ky;
+          if (ih < 0 || ih >= in.h) continue;
+          for (std::int64_t kx = 0; kx < spec_.kw; ++kx) {
+            const std::int64_t iw = ow * s - p + kx;
+            if (iw < 0 || iw >= in.w) continue;
+            const float* xp = x_cache_.data() + in.index(n, ih, iw, 0);
+            float* gxp = gx.data() + in.index(n, ih, iw, 0);
+            for (std::int64_t ch = 0; ch < c_; ++ch) {
+              gxp[ch] += gp[ch] * w.at(ch, ky, kx, 0);
+              w_grad_[static_cast<std::size_t>(
+                  w.shape().index(ch, ky, kx, 0))] += gp[ch] * xp[ch];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<ParamRef> DepthwiseConv2D::params() {
+  return {{"dwconv.w", &w_.vec(), &w_grad_}};
+}
+
+}  // namespace mixq::nn

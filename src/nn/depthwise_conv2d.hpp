@@ -1,0 +1,42 @@
+// mixq/nn/depthwise_conv2d.hpp
+//
+// Depthwise 2D convolution: each input channel is filtered independently
+// (channel multiplier 1, the MobilenetV1 configuration). Weights are stored
+// as (cO = C, kh, kw, cI = 1) so the per-output-channel slicing used by
+// per-channel quantization works identically to Conv2D.
+#pragma once
+
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::nn {
+
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(std::int64_t channels, ConvSpec spec, Rng* rng = nullptr);
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "DepthwiseConv2D"; }
+
+  [[nodiscard]] const FloatWeights& weights() const { return w_; }
+  [[nodiscard]] FloatWeights& weights() { return w_; }
+  [[nodiscard]] const ConvSpec& spec() const { return spec_; }
+  [[nodiscard]] std::int64_t channels() const { return c_; }
+
+  FloatTensor forward_with(const FloatTensor& x, const FloatWeights& w,
+                           bool train);
+  [[nodiscard]] Shape out_shape(const Shape& in) const;
+
+ private:
+  std::int64_t c_;
+  ConvSpec spec_;
+  FloatWeights w_;
+  std::vector<float> w_grad_;
+  FloatTensor x_cache_;
+  const FloatWeights* fwd_weights_{nullptr};
+};
+
+}  // namespace mixq::nn

@@ -1,0 +1,53 @@
+// mixq/nn/layer.hpp
+//
+// Minimal training framework used to run quantization-aware training (QAT)
+// end-to-end. Every layer implements an explicit forward and backward pass;
+// there is no autograd tape. Layers cache what they need for backward in
+// member state, so a layer instance processes one (forward, backward) pair
+// at a time -- exactly the pattern a training loop uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mixq::nn {
+
+/// A view of one trainable parameter: flat value/grad arrays of equal size.
+/// Optimizers iterate over ParamRefs without knowing the owning layer.
+struct ParamRef {
+  std::string name;
+  std::vector<float>* value{nullptr};
+  std::vector<float>* grad{nullptr};
+};
+
+/// Base class of all differentiable layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. `train` toggles training-time behaviour
+  /// (batch-norm batch statistics, caching of inputs for backward).
+  virtual FloatTensor forward(const FloatTensor& x, bool train) = 0;
+
+  /// Given dL/d(output), accumulate parameter gradients and return
+  /// dL/d(input). Must be called after a forward with train == true.
+  virtual FloatTensor backward(const FloatTensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Human-readable layer name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Zero all parameter gradients.
+  void zero_grad() {
+    for (auto& p : params()) {
+      std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+    }
+  }
+};
+
+}  // namespace mixq::nn

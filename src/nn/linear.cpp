@@ -1,0 +1,85 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               Rng* rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(WeightShape(out_features, 1, 1, in_features)),
+      w_grad_(static_cast<std::size_t>(w_.numel()), 0.0f),
+      b_(bias ? static_cast<std::size_t>(out_features) : 0, 0.0f),
+      b_grad_(b_.size(), 0.0f) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+  Rng local(0xFACADE);
+  Rng* r = rng != nullptr ? rng : &local;
+  r->fill_normal(w_.vec(), 0.0, stddev);
+}
+
+FloatTensor Linear::forward(const FloatTensor& x, bool train) {
+  return forward_with(x, w_, train);
+}
+
+FloatTensor Linear::forward_with(const FloatTensor& x, const FloatWeights& w,
+                                 bool train) {
+  const Shape s = x.shape();
+  if (s.h * s.w * s.c != in_) {
+    throw std::invalid_argument("Linear: feature size mismatch");
+  }
+  if (w.shape() != w_.shape()) {
+    throw std::invalid_argument("Linear: weight shape mismatch");
+  }
+  FloatTensor y(Shape(s.n, 1, 1, out_));
+  for (std::int64_t n = 0; n < s.n; ++n) {
+    const float* xp = x.data() + n * in_;
+    float* yp = y.data() + n * out_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      float acc = b_.empty() ? 0.0f : b_[static_cast<std::size_t>(o)];
+      const float* wp = w.channel(o);
+      for (std::int64_t i = 0; i < in_; ++i) acc += xp[i] * wp[i];
+      yp[o] = acc;
+    }
+  }
+  if (train) {
+    x_cache_ = x;
+    fwd_weights_ = &w;
+  }
+  return y;
+}
+
+FloatTensor Linear::backward(const FloatTensor& grad_out) {
+  if (x_cache_.empty() || fwd_weights_ == nullptr) {
+    throw std::logic_error("Linear::backward before forward(train=true)");
+  }
+  const FloatWeights& w = *fwd_weights_;
+  const Shape s = x_cache_.shape();
+  FloatTensor gx(s, 0.0f);
+  for (std::int64_t n = 0; n < s.n; ++n) {
+    const float* xp = x_cache_.data() + n * in_;
+    const float* gp = grad_out.data() + n * out_;
+    float* gxp = gx.data() + n * in_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float g = gp[o];
+      if (!b_grad_.empty()) b_grad_[static_cast<std::size_t>(o)] += g;
+      const float* wp = w.channel(o);
+      float* gwp = w_grad_.data() + o * in_;
+      for (std::int64_t i = 0; i < in_; ++i) {
+        gxp[i] += g * wp[i];
+        gwp[i] += g * xp[i];
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<ParamRef> Linear::params() {
+  std::vector<ParamRef> out;
+  out.push_back({"linear.w", &w_.vec(), &w_grad_});
+  if (!b_.empty()) out.push_back({"linear.b", &b_, &b_grad_});
+  return out;
+}
+
+}  // namespace mixq::nn

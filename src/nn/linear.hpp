@@ -1,0 +1,43 @@
+// mixq/nn/linear.hpp
+//
+// Fully connected layer over flattened NHWC input. Weights are stored as a
+// WeightTensor with shape (out_features, 1, 1, in_features) so that the
+// quantization machinery treats it exactly like a 1x1 convolution bank.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features,
+         bool bias = true, Rng* rng = nullptr);
+
+  FloatTensor forward(const FloatTensor& x, bool train) override;
+  FloatTensor backward(const FloatTensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] const FloatWeights& weights() const { return w_; }
+  [[nodiscard]] FloatWeights& weights() { return w_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return b_; }
+  [[nodiscard]] std::vector<float>& bias() { return b_; }
+  [[nodiscard]] std::int64_t in_features() const { return in_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_; }
+
+  FloatTensor forward_with(const FloatTensor& x, const FloatWeights& w,
+                           bool train);
+
+ private:
+  std::int64_t in_, out_;
+  FloatWeights w_;
+  std::vector<float> w_grad_;
+  std::vector<float> b_;
+  std::vector<float> b_grad_;
+  FloatTensor x_cache_;
+  const FloatWeights* fwd_weights_{nullptr};
+};
+
+}  // namespace mixq::nn

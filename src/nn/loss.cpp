@@ -1,0 +1,58 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mixq::nn {
+
+LossResult softmax_cross_entropy(const FloatTensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  const Shape s = logits.shape();
+  const std::int64_t n = s.n;
+  const std::int64_t k = s.h * s.w * s.c;
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult res;
+  res.grad = FloatTensor(s);
+  double total = 0.0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* lp = logits.data() + b * k;
+    float* gp = res.grad.data() + b * k;
+    const std::int32_t label = labels[static_cast<std::size_t>(b)];
+    if (label < 0 || label >= k) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float mx = *std::max_element(lp, lp + k);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) denom += std::exp(static_cast<double>(lp[j] - mx));
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(lp[label] - mx) - log_denom);
+
+    std::int64_t best = 0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double p = std::exp(static_cast<double>(lp[j] - mx)) / denom;
+      gp[j] = static_cast<float>(p / static_cast<double>(n));
+      if (lp[j] > lp[best]) best = j;
+    }
+    gp[label] -= 1.0f / static_cast<float>(n);
+    if (best == label) ++res.correct;
+  }
+  res.loss = static_cast<float>(total / static_cast<double>(n));
+  return res;
+}
+
+std::vector<std::int32_t> argmax_classes(const FloatTensor& logits) {
+  const Shape s = logits.shape();
+  const std::int64_t k = s.h * s.w * s.c;
+  std::vector<std::int32_t> out(static_cast<std::size_t>(s.n));
+  for (std::int64_t b = 0; b < s.n; ++b) {
+    const float* lp = logits.data() + b * k;
+    out[static_cast<std::size_t>(b)] = static_cast<std::int32_t>(
+        std::max_element(lp, lp + k) - lp);
+  }
+  return out;
+}
+
+}  // namespace mixq::nn

@@ -1,0 +1,27 @@
+// mixq/nn/loss.hpp
+//
+// Softmax cross-entropy loss with integrated backward, plus accuracy helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mixq::nn {
+
+/// Result of a loss evaluation over a batch.
+struct LossResult {
+  float loss{0.0f};          ///< mean cross-entropy over the batch
+  FloatTensor grad;          ///< dL/dlogits (already divided by batch size)
+  std::int64_t correct{0};   ///< number of argmax-correct predictions
+};
+
+/// logits: (N,1,1,K); labels: N class indices in [0, K).
+LossResult softmax_cross_entropy(const FloatTensor& logits,
+                                 const std::vector<std::int32_t>& labels);
+
+/// Argmax class per batch row of a (N,1,1,K) logits tensor.
+std::vector<std::int32_t> argmax_classes(const FloatTensor& logits);
+
+}  // namespace mixq::nn

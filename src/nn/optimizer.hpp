@@ -1,0 +1,89 @@
+// mixq/nn/optimizer.hpp
+//
+// Optimizers over flat ParamRef lists. ADAM is the optimizer the paper uses
+// for quantization-aware retraining (Section 6); SGD is kept for baselines
+// and tests.
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mixq::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step to every parameter in `params`.
+  virtual void step(const std::vector<ParamRef>& params) = 0;
+  virtual void set_lr(float lr) = 0;
+  [[nodiscard]] virtual float lr() const = 0;
+};
+
+/// Plain SGD with optional momentum and weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<ParamRef>& params) override {
+    for (const auto& p : params) {
+      auto& v = velocity_[p.value];
+      if (v.size() != p.value->size()) v.assign(p.value->size(), 0.0f);
+      for (std::size_t i = 0; i < p.value->size(); ++i) {
+        float g = (*p.grad)[i] + weight_decay_ * (*p.value)[i];
+        v[i] = momentum_ * v[i] + g;
+        (*p.value)[i] -= lr_ * v[i];
+      }
+    }
+  }
+  void set_lr(float lr) override { lr_ = lr; }
+  [[nodiscard]] float lr() const override { return lr_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::unordered_map<std::vector<float>*, std::vector<float>> velocity_;
+};
+
+/// ADAM (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(const std::vector<ParamRef>& params) override {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_), t_);
+    const double bc2 = 1.0 - std::pow(static_cast<double>(beta2_), t_);
+    for (const auto& p : params) {
+      auto& st = state_[p.value];
+      if (st.m.size() != p.value->size()) {
+        st.m.assign(p.value->size(), 0.0f);
+        st.v.assign(p.value->size(), 0.0f);
+      }
+      for (std::size_t i = 0; i < p.value->size(); ++i) {
+        const float g = (*p.grad)[i];
+        st.m[i] = beta1_ * st.m[i] + (1.0f - beta1_) * g;
+        st.v[i] = beta2_ * st.v[i] + (1.0f - beta2_) * g * g;
+        const double mhat = st.m[i] / bc1;
+        const double vhat = st.v[i] / bc2;
+        (*p.value)[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+      }
+    }
+  }
+  void set_lr(float lr) override { lr_ = lr; }
+  [[nodiscard]] float lr() const override { return lr_; }
+
+ private:
+  struct State {
+    std::vector<float> m, v;
+  };
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_{0};
+  std::unordered_map<std::vector<float>*, State> state_;
+};
+
+}  // namespace mixq::nn

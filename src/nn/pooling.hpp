@@ -1,0 +1,56 @@
+// mixq/nn/pooling.hpp
+//
+// Average pooling layers. MobilenetV1 ends with a global average pool over
+// the final 7x7 (or smaller) feature map; the integer-only runtime has a
+// matching integer kernel (runtime/kernels.hpp).
+#pragma once
+
+#include <stdexcept>
+
+#include "nn/layer.hpp"
+
+namespace mixq::nn {
+
+/// Global average pooling: (N,H,W,C) -> (N,1,1,C).
+class GlobalAvgPool final : public Layer {
+ public:
+  FloatTensor forward(const FloatTensor& x, bool train) override {
+    const Shape s = x.shape();
+    FloatTensor y(Shape(s.n, 1, 1, s.c), 0.0f);
+    const float inv = 1.0f / static_cast<float>(s.h * s.w);
+    for (std::int64_t n = 0; n < s.n; ++n) {
+      for (std::int64_t r = 0; r < s.h * s.w; ++r) {
+        const float* xp = x.data() + (n * s.h * s.w + r) * s.c;
+        float* yp = y.data() + n * s.c;
+        for (std::int64_t ch = 0; ch < s.c; ++ch) yp[ch] += xp[ch];
+      }
+    }
+    for (std::int64_t i = 0; i < y.numel(); ++i) y[i] *= inv;
+    if (train) in_shape_ = s;
+    return y;
+  }
+
+  FloatTensor backward(const FloatTensor& grad_out) override {
+    if (in_shape_.numel() == 0) {
+      throw std::logic_error("GlobalAvgPool::backward before forward");
+    }
+    const Shape s = in_shape_;
+    FloatTensor gx(s);
+    const float inv = 1.0f / static_cast<float>(s.h * s.w);
+    for (std::int64_t n = 0; n < s.n; ++n) {
+      const float* gp = grad_out.data() + n * s.c;
+      for (std::int64_t r = 0; r < s.h * s.w; ++r) {
+        float* gxp = gx.data() + (n * s.h * s.w + r) * s.c;
+        for (std::int64_t ch = 0; ch < s.c; ++ch) gxp[ch] = gp[ch] * inv;
+      }
+    }
+    return gx;
+  }
+
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape in_shape_{0, 0, 0, 0};
+};
+
+}  // namespace mixq::nn

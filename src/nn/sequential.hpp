@@ -1,0 +1,67 @@
+// mixq/nn/sequential.hpp
+//
+// Ordered container of layers with whole-graph forward/backward. All mixq
+// training models (float baselines and QAT graphs) are Sequential stacks.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mixq::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a non-owning typed pointer for later access.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void push_back(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  FloatTensor forward(const FloatTensor& x, bool train) override {
+    FloatTensor cur = x;
+    for (auto& l : layers_) cur = l->forward(cur, train);
+    return cur;
+  }
+
+  FloatTensor backward(const FloatTensor& grad_out) override {
+    FloatTensor cur = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      cur = (*it)->backward(cur);
+    }
+    return cur;
+  }
+
+  std::vector<ParamRef> params() override {
+    std::vector<ParamRef> out;
+    for (auto& l : layers_) {
+      auto ps = l->params();
+      out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer* at(std::size_t i) { return layers_.at(i).get(); }
+  [[nodiscard]] const Layer* at(std::size_t i) const {
+    return layers_.at(i).get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace mixq::nn

@@ -1,0 +1,154 @@
+#include "runtime/convert.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/thresholds.hpp"
+
+namespace mixq::runtime {
+
+namespace {
+
+QLayerKind kind_of(core::BlockKind k) {
+  switch (k) {
+    case core::BlockKind::kConv: return QLayerKind::kConv;
+    case core::BlockKind::kDepthwise: return QLayerKind::kDepthwise;
+    case core::BlockKind::kLinear: return QLayerKind::kLinear;
+  }
+  throw std::logic_error("kind_of: invalid block kind");
+}
+
+}  // namespace
+
+QuantizedNet convert_qat_model(const core::QatModel& model,
+                               const Shape& input_shape,
+                               const std::vector<Scheme>& schemes) {
+  if (model.input == nullptr) {
+    throw std::invalid_argument("convert_qat_model: model has no InputQuant");
+  }
+  if (model.chain.empty()) {
+    throw std::invalid_argument("convert_qat_model: empty chain");
+  }
+  if (schemes.size() != 1 && schemes.size() != model.chain.size()) {
+    throw std::invalid_argument(
+        "convert_qat_model: schemes must have 1 or chain-size entries");
+  }
+
+  QuantizedNet out;
+  out.input_qp = model.input->deploy_params();
+
+  QuantParams prev = out.input_qp;  // quantization of the current activation
+  Shape cur_shape = input_shape;
+
+  for (std::size_t i = 0; i < model.chain.size(); ++i) {
+    const auto& item = model.chain[i];
+    core::QConvBlock& blk = *item.block;
+    const Scheme scheme =
+        schemes.size() == 1 ? schemes[0] : schemes[i];
+
+    if (core::granularity_of(scheme) != blk.config().wgran) {
+      throw std::invalid_argument(
+          "convert_qat_model: scheme granularity does not match block " +
+          std::to_string(i));
+    }
+    if (scheme == Scheme::kPLFoldBN && !blk.folding_active() &&
+        blk.bn() != nullptr) {
+      throw std::invalid_argument(
+          "convert_qat_model: PL+FB conversion requires folding-trained "
+          "block " + std::to_string(i));
+    }
+
+    if (item.gap_before) {
+      QLayer gap;
+      gap.kind = QLayerKind::kGlobalAvgPool;
+      gap.scheme = scheme;
+      gap.in_shape = cur_shape;
+      gap.out_shape = Shape(cur_shape.n, 1, 1, cur_shape.c);
+      gap.qx = gap.qy = prev.q;
+      gap.qw = prev.q;  // unused
+      gap.zx = gap.zy = prev.zero;
+      gap.wshape = WeightShape(cur_shape.c, 1, 1, 1);  // metadata only
+      gap.weights = PackedBuffer(0, prev.q);
+      out.layers.push_back(std::move(gap));
+      cur_shape = Shape(cur_shape.n, 1, 1, cur_shape.c);
+    }
+
+    QLayer ql;
+    ql.kind = kind_of(blk.kind());
+    ql.scheme = scheme;
+    ql.spec = blk.conv_spec();
+    ql.in_shape = cur_shape;
+    ql.out_shape = blk.out_shape(cur_shape);
+    ql.qx = prev.q;
+    ql.qw = blk.config().qw;
+    ql.zx = prev.zero;
+
+    // MCU kernels accumulate Phi in INT32 (our reference widens to INT64);
+    // refuse to emit a layer whose worst-case accumulator could overflow
+    // the deployment datatype.
+    {
+      const std::int64_t per = blk.kind() == core::BlockKind::kDepthwise
+                                   ? blk.conv_spec().kh * blk.conv_spec().kw
+                                   : (blk.kind() == core::BlockKind::kLinear
+                                          ? blk.in_channels()
+                                          : blk.conv_spec().kh *
+                                                blk.conv_spec().kw *
+                                                blk.in_channels());
+      if (core::phi_bound(per, ql.qx, ql.qw) >
+          std::numeric_limits<std::int32_t>::max()) {
+        throw std::invalid_argument(
+            "convert_qat_model: layer " + std::to_string(i) +
+            " can overflow the INT32 accumulator");
+      }
+    }
+
+    // Quantize the deployed weights.
+    const FloatWeights w = blk.deploy_weights();
+    const core::WeightQuant wq = blk.deploy_weight_quant();
+    ql.wshape = w.shape();
+    ql.weights = pack_codes(core::quantize_weights(w, wq), wq.q);
+    for (const auto& p : wq.params) ql.zw.push_back(p.zero);
+
+    // Scales for the requantization multipliers.
+    const double si = prev.scale;
+    std::vector<double> sw;
+    sw.reserve(wq.params.size());
+    for (const auto& p : wq.params) sw.push_back(p.scale);
+    const std::vector<core::BnChannel> bn = blk.bn_channels();
+    const std::vector<float> bias_f = blk.conv_bias();
+    const std::vector<double> bias(bias_f.begin(), bias_f.end());
+
+    const auto act = blk.act_params();
+    if (act.has_value()) {
+      ql.qy = act->q;
+      ql.zy = act->zero;
+      ql.icn = core::derive_icn_layer(si, sw, act->scale, bn, bias);
+      if (scheme == Scheme::kPCThresholds) {
+        const std::int64_t bound = core::phi_bound(
+            ql.wshape.per_channel(), ql.qx, ql.qw);
+        ql.thresholds = core::derive_threshold_layer(ql.icn, ql.zy, ql.qy,
+                                                     -bound, bound);
+      }
+    } else {
+      // Head layer: emit dequantized logits.
+      ql.raw_logits = true;
+      ql.qy = BitWidth::kQ8;  // unused
+      ql.zy = 0;
+      ql.icn = core::derive_icn_layer(si, sw, /*so=*/1.0, bn, bias);
+      ql.out_mult.reserve(bn.size());
+      for (std::size_t c = 0; c < bn.size(); ++c) {
+        const double swc = sw.size() == 1 ? sw[0] : sw[c];
+        ql.out_mult.push_back(si * swc);
+      }
+    }
+
+    if (act.has_value()) {
+      prev = *act;
+    }
+    cur_shape = ql.out_shape;
+    out.layers.push_back(std::move(ql));
+  }
+  return out;
+}
+
+}  // namespace mixq::runtime

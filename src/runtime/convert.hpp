@@ -1,0 +1,26 @@
+// mixq/runtime/convert.hpp
+//
+// Conversion of a trained fake-quantized model g(x) into the integer-only
+// deployment model g'(x) (paper Figure 1, Section 4). Each QConvBlock
+// becomes a QLayer whose static parameters are derived with the ICN
+// formulation (Eq. 4-5), the folded-batch-norm baseline, or the integer
+// thresholds baseline, depending on the requested per-layer scheme.
+#pragma once
+
+#include <vector>
+
+#include "core/qat_model.hpp"
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+/// Convert `model` (already trained) into an integer-only network.
+/// `input_shape` is the batch-1 NHWC input of deployment. `schemes` has one
+/// entry per chain element; granularity of each scheme must match the
+/// block's training granularity (PL schemes for PL-trained blocks, PC for
+/// PC). A single-element vector applies the same scheme everywhere.
+QuantizedNet convert_qat_model(const core::QatModel& model,
+                               const Shape& input_shape,
+                               const std::vector<Scheme>& schemes);
+
+}  // namespace mixq::runtime

@@ -1,0 +1,47 @@
+// mixq/runtime/executor.hpp
+//
+// Integer-only inference executor with the MCU's memory discipline: all
+// inter-layer activations live in two packed "ping-pong" buffers whose peak
+// combined size is exactly the Eq. 7 quantity the RW budget constrains.
+#pragma once
+
+#include <vector>
+
+#include "runtime/fast_kernels.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+class Executor {
+ public:
+  /// `fast` selects the unpacked-scratch kernel path (fast_kernels.hpp);
+  /// both paths are bit-exact equals.
+  explicit Executor(const QuantizedNet& net, bool fast = false)
+      : net_(&net), fast_(fast) {}
+
+  /// Run one batch-1 float image through the network.
+  QInferenceResult run(const FloatTensor& image) const;
+
+  /// Run a batch (N >= 1) image-by-image, returning one result per image.
+  std::vector<QInferenceResult> run_batch(const FloatTensor& images) const;
+
+  /// Float logits for a whole batch, shaped (N,1,1,K) -- convenient for
+  /// comparing against the fake-quantized training graph.
+  FloatTensor logits_batch(const FloatTensor& images) const;
+
+  /// Class indices of the k largest logits for one batch-1 image,
+  /// descending (top-k classification, k <= number of classes).
+  std::vector<std::int32_t> top_k(const FloatTensor& image, int k) const;
+
+ private:
+  const QuantizedNet* net_;
+  bool fast_;
+  mutable Scratch scratch_;
+};
+
+/// Quantize a batch-1 float image into packed input codes.
+PackedBuffer quantize_input(const FloatTensor& image,
+                            const core::QuantParams& qp);
+
+}  // namespace mixq::runtime

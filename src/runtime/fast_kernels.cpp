@@ -1,0 +1,183 @@
+#include "runtime/fast_kernels.hpp"
+
+#include <stdexcept>
+
+namespace mixq::runtime {
+
+namespace {
+
+void unpack_into(const PackedBuffer& buf, std::vector<std::int32_t>& out) {
+  out.resize(static_cast<std::size_t>(buf.numel()));
+  if (buf.numel() > 0) unpack_range(buf, 0, buf.numel(), out.data());
+}
+
+/// Unpack input codes and pre-subtract the zero-point: padded (skipped)
+/// taps contribute exactly 0 in the reference kernel, and after this
+/// offsetting every in-bounds tap contributes (X - Zx) as Eq. 4 requires.
+void unpack_offset_input(const PackedBuffer& buf, std::int32_t zx,
+                         std::vector<std::int32_t>& out) {
+  unpack_into(buf, out);
+  if (zx != 0) {
+    for (auto& v : out) v -= zx;
+  }
+}
+
+/// Unpack weight codes and pre-subtract the (per-channel) zero-point, so
+/// the inner loops are plain dot products.
+void unpack_offset_weights(const QLayer& l, std::vector<std::int32_t>& out) {
+  unpack_into(l.weights, out);
+  const std::int64_t per = l.wshape.per_channel();
+  for (std::int64_t oc = 0; oc < l.wshape.co; ++oc) {
+    const std::int32_t zw = l.zw_of(oc);
+    if (zw == 0) continue;
+    std::int32_t* wp = out.data() + oc * per;
+    for (std::int64_t i = 0; i < per; ++i) wp[i] -= zw;
+  }
+}
+
+std::int32_t requantize(const QLayer& l, std::int64_t phi, std::int64_t oc) {
+  if (l.scheme == Scheme::kPCThresholds) {
+    return core::threshold_eval(phi,
+                                l.thresholds[static_cast<std::size_t>(oc)]);
+  }
+  const IcnChannel& ch = l.icn[static_cast<std::size_t>(oc)];
+  const std::int64_t v = core::fixed_point_floor_mul(phi + ch.bq, ch.m);
+  const std::int64_t y = static_cast<std::int64_t>(l.zy) + v;
+  const std::int64_t hi = core::qmax(l.qy);
+  return static_cast<std::int32_t>(y < 0 ? 0 : (y > hi ? hi : y));
+}
+
+void conv_fast(const QLayer& l, const std::vector<std::int32_t>& x,
+               const std::vector<std::int32_t>& w, PackedBuffer& out) {
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const bool depthwise = l.kind == QLayerKind::kDepthwise;
+  const std::int64_t ci = l.wshape.ci;
+  const std::int64_t per = l.wshape.per_channel();
+
+  for (std::int64_t n = 0; n < is.n; ++n) {
+    for (std::int64_t oh = 0; oh < os.h; ++oh) {
+      for (std::int64_t ow = 0; ow < os.w; ++ow) {
+        const std::int64_t out_base = os.index(n, oh, ow, 0);
+        for (std::int64_t oc = 0; oc < os.c; ++oc) {
+          const std::int32_t* wch = w.data() + oc * per;
+          std::int64_t acc = 0;
+          for (std::int64_t ky = 0; ky < l.spec.kh; ++ky) {
+            const std::int64_t ih = oh * l.spec.stride - l.spec.pad + ky;
+            if (ih < 0 || ih >= is.h) continue;
+            for (std::int64_t kx = 0; kx < l.spec.kw; ++kx) {
+              const std::int64_t iw = ow * l.spec.stride - l.spec.pad + kx;
+              if (iw < 0 || iw >= is.w) continue;
+              if (depthwise) {
+                acc += static_cast<std::int64_t>(
+                           x[static_cast<std::size_t>(
+                               is.index(n, ih, iw, oc))]) *
+                       wch[ky * l.spec.kw + kx];
+              } else {
+                const std::int32_t* xp = x.data() + is.index(n, ih, iw, 0);
+                const std::int32_t* wp = wch + (ky * l.spec.kw + kx) * ci;
+                std::int64_t dot = 0;
+                for (std::int64_t c = 0; c < ci; ++c) {
+                  dot += static_cast<std::int64_t>(xp[c]) * wp[c];
+                }
+                acc += dot;
+              }
+            }
+          }
+          out.set(out_base + oc,
+                  static_cast<std::uint32_t>(requantize(l, acc, oc)));
+        }
+      }
+    }
+  }
+}
+
+void linear_fast(const QLayer& l, const std::vector<std::int32_t>& x,
+                 const std::vector<std::int32_t>& w, PackedBuffer& out) {
+  const std::int64_t features = l.wshape.per_channel();
+  for (std::int64_t n = 0; n < l.in_shape.n; ++n) {
+    const std::int32_t* xp = x.data() + n * features;
+    for (std::int64_t oc = 0; oc < l.wshape.co; ++oc) {
+      const std::int32_t* wp = w.data() + oc * features;
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < features; ++i) {
+        acc += static_cast<std::int64_t>(xp[i]) * wp[i];
+      }
+      out.set(n * l.wshape.co + oc,
+              static_cast<std::uint32_t>(requantize(l, acc, oc)));
+    }
+  }
+}
+
+void gap_fast(const QLayer& l, const std::vector<std::int32_t>& x,
+              PackedBuffer& out) {
+  // Raw codes (no zero-point offset): the pool preserves scale and zero.
+  const Shape& is = l.in_shape;
+  const std::int64_t hw = is.h * is.w;
+  for (std::int64_t n = 0; n < is.n; ++n) {
+    for (std::int64_t c = 0; c < is.c; ++c) {
+      std::int64_t sum = 0;
+      for (std::int64_t r = 0; r < hw; ++r) {
+        sum += x[static_cast<std::size_t>((n * hw + r) * is.c + c)];
+      }
+      out.set(n * is.c + c, static_cast<std::uint32_t>(sum / hw));
+    }
+  }
+}
+
+}  // namespace
+
+void run_layer_fast(const QLayer& layer, const PackedBuffer& in,
+                    PackedBuffer& out, Scratch& scratch) {
+  if (layer.raw_logits) {
+    throw std::invalid_argument("run_layer_fast: head needs run_head_fast");
+  }
+  switch (layer.kind) {
+    case QLayerKind::kConv:
+    case QLayerKind::kDepthwise:
+      unpack_offset_input(in, layer.zx, scratch.x);
+      unpack_offset_weights(layer, scratch.w);
+      conv_fast(layer, scratch.x, scratch.w, out);
+      return;
+    case QLayerKind::kLinear:
+      unpack_offset_input(in, layer.zx, scratch.x);
+      unpack_offset_weights(layer, scratch.w);
+      linear_fast(layer, scratch.x, scratch.w, out);
+      return;
+    case QLayerKind::kGlobalAvgPool:
+      unpack_into(in, scratch.x);
+      gap_fast(layer, scratch.x, out);
+      return;
+  }
+  throw std::logic_error("run_layer_fast: invalid kind");
+}
+
+std::vector<float> run_head_fast(const QLayer& layer, const PackedBuffer& in,
+                                 Scratch& scratch) {
+  if (!layer.raw_logits || layer.kind != QLayerKind::kLinear) {
+    throw std::invalid_argument("run_head_fast: layer is not a linear head");
+  }
+  unpack_offset_input(in, layer.zx, scratch.x);
+  unpack_offset_weights(layer, scratch.w);
+  const std::int64_t features = layer.wshape.per_channel();
+  const std::int64_t batch = layer.in_shape.n;
+  std::vector<float> logits(
+      static_cast<std::size_t>(batch * layer.wshape.co));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int32_t* xp = scratch.x.data() + n * features;
+    for (std::int64_t oc = 0; oc < layer.wshape.co; ++oc) {
+      const std::int32_t* wp = scratch.w.data() + oc * features;
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < features; ++i) {
+        acc += static_cast<std::int64_t>(xp[i]) * wp[i];
+      }
+      const auto& ch = layer.icn[static_cast<std::size_t>(oc)];
+      logits[static_cast<std::size_t>(n * layer.wshape.co + oc)] =
+          static_cast<float>(layer.out_mult[static_cast<std::size_t>(oc)] *
+                             static_cast<double>(acc + ch.bq));
+    }
+  }
+  return logits;
+}
+
+}  // namespace mixq::runtime

@@ -1,0 +1,30 @@
+// mixq/runtime/fast_kernels.hpp
+//
+// Optimized execution path for the integer-only kernels. The reference
+// kernels (kernels.hpp) read packed codes element-by-element; this path
+// unpacks the input tensor and weight bank into flat INT32 scratch buffers
+// once per layer and then runs dense inner loops -- the portable analogue
+// of CMSIS-NN's im2col + GEMM structure that the paper's deployments use.
+// Bit-exact with run_layer by construction; asserted by property tests.
+#pragma once
+
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+/// Reusable scratch memory for the fast path (grows on demand; reuse one
+/// instance across layers/inferences to avoid reallocation).
+struct Scratch {
+  std::vector<std::int32_t> x;  ///< unpacked input codes
+  std::vector<std::int32_t> w;  ///< unpacked weight codes
+};
+
+/// Bit-exact fast version of run_layer.
+void run_layer_fast(const QLayer& layer, const PackedBuffer& in,
+                    PackedBuffer& out, Scratch& scratch);
+
+/// Bit-exact fast version of run_head.
+std::vector<float> run_head_fast(const QLayer& layer, const PackedBuffer& in,
+                                 Scratch& scratch);
+
+}  // namespace mixq::runtime

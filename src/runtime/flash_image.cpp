@@ -1,0 +1,328 @@
+#include "runtime/flash_image.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mixq::runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'X', 'Q', 'I', 'M', 'G', '1'};
+
+/// Little-endian byte writer.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out_.insert(out_.end(), buf, buf + sizeof(T));
+  }
+  void put_bytes(const std::uint8_t* data, std::size_t n) {
+    out_.insert(out_.end(), data, data + n);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > size_) {
+      throw std::runtime_error("flash image: truncated field");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void get_bytes(std::uint8_t* dst, std::size_t n) {
+    if (pos_ + n > size_) {
+      throw std::runtime_error("flash image: truncated byte array");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+void put_shape(Writer& w, const Shape& s) {
+  w.put<std::int64_t>(s.n);
+  w.put<std::int64_t>(s.h);
+  w.put<std::int64_t>(s.w);
+  w.put<std::int64_t>(s.c);
+}
+
+Shape get_shape(Reader& r) {
+  const auto n = r.get<std::int64_t>();
+  const auto h = r.get<std::int64_t>();
+  const auto ww = r.get<std::int64_t>();
+  const auto c = r.get<std::int64_t>();
+  if (n < 0 || h < 0 || ww < 0 || c < 0) {
+    throw std::runtime_error("flash image: negative shape dimension");
+  }
+  return Shape(n, h, ww, c);
+}
+
+BitWidth get_bitwidth(Reader& r) {
+  const auto q = r.get<std::uint8_t>();
+  if (q != 2 && q != 4 && q != 8) {
+    throw std::runtime_error("flash image: invalid bit width");
+  }
+  return core::bitwidth_from_int(q);
+}
+
+void put_layer(Writer& w, const QLayer& l) {
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(l.kind));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(l.scheme));
+  w.put<std::int32_t>(static_cast<std::int32_t>(l.spec.kh));
+  w.put<std::int32_t>(static_cast<std::int32_t>(l.spec.kw));
+  w.put<std::int32_t>(static_cast<std::int32_t>(l.spec.stride));
+  w.put<std::int32_t>(static_cast<std::int32_t>(l.spec.pad));
+  put_shape(w, l.in_shape);
+  put_shape(w, l.out_shape);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(core::bits(l.qx)));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(core::bits(l.qw)));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(core::bits(l.qy)));
+  w.put<std::int64_t>(l.wshape.co);
+  w.put<std::int64_t>(l.wshape.kh);
+  w.put<std::int64_t>(l.wshape.kw);
+  w.put<std::int64_t>(l.wshape.ci);
+  w.put<std::int32_t>(l.zx);
+  w.put<std::int32_t>(l.zy);
+  w.put<std::uint8_t>(l.raw_logits ? 1 : 0);
+
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(l.zw.size()));
+  for (auto z : l.zw) w.put<std::int32_t>(z);
+
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(l.icn.size()));
+  for (const auto& ch : l.icn) {
+    w.put<std::int32_t>(ch.bq);
+    w.put<std::int32_t>(ch.m.m0_q31);
+    w.put<std::int8_t>(ch.m.n0);
+  }
+
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(l.thresholds.size()));
+  for (const auto& th : l.thresholds) {
+    w.put<std::uint8_t>(th.rising ? 1 : 0);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(th.thr.size()));
+    for (auto t : th.thr) w.put<std::int64_t>(t);
+  }
+
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(l.out_mult.size()));
+  for (auto m : l.out_mult) w.put<double>(m);
+
+  w.put<std::int64_t>(l.weights.numel());
+  w.put<std::uint8_t>(
+      static_cast<std::uint8_t>(core::bits(l.weights.bitwidth())));
+  w.put_bytes(l.weights.data(),
+              static_cast<std::size_t>(l.weights.size_bytes()));
+}
+
+QLayer get_layer(Reader& r) {
+  QLayer l;
+  const auto kind = r.get<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(QLayerKind::kGlobalAvgPool)) {
+    throw std::runtime_error("flash image: invalid layer kind");
+  }
+  l.kind = static_cast<QLayerKind>(kind);
+  const auto scheme = r.get<std::uint8_t>();
+  if (scheme > static_cast<std::uint8_t>(Scheme::kPCThresholds)) {
+    throw std::runtime_error("flash image: invalid scheme");
+  }
+  l.scheme = static_cast<Scheme>(scheme);
+  l.spec.kh = r.get<std::int32_t>();
+  l.spec.kw = r.get<std::int32_t>();
+  l.spec.stride = r.get<std::int32_t>();
+  l.spec.pad = r.get<std::int32_t>();
+  if (l.spec.kh <= 0 || l.spec.kw <= 0 || l.spec.stride <= 0 ||
+      l.spec.pad < 0) {
+    throw std::runtime_error("flash image: invalid conv spec");
+  }
+  l.in_shape = get_shape(r);
+  l.out_shape = get_shape(r);
+  l.qx = get_bitwidth(r);
+  l.qw = get_bitwidth(r);
+  l.qy = get_bitwidth(r);
+  const auto co = r.get<std::int64_t>();
+  const auto kh = r.get<std::int64_t>();
+  const auto kw = r.get<std::int64_t>();
+  const auto ci = r.get<std::int64_t>();
+  if (co <= 0 || kh <= 0 || kw <= 0 || ci <= 0) {
+    throw std::runtime_error("flash image: invalid weight shape");
+  }
+  l.wshape = WeightShape(co, kh, kw, ci);
+  l.zx = r.get<std::int32_t>();
+  l.zy = r.get<std::int32_t>();
+  l.raw_logits = r.get<std::uint8_t>() != 0;
+
+  const auto zw_count = r.get<std::uint32_t>();
+  if (zw_count != 0 && zw_count != 1 &&
+      zw_count != static_cast<std::uint32_t>(co)) {
+    throw std::runtime_error("flash image: zw count must be 0, 1 or cO");
+  }
+  l.zw.resize(zw_count);
+  for (auto& z : l.zw) z = r.get<std::int32_t>();
+
+  const auto icn_count = r.get<std::uint32_t>();
+  if (icn_count != 0 && icn_count != static_cast<std::uint32_t>(co)) {
+    throw std::runtime_error("flash image: icn count must be 0 or cO");
+  }
+  l.icn.resize(icn_count);
+  for (auto& ch : l.icn) {
+    ch.bq = r.get<std::int32_t>();
+    ch.m.m0_q31 = r.get<std::int32_t>();
+    ch.m.n0 = r.get<std::int8_t>();
+  }
+
+  const auto thr_count = r.get<std::uint32_t>();
+  if (thr_count != 0 && thr_count != static_cast<std::uint32_t>(co)) {
+    throw std::runtime_error("flash image: threshold count must be 0 or cO");
+  }
+  l.thresholds.resize(thr_count);
+  for (auto& th : l.thresholds) {
+    th.rising = r.get<std::uint8_t>() != 0;
+    const auto n = r.get<std::uint32_t>();
+    if (n > static_cast<std::uint32_t>(core::qmax(l.qy))) {
+      throw std::runtime_error("flash image: too many thresholds for Qy");
+    }
+    th.thr.resize(n);
+    for (auto& t : th.thr) t = r.get<std::int64_t>();
+  }
+
+  const auto mult_count = r.get<std::uint32_t>();
+  if (mult_count != 0 && mult_count != static_cast<std::uint32_t>(co)) {
+    throw std::runtime_error("flash image: out_mult count must be 0 or cO");
+  }
+  l.out_mult.resize(mult_count);
+  for (auto& m : l.out_mult) m = r.get<double>();
+
+  const auto wnumel = r.get<std::int64_t>();
+  if (wnumel < 0) throw std::runtime_error("flash image: negative weights");
+  const BitWidth wq = get_bitwidth(r);
+  l.weights = PackedBuffer(wnumel, wq);
+  r.get_bytes(l.weights.data(),
+              static_cast<std::size_t>(l.weights.size_bytes()));
+  return l;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  // Standard reflected CRC-32 (IEEE 802.3), table-free bitwise variant.
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+std::vector<std::uint8_t> save_flash_image(const QuantizedNet& net) {
+  std::vector<std::uint8_t> payload;
+  {
+    Writer w(payload);
+    w.put<float>(net.input_qp.scale);
+    w.put<std::int32_t>(net.input_qp.zero);
+    w.put<std::uint8_t>(
+        static_cast<std::uint8_t>(core::bits(net.input_qp.q)));
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(net.layers.size()));
+    for (const auto& l : net.layers) put_layer(w, l);
+  }
+
+  std::vector<std::uint8_t> blob;
+  Writer h(blob);
+  h.put_bytes(reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic));
+  h.put<std::uint32_t>(kFlashImageVersion);
+  h.put<std::uint64_t>(payload.size());
+  h.put<std::uint32_t>(crc32(payload.data(), payload.size()));
+  h.put_bytes(payload.data(), payload.size());
+  return blob;
+}
+
+QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8 + 4;
+  if (blob.size() < kHeader) {
+    throw std::runtime_error("flash image: blob smaller than header");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("flash image: bad magic");
+  }
+  Reader hr(blob.data() + sizeof(kMagic), kHeader - sizeof(kMagic));
+  const auto version = hr.get<std::uint32_t>();
+  if (version != kFlashImageVersion) {
+    throw std::runtime_error("flash image: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto payload_size = hr.get<std::uint64_t>();
+  const auto stored_crc = hr.get<std::uint32_t>();
+  if (blob.size() != kHeader + payload_size) {
+    throw std::runtime_error("flash image: payload size mismatch");
+  }
+  const std::uint8_t* payload = blob.data() + kHeader;
+  if (crc32(payload, payload_size) != stored_crc) {
+    throw std::runtime_error("flash image: CRC mismatch (corrupted image)");
+  }
+
+  Reader r(payload, payload_size);
+  QuantizedNet net;
+  net.input_qp.scale = r.get<float>();
+  net.input_qp.zero = r.get<std::int32_t>();
+  net.input_qp.q = get_bitwidth(r);
+  if (net.input_qp.scale <= 0.0f) {
+    throw std::runtime_error("flash image: non-positive input scale");
+  }
+  const auto count = r.get<std::uint32_t>();
+  net.layers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    net.layers.push_back(get_layer(r));
+  }
+  if (!r.exhausted()) {
+    throw std::runtime_error("flash image: trailing bytes after last layer");
+  }
+  // Field-level parsing succeeded; now check cross-layer consistency so a
+  // corrupted-but-parseable image can never reach the kernels.
+  net.validate();
+  return net;
+}
+
+void write_flash_image_file(const QuantizedNet& net,
+                            const std::string& path) {
+  const auto blob = save_flash_image(net);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("flash image: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(blob.data()),
+          static_cast<std::streamsize>(blob.size()));
+  if (!f) throw std::runtime_error("flash image: write failed for " + path);
+}
+
+QuantizedNet read_flash_image_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("flash image: cannot open " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<std::uint8_t> blob(size);
+  f.read(reinterpret_cast<char*>(blob.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw std::runtime_error("flash image: read failed for " + path);
+  return load_flash_image(blob);
+}
+
+}  // namespace mixq::runtime

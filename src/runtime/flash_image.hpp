@@ -1,0 +1,44 @@
+// mixq/runtime/flash_image.hpp
+//
+// Binary serialization of a QuantizedNet: the "flash image" a deployment
+// toolchain would burn into MCU read-only memory. The format is a single
+// little-endian blob with a magic/version header and a CRC32 over the
+// payload, so a loader can reject truncated or corrupted images before
+// running inference on garbage.
+//
+// Layout:
+//   [magic "MIXQIMG1" 8B][version u32][payload size u64][crc32 u32]
+//   [payload: input quant params, layer count, then each layer's fields]
+//
+// All multi-byte fields little-endian; the writer/reader below are the
+// format's reference implementation and are covered by round-trip and
+// corruption-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+/// Current format version. Bump on any layout change.
+inline constexpr std::uint32_t kFlashImageVersion = 1;
+
+/// Serialize a deployed network into a flash image blob.
+std::vector<std::uint8_t> save_flash_image(const QuantizedNet& net);
+
+/// Parse and validate a flash image. Throws std::runtime_error with a
+/// descriptive message on bad magic, version mismatch, size mismatch, CRC
+/// failure, or any field that fails structural validation.
+QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob);
+
+/// File helpers.
+void write_flash_image_file(const QuantizedNet& net, const std::string& path);
+QuantizedNet read_flash_image_file(const std::string& path);
+
+/// CRC32 (IEEE, reflected) used by the image format; exposed for tests.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace mixq::runtime

@@ -1,0 +1,196 @@
+#include "runtime/kernels.hpp"
+
+#include <stdexcept>
+
+namespace mixq::runtime {
+
+namespace {
+
+/// Requantize one accumulator to its output code under the layer's scheme.
+std::int32_t requantize(const QLayer& l, std::int64_t phi, std::int64_t oc) {
+  if (l.scheme == Scheme::kPCThresholds) {
+    return core::threshold_eval(
+        phi, l.thresholds[static_cast<std::size_t>(oc)]);
+  }
+  const IcnChannel& ch = l.icn[static_cast<std::size_t>(oc)];
+  // icn_requant takes int32 phi; our accumulators are int64 but Eq. 5's
+  // fixed-point product path is 64-bit anyway, so inline the same math.
+  const std::int64_t v = core::fixed_point_floor_mul(phi + ch.bq, ch.m);
+  const std::int64_t y = static_cast<std::int64_t>(l.zy) + v;
+  const std::int64_t hi = qmax(l.qy);
+  return static_cast<std::int32_t>(y < 0 ? 0 : (y > hi ? hi : y));
+}
+
+void run_conv_like(const QLayer& l, const PackedBuffer& in,
+                   PackedBuffer& out) {
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const bool depthwise = l.kind == QLayerKind::kDepthwise;
+  const std::int64_t ci = l.wshape.ci;
+
+  for (std::int64_t n = 0; n < is.n; ++n) {
+    for (std::int64_t oh = 0; oh < os.h; ++oh) {
+      for (std::int64_t ow = 0; ow < os.w; ++ow) {
+        for (std::int64_t oc = 0; oc < os.c; ++oc) {
+          const std::int64_t zw = l.zw_of(oc);
+          std::int64_t acc = 0;
+          for (std::int64_t ky = 0; ky < l.spec.kh; ++ky) {
+            const std::int64_t ih = oh * l.spec.stride - l.spec.pad + ky;
+            if (ih < 0 || ih >= is.h) continue;
+            for (std::int64_t kx = 0; kx < l.spec.kw; ++kx) {
+              const std::int64_t iw = ow * l.spec.stride - l.spec.pad + kx;
+              if (iw < 0 || iw >= is.w) continue;
+              if (depthwise) {
+                const std::int64_t x =
+                    static_cast<std::int64_t>(
+                        in.get(is.index(n, ih, iw, oc))) - l.zx;
+                const std::int64_t w =
+                    static_cast<std::int64_t>(
+                        l.weights.get(l.wshape.index(oc, ky, kx, 0))) - zw;
+                acc += x * w;
+              } else {
+                const std::int64_t in_base = is.index(n, ih, iw, 0);
+                const std::int64_t w_base = l.wshape.index(oc, ky, kx, 0);
+                for (std::int64_t c = 0; c < ci; ++c) {
+                  const std::int64_t x =
+                      static_cast<std::int64_t>(in.get(in_base + c)) - l.zx;
+                  const std::int64_t w =
+                      static_cast<std::int64_t>(l.weights.get(w_base + c)) -
+                      zw;
+                  acc += x * w;
+                }
+              }
+            }
+          }
+          out.set(os.index(n, oh, ow, oc),
+                  static_cast<std::uint32_t>(requantize(l, acc, oc)));
+        }
+      }
+    }
+  }
+}
+
+void run_linear(const QLayer& l, const PackedBuffer& in, PackedBuffer& out) {
+  const std::int64_t features = l.wshape.per_channel();
+  const std::int64_t batch = l.in_shape.n;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < l.wshape.co; ++oc) {
+      const std::int64_t zw = l.zw_of(oc);
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < features; ++i) {
+        const std::int64_t x =
+            static_cast<std::int64_t>(in.get(n * features + i)) - l.zx;
+        const std::int64_t w =
+            static_cast<std::int64_t>(
+                l.weights.get(oc * features + i)) - zw;
+        acc += x * w;
+      }
+      out.set(n * l.wshape.co + oc,
+              static_cast<std::uint32_t>(requantize(l, acc, oc)));
+    }
+  }
+}
+
+void run_gap(const QLayer& l, const PackedBuffer& in, PackedBuffer& out) {
+  // Integer global average pool: same scale and zero-point in and out,
+  // floor division (the MCU implementation uses a shift when h*w is a
+  // power of two).
+  const Shape& is = l.in_shape;
+  const std::int64_t hw = is.h * is.w;
+  for (std::int64_t n = 0; n < is.n; ++n) {
+    for (std::int64_t c = 0; c < is.c; ++c) {
+      std::int64_t sum = 0;
+      for (std::int64_t r = 0; r < hw; ++r) {
+        sum += in.get((n * hw + r) * is.c + c);
+      }
+      out.set(n * is.c + c, static_cast<std::uint32_t>(sum / hw));
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t conv_accumulate(const QLayer& l, const PackedBuffer& in,
+                             std::int64_t n, std::int64_t oh, std::int64_t ow,
+                             std::int64_t oc) {
+  const Shape& is = l.in_shape;
+  const bool depthwise = l.kind == QLayerKind::kDepthwise;
+  const std::int64_t zw = l.zw_of(oc);
+  std::int64_t acc = 0;
+  for (std::int64_t ky = 0; ky < l.spec.kh; ++ky) {
+    const std::int64_t ih = oh * l.spec.stride - l.spec.pad + ky;
+    if (ih < 0 || ih >= is.h) continue;
+    for (std::int64_t kx = 0; kx < l.spec.kw; ++kx) {
+      const std::int64_t iw = ow * l.spec.stride - l.spec.pad + kx;
+      if (iw < 0 || iw >= is.w) continue;
+      if (depthwise) {
+        acc += (static_cast<std::int64_t>(in.get(is.index(n, ih, iw, oc))) -
+                l.zx) *
+               (static_cast<std::int64_t>(
+                    l.weights.get(l.wshape.index(oc, ky, kx, 0))) -
+                zw);
+      } else {
+        for (std::int64_t c = 0; c < l.wshape.ci; ++c) {
+          acc += (static_cast<std::int64_t>(
+                      in.get(is.index(n, ih, iw, c))) -
+                  l.zx) *
+                 (static_cast<std::int64_t>(
+                      l.weights.get(l.wshape.index(oc, ky, kx, c))) -
+                  zw);
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+void run_layer(const QLayer& layer, const PackedBuffer& in,
+               PackedBuffer& out) {
+  if (layer.raw_logits) {
+    throw std::invalid_argument("run_layer: head layer requires run_head");
+  }
+  switch (layer.kind) {
+    case QLayerKind::kConv:
+    case QLayerKind::kDepthwise:
+      run_conv_like(layer, in, out);
+      return;
+    case QLayerKind::kLinear:
+      run_linear(layer, in, out);
+      return;
+    case QLayerKind::kGlobalAvgPool:
+      run_gap(layer, in, out);
+      return;
+  }
+  throw std::logic_error("run_layer: invalid kind");
+}
+
+std::vector<float> run_head(const QLayer& layer, const PackedBuffer& in) {
+  if (!layer.raw_logits || layer.kind != QLayerKind::kLinear) {
+    throw std::invalid_argument("run_head: layer is not a linear head");
+  }
+  const std::int64_t features = layer.wshape.per_channel();
+  const std::int64_t batch = layer.in_shape.n;
+  std::vector<float> logits(
+      static_cast<std::size_t>(batch * layer.wshape.co));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < layer.wshape.co; ++oc) {
+      const std::int64_t zw = layer.zw_of(oc);
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < features; ++i) {
+        const std::int64_t x =
+            static_cast<std::int64_t>(in.get(n * features + i)) - layer.zx;
+        const std::int64_t w =
+            static_cast<std::int64_t>(layer.weights.get(oc * features + i)) -
+            zw;
+        acc += x * w;
+      }
+      const auto& ch = layer.icn[static_cast<std::size_t>(oc)];
+      logits[static_cast<std::size_t>(n * layer.wshape.co + oc)] =
+          static_cast<float>(layer.out_mult[static_cast<std::size_t>(oc)] *
+                             static_cast<double>(acc + ch.bq));
+    }
+  }
+  return logits;
+}
+
+}  // namespace mixq::runtime

@@ -1,0 +1,32 @@
+// mixq/runtime/kernels.hpp
+//
+// Integer-only compute kernels, the portable equivalent of the extended
+// CMSIS-NN routines the paper benchmarks (Section 6: "an extended version
+// of the ARM CMSIS-NN library, featuring an output stationary dataflow").
+//
+// Each kernel reads packed UINT-Qx activations and packed UINT-Qw weights,
+// accumulates Phi = sum (X - Zx)(W - Zw) in 64-bit integers (the MCU uses
+// INT32; our reference widens to rule out overflow at any layer size), and
+// produces packed UINT-Qy outputs through either the ICN fixed-point
+// requantization (Eq. 5) or per-channel integer thresholds.
+#pragma once
+
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+/// Run one layer. `in` holds the packed input activation codes in NHWC
+/// order; `out` must be pre-sized to the packed output size. For the head
+/// layer (raw_logits) use run_head instead.
+void run_layer(const QLayer& layer, const PackedBuffer& in, PackedBuffer& out);
+
+/// Run the head layer, producing dequantized float logits.
+std::vector<float> run_head(const QLayer& layer, const PackedBuffer& in);
+
+/// Integer accumulator of one output element (exposed for tests):
+/// Phi = sum over the receptive field of (X - Zx) * (W - Zw).
+std::int64_t conv_accumulate(const QLayer& layer, const PackedBuffer& in,
+                             std::int64_t n, std::int64_t oh, std::int64_t ow,
+                             std::int64_t oc);
+
+}  // namespace mixq::runtime

@@ -1,0 +1,67 @@
+#include "runtime/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/memory_model.hpp"
+
+namespace mixq::runtime {
+
+NetProfile profile(const QuantizedNet& net) {
+  NetProfile out;
+  for (const auto& l : net.layers) {
+    LayerProfile p;
+    p.kind = l.kind;
+    p.scheme = l.scheme;
+    p.in_act_bytes = packed_bytes(l.in_shape.numel(), l.qx);
+    p.out_act_bytes = packed_bytes(l.out_shape.numel(), l.qy);
+    switch (l.kind) {
+      case QLayerKind::kConv:
+        p.macs = l.out_shape.numel() * l.spec.kh * l.spec.kw * l.wshape.ci;
+        break;
+      case QLayerKind::kDepthwise:
+        p.macs = l.out_shape.numel() * l.spec.kh * l.spec.kw;
+        break;
+      case QLayerKind::kLinear:
+        p.macs = l.in_shape.n * l.wshape.co * l.wshape.per_channel();
+        break;
+      case QLayerKind::kGlobalAvgPool:
+        p.macs = 0;  // additions only
+        break;
+    }
+    if (l.kind != QLayerKind::kGlobalAvgPool) {
+      core::LayerDesc d;
+      d.wshape = l.wshape;
+      p.weight_bytes = core::weight_bytes(d, l.qw);
+      p.static_bytes = core::static_param_bytes(d, l.scheme, l.qw);
+      p.requant_ops = l.raw_logits ? 0 : l.out_shape.numel();
+    }
+    out.total_macs += p.macs;
+    out.total_ro_bytes += p.ro_bytes();
+    out.peak_rw_bytes = std::max(out.peak_rw_bytes, p.rw_bytes());
+    out.layers.push_back(p);
+  }
+  return out;
+}
+
+std::string NetProfile::str() const {
+  std::ostringstream os;
+  os << "layer  kind  scheme         MACs       RO(B)    in+out(B)\n";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& p = layers[i];
+    const char* kind = "?";
+    switch (p.kind) {
+      case QLayerKind::kConv: kind = "conv"; break;
+      case QLayerKind::kDepthwise: kind = "dw"; break;
+      case QLayerKind::kLinear: kind = "fc"; break;
+      case QLayerKind::kGlobalAvgPool: kind = "pool"; break;
+    }
+    os << i << "\t" << kind << "\t" << core::to_string(p.scheme) << "\t"
+       << p.macs << "\t" << p.ro_bytes() << "\t" << p.rw_bytes() << "\n";
+  }
+  os << "total MACs " << total_macs << ", RO " << total_ro_bytes
+     << " B, peak RW " << peak_rw_bytes << " B\n";
+  return os.str();
+}
+
+}  // namespace mixq::runtime

@@ -1,0 +1,95 @@
+// mixq/runtime/qgraph.hpp
+//
+// The deployed integer-only graph. Every tensor that crosses a layer
+// boundary is a densely packed buffer of unsigned Q-bit codes; every layer
+// carries the static parameters of Table 1 (packed weights, zero-points,
+// ICN requantization vectors or integer thresholds). This is the in-memory
+// image of what would live in MCU FLASH.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/icn.hpp"
+#include "core/quant_types.hpp"
+#include "core/thresholds.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/bitpack.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mixq::runtime {
+
+using core::IcnChannel;
+using core::QuantParams;
+using core::Scheme;
+using core::ThresholdChannel;
+
+enum class QLayerKind : std::uint8_t {
+  kConv,
+  kDepthwise,
+  kLinear,
+  kGlobalAvgPool,
+};
+
+/// One deployed layer.
+struct QLayer {
+  QLayerKind kind{QLayerKind::kConv};
+  Scheme scheme{Scheme::kPCICN};
+  nn::ConvSpec spec;        ///< kernel geometry (ignored for pool/linear)
+  Shape in_shape{1, 1, 1, 1};
+  Shape out_shape{1, 1, 1, 1};
+
+  BitWidth qx{BitWidth::kQ8};
+  BitWidth qw{BitWidth::kQ8};
+  BitWidth qy{BitWidth::kQ8};
+
+  // Static read-only parameters ------------------------------------------
+  WeightShape wshape{1, 1, 1, 1};
+  PackedBuffer weights;              ///< packed UINT-Qw codes
+  std::int32_t zx{0};                ///< input zero-point
+  std::vector<std::int32_t> zw;      ///< weight zero-points (1 or cO entries)
+  std::int32_t zy{0};                ///< output zero-point
+
+  std::vector<IcnChannel> icn;       ///< cO entries (ICN / folded schemes)
+  std::vector<ThresholdChannel> thresholds;  ///< cO entries (threshold scheme)
+
+  /// When true this is the network head: the executor emits real-valued
+  /// logits logit_c = out_mult[c] * (Phi_c + Bq_c) instead of requantizing.
+  bool raw_logits{false};
+  std::vector<double> out_mult;      ///< per-channel Si*Sw_c (head only)
+
+  [[nodiscard]] std::int32_t zw_of(std::int64_t oc) const {
+    return zw.size() == 1 ? zw[0] : zw[static_cast<std::size_t>(oc)];
+  }
+  [[nodiscard]] std::int64_t out_channels() const { return wshape.co; }
+};
+
+/// Result of running a quantized network on one input.
+struct QInferenceResult {
+  std::vector<float> logits;         ///< dequantized head outputs
+  std::int32_t predicted{-1};        ///< argmax class
+};
+
+/// The deployed network: input quantizer + layer stack.
+struct QuantizedNet {
+  QuantParams input_qp;
+  std::vector<QLayer> layers;
+
+  /// Total read-only bytes actually held by this image (packed weights +
+  /// zero-points + requant parameters), using Table 1 datatype widths.
+  [[nodiscard]] std::int64_t ro_bytes() const;
+
+  /// Peak read-write bytes: max over layers of packed input+output
+  /// activation buffers (Eq. 7 realised).
+  [[nodiscard]] std::int64_t rw_peak_bytes() const;
+
+  /// Structural validation: shapes chain, weight banks match their layer
+  /// geometry, per-channel vectors have cO entries, the head (if any) is
+  /// terminal. Throws std::runtime_error with a description on the first
+  /// inconsistency. Called by the flash-image loader so corrupted-but-
+  /// parseable images can never reach the kernels.
+  void validate() const;
+};
+
+}  // namespace mixq::runtime

@@ -1,0 +1,82 @@
+#include "tensor/bitpack.hpp"
+
+#include <stdexcept>
+
+namespace mixq {
+
+PackedBuffer pack_codes(const std::vector<std::int32_t>& codes, BitWidth q) {
+  PackedBuffer buf(static_cast<std::int64_t>(codes.size()), q);
+  const std::int32_t hi = qmax(q);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::int32_t v = codes[i];
+    if (v < 0 || v > hi) {
+      throw std::invalid_argument("pack_codes: code out of range for bitwidth");
+    }
+    buf.set(static_cast<std::int64_t>(i), static_cast<std::uint32_t>(v));
+  }
+  return buf;
+}
+
+std::vector<std::int32_t> unpack_codes(const PackedBuffer& buf) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(buf.numel()));
+  unpack_range(buf, 0, buf.numel(), out.data());
+  return out;
+}
+
+void unpack_range(const PackedBuffer& buf, std::int64_t first,
+                  std::int64_t count, std::int32_t* out) {
+  if (first < 0 || count < 0 || first + count > buf.numel()) {
+    throw std::out_of_range("unpack_range: range outside buffer");
+  }
+  // Fast paths per bitwidth: process whole bytes where possible.
+  const std::uint8_t* bytes = buf.data();
+  switch (buf.bitwidth()) {
+    case BitWidth::kQ8: {
+      for (std::int64_t i = 0; i < count; ++i) {
+        out[i] = bytes[first + i];
+      }
+      return;
+    }
+    case BitWidth::kQ4: {
+      std::int64_t i = 0;
+      std::int64_t idx = first;
+      // Leading unaligned element.
+      if ((idx & 1) != 0 && i < count) {
+        out[i++] = (bytes[idx >> 1] >> 4) & 0xF;
+        ++idx;
+      }
+      for (; i + 1 < count; i += 2, idx += 2) {
+        const std::uint8_t b = bytes[idx >> 1];
+        out[i] = b & 0xF;
+        out[i + 1] = (b >> 4) & 0xF;
+      }
+      if (i < count) {
+        out[i] = bytes[idx >> 1] & 0xF;
+      }
+      return;
+    }
+    case BitWidth::kQ2: {
+      std::int64_t i = 0;
+      std::int64_t idx = first;
+      while (i < count && (idx & 3) != 0) {
+        out[i++] = (bytes[idx >> 2] >> ((idx & 3) * 2)) & 0x3;
+        ++idx;
+      }
+      for (; i + 3 < count; i += 4, idx += 4) {
+        const std::uint8_t b = bytes[idx >> 2];
+        out[i] = b & 0x3;
+        out[i + 1] = (b >> 2) & 0x3;
+        out[i + 2] = (b >> 4) & 0x3;
+        out[i + 3] = (b >> 6) & 0x3;
+      }
+      while (i < count) {
+        out[i++] = (bytes[idx >> 2] >> ((idx & 3) * 2)) & 0x3;
+        ++idx;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("unpack_range: invalid bitwidth");
+}
+
+}  // namespace mixq

@@ -1,0 +1,114 @@
+// mixq/tensor/bitpack.hpp
+//
+// Sub-byte packing for UINT2 / UINT4 / UINT8 quantized tensors.
+//
+// The paper stores weights and activations as unsigned Q-bit integers in
+// [0, 2^Q - 1] (Section 4.1); on the MCU they are packed densely so that a
+// Q-bit tensor of N elements occupies ceil(N*Q/8) bytes of FLASH or RAM.
+// This module provides the packing/unpacking primitives the integer-only
+// runtime uses, with little-endian bit order inside each byte (element 0
+// occupies the least-significant bits), matching CMix-NN's layout.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mixq {
+
+/// Supported uniform bit precisions (paper Section 5: Q in {2,4,8}).
+enum class BitWidth : std::uint8_t { kQ2 = 2, kQ4 = 4, kQ8 = 8 };
+
+/// Number of bits of a BitWidth.
+constexpr int bits(BitWidth q) { return static_cast<int>(q); }
+
+/// Number of quantization levels 2^Q.
+constexpr int levels(BitWidth q) { return 1 << bits(q); }
+
+/// Largest representable unsigned code, 2^Q - 1.
+constexpr int qmax(BitWidth q) { return levels(q) - 1; }
+
+/// Elements packed per byte.
+constexpr int elems_per_byte(BitWidth q) { return 8 / bits(q); }
+
+/// Bytes required to store `numel` Q-bit codes, densely packed.
+constexpr std::int64_t packed_bytes(std::int64_t numel, BitWidth q) {
+  const int per = elems_per_byte(q);
+  return (numel + per - 1) / per;
+}
+
+/// One-step precision cut used by Algorithms 1 and 2 (8 -> 4 -> 2).
+inline BitWidth cut_one_step(BitWidth q) {
+  switch (q) {
+    case BitWidth::kQ8: return BitWidth::kQ4;
+    case BitWidth::kQ4: return BitWidth::kQ2;
+    case BitWidth::kQ2:
+      throw std::logic_error("cut_one_step: already at minimum (2 bit)");
+  }
+  throw std::logic_error("cut_one_step: invalid BitWidth");
+}
+
+/// Parse 2/4/8 into a BitWidth; throws on anything else.
+inline BitWidth bitwidth_from_int(int q) {
+  switch (q) {
+    case 2: return BitWidth::kQ2;
+    case 4: return BitWidth::kQ4;
+    case 8: return BitWidth::kQ8;
+    default: throw std::invalid_argument("bitwidth_from_int: Q must be 2, 4 or 8");
+  }
+}
+
+/// Densely packed buffer of unsigned Q-bit codes.
+class PackedBuffer {
+ public:
+  PackedBuffer() = default;
+  PackedBuffer(std::int64_t numel, BitWidth q)
+      : numel_(numel), q_(q),
+        bytes_(static_cast<std::size_t>(packed_bytes(numel, q)), 0) {}
+
+  [[nodiscard]] std::int64_t numel() const { return numel_; }
+  [[nodiscard]] BitWidth bitwidth() const { return q_; }
+  [[nodiscard]] std::int64_t size_bytes() const {
+    return static_cast<std::int64_t>(bytes_.size());
+  }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+
+  /// Store code `v` (must fit in Q bits) at element index `i`.
+  void set(std::int64_t i, std::uint32_t v) {
+    const int b = bits(q_);
+    const int per = elems_per_byte(q_);
+    const std::size_t byte = static_cast<std::size_t>(i / per);
+    const int slot = static_cast<int>(i % per);
+    const std::uint8_t mask = static_cast<std::uint8_t>(qmax(q_));
+    const int shift = slot * b;
+    bytes_[byte] = static_cast<std::uint8_t>(
+        (bytes_[byte] & ~(mask << shift)) | ((v & mask) << shift));
+  }
+
+  /// Load the code at element index `i`.
+  [[nodiscard]] std::uint32_t get(std::int64_t i) const {
+    const int b = bits(q_);
+    const int per = elems_per_byte(q_);
+    const std::size_t byte = static_cast<std::size_t>(i / per);
+    const int slot = static_cast<int>(i % per);
+    return (bytes_[byte] >> (slot * b)) & static_cast<std::uint32_t>(qmax(q_));
+  }
+
+ private:
+  std::int64_t numel_{0};
+  BitWidth q_{BitWidth::kQ8};
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Pack a vector of unsigned codes (each already in [0, 2^Q - 1]).
+PackedBuffer pack_codes(const std::vector<std::int32_t>& codes, BitWidth q);
+
+/// Unpack all codes to int32 (values in [0, 2^Q - 1]).
+std::vector<std::int32_t> unpack_codes(const PackedBuffer& buf);
+
+/// Unpack `count` codes starting at element `first` into `out`.
+void unpack_range(const PackedBuffer& buf, std::int64_t first,
+                  std::int64_t count, std::int32_t* out);
+
+}  // namespace mixq

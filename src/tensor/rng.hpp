@@ -1,0 +1,101 @@
+// mixq/tensor/rng.hpp
+//
+// Deterministic pseudo-random number generation. Everything in mixq that
+// needs randomness (weight init, synthetic datasets, property tests) goes
+// through Rng so that runs are reproducible bit-for-bit across platforms --
+// we deliberately avoid std::normal_distribution, whose output is not
+// specified by the standard.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mixq {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Fast, high quality, and fully
+/// specified so results are identical everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to fill the state; avoids the all-zero state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for the n used in this codebase (< 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, portable).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fill a buffer with iid normal samples.
+  void fill_normal(std::vector<float>& out, double mean, double stddev) {
+    for (auto& v : out) v = static_cast<float>(normal(mean, stddev));
+  }
+
+  /// Fill a buffer with iid uniform samples in [lo, hi).
+  void fill_uniform(std::vector<float>& out, double lo, double hi) {
+    for (auto& v : out) v = static_cast<float>(uniform(lo, hi));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+  bool have_spare_{false};
+  double spare_{0.0};
+};
+
+}  // namespace mixq

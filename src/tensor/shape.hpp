@@ -1,0 +1,100 @@
+// mixq/tensor/shape.hpp
+//
+// Shape algebra for NHWC tensors. All dense data in mixq is laid out in
+// NHWC order (batch, height, width, channel), the layout CMSIS-NN style
+// MCU kernels consume. A Shape is a small value type: cheap to copy,
+// validated on construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace mixq {
+
+/// Four-dimensional NHWC shape. A rank-2 tensor (e.g. a Linear weight) is
+/// represented with h == w == 1; scalars as {1,1,1,1}.
+struct Shape {
+  std::int64_t n{1};  ///< batch
+  std::int64_t h{1};  ///< height (rows)
+  std::int64_t w{1};  ///< width  (cols)
+  std::int64_t c{1};  ///< channels (innermost, contiguous)
+
+  Shape() = default;
+  Shape(std::int64_t n_, std::int64_t h_, std::int64_t w_, std::int64_t c_)
+      : n(n_), h(h_), w(w_), c(c_) {
+    if (n < 0 || h < 0 || w < 0 || c < 0) {
+      throw std::invalid_argument("Shape: negative dimension");
+    }
+  }
+
+  /// Total number of elements.
+  [[nodiscard]] std::int64_t numel() const { return n * h * w * c; }
+
+  /// Linear offset of element (in_, ih, iw, ic) in NHWC order.
+  [[nodiscard]] std::int64_t index(std::int64_t in_, std::int64_t ih,
+                                   std::int64_t iw, std::int64_t ic) const {
+    return ((in_ * h + ih) * w + iw) * c + ic;
+  }
+
+  /// Spatial size h*w.
+  [[nodiscard]] std::int64_t spatial() const { return h * w; }
+
+  bool operator==(const Shape&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    return "[" + std::to_string(n) + "," + std::to_string(h) + "," +
+           std::to_string(w) + "," + std::to_string(c) + "]";
+  }
+};
+
+/// Shape of a 2D convolution weight bank: (cO, kh, kw, cI) stored with the
+/// output channel outermost so that per-channel (PC) quantization slices are
+/// contiguous ranges of length kh*kw*cI.
+struct WeightShape {
+  std::int64_t co{1};  ///< output channels (outer dimension)
+  std::int64_t kh{1};  ///< kernel height
+  std::int64_t kw{1};  ///< kernel width
+  std::int64_t ci{1};  ///< input channels per group
+
+  WeightShape() = default;
+  WeightShape(std::int64_t co_, std::int64_t kh_, std::int64_t kw_,
+              std::int64_t ci_)
+      : co(co_), kh(kh_), kw(kw_), ci(ci_) {
+    if (co <= 0 || kh <= 0 || kw <= 0 || ci <= 0) {
+      throw std::invalid_argument("WeightShape: non-positive dimension");
+    }
+  }
+
+  [[nodiscard]] std::int64_t numel() const { return co * kh * kw * ci; }
+  /// Number of weights feeding one output channel.
+  [[nodiscard]] std::int64_t per_channel() const { return kh * kw * ci; }
+  [[nodiscard]] std::int64_t index(std::int64_t oc, std::int64_t y,
+                                   std::int64_t x, std::int64_t ic) const {
+    return ((oc * kh + y) * kw + x) * ci + ic;
+  }
+
+  bool operator==(const WeightShape&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    return "[" + std::to_string(co) + "," + std::to_string(kh) + "," +
+           std::to_string(kw) + "," + std::to_string(ci) + "]";
+  }
+};
+
+/// Output spatial extent of a strided convolution with symmetric padding.
+/// Matches the "same"-style arithmetic used by MobilenetV1: with pad p,
+/// out = floor((in + 2p - k) / stride) + 1.
+inline std::int64_t conv_out_dim(std::int64_t in, std::int64_t k,
+                                 std::int64_t stride, std::int64_t pad) {
+  if (in <= 0 || k <= 0 || stride <= 0 || pad < 0) {
+    throw std::invalid_argument("conv_out_dim: bad arguments");
+  }
+  const std::int64_t eff = in + 2 * pad - k;
+  if (eff < 0) throw std::invalid_argument("conv_out_dim: kernel larger than padded input");
+  return eff / stride + 1;
+}
+
+}  // namespace mixq

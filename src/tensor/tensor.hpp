@@ -1,0 +1,137 @@
+// mixq/tensor/tensor.hpp
+//
+// Dense owning tensors. Two concrete instantiations cover the whole
+// codebase: Tensor<float> for the training-side graph and Tensor<int32_t>
+// for integer-only inference intermediates (packed sub-byte storage lives
+// in bitpack.hpp). Tensors are simple value types: the data vector is the
+// single owner, copies are deep, moves are cheap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace mixq {
+
+/// Dense NHWC tensor owning its storage.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, T fill = T{})
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), fill) {}
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+      throw std::invalid_argument("Tensor: data size does not match shape");
+    }
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<T>& vec() { return data_; }
+  [[nodiscard]] const std::vector<T>& vec() const { return data_; }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Element access by NHWC coordinates.
+  T& at(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
+    return data_[static_cast<std::size_t>(shape_.index(n, h, w, c))];
+  }
+  const T& at(std::int64_t n, std::int64_t h, std::int64_t w,
+              std::int64_t c) const {
+    return data_[static_cast<std::size_t>(shape_.index(n, h, w, c))];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reinterpret the same storage with a new shape of equal numel.
+  void reshape(Shape s) {
+    if (s.numel() != shape_.numel()) {
+      throw std::invalid_argument("Tensor::reshape: numel mismatch");
+    }
+    shape_ = s;
+  }
+
+  [[nodiscard]] T min_value() const {
+    if (data_.empty()) throw std::logic_error("Tensor::min_value: empty");
+    return *std::min_element(data_.begin(), data_.end());
+  }
+  [[nodiscard]] T max_value() const {
+    if (data_.empty()) throw std::logic_error("Tensor::max_value: empty");
+    return *std::max_element(data_.begin(), data_.end());
+  }
+
+ private:
+  Shape shape_{0, 0, 0, 0};
+  std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using Int32Tensor = Tensor<std::int32_t>;
+
+/// Weight bank stored as (cO, kh, kw, cI); float for training, the runtime
+/// consumes a packed quantized image of it (see runtime/packed_weights.hpp).
+template <typename T>
+class WeightTensor {
+ public:
+  WeightTensor() = default;
+  explicit WeightTensor(WeightShape shape, T fill = T{})
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), fill) {}
+  WeightTensor(WeightShape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+      throw std::invalid_argument("WeightTensor: data size mismatch");
+    }
+  }
+
+  [[nodiscard]] const WeightShape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<T>& vec() { return data_; }
+  [[nodiscard]] const std::vector<T>& vec() const { return data_; }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  T& at(std::int64_t oc, std::int64_t y, std::int64_t x, std::int64_t ic) {
+    return data_[static_cast<std::size_t>(shape_.index(oc, y, x, ic))];
+  }
+  const T& at(std::int64_t oc, std::int64_t y, std::int64_t x,
+              std::int64_t ic) const {
+    return data_[static_cast<std::size_t>(shape_.index(oc, y, x, ic))];
+  }
+
+  /// Pointer to the contiguous slice of weights for output channel `oc`.
+  [[nodiscard]] const T* channel(std::int64_t oc) const {
+    return data_.data() + oc * shape_.per_channel();
+  }
+  [[nodiscard]] T* channel(std::int64_t oc) {
+    return data_.data() + oc * shape_.per_channel();
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  WeightShape shape_{1, 1, 1, 1};
+  std::vector<T> data_;
+};
+
+using FloatWeights = WeightTensor<float>;
+using Int32Weights = WeightTensor<std::int32_t>;
+
+}  // namespace mixq

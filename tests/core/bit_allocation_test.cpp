@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/bit_allocation.hpp"
+
+namespace mixq::core {
+namespace {
+
+LayerDesc layer(const std::string& name, std::int64_t in_numel,
+                std::int64_t out_numel, std::int64_t co, std::int64_t per) {
+  LayerDesc l;
+  l.name = name;
+  l.kind = LayerKind::kPointwise;
+  l.wshape = WeightShape(co, 1, 1, per);
+  l.in_numel = in_numel;
+  l.out_numel = out_numel;
+  l.macs = out_numel * per;
+  return l;
+}
+
+NetDesc three_layer_net() {
+  NetDesc net;
+  net.layers.push_back(layer("l0", 1000, 4000, 16, 8));
+  net.layers.push_back(layer("l1", 4000, 2000, 16, 16));
+  net.layers.push_back(layer("l2", 2000, 100, 8, 32));
+  return net;
+}
+
+TEST(CutBitsPredicate, PaperRule) {
+  // Cut tensor 2 iff Q2 > Qmin and (Q2 > Q1 or equal bits but larger mem).
+  EXPECT_TRUE(cut_bits_predicate(100, BitWidth::kQ4, 100, BitWidth::kQ8,
+                                 BitWidth::kQ2));
+  EXPECT_FALSE(cut_bits_predicate(100, BitWidth::kQ8, 100, BitWidth::kQ4,
+                                  BitWidth::kQ2));
+  // Equal precision: footprint decides.
+  EXPECT_TRUE(cut_bits_predicate(100, BitWidth::kQ8, 200, BitWidth::kQ8,
+                                 BitWidth::kQ2));
+  EXPECT_FALSE(cut_bits_predicate(200, BitWidth::kQ8, 100, BitWidth::kQ8,
+                                  BitWidth::kQ2));
+  // Equal precision and equal footprint: no cut (the stall case).
+  EXPECT_FALSE(cut_bits_predicate(100, BitWidth::kQ8, 100, BitWidth::kQ8,
+                                  BitWidth::kQ2));
+  // Qmin floor.
+  EXPECT_FALSE(cut_bits_predicate(100, BitWidth::kQ2, 100, BitWidth::kQ2,
+                                  BitWidth::kQ2));
+  EXPECT_FALSE(cut_bits_predicate(100, BitWidth::kQ8, 100, BitWidth::kQ4,
+                                  BitWidth::kQ4));
+}
+
+TEST(CutActivationBits, NoCutsWhenBudgetLarge) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.rw_budget = 1 << 20;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_TRUE(cut_activation_bits(net, cfg, a));
+  EXPECT_TRUE(a.is_uniform8());
+}
+
+TEST(CutActivationBits, CutsLargerTensorFirst) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.rw_budget = 4000;  // l0: 1000+4000 > 4000 and l1: 4000+2000 > 4000
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  ASSERT_TRUE(cut_activation_bits(net, cfg, a));
+  // Tensor 1 (the 4000-element activation) must have been cut; the network
+  // input stays at 8 bits by construction.
+  EXPECT_EQ(a.qact[0], BitWidth::kQ8);
+  EXPECT_LT(bits(a.qact[1]), 8);
+  // Constraint holds everywhere.
+  EXPECT_LE(net_rw_peak_bytes(net, a.qact), cfg.rw_budget);
+}
+
+TEST(CutActivationBits, InfeasibleReturnsFalse) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.rw_budget = 100;  // impossible even at 2 bits everywhere
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_FALSE(cut_activation_bits(net, cfg, a));
+}
+
+TEST(CutActivationBits, InputTensorNeverCut) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.rw_budget = 1600;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  cut_activation_bits(net, cfg, a);
+  EXPECT_EQ(a.qact[0], BitWidth::kQ8);
+}
+
+TEST(CutActivationBits, StallRescueCutsEqualTensors) {
+  // Two equal tensors at the same precision: the paper's rule alone cannot
+  // decide; our documented fallback still reaches feasibility.
+  NetDesc net;
+  net.layers.push_back(layer("a", 1000, 1000, 8, 8));
+  net.layers.push_back(layer("b", 1000, 1000, 8, 8));
+  AllocConfig cfg;
+  cfg.rw_budget = 1500;  // needs one of the twins at 4 bits
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_TRUE(cut_activation_bits(net, cfg, a));
+  EXPECT_LE(net_rw_peak_bytes(net, a.qact), cfg.rw_budget);
+}
+
+TEST(CutWeightBits, NoCutsWhenBudgetLarge) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.ro_budget = 1 << 20;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_TRUE(cut_weight_bits(net, cfg, a));
+  EXPECT_TRUE(a.is_uniform8());
+}
+
+TEST(CutWeightBits, CutsLargestShareFirst) {
+  NetDesc net;
+  net.layers.push_back(layer("small", 100, 100, 4, 4));    // 16 weights
+  net.layers.push_back(layer("big", 100, 100, 32, 32));    // 1024 weights
+  AllocConfig cfg;
+  cfg.scheme = Scheme::kPCICN;
+  // Budget forcing exactly one cut: full INT8 is 16+1024 weights + params.
+  const std::vector<BitWidth> q8{BitWidth::kQ8, BitWidth::kQ8};
+  cfg.ro_budget = net_ro_bytes(net, cfg.scheme, q8) - 100;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  ASSERT_TRUE(cut_weight_bits(net, cfg, a));
+  EXPECT_EQ(a.qw[0], BitWidth::kQ8);      // small layer untouched
+  EXPECT_EQ(a.qw[1], BitWidth::kQ4);      // big layer cut
+}
+
+TEST(CutWeightBits, DeltaMarginPrefersSmallerIndex) {
+  // Two near-equal layers: with a wide delta the earlier one is cut first
+  // (the paper's heuristic protects the quantization-critical last layers).
+  NetDesc net;
+  net.layers.push_back(layer("first", 100, 100, 16, 62));   // 992 weights
+  net.layers.push_back(layer("last", 100, 100, 16, 64));    // 1024 weights
+  AllocConfig cfg;
+  cfg.scheme = Scheme::kPCICN;
+  cfg.delta = 0.05;  // 992/2016 = 0.492 > 0.508 - 0.05
+  const std::vector<BitWidth> q8{BitWidth::kQ8, BitWidth::kQ8};
+  cfg.ro_budget = net_ro_bytes(net, cfg.scheme, q8) - 100;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  ASSERT_TRUE(cut_weight_bits(net, cfg, a));
+  EXPECT_EQ(a.qw[0], BitWidth::kQ4);
+  EXPECT_EQ(a.qw[1], BitWidth::kQ8);
+}
+
+TEST(CutWeightBits, ZeroDeltaCutsTrueMax) {
+  NetDesc net;
+  net.layers.push_back(layer("first", 100, 100, 16, 62));
+  net.layers.push_back(layer("last", 100, 100, 16, 64));
+  AllocConfig cfg;
+  cfg.scheme = Scheme::kPCICN;
+  cfg.delta = 0.0;
+  const std::vector<BitWidth> q8{BitWidth::kQ8, BitWidth::kQ8};
+  cfg.ro_budget = net_ro_bytes(net, cfg.scheme, q8) - 100;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  ASSERT_TRUE(cut_weight_bits(net, cfg, a));
+  EXPECT_EQ(a.qw[0], BitWidth::kQ8);
+  EXPECT_EQ(a.qw[1], BitWidth::kQ4);
+}
+
+TEST(CutWeightBits, InfeasibleReturnsFalse) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.ro_budget = 10;  // absurd
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_FALSE(cut_weight_bits(net, cfg, a));
+  // All layers driven to the minimum on the way.
+  for (auto q : a.qw) EXPECT_EQ(q, BitWidth::kQ2);
+}
+
+TEST(CutWeightBits, RespectsQwMin) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.ro_budget = 10;
+  cfg.q_w_min = BitWidth::kQ4;
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  EXPECT_FALSE(cut_weight_bits(net, cfg, a));
+  for (auto q : a.qw) EXPECT_EQ(q, BitWidth::kQ4);
+}
+
+TEST(PlanMixedPrecision, FeasiblePlanSatisfiesBothConstraints) {
+  const NetDesc net = three_layer_net();
+  AllocConfig cfg;
+  cfg.rw_budget = 4000;
+  cfg.scheme = Scheme::kPCICN;
+  const std::vector<BitWidth> q8(net.size(), BitWidth::kQ8);
+  cfg.ro_budget = net_ro_bytes(net, cfg.scheme, q8) * 3 / 4;
+  const AllocResult res = plan_mixed_precision(net, cfg);
+  EXPECT_TRUE(res.feasible());
+  EXPECT_LE(res.rw_peak_bytes, cfg.rw_budget);
+  EXPECT_LE(res.ro_total_bytes, cfg.ro_budget);
+  EXPECT_GT(res.act_cuts + res.weight_cuts, 0);
+  EXPECT_FALSE(res.log.empty());
+}
+
+TEST(PlanMixedPrecision, ThresholdSchemeAccountsThresholdMemory) {
+  // Under the thresholds scheme the RO footprint is larger, so the same
+  // budget may force more cuts than under PC+ICN.
+  const NetDesc net = three_layer_net();
+  AllocConfig icn_cfg;
+  icn_cfg.scheme = Scheme::kPCICN;
+  AllocConfig thr_cfg;
+  thr_cfg.scheme = Scheme::kPCThresholds;
+  const std::vector<BitWidth> q8(net.size(), BitWidth::kQ8);
+  const auto budget = net_ro_bytes(net, Scheme::kPCICN, q8);
+  icn_cfg.ro_budget = thr_cfg.ro_budget = budget;
+  const AllocResult icn_res = plan_mixed_precision(net, icn_cfg);
+  const AllocResult thr_res = plan_mixed_precision(net, thr_cfg);
+  EXPECT_EQ(icn_res.weight_cuts, 0);
+  EXPECT_GT(thr_res.weight_cuts, 0);
+}
+
+}  // namespace
+}  // namespace mixq::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fake_quant.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::core {
+namespace {
+
+TEST(PactActQuant, ForwardClipsAndFloors) {
+  PactActQuant act(BitWidth::kQ4, /*alpha=*/3.0f);
+  const float s = 3.0f / 15.0f;
+  FloatTensor x(Shape(1, 1, 1, 5));
+  x[0] = -1.0f;   // below zero -> 0
+  x[1] = 0.0f;
+  x[2] = 1.0f;    // interior -> floor(1/s)*s
+  x[3] = 3.0f;    // at clip -> alpha (floor(15)*s = 3.0)
+  x[4] = 10.0f;   // above clip -> alpha
+  const FloatTensor y = act.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], std::floor(1.0f / s) * s);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+  EXPECT_FLOAT_EQ(y[4], 3.0f);
+}
+
+TEST(PactActQuant, OutputOnGrid) {
+  PactActQuant act(BitWidth::kQ2, 6.0f);
+  const float s = 6.0f / 3.0f;
+  Rng rng(1);
+  FloatTensor x(Shape(1, 1, 1, 64));
+  rng.fill_uniform(x.vec(), -2.0, 8.0);
+  const FloatTensor y = act.forward(x, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float k = y[i] / s;
+    EXPECT_NEAR(k, std::round(k), 1e-5f);
+    EXPECT_GE(y[i], 0.0f);
+    EXPECT_LE(y[i], 6.0f);
+  }
+}
+
+TEST(PactActQuant, SteGradientMasksClippedRegion) {
+  PactActQuant act(BitWidth::kQ8, 2.0f);
+  FloatTensor x(Shape(1, 1, 1, 3));
+  x[0] = -0.5f;  // clipped low: no grad to x
+  x[1] = 1.0f;   // pass-through
+  x[2] = 2.5f;   // clipped high: grad goes to alpha
+  act.forward(x, true);
+  FloatTensor g(Shape(1, 1, 1, 3), 1.0f);
+  const FloatTensor gx = act.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  // alpha grad accumulated exactly the clipped-high gradient.
+  auto ps = act.params();
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_FLOAT_EQ((*ps[0].grad)[0], 1.0f);
+}
+
+TEST(PactActQuant, AlphaIsLearnable) {
+  // Pulling outputs down via gradient descent on alpha must shrink alpha.
+  PactActQuant act(BitWidth::kQ8, 4.0f);
+  FloatTensor x(Shape(1, 1, 1, 8), 10.0f);  // everything clipped
+  for (int step = 0; step < 10; ++step) {
+    act.zero_grad();
+    act.forward(x, true);
+    FloatTensor g(Shape(1, 1, 1, 8), 1.0f);  // dL/dy > 0 => decrease y
+    act.backward(g);
+    auto ps = act.params();
+    (*ps[0].value)[0] -= 0.1f * (*ps[0].grad)[0];
+  }
+  EXPECT_LT(act.alpha(), 4.0f);
+}
+
+TEST(PactActQuant, DeployParamsMatchSectionThree) {
+  PactActQuant act(BitWidth::kQ4, 6.0f);
+  const QuantParams p = act.deploy_params();
+  EXPECT_NEAR(p.scale, 6.0f / 15.0f, 1e-6f);
+  EXPECT_EQ(p.zero, 0);
+  EXPECT_EQ(p.q, BitWidth::kQ4);
+}
+
+TEST(LearnedWeightRange, InitFromWeights) {
+  FloatWeights w(WeightShape(2, 1, 1, 4));
+  for (std::int64_t i = 0; i < 8; ++i) w[i] = static_cast<float>(i) - 3.0f;
+  LearnedWeightRange r;
+  r.init_from(w);
+  EXPECT_FLOAT_EQ(r.a(), -3.0f);
+  EXPECT_FLOAT_EQ(r.b(), 4.0f);
+}
+
+TEST(LearnedWeightRange, ForwardQuantizesToRange) {
+  FloatWeights w(WeightShape(1, 1, 1, 6));
+  w.vec() = {-5.0f, -1.0f, 0.0f, 0.5f, 1.0f, 5.0f};
+  LearnedWeightRange r;
+  r.init_from(w);
+  // Shrink the range manually to force clipping.
+  *r.param_ref().value = {-1.0f, 1.0f};
+  FloatWeights out;
+  r.forward(w, BitWidth::kQ8, out);
+  EXPECT_NEAR(out[0], -1.0f, 0.02f);
+  EXPECT_NEAR(out[5], 1.0f, 0.02f);
+}
+
+TEST(LearnedWeightRange, BackwardRoutesClippedGradsToRange) {
+  FloatWeights w(WeightShape(1, 1, 1, 4));
+  w.vec() = {-5.0f, 0.0f, 0.2f, 5.0f};
+  LearnedWeightRange r;
+  *r.param_ref().value = {-1.0f, 1.0f};
+  FloatWeights out;
+  r.forward(w, BitWidth::kQ8, out);
+  std::vector<float> g_wq = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> g_w(4, 0.0f);
+  r.backward(g_wq, g_w);
+  // Clipped elements pass nothing to the weights...
+  EXPECT_FLOAT_EQ(g_w[0], 0.0f);
+  EXPECT_FLOAT_EQ(g_w[3], 0.0f);
+  // ...interior elements pass through (STE)...
+  EXPECT_FLOAT_EQ(g_w[1], 2.0f);
+  EXPECT_FLOAT_EQ(g_w[2], 3.0f);
+  // ...and the endpoints collect the clipped gradients.
+  auto ref = r.param_ref();
+  EXPECT_FLOAT_EQ((*ref.grad)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*ref.grad)[1], 4.0f);
+}
+
+TEST(LearnedWeightRange, BackwardSizeMismatchThrows) {
+  LearnedWeightRange r;
+  FloatWeights w(WeightShape(1, 1, 1, 4));
+  FloatWeights out;
+  r.forward(w, BitWidth::kQ8, out);
+  std::vector<float> bad(3), g(4);
+  EXPECT_THROW(r.backward(bad, g), std::invalid_argument);
+}
+
+TEST(InputQuant, RoundTripsToGrid) {
+  InputQuant iq(0.0f, 1.0f, BitWidth::kQ8);
+  FloatTensor x(Shape(1, 1, 1, 3));
+  x[0] = 0.0f;
+  x[1] = 0.5f;
+  x[2] = 1.0f;
+  const FloatTensor y = iq.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[1], 0.5f, 1.0f / 255.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(InputQuant, BackwardIsIdentity) {
+  InputQuant iq(0.0f, 1.0f);
+  FloatTensor g(Shape(1, 1, 1, 4), 2.0f);
+  const FloatTensor gx = iq.backward(g);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+}  // namespace
+}  // namespace mixq::core

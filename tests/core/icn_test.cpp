@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/icn.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::core {
+namespace {
+
+TEST(DecomposeMultiplier, MantissaInContractRange) {
+  // 0.5 <= |M0| < 1.0 in Q31 units (paper Section 4).
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double m = rng.uniform(-4.0, 4.0);
+    if (std::abs(m) < 1e-9) continue;
+    const FixedPointMult f = decompose_multiplier(m);
+    const double mant = std::abs(static_cast<double>(f.m0_q31)) / 2147483648.0;
+    EXPECT_GE(mant, 0.5) << "m=" << m;
+    EXPECT_LT(mant, 1.0 + 1e-12) << "m=" << m;
+  }
+}
+
+TEST(DecomposeMultiplier, ReconstructionIsAccurate) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double m = std::exp(rng.uniform(-20.0, 10.0)) *
+                     (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    const FixedPointMult f = decompose_multiplier(m);
+    EXPECT_NEAR(multiplier_value(f) / m, 1.0, 1e-9) << "m=" << m;
+  }
+}
+
+TEST(DecomposeMultiplier, ZeroAndErrors) {
+  const FixedPointMult z = decompose_multiplier(0.0);
+  EXPECT_EQ(z.m0_q31, 0);
+  EXPECT_THROW(decompose_multiplier(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(decompose_multiplier(1e80), std::invalid_argument);
+}
+
+TEST(DecomposeMultiplier, RoundingEdgeRenormalises) {
+  // A value whose mantissa rounds up to exactly 1.0 must renormalise to
+  // 0.5 * 2^(n+1), not overflow INT32.
+  const double m = std::nextafter(1.0, 0.0);  // 0.999999...
+  const FixedPointMult f = decompose_multiplier(m);
+  EXPECT_NEAR(multiplier_value(f), m, 1e-9);
+}
+
+TEST(FixedPointFloorMul, MatchesFloorOfRealProduct) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double m = rng.uniform(-2.0, 2.0);
+    if (std::abs(m) < 1e-6) continue;
+    const FixedPointMult f = decompose_multiplier(m);
+    const auto v = static_cast<std::int64_t>(rng.uniform(-100000, 100000));
+    const std::int64_t got = fixed_point_floor_mul(v, f);
+    const double exact = multiplier_value(f) * static_cast<double>(v);
+    EXPECT_EQ(got, static_cast<std::int64_t>(std::floor(exact)))
+        << "m=" << m << " v=" << v;
+  }
+}
+
+TEST(FixedPointFloorMul, NegativeValuesFloorTowardMinusInfinity) {
+  const FixedPointMult half = decompose_multiplier(0.5);
+  EXPECT_EQ(fixed_point_floor_mul(-1, half), -1);  // floor(-0.5) = -1
+  EXPECT_EQ(fixed_point_floor_mul(-3, half), -2);  // floor(-1.5) = -2
+  EXPECT_EQ(fixed_point_floor_mul(3, half), 1);    // floor(1.5) = 1
+}
+
+TEST(IcnRequant, Equation5EndToEnd) {
+  // Compare the integer path against a double-precision oracle of Eq. 5.
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    IcnChannel ch;
+    const double m = rng.uniform(1e-4, 0.5) * (rng.uniform() < 0.2 ? -1 : 1);
+    ch.m = decompose_multiplier(m);
+    ch.bq = static_cast<std::int32_t>(rng.uniform(-5000, 5000));
+    const auto phi = static_cast<std::int32_t>(rng.uniform(-20000, 20000));
+    const std::int32_t zy = 0;
+    const BitWidth qy = BitWidth::kQ4;
+
+    const std::int32_t got = icn_requant(phi, ch, zy, qy);
+    const double exact =
+        std::floor(multiplier_value(ch.m) * (phi + double(ch.bq)));
+    const double clamped = std::clamp(exact + zy, 0.0, double(qmax(qy)));
+    EXPECT_EQ(got, static_cast<std::int32_t>(clamped))
+        << "m=" << m << " phi=" << phi << " bq=" << ch.bq;
+  }
+}
+
+TEST(DeriveIcnChannel, MatchesFloatTransferFunction) {
+  // For a dense grid of accumulator values, the integer output must match
+  // quant_act((phi_real - mu)/sigma * gamma + beta) computed in double.
+  const double si = 0.02, sw = 0.005, so = 6.0 / 15.0;
+  BnChannel bn;
+  bn.gamma = 1.3f;
+  bn.beta = 0.4f;
+  bn.mu = 0.8f;
+  bn.sigma = 2.1f;
+  const IcnChannel ch = derive_icn_channel(si, sw, so, bn, 0.0);
+
+  int mismatches = 0;
+  for (std::int32_t phi = -30000; phi <= 30000; phi += 7) {
+    const double conv = si * sw * phi;  // real convolution output
+    const double bn_out = (conv - bn.mu) / bn.sigma * bn.gamma + bn.beta;
+    const double ref =
+        std::clamp(std::floor(bn_out / so), 0.0, 15.0);  // quant_act
+    const std::int32_t got = icn_requant(phi, ch, /*zy=*/0, BitWidth::kQ4);
+    // Bq rounding can move outputs near a quantization boundary by one
+    // level; count mismatches instead of requiring exact equality.
+    if (got != static_cast<std::int32_t>(ref)) {
+      ++mismatches;
+      EXPECT_LE(std::abs(got - ref), 1.0);
+    }
+  }
+  // Boundary effects must be rare (paper: "negligible loss").
+  EXPECT_LT(mismatches, 40);
+}
+
+TEST(DeriveIcnChannel, NegativeGammaFlipsSign) {
+  BnChannel bn;
+  bn.gamma = -2.0f;
+  bn.sigma = 1.0f;
+  const IcnChannel ch = derive_icn_channel(0.01, 0.01, 0.1, bn, 0.0);
+  EXPECT_LT(ch.m.m0_q31, 0);
+}
+
+TEST(DeriveIcnChannel, RejectsBadScales) {
+  BnChannel bn;
+  EXPECT_THROW(derive_icn_channel(0.0, 1.0, 1.0, bn, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(derive_icn_channel(1.0, -1.0, 1.0, bn, 0.0),
+               std::invalid_argument);
+  bn.sigma = 0.0f;
+  EXPECT_THROW(derive_icn_channel(1.0, 1.0, 1.0, bn, 0.0),
+               std::invalid_argument);
+}
+
+TEST(DeriveIcnLayer, PerLayerScaleBroadcasts) {
+  std::vector<BnChannel> bn(4);
+  for (auto& b : bn) b.sigma = 1.0f;
+  const auto icn = derive_icn_layer(0.1, {0.05}, 0.2, bn, {});
+  ASSERT_EQ(icn.size(), 4u);
+  for (const auto& ch : icn) {
+    EXPECT_EQ(ch.m.m0_q31, icn[0].m.m0_q31);
+    EXPECT_EQ(ch.m.n0, icn[0].m.n0);
+  }
+}
+
+TEST(DeriveIcnLayer, SizeValidation) {
+  std::vector<BnChannel> bn(3);
+  EXPECT_THROW(derive_icn_layer(0.1, {0.1, 0.2}, 0.1, bn, {}),
+               std::invalid_argument);
+  EXPECT_THROW(derive_icn_layer(0.1, {0.1}, 0.1, bn, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(DeriveIcnChannel, BiasEntersBq) {
+  BnChannel identity;
+  const double si = 0.1, sw = 0.1;
+  const IcnChannel ch = derive_icn_channel(si, sw, 1.0, identity, 0.37);
+  EXPECT_EQ(ch.bq, static_cast<std::int32_t>(std::llround(0.37 / (si * sw))));
+}
+
+}  // namespace
+}  // namespace mixq::core

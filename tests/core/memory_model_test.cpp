@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+
+namespace mixq::core {
+namespace {
+
+LayerDesc conv_layer(std::int64_t co, std::int64_t k, std::int64_t ci,
+                     std::int64_t in_hw, std::int64_t out_hw) {
+  LayerDesc l;
+  l.name = "conv";
+  l.kind = LayerKind::kConv;
+  l.wshape = WeightShape(co, k, k, ci);
+  l.in_numel = in_hw * in_hw * ci;
+  l.out_numel = out_hw * out_hw * co;
+  l.macs = l.out_numel * k * k * ci;
+  return l;
+}
+
+TEST(ActivationBytes, PackedCeiling) {
+  EXPECT_EQ(activation_bytes(100, BitWidth::kQ8), 100);
+  EXPECT_EQ(activation_bytes(100, BitWidth::kQ4), 50);
+  EXPECT_EQ(activation_bytes(100, BitWidth::kQ2), 25);
+  EXPECT_EQ(activation_bytes(101, BitWidth::kQ2), 26);
+}
+
+TEST(WeightBytes, PackedCeiling) {
+  const LayerDesc l = conv_layer(8, 3, 3, 16, 16);
+  EXPECT_EQ(weight_bytes(l, BitWidth::kQ8), 8 * 9 * 3);
+  EXPECT_EQ(weight_bytes(l, BitWidth::kQ4), 8 * 9 * 3 / 2);
+}
+
+TEST(StaticParamBytes, Table1RowPLFB) {
+  // PL+FB: Zx(1) + Zy(1) + Zw(1) + Bq(4*cO) + M0(4) + N0(1).
+  const LayerDesc l = conv_layer(32, 3, 16, 8, 8);
+  EXPECT_EQ(static_param_bytes(l, Scheme::kPLFoldBN, BitWidth::kQ8),
+            1 + 1 + 1 + 4 * 32 + 4 + 1);
+}
+
+TEST(StaticParamBytes, Table1RowPLICN) {
+  // PL+ICN: Zx + Zy + Zw(1) + (Bq + M0 + N0) * cO.
+  const LayerDesc l = conv_layer(32, 3, 16, 8, 8);
+  EXPECT_EQ(static_param_bytes(l, Scheme::kPLICN, BitWidth::kQ8),
+            1 + 1 + 1 + (4 + 4 + 1) * 32);
+}
+
+TEST(StaticParamBytes, Table1RowPCICN) {
+  // PC+ICN: Zw becomes INT16 * cO.
+  const LayerDesc l = conv_layer(32, 3, 16, 8, 8);
+  EXPECT_EQ(static_param_bytes(l, Scheme::kPCICN, BitWidth::kQ8),
+            1 + 1 + 2 * 32 + (4 + 4 + 1) * 32);
+}
+
+TEST(StaticParamBytes, Table1RowThresholdsGrowsWithQ) {
+  const LayerDesc l = conv_layer(32, 3, 16, 8, 8);
+  const auto thr4 = static_param_bytes(l, Scheme::kPCThresholds, BitWidth::kQ4);
+  const auto thr8 = static_param_bytes(l, Scheme::kPCThresholds, BitWidth::kQ8);
+  EXPECT_EQ(thr4, 1 + 1 + 2 * 32 + 2 * 32 * 16);
+  EXPECT_EQ(thr8, 1 + 1 + 2 * 32 + 2 * 32 * 256);
+  EXPECT_GT(thr8, thr4);
+}
+
+TEST(StaticParamBytes, OrderingMatchesTable2) {
+  // At INT4 the per-layer total RO footprints must order exactly as the
+  // paper's Table 2 column: PL+FB < PL+ICN < PC+ICN < PC+Thresholds.
+  const LayerDesc l = conv_layer(256, 1, 256, 14, 14);
+  const auto fb = layer_ro_bytes(l, Scheme::kPLFoldBN, BitWidth::kQ4);
+  const auto plicn = layer_ro_bytes(l, Scheme::kPLICN, BitWidth::kQ4);
+  const auto pcicn = layer_ro_bytes(l, Scheme::kPCICN, BitWidth::kQ4);
+  const auto thr = layer_ro_bytes(l, Scheme::kPCThresholds, BitWidth::kQ4);
+  EXPECT_LT(fb, plicn);
+  EXPECT_LT(plicn, pcicn);
+  EXPECT_LT(pcicn, thr);
+}
+
+TEST(NetRoBytes, SumsLayers) {
+  NetDesc net;
+  net.layers.push_back(conv_layer(8, 3, 3, 16, 16));
+  net.layers.push_back(conv_layer(16, 3, 8, 16, 8));
+  const std::vector<BitWidth> qw{BitWidth::kQ8, BitWidth::kQ4};
+  EXPECT_EQ(net_ro_bytes(net, Scheme::kPCICN, qw),
+            layer_ro_bytes(net.layers[0], Scheme::kPCICN, BitWidth::kQ8) +
+                layer_ro_bytes(net.layers[1], Scheme::kPCICN, BitWidth::kQ4));
+  EXPECT_THROW(net_ro_bytes(net, Scheme::kPCICN, {BitWidth::kQ8}),
+               std::invalid_argument);
+}
+
+TEST(NetRwPeakBytes, MaxOfInPlusOut) {
+  NetDesc net;
+  net.layers.push_back(conv_layer(8, 3, 3, 16, 16));   // in 768, out 2048
+  net.layers.push_back(conv_layer(16, 3, 8, 16, 8));   // in 2048, out 1024
+  std::vector<BitWidth> qact{BitWidth::kQ8, BitWidth::kQ8, BitWidth::kQ8};
+  EXPECT_EQ(net_rw_peak_bytes(net, qact), 768 + 2048 < 2048 + 1024
+                                              ? 2048 + 1024
+                                              : 768 + 2048);
+  // Cutting the middle tensor to 4 bits halves its contribution.
+  qact[1] = BitWidth::kQ4;
+  EXPECT_EQ(net_rw_peak_bytes(net, qact),
+            std::max<std::int64_t>(768 + 1024, 1024 + 1024));
+  EXPECT_THROW(net_rw_peak_bytes(net, {BitWidth::kQ8}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/qconv.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::core {
+namespace {
+
+QBlockConfig pc_cfg(BitWidth qw = BitWidth::kQ8, BitWidth qa = BitWidth::kQ8) {
+  QBlockConfig c;
+  c.qw = qw;
+  c.qa = qa;
+  c.wgran = Granularity::kPerChannel;
+  return c;
+}
+
+TEST(QConvBlock, ForwardShapes) {
+  Rng rng(1);
+  nn::ConvSpec spec;
+  QConvBlock blk(BlockKind::kConv, 3, 8, spec, pc_cfg(), &rng);
+  FloatTensor x(Shape(2, 8, 8, 3));
+  rng.fill_uniform(x.vec(), 0.0, 1.0);
+  const FloatTensor y = blk.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(2, 8, 8, 8));
+  EXPECT_EQ(blk.out_shape(x.shape()), y.shape());
+}
+
+TEST(QConvBlock, OutputIsOnActivationGrid) {
+  Rng rng(2);
+  nn::ConvSpec spec;
+  QConvBlock blk(BlockKind::kConv, 3, 4, spec, pc_cfg(BitWidth::kQ8, BitWidth::kQ4), &rng);
+  FloatTensor x(Shape(1, 6, 6, 3));
+  rng.fill_uniform(x.vec(), 0.0, 1.0);
+  const FloatTensor y = blk.forward(x, false);
+  const auto act = blk.act_params();
+  ASSERT_TRUE(act.has_value());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float k = y[i] / act->scale;
+    EXPECT_NEAR(k, std::round(k), 1e-4f);
+    EXPECT_GE(y[i], 0.0f);
+  }
+}
+
+TEST(QConvBlock, DepthwiseRequiresEqualChannels) {
+  Rng rng(3);
+  EXPECT_THROW(
+      QConvBlock(BlockKind::kDepthwise, 3, 4, nn::ConvSpec{}, pc_cfg(), &rng),
+      std::invalid_argument);
+}
+
+TEST(QConvBlock, LinearHasNoBnAndRawOutput) {
+  Rng rng(4);
+  QBlockConfig cfg = pc_cfg();
+  cfg.act_quant = false;
+  QConvBlock blk(BlockKind::kLinear, 16, 10, nn::ConvSpec{}, cfg, &rng);
+  EXPECT_EQ(blk.bn(), nullptr);
+  EXPECT_EQ(blk.act(), nullptr);
+  EXPECT_FALSE(blk.act_params().has_value());
+  FloatTensor x(Shape(2, 1, 1, 16));
+  rng.fill_uniform(x.vec(), 0.0, 1.0);
+  EXPECT_EQ(blk.forward(x, false).shape(), Shape(2, 1, 1, 10));
+}
+
+TEST(QConvBlock, FoldingRequiresConfig) {
+  Rng rng(5);
+  QConvBlock blk(BlockKind::kConv, 2, 2, nn::ConvSpec{}, pc_cfg(), &rng);
+  EXPECT_THROW(blk.enable_folding(), std::logic_error);
+}
+
+TEST(QConvBlock, FoldedWeightsScaleByGammaOverSigma) {
+  Rng rng(6);
+  QBlockConfig cfg;
+  cfg.fold_bn = true;
+  QConvBlock blk(BlockKind::kConv, 2, 2, nn::ConvSpec{}, cfg, &rng);
+  blk.bn()->gamma() = {2.0f, 0.5f};
+  blk.bn()->running_var() = {1.0f, 1.0f};
+  blk.enable_folding();
+  ASSERT_TRUE(blk.folding_active());
+  const FloatWeights raw = blk.conv()->weights();
+  const FloatWeights folded = blk.deploy_weights();
+  const auto sigma = blk.bn()->sigma();
+  for (std::int64_t oc = 0; oc < 2; ++oc) {
+    const float g = blk.bn()->gamma()[static_cast<std::size_t>(oc)];
+    for (std::int64_t i = 0; i < raw.shape().per_channel(); ++i) {
+      EXPECT_NEAR(folded.channel(oc)[i],
+                  raw.channel(oc)[i] * g / sigma[static_cast<std::size_t>(oc)],
+                  1e-6f);
+    }
+  }
+}
+
+TEST(QConvBlock, FoldedBiasFormula) {
+  Rng rng(7);
+  QBlockConfig cfg;
+  cfg.fold_bn = true;
+  QConvBlock blk(BlockKind::kConv, 2, 2, nn::ConvSpec{}, cfg, &rng);
+  blk.bn()->gamma() = {1.5f, 1.0f};
+  blk.bn()->beta() = {0.3f, -0.2f};
+  blk.bn()->running_mean() = {0.7f, 0.1f};
+  blk.bn()->running_var() = {0.25f, 4.0f};
+  blk.enable_folding();
+  const auto bias = blk.folded_bias();
+  const auto sigma = blk.bn()->sigma();
+  EXPECT_NEAR(bias[0], 0.3f - 0.7f * 1.5f / sigma[0], 1e-6f);
+  EXPECT_NEAR(bias[1], -0.2f - 0.1f * 1.0f / sigma[1], 1e-6f);
+}
+
+TEST(QConvBlock, SetBitsUpdatesActQuantizer) {
+  Rng rng(8);
+  QConvBlock blk(BlockKind::kConv, 2, 2, nn::ConvSpec{}, pc_cfg(), &rng);
+  blk.set_act_bits(BitWidth::kQ2);
+  EXPECT_EQ(blk.act()->bitwidth(), BitWidth::kQ2);
+  EXPECT_EQ(blk.act_params()->q, BitWidth::kQ2);
+  blk.set_weight_bits(BitWidth::kQ4);
+  EXPECT_EQ(blk.deploy_weight_quant().q, BitWidth::kQ4);
+}
+
+TEST(QConvBlock, PerChannelDeployQuantHasCoEntries) {
+  Rng rng(9);
+  QConvBlock blk(BlockKind::kConv, 3, 5, nn::ConvSpec{}, pc_cfg(), &rng);
+  const WeightQuant wq = blk.deploy_weight_quant();
+  EXPECT_EQ(wq.granularity, Granularity::kPerChannel);
+  EXPECT_EQ(wq.params.size(), 5u);
+}
+
+TEST(QConvBlock, PerLayerDeployQuantUsesLearnedRangeAfterForward) {
+  Rng rng(10);
+  QBlockConfig cfg;
+  cfg.wgran = Granularity::kPerLayer;
+  QConvBlock blk(BlockKind::kConv, 3, 5, nn::ConvSpec{}, cfg, &rng);
+  FloatTensor x(Shape(1, 4, 4, 3));
+  rng.fill_uniform(x.vec(), 0.0, 1.0);
+  blk.forward(x, true);
+  const WeightQuant wq = blk.deploy_weight_quant();
+  EXPECT_EQ(wq.granularity, Granularity::kPerLayer);
+  EXPECT_EQ(wq.params.size(), 1u);
+}
+
+TEST(QConvBlock, GradientsFlowThroughQuantizers) {
+  // One SGD step on a toy target must reduce the loss: end-to-end check
+  // that STE routes gradients through weight and activation quantizers.
+  Rng rng(11);
+  QConvBlock blk(BlockKind::kConv, 2, 2, nn::ConvSpec{}, pc_cfg(), &rng);
+  FloatTensor x(Shape(2, 4, 4, 2));
+  rng.fill_uniform(x.vec(), 0.0, 1.0);
+
+  auto loss_of = [&](const FloatTensor& y) {
+    float s = 0.0f;
+    for (std::int64_t i = 0; i < y.numel(); ++i) s += y[i] * y[i];
+    return 0.5f * s;
+  };
+  const FloatTensor y0 = blk.forward(x, true);
+  const float l0 = loss_of(y0);
+  blk.zero_grad();
+  blk.forward(x, true);
+  FloatTensor g(y0.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) g[i] = y0[i];
+  blk.backward(g);
+  float gnorm = 0.0f;
+  for (auto& p : blk.params()) {
+    for (float gv : *p.grad) gnorm += gv * gv;
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      (*p.value)[i] -= 0.05f * (*p.grad)[i];
+    }
+  }
+  EXPECT_GT(gnorm, 0.0f);
+  const float l1 = loss_of(blk.forward(x, false));
+  EXPECT_LT(l1, l0);
+}
+
+}  // namespace
+}  // namespace mixq::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/thresholds.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::core {
+namespace {
+
+IcnChannel random_channel(Rng& rng, bool allow_negative = true) {
+  IcnChannel ch;
+  double m = rng.uniform(1e-5, 0.3);
+  if (allow_negative && rng.uniform() < 0.3) m = -m;
+  ch.m = decompose_multiplier(m);
+  ch.bq = static_cast<std::int32_t>(rng.uniform(-10000, 10000));
+  return ch;
+}
+
+class ThresholdEquivalence : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(ThresholdEquivalence, BitExactAgainstIcnEverywhere) {
+  // The paper's Table 1 comparison treats thresholds and ICN as
+  // functionally equivalent deployments; we assert bit-exactness across
+  // the full accumulator window used for derivation.
+  const BitWidth qy = GetParam();
+  Rng rng(17);
+  const std::int64_t lo = -40000, hi = 40000;
+  for (int trial = 0; trial < 50; ++trial) {
+    const IcnChannel ch = random_channel(rng);
+    const std::int32_t zy =
+        static_cast<std::int32_t>(rng.uniform_int(qmax(qy) / 2 + 1));
+    const ThresholdChannel thr = derive_threshold_channel(ch, zy, qy, lo, hi);
+    EXPECT_EQ(thr.thr.size(), static_cast<std::size_t>(qmax(qy)));
+    for (std::int64_t phi = lo; phi <= hi; phi += 101) {
+      const std::int32_t want =
+          icn_requant(static_cast<std::int32_t>(phi), ch, zy, qy);
+      const std::int32_t got = threshold_eval(phi, thr);
+      ASSERT_EQ(got, want) << "phi=" << phi << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ThresholdEquivalence,
+                         ::testing::Values(BitWidth::kQ2, BitWidth::kQ4,
+                                           BitWidth::kQ8));
+
+TEST(Thresholds, RisingChannelMonotone) {
+  Rng rng(19);
+  const IcnChannel ch = random_channel(rng, /*allow_negative=*/false);
+  const ThresholdChannel thr =
+      derive_threshold_channel(ch, 0, BitWidth::kQ4, -50000, 50000);
+  EXPECT_TRUE(thr.rising);
+  // Output code is non-decreasing in phi.
+  std::int32_t prev = threshold_eval(-50000, thr);
+  for (std::int64_t phi = -50000; phi <= 50000; phi += 500) {
+    const std::int32_t cur = threshold_eval(phi, thr);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Thresholds, FallingChannelMonotone) {
+  IcnChannel ch;
+  ch.m = decompose_multiplier(-0.01);
+  ch.bq = 100;
+  const ThresholdChannel thr =
+      derive_threshold_channel(ch, 0, BitWidth::kQ4, -50000, 50000);
+  EXPECT_FALSE(thr.rising);
+  std::int32_t prev = threshold_eval(-50000, thr);
+  for (std::int64_t phi = -50000; phi <= 50000; phi += 500) {
+    const std::int32_t cur = threshold_eval(phi, thr);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Thresholds, ConstantChannel) {
+  IcnChannel ch;  // m == 0
+  ch.bq = 0;
+  for (std::int32_t zy : {0, 2, 9, 100}) {
+    const ThresholdChannel thr =
+        derive_threshold_channel(ch, zy, BitWidth::kQ2, -100, 100);
+    const std::int32_t expect = std::min(zy, qmax(BitWidth::kQ2));
+    for (std::int64_t phi : {-100L, 0L, 100L}) {
+      EXPECT_EQ(threshold_eval(phi, thr), expect);
+    }
+  }
+}
+
+TEST(Thresholds, SaturatedHighEverywhere) {
+  // Huge multiplier: every phi in window maps to qmax.
+  IcnChannel ch;
+  ch.m = decompose_multiplier(1000.0);
+  ch.bq = 50000;
+  const ThresholdChannel thr =
+      derive_threshold_channel(ch, 0, BitWidth::kQ4, -1000, 1000);
+  for (std::int64_t phi = -1000; phi <= 1000; phi += 10) {
+    EXPECT_EQ(threshold_eval(phi, thr), 15);
+  }
+}
+
+TEST(Thresholds, PhiBound) {
+  // 3x3x16 receptive field at 8-bit act, 4-bit weight.
+  EXPECT_EQ(phi_bound(3 * 3 * 16, BitWidth::kQ8, BitWidth::kQ4),
+            144LL * 255 * 15);
+}
+
+TEST(Thresholds, LayerDerivation) {
+  Rng rng(23);
+  std::vector<IcnChannel> icn;
+  for (int i = 0; i < 8; ++i) icn.push_back(random_channel(rng));
+  const auto layer =
+      derive_threshold_layer(icn, 0, BitWidth::kQ4, -10000, 10000);
+  EXPECT_EQ(layer.size(), 8u);
+  for (const auto& ch : layer) EXPECT_EQ(ch.thr.size(), 15u);
+}
+
+TEST(Thresholds, MemoryGrowthIsExponentialInQ) {
+  // Table 1's point: the thresholds row scales with 2^Q.
+  Rng rng(29);
+  const IcnChannel ch = random_channel(rng);
+  const auto t2 = derive_threshold_channel(ch, 0, BitWidth::kQ2, -100, 100);
+  const auto t8 = derive_threshold_channel(ch, 0, BitWidth::kQ8, -100, 100);
+  EXPECT_EQ(t2.thr.size(), 3u);
+  EXPECT_EQ(t8.thr.size(), 255u);
+}
+
+}  // namespace
+}  // namespace mixq::core

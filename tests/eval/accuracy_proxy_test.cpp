@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "eval/accuracy_proxy.hpp"
+#include "eval/paper_reference.hpp"
+
+namespace mixq::eval {
+namespace {
+
+using core::BitAssignment;
+using core::BitWidth;
+
+TEST(AccuracyProxy, Int8NearFullPrecision) {
+  const models::MobilenetConfig cfg{224, 1.0};
+  const auto net = models::build_mobilenet_v1(cfg);
+  const double pl = proxy_top1_uniform(cfg, net, BitWidth::kQ8,
+                                       BitWidth::kQ8,
+                                       QuantFamily::kPerLayer);
+  // Paper Table 2: 70.9 -> 70.1 at PL+FB INT8.
+  EXPECT_NEAR(pl, 70.1, 0.5);
+}
+
+TEST(AccuracyProxy, MonotoneInWeightBits) {
+  const models::MobilenetConfig cfg{192, 0.5};
+  const auto net = models::build_mobilenet_v1(cfg);
+  for (QuantFamily f : {QuantFamily::kPerLayer, QuantFamily::kPerChannelICN}) {
+    const double a8 =
+        proxy_top1_uniform(cfg, net, BitWidth::kQ8, BitWidth::kQ8, f);
+    const double a4 =
+        proxy_top1_uniform(cfg, net, BitWidth::kQ4, BitWidth::kQ8, f);
+    const double a2 =
+        proxy_top1_uniform(cfg, net, BitWidth::kQ2, BitWidth::kQ8, f);
+    EXPECT_GT(a8, a4);
+    EXPECT_GT(a4, a2);
+  }
+}
+
+TEST(AccuracyProxy, MonotoneInActivationBits) {
+  const models::MobilenetConfig cfg{160, 0.75};
+  const auto net = models::build_mobilenet_v1(cfg);
+  const double a8 = proxy_top1_uniform(cfg, net, BitWidth::kQ8, BitWidth::kQ8,
+                                       QuantFamily::kPerChannelICN);
+  const double a4 = proxy_top1_uniform(cfg, net, BitWidth::kQ8, BitWidth::kQ4,
+                                       QuantFamily::kPerChannelICN);
+  const double a2 = proxy_top1_uniform(cfg, net, BitWidth::kQ8, BitWidth::kQ2,
+                                       QuantFamily::kPerChannelICN);
+  EXPECT_GT(a8, a4);
+  EXPECT_GT(a4, a2);
+}
+
+TEST(AccuracyProxy, PerChannelAlwaysAtLeastPerLayer) {
+  for (const auto& cfg : models::mobilenet_family()) {
+    const auto net = models::build_mobilenet_v1(cfg);
+    const double pl = proxy_top1_uniform(cfg, net, BitWidth::kQ4,
+                                         BitWidth::kQ4,
+                                         QuantFamily::kPerLayer);
+    const double pc = proxy_top1_uniform(cfg, net, BitWidth::kQ4,
+                                         BitWidth::kQ4,
+                                         QuantFamily::kPerChannelICN);
+    EXPECT_GE(pc, pl) << cfg.label();
+  }
+}
+
+TEST(AccuracyProxy, FloorAtRandomGuess) {
+  const models::MobilenetConfig cfg{128, 0.25};
+  const auto net = models::build_mobilenet_v1(cfg);
+  ProxyParams p;
+  p.w2_pl = 1000.0;  // absurd penalty
+  const double v = proxy_top1_uniform(cfg, net, BitWidth::kQ2, BitWidth::kQ2,
+                                      QuantFamily::kPerLayer, p);
+  EXPECT_DOUBLE_EQ(v, 0.1);
+}
+
+TEST(AccuracyProxy, CutsOnSmallLayersCostLittle) {
+  // Cutting only the classifier's weights (tiny MAC share) must cost far
+  // less than cutting everything.
+  const models::MobilenetConfig cfg{224, 1.0};
+  const auto net = models::build_mobilenet_v1(cfg);
+  BitAssignment only_fc = BitAssignment::uniform8(net.size());
+  only_fc.qw.back() = BitWidth::kQ2;
+  const double fc_only = proxy_top1(cfg, net, only_fc,
+                                    QuantFamily::kPerChannelICN);
+  const double all4 = proxy_top1_uniform(cfg, net, BitWidth::kQ4,
+                                         BitWidth::kQ8,
+                                         QuantFamily::kPerChannelICN);
+  const double base = proxy_top1_uniform(cfg, net, BitWidth::kQ8,
+                                         BitWidth::kQ8,
+                                         QuantFamily::kPerChannelICN);
+  EXPECT_LT(base - fc_only, 0.2);      // fc is ~0.2% of MACs
+  EXPECT_GT(base - all4, 1.0);
+}
+
+TEST(AccuracyProxy, SizeMismatchThrows) {
+  const models::MobilenetConfig cfg{224, 1.0};
+  const auto net = models::build_mobilenet_v1(cfg);
+  BitAssignment bad = BitAssignment::uniform8(net.size() - 1);
+  EXPECT_THROW(proxy_top1(cfg, net, bad, QuantFamily::kPerLayer),
+               std::invalid_argument);
+}
+
+TEST(PaperReference, TablesComplete) {
+  EXPECT_EQ(paper_table2().size(), 8u);
+  EXPECT_EQ(paper_table4().size(), 16u);
+  EXPECT_GE(paper_table3().size(), 5u);
+  EXPECT_TRUE(paper_table4_entry(224, 0.75).has_value());
+  EXPECT_DOUBLE_EQ(paper_table4_entry(224, 0.75)->top1_mixq_pc_icn, 68.02);
+  EXPECT_FALSE(paper_table4_entry(96, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace mixq::eval

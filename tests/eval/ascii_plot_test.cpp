@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "eval/ascii_plot.hpp"
+
+namespace mixq::eval {
+namespace {
+
+TEST(AsciiScatter, PlacesExtremePointsAtCorners) {
+  std::vector<PlotPoint> pts = {{0.0, 0.0, 0}, {10.0, 100.0, 1}};
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 6;
+  const std::string s = ascii_scatter(pts, opt);
+  // Max-y point ('x', series 1) appears on the first grid row; min-y ('o')
+  // on the last grid row.
+  const auto first_nl = s.find('\n');
+  EXPECT_NE(s.substr(0, first_nl).find('x'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(AsciiScatter, SeriesGlyphsCycle) {
+  std::vector<PlotPoint> pts = {{0, 0, 0}, {1, 1, 1}, {2, 2, 2}};
+  PlotOptions opt;
+  opt.glyphs = "ab";
+  const std::string s = ascii_scatter(pts, opt);
+  EXPECT_NE(s.find('a'), std::string::npos);  // series 0 and 2
+  EXPECT_NE(s.find('b'), std::string::npos);  // series 1
+}
+
+TEST(AsciiScatter, LogXRejectsNonPositive) {
+  PlotOptions opt;
+  opt.log_x = true;
+  EXPECT_THROW(ascii_scatter({{0.0, 1.0, 0}}, opt), std::invalid_argument);
+  EXPECT_NO_THROW(ascii_scatter({{0.5, 1.0, 0}, {100.0, 2.0, 0}}, opt));
+}
+
+TEST(AsciiScatter, DegenerateInputs) {
+  EXPECT_EQ(ascii_scatter({}), "(no points)\n");
+  // A single point (degenerate ranges) must still render.
+  EXPECT_NO_THROW(ascii_scatter({{1.0, 1.0, 0}}));
+  PlotOptions tiny;
+  tiny.width = 2;
+  tiny.height = 2;
+  EXPECT_THROW(ascii_scatter({{1.0, 1.0, 0}}, tiny), std::invalid_argument);
+}
+
+TEST(AsciiScatter, LabelsAppear) {
+  PlotOptions opt;
+  opt.x_label = "latency";
+  opt.y_label = "top1";
+  const std::string s = ascii_scatter({{1, 1, 0}, {2, 2, 0}}, opt);
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("top1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mixq::eval

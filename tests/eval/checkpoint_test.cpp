@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "eval/checkpoint.hpp"
+#include "eval/trainer.hpp"
+#include "models/small_cnn.hpp"
+
+namespace mixq::eval {
+namespace {
+
+using core::BitWidth;
+
+models::SmallCnnConfig cfg_of(BitWidth qw = BitWidth::kQ8) {
+  models::SmallCnnConfig m;
+  m.input_hw = 8;
+  m.base_channels = 8;
+  m.num_blocks = 2;
+  m.num_classes = 4;
+  m.qw = qw;
+  m.wgran = core::Granularity::kPerChannel;
+  return m;
+}
+
+TEST(Checkpoint, RoundTripReproducesOutputsExactly) {
+  data::SyntheticSpec d;
+  d.hw = 8;
+  d.num_classes = 4;
+  d.train_size = 128;
+  d.test_size = 64;
+  auto [train, test] = data::make_synthetic(d);
+
+  Rng rng(1);
+  auto model = models::build_small_cnn(cfg_of(), &rng);
+  TrainConfig tcfg;
+  tcfg.epochs = 3;
+  train_qat(model, train, test, tcfg);
+  const auto blob = save_checkpoint(model);
+
+  Rng rng2(999);  // different init on purpose
+  auto fresh = models::build_small_cnn(cfg_of(), &rng2);
+  // BN freeze state must match the saved model's (train_qat froze it).
+  fresh.freeze_all_bn();
+  load_checkpoint(fresh, blob);
+
+  const FloatTensor a = model.forward(test.images, false);
+  const FloatTensor b = fresh.forward(test.images, false);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a[i], b[i]) << "logit " << i;
+  }
+}
+
+TEST(Checkpoint, WarmStartBranchesToQuantRuns) {
+  // The paper's workflow: pretrain once (float/8-bit), then branch each
+  // quantization configuration from the same checkpoint. A warm-started
+  // 4-bit run must outperform a cold 4-bit run given a very short budget.
+  data::SyntheticSpec d;
+  d.hw = 8;
+  d.num_classes = 4;
+  d.train_size = 192;
+  d.test_size = 96;
+  d.seed = 31;
+  auto [train, test] = data::make_synthetic(d);
+
+  Rng rng(2);
+  auto pretrain = models::build_small_cnn(cfg_of(BitWidth::kQ8), &rng);
+  TrainConfig pre;
+  pre.epochs = 6;
+  train_qat(pretrain, train, test, pre);
+  const auto blob = save_checkpoint(pretrain);
+
+  Rng rng_warm(3);
+  auto warm = models::build_small_cnn(cfg_of(BitWidth::kQ8), &rng_warm);
+  warm.freeze_all_bn();
+  load_checkpoint(warm, blob);
+  for (auto& item : warm.chain) {
+    item.block->set_weight_bits(BitWidth::kQ4);
+  }
+  Rng rng_cold(3);
+  auto cold = models::build_small_cnn(cfg_of(BitWidth::kQ4), &rng_cold);
+
+  TrainConfig quick;
+  quick.epochs = 1;
+  const double warm_acc = train_qat(warm, train, test, quick).test_accuracy;
+  const double cold_acc = train_qat(cold, train, test, quick).test_accuracy;
+  EXPECT_GT(warm_acc, cold_acc + 0.1)
+      << "warm=" << warm_acc << " cold=" << cold_acc;
+}
+
+TEST(Checkpoint, MismatchedArchitectureRejected) {
+  Rng rng(4);
+  auto a = models::build_small_cnn(cfg_of(), &rng);
+  auto blob = save_checkpoint(a);
+
+  models::SmallCnnConfig other = cfg_of();
+  other.base_channels = 16;  // different sizes
+  Rng rng2(5);
+  auto b = models::build_small_cnn(other, &rng2);
+  EXPECT_THROW(load_checkpoint(b, blob), std::runtime_error);
+
+  blob[0] = 'X';
+  EXPECT_THROW(load_checkpoint(a, blob), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncationRejected) {
+  Rng rng(6);
+  auto model = models::build_small_cnn(cfg_of(), &rng);
+  auto blob = save_checkpoint(model);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(load_checkpoint(model, blob), std::runtime_error);
+  blob.clear();
+  EXPECT_THROW(load_checkpoint(model, blob), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(7);
+  auto model = models::build_small_cnn(cfg_of(), &rng);
+  const std::string path = "/tmp/mixq_ckpt_test.bin";
+  write_checkpoint_file(model, path);
+  Rng rng2(8);
+  auto fresh = models::build_small_cnn(cfg_of(), &rng2);
+  read_checkpoint_file(fresh, path);
+  // Same weights afterwards.
+  const auto pa = model.params();
+  const auto pb = fresh.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(*pa[i].value, *pb[i].value) << pa[i].name;
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(read_checkpoint_file(fresh, "/nonexistent/x.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mixq::eval

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/csv.hpp"
+
+namespace mixq::eval {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(CsvWriter, WritesRows) {
+  const std::string path = "/tmp/mixq_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.row({"model", "top1", "latency"});
+    w.row({"224_1.0", "64.29", "2966.95"});
+  }
+  EXPECT_EQ(slurp(path), "model,top1,latency\n224_1.0,64.29,2966.95\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  const std::string path = "/tmp/mixq_csv_quote.csv";
+  {
+    CsvWriter w(path);
+    w.row({"a,b", "say \"hi\"", "plain"});
+  }
+  EXPECT_EQ(slurp(path), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, CreatesParentDirectories) {
+  const std::string path = "/tmp/mixq_csv_dir/sub/x.csv";
+  {
+    CsvWriter w(path);
+    EXPECT_TRUE(w.ok());
+    w.row({"1"});
+  }
+  EXPECT_EQ(slurp(path), "1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mixq::eval

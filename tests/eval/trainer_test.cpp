@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "eval/trainer.hpp"
+#include "models/small_cnn.hpp"
+
+namespace mixq::eval {
+namespace {
+
+using core::BitWidth;
+using core::Granularity;
+
+data::SyntheticSpec small_task(std::uint64_t seed = 11) {
+  data::SyntheticSpec d;
+  d.hw = 8;
+  d.num_classes = 4;
+  d.train_size = 192;
+  d.test_size = 96;
+  d.seed = seed;
+  return d;
+}
+
+models::SmallCnnConfig small_model(BitWidth qw, BitWidth qa) {
+  models::SmallCnnConfig m;
+  m.input_hw = 8;
+  m.base_channels = 8;
+  m.num_blocks = 2;
+  m.num_classes = 4;
+  m.qw = qw;
+  m.qa = qa;
+  m.wgran = Granularity::kPerChannel;
+  return m;
+}
+
+TEST(Trainer, LearnsAtInt8) {
+  auto [train, test] = data::make_synthetic(small_task());
+  Rng rng(1);
+  auto model = models::build_small_cnn(
+      small_model(BitWidth::kQ8, BitWidth::kQ8), &rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.lr = 3e-3f;
+  const TrainResult r = train_qat(model, train, test, cfg);
+  EXPECT_GT(r.test_accuracy, 0.85);
+  EXPECT_GT(r.train_accuracy, 0.85);
+  EXPECT_LT(r.final_loss, 1.0f);
+}
+
+TEST(Trainer, MoreEpochsDoNotHurt) {
+  auto [train, test] = data::make_synthetic(small_task(22));
+  Rng rng1(2), rng2(2);
+  auto m_short = models::build_small_cnn(
+      small_model(BitWidth::kQ4, BitWidth::kQ4), &rng1);
+  auto m_long = models::build_small_cnn(
+      small_model(BitWidth::kQ4, BitWidth::kQ4), &rng2);
+  TrainConfig c_short;
+  c_short.epochs = 2;
+  TrainConfig c_long;
+  c_long.epochs = 8;
+  const double a_short =
+      train_qat(m_short, train, test, c_short).test_accuracy;
+  const double a_long = train_qat(m_long, train, test, c_long).test_accuracy;
+  EXPECT_GE(a_long, a_short - 0.05);
+}
+
+TEST(Trainer, LrScheduleReducesRate) {
+  // After the decay epochs the optimizer's steps shrink; we can only
+  // observe the end effect: training still converges with decays placed
+  // mid-run (the paper's step schedule).
+  auto [train, test] = data::make_synthetic(small_task(33));
+  Rng rng(3);
+  auto model = models::build_small_cnn(
+      small_model(BitWidth::kQ8, BitWidth::kQ8), &rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.lr = 5e-3f;
+  cfg.lr_decay_epochs = {2, 4};
+  cfg.lr_decay = 0.2f;
+  EXPECT_GT(train_qat(model, train, test, cfg).test_accuracy, 0.8);
+}
+
+TEST(Trainer, ProgressiveAnnealingReachesTargetBits) {
+  auto [train, test] = data::make_synthetic(small_task(44));
+  Rng rng(4);
+  auto model = models::build_small_cnn(
+      small_model(BitWidth::kQ2, BitWidth::kQ4), &rng);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.progressive = true;
+  train_qat(model, train, test, cfg);
+  for (const auto& item : model.chain) {
+    EXPECT_EQ(item.block->config().qw, BitWidth::kQ2);
+    EXPECT_EQ(item.block->config().qa, BitWidth::kQ4);
+  }
+}
+
+TEST(Trainer, ProgressiveIsCompetitiveAtExtremeLowBit) {
+  // At W2A4 from scratch, annealing 8->4->2 must stay competitive with
+  // direct 2-bit training on the same data and init, and both must be
+  // clearly above the 25% chance level. (On this small synthetic task
+  // direct low-bit QAT already converges, so annealing's advantage --
+  // reported by [16] on ImageNet-scale problems -- does not show as a
+  // strict win; we assert competitiveness, not superiority.)
+  auto [train, test] = data::make_synthetic(small_task(55));
+  Rng rng1(5), rng2(5);
+  auto direct = models::build_small_cnn(
+      small_model(BitWidth::kQ2, BitWidth::kQ4), &rng1);
+  auto annealed = models::build_small_cnn(
+      small_model(BitWidth::kQ2, BitWidth::kQ4), &rng2);
+  TrainConfig cfg;
+  cfg.epochs = 9;
+  const double acc_direct = train_qat(direct, train, test, cfg).test_accuracy;
+  cfg.progressive = true;
+  const double acc_annealed =
+      train_qat(annealed, train, test, cfg).test_accuracy;
+  EXPECT_GE(acc_annealed, acc_direct - 0.15)
+      << "progressive=" << acc_annealed << " direct=" << acc_direct;
+  EXPECT_GT(acc_annealed, 0.40);
+  EXPECT_GT(acc_direct, 0.40);
+}
+
+TEST(Trainer, EvaluateFakeQuantCountsCorrectly) {
+  auto [train, test] = data::make_synthetic(small_task(66));
+  Rng rng(6);
+  auto model = models::build_small_cnn(
+      small_model(BitWidth::kQ8, BitWidth::kQ8), &rng);
+  // Untrained: accuracy near chance (1/4), definitely below 0.6.
+  const double acc = evaluate_fake_quant(model, test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 0.6);
+}
+
+}  // namespace
+}  // namespace mixq::eval

@@ -1,0 +1,141 @@
+// End-to-end pipeline test: synthetic data -> QAT -> conversion ->
+// integer-only inference -> deployment accounting. This is Figure 1 of the
+// paper as one test.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "eval/trainer.hpp"
+#include "mcu/deployment.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
+
+namespace mixq {
+namespace {
+
+using core::BitWidth;
+using core::Granularity;
+using core::Scheme;
+
+TEST(QatPipeline, TrainConvertDeployAtInt8) {
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 256;
+  dspec.test_size = 128;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  Rng rng(11);
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(mcfg, &rng);
+
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.lr = 3e-3f;
+  const eval::TrainResult tr = eval::train_qat(model, train, test, tcfg);
+  // The 8-bit fake-quantized model must learn the task well.
+  EXPECT_GT(tr.test_accuracy, 0.85) << "QAT failed to learn the task";
+
+  const auto qnet = runtime::convert_qat_model(model, Shape(1, 8, 8, 3),
+                                               {Scheme::kPCICN});
+  const double int_acc = eval::evaluate_integer(qnet, test);
+  EXPECT_GT(int_acc, tr.test_accuracy - 0.06)
+      << "integer-only conversion lost too much accuracy";
+
+  // Deployment accounting: the integer image must be tiny.
+  EXPECT_LT(qnet.ro_bytes(), 64 * 1024);
+  EXPECT_LT(qnet.rw_peak_bytes(), 16 * 1024);
+}
+
+TEST(QatPipeline, Int4PerChannelStillLearns) {
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 256;
+  dspec.test_size = 128;
+  dspec.seed = 99;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  Rng rng(12);
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.qw = BitWidth::kQ4;
+  mcfg.qa = BitWidth::kQ4;
+  mcfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(mcfg, &rng);
+
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.lr = 3e-3f;
+  const auto tr = eval::train_qat(model, train, test, tcfg);
+  EXPECT_GT(tr.test_accuracy, 0.75);
+
+  const auto qnet = runtime::convert_qat_model(model, Shape(1, 8, 8, 3),
+                                               {Scheme::kPCICN});
+  EXPECT_GT(eval::evaluate_integer(qnet, test), 0.70);
+}
+
+TEST(QatPipeline, MixedPrecisionPlanAppliesToBlocks) {
+  // Plan precisions for the small CNN under a tight synthetic budget, push
+  // them into the trainable blocks, retrain, convert, and verify the
+  // deployed image honours the budget.
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = 8;
+  mcfg.base_channels = 8;
+  mcfg.num_blocks = 2;
+  mcfg.num_classes = 4;
+  mcfg.wgran = Granularity::kPerChannel;
+  const auto desc = models::small_cnn_desc(mcfg);
+
+  core::AllocConfig acfg;
+  acfg.scheme = Scheme::kPCICN;
+  const std::vector<BitWidth> q8(desc.size(), BitWidth::kQ8);
+  // 2/3 of the INT8 image: enough to force weight cuts while staying
+  // feasible (for a tiny net the per-channel static parameters MT_A are a
+  // large fixed fraction of the footprint).
+  acfg.ro_budget = core::net_ro_bytes(desc, acfg.scheme, q8) * 2 / 3;
+  acfg.rw_budget = 8 * 8 * 3 + 8 * 8 * 8 / 2;  // force activation cuts too
+  const core::AllocResult plan = core::plan_mixed_precision(desc, acfg);
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_GT(plan.weight_cuts, 0);
+
+  data::SyntheticSpec dspec;
+  dspec.hw = 8;
+  dspec.num_classes = 4;
+  dspec.train_size = 192;
+  dspec.test_size = 96;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  Rng rng(13);
+  auto model = models::build_small_cnn(mcfg, &rng);
+  ASSERT_EQ(model.chain.size(), desc.size());
+  for (std::size_t i = 0; i < model.chain.size(); ++i) {
+    model.chain[i].block->set_weight_bits(plan.assignment.qw[i]);
+    if (i + 1 < model.chain.size() || true) {
+      model.chain[i].block->set_act_bits(plan.assignment.qact[i + 1]);
+    }
+  }
+
+  eval::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.lr = 3e-3f;
+  const auto tr = eval::train_qat(model, train, test, tcfg);
+  EXPECT_GT(tr.test_accuracy, 0.6);
+
+  const auto qnet = runtime::convert_qat_model(model, Shape(1, 8, 8, 3),
+                                               {Scheme::kPCICN});
+  EXPECT_LE(qnet.rw_peak_bytes(), acfg.rw_budget);
+  // ro_bytes excludes the GAP layer and matches the planner's model.
+  EXPECT_LE(qnet.ro_bytes(), acfg.ro_budget);
+}
+
+}  // namespace
+}  // namespace mixq

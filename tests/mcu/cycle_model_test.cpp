@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "mcu/cycle_model.hpp"
+#include "models/mobilenet_v1.hpp"
+
+namespace mixq::mcu {
+namespace {
+
+using core::BitAssignment;
+using core::BitWidth;
+using core::Scheme;
+
+TEST(CycleModel, PaperAnchorTenFpsFor128_025) {
+  // Section 6: "the fastest inference model (128_0.25 MixQ-PL), which
+  // features a homogeneous 8 bit quantization, runs at 10 fps".
+  const auto net = models::build_mobilenet_v1({128, 0.25});
+  const BitAssignment a = BitAssignment::uniform8(net.size());
+  const auto schemes = mixq_pl_schemes(net, a);
+  const std::int64_t cycles = net_cycles(net, a, schemes);
+  const double f = fps(cycles, stm32h7());
+  EXPECT_GT(f, 6.0);
+  EXPECT_LT(f, 15.0);
+}
+
+TEST(CycleModel, PaperAnchorTwentyXSpread) {
+  // "...20x higher than the most precise configuration (224_0.75 PC+ICN)".
+  const auto fast_net = models::build_mobilenet_v1({128, 0.25});
+  const BitAssignment fast_a = BitAssignment::uniform8(fast_net.size());
+  const std::int64_t fast_cycles =
+      net_cycles(fast_net, fast_a, mixq_pl_schemes(fast_net, fast_a));
+
+  const auto slow_net = models::build_mobilenet_v1({224, 0.75});
+  const BitAssignment slow_a = BitAssignment::uniform8(slow_net.size());
+  const std::int64_t slow_cycles =
+      net_cycles(slow_net, slow_a, mixq_pc_icn_schemes(slow_net));
+
+  const double ratio =
+      static_cast<double>(slow_cycles) / static_cast<double>(fast_cycles);
+  EXPECT_GT(ratio, 12.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(CycleModel, PerChannelOverheadAboutTwentyPercent) {
+  // "the MixQ-PC-ICN quantization introduces a latency overhead of approx.
+  // 20% with respect to the MixQ-PL setting".
+  const auto net = models::build_mobilenet_v1({192, 0.5});
+  const BitAssignment a = BitAssignment::uniform8(net.size());
+  const std::int64_t pl = net_cycles(net, a, mixq_pl_schemes(net, a));
+  const std::int64_t pc = net_cycles(net, a, mixq_pc_icn_schemes(net));
+  const double overhead =
+      static_cast<double>(pc) / static_cast<double>(pl) - 1.0;
+  EXPECT_GT(overhead, 0.10);
+  EXPECT_LT(overhead, 0.30);
+}
+
+TEST(CycleModel, SubByteWeightsAddUnpackCost) {
+  const auto net = models::build_mobilenet_v1({128, 0.25});
+  BitAssignment a8 = BitAssignment::uniform8(net.size());
+  BitAssignment a4 = a8;
+  std::fill(a4.qw.begin(), a4.qw.end(), BitWidth::kQ4);
+  const auto schemes = mixq_pc_icn_schemes(net);
+  EXPECT_GT(net_cycles(net, a4, schemes), net_cycles(net, a8, schemes));
+}
+
+TEST(CycleModel, MoreMacsMoreCycles) {
+  const auto small = models::build_mobilenet_v1({128, 0.25});
+  const auto big = models::build_mobilenet_v1({224, 1.0});
+  const BitAssignment a_small = BitAssignment::uniform8(small.size());
+  const BitAssignment a_big = BitAssignment::uniform8(big.size());
+  EXPECT_GT(net_cycles(big, a_big, mixq_pc_icn_schemes(big)),
+            net_cycles(small, a_small, mixq_pc_icn_schemes(small)));
+}
+
+TEST(CycleModel, ThresholdRequantScalesWithLevels) {
+  core::LayerDesc l;
+  l.kind = core::LayerKind::kPointwise;
+  l.wshape = WeightShape(64, 1, 1, 64);
+  l.out_numel = 14 * 14 * 64;
+  l.macs = l.out_numel * 64;
+  const auto thr8 = layer_cycles(l, BitWidth::kQ8, BitWidth::kQ8,
+                                 BitWidth::kQ8, Scheme::kPCThresholds);
+  const auto thr2 = layer_cycles(l, BitWidth::kQ8, BitWidth::kQ8,
+                                 BitWidth::kQ2, Scheme::kPCThresholds);
+  EXPECT_GT(thr8, thr2);
+}
+
+TEST(CycleModel, MixqPlSchemeSelection) {
+  // Fully-8-bit layers fold; any sub-byte layer uses ICN (Section 6).
+  const auto net = models::build_mobilenet_v1({128, 0.25});
+  BitAssignment a = BitAssignment::uniform8(net.size());
+  a.qw[3] = BitWidth::kQ4;
+  a.qact[5] = BitWidth::kQ2;
+  const auto schemes = mixq_pl_schemes(net, a);
+  EXPECT_EQ(schemes[0], Scheme::kPLFoldBN);
+  EXPECT_EQ(schemes[3], Scheme::kPLICN);   // sub-byte weights
+  EXPECT_EQ(schemes[4], Scheme::kPLICN);   // sub-byte output activation
+}
+
+TEST(CycleModel, LatencyHelpers) {
+  const DeviceSpec dev = stm32h7();
+  EXPECT_DOUBLE_EQ(latency_ms(400'000'000, dev), 1000.0);
+  EXPECT_DOUBLE_EQ(fps(400'000'000, dev), 1.0);
+  // 1 s at 100 mW = 100 mJ.
+  EXPECT_DOUBLE_EQ(energy_mj(400'000'000, dev, 100.0), 100.0);
+}
+
+TEST(CycleModel, PaperFamilyOrderings) {
+  // The Figure-2 discussion's orderings: the fastest MixQ-PL model is
+  // 128_0.25 and the slowest PC-ICN model is 224_1.0.
+  std::int64_t best_cycles = std::numeric_limits<std::int64_t>::max();
+  std::int64_t worst_cycles = 0;
+  std::string fastest, slowest;
+  for (const auto& cfg : models::mobilenet_family()) {
+    const auto net = models::build_mobilenet_v1(cfg);
+    const BitAssignment a = BitAssignment::uniform8(net.size());
+    const auto pl = net_cycles(net, a, mixq_pl_schemes(net, a));
+    if (pl < best_cycles) {
+      best_cycles = pl;
+      fastest = cfg.label();
+    }
+    const auto pc = net_cycles(net, a, mixq_pc_icn_schemes(net));
+    if (pc > worst_cycles) {
+      worst_cycles = pc;
+      slowest = cfg.label();
+    }
+  }
+  EXPECT_EQ(fastest, "128_0.25");
+  EXPECT_EQ(slowest, "224_1.0");
+}
+
+}  // namespace
+}  // namespace mixq::mcu

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "mcu/deployment.hpp"
+#include "models/mobilenet_v1.hpp"
+
+namespace mixq::mcu {
+namespace {
+
+using core::BitWidth;
+
+TEST(Deployment, EveryFamilyMemberFitsStm32H7) {
+  // The premise of Figure 2: under M_RO = 2 MB, M_RW = 512 kB every
+  // MobilenetV1 configuration becomes deployable after mixed-precision
+  // planning.
+  for (const auto& cfg : models::mobilenet_family()) {
+    const auto net = models::build_mobilenet_v1(cfg);
+    for (DeployMode mode : {DeployMode::kMixQPL, DeployMode::kMixQPCICN}) {
+      const DeploymentReport rep = plan_deployment(net, stm32h7(), mode);
+      EXPECT_TRUE(rep.fits) << cfg.label() << " " << to_string(mode);
+      EXPECT_LE(rep.alloc.rw_peak_bytes, stm32h7().ram_bytes) << cfg.label();
+      EXPECT_LE(rep.alloc.ro_total_bytes, stm32h7().flash_bytes)
+          << cfg.label();
+    }
+  }
+}
+
+TEST(Deployment, SmallWidthModelsNeedNoCuts) {
+  // Section 6: "width multipliers of 0.25 and 0.5, with the exception of
+  // 224_0.5, features no cuts of bit precision" (under MixQ-PL).
+  for (const auto& cfg : models::mobilenet_family()) {
+    if (cfg.width_mult > 0.5) continue;
+    const auto net = models::build_mobilenet_v1(cfg);
+    const DeploymentReport rep =
+        plan_deployment(net, stm32h7(), DeployMode::kMixQPL);
+    const bool expect_cuts = cfg.resolution == 224 && cfg.width_mult == 0.5;
+    EXPECT_EQ(!rep.alloc.assignment.is_uniform8(), expect_cuts)
+        << cfg.label();
+  }
+}
+
+TEST(Deployment, BigModelsRequireWeightCuts) {
+  // 224_1.0 weighs 4.06 MB at INT8 -- it cannot fit 2 MB without cuts.
+  const auto net = models::build_mobilenet_v1({224, 1.0});
+  const DeploymentReport rep =
+      plan_deployment(net, stm32h7(), DeployMode::kMixQPCICN);
+  EXPECT_TRUE(rep.fits);
+  EXPECT_GT(rep.alloc.weight_cuts, 0);
+  EXPECT_GT(rep.alloc.act_cuts, 0);
+}
+
+TEST(Deployment, OneMbBudgetForcesDeeperCuts) {
+  const auto net = models::build_mobilenet_v1({224, 0.5});
+  const DeploymentReport rep2mb =
+      plan_deployment(net, stm32h7(), DeployMode::kMixQPCICN);
+  const DeploymentReport rep1mb =
+      plan_deployment(net, stm32_1mb_512k(), DeployMode::kMixQPCICN);
+  EXPECT_TRUE(rep1mb.fits);
+  EXPECT_GT(rep1mb.alloc.weight_cuts, rep2mb.alloc.weight_cuts);
+}
+
+TEST(Deployment, LatencyIncreasesWithResolution) {
+  const auto net128 = models::build_mobilenet_v1({128, 0.5});
+  const auto net224 = models::build_mobilenet_v1({224, 0.5});
+  const auto r128 =
+      plan_deployment(net128, stm32h7(), DeployMode::kMixQPCICN);
+  const auto r224 =
+      plan_deployment(net224, stm32h7(), DeployMode::kMixQPCICN);
+  EXPECT_GT(r224.latency_ms, r128.latency_ms);
+}
+
+TEST(Deployment, ReportFieldsConsistent) {
+  const auto net = models::build_mobilenet_v1({160, 0.25});
+  const auto rep = plan_deployment(net, stm32h7(), DeployMode::kMixQPL);
+  EXPECT_GT(rep.cycles, 0);
+  EXPECT_NEAR(rep.latency_ms,
+              static_cast<double>(rep.cycles) / 400e6 * 1e3, 1e-9);
+  EXPECT_NEAR(rep.fps * rep.latency_ms, 1000.0, 1e-6);
+  EXPECT_EQ(rep.schemes.size(), net.size());
+}
+
+}  // namespace
+}  // namespace mixq::mcu

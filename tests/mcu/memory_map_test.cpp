@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "mcu/memory_map.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+
+namespace mixq::mcu {
+namespace {
+
+runtime::QuantizedNet make_net(std::uint64_t seed,
+                               core::BitWidth qw = core::BitWidth::kQ4) {
+  Rng rng(seed);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 8;
+  cfg.num_blocks = 2;
+  cfg.num_classes = 4;
+  cfg.qw = qw;
+  cfg.wgran = core::Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  return runtime::convert_qat_model(model, Shape(1, 8, 8, 3),
+                                    {core::Scheme::kPCICN});
+}
+
+TEST(MemoryMap, FlashRegionsContiguousAndAligned) {
+  const auto net = make_net(1);
+  const MemoryMap map = build_memory_map(net, stm32h7());
+  ASSERT_FALSE(map.flash.empty());
+  std::int64_t cursor = 0;
+  for (const auto& r : map.flash) {
+    EXPECT_EQ(r.start, cursor) << r.name;
+    EXPECT_EQ(r.start % kRegionAlign, 0);
+    EXPECT_EQ(r.size % kRegionAlign, 0);
+    EXPECT_GT(r.size, 0);
+    cursor = r.end();
+  }
+  EXPECT_EQ(map.flash_used, cursor);
+  // Aligned layout is at least the raw accounting, within one word/layer.
+  EXPECT_GE(map.flash_used, net.ro_bytes());
+  EXPECT_LE(map.flash_used,
+            net.ro_bytes() +
+                static_cast<std::int64_t>(map.flash.size()) * kRegionAlign);
+}
+
+TEST(MemoryMap, RamPingPongCoversEveryLayerPair) {
+  const auto net = make_net(2);
+  const MemoryMap map = build_memory_map(net, stm32h7());
+  ASSERT_EQ(map.ram.size(), 2u);
+  // No overlap and contiguity.
+  EXPECT_EQ(map.ram[1].start, map.ram[0].end());
+  EXPECT_EQ(map.ram_used, map.ram[0].size + map.ram[1].size);
+  // The static ping-pong allocation is always at least the Eq. 7 peak.
+  EXPECT_GE(map.ram_used, net.rw_peak_bytes());
+  // Every tensor fits its assigned buffer: tensor 0 and even outputs in A,
+  // odd outputs in B.
+  std::int64_t t = packed_bytes(net.layers.front().in_shape.numel(),
+                                net.layers.front().qx);
+  EXPECT_LE(t, map.ram[0].size);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (net.layers[i].raw_logits) continue;
+    const std::int64_t out = packed_bytes(
+        net.layers[i].out_shape.numel(), net.layers[i].qy);
+    EXPECT_LE(out, map.ram[(i + 1) % 2 == 0 ? 0 : 1].size) << "layer " << i;
+  }
+}
+
+TEST(MemoryMap, FitsFlagsRespectDevice) {
+  const auto net = make_net(3);
+  const MemoryMap big = build_memory_map(net, stm32h7());
+  EXPECT_TRUE(big.fits());
+  DeviceSpec tiny{"tiny", 16, 16, 1'000'000};
+  const MemoryMap small = build_memory_map(net, tiny);
+  EXPECT_FALSE(small.fits_flash);
+  EXPECT_FALSE(small.fits_ram);
+  EXPECT_FALSE(small.fits());
+}
+
+TEST(MemoryMap, SubByteWeightsShrinkFlash) {
+  const auto net8 = make_net(4, core::BitWidth::kQ8);
+  const auto net2 = make_net(4, core::BitWidth::kQ2);
+  const auto m8 = build_memory_map(net8, stm32h7());
+  const auto m2 = build_memory_map(net2, stm32h7());
+  EXPECT_LT(m2.flash_used, m8.flash_used);
+}
+
+TEST(MemoryMap, StrRendersBudgetsAndOverflow) {
+  const auto net = make_net(5);
+  DeviceSpec tiny{"tiny", 16, 16, 1'000'000};
+  const std::string s = build_memory_map(net, tiny).str();
+  EXPECT_NE(s.find("FLASH"), std::string::npos);
+  EXPECT_NE(s.find("RAM"), std::string::npos);
+  EXPECT_NE(s.find("OVER BUDGET"), std::string::npos);
+  EXPECT_NE(s.find("act_ping"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mixq::mcu

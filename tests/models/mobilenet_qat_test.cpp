@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/bit_allocation.hpp"
+#include "models/mobilenet_qat.hpp"
+
+namespace mixq::models {
+namespace {
+
+using core::BitWidth;
+
+MobilenetQatConfig tiny() {
+  MobilenetQatConfig cfg;
+  cfg.resolution = 32;
+  cfg.channel_scale = 0.125;  // 32..1024 -> 4..128
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+TEST(MobilenetQat, TopologyIs28Layers) {
+  Rng rng(1);
+  auto m = build_mobilenet_qat(tiny(), &rng);
+  EXPECT_EQ(m.chain.size(), 28u);  // conv0 + 13*(dw+pw) + fc
+  EXPECT_EQ(m.chain[0].block->kind(), core::BlockKind::kConv);
+  EXPECT_EQ(m.chain[1].block->kind(), core::BlockKind::kDepthwise);
+  EXPECT_TRUE(m.chain.back().gap_before);
+}
+
+TEST(MobilenetQat, ForwardShape) {
+  Rng rng(2);
+  auto m = build_mobilenet_qat(tiny(), &rng);
+  FloatTensor x(Shape(2, 32, 32, 3), 0.5f);
+  const FloatTensor y = m.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(2, 1, 1, 4));
+}
+
+TEST(MobilenetQat, DescMatchesModel) {
+  const auto cfg = tiny();
+  Rng rng(3);
+  auto m = build_mobilenet_qat(cfg, &rng);
+  const auto desc = mobilenet_qat_desc(cfg);
+  ASSERT_EQ(desc.size(), m.chain.size());
+  Shape cur(1, cfg.resolution, cfg.resolution, cfg.in_channels);
+  for (std::size_t i = 0; i + 1 < m.chain.size(); ++i) {
+    cur = m.chain[i].block->out_shape(cur);
+    EXPECT_EQ(cur.numel(), desc.layers[i].out_numel) << "layer " << i;
+    EXPECT_EQ(desc.layers[i].wshape.numel(),
+              m.chain[i].block->kind() == core::BlockKind::kDepthwise
+                  ? m.chain[i].block->dwconv()->weights().numel()
+                  : m.chain[i].block->conv()->weights().numel())
+        << "layer " << i;
+  }
+}
+
+TEST(MobilenetQat, ChannelScheduleFollowsPaper) {
+  const auto desc = mobilenet_qat_desc(tiny());
+  // Final pointwise has 1024 * 0.125 = 128 channels.
+  EXPECT_EQ(desc.layers[desc.size() - 2].out_shape.c, 128);
+  // Strided dw blocks at the paper positions: dw2, dw4, dw6, dw12.
+  EXPECT_EQ(desc.layers[3].in_shape.h / desc.layers[3].out_shape.h, 2);
+  EXPECT_EQ(desc.layers[23].in_shape.h / desc.layers[23].out_shape.h, 2);
+}
+
+TEST(MobilenetQat, RejectsBadResolution) {
+  MobilenetQatConfig cfg = tiny();
+  cfg.resolution = 40;
+  EXPECT_THROW(build_mobilenet_qat(cfg), std::invalid_argument);
+}
+
+TEST(MobilenetQat, ApplyAssignmentPropagates) {
+  const auto cfg = tiny();
+  Rng rng(4);
+  auto m = build_mobilenet_qat(cfg, &rng);
+  core::BitAssignment a = core::BitAssignment::uniform8(m.chain.size());
+  a.qw[5] = BitWidth::kQ4;
+  a.qact[3] = BitWidth::kQ2;
+  core::apply_assignment(m, a);
+  EXPECT_EQ(m.chain[5].block->config().qw, BitWidth::kQ4);
+  EXPECT_EQ(m.chain[2].block->config().qa, BitWidth::kQ2);
+  EXPECT_EQ(m.chain[2].block->act()->bitwidth(), BitWidth::kQ2);
+
+  core::BitAssignment bad = core::BitAssignment::uniform8(3);
+  EXPECT_THROW(core::apply_assignment(m, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::models

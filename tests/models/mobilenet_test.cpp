@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+#include "models/mobilenet_v1.hpp"
+
+namespace mixq::models {
+namespace {
+
+using core::BitWidth;
+using core::LayerKind;
+
+TEST(MobilenetV1, LayerCount) {
+  // 1 standard conv + 13 (dw + pw) + 1 fc = 28 weighted layers.
+  const auto net = build_mobilenet_v1({224, 1.0});
+  EXPECT_EQ(net.size(), 28u);
+  EXPECT_EQ(net.layers.front().kind, LayerKind::kConv);
+  EXPECT_EQ(net.layers[1].kind, LayerKind::kDepthwise);
+  EXPECT_EQ(net.layers[2].kind, LayerKind::kPointwise);
+  EXPECT_EQ(net.layers.back().kind, LayerKind::kLinear);
+}
+
+TEST(MobilenetV1, ParameterCountMatchesPublishedModel) {
+  // MobilenetV1 1.0 has ~4.2M parameters; the paper reports a 4.06 MB
+  // INT8 weight image (4.06M weight parameters excluding BN).
+  const auto net = build_mobilenet_v1({224, 1.0});
+  const std::int64_t params = net.total_weights();
+  EXPECT_GT(params, 4'000'000);
+  EXPECT_LT(params, 4'300'000);
+}
+
+TEST(MobilenetV1, MacCountMatchesPublishedModel) {
+  // Howard et al. report 569M multiply-adds for 224_1.0.
+  const auto net = build_mobilenet_v1({224, 1.0});
+  const double macs = static_cast<double>(net.total_macs());
+  EXPECT_NEAR(macs / 1e6, 569.0, 15.0);
+}
+
+TEST(MobilenetV1, Spatial224Chain) {
+  const auto net = build_mobilenet_v1({224, 1.0});
+  EXPECT_EQ(net.layers[0].in_shape, Shape(1, 224, 224, 3));
+  EXPECT_EQ(net.layers[0].out_shape, Shape(1, 112, 112, 32));
+  // Final conv stage is 7x7x1024.
+  const auto& last_pw = net.layers[net.size() - 2];
+  EXPECT_EQ(last_pw.out_shape, Shape(1, 7, 7, 1024));
+  // Classifier consumes the pooled vector.
+  EXPECT_EQ(net.layers.back().in_numel, 1024);
+  EXPECT_EQ(net.layers.back().out_numel, 1000);
+}
+
+TEST(MobilenetV1, WidthMultiplierScalesChannels) {
+  const auto net = build_mobilenet_v1({224, 0.25});
+  EXPECT_EQ(net.layers[0].out_shape.c, 8);    // 32 * 0.25
+  EXPECT_EQ(net.layers[net.size() - 2].out_shape.c, 256);  // 1024 * 0.25
+}
+
+TEST(MobilenetV1, ActivationChainIsConsistent) {
+  // Every consecutive pair of conv layers must agree: out_numel of layer i
+  // equals in_numel of layer i+1 (except across the global pool).
+  for (const auto& cfg : mobilenet_family()) {
+    const auto net = build_mobilenet_v1(cfg);
+    for (std::size_t i = 0; i + 2 < net.size(); ++i) {
+      EXPECT_EQ(net.layers[i].out_numel, net.layers[i + 1].in_numel)
+          << cfg.label() << " layer " << i;
+    }
+  }
+}
+
+TEST(MobilenetV1, Int8FootprintMatchesPaperTable2) {
+  // Paper Table 2: PL+FB INT8 footprint 4.06 MB (weights dominate).
+  const auto net = build_mobilenet_v1({224, 1.0});
+  const std::vector<BitWidth> q8(net.size(), BitWidth::kQ8);
+  const double mb = static_cast<double>(core::net_ro_bytes(
+                        net, core::Scheme::kPLFoldBN, q8)) /
+                    (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 4.06, 0.15);
+}
+
+TEST(MobilenetV1, Int4FootprintsMatchPaperTable2Ordering) {
+  const auto net = build_mobilenet_v1({224, 1.0});
+  const std::vector<BitWidth> q4(net.size(), BitWidth::kQ4);
+  const auto mb = [&](core::Scheme s) {
+    return static_cast<double>(core::net_ro_bytes(net, s, q4)) /
+           (1024.0 * 1024.0);
+  };
+  const double fb = mb(core::Scheme::kPLFoldBN);
+  const double plicn = mb(core::Scheme::kPLICN);
+  const double pcicn = mb(core::Scheme::kPCICN);
+  const double thr = mb(core::Scheme::kPCThresholds);
+  // Paper: 2.05 / 2.10 / 2.12 / 2.35 MB. Allow modest accounting slack.
+  EXPECT_NEAR(fb, 2.05, 0.10);
+  EXPECT_NEAR(plicn, 2.10, 0.10);
+  EXPECT_NEAR(pcicn, 2.12, 0.12);
+  EXPECT_NEAR(thr, 2.35, 0.15);
+  EXPECT_LT(fb, plicn);
+  EXPECT_LT(plicn, pcicn);
+  EXPECT_LT(pcicn, thr);
+}
+
+TEST(MobilenetV1, FamilyHas16Members) {
+  const auto fam = mobilenet_family();
+  EXPECT_EQ(fam.size(), 16u);
+  // Labels unique.
+  for (std::size_t i = 0; i < fam.size(); ++i) {
+    for (std::size_t j = i + 1; j < fam.size(); ++j) {
+      EXPECT_NE(fam[i].label(), fam[j].label());
+    }
+  }
+}
+
+TEST(MobilenetV1, FpTop1Table) {
+  EXPECT_DOUBLE_EQ(mobilenet_fp_top1({224, 1.0}), 70.9);
+  EXPECT_DOUBLE_EQ(mobilenet_fp_top1({128, 0.25}), 41.5);
+  EXPECT_THROW(mobilenet_fp_top1({96, 1.0}), std::invalid_argument);
+}
+
+TEST(MobilenetV1, MacsScaleQuadraticallyWithWidth) {
+  const auto full = build_mobilenet_v1({224, 1.0});
+  const auto half = build_mobilenet_v1({224, 0.5});
+  const double ratio = static_cast<double>(full.total_macs()) /
+                       static_cast<double>(half.total_macs());
+  // Pointwise MACs scale with alpha^2; depthwise with alpha. Expect ~3.5-4x.
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(MobilenetV1, ResolutionRejectsNonMultipleOf32) {
+  EXPECT_THROW(build_mobilenet_v1({100, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::models

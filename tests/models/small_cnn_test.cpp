@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "models/small_cnn.hpp"
+
+namespace mixq::models {
+namespace {
+
+using core::Granularity;
+
+TEST(SmallCnn, ChainLayout) {
+  Rng rng(1);
+  SmallCnnConfig cfg;
+  cfg.num_blocks = 3;
+  auto m = build_small_cnn(cfg, &rng);
+  // conv0 + 3 * (dw + pw) + fc = 8 chain entries.
+  EXPECT_EQ(m.chain.size(), 8u);
+  EXPECT_TRUE(m.chain.back().gap_before);
+  EXPECT_EQ(m.chain.back().block->kind(), core::BlockKind::kLinear);
+  EXPECT_NE(m.input, nullptr);
+}
+
+TEST(SmallCnn, ForwardShape) {
+  Rng rng(2);
+  SmallCnnConfig cfg;
+  cfg.input_hw = 16;
+  cfg.base_channels = 8;
+  cfg.num_classes = 5;
+  auto m = build_small_cnn(cfg, &rng);
+  FloatTensor x(Shape(2, 16, 16, 3), 0.5f);
+  const FloatTensor y = m.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(2, 1, 1, 5));
+}
+
+TEST(SmallCnn, DescMatchesModelShapes) {
+  Rng rng(3);
+  SmallCnnConfig cfg;
+  cfg.input_hw = 16;
+  cfg.base_channels = 8;
+  auto m = build_small_cnn(cfg, &rng);
+  const auto desc = small_cnn_desc(cfg);
+  ASSERT_EQ(desc.size(), m.chain.size());
+  // Forward a probe and compare the conv chain's final spatial shape.
+  FloatTensor x(Shape(1, 16, 16, 3), 0.5f);
+  Shape cur = x.shape();
+  for (std::size_t i = 0; i + 1 < m.chain.size(); ++i) {
+    cur = m.chain[i].block->out_shape(cur);
+    EXPECT_EQ(cur.numel(), desc.layers[i].out_numel) << "layer " << i;
+  }
+}
+
+TEST(SmallCnn, ParamsAreTrainable) {
+  Rng rng(4);
+  auto m = build_small_cnn(SmallCnnConfig{}, &rng);
+  const auto params = m.params();
+  EXPECT_GT(params.size(), 10u);
+  for (const auto& p : params) {
+    EXPECT_EQ(p.value->size(), p.grad->size());
+    EXPECT_FALSE(p.value->empty());
+  }
+}
+
+TEST(SmallCnn, FoldConfigPropagates) {
+  Rng rng(5);
+  SmallCnnConfig cfg;
+  cfg.fold_bn = true;
+  cfg.wgran = Granularity::kPerLayer;
+  auto m = build_small_cnn(cfg, &rng);
+  // Conv blocks are fold-configured; the linear head (no BN) is not.
+  EXPECT_TRUE(m.chain.front().block->config().fold_bn);
+  EXPECT_FALSE(m.chain.back().block->config().fold_bn);
+  m.enable_folding();
+  EXPECT_TRUE(m.chain.front().block->folding_active());
+}
+
+TEST(SmallCnn, DescLayerKinds) {
+  const auto desc = small_cnn_desc(SmallCnnConfig{});
+  EXPECT_EQ(desc.layers.front().kind, core::LayerKind::kConv);
+  EXPECT_EQ(desc.layers[1].kind, core::LayerKind::kDepthwise);
+  EXPECT_EQ(desc.layers[2].kind, core::LayerKind::kPointwise);
+  EXPECT_EQ(desc.layers.back().kind, core::LayerKind::kLinear);
+  EXPECT_GT(desc.total_macs(), 0);
+}
+
+}  // namespace
+}  // namespace mixq::models

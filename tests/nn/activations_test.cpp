@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(ReLU, ForwardClipsNegative) {
+  ReLU relu;
+  FloatTensor x(Shape(1, 1, 1, 4));
+  x[0] = -2.0f;
+  x[1] = 0.0f;
+  x[2] = 3.0f;
+  x[3] = 100.0f;
+  const FloatTensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 100.0f);
+}
+
+TEST(ReLU, CapVariantIsReLU6) {
+  ReLU relu6(6.0f);
+  FloatTensor x(Shape(1, 1, 1, 3));
+  x[0] = -1.0f;
+  x[1] = 4.0f;
+  x[2] = 9.0f;
+  const FloatTensor y = relu6.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+}
+
+TEST(ReLU, BackwardMasksClippedRegions) {
+  ReLU relu6(6.0f);
+  FloatTensor x(Shape(1, 1, 1, 3));
+  x[0] = -1.0f;
+  x[1] = 4.0f;
+  x[2] = 9.0f;
+  relu6.forward(x, true);
+  FloatTensor g(Shape(1, 1, 1, 3), 1.0f);
+  const FloatTensor gx = relu6.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  GlobalAvgPool gap;
+  FloatTensor x(Shape(1, 2, 2, 2));
+  // Channel 0: 1,2,3,4 -> 2.5; channel 1: all 8 -> 8.
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 1, 0) = 2;
+  x.at(0, 1, 0, 0) = 3;
+  x.at(0, 1, 1, 0) = 4;
+  for (std::int64_t h = 0; h < 2; ++h) {
+    for (std::int64_t w = 0; w < 2; ++w) x.at(0, h, w, 1) = 8;
+  }
+  const FloatTensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 1, 1, 2));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+}
+
+TEST(Sequential, EmptyIsIdentity) {
+  Sequential seq;
+  FloatTensor x(Shape(1, 2, 2, 1), 3.0f);
+  const FloatTensor y = seq.forward(x, false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Sequential, OwnsAndOrdersLayers) {
+  Sequential seq;
+  seq.emplace<ReLU>();
+  seq.emplace<GlobalAvgPool>();
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq.at(0)->name(), "ReLU");
+  EXPECT_EQ(seq.at(1)->name(), "GlobalAvgPool");
+  FloatTensor x(Shape(1, 2, 2, 1));
+  x.vec() = {-4.0f, 2.0f, -2.0f, 6.0f};
+  const FloatTensor y = seq.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);  // mean of {0,2,0,6}
+}
+
+TEST(Sequential, ZeroGradClearsAll) {
+  Sequential seq;
+  auto* lin = seq.emplace<Linear>(2, 2);
+  FloatTensor x(Shape(1, 1, 1, 2), 1.0f);
+  seq.forward(x, true);
+  FloatTensor g(Shape(1, 1, 1, 2), 1.0f);
+  seq.backward(g);
+  bool any = false;
+  for (auto& p : seq.params()) {
+    for (float v : *p.grad) any |= v != 0.0f;
+  }
+  EXPECT_TRUE(any);
+  seq.zero_grad();
+  for (auto& p : seq.params()) {
+    for (float v : *p.grad) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+  (void)lin;
+}
+
+}  // namespace
+}  // namespace mixq::nn

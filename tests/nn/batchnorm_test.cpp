@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm bn(2);
+  Rng rng(3);
+  FloatTensor x(Shape(8, 4, 4, 2));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.normal(5.0, 2.0));
+  }
+  const FloatTensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0 and var ~1 after normalisation.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    const std::int64_t rows = 8 * 4 * 4;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float v = y.data()[r * 2 + c];
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / rows;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / rows - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm bn(1, /*momentum=*/0.5f);
+  Rng rng(4);
+  for (int step = 0; step < 50; ++step) {
+    FloatTensor x(Shape(16, 2, 2, 1));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.normal(3.0, 1.5));
+    }
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0, 0.3);
+  EXPECT_NEAR(bn.running_var()[0], 1.5 * 1.5, 0.6);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn(1);
+  bn.running_mean()[0] = 2.0f;
+  bn.running_var()[0] = 4.0f;
+  bn.gamma()[0] = 3.0f;
+  bn.beta()[0] = 1.0f;
+  FloatTensor x(Shape(1, 1, 1, 1));
+  x[0] = 6.0f;
+  const FloatTensor y = bn.forward(x, /*train=*/false);
+  // (6-2)/sqrt(4+eps)*3 + 1 ~= 7
+  EXPECT_NEAR(y[0], 7.0f, 1e-3f);
+}
+
+TEST(BatchNorm, FrozenTrainingUsesRunningStats) {
+  BatchNorm bn(1);
+  bn.running_mean()[0] = 1.0f;
+  bn.running_var()[0] = 1.0f;
+  bn.freeze();
+  FloatTensor x(Shape(4, 1, 1, 1), 10.0f);
+  const FloatTensor y = bn.forward(x, /*train=*/true);
+  EXPECT_NEAR(y[0], 9.0f, 1e-3f);
+  // Running stats untouched.
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], 1.0f);
+  // No trainable params when frozen.
+  EXPECT_TRUE(bn.params().empty());
+}
+
+TEST(BatchNorm, SigmaIncludesEps) {
+  BatchNorm bn(1);
+  bn.running_var()[0] = 0.0f;
+  const auto s = bn.sigma();
+  EXPECT_GT(s[0], 0.0f);
+  EXPECT_NEAR(s[0], std::sqrt(bn.eps()), 1e-6f);
+}
+
+TEST(BatchNorm, ChannelMismatchThrows) {
+  BatchNorm bn(4);
+  FloatTensor x(Shape(1, 2, 2, 3));
+  EXPECT_THROW(bn.forward(x, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  // 1x1 conv with identity weights reproduces the input.
+  ConvSpec spec;
+  spec.kh = spec.kw = 1;
+  spec.stride = 1;
+  spec.pad = 0;
+  Conv2D conv(2, 2, spec);
+  conv.weights().fill(0.0f);
+  conv.weights().at(0, 0, 0, 0) = 1.0f;
+  conv.weights().at(1, 0, 0, 1) = 1.0f;
+
+  FloatTensor x(Shape(1, 2, 2, 2));
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const FloatTensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2D, KnownSum3x3) {
+  // All-ones 3x3 kernel on all-ones input: interior outputs are 9, corners
+  // 4, edges 6 (pad 1).
+  ConvSpec spec;  // 3x3 s1 p1
+  Conv2D conv(1, 1, spec);
+  conv.weights().fill(1.0f);
+  FloatTensor x(Shape(1, 4, 4, 1), 1.0f);
+  const FloatTensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 0), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 3, 3, 0), 4.0f);
+}
+
+TEST(Conv2D, StrideHalvesResolution) {
+  ConvSpec spec;
+  spec.stride = 2;
+  Conv2D conv(3, 8, spec);
+  FloatTensor x(Shape(1, 16, 16, 3));
+  const FloatTensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(1, 8, 8, 8));
+}
+
+TEST(Conv2D, BiasIsAdded) {
+  ConvSpec spec;
+  spec.kh = spec.kw = 1;
+  spec.pad = 0;
+  spec.bias = true;
+  Conv2D conv(1, 1, spec);
+  conv.weights().fill(0.0f);
+  conv.bias()[0] = 2.5f;
+  FloatTensor x(Shape(1, 2, 2, 1), 1.0f);
+  const FloatTensor y = conv.forward(x, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 2.5f);
+}
+
+TEST(Conv2D, ChannelMismatchThrows) {
+  Conv2D conv(3, 4, ConvSpec{});
+  FloatTensor x(Shape(1, 4, 4, 2));
+  EXPECT_THROW(conv.forward(x, false), std::invalid_argument);
+}
+
+TEST(Conv2D, BackwardBeforeForwardThrows) {
+  Conv2D conv(1, 1, ConvSpec{});
+  FloatTensor g(Shape(1, 4, 4, 1));
+  EXPECT_THROW(conv.backward(g), std::logic_error);
+}
+
+TEST(Conv2D, ForwardWithExternalWeights) {
+  ConvSpec spec;
+  spec.kh = spec.kw = 1;
+  spec.pad = 0;
+  Conv2D conv(1, 1, spec);
+  FloatWeights w(WeightShape(1, 1, 1, 1));
+  w[0] = 3.0f;
+  FloatTensor x(Shape(1, 2, 2, 1), 2.0f);
+  const FloatTensor y = conv.forward_with(x, w, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 6.0f);
+}
+
+TEST(Conv2D, ParamsExposeWeightAndBias) {
+  ConvSpec spec;
+  spec.bias = true;
+  Conv2D conv(2, 3, spec);
+  const auto ps = conv.params();
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].value->size(), static_cast<std::size_t>(3 * 3 * 3 * 2));
+  EXPECT_EQ(ps[1].value->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(DepthwiseConv2D, ChannelsAreIndependent) {
+  // Zeroing channel 1's filter must zero only channel 1's output.
+  ConvSpec spec;
+  DepthwiseConv2D dw(2, spec);
+  dw.weights().fill(1.0f);
+  for (std::int64_t ky = 0; ky < 3; ++ky) {
+    for (std::int64_t kx = 0; kx < 3; ++kx) {
+      dw.weights().at(1, ky, kx, 0) = 0.0f;
+    }
+  }
+  FloatTensor x(Shape(1, 4, 4, 2), 1.0f);
+  const FloatTensor y = dw.forward(x, false);
+  EXPECT_GT(y.at(0, 1, 1, 0), 0.0f);
+  for (std::int64_t h = 0; h < 4; ++h) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      EXPECT_FLOAT_EQ(y.at(0, h, w, 1), 0.0f);
+    }
+  }
+}
+
+TEST(DepthwiseConv2D, MatchesConv2DWithDiagonalWeights) {
+  // A depthwise conv equals a standard conv whose weight tensor is
+  // diagonal across channels.
+  const std::int64_t C = 3;
+  ConvSpec spec;
+  DepthwiseConv2D dw(C, spec);
+  Rng rng(5);
+  rng.fill_normal(dw.weights().vec(), 0.0, 1.0);
+
+  Conv2D conv(C, C, spec);
+  conv.weights().fill(0.0f);
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t ky = 0; ky < 3; ++ky) {
+      for (std::int64_t kx = 0; kx < 3; ++kx) {
+        conv.weights().at(c, ky, kx, c) = dw.weights().at(c, ky, kx, 0);
+      }
+    }
+  }
+
+  FloatTensor x(Shape(1, 5, 5, C));
+  rng.fill_normal(x.vec(), 0.0, 1.0);
+  const FloatTensor yd = dw.forward(x, false);
+  const FloatTensor yc = conv.forward(x, false);
+  ASSERT_EQ(yd.shape(), yc.shape());
+  for (std::int64_t i = 0; i < yd.numel(); ++i) {
+    EXPECT_NEAR(yd[i], yc[i], 1e-5f);
+  }
+}
+
+TEST(DepthwiseConv2D, StrideShape) {
+  ConvSpec spec;
+  spec.stride = 2;
+  DepthwiseConv2D dw(8, spec);
+  EXPECT_EQ(dw.out_shape(Shape(1, 16, 16, 8)), Shape(1, 8, 8, 8));
+}
+
+TEST(DepthwiseConv2D, ChannelMismatchThrows) {
+  DepthwiseConv2D dw(4, ConvSpec{});
+  FloatTensor x(Shape(1, 4, 4, 3));
+  EXPECT_THROW(dw.forward(x, false), std::invalid_argument);
+}
+
+TEST(DepthwiseConv2D, WeightShapeIsPerChannel) {
+  DepthwiseConv2D dw(16, ConvSpec{});
+  EXPECT_EQ(dw.weights().shape(), WeightShape(16, 3, 3, 1));
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,168 @@
+// Numerical gradient checks: central finite differences against the
+// analytic backward of every differentiable layer. These are the
+// correctness anchor of the QAT substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::nn {
+namespace {
+
+/// Scalar loss used for gradient checking: weighted sum of outputs with
+/// fixed pseudo-random coefficients (exercises all output positions).
+float probe_loss(const FloatTensor& y, const std::vector<float>& coeff) {
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    s += y[i] * coeff[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+/// Check dL/dx and dL/dparams of `layer` at input `x` by finite differences.
+void check_layer_gradients(Layer& layer, FloatTensor x, double tol = 2e-2) {
+  Rng rng(99);
+  FloatTensor y0 = layer.forward(x, true);
+  std::vector<float> coeff(static_cast<std::size_t>(y0.numel()));
+  for (auto& c : coeff) c = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  FloatTensor gy(y0.shape());
+  for (std::int64_t i = 0; i < gy.numel(); ++i) {
+    gy[i] = coeff[static_cast<std::size_t>(i)];
+  }
+  layer.zero_grad();
+  // Re-run forward so caches match the probe point exactly.
+  layer.forward(x, true);
+  FloatTensor gx = layer.backward(gy);
+
+  // Probes run in train mode so batch-norm uses the same (batch) statistics
+  // the analytic backward differentiated; running-stat updates do not
+  // affect train-mode outputs.
+  const float eps = 1e-3f;
+  // Input gradient.
+  int checked = 0;
+  for (std::int64_t i = 0; i < x.numel(); i += std::max<std::int64_t>(1, x.numel() / 25)) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = probe_loss(layer.forward(x, true), coeff);
+    x[i] = orig - eps;
+    const float lm = probe_loss(layer.forward(x, true), coeff);
+    x[i] = orig;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], num, tol * std::max(1.0, std::abs(num)))
+        << "input grad at " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+
+  // Parameter gradients.
+  for (auto& p : layer.params()) {
+    auto& vals = *p.value;
+    auto& grads = *p.grad;
+    for (std::size_t i = 0; i < vals.size();
+         i += std::max<std::size_t>(1, vals.size() / 15)) {
+      const float orig = vals[i];
+      vals[i] = orig + eps;
+      const float lp = probe_loss(layer.forward(x, true), coeff);
+      vals[i] = orig - eps;
+      const float lm = probe_loss(layer.forward(x, true), coeff);
+      vals[i] = orig;
+      const double num = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grads[i], num, tol * std::max(1.0, std::abs(num)))
+          << p.name << " grad at " << i;
+    }
+  }
+}
+
+FloatTensor random_input(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatTensor x(s);
+  rng.fill_normal(x.vec(), 0.0, 1.0);
+  return x;
+}
+
+TEST(GradCheck, Conv2D) {
+  ConvSpec spec;  // 3x3 s1 p1
+  Conv2D conv(3, 4, spec);
+  check_layer_gradients(conv, random_input(Shape(2, 5, 5, 3), 1));
+}
+
+TEST(GradCheck, Conv2DStride2Bias) {
+  ConvSpec spec;
+  spec.stride = 2;
+  spec.bias = true;
+  Conv2D conv(2, 3, spec);
+  check_layer_gradients(conv, random_input(Shape(1, 6, 6, 2), 2));
+}
+
+TEST(GradCheck, DepthwiseConv2D) {
+  ConvSpec spec;
+  DepthwiseConv2D dw(4, spec);
+  check_layer_gradients(dw, random_input(Shape(2, 5, 5, 4), 3));
+}
+
+TEST(GradCheck, DepthwiseStride2) {
+  ConvSpec spec;
+  spec.stride = 2;
+  DepthwiseConv2D dw(3, spec);
+  check_layer_gradients(dw, random_input(Shape(1, 6, 6, 3), 4));
+}
+
+TEST(GradCheck, Linear) {
+  Linear lin(12, 5);
+  check_layer_gradients(lin, random_input(Shape(3, 1, 1, 12), 5));
+}
+
+TEST(GradCheck, BatchNormTrainMode) {
+  BatchNorm bn(3);
+  // Looser tolerance: BN's batch statistics make the finite-difference
+  // probe slightly noisier.
+  check_layer_gradients(bn, random_input(Shape(4, 3, 3, 3), 6), 5e-2);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  GlobalAvgPool gap;
+  check_layer_gradients(gap, random_input(Shape(2, 4, 4, 3), 7));
+}
+
+TEST(GradCheck, SequentialStack) {
+  Sequential seq;
+  ConvSpec spec;
+  seq.emplace<Conv2D>(2, 4, spec);
+  seq.emplace<BatchNorm>(4);
+  seq.emplace<GlobalAvgPool>();
+  seq.emplace<Linear>(4, 3);
+  check_layer_gradients(seq, random_input(Shape(2, 5, 5, 2), 8), 5e-2);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient) {
+  Rng rng(10);
+  FloatTensor logits(Shape(3, 1, 1, 5));
+  rng.fill_normal(logits.vec(), 0.0, 1.0);
+  const std::vector<std::int32_t> labels = {1, 4, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig - eps;
+    const float lm = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(res.grad[i], num, 1e-3) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(Linear, KnownMatVec) {
+  Linear lin(3, 2);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5]
+  for (std::int64_t i = 0; i < 3; ++i) {
+    lin.weights().channel(0)[i] = static_cast<float>(i + 1);
+    lin.weights().channel(1)[i] = static_cast<float>(i + 4);
+  }
+  lin.bias() = {0.5f, -0.5f};
+  FloatTensor x(Shape(1, 1, 1, 3));
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  const FloatTensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1 + 4 + 9 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 4 + 10 + 18 - 0.5f);
+}
+
+TEST(Linear, FlattensSpatialInput) {
+  Linear lin(2 * 2 * 3, 4);
+  FloatTensor x(Shape(2, 2, 2, 3), 0.5f);
+  const FloatTensor y = lin.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape(2, 1, 1, 4));
+}
+
+TEST(Linear, FeatureMismatchThrows) {
+  Linear lin(8, 2);
+  FloatTensor x(Shape(1, 1, 1, 7));
+  EXPECT_THROW(lin.forward(x, false), std::invalid_argument);
+}
+
+TEST(Linear, NoBiasOption) {
+  Linear lin(4, 2, /*bias=*/false);
+  EXPECT_TRUE(lin.bias().empty());
+  EXPECT_EQ(lin.params().size(), 1u);
+}
+
+TEST(Linear, BatchIndependence) {
+  Linear lin(3, 2);
+  FloatTensor x(Shape(2, 1, 1, 3));
+  x[0] = 1;
+  x[1] = 0;
+  x[2] = 0;
+  x[3] = 0;
+  x[4] = 1;
+  x[5] = 0;
+  const FloatTensor y = lin.forward(x, false);
+  // Row 0 result depends only on row 0 input.
+  FloatTensor x0(Shape(1, 1, 1, 3));
+  x0[0] = 1;
+  const FloatTensor y0 = lin.forward(x0, false);
+  EXPECT_FLOAT_EQ(y[0], y0[0]);
+  EXPECT_FLOAT_EQ(y[1], y0[1]);
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace mixq::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogits) {
+  FloatTensor logits(Shape(1, 1, 1, 4), 0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  FloatTensor logits(Shape(1, 1, 1, 3), 0.0f);
+  logits[1] = 20.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-3f);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(SoftmaxCrossEntropy, GradSumsToZeroPerRow) {
+  FloatTensor logits(Shape(2, 1, 1, 5));
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = static_cast<float>(i % 3) - 1.0f;
+  }
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  for (std::int64_t b = 0; b < 2; ++b) {
+    float s = 0.0f;
+    for (std::int64_t k = 0; k < 5; ++k) s += r.grad[b * 5 + k];
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, CountsCorrect) {
+  FloatTensor logits(Shape(3, 1, 1, 2), 0.0f);
+  logits[0] = 1.0f;          // row 0 -> class 0
+  logits[3] = 1.0f;          // row 1 -> class 1
+  logits[4] = 1.0f;          // row 2 -> class 0
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 1});
+  EXPECT_EQ(r.correct, 2);
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  FloatTensor logits(Shape(1, 1, 1, 3), 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, LabelCountMismatchThrows) {
+  FloatTensor logits(Shape(2, 1, 1, 3), 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableWithLargeLogits) {
+  FloatTensor logits(Shape(1, 1, 1, 2), 0.0f);
+  logits[0] = 1000.0f;
+  logits[1] = -1000.0f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+}
+
+TEST(ArgmaxClasses, PicksMaxPerRow) {
+  FloatTensor logits(Shape(2, 1, 1, 3), 0.0f);
+  logits[1] = 5.0f;   // row 0: class 1
+  logits[5] = 2.0f;   // row 1: class 2
+  const auto pred = argmax_classes(logits);
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 2);
+}
+
+}  // namespace
+}  // namespace mixq::nn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::BitWidth;
+using core::Granularity;
+using core::Scheme;
+
+models::SmallCnnConfig tiny_cfg(Granularity g, bool fold = false) {
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = g;
+  cfg.fold_bn = fold;
+  return cfg;
+}
+
+TEST(Convert, ChainStructureMatchesModel) {
+  Rng rng(1);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  // conv0 + dw + pw + gap + linear head = 5 deployed layers.
+  ASSERT_EQ(net.layers.size(), 5u);
+  EXPECT_EQ(net.layers[0].kind, QLayerKind::kConv);
+  EXPECT_EQ(net.layers[1].kind, QLayerKind::kDepthwise);
+  EXPECT_EQ(net.layers[2].kind, QLayerKind::kConv);
+  EXPECT_EQ(net.layers[3].kind, QLayerKind::kGlobalAvgPool);
+  EXPECT_EQ(net.layers[4].kind, QLayerKind::kLinear);
+  EXPECT_TRUE(net.layers[4].raw_logits);
+}
+
+TEST(Convert, ShapesPropagate) {
+  Rng rng(2);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  EXPECT_EQ(net.layers[0].in_shape, Shape(1, 8, 8, 3));
+  EXPECT_EQ(net.layers[0].out_shape, Shape(1, 8, 8, 4));
+  EXPECT_EQ(net.layers[1].out_shape, Shape(1, 4, 4, 4));  // stride-2 dw
+  EXPECT_EQ(net.layers[2].out_shape, Shape(1, 4, 4, 8));  // pw doubles
+  EXPECT_EQ(net.layers[3].out_shape, Shape(1, 1, 1, 8));
+  EXPECT_EQ(net.layers[4].out_shape, Shape(1, 1, 1, 3));
+}
+
+TEST(Convert, PerChannelZwHasCoEntries) {
+  Rng rng(3);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  EXPECT_EQ(net.layers[0].zw.size(), 4u);
+  EXPECT_EQ(net.layers[0].icn.size(), 4u);
+}
+
+TEST(Convert, PerLayerZwHasOneEntry) {
+  Rng rng(4);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerLayer),
+                                       &rng);
+  // Initialise learned ranges with one forward pass.
+  FloatTensor x(Shape(1, 8, 8, 3), 0.5f);
+  model.forward(x, true);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPLICN});
+  EXPECT_EQ(net.layers[0].zw.size(), 1u);
+  // ICN vectors are still per-channel (Bq varies by channel).
+  EXPECT_EQ(net.layers[0].icn.size(), 4u);
+}
+
+TEST(Convert, GranularityMismatchThrows) {
+  Rng rng(5);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  EXPECT_THROW(convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPLICN}),
+               std::invalid_argument);
+}
+
+TEST(Convert, FoldSchemeRequiresFoldTrainedBlocks) {
+  Rng rng(6);
+  auto model = models::build_small_cnn(
+      tiny_cfg(Granularity::kPerLayer, /*fold=*/true), &rng);
+  FloatTensor x(Shape(1, 8, 8, 3), 0.5f);
+  model.forward(x, true);
+  // Folding not yet enabled -> conversion must refuse PL+FB.
+  EXPECT_THROW(
+      convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPLFoldBN}),
+      std::invalid_argument);
+  model.enable_folding();
+  model.forward(x, true);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPLFoldBN});
+  EXPECT_EQ(net.layers.size(), 5u);
+}
+
+TEST(Convert, ThresholdSchemePopulatesThresholds) {
+  Rng rng(7);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCThresholds});
+  EXPECT_FALSE(net.layers[0].thresholds.empty());
+  EXPECT_EQ(net.layers[0].thresholds.size(), 4u);
+  // Head layer never uses thresholds.
+  EXPECT_TRUE(net.layers[4].thresholds.empty());
+}
+
+TEST(Convert, PackedWeightWidthMatchesConfig) {
+  Rng rng(8);
+  auto cfg = tiny_cfg(Granularity::kPerChannel);
+  cfg.qw = BitWidth::kQ4;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  EXPECT_EQ(net.layers[0].weights.bitwidth(), BitWidth::kQ4);
+  EXPECT_EQ(net.layers[0].weights.size_bytes(),
+            packed_bytes(net.layers[0].wshape.numel(), BitWidth::kQ4));
+}
+
+TEST(Convert, RoAndRwAccountingPositive) {
+  Rng rng(9);
+  auto model = models::build_small_cnn(tiny_cfg(Granularity::kPerChannel),
+                                       &rng);
+  const QuantizedNet net = convert_qat_model(
+      model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  EXPECT_GT(net.ro_bytes(), 0);
+  EXPECT_GT(net.rw_peak_bytes(), 0);
+  // Peak RW is the first layer's in+out at 8 bits here.
+  EXPECT_EQ(net.rw_peak_bytes(), 8 * 8 * 3 + 8 * 8 * 4);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

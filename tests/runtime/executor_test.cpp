@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::Granularity;
+using core::Scheme;
+
+QuantizedNet make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  return convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+}
+
+TEST(QuantizeInput, CodesMatchScalarQuantizer) {
+  core::QuantParams qp = core::make_quant_params(0.0f, 1.0f,
+                                                 core::BitWidth::kQ8);
+  FloatTensor img(Shape(1, 2, 2, 1));
+  img[0] = 0.0f;
+  img[1] = 0.5f;
+  img[2] = 1.0f;
+  img[3] = 2.0f;  // clamps
+  const PackedBuffer buf = quantize_input(img, qp);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf.get(i),
+              static_cast<std::uint32_t>(core::quantize_value(
+                  img[i], qp, core::RoundMode::kNearest)))
+        << "element " << i;
+  }
+  EXPECT_EQ(buf.get(0), 0u);
+  EXPECT_EQ(buf.get(2), 255u);
+  EXPECT_EQ(buf.get(3), 255u);  // clamped
+}
+
+TEST(Executor, RunProducesLogitsAndPrediction) {
+  const QuantizedNet net = make_net(1);
+  Executor exec(net);
+  Rng rng(2);
+  FloatTensor img(Shape(1, 8, 8, 3));
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+  const QInferenceResult res = exec.run(img);
+  EXPECT_EQ(res.logits.size(), 3u);
+  EXPECT_GE(res.predicted, 0);
+  EXPECT_LT(res.predicted, 3);
+}
+
+TEST(Executor, BatchMustBeOne) {
+  const QuantizedNet net = make_net(3);
+  Executor exec(net);
+  FloatTensor img(Shape(2, 8, 8, 3));
+  EXPECT_THROW(exec.run(img), std::invalid_argument);
+}
+
+TEST(Executor, RunBatchMatchesIndividualRuns) {
+  const QuantizedNet net = make_net(4);
+  Executor exec(net);
+  Rng rng(5);
+  FloatTensor imgs(Shape(3, 8, 8, 3));
+  rng.fill_uniform(imgs.vec(), 0.0, 1.0);
+  const auto batch = exec.run_batch(imgs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::int64_t n = 0; n < 3; ++n) {
+    FloatTensor one(Shape(1, 8, 8, 3));
+    std::copy(imgs.data() + n * 192, imgs.data() + (n + 1) * 192, one.data());
+    const auto single = exec.run(one);
+    EXPECT_EQ(single.predicted, batch[static_cast<std::size_t>(n)].predicted);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_FLOAT_EQ(single.logits[k],
+                      batch[static_cast<std::size_t>(n)].logits[k]);
+    }
+  }
+}
+
+TEST(Executor, DeterministicAcrossRuns) {
+  const QuantizedNet net = make_net(6);
+  Executor exec(net);
+  Rng rng(7);
+  FloatTensor img(Shape(1, 8, 8, 3));
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+  const auto a = exec.run(img);
+  const auto b = exec.run(img);
+  EXPECT_EQ(a.predicted, b.predicted);
+  for (std::size_t k = 0; k < a.logits.size(); ++k) {
+    EXPECT_FLOAT_EQ(a.logits[k], b.logits[k]);
+  }
+}
+
+TEST(Executor, TopKOrderedAndConsistentWithArgmax) {
+  const QuantizedNet net = make_net(11);
+  Executor exec(net);
+  Rng rng(12);
+  FloatTensor img(Shape(1, 8, 8, 3));
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+  const auto res = exec.run(img);
+  const auto top = exec.top_k(img, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], res.predicted);
+  // Descending logits.
+  EXPECT_GE(res.logits[static_cast<std::size_t>(top[0])],
+            res.logits[static_cast<std::size_t>(top[1])]);
+  EXPECT_GE(res.logits[static_cast<std::size_t>(top[1])],
+            res.logits[static_cast<std::size_t>(top[2])]);
+  EXPECT_THROW(exec.top_k(img, 0), std::invalid_argument);
+  EXPECT_THROW(exec.top_k(img, 4), std::invalid_argument);
+}
+
+TEST(Executor, LogitsBatchShape) {
+  const QuantizedNet net = make_net(8);
+  Executor exec(net);
+  Rng rng(9);
+  FloatTensor imgs(Shape(4, 8, 8, 3));
+  rng.fill_uniform(imgs.vec(), 0.0, 1.0);
+  const FloatTensor logits = exec.logits_batch(imgs);
+  EXPECT_EQ(logits.shape(), Shape(4, 1, 1, 3));
+}
+
+}  // namespace
+}  // namespace mixq::runtime

@@ -1,0 +1,172 @@
+// Property test: the fast (unpacked-scratch) kernel path must be bit-exact
+// with the reference packed-access kernels for every layer kind, precision
+// combination and scheme.
+#include <gtest/gtest.h>
+
+#include "core/thresholds.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/fast_kernels.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::BitWidth;
+using core::Scheme;
+
+QLayer random_layer(QLayerKind kind, BitWidth qx, BitWidth qw, BitWidth qy,
+                    Scheme scheme, Rng& rng) {
+  QLayer l;
+  l.kind = kind;
+  l.scheme = scheme;
+  const std::int64_t ci = 5, co = kind == QLayerKind::kDepthwise ? 5 : 7;
+  const std::int64_t k = kind == QLayerKind::kLinear ? 1 : 3;
+  l.spec.kh = l.spec.kw = k;
+  l.spec.stride = 1 + static_cast<std::int64_t>(rng.uniform_int(2));
+  l.spec.pad = kind == QLayerKind::kLinear ? 0 : 1;
+  if (kind == QLayerKind::kLinear) {
+    l.in_shape = Shape(1, 1, 1, ci * 4);
+    l.out_shape = Shape(1, 1, 1, co);
+    l.wshape = WeightShape(co, 1, 1, ci * 4);
+    l.spec.stride = 1;
+  } else {
+    l.in_shape = Shape(1, 6, 6, ci);
+    l.out_shape = Shape(1, conv_out_dim(6, k, l.spec.stride, 1),
+                        conv_out_dim(6, k, l.spec.stride, 1), co);
+    l.wshape = kind == QLayerKind::kDepthwise ? WeightShape(co, k, k, 1)
+                                              : WeightShape(co, k, k, ci);
+  }
+  l.qx = qx;
+  l.qw = qw;
+  l.qy = qy;
+  l.weights = PackedBuffer(l.wshape.numel(), qw);
+  for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+    l.weights.set(i, static_cast<std::uint32_t>(
+                         rng.uniform_int(core::levels(qw))));
+  }
+  l.zx = static_cast<std::int32_t>(rng.uniform_int(core::levels(qx)));
+  const bool pc = core::granularity_of(scheme) ==
+                  core::Granularity::kPerChannel;
+  for (std::int64_t c = 0; c < (pc ? co : 1); ++c) {
+    l.zw.push_back(
+        static_cast<std::int32_t>(rng.uniform_int(core::levels(qw))));
+  }
+  l.icn.resize(static_cast<std::size_t>(co));
+  for (auto& ch : l.icn) {
+    double m = rng.uniform(1e-4, 0.1);
+    if (rng.uniform() < 0.2) m = -m;
+    ch.m = core::decompose_multiplier(m);
+    ch.bq = static_cast<std::int32_t>(rng.uniform(-200, 200));
+  }
+  if (scheme == Scheme::kPCThresholds) {
+    const std::int64_t bound =
+        core::phi_bound(l.wshape.per_channel(), qx, qw);
+    l.thresholds =
+        core::derive_threshold_layer(l.icn, l.zy, qy, -bound, bound);
+  }
+  return l;
+}
+
+PackedBuffer random_input(const QLayer& l, Rng& rng) {
+  PackedBuffer in(l.in_shape.numel(), l.qx);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    in.set(i, static_cast<std::uint32_t>(
+                  rng.uniform_int(core::levels(l.qx))));
+  }
+  return in;
+}
+
+class FastKernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FastKernelEquivalence, BitExactAcrossKindsAndWidths) {
+  const auto [kind_i, trial] = GetParam();
+  const auto kind = static_cast<QLayerKind>(kind_i);
+  Rng rng(static_cast<std::uint64_t>(1000 * kind_i + trial));
+  const BitWidth widths[] = {BitWidth::kQ2, BitWidth::kQ4, BitWidth::kQ8};
+  Scratch scratch;
+  for (BitWidth qx : widths) {
+    for (BitWidth qw : widths) {
+      for (Scheme scheme : {Scheme::kPLICN, Scheme::kPCICN,
+                            Scheme::kPCThresholds}) {
+        const QLayer l =
+            random_layer(kind, qx, qw, BitWidth::kQ4, scheme, rng);
+        const PackedBuffer in = random_input(l, rng);
+        PackedBuffer ref(l.out_shape.numel(), l.qy);
+        PackedBuffer fast(l.out_shape.numel(), l.qy);
+        run_layer(l, in, ref);
+        run_layer_fast(l, in, fast, scratch);
+        for (std::int64_t i = 0; i < ref.numel(); ++i) {
+          ASSERT_EQ(ref.get(i), fast.get(i))
+              << "kind=" << kind_i << " qx=" << core::bits(qx)
+              << " qw=" << core::bits(qw) << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndTrials, FastKernelEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // conv, dw, linear
+                       ::testing::Range(0, 3)));
+
+TEST(FastKernelEquivalence, GapBitExact) {
+  Rng rng(9);
+  QLayer l;
+  l.kind = QLayerKind::kGlobalAvgPool;
+  l.in_shape = Shape(1, 5, 5, 6);
+  l.out_shape = Shape(1, 1, 1, 6);
+  l.qx = l.qy = BitWidth::kQ8;
+  l.wshape = WeightShape(6, 1, 1, 1);
+  const PackedBuffer in = random_input(l, rng);
+  PackedBuffer ref(6, BitWidth::kQ8), fast(6, BitWidth::kQ8);
+  Scratch scratch;
+  run_layer(l, in, ref);
+  run_layer_fast(l, in, fast, scratch);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(ref.get(i), fast.get(i));
+}
+
+TEST(FastExecutor, WholeNetworkMatchesReference) {
+  Rng rng(10);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 8;
+  cfg.num_blocks = 2;
+  cfg.num_classes = 4;
+  cfg.qw = BitWidth::kQ4;
+  cfg.wgran = core::Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const QuantizedNet net =
+      convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  Executor ref(net, /*fast=*/false);
+  Executor fast(net, /*fast=*/true);
+  FloatTensor imgs(Shape(6, 8, 8, 3));
+  rng.fill_uniform(imgs.vec(), 0.0, 1.0);
+  const auto a = ref.run_batch(imgs);
+  const auto b = fast.run_batch(imgs);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].predicted, b[i].predicted);
+    for (std::size_t k = 0; k < a[i].logits.size(); ++k) {
+      ASSERT_FLOAT_EQ(a[i].logits[k], b[i].logits[k]);
+    }
+  }
+}
+
+TEST(FastKernels, HeadRejectsNonHead) {
+  Rng rng(11);
+  QLayer l = random_layer(QLayerKind::kConv, BitWidth::kQ8, BitWidth::kQ8,
+                          BitWidth::kQ8, Scheme::kPCICN, rng);
+  Scratch s;
+  EXPECT_THROW(run_head_fast(l, PackedBuffer(l.in_shape.numel(), l.qx), s),
+               std::invalid_argument);
+  l.raw_logits = true;
+  PackedBuffer in(l.in_shape.numel(), l.qx);
+  PackedBuffer out(l.out_shape.numel(), l.qy);
+  EXPECT_THROW(run_layer_fast(l, in, out, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/flash_image.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::Granularity;
+using core::Scheme;
+
+QuantizedNet make_net(Scheme scheme, std::uint64_t seed) {
+  Rng rng(seed);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.qw = core::BitWidth::kQ4;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  return convert_qat_model(model, Shape(1, 8, 8, 3), {scheme});
+}
+
+TEST(FlashImage, RoundTripPreservesEveryPrediction) {
+  const QuantizedNet net = make_net(Scheme::kPCICN, 1);
+  const auto blob = save_flash_image(net);
+  const QuantizedNet back = load_flash_image(blob);
+
+  ASSERT_EQ(back.layers.size(), net.layers.size());
+  Executor a(net), b(back);
+  Rng rng(2);
+  FloatTensor imgs(Shape(8, 8, 8, 3));
+  rng.fill_uniform(imgs.vec(), 0.0, 1.0);
+  const auto ra = a.run_batch(imgs);
+  const auto rb = b.run_batch(imgs);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].predicted, rb[i].predicted);
+    for (std::size_t k = 0; k < ra[i].logits.size(); ++k) {
+      ASSERT_FLOAT_EQ(ra[i].logits[k], rb[i].logits[k]);
+    }
+  }
+}
+
+TEST(FlashImage, RoundTripWithThresholds) {
+  const QuantizedNet net = make_net(Scheme::kPCThresholds, 3);
+  const QuantizedNet back = load_flash_image(save_flash_image(net));
+  ASSERT_EQ(back.layers.size(), net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    ASSERT_EQ(back.layers[i].thresholds.size(),
+              net.layers[i].thresholds.size());
+    for (std::size_t c = 0; c < net.layers[i].thresholds.size(); ++c) {
+      EXPECT_EQ(back.layers[i].thresholds[c].thr,
+                net.layers[i].thresholds[c].thr);
+      EXPECT_EQ(back.layers[i].thresholds[c].rising,
+                net.layers[i].thresholds[c].rising);
+    }
+  }
+}
+
+TEST(FlashImage, RejectsBadMagic) {
+  auto blob = save_flash_image(make_net(Scheme::kPCICN, 4));
+  blob[0] = 'X';
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImage, RejectsBadVersion) {
+  auto blob = save_flash_image(make_net(Scheme::kPCICN, 5));
+  blob[8] = 0x7F;  // version field
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImage, RejectsTruncation) {
+  auto blob = save_flash_image(make_net(Scheme::kPCICN, 6));
+  blob.resize(blob.size() - 7);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+  std::vector<std::uint8_t> tiny(blob.begin(), blob.begin() + 10);
+  EXPECT_THROW(load_flash_image(tiny), std::runtime_error);
+}
+
+TEST(FlashImage, CrcCatchesEveryByteFlip) {
+  // Flip a sample of payload bytes; the CRC must reject each corruption.
+  const auto blob = save_flash_image(make_net(Scheme::kPCICN, 7));
+  const std::size_t header = 8 + 4 + 8 + 4;
+  int caught = 0, total = 0;
+  for (std::size_t pos = header; pos < blob.size();
+       pos += std::max<std::size_t>(1, (blob.size() - header) / 50)) {
+    auto corrupted = blob;
+    corrupted[pos] ^= 0xA5;
+    ++total;
+    try {
+      load_flash_image(corrupted);
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  EXPECT_EQ(caught, total);
+}
+
+TEST(FlashImage, RejectsTrailingGarbage) {
+  auto blob = save_flash_image(make_net(Scheme::kPCICN, 8));
+  blob.push_back(0);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImage, Crc32KnownVector) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(FlashImage, FileRoundTrip) {
+  const QuantizedNet net = make_net(Scheme::kPCICN, 9);
+  const std::string path = "/tmp/mixq_flash_test.img";
+  write_flash_image_file(net, path);
+  const QuantizedNet back = read_flash_image_file(path);
+  EXPECT_EQ(back.layers.size(), net.layers.size());
+  EXPECT_EQ(back.ro_bytes(), net.ro_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(FlashImage, MissingFileThrows) {
+  EXPECT_THROW(read_flash_image_file("/nonexistent/dir/x.img"),
+               std::runtime_error);
+}
+
+TEST(FlashImage, ImageSizeTracksRoBytes) {
+  // The serialized blob should be within a small overhead of the
+  // accounting model's RO bytes (the blob also carries shapes/specs and
+  // 8-byte thresholds instead of INT16).
+  const QuantizedNet net = make_net(Scheme::kPCICN, 10);
+  // The blob additionally carries shapes/specs (fixed ~100 B per layer)
+  // and 8-byte thresholds, so allow a constant structural overhead.
+  const auto blob = save_flash_image(net);
+  EXPECT_GT(static_cast<std::int64_t>(blob.size()), net.ro_bytes());
+  EXPECT_LT(static_cast<std::int64_t>(blob.size()),
+            net.ro_bytes() * 3 + 1024);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

@@ -1,0 +1,156 @@
+// End-to-end per-layer oracle test: a QLayer whose parameters are derived
+// from known real-valued scales and batch-norm statistics must reproduce
+// the real transfer function of Eq. 3,
+//     y = quant_act((phi - mu)/sigma * gamma + beta),
+// evaluated in double precision, for every output element (up to the
+// single quantization level the Bq/M0 rounding permits at code
+// boundaries). This binds the whole chain -- quantization, packing,
+// kernels, ICN -- to the paper's math in one property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/kernels.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::BitWidth;
+
+struct OracleSetup {
+  QLayer layer;
+  std::vector<float> x_real;          // dequantized input values
+  std::vector<std::vector<float>> w_real;  // per-channel dequantized weights
+  std::vector<core::BnChannel> bn;
+  double si, so;
+  std::vector<double> sw;
+  PackedBuffer input;
+};
+
+OracleSetup build(Rng& rng, BitWidth qx, BitWidth qw, BitWidth qy) {
+  OracleSetup s;
+  QLayer& l = s.layer;
+  l.kind = QLayerKind::kConv;
+  l.scheme = core::Scheme::kPCICN;
+  l.spec.kh = l.spec.kw = 3;
+  l.spec.stride = 1;
+  l.spec.pad = 1;
+  const std::int64_t ci = 4, co = 5, hw = 5;
+  l.in_shape = Shape(1, hw, hw, ci);
+  l.out_shape = Shape(1, hw, hw, co);
+  l.qx = qx;
+  l.qw = qw;
+  l.qy = qy;
+  l.wshape = WeightShape(co, 3, 3, ci);
+
+  // Real-valued quantization parameters.
+  s.si = rng.uniform(0.005, 0.05);
+  s.so = rng.uniform(0.01, 0.2);
+  l.zx = static_cast<std::int32_t>(rng.uniform_int(core::levels(qx) / 2));
+  l.zy = 0;
+
+  // Random input codes -> real values x = si * (X - zx).
+  l.weights = PackedBuffer(l.wshape.numel(), qw);
+  s.input = PackedBuffer(l.in_shape.numel(), qx);
+  for (std::int64_t i = 0; i < s.input.numel(); ++i) {
+    const auto code =
+        static_cast<std::uint32_t>(rng.uniform_int(core::levels(qx)));
+    s.input.set(i, code);
+    s.x_real.push_back(static_cast<float>(
+        s.si * (static_cast<double>(code) - l.zx)));
+  }
+
+  // Per-channel weight codes and scales.
+  s.bn.resize(static_cast<std::size_t>(co));
+  for (std::int64_t oc = 0; oc < co; ++oc) {
+    const double swc = rng.uniform(0.002, 0.05);
+    s.sw.push_back(swc);
+    const auto zw =
+        static_cast<std::int32_t>(rng.uniform_int(core::levels(qw)));
+    l.zw.push_back(zw);
+    std::vector<float> wch;
+    for (std::int64_t i = 0; i < l.wshape.per_channel(); ++i) {
+      const auto code =
+          static_cast<std::uint32_t>(rng.uniform_int(core::levels(qw)));
+      l.weights.set(oc * l.wshape.per_channel() + i, code);
+      wch.push_back(static_cast<float>(
+          swc * (static_cast<double>(code) - zw)));
+    }
+    s.w_real.push_back(std::move(wch));
+    auto& b = s.bn[static_cast<std::size_t>(oc)];
+    b.gamma = static_cast<float>(rng.uniform(0.5, 2.0)) *
+              (rng.uniform() < 0.15 ? -1.0f : 1.0f);
+    b.beta = static_cast<float>(rng.uniform(-0.5, 0.5));
+    b.mu = static_cast<float>(rng.uniform(-0.3, 0.3));
+    b.sigma = static_cast<float>(rng.uniform(0.5, 2.0));
+  }
+  l.icn = core::derive_icn_layer(s.si, s.sw, s.so, s.bn, {});
+  return s;
+}
+
+class KernelOracle
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KernelOracle, ConvLayerMatchesRealTransferFunction) {
+  const auto [qw_bits, trial] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 * qw_bits + trial));
+  OracleSetup s = build(rng, BitWidth::kQ8, core::bitwidth_from_int(qw_bits),
+                        BitWidth::kQ4);
+  const QLayer& l = s.layer;
+  PackedBuffer out(l.out_shape.numel(), l.qy);
+  run_layer(l, s.input, out);
+
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  std::int64_t mismatches = 0;
+  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      for (std::int64_t oc = 0; oc < os.c; ++oc) {
+        // Real convolution on dequantized operands.
+        double phi = 0.0;
+        for (std::int64_t ky = 0; ky < 3; ++ky) {
+          const std::int64_t ih = oh - 1 + ky;
+          if (ih < 0 || ih >= is.h) continue;
+          for (std::int64_t kx = 0; kx < 3; ++kx) {
+            const std::int64_t iw = ow - 1 + kx;
+            if (iw < 0 || iw >= is.w) continue;
+            for (std::int64_t c = 0; c < is.c; ++c) {
+              phi += static_cast<double>(
+                         s.x_real[static_cast<std::size_t>(
+                             is.index(0, ih, iw, c))]) *
+                     s.w_real[static_cast<std::size_t>(oc)]
+                             [static_cast<std::size_t>(
+                                 l.wshape.index(oc, ky, kx, c) -
+                                 oc * l.wshape.per_channel())];
+            }
+          }
+        }
+        const auto& b = s.bn[static_cast<std::size_t>(oc)];
+        const double bn_out =
+            (phi - b.mu) / b.sigma * static_cast<double>(b.gamma) +
+            b.beta;
+        const double ref = std::clamp(
+            std::floor(bn_out / s.so), 0.0,
+            static_cast<double>(core::qmax(l.qy)));
+        const auto got = static_cast<double>(
+            out.get(os.index(0, oh, ow, oc)));
+        if (got != ref) {
+          ++mismatches;
+          // Bq/M0 rounding can shift boundary cases by one level at most.
+          ASSERT_LE(std::abs(got - ref), 1.0)
+              << "oc=" << oc << " oh=" << oh << " ow=" << ow;
+        }
+      }
+    }
+  }
+  // Boundary effects must be rare (paper: "negligible loss").
+  EXPECT_LT(mismatches, os.numel() / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightsAndTrials, KernelOracle,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace mixq::runtime

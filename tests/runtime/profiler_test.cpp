@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/profiler.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::Granularity;
+using core::Scheme;
+
+TEST(Profiler, MacsMatchArchitectureMetadata) {
+  // The deployed image's statically profiled MACs must equal the NetDesc
+  // metadata the planner and cycle model use -- the two accounting paths
+  // may not drift.
+  Rng rng(1);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 16;
+  cfg.base_channels = 8;
+  cfg.num_blocks = 3;
+  cfg.num_classes = 5;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const auto desc = models::small_cnn_desc(cfg);
+  const QuantizedNet net =
+      convert_qat_model(model, Shape(1, 16, 16, 3), {Scheme::kPCICN});
+  const NetProfile prof = profile(net);
+  EXPECT_EQ(prof.total_macs, desc.total_macs());
+}
+
+TEST(Profiler, RoAndRwMatchQuantizedNetAccessors) {
+  Rng rng(2);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const QuantizedNet net =
+      convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  const NetProfile prof = profile(net);
+  EXPECT_EQ(prof.total_ro_bytes, net.ro_bytes());
+  // Executor's peak excludes the head's output; profiler counts all pairs.
+  EXPECT_GE(prof.peak_rw_bytes, net.rw_peak_bytes());
+}
+
+TEST(Profiler, PoolLayerHasNoWeightsOrMacs) {
+  Rng rng(3);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const QuantizedNet net =
+      convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
+  const NetProfile prof = profile(net);
+  ASSERT_EQ(prof.layers.size(), 5u);
+  const LayerProfile& pool = prof.layers[3];
+  EXPECT_EQ(pool.kind, QLayerKind::kGlobalAvgPool);
+  EXPECT_EQ(pool.macs, 0);
+  EXPECT_EQ(pool.ro_bytes(), 0);
+  EXPECT_GT(pool.rw_bytes(), 0);
+}
+
+TEST(Profiler, SubByteWeightsShrinkRoBytes) {
+  Rng rng(4);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 8;
+  cfg.num_blocks = 2;
+  cfg.wgran = Granularity::kPerChannel;
+  cfg.qw = core::BitWidth::kQ8;
+  auto m8 = models::build_small_cnn(cfg, &rng);
+  cfg.qw = core::BitWidth::kQ2;
+  Rng rng2(4);
+  auto m2 = models::build_small_cnn(cfg, &rng2);
+  const auto p8 = profile(
+      convert_qat_model(m8, Shape(1, 8, 8, 3), {Scheme::kPCICN}));
+  const auto p2 = profile(
+      convert_qat_model(m2, Shape(1, 8, 8, 3), {Scheme::kPCICN}));
+  EXPECT_LT(p2.total_ro_bytes, p8.total_ro_bytes);
+  EXPECT_EQ(p2.total_macs, p8.total_macs);
+}
+
+TEST(Profiler, StrRendersAllLayers) {
+  Rng rng(5);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const auto prof = profile(
+      convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN}));
+  const std::string s = prof.str();
+  EXPECT_NE(s.find("total MACs"), std::string::npos);
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("pool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

@@ -1,0 +1,167 @@
+// Failure-injection and determinism properties of the deployment chain.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/synthetic.hpp"
+#include "eval/trainer.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/flash_image.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+using core::Scheme;
+
+TEST(Robustness, FlashLoaderNeverCrashesOnRandomGarbage) {
+  // Any byte blob must either parse or throw -- never crash or hang.
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> blob(rng.uniform_int(512));
+    for (auto& b : blob) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    try {
+      load_flash_image(blob);
+    } catch (const std::runtime_error&) {
+      // expected path
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, FlashLoaderRejectsMutatedValidImages) {
+  // Start from a valid image, fix the CRC after mutating the payload so
+  // the structural validators (not the checksum) are exercised.
+  Rng rng(2);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = core::Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  const auto net = convert_qat_model(model, Shape(1, 8, 8, 3),
+                                     {Scheme::kPCICN});
+  const auto blob = save_flash_image(net);
+  const std::size_t header = 8 + 4 + 8 + 4;
+
+  int rejected = 0, accepted = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto mutated = blob;
+    const std::size_t pos =
+        header + rng.uniform_int(mutated.size() - header);
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    // Re-stamp the CRC so the mutation reaches the structural parser.
+    const std::uint32_t crc =
+        crc32(mutated.data() + header, mutated.size() - header);
+    std::memcpy(mutated.data() + 8 + 4 + 8, &crc, sizeof(crc));
+    try {
+      const QuantizedNet loaded = load_flash_image(mutated);
+      // Structurally valid mutations are acceptable (e.g. a flipped
+      // weight bit); the loaded net must still be runnable.
+      Executor exec(loaded);
+      FloatTensor img(Shape(1, 8, 8, 3), 0.5f);
+      exec.run(img);
+      ++accepted;
+    } catch (const std::exception&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes occur; what matters is that nothing crashed.
+  EXPECT_EQ(rejected + accepted, 100);
+}
+
+TEST(Robustness, PipelineIsBitwiseDeterministic) {
+  // Same seeds => byte-identical flash images across two full runs
+  // (dataset -> training -> conversion -> serialization).
+  auto run_once = [] {
+    data::SyntheticSpec d;
+    d.hw = 8;
+    d.num_classes = 3;
+    d.train_size = 96;
+    d.test_size = 32;
+    d.seed = 99;
+    auto [train, test] = data::make_synthetic(d);
+    Rng rng(42);
+    models::SmallCnnConfig cfg;
+    cfg.input_hw = 8;
+    cfg.base_channels = 4;
+    cfg.num_blocks = 1;
+    cfg.num_classes = 3;
+    cfg.wgran = core::Granularity::kPerChannel;
+    auto model = models::build_small_cnn(cfg, &rng);
+    eval::TrainConfig tcfg;
+    tcfg.epochs = 2;
+    eval::train_qat(model, train, test, tcfg);
+    return save_flash_image(convert_qat_model(model, Shape(1, 8, 8, 3),
+                                              {Scheme::kPCICN}));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Robustness, ConverterRejectsAccumulatorOverflowRisk) {
+  // A synthetic linear layer with an enormous fan-in at W8A8 would exceed
+  // the INT32 accumulator bound; conversion must refuse.
+  Rng rng(3);
+  core::QatModel m;
+  m.input = m.net.emplace<core::InputQuant>(0.0f, 1.0f);
+  core::QBlockConfig cfg;
+  cfg.act_quant = false;
+  cfg.has_bn = false;
+  // 3x3 conv with 5M input channels would overflow; use Linear with a
+  // fan-in beyond 2^31 / (255*255).
+  const std::int64_t fan_in = (1LL << 31) / (255 * 255) + 1000;
+  auto* fc = m.net.emplace<core::QConvBlock>(core::BlockKind::kLinear,
+                                             fan_in, 2, nn::ConvSpec{}, cfg,
+                                             &rng);
+  m.chain.push_back({fc, false});
+  EXPECT_THROW(convert_qat_model(m, Shape(1, 1, 1, fan_in),
+                                 {Scheme::kPCICN}),
+               std::invalid_argument);
+}
+
+TEST(Robustness, ExecutorRejectsMisplacedHead) {
+  Rng rng(4);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = 4;
+  cfg.num_blocks = 1;
+  cfg.num_classes = 3;
+  cfg.wgran = core::Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  QuantizedNet net = convert_qat_model(model, Shape(1, 8, 8, 3),
+                                       {Scheme::kPCICN});
+  // Move the head before the end: the executor must refuse to run it.
+  std::swap(net.layers[0], net.layers.back());
+  Executor exec(net);
+  FloatTensor img(Shape(1, 8, 8, 3), 0.5f);
+  EXPECT_THROW(exec.run(img), std::logic_error);
+}
+
+TEST(Robustness, ConvertRejectsEmptyChainAndMissingInput) {
+  core::QatModel empty;
+  empty.input = empty.net.emplace<core::InputQuant>(0.0f, 1.0f);
+  EXPECT_THROW(convert_qat_model(empty, Shape(1, 8, 8, 3),
+                                 {Scheme::kPCICN}),
+               std::invalid_argument);
+
+  Rng rng(5);
+  core::QatModel no_input;
+  core::QBlockConfig cfg;
+  auto* blk = no_input.net.emplace<core::QConvBlock>(
+      core::BlockKind::kConv, 3, 4, nn::ConvSpec{}, cfg, &rng);
+  no_input.chain.push_back({blk, false});
+  EXPECT_THROW(convert_qat_model(no_input, Shape(1, 8, 8, 3),
+                                 {Scheme::kPCICN}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

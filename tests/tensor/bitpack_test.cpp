@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "tensor/bitpack.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq {
+namespace {
+
+TEST(BitWidthHelpers, Constants) {
+  EXPECT_EQ(bits(BitWidth::kQ2), 2);
+  EXPECT_EQ(bits(BitWidth::kQ4), 4);
+  EXPECT_EQ(bits(BitWidth::kQ8), 8);
+  EXPECT_EQ(levels(BitWidth::kQ4), 16);
+  EXPECT_EQ(qmax(BitWidth::kQ2), 3);
+  EXPECT_EQ(qmax(BitWidth::kQ8), 255);
+  EXPECT_EQ(elems_per_byte(BitWidth::kQ2), 4);
+  EXPECT_EQ(elems_per_byte(BitWidth::kQ4), 2);
+  EXPECT_EQ(elems_per_byte(BitWidth::kQ8), 1);
+}
+
+TEST(BitWidthHelpers, PackedBytes) {
+  EXPECT_EQ(packed_bytes(8, BitWidth::kQ8), 8);
+  EXPECT_EQ(packed_bytes(8, BitWidth::kQ4), 4);
+  EXPECT_EQ(packed_bytes(8, BitWidth::kQ2), 2);
+  // Padding of the last byte.
+  EXPECT_EQ(packed_bytes(9, BitWidth::kQ4), 5);
+  EXPECT_EQ(packed_bytes(9, BitWidth::kQ2), 3);
+  EXPECT_EQ(packed_bytes(0, BitWidth::kQ2), 0);
+}
+
+TEST(BitWidthHelpers, CutOneStep) {
+  EXPECT_EQ(cut_one_step(BitWidth::kQ8), BitWidth::kQ4);
+  EXPECT_EQ(cut_one_step(BitWidth::kQ4), BitWidth::kQ2);
+  EXPECT_THROW(cut_one_step(BitWidth::kQ2), std::logic_error);
+}
+
+TEST(BitWidthHelpers, FromInt) {
+  EXPECT_EQ(bitwidth_from_int(2), BitWidth::kQ2);
+  EXPECT_EQ(bitwidth_from_int(4), BitWidth::kQ4);
+  EXPECT_EQ(bitwidth_from_int(8), BitWidth::kQ8);
+  EXPECT_THROW(bitwidth_from_int(3), std::invalid_argument);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<BitWidth> {};
+
+TEST_P(PackRoundTrip, RandomCodesSurvive) {
+  const BitWidth q = GetParam();
+  Rng rng(123);
+  std::vector<std::int32_t> codes(1001);
+  for (auto& c : codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(levels(q)));
+  }
+  const PackedBuffer buf = pack_codes(codes, q);
+  EXPECT_EQ(buf.size_bytes(), packed_bytes(1001, q));
+  const auto back = unpack_codes(buf);
+  ASSERT_EQ(back.size(), codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ASSERT_EQ(back[i], codes[i]) << "element " << i;
+  }
+}
+
+TEST_P(PackRoundTrip, UnalignedRanges) {
+  const BitWidth q = GetParam();
+  Rng rng(77);
+  std::vector<std::int32_t> codes(64);
+  for (auto& c : codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(levels(q)));
+  }
+  const PackedBuffer buf = pack_codes(codes, q);
+  for (std::int64_t first = 0; first < 8; ++first) {
+    for (std::int64_t count : {0L, 1L, 3L, 7L, 13L}) {
+      std::vector<std::int32_t> out(static_cast<std::size_t>(count), -1);
+      unpack_range(buf, first, count, out.data());
+      for (std::int64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(i)],
+                  codes[static_cast<std::size_t>(first + i)])
+            << "first=" << first << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackRoundTrip,
+                         ::testing::Values(BitWidth::kQ2, BitWidth::kQ4,
+                                           BitWidth::kQ8));
+
+TEST(PackedBuffer, SetGet) {
+  PackedBuffer buf(10, BitWidth::kQ4);
+  buf.set(0, 0xF);
+  buf.set(1, 0x3);
+  buf.set(9, 0x7);
+  EXPECT_EQ(buf.get(0), 0xFu);
+  EXPECT_EQ(buf.get(1), 0x3u);
+  EXPECT_EQ(buf.get(9), 0x7u);
+  // Overwrite does not disturb the neighbour in the same byte.
+  buf.set(0, 0x1);
+  EXPECT_EQ(buf.get(0), 0x1u);
+  EXPECT_EQ(buf.get(1), 0x3u);
+}
+
+TEST(PackCodes, RejectsOutOfRange) {
+  EXPECT_THROW(pack_codes({4}, BitWidth::kQ2), std::invalid_argument);
+  EXPECT_THROW(pack_codes({-1}, BitWidth::kQ8), std::invalid_argument);
+  EXPECT_THROW(pack_codes({16}, BitWidth::kQ4), std::invalid_argument);
+}
+
+TEST(UnpackRange, RejectsBadRange) {
+  PackedBuffer buf(4, BitWidth::kQ8);
+  std::int32_t out[4];
+  EXPECT_THROW(unpack_range(buf, 2, 3, out), std::out_of_range);
+  EXPECT_THROW(unpack_range(buf, -1, 1, out), std::out_of_range);
+}
+
+TEST(PackedBuffer, DensityMatchesPaperStorageModel) {
+  // A 4-bit tensor of N elements must occupy ceil(N/2) bytes -- the
+  // storage assumption behind Eq. 6-7's mem(t, Q).
+  PackedBuffer a(1000, BitWidth::kQ4);
+  EXPECT_EQ(a.size_bytes(), 500);
+  PackedBuffer b(1000, BitWidth::kQ2);
+  EXPECT_EQ(b.size_bytes(), 250);
+}
+
+}  // namespace
+}  // namespace mixq

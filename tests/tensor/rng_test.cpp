@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+
+namespace mixq {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_int(17), 17u);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, FillHelpers) {
+  Rng r(15);
+  std::vector<float> buf(256);
+  r.fill_uniform(buf, -1.0, 1.0);
+  for (float v : buf) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+  r.fill_normal(buf, 0.0, 1.0);
+  bool any_nonzero = false;
+  for (float v : buf) any_nonzero |= v != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng r(21);
+  const auto a = r.next_u64();
+  r.next_u64();
+  r.reseed(21);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace mixq

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.hpp"
+
+namespace mixq {
+namespace {
+
+TEST(Shape, NumelAndIndexing) {
+  Shape s(2, 3, 4, 5);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s.index(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.index(0, 0, 0, 4), 4);
+  EXPECT_EQ(s.index(0, 0, 1, 0), 5);
+  EXPECT_EQ(s.index(0, 1, 0, 0), 20);
+  EXPECT_EQ(s.index(1, 0, 0, 0), 60);
+  EXPECT_EQ(s.index(1, 2, 3, 4), 119);
+}
+
+TEST(Shape, IndexIsChannelInnermost) {
+  Shape s(1, 2, 2, 3);
+  // Consecutive channels must be adjacent (NHWC contract).
+  EXPECT_EQ(s.index(0, 0, 0, 1) - s.index(0, 0, 0, 0), 1);
+  EXPECT_EQ(s.index(0, 0, 1, 0) - s.index(0, 0, 0, 0), 3);
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW(Shape(-1, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape(1, 2, 3, 4), Shape(1, 2, 3, 4));
+  EXPECT_NE(Shape(1, 2, 3, 4), Shape(1, 2, 4, 3));
+}
+
+TEST(WeightShape, PerChannelSlicing) {
+  WeightShape w(8, 3, 3, 16);
+  EXPECT_EQ(w.numel(), 8 * 3 * 3 * 16);
+  EXPECT_EQ(w.per_channel(), 3 * 3 * 16);
+  EXPECT_EQ(w.index(1, 0, 0, 0), w.per_channel());
+  EXPECT_EQ(w.index(7, 2, 2, 15), w.numel() - 1);
+}
+
+TEST(WeightShape, RejectsNonPositive) {
+  EXPECT_THROW(WeightShape(0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(ConvOutDim, SameStyleArithmetic) {
+  // 224x224, 3x3 stride 2 pad 1 -> 112 (MobilenetV1 conv0).
+  EXPECT_EQ(conv_out_dim(224, 3, 2, 1), 112);
+  // Stride 1 pad 1 preserves size.
+  EXPECT_EQ(conv_out_dim(56, 3, 1, 1), 56);
+  // 1x1 stride 1 pad 0 preserves size.
+  EXPECT_EQ(conv_out_dim(14, 1, 1, 0), 14);
+  // 7x7 global-style reduction.
+  EXPECT_EQ(conv_out_dim(7, 7, 1, 0), 1);
+}
+
+TEST(ConvOutDim, Errors) {
+  EXPECT_THROW(conv_out_dim(0, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq

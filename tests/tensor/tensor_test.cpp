@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace mixq {
+namespace {
+
+TEST(Tensor, ConstructFillAccess) {
+  FloatTensor t(Shape(1, 2, 2, 3), 1.5f);
+  EXPECT_EQ(t.numel(), 12);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+  t.at(0, 1, 1, 2) = -2.0f;
+  EXPECT_FLOAT_EQ(t[t.shape().index(0, 1, 1, 2)], -2.0f);
+}
+
+TEST(Tensor, DataVectorMismatchThrows) {
+  std::vector<float> v(5, 0.0f);
+  EXPECT_THROW(FloatTensor(Shape(1, 2, 2, 3), v), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  FloatTensor t(Shape(1, 2, 2, 3));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  t.reshape(Shape(1, 1, 1, 12));
+  EXPECT_EQ(t.shape(), Shape(1, 1, 1, 12));
+  EXPECT_FLOAT_EQ(t[7], 7.0f);
+  EXPECT_THROW(t.reshape(Shape(1, 1, 1, 13)), std::invalid_argument);
+}
+
+TEST(Tensor, MinMax) {
+  FloatTensor t(Shape(1, 1, 1, 4));
+  t[0] = -3.0f;
+  t[1] = 5.0f;
+  t[2] = 0.0f;
+  t[3] = 2.0f;
+  EXPECT_FLOAT_EQ(t.min_value(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max_value(), 5.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  FloatTensor a(Shape(1, 1, 1, 2), 1.0f);
+  FloatTensor b = a;
+  b[0] = 9.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(WeightTensor, ChannelPointers) {
+  FloatWeights w(WeightShape(4, 3, 3, 2));
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = static_cast<float>(i);
+  const std::int64_t per = w.shape().per_channel();
+  EXPECT_FLOAT_EQ(w.channel(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(w.channel(1)[0], static_cast<float>(per));
+  EXPECT_FLOAT_EQ(w.channel(3)[per - 1], static_cast<float>(w.numel() - 1));
+}
+
+TEST(WeightTensor, AtMatchesIndex) {
+  FloatWeights w(WeightShape(2, 3, 3, 4));
+  w.at(1, 2, 0, 3) = 42.0f;
+  EXPECT_FLOAT_EQ(w[w.shape().index(1, 2, 0, 3)], 42.0f);
+}
+
+}  // namespace
+}  // namespace mixq
