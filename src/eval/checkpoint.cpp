@@ -8,7 +8,7 @@ namespace mixq::eval {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'I', 'X', 'Q', 'C', 'K', 'P', '1'};
+constexpr std::uint8_t kMagic[8] = {'M', 'I', 'X', 'Q', 'C', 'K', 'P', '1'};
 
 /// Every float array a checkpoint must carry: trainable params plus BN
 /// running statistics (not exposed through params()).

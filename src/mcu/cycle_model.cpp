@@ -41,7 +41,7 @@ std::int64_t layer_cycles(const core::LayerDesc& layer, BitWidth qx,
   if (core::granularity_of(scheme) == core::Granularity::kPerChannel) {
     cpm *= p.per_channel_factor;
   }
-  double requant;
+  double requant = 0.0;
   switch (scheme) {
     case Scheme::kPLFoldBN:
       requant = p.fold_requant_cycles;

@@ -3,11 +3,11 @@
 // combination and scheme.
 #include <gtest/gtest.h>
 
-#include "core/thresholds.hpp"
 #include "models/small_cnn.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/fast_kernels.hpp"
+#include "support/random_qlayer.hpp"
 #include "tensor/rng.hpp"
 
 namespace mixq::runtime {
@@ -20,7 +20,6 @@ QLayer random_layer(QLayerKind kind, BitWidth qx, BitWidth qw, BitWidth qy,
                     Scheme scheme, Rng& rng) {
   QLayer l;
   l.kind = kind;
-  l.scheme = scheme;
   const std::int64_t ci = 5, co = kind == QLayerKind::kDepthwise ? 5 : 7;
   const std::int64_t k = kind == QLayerKind::kLinear ? 1 : 3;
   l.spec.kh = l.spec.kw = k;
@@ -41,40 +40,14 @@ QLayer random_layer(QLayerKind kind, BitWidth qx, BitWidth qw, BitWidth qy,
   l.qx = qx;
   l.qw = qw;
   l.qy = qy;
-  l.weights = PackedBuffer(l.wshape.numel(), qw);
-  for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
-    l.weights.set(i, static_cast<std::uint32_t>(
-                         rng.uniform_int(core::levels(qw))));
-  }
-  l.zx = static_cast<std::int32_t>(rng.uniform_int(core::levels(qx)));
-  const bool pc = core::granularity_of(scheme) ==
-                  core::Granularity::kPerChannel;
-  for (std::int64_t c = 0; c < (pc ? co : 1); ++c) {
-    l.zw.push_back(
-        static_cast<std::int32_t>(rng.uniform_int(core::levels(qw))));
-  }
-  l.icn.resize(static_cast<std::size_t>(co));
-  for (auto& ch : l.icn) {
-    double m = rng.uniform(1e-4, 0.1);
-    if (rng.uniform() < 0.2) m = -m;
-    ch.m = core::decompose_multiplier(m);
-    ch.bq = static_cast<std::int32_t>(rng.uniform(-200, 200));
-  }
-  if (scheme == Scheme::kPCThresholds) {
-    const std::int64_t bound =
-        core::phi_bound(l.wshape.per_channel(), qx, qw);
-    l.thresholds =
-        core::derive_threshold_layer(l.icn, l.zy, qy, -bound, bound);
-  }
+  test_support::fill_random_quant_params(l, scheme, rng, 1e-4, 0.1,
+                                         /*neg_prob=*/0.2);
   return l;
 }
 
 PackedBuffer random_input(const QLayer& l, Rng& rng) {
   PackedBuffer in(l.in_shape.numel(), l.qx);
-  for (std::int64_t i = 0; i < in.numel(); ++i) {
-    in.set(i, static_cast<std::uint32_t>(
-                  rng.uniform_int(core::levels(l.qx))));
-  }
+  test_support::fill_random_codes(in, l.qx, rng);
   return in;
 }
 

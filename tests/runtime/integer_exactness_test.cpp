@@ -13,6 +13,9 @@
 #include "nn/loss.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fast_kernels.hpp"
+#include "runtime/kernels.hpp"
+#include "support/random_qlayer.hpp"
 
 namespace mixq::runtime {
 namespace {
@@ -118,6 +121,127 @@ TEST(IcnExactness, IntegerAccuracyCloseToFakeQuantAccuracy) {
   const double int_acc = eval::evaluate_integer(qnet, s.test);
   EXPECT_NEAR(int_acc, fake_acc, 0.08);
 }
+
+// ---------------------------------------------------------------------------
+// Randomized cross-checks: the fast kernel path (run_layer_fast /
+// run_head_fast) must be bit-exact with the reference kernels not just on
+// isolated layers (fast_kernels_test.cpp) but through whole randomized
+// depthwise-separable chains with *mixed* 2/4/8-bit widths per layer --
+// the deployment configuration the paper's memory-driven allocator emits.
+// ---------------------------------------------------------------------------
+
+using test_support::fill_random_codes;
+using test_support::random_width;
+
+/// A random conv-family (or head) layer with the given geometry and
+/// precisions; quantization parameters come from the shared helper.
+QLayer random_chain_layer(QLayerKind kind, Shape in_shape, std::int64_t co,
+                          BitWidth qx, BitWidth qw, BitWidth qy,
+                          Scheme scheme, Rng& rng) {
+  QLayer l;
+  l.kind = kind;
+  l.qx = qx;
+  l.qw = qw;
+  l.qy = qy;
+  l.in_shape = in_shape;
+  const bool depthwise = kind == QLayerKind::kDepthwise;
+  // Depthwise 3x3 stride 1 pad 1 keeps HxW; pointwise/linear is 1x1.
+  const std::int64_t k = depthwise ? 3 : 1;
+  l.spec.kh = l.spec.kw = k;
+  l.spec.stride = 1;
+  l.spec.pad = depthwise ? 1 : 0;
+  l.out_shape = Shape(in_shape.n, in_shape.h, in_shape.w, co);
+  l.wshape = depthwise ? WeightShape(co, k, k, 1)
+                       : WeightShape(co, k, k, in_shape.c);
+  l.zy = static_cast<std::int32_t>(rng.uniform_int(core::levels(qy)));
+  test_support::fill_random_quant_params(l, scheme, rng);
+  return l;
+}
+
+class FastPathChainExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathChainExactness, MixedPrecisionChainBitExact) {
+  // dw -> pw -> dw -> pw with independently random 2/4/8-bit weight and
+  // activation widths at every boundary, checked layer-by-layer.
+  Rng rng(static_cast<std::uint64_t>(4200 + GetParam()));
+  const Scheme schemes[] = {Scheme::kPLICN, Scheme::kPCICN,
+                            Scheme::kPCThresholds};
+  Shape shape(2, 6, 6, 4);
+  BitWidth qx = random_width(rng);
+  PackedBuffer ref_act(shape.numel(), qx);
+  fill_random_codes(ref_act, qx, rng);
+  PackedBuffer fast_act = ref_act;
+  Scratch scratch;
+
+  const QLayerKind kinds[] = {QLayerKind::kDepthwise, QLayerKind::kConv,
+                              QLayerKind::kDepthwise, QLayerKind::kConv};
+  for (int li = 0; li < 4; ++li) {
+    const QLayerKind kind = kinds[li];
+    const std::int64_t co =
+        kind == QLayerKind::kDepthwise ? shape.c
+                                       : 3 + static_cast<std::int64_t>(
+                                                 rng.uniform_int(4));
+    const BitWidth qw = random_width(rng);
+    const BitWidth qy = random_width(rng);
+    const Scheme scheme = schemes[rng.uniform_int(3)];
+    const QLayer l =
+        random_chain_layer(kind, shape, co, qx, qw, qy, scheme, rng);
+
+    PackedBuffer ref_out(l.out_shape.numel(), qy);
+    PackedBuffer fast_out(l.out_shape.numel(), qy);
+    run_layer(l, ref_act, ref_out);
+    run_layer_fast(l, fast_act, fast_out, scratch);
+    for (std::int64_t i = 0; i < ref_out.numel(); ++i) {
+      ASSERT_EQ(ref_out.get(i), fast_out.get(i))
+          << "trial " << GetParam() << " layer " << li << " ("
+          << (kind == QLayerKind::kDepthwise ? "dw" : "pw") << ") qx="
+          << core::bits(qx) << " qw=" << core::bits(qw) << " qy="
+          << core::bits(qy) << " elem " << i;
+    }
+
+    shape = l.out_shape;
+    qx = qy;
+    ref_act = std::move(ref_out);
+    fast_act = std::move(fast_out);
+  }
+}
+
+TEST_P(FastPathChainExactness, RandomHeadBitExact) {
+  // run_head_fast vs run_head over random mixed-width linear heads.
+  Rng rng(static_cast<std::uint64_t>(9100 + GetParam()));
+  Scratch scratch;
+  for (int trial = 0; trial < 6; ++trial) {
+    const BitWidth qx = random_width(rng);
+    const BitWidth qw = random_width(rng);
+    const std::int64_t features =
+        4 + static_cast<std::int64_t>(rng.uniform_int(12));
+    const std::int64_t classes =
+        2 + static_cast<std::int64_t>(rng.uniform_int(6));
+    QLayer head = random_chain_layer(
+        QLayerKind::kLinear, Shape(1, 1, 1, features), classes, qx, qw,
+        BitWidth::kQ8, Scheme::kPCICN, rng);
+    head.raw_logits = true;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+    }
+
+    PackedBuffer in(features, qx);
+    fill_random_codes(in, qx, rng);
+    const std::vector<float> ref = run_head(head, in);
+    const std::vector<float> fast = run_head_fast(head, in, scratch);
+    ASSERT_EQ(ref.size(), fast.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      // Bit-exact, not approximately equal: both paths must perform the
+      // identical integer accumulation and double dequantization.
+      ASSERT_EQ(ref[i], fast[i])
+          << "trial " << trial << " qx=" << core::bits(qx) << " qw="
+          << core::bits(qw) << " logit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, FastPathChainExactness,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace mixq::runtime

@@ -1,0 +1,500 @@
+// tests/support/gtest_shim.hpp
+//
+// A minimal, self-contained GoogleTest-compatible shim so the suite can
+// build and run with zero network access and no system GoogleTest. The
+// build prefers a real GoogleTest (system or FetchContent) and falls back
+// to this header; see tests/CMakeLists.txt. Only the subset the mixq
+// suite actually uses is implemented:
+//
+//   TEST, TEST_F, TEST_P + TestWithParam<T> + INSTANTIATE_TEST_SUITE_P
+//   ::testing::Values / ::testing::Range / ::testing::Combine
+//   EXPECT_/ASSERT_ {EQ,NE,LT,LE,GT,GE,TRUE,FALSE,FLOAT_EQ,DOUBLE_EQ,NEAR}
+//   EXPECT_THROW / EXPECT_NO_THROW / SUCCEED / FAIL / ADD_FAILURE
+//   streamed failure messages (EXPECT_EQ(a, b) << "context")
+//
+// Assertion arguments are evaluated exactly once, as in real GoogleTest.
+// Output mimics gtest's [ RUN / OK / FAILED ] lines closely enough for
+// CTest log readers; the process exits non-zero iff any test failed.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+};
+
+namespace internal {
+
+struct TestCase {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+  void add(std::string suite, std::string name, std::function<Test*()> f) {
+    tests_.push_back({std::move(suite), std::move(name), std::move(f)});
+  }
+  void record_failure() { ++current_failures_; }
+
+  int run_all() {
+    std::printf("[==========] Running %zu tests (mixq gtest shim).\n",
+                tests_.size());
+    std::vector<std::string> failed_names;
+    for (const auto& t : tests_) {
+      const std::string full = t.suite + "." + t.name;
+      std::printf("[ RUN      ] %s\n", full.c_str());
+      current_failures_ = 0;
+      try {
+        std::unique_ptr<Test> test(t.factory());
+        test->SetUp();
+        test->TestBody();
+        test->TearDown();
+      } catch (const std::exception& e) {
+        std::printf("unexpected exception: %s\n", e.what());
+        ++current_failures_;
+      } catch (...) {
+        std::printf("unexpected non-std exception\n");
+        ++current_failures_;
+      }
+      if (current_failures_ == 0) {
+        std::printf("[       OK ] %s\n", full.c_str());
+      } else {
+        std::printf("[  FAILED  ] %s\n", full.c_str());
+        failed_names.push_back(full);
+      }
+    }
+    std::printf("[==========] %zu tests ran.\n", tests_.size());
+    std::printf("[  PASSED  ] %zu tests.\n",
+                tests_.size() - failed_names.size());
+    if (!failed_names.empty()) {
+      std::printf("[  FAILED  ] %zu tests, listed below:\n",
+                  failed_names.size());
+      for (const auto& n : failed_names) {
+        std::printf("[  FAILED  ] %s\n", n.c_str());
+      }
+    }
+    return failed_names.empty() ? 0 : 1;
+  }
+
+ private:
+  std::vector<TestCase> tests_;
+  int current_failures_ = 0;
+};
+
+// Message sink supporting `<< "context"` after an assertion macro.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+  std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+// Prints the failure when assigned a Message (gtest's AssertHelper trick:
+// the macro expands so that a trailing `<< msg` binds to the Message, and
+// operator= fires once the full expression is evaluated).
+class FailReporter {
+ public:
+  FailReporter(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& m) const {
+    std::printf("%s:%d: Failure\n%s\n", file_, line_, summary_.c_str());
+    const std::string extra = m.str();
+    if (!extra.empty()) std::printf("%s\n", extra.c_str());
+    Registry::instance().record_failure();
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<
+    T, std::void_t<decltype(std::declval<std::ostream&>()
+                            << std::declval<const T&>())>> : std::true_type {};
+
+template <typename T>
+std::string print_value(const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (is_streamable<T>::value) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  } else if constexpr (std::is_enum_v<T>) {
+    std::ostringstream ss;
+    ss << static_cast<long long>(v);
+    return ss.str();
+  } else {
+    return "<unprintable " + std::to_string(sizeof(T)) + "-byte value>";
+  }
+}
+
+template <typename A, typename B>
+std::string cmp_summary(const char* aexpr, const char* bexpr, const char* op,
+                        const A& a, const B& b) {
+  std::ostringstream ss;
+  ss << "Expected: (" << aexpr << ") " << op << " (" << bexpr
+     << "), actual: " << print_value(a) << " vs " << print_value(b);
+  return ss.str();
+}
+
+struct CheckOutcome {
+  bool ok;
+  std::string summary;
+};
+
+template <typename A, typename B, typename Pred>
+CheckOutcome check_cmp(const char* aexpr, const char* bexpr, const char* op,
+                       const A& a, const B& b, Pred pred) {
+  if (pred(a, b)) return {true, {}};
+  return {false, cmp_summary(aexpr, bexpr, op, a, b)};
+}
+
+// gtest's FLOAT_EQ is a 4-ULP comparison; a tight relative tolerance is an
+// adequate stand-in for this suite.
+inline bool almost_eq(float a, float b) {
+  if (a == b) return true;
+  const float diff = std::fabs(a - b);
+  const float scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= 4.0f * 1.1920929e-07f * scale;
+}
+inline bool almost_eq(double a, double b) {
+  if (a == b) return true;
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= 4.0 * 2.220446049250313e-16 * scale;
+}
+
+template <typename A, typename B>
+CheckOutcome check_near(const char* aexpr, const char* bexpr,
+                        const char* tolexpr, const A& a, const B& b,
+                        double tol) {
+  if (std::fabs(static_cast<double>(a) - static_cast<double>(b)) <= tol) {
+    return {true, {}};
+  }
+  std::ostringstream ss;
+  ss << "Expected |" << aexpr << " - " << bexpr << "| <= " << tolexpr
+     << ", actual: " << print_value(a) << " vs " << print_value(b)
+     << " (tol " << tol << ")";
+  return {false, ss.str()};
+}
+
+struct Registrar {
+  Registrar(const char* suite, const char* name, std::function<Test*()> f) {
+    Registry::instance().add(suite, name, std::move(f));
+  }
+};
+
+// ---- parameterized-test machinery -------------------------------------
+
+// Per-(fixture, test-name) bodies registered by TEST_P, consumed by
+// INSTANTIATE_TEST_SUITE_P. Static-init order within one translation unit
+// guarantees TEST_P registrars run before the INSTANTIATE registrar, which
+// matches how the suite's single-file tests are written.
+template <typename Fixture>
+class ParamRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::function<Test*()> factory;
+  };
+  static ParamRegistry& instance() {
+    static ParamRegistry r;
+    return r;
+  }
+  void add(std::string name, std::function<Test*()> f) {
+    entries_.push_back({std::move(name), std::move(f)});
+  }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace internal
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  static const T& GetParam() { return current(); }
+  static void SetParam(T v) { current() = std::move(v); }
+
+ private:
+  static T& current() {
+    static T value{};
+    return value;
+  }
+};
+
+// ---- parameter generators ---------------------------------------------
+
+namespace internal {
+
+template <typename... Args>
+struct ValuesGen {
+  std::tuple<Args...> values;
+  template <typename T>
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    std::apply(
+        [&out](const Args&... v) { (out.push_back(static_cast<T>(v)), ...); },
+        values);
+    return out;
+  }
+};
+
+struct RangeGen {
+  int begin, end, step;
+  template <typename T>
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    for (int v = begin; v < end; v += step) out.push_back(static_cast<T>(v));
+    return out;
+  }
+};
+
+template <typename... Gens>
+struct CombineGen {
+  std::tuple<Gens...> gens;
+
+  template <typename Tuple>
+  std::vector<Tuple> materialize() const {
+    std::vector<Tuple> out;
+    materialize_impl<Tuple>(out, std::make_index_sequence<sizeof...(Gens)>{});
+    return out;
+  }
+
+ private:
+  template <typename Tuple, std::size_t... Is>
+  void materialize_impl(std::vector<Tuple>& out,
+                        std::index_sequence<Is...>) const {
+    auto lists = std::make_tuple(
+        std::get<Is>(gens)
+            .template materialize<std::tuple_element_t<Is, Tuple>>()...);
+    Tuple scratch{};
+    cartesian<Tuple, 0>(lists, scratch, out);
+  }
+
+  template <typename Tuple, std::size_t I, typename Lists>
+  void cartesian(const Lists& lists, Tuple& scratch,
+                 std::vector<Tuple>& out) const {
+    if constexpr (I == sizeof...(Gens)) {
+      out.push_back(scratch);
+    } else {
+      for (const auto& v : std::get<I>(lists)) {
+        std::get<I>(scratch) = v;
+        cartesian<Tuple, I + 1>(lists, scratch, out);
+      }
+    }
+  }
+};
+
+}  // namespace internal
+
+template <typename... Args>
+internal::ValuesGen<Args...> Values(Args... args) {
+  return {std::make_tuple(args...)};
+}
+inline internal::RangeGen Range(int begin, int end, int step = 1) {
+  return {begin, end, step};
+}
+template <typename... Gens>
+internal::CombineGen<Gens...> Combine(Gens... gens) {
+  return {std::make_tuple(gens...)};
+}
+
+inline void InitGoogleTest(int*, char**) {}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() {
+  return ::testing::internal::Registry::instance().run_all();
+}
+
+// ---- test-definition macros -------------------------------------------
+
+#define MIXQ_SHIM_CLASS_NAME(suite, name) suite##_##name##_ShimTest
+
+#define MIXQ_SHIM_TEST_(suite, name, parent)                             \
+  class MIXQ_SHIM_CLASS_NAME(suite, name) : public parent {              \
+    void TestBody() override;                                            \
+  };                                                                     \
+  static ::testing::internal::Registrar mixq_registrar_##suite##_##name( \
+      #suite, #name, []() -> ::testing::Test* {                          \
+        return new MIXQ_SHIM_CLASS_NAME(suite, name)();                  \
+      });                                                                \
+  void MIXQ_SHIM_CLASS_NAME(suite, name)::TestBody()
+
+#define TEST(suite, name) MIXQ_SHIM_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MIXQ_SHIM_TEST_(fixture, name, fixture)
+
+#define TEST_P(fixture, name)                                    \
+  class MIXQ_SHIM_CLASS_NAME(fixture, name) : public fixture {   \
+    void TestBody() override;                                    \
+  };                                                             \
+  static bool mixq_param_registrar_##fixture##_##name = [] {     \
+    ::testing::internal::ParamRegistry<fixture>::instance().add( \
+        #name, []() -> ::testing::Test* {                        \
+          return new MIXQ_SHIM_CLASS_NAME(fixture, name)();      \
+        });                                                      \
+    return true;                                                 \
+  }();                                                           \
+  void MIXQ_SHIM_CLASS_NAME(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator)               \
+  static bool mixq_instantiate_##prefix##_##fixture = [] {                 \
+    auto params = (generator).template materialize<fixture::ParamType>();  \
+    const auto& entries =                                                  \
+        ::testing::internal::ParamRegistry<fixture>::instance().entries(); \
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {                   \
+      for (const auto& e : entries) {                                      \
+        auto param = params[pi];                                           \
+        auto inner = e.factory;                                            \
+        ::testing::internal::Registry::instance().add(                     \
+            std::string(#prefix) + "/" + #fixture,                         \
+            e.name + "/" + std::to_string(pi),                             \
+            [param, inner]() -> ::testing::Test* {                         \
+              fixture::SetParam(param);                                    \
+              return inner();                                              \
+            });                                                            \
+      }                                                                    \
+    }                                                                      \
+    return true;                                                           \
+  }()
+
+// ---- assertion macros --------------------------------------------------
+
+#define MIXQ_SHIM_REPORT_(summary)                                 \
+  ::testing::internal::FailReporter(__FILE__, __LINE__, summary) = \
+      ::testing::internal::Message()
+
+#define MIXQ_SHIM_CHECK_EXPECT_(...)                                       \
+  if (const ::testing::internal::CheckOutcome mixq_shim_o = (__VA_ARGS__); \
+      mixq_shim_o.ok) {                                                    \
+  } else /* NOLINT */                                                      \
+    MIXQ_SHIM_REPORT_(mixq_shim_o.summary)
+
+#define MIXQ_SHIM_CHECK_ASSERT_(...)                                       \
+  if (const ::testing::internal::CheckOutcome mixq_shim_o = (__VA_ARGS__); \
+      mixq_shim_o.ok) {                                                    \
+  } else /* NOLINT */                                                      \
+    return MIXQ_SHIM_REPORT_(mixq_shim_o.summary)
+
+#define MIXQ_SHIM_CMP_(kind, a, b, op)                            \
+  kind(::testing::internal::check_cmp(                            \
+      #a, #b, #op, (a), (b),                                      \
+      [](const auto& mixq_x, const auto& mixq_y) {                \
+        return mixq_x op mixq_y;                                  \
+      }))
+
+#define EXPECT_EQ(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, ==)
+#define EXPECT_NE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, !=)
+#define EXPECT_LT(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, <)
+#define EXPECT_LE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, <=)
+#define EXPECT_GT(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, >)
+#define EXPECT_GE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_EXPECT_, a, b, >=)
+#define ASSERT_EQ(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, ==)
+#define ASSERT_NE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, !=)
+#define ASSERT_LT(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, <)
+#define ASSERT_LE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, <=)
+#define ASSERT_GT(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, >)
+#define ASSERT_GE(a, b) MIXQ_SHIM_CMP_(MIXQ_SHIM_CHECK_ASSERT_, a, b, >=)
+
+#define MIXQ_SHIM_BOOL_(kind, c, want)                              \
+  kind(::testing::internal::CheckOutcome{                           \
+      static_cast<bool>(c) == (want),                               \
+      "Expected " #c " to be " + std::string((want) ? "true" : "false")})
+
+#define EXPECT_TRUE(c) MIXQ_SHIM_BOOL_(MIXQ_SHIM_CHECK_EXPECT_, c, true)
+#define EXPECT_FALSE(c) MIXQ_SHIM_BOOL_(MIXQ_SHIM_CHECK_EXPECT_, c, false)
+#define ASSERT_TRUE(c) MIXQ_SHIM_BOOL_(MIXQ_SHIM_CHECK_ASSERT_, c, true)
+#define ASSERT_FALSE(c) MIXQ_SHIM_BOOL_(MIXQ_SHIM_CHECK_ASSERT_, c, false)
+
+#define MIXQ_SHIM_FPEQ_(kind, a, b, cast)                            \
+  kind(::testing::internal::check_cmp(                               \
+      #a, #b, "~=", (a), (b),                                        \
+      [](const auto& mixq_x, const auto& mixq_y) {                   \
+        return ::testing::internal::almost_eq(static_cast<cast>(mixq_x), \
+                                              static_cast<cast>(mixq_y)); \
+      }))
+
+#define EXPECT_FLOAT_EQ(a, b) \
+  MIXQ_SHIM_FPEQ_(MIXQ_SHIM_CHECK_EXPECT_, a, b, float)
+#define ASSERT_FLOAT_EQ(a, b) \
+  MIXQ_SHIM_FPEQ_(MIXQ_SHIM_CHECK_ASSERT_, a, b, float)
+#define EXPECT_DOUBLE_EQ(a, b) \
+  MIXQ_SHIM_FPEQ_(MIXQ_SHIM_CHECK_EXPECT_, a, b, double)
+#define ASSERT_DOUBLE_EQ(a, b) \
+  MIXQ_SHIM_FPEQ_(MIXQ_SHIM_CHECK_ASSERT_, a, b, double)
+
+#define EXPECT_NEAR(a, b, tol)                             \
+  MIXQ_SHIM_CHECK_EXPECT_(::testing::internal::check_near( \
+      #a, #b, #tol, (a), (b), static_cast<double>(tol)))
+#define ASSERT_NEAR(a, b, tol)                             \
+  MIXQ_SHIM_CHECK_ASSERT_(::testing::internal::check_near( \
+      #a, #b, #tol, (a), (b), static_cast<double>(tol)))
+
+#define EXPECT_THROW(stmt, extype)                                   \
+  do {                                                               \
+    bool mixq_shim_caught = false, mixq_shim_wrong = false;          \
+    try {                                                            \
+      stmt;                                                          \
+    } catch (const extype&) {                                        \
+      mixq_shim_caught = true;                                       \
+    } catch (...) {                                                  \
+      mixq_shim_wrong = true;                                        \
+    }                                                                \
+    if (!mixq_shim_caught) {                                         \
+      MIXQ_SHIM_REPORT_(mixq_shim_wrong                              \
+                            ? "Expected " #stmt " to throw " #extype \
+                              "; threw a different type"             \
+                            : "Expected " #stmt " to throw " #extype \
+                              "; threw nothing");                    \
+    }                                                                \
+  } while (0)
+
+#define EXPECT_NO_THROW(stmt)                                 \
+  do {                                                        \
+    try {                                                     \
+      stmt;                                                   \
+    } catch (...) {                                           \
+      MIXQ_SHIM_REPORT_("Expected " #stmt " not to throw");   \
+    }                                                         \
+  } while (0)
+
+#define SUCCEED() static_cast<void>(0)
+#define ADD_FAILURE() MIXQ_SHIM_REPORT_("Failure")
+#define FAIL() return MIXQ_SHIM_REPORT_("Failure")

@@ -1,0 +1,7 @@
+// Stand-in for GoogleTest's gtest_main when building against the shim.
+#include "gtest_shim.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

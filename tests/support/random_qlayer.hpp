@@ -1,0 +1,62 @@
+// tests/support/random_qlayer.hpp
+//
+// Shared randomization helpers for constructing QLayer instances in the
+// runtime kernel tests (fast_kernels_test.cpp, integer_exactness_test.cpp).
+// Geometry is chosen by each test; the quantization parameters (codes,
+// zero-points, ICN channels, thresholds) are filled here so the two suites
+// cannot drift apart as QLayer grows fields.
+#pragma once
+
+#include "core/thresholds.hpp"
+#include "runtime/qgraph.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::runtime::test_support {
+
+inline core::BitWidth random_width(Rng& rng) {
+  const core::BitWidth widths[] = {core::BitWidth::kQ2, core::BitWidth::kQ4,
+                                   core::BitWidth::kQ8};
+  return widths[rng.uniform_int(3)];
+}
+
+inline void fill_random_codes(PackedBuffer& buf, core::BitWidth q, Rng& rng) {
+  for (std::int64_t i = 0; i < buf.numel(); ++i) {
+    buf.set(i, static_cast<std::uint32_t>(rng.uniform_int(core::levels(q))));
+  }
+}
+
+/// Fills every quantization parameter of a layer whose kind/geometry
+/// (kind, spec, in_shape, out_shape, wshape, qx/qw/qy) is already set:
+/// packed random weights, zero-points, ICN channels with multipliers drawn
+/// from [m_lo, m_hi] (negated with probability neg_prob), and -- for the
+/// kPCThresholds scheme -- the derived integer threshold table.
+inline void fill_random_quant_params(QLayer& l, Scheme scheme, Rng& rng,
+                                     double m_lo = 1e-4, double m_hi = 0.05,
+                                     double neg_prob = 0.0) {
+  l.scheme = scheme;
+  l.weights = PackedBuffer(l.wshape.numel(), l.qw);
+  fill_random_codes(l.weights, l.qw, rng);
+  l.zx = static_cast<std::int32_t>(rng.uniform_int(core::levels(l.qx)));
+  const bool pc =
+      core::granularity_of(scheme) == core::Granularity::kPerChannel;
+  l.zw.clear();
+  for (std::int64_t c = 0; c < (pc ? l.wshape.co : 1); ++c) {
+    l.zw.push_back(
+        static_cast<std::int32_t>(rng.uniform_int(core::levels(l.qw))));
+  }
+  l.icn.resize(static_cast<std::size_t>(l.wshape.co));
+  for (auto& ch : l.icn) {
+    double m = rng.uniform(m_lo, m_hi);
+    if (neg_prob > 0.0 && rng.uniform() < neg_prob) m = -m;
+    ch.m = core::decompose_multiplier(m);
+    ch.bq = static_cast<std::int32_t>(rng.uniform(-200, 200));
+  }
+  if (scheme == Scheme::kPCThresholds) {
+    const std::int64_t bound =
+        core::phi_bound(l.wshape.per_channel(), l.qx, l.qw);
+    l.thresholds =
+        core::derive_threshold_layer(l.icn, l.zy, l.qy, -bound, bound);
+  }
+}
+
+}  // namespace mixq::runtime::test_support

@@ -1,0 +1,4 @@
+// Wrapper so `#include <gtest/gtest.h>` resolves to the vendored shim when
+// no real GoogleTest is available. See tests/support/gtest_shim.hpp.
+#pragma once
+#include "../../gtest_shim.hpp"
