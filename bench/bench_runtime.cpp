@@ -1,0 +1,199 @@
+// bench_runtime -- the tracked performance benchmark of the execution
+// engine. Builds a MobileNet-class, pointwise-dominated mixed 2/4/8-bit
+// workload (the deployment shape the paper targets), verifies once that the
+// reference, fast and planned paths agree bit-exactly, then times:
+//
+//   * reference path  -- packed get/set kernels (kernels.hpp)
+//   * fast path       -- per-layer unpacked-scratch kernels (seed engine)
+//   * planned path    -- compiled ExecutionPlan (plan.hpp)
+//
+// and emits results/BENCH_runtime.json with end-to-end and per-layer
+// numbers so the perf trajectory is tracked PR over PR. Exit code is
+// non-zero only on a correctness failure, never on timing.
+//
+// Usage: bench_runtime [--quick] [--out PATH]
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/profiler.hpp"
+#include "support/random_qlayer.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace mixq;
+using namespace mixq::runtime;
+
+/// One conv-family layer with random-but-valid quantization parameters
+/// (PC+ICN scheme throughout, the paper's main deployment); the shared
+/// randomized builder keeps the bench workload construction identical to
+/// what the exactness suites test.
+QLayer make_layer(QLayerKind kind, Shape in_shape, std::int64_t co,
+                  std::int64_t k, std::int64_t stride, std::int64_t pad,
+                  BitWidth qx, BitWidth qw, BitWidth qy, Rng& rng) {
+  return test_support::make_conv_family_layer(
+      kind, in_shape, co, k, stride, pad, qx, qw, qy, core::Scheme::kPCICN,
+      rng, 1e-4, 0.02);
+}
+
+/// MobileNet-class stack: 3x3 stem, depthwise-separable blocks with mixed
+/// per-layer 2/4/8-bit precisions, global pool, linear head.
+QuantizedNet make_workload() {
+  Rng rng(0xBEEF);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+
+  using BW = BitWidth;
+  Shape s(1, 48, 48, 3);
+  BW qx = BW::kQ8;
+  struct Pw { std::int64_t co; std::int64_t stride; BW qw, qy; };
+  // stem
+  net.layers.push_back(make_layer(QLayerKind::kConv, s, 16, 3, 2, 1, qx,
+                                  BW::kQ8, BW::kQ4, rng));
+  s = net.layers.back().out_shape;
+  qx = net.layers.back().qy;
+  // dw/pw blocks (stride on the depthwise, widths mixed as the paper's
+  // memory-driven allocator would emit them)
+  const Pw blocks[] = {
+      {32, 1, BW::kQ4, BW::kQ4},  {64, 2, BW::kQ4, BW::kQ4},
+      {64, 1, BW::kQ4, BW::kQ8},  {128, 2, BW::kQ4, BW::kQ4},
+      {128, 1, BW::kQ2, BW::kQ4},
+  };
+  for (const Pw& b : blocks) {
+    net.layers.push_back(make_layer(QLayerKind::kDepthwise, s, s.c, 3,
+                                    b.stride, 1, qx, BW::kQ8, qx, rng));
+    s = net.layers.back().out_shape;
+    net.layers.push_back(make_layer(QLayerKind::kConv, s, b.co, 1, 1, 0, qx,
+                                    b.qw, b.qy, rng));
+    s = net.layers.back().out_shape;
+    qx = b.qy;
+  }
+  net.layers.push_back(
+      make_layer(QLayerKind::kGlobalAvgPool, s, 0, 1, 1, 0, qx, qx, qx, rng));
+  s = net.layers.back().out_shape;
+  QLayer head = make_layer(QLayerKind::kLinear, s, 10, 1, 1, 0, qx, BW::kQ8,
+                           BW::kQ8, rng);
+  head.raw_logits = true;
+  for (int c = 0; c < 10; ++c) head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+  net.layers.push_back(head);
+  net.validate();
+  return net;
+}
+
+double time_ns_per_run(int iters, const std::function<void()>& fn) {
+  fn();  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         iters;
+}
+
+bool logits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // bit-exact, no tolerance
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "results/BENCH_runtime.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_runtime [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const QuantizedNet net = make_workload();
+  Rng rng(7);
+  FloatTensor img(net.layers.front().in_shape);
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+
+  Executor ref_exec(net, /*fast=*/false);
+  Executor fast_exec(net, /*fast=*/true);
+
+  // Correctness gate: all three paths bit-exact on this workload.
+  const QInferenceResult r_ref = ref_exec.run(img);
+  const QInferenceResult r_fast = fast_exec.run(img);
+  const QInferenceResult r_plan = fast_exec.run_planned(img);
+  if (!logits_equal(r_ref.logits, r_fast.logits) ||
+      !logits_equal(r_ref.logits, r_plan.logits)) {
+    std::cerr << "bench_runtime: FATAL: execution paths disagree\n";
+    return 1;
+  }
+  std::cout << "bit-exactness check passed (ref == fast == planned)\n";
+
+  const int iters = quick ? 10 : 100;
+  const int ref_iters = quick ? 1 : 5;
+  const double ref_ns =
+      time_ns_per_run(ref_iters, [&] { ref_exec.run(img); });
+  const double fast_ns = time_ns_per_run(iters, [&] { fast_exec.run(img); });
+  const ExecutionPlan& plan = fast_exec.plan();
+  const double plan_ns =
+      time_ns_per_run(iters, [&] { plan.run_into(img.data()); });
+
+  const PlannedProfile prof =
+      profile_planned(plan, img, quick ? 5 : 50);
+
+  std::cout << "reference: " << ref_ns / 1e6 << " ms/inference\n"
+            << "fast (seed): " << fast_ns / 1e6 << " ms/inference\n"
+            << "planned:   " << plan_ns / 1e6 << " ms/inference\n"
+            << "speedup planned vs fast: " << fast_ns / plan_ns << "x\n"
+            << "speedup planned vs reference: " << ref_ns / plan_ns << "x\n\n"
+            << prof.str();
+
+  std::filesystem::path out_file(out_path);
+  if (out_file.has_parent_path()) {
+    std::filesystem::create_directories(out_file.parent_path());
+  }
+  std::ofstream os(out_file);
+  if (!os) {
+    std::cerr << "bench_runtime: cannot write " << out_path << "\n";
+    return 1;
+  }
+  os << "{\n"
+     << "  \"workload\": \"mobilenet-class 48x48x3, mixed 2/4/8-bit, "
+        "PC+ICN\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"iters\": " << iters << ",\n"
+     << "  \"total_macs\": " << prof.total_macs << ",\n"
+     << "  \"end_to_end\": {\n"
+     << "    \"reference_ns\": " << ref_ns << ",\n"
+     << "    \"fast_ns\": " << fast_ns << ",\n"
+     << "    \"planned_ns\": " << plan_ns << ",\n"
+     << "    \"speedup_planned_vs_fast\": " << fast_ns / plan_ns << ",\n"
+     << "    \"speedup_planned_vs_reference\": " << ref_ns / plan_ns << ",\n"
+     << "    \"planned_macs_per_ns\": " << prof.total_macs_per_ns() << "\n"
+     << "  },\n"
+     << "  \"quantize_ns\": " << prof.quantize_ns << ",\n"
+     << "  \"layers\": [\n";
+  for (std::size_t i = 0; i < prof.layers.size(); ++i) {
+    const auto& l = prof.layers[i];
+    os << "    {\"i\": " << i << ", \"kind\": \"" << kind_name(l.kind)
+       << "\", \"macs\": " << l.macs << ", \"planned_ns\": " << l.ns
+       << ", \"macs_per_ns\": " << l.macs_per_ns() << "}"
+       << (i + 1 < prof.layers.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

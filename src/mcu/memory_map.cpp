@@ -14,14 +14,7 @@ std::int64_t align_up(std::int64_t v) {
 }
 
 std::string layer_label(const runtime::QLayer& l, std::size_t idx) {
-  const char* kind = "?";
-  switch (l.kind) {
-    case runtime::QLayerKind::kConv: kind = "conv"; break;
-    case runtime::QLayerKind::kDepthwise: kind = "dw"; break;
-    case runtime::QLayerKind::kLinear: kind = "fc"; break;
-    case runtime::QLayerKind::kGlobalAvgPool: kind = "pool"; break;
-  }
-  return std::string(kind) + "#" + std::to_string(idx);
+  return std::string(runtime::kind_name(l.kind)) + "#" + std::to_string(idx);
 }
 
 }  // namespace

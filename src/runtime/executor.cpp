@@ -8,22 +8,46 @@
 
 namespace mixq::runtime {
 
+namespace {
+
+/// Quantize `n` floats starting at `sample` into freshly packed codes --
+/// the strided-view entry shared by run() and run_batch().
+PackedBuffer quantize_sample(const float* sample, std::int64_t n,
+                             const core::QuantParams& qp) {
+  const std::vector<std::int32_t> codes =
+      core::quantize_buffer(sample, n, qp, core::RoundMode::kNearest);
+  PackedBuffer buf(n, qp.q);
+  pack_range(buf, 0, n, codes.data());
+  return buf;
+}
+
+}  // namespace
+
 PackedBuffer quantize_input(const FloatTensor& image,
                             const core::QuantParams& qp) {
-  PackedBuffer buf(image.numel(), qp.q);
-  for (std::int64_t i = 0; i < image.numel(); ++i) {
-    buf.set(i, static_cast<std::uint32_t>(core::quantize_value(
-                   image[i], qp, core::RoundMode::kNearest)));
-  }
-  return buf;
+  return quantize_sample(image.data(), image.numel(), qp);
 }
 
 QInferenceResult Executor::run(const FloatTensor& image) const {
   if (image.shape().n != 1) {
     throw std::invalid_argument("Executor::run: batch must be 1");
   }
-  PackedBuffer cur = quantize_input(image, net_->input_qp);
+  return run_codes(quantize_input(image, net_->input_qp));
+}
 
+const ExecutionPlan& Executor::plan() const {
+  if (!plan_) plan_ = std::make_unique<ExecutionPlan>(*net_);
+  return *plan_;
+}
+
+QInferenceResult Executor::run_planned(const FloatTensor& image) const {
+  if (image.shape().n != 1) {
+    throw std::invalid_argument("Executor::run_planned: batch must be 1");
+  }
+  return plan().run(image);
+}
+
+QInferenceResult Executor::run_codes(PackedBuffer cur) const {
   QInferenceResult res;
   for (std::size_t i = 0; i < net_->layers.size(); ++i) {
     const QLayer& l = net_->layers[i];
@@ -60,14 +84,30 @@ QInferenceResult Executor::run(const FloatTensor& image) const {
 std::vector<QInferenceResult> Executor::run_batch(
     const FloatTensor& images) const {
   const Shape s = images.shape();
+  const Shape& in = net_->layers.front().in_shape;
+  if (s.h != in.h || s.w != in.w || s.c != in.c) {
+    std::string msg = "Executor::run_batch: sample shape ";
+    msg += Shape(1, s.h, s.w, s.c).str();
+    msg += " does not match network input ";
+    msg += in.str();
+    throw std::invalid_argument(msg);
+  }
   std::vector<QInferenceResult> out;
   out.reserve(static_cast<std::size_t>(s.n));
   const std::int64_t per = s.h * s.w * s.c;
+  if (fast_) {
+    // One compiled plan shared by every sample: weights stay unpacked, the
+    // arena is reused, and each image is quantized straight from its
+    // strided view of the batch tensor.
+    const ExecutionPlan& p = plan();
+    for (std::int64_t n = 0; n < s.n; ++n) {
+      out.push_back(p.run_sample(images.data() + n * per));
+    }
+    return out;
+  }
   for (std::int64_t n = 0; n < s.n; ++n) {
-    FloatTensor one(Shape(1, s.h, s.w, s.c));
-    std::copy(images.data() + n * per, images.data() + (n + 1) * per,
-              one.data());
-    out.push_back(run(one));
+    out.push_back(run_codes(
+        quantize_sample(images.data() + n * per, per, net_->input_qp)));
   }
   return out;
 }

@@ -3,27 +3,46 @@
 // Integer-only inference executor with the MCU's memory discipline: all
 // inter-layer activations live in two packed "ping-pong" buffers whose peak
 // combined size is exactly the Eq. 7 quantity the RW budget constrains.
+//
+// Three execution paths, all bit-exact equals:
+//   * reference  -- packed get/set reference kernels (kernels.hpp);
+//   * fast       -- per-layer unpacked-scratch kernels (fast_kernels.hpp);
+//   * planned    -- the compiled ExecutionPlan (plan.hpp): weights unpacked
+//                   once, ping-pong arena, im2col GEMM, zero steady-state
+//                   allocations. Built lazily on first use and reused.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "runtime/fast_kernels.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/qgraph.hpp"
 
 namespace mixq::runtime {
 
 class Executor {
  public:
-  /// `fast` selects the unpacked-scratch kernel path (fast_kernels.hpp);
-  /// both paths are bit-exact equals.
+  /// `fast` selects the unpacked-scratch kernel path (fast_kernels.hpp)
+  /// for run(); a fast executor's run_batch() uses the planned engine
+  /// (a non-fast one keeps the reference kernels throughout).
   explicit Executor(const QuantizedNet& net, bool fast = false)
       : net_(&net), fast_(fast) {}
 
   /// Run one batch-1 float image through the network.
   QInferenceResult run(const FloatTensor& image) const;
 
+  /// Run one batch-1 float image through the planned engine (compiled on
+  /// first use, then reused; zero steady-state heap allocations inside).
+  QInferenceResult run_planned(const FloatTensor& image) const;
+
+  /// The compiled plan for this network (built lazily, cached).
+  const ExecutionPlan& plan() const;
+
   /// Run a batch (N >= 1) image-by-image, returning one result per image.
+  /// Samples are quantized straight from a strided view of `images`; fast
+  /// executors route every sample through the shared ExecutionPlan.
   std::vector<QInferenceResult> run_batch(const FloatTensor& images) const;
 
   /// Float logits for a whole batch, shaped (N,1,1,K) -- convenient for
@@ -35,12 +54,18 @@ class Executor {
   std::vector<std::int32_t> top_k(const FloatTensor& image, int k) const;
 
  private:
+  /// Layer walk over already-quantized packed codes (reference or fast
+  /// kernels according to fast_).
+  QInferenceResult run_codes(PackedBuffer cur) const;
+
   const QuantizedNet* net_;
   bool fast_;
   mutable Scratch scratch_;
+  mutable std::unique_ptr<ExecutionPlan> plan_;
 };
 
-/// Quantize a batch-1 float image into packed input codes.
+/// Quantize a batch-1 float image into packed input codes (bulk path:
+/// quantize_buffer + pack_range, no per-element bit twiddling).
 PackedBuffer quantize_input(const FloatTensor& image,
                             const core::QuantParams& qp);
 

@@ -1,0 +1,680 @@
+#include "runtime/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/quantizer.hpp"
+#include "core/thresholds.hpp"
+
+namespace mixq::runtime {
+
+namespace {
+
+/// Local, inlinable replica of core::fixed_point_floor_mul -- identical
+/// integer arithmetic (asserted bit-exact by the cross-check suites), but
+/// visible to the optimizer inside the per-element requantize loops.
+inline std::int64_t fp_floor_mul(std::int64_t v,
+                                 const core::FixedPointMult& m) {
+  const std::int64_t prod = v * static_cast<std::int64_t>(m.m0_q31);
+  const int shift = 31 - static_cast<int>(m.n0);
+  if (shift >= 0) {
+    if (shift >= 63) return prod < 0 ? -1 : 0;
+    return prod >> shift;
+  }
+  return prod << (-shift);
+}
+
+inline std::int32_t requantize(const QLayer& l, std::int64_t phi,
+                               std::int64_t oc) {
+  if (l.scheme == Scheme::kPCThresholds) {
+    return core::threshold_eval(phi,
+                                l.thresholds[static_cast<std::size_t>(oc)]);
+  }
+  const IcnChannel& ch = l.icn[static_cast<std::size_t>(oc)];
+  const std::int64_t v = fp_floor_mul(phi + ch.bq, ch.m);
+  const std::int64_t y = static_cast<std::int64_t>(l.zy) + v;
+  const std::int64_t hi = core::qmax(l.qy);
+  return static_cast<std::int32_t>(y < 0 ? 0 : (y > hi ? hi : y));
+}
+
+/// Output coordinates [lo, hi) whose full kernel extent is in bounds:
+/// o*stride - pad >= 0 and o*stride - pad + k - 1 <= in - 1.
+void interior_bounds(std::int64_t in, std::int64_t k, std::int64_t stride,
+                     std::int64_t pad, std::int64_t out, std::int64_t& lo,
+                     std::int64_t& hi) {
+  lo = (pad + stride - 1) / stride;
+  const std::int64_t num = in - k + pad;
+  hi = num < 0 ? 0 : num / stride + 1;
+  hi = std::min(hi, out);
+  lo = std::min(lo, hi);
+}
+
+/// Register-blocked integer GEMM over an im2col matrix A (M rows of K raw
+/// input codes): four output channels per block, dot products unrolled by
+/// four. The input zero-point is folded in afterwards via the precomputed
+/// full-kernel weight sums (every tap of a GEMM layer is always valid).
+template <typename AccT>
+void gemm_requant(const PlannedLayer& pl, const std::int32_t* A,
+                  std::int64_t M, std::int64_t K, std::int32_t* out) {
+  const QLayer& l = *pl.layer;
+  const std::int64_t co = l.wshape.co;
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+  std::int64_t m = 0;
+  // 2x4 register block: two output pixels share each weight load, four
+  // output channels share each activation load.
+  for (; m + 2 <= M; m += 2) {
+    const std::int32_t* __restrict__ a0 = A + m * K;
+    const std::int32_t* __restrict__ a1 = a0 + K;
+    std::int32_t* o0 = out + m * co;
+    std::int32_t* o1 = o0 + co;
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int32_t* __restrict__ w0 = W + oc * K;
+      const std::int32_t* __restrict__ w1 = w0 + K;
+      const std::int32_t* __restrict__ w2 = w1 + K;
+      const std::int32_t* __restrict__ w3 = w2 + K;
+      AccT r0c0 = 0, r0c1 = 0, r0c2 = 0, r0c3 = 0;
+      AccT r1c0 = 0, r1c1 = 0, r1c2 = 0, r1c3 = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const AccT x0 = a0[k];
+        const AccT x1 = a1[k];
+        const AccT v0 = w0[k], v1 = w1[k], v2 = w2[k], v3 = w3[k];
+        r0c0 += x0 * v0;
+        r0c1 += x0 * v1;
+        r0c2 += x0 * v2;
+        r0c3 += x0 * v3;
+        r1c0 += x1 * v0;
+        r1c1 += x1 * v1;
+        r1c2 += x1 * v2;
+        r1c3 += x1 * v3;
+      }
+      o0[oc + 0] = requantize(
+          l, static_cast<std::int64_t>(r0c0) - zx * pl.wsum[oc + 0], oc + 0);
+      o0[oc + 1] = requantize(
+          l, static_cast<std::int64_t>(r0c1) - zx * pl.wsum[oc + 1], oc + 1);
+      o0[oc + 2] = requantize(
+          l, static_cast<std::int64_t>(r0c2) - zx * pl.wsum[oc + 2], oc + 2);
+      o0[oc + 3] = requantize(
+          l, static_cast<std::int64_t>(r0c3) - zx * pl.wsum[oc + 3], oc + 3);
+      o1[oc + 0] = requantize(
+          l, static_cast<std::int64_t>(r1c0) - zx * pl.wsum[oc + 0], oc + 0);
+      o1[oc + 1] = requantize(
+          l, static_cast<std::int64_t>(r1c1) - zx * pl.wsum[oc + 1], oc + 1);
+      o1[oc + 2] = requantize(
+          l, static_cast<std::int64_t>(r1c2) - zx * pl.wsum[oc + 2], oc + 2);
+      o1[oc + 3] = requantize(
+          l, static_cast<std::int64_t>(r1c3) - zx * pl.wsum[oc + 3], oc + 3);
+    }
+    for (; oc < co; ++oc) {
+      const std::int32_t* __restrict__ w0 = W + oc * K;
+      AccT acc0 = 0, acc1 = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        acc0 += static_cast<AccT>(a0[k]) * w0[k];
+        acc1 += static_cast<AccT>(a1[k]) * w0[k];
+      }
+      o0[oc] = requantize(
+          l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc], oc);
+      o1[oc] = requantize(
+          l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc], oc);
+    }
+  }
+  // Remainder row (and the M == 1 linear/head-input case).
+  for (; m < M; ++m) {
+    const std::int32_t* __restrict__ a = A + m * K;
+    std::int32_t* o = out + m * co;
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int32_t* __restrict__ w0 = W + oc * K;
+      const std::int32_t* __restrict__ w1 = w0 + K;
+      const std::int32_t* __restrict__ w2 = w1 + K;
+      const std::int32_t* __restrict__ w3 = w2 + K;
+      AccT acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const AccT xv = a[k];
+        acc0 += xv * w0[k];
+        acc1 += xv * w1[k];
+        acc2 += xv * w2[k];
+        acc3 += xv * w3[k];
+      }
+      o[oc + 0] = requantize(
+          l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc + 0], oc + 0);
+      o[oc + 1] = requantize(
+          l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc + 1], oc + 1);
+      o[oc + 2] = requantize(
+          l, static_cast<std::int64_t>(acc2) - zx * pl.wsum[oc + 2], oc + 2);
+      o[oc + 3] = requantize(
+          l, static_cast<std::int64_t>(acc3) - zx * pl.wsum[oc + 3], oc + 3);
+    }
+    for (; oc < co; ++oc) {
+      const std::int32_t* __restrict__ w0 = W + oc * K;
+      AccT acc = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        acc += static_cast<AccT>(a[k]) * w0[k];
+      }
+      o[oc] = requantize(l, static_cast<std::int64_t>(acc) - zx * pl.wsum[oc],
+                         oc);
+    }
+  }
+}
+
+/// General KxK convolution, interior/border split. The interior path has
+/// no bounds checks at all: each tap row is a contiguous kw*ci dot product.
+template <typename AccT>
+void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
+               std::int32_t* y) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t co = os.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t klen = kw * C;
+  const std::int64_t per = l.wshape.per_channel();
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+
+  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+    const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
+    const std::int64_t ih0 = oh * stride - pad;
+    std::int32_t* orow = y + oh * os.w * co;
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      std::int32_t* o = orow + ow * co;
+      const std::int64_t iw0 = ow * stride - pad;
+      if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
+        const std::int32_t* xb = x + ih0 * row + iw0 * C;
+        std::int64_t oc = 0;
+        for (; oc + 4 <= co; oc += 4) {
+          const std::int32_t* w0 = W + oc * per;
+          const std::int32_t* w1 = w0 + per;
+          const std::int32_t* w2 = w1 + per;
+          const std::int32_t* w3 = w2 + per;
+          AccT acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int32_t* xr = xb + ky * row;
+            const std::int64_t wb = ky * klen;
+            for (std::int64_t k = 0; k < klen; ++k) {
+              const AccT xv = xr[k];
+              acc0 += xv * w0[wb + k];
+              acc1 += xv * w1[wb + k];
+              acc2 += xv * w2[wb + k];
+              acc3 += xv * w3[wb + k];
+            }
+          }
+          o[oc + 0] = requantize(
+              l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc + 0],
+              oc + 0);
+          o[oc + 1] = requantize(
+              l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc + 1],
+              oc + 1);
+          o[oc + 2] = requantize(
+              l, static_cast<std::int64_t>(acc2) - zx * pl.wsum[oc + 2],
+              oc + 2);
+          o[oc + 3] = requantize(
+              l, static_cast<std::int64_t>(acc3) - zx * pl.wsum[oc + 3],
+              oc + 3);
+        }
+        for (; oc < co; ++oc) {
+          const std::int32_t* w0 = W + oc * per;
+          AccT acc = 0;
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int32_t* xr = xb + ky * row;
+            const std::int32_t* wr = w0 + ky * klen;
+            for (std::int64_t k = 0; k < klen; ++k) {
+              acc += static_cast<AccT>(xr[k]) * wr[k];
+            }
+          }
+          o[oc] = requantize(
+              l, static_cast<std::int64_t>(acc) - zx * pl.wsum[oc], oc);
+        }
+      } else {
+        // Border: the valid taps form a clamped rectangle, so the dot is
+        // still contiguous per tap row and the Zx correction is a
+        // rectangle sum over the precomputed tap sums.
+        const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
+        const std::int64_t ky1 = std::min(kh, is.h - ih0);
+        const std::int64_t kx0 = iw0 < 0 ? -iw0 : 0;
+        const std::int64_t kx1 = std::min(kw, is.w - iw0);
+        const std::int64_t seg = (kx1 - kx0) * C;
+        for (std::int64_t oc = 0; oc < co; ++oc) {
+          const std::int32_t* wch = W + oc * per;
+          const std::int64_t* ts = pl.tap_sum.data() + oc * kh * kw;
+          AccT acc = 0;
+          std::int64_t svalid = 0;
+          for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+            const std::int32_t* xr = x + (ih0 + ky) * row + (iw0 + kx0) * C;
+            const std::int32_t* wr = wch + (ky * kw + kx0) * C;
+            for (std::int64_t k = 0; k < seg; ++k) {
+              acc += static_cast<AccT>(xr[k]) * wr[k];
+            }
+            for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+              svalid += ts[ky * kw + kx];
+            }
+          }
+          o[oc] = requantize(
+              l, static_cast<std::int64_t>(acc) - zx * svalid, oc);
+        }
+      }
+    }
+  }
+}
+
+/// Depthwise border pixel: per-channel scalar taps over the clamped
+/// rectangle (shared by both depthwise kernels).
+template <typename AccT>
+void depthwise_border_pixel(const PlannedLayer& pl, const std::int32_t* x,
+                            std::int32_t* o, std::int64_t ih0,
+                            std::int64_t iw0) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t row = is.w * C;
+  const std::int64_t per = kh * kw;
+  const std::int64_t zx = l.zx;
+  const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
+  const std::int64_t ky1 = std::min(kh, is.h - ih0);
+  const std::int64_t kx0 = iw0 < 0 ? -iw0 : 0;
+  const std::int64_t kx1 = std::min(kw, is.w - iw0);
+  for (std::int64_t c = 0; c < C; ++c) {
+    const std::int32_t* wch = pl.w.data() + c * per;
+    const std::int64_t* ts = pl.tap_sum.data() + c * per;
+    AccT acc = 0;
+    std::int64_t svalid = 0;
+    for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+      const std::int32_t* xr = x + (ih0 + ky) * row + c;
+      for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+        acc += static_cast<AccT>(xr[(iw0 + kx) * C]) * wch[ky * kw + kx];
+        svalid += ts[ky * kw + kx];
+      }
+    }
+    o[c] = requantize(l, static_cast<std::int64_t>(acc) - zx * svalid, c);
+  }
+}
+
+/// Depthwise interior with INT32 accumulators: tap-major loop over the
+/// transposed weight bank, so every inner iteration is a contiguous
+/// multiply-accumulate across channels (vectorizable).
+void depthwise_plan_i32(const PlannedLayer& pl, const std::int32_t* x,
+                        std::int32_t* y, std::int32_t* __restrict__ acc) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t per = kh * kw;
+  const std::int64_t zx = l.zx;
+  const std::int64_t* toff = pl.tap_off.data();
+
+  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+    const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
+    const std::int64_t ih0 = oh * stride - pad;
+    std::int32_t* orow = y + oh * os.w * C;
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      std::int32_t* o = orow + ow * C;
+      const std::int64_t iw0 = ow * stride - pad;
+      if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
+        const std::int32_t* xb = x + ih0 * row + iw0 * C;
+        std::fill(acc, acc + C, 0);
+        for (std::int64_t t = 0; t < per; ++t) {
+          const std::int32_t* __restrict__ xt = xb + toff[t];
+          const std::int32_t* __restrict__ wt = pl.wt.data() + t * C;
+          for (std::int64_t c = 0; c < C; ++c) acc[c] += xt[c] * wt[c];
+        }
+        for (std::int64_t c = 0; c < C; ++c) {
+          o[c] = requantize(
+              l, static_cast<std::int64_t>(acc[c]) - zx * pl.wsum[c], c);
+        }
+      } else {
+        depthwise_border_pixel<std::int32_t>(pl, x, o, ih0, iw0);
+      }
+    }
+  }
+}
+
+/// Depthwise convolution, direct blocked kernel with the same
+/// interior/border split; tap input offsets are precomputed in the plan.
+template <typename AccT>
+void depthwise_plan(const PlannedLayer& pl, const std::int32_t* x,
+                    std::int32_t* y) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t per = kh * kw;
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+  const std::int64_t* toff = pl.tap_off.data();
+
+  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+    const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
+    const std::int64_t ih0 = oh * stride - pad;
+    std::int32_t* orow = y + oh * os.w * C;
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      std::int32_t* o = orow + ow * C;
+      const std::int64_t iw0 = ow * stride - pad;
+      if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
+        const std::int32_t* xb = x + ih0 * row + iw0 * C;
+        for (std::int64_t c = 0; c < C; ++c) {
+          const std::int32_t* wch = W + c * per;
+          AccT acc = 0;
+          for (std::int64_t t = 0; t < per; ++t) {
+            acc += static_cast<AccT>(xb[toff[t] + c]) * wch[t];
+          }
+          o[c] = requantize(
+              l, static_cast<std::int64_t>(acc) - zx * pl.wsum[c], c);
+        }
+      } else {
+        depthwise_border_pixel<AccT>(pl, x, o, ih0, iw0);
+      }
+    }
+  }
+}
+
+void gap_plan(const QLayer& l, const std::int32_t* x, std::int32_t* y) {
+  // Raw codes, floor division: preserves scale and zero-point exactly as
+  // the reference kernel does.
+  const std::int64_t hw = l.in_shape.h * l.in_shape.w;
+  const std::int64_t C = l.in_shape.c;
+  for (std::int64_t c = 0; c < C; ++c) {
+    std::int64_t sum = 0;
+    for (std::int64_t r = 0; r < hw; ++r) sum += x[r * C + c];
+    y[c] = static_cast<std::int32_t>(sum / hw);
+  }
+}
+
+template <typename AccT>
+void head_plan(const PlannedLayer& pl, const std::int32_t* x,
+               std::vector<float>& logits) {
+  const QLayer& l = *pl.layer;
+  const std::int64_t K = l.wshape.per_channel();
+  const std::int64_t co = l.wshape.co;
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+  for (std::int64_t oc = 0; oc < co; ++oc) {
+    const std::int32_t* w0 = W + oc * K;
+    AccT acc = 0;
+    for (std::int64_t k = 0; k < K; ++k) {
+      acc += static_cast<AccT>(x[k]) * w0[k];
+    }
+    const std::int64_t phi =
+        static_cast<std::int64_t>(acc) - zx * pl.wsum[oc];
+    const auto& ch = l.icn[static_cast<std::size_t>(oc)];
+    logits[static_cast<std::size_t>(oc)] =
+        static_cast<float>(l.out_mult[static_cast<std::size_t>(oc)] *
+                           static_cast<double>(phi + ch.bq));
+  }
+}
+
+}  // namespace
+
+ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
+  net.validate();
+  layers_.reserve(net.layers.size());
+
+  // Tensor 0 (the quantized input) lives in the ping arena; layer i reads
+  // tensor i and writes tensor i+1 into the opposite arena -- the same
+  // even/odd assignment mcu::build_memory_map uses for its RAM regions.
+  ping_elems_ = net.layers.front().in_shape.numel();
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const QLayer& l = net.layers[i];
+    PlannedLayer pl;
+    pl.layer = &l;
+    pl.src = static_cast<int>(i % 2);
+    pl.dst = static_cast<int>((i + 1) % 2);
+    if (!l.raw_logits) {
+      auto& cap = (i + 1) % 2 == 0 ? ping_elems_ : pong_elems_;
+      cap = std::max(cap, l.out_shape.numel());
+    }
+
+    if (l.kind != QLayerKind::kGlobalAvgPool) {
+      // Bulk-unpack the packed weight bank (one contiguous row range per
+      // output channel) and pre-subtract the per-channel zero-point.
+      const std::int64_t per = l.wshape.per_channel();
+      const std::int64_t co = l.wshape.co;
+      pl.w.resize(static_cast<std::size_t>(l.weights.numel()));
+      for (std::int64_t oc = 0; oc < co; ++oc) {
+        unpack_range(l.weights, oc * per, per, pl.w.data() + oc * per);
+        const std::int32_t zw = l.zw_of(oc);
+        if (zw != 0) {
+          std::int32_t* wp = pl.w.data() + oc * per;
+          for (std::int64_t k = 0; k < per; ++k) wp[k] -= zw;
+        }
+      }
+      // Per-(channel, tap) sums of offset weights: the Zx correction terms.
+      const bool convlike =
+          l.kind == QLayerKind::kConv || l.kind == QLayerKind::kDepthwise;
+      const std::int64_t taps = convlike ? l.spec.kh * l.spec.kw : 1;
+      const std::int64_t tap_ci = per / taps;
+      pl.tap_sum.assign(static_cast<std::size_t>(co * taps), 0);
+      pl.wsum.assign(static_cast<std::size_t>(co), 0);
+      for (std::int64_t oc = 0; oc < co; ++oc) {
+        for (std::int64_t t = 0; t < taps; ++t) {
+          std::int64_t s = 0;
+          const std::int32_t* wp = pl.w.data() + oc * per + t * tap_ci;
+          for (std::int64_t k = 0; k < tap_ci; ++k) s += wp[k];
+          pl.tap_sum[static_cast<std::size_t>(oc * taps + t)] = s;
+          pl.wsum[static_cast<std::size_t>(oc)] += s;
+        }
+      }
+      // 32-bit accumulators are safe when every partial dot product is
+      // bounded away from overflow (|sum| <= per * qmax(qx) * qmax(qw)).
+      pl.acc32 = core::phi_bound(per, l.qx, l.qw) <= (std::int64_t{1} << 30);
+    }
+
+    if (l.kind == QLayerKind::kConv || l.kind == QLayerKind::kDepthwise) {
+      interior_bounds(l.in_shape.h, l.spec.kh, l.spec.stride, l.spec.pad,
+                      l.out_shape.h, pl.oh0, pl.oh1);
+      interior_bounds(l.in_shape.w, l.spec.kw, l.spec.stride, l.spec.pad,
+                      l.out_shape.w, pl.ow0, pl.ow1);
+      pl.gemm = l.kind == QLayerKind::kConv && l.spec.kh == 1 &&
+                l.spec.kw == 1 && l.spec.pad == 0;
+      if (pl.gemm && l.spec.stride > 1) {
+        col_elems_ = std::max(
+            col_elems_, l.out_shape.h * l.out_shape.w * l.in_shape.c);
+      }
+      if (l.kind == QLayerKind::kDepthwise) {
+        const std::int64_t taps = l.spec.kh * l.spec.kw;
+        const std::int64_t C = l.in_shape.c;
+        pl.tap_off.resize(static_cast<std::size_t>(taps));
+        for (std::int64_t ky = 0; ky < l.spec.kh; ++ky) {
+          for (std::int64_t kx = 0; kx < l.spec.kw; ++kx) {
+            pl.tap_off[static_cast<std::size_t>(ky * l.spec.kw + kx)] =
+                (ky * l.in_shape.w + kx) * C;
+          }
+        }
+        // Tap-major transpose for the vectorized interior kernel: one
+        // contiguous channel row of weights per tap.
+        pl.wt.resize(static_cast<std::size_t>(taps * C));
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (std::int64_t t = 0; t < taps; ++t) {
+            pl.wt[static_cast<std::size_t>(t * C + c)] =
+                pl.w[static_cast<std::size_t>(c * taps + t)];
+          }
+        }
+        dw_acc_elems_ = std::max(dw_acc_elems_, C);
+      }
+    }
+    layers_.push_back(std::move(pl));
+  }
+
+  ping_.resize(static_cast<std::size_t>(ping_elems_));
+  pong_.resize(static_cast<std::size_t>(pong_elems_));
+  col_.resize(static_cast<std::size_t>(col_elems_));
+  dw_acc_.resize(static_cast<std::size_t>(dw_acc_elems_));
+  const QLayer& last = net.layers.back();
+  logits_.resize(static_cast<std::size_t>(
+      last.raw_logits ? last.wshape.co : last.out_shape.numel()));
+}
+
+std::int64_t ExecutionPlan::arena_bytes() const {
+  return static_cast<std::int64_t>(sizeof(std::int32_t)) *
+         (ping_elems_ + pong_elems_ + col_elems_);
+}
+
+std::int32_t* ExecutionPlan::arena(int which) const {
+  return which == 0 ? ping_.data() : pong_.data();
+}
+
+void ExecutionPlan::quantize_input_into(const float* sample,
+                                        std::int32_t* dst) const {
+  const core::QuantParams& qp = net_->input_qp;
+  const std::int64_t n = net_->layers.front().in_shape.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = core::quantize_value(sample[i], qp, core::RoundMode::kNearest);
+  }
+}
+
+void ExecutionPlan::run_one_layer(const PlannedLayer& pl,
+                                  const std::int32_t* x,
+                                  std::int32_t* y) const {
+  const QLayer& l = *pl.layer;
+  switch (l.kind) {
+    case QLayerKind::kConv:
+      if (pl.gemm) {
+        const std::int64_t K = l.in_shape.c;
+        const std::int64_t M = l.out_shape.h * l.out_shape.w;
+        const std::int32_t* A = x;
+        if (l.spec.stride > 1) {
+          // im2col gather: strided pointwise rows become one dense matrix.
+          const std::int64_t s = l.spec.stride;
+          const std::int64_t row = l.in_shape.w * K;
+          std::int32_t* col = col_.data();
+          for (std::int64_t oh = 0; oh < l.out_shape.h; ++oh) {
+            for (std::int64_t ow = 0; ow < l.out_shape.w; ++ow) {
+              const std::int32_t* src = x + oh * s * row + ow * s * K;
+              std::copy(src, src + K,
+                        col + (oh * l.out_shape.w + ow) * K);
+            }
+          }
+          A = col;
+        }
+        if (pl.acc32) {
+          gemm_requant<std::int32_t>(pl, A, M, K, y);
+        } else {
+          gemm_requant<std::int64_t>(pl, A, M, K, y);
+        }
+      } else if (pl.acc32) {
+        conv_plan<std::int32_t>(pl, x, y);
+      } else {
+        conv_plan<std::int64_t>(pl, x, y);
+      }
+      return;
+    case QLayerKind::kDepthwise:
+      if (pl.acc32) {
+        depthwise_plan_i32(pl, x, y, dw_acc_.data());
+      } else {
+        depthwise_plan<std::int64_t>(pl, x, y);
+      }
+      return;
+    case QLayerKind::kLinear:
+      if (pl.acc32) {
+        gemm_requant<std::int32_t>(pl, x, 1, l.wshape.per_channel(), y);
+      } else {
+        gemm_requant<std::int64_t>(pl, x, 1, l.wshape.per_channel(), y);
+      }
+      return;
+    case QLayerKind::kGlobalAvgPool:
+      gap_plan(l, x, y);
+      return;
+  }
+  throw std::logic_error("ExecutionPlan: invalid layer kind");
+}
+
+const std::vector<float>& ExecutionPlan::run_into(const float* sample) const {
+  quantize_input_into(sample, arena(0));
+  for (const PlannedLayer& pl : layers_) {
+    if (pl.layer->raw_logits) {
+      if (pl.acc32) {
+        head_plan<std::int32_t>(pl, arena(pl.src), logits_);
+      } else {
+        head_plan<std::int64_t>(pl, arena(pl.src), logits_);
+      }
+      return logits_;
+    }
+    run_one_layer(pl, arena(pl.src), arena(pl.dst));
+  }
+  // No raw head: the last codes become the logits, as in Executor::run.
+  const std::int32_t* fin = arena(layers_.back().dst);
+  for (std::size_t i = 0; i < logits_.size(); ++i) {
+    logits_[i] = static_cast<float>(fin[i]);
+  }
+  return logits_;
+}
+
+const std::vector<float>& ExecutionPlan::run_timed(
+    const float* sample, std::vector<std::int64_t>& per_layer_ns,
+    std::int64_t* quantize_ns) const {
+  using clock = std::chrono::steady_clock;
+  per_layer_ns.assign(layers_.size(), 0);
+  auto t0 = clock::now();
+  quantize_input_into(sample, arena(0));
+  auto t1 = clock::now();
+  if (quantize_ns != nullptr) {
+    *quantize_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const PlannedLayer& pl = layers_[i];
+    t0 = clock::now();
+    if (pl.layer->raw_logits) {
+      if (pl.acc32) {
+        head_plan<std::int32_t>(pl, arena(pl.src), logits_);
+      } else {
+        head_plan<std::int64_t>(pl, arena(pl.src), logits_);
+      }
+    } else {
+      run_one_layer(pl, arena(pl.src), arena(pl.dst));
+    }
+    t1 = clock::now();
+    per_layer_ns[i] =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (pl.layer->raw_logits) return logits_;
+  }
+  const std::int32_t* fin = arena(layers_.back().dst);
+  for (std::size_t i = 0; i < logits_.size(); ++i) {
+    logits_[i] = static_cast<float>(fin[i]);
+  }
+  return logits_;
+}
+
+QInferenceResult ExecutionPlan::run_sample(const float* sample) const {
+  const std::vector<float>& logits = run_into(sample);
+  QInferenceResult res;
+  res.logits = logits;
+  res.predicted = static_cast<std::int32_t>(
+      std::max_element(res.logits.begin(), res.logits.end()) -
+      res.logits.begin());
+  return res;
+}
+
+QInferenceResult ExecutionPlan::run(const FloatTensor& image) const {
+  const Shape& in = net_->layers.front().in_shape;
+  if (image.shape() != in) {
+    // Built up with += (not operator+) to dodge a GCC 12 -Wrestrict false
+    // positive in the inlined string concatenation.
+    std::string msg = "ExecutionPlan::run: image shape ";
+    msg += image.shape().str();
+    msg += " does not match network input ";
+    msg += in.str();
+    throw std::invalid_argument(msg);
+  }
+  return run_sample(image.data());
+}
+
+}  // namespace mixq::runtime

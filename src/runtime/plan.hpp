@@ -1,0 +1,115 @@
+// mixq/runtime/plan.hpp
+//
+// Planned execution engine: everything amortizable about running one
+// QuantizedNet is compiled once into an ExecutionPlan, so the per-inference
+// path does no unpacking, no parameter derivation, and -- after the plan is
+// built -- no heap allocation at all.
+//
+// What the plan precomputes per layer:
+//   * the weight bank, bulk-unpacked from its packed FLASH form to flat
+//     INT32 and offset by the (per-channel) zero-point, so the inner loops
+//     are plain dot products;
+//   * per-(channel, tap) sums of those offset weights. With them the input
+//     zero-point folds out of the hot loop entirely:
+//        Phi = sum (X - Zx)(W - Zw) = sum X*(W - Zw) - Zx * sum(W - Zw)
+//     where the second term is a precomputed constant on the interior and a
+//     small rectangle-sum of tap sums on the border;
+//   * the interior output region in which every kernel tap is in bounds, so
+//     the spatial loop splits into a branch-free fast path and a border
+//     slow path;
+//   * whether 32-bit accumulators are provably overflow-free for the
+//     layer's fan-in (phi_bound < 2^30), which lets the compiler vectorize
+//     the integer dot products;
+//   * the ping-pong activation arena sizes, mirroring the even/odd tensor
+//     assignment of mcu::build_memory_map (Eq. 7): layer i reads one arena
+//     and writes the other.
+//
+// Pointwise (1x1) convolutions and linear layers run as im2col + a
+// register-blocked integer GEMM (4 output channels per block); for stride-1
+// pad-0 pointwise layers the NHWC activation tensor *is* the im2col matrix
+// and no gather is needed. Every result is bit-exact with the reference
+// kernels (kernels.hpp) -- integer equality, asserted by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/qgraph.hpp"
+
+namespace mixq::runtime {
+
+/// Static per-layer execution recipe (see file comment).
+struct PlannedLayer {
+  const QLayer* layer{nullptr};
+  std::vector<std::int32_t> w;        ///< unpacked, zero-point-offset weights
+  std::vector<std::int32_t> wt;       ///< depthwise: tap-major transpose of w
+  std::vector<std::int64_t> tap_sum;  ///< (co, kh*kw) sums of offset weights
+  std::vector<std::int64_t> wsum;     ///< (co) full-kernel sums
+  std::vector<std::int64_t> tap_off;  ///< depthwise: input offset per tap
+  std::int64_t oh0{0}, oh1{0};        ///< interior output rows [oh0, oh1)
+  std::int64_t ow0{0}, ow1{0};        ///< interior output cols [ow0, ow1)
+  bool gemm{false};                   ///< 1x1 conv: im2col + GEMM path
+  bool acc32{false};                  ///< int32 accumulators provably safe
+  int src{0};                         ///< arena holding the input (0=ping)
+  int dst{1};                         ///< arena receiving the output
+};
+
+/// Compiled once per QuantizedNet; reusable across any number of inferences.
+class ExecutionPlan {
+ public:
+  explicit ExecutionPlan(const QuantizedNet& net);
+
+  /// Run one batch-1 sample given as a raw HWC float pointer. Returns a
+  /// reference to the plan's internal logits buffer (valid until the next
+  /// run): the zero-allocation steady-state entry point.
+  const std::vector<float>& run_into(const float* sample) const;
+
+  /// Same, recording wall-clock nanoseconds: per_layer_ns gets one entry
+  /// per network layer; *quantize_ns (optional) the input-quantize stage.
+  const std::vector<float>& run_timed(const float* sample,
+                                      std::vector<std::int64_t>& per_layer_ns,
+                                      std::int64_t* quantize_ns) const;
+
+  /// Convenience wrappers producing a QInferenceResult (these allocate the
+  /// result's logits vector; the execution itself still does not).
+  QInferenceResult run(const FloatTensor& image) const;
+  QInferenceResult run_sample(const float* sample) const;
+
+  [[nodiscard]] const QuantizedNet& net() const { return *net_; }
+  [[nodiscard]] const std::vector<PlannedLayer>& layers() const {
+    return layers_;
+  }
+
+  /// Ping/pong arena capacities in elements (max even-/odd-indexed
+  /// activation tensor, same assignment as mcu::build_memory_map).
+  [[nodiscard]] std::int64_t ping_elems() const { return ping_elems_; }
+  [[nodiscard]] std::int64_t pong_elems() const { return pong_elems_; }
+  /// im2col gather buffer capacity (strided pointwise layers only).
+  [[nodiscard]] std::int64_t col_elems() const { return col_elems_; }
+  /// Total arena footprint in bytes (unpacked INT32 working set). All
+  /// arenas are sized once here in the constructor and never grow --
+  /// allocation freedom of the run path is enforced by an instrumented
+  /// global-allocator test (tests/runtime/plan_test.cpp).
+  [[nodiscard]] std::int64_t arena_bytes() const;
+
+ private:
+  void quantize_input_into(const float* sample, std::int32_t* dst) const;
+  void run_one_layer(const PlannedLayer& pl, const std::int32_t* x,
+                     std::int32_t* y) const;
+  std::int32_t* arena(int which) const;
+
+  const QuantizedNet* net_;
+  std::vector<PlannedLayer> layers_;
+  std::int64_t ping_elems_{0};
+  std::int64_t pong_elems_{0};
+  std::int64_t col_elems_{0};
+  std::int64_t dw_acc_elems_{0};
+
+  mutable std::vector<std::int32_t> ping_;
+  mutable std::vector<std::int32_t> pong_;
+  mutable std::vector<std::int32_t> col_;
+  mutable std::vector<std::int32_t> dw_acc_;  ///< one row of dw accumulators
+  mutable std::vector<float> logits_;
+};
+
+}  // namespace mixq::runtime

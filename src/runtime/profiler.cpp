@@ -1,7 +1,9 @@
 #include "runtime/profiler.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/memory_model.hpp"
 
@@ -49,18 +51,59 @@ std::string NetProfile::str() const {
   os << "layer  kind  scheme         MACs       RO(B)    in+out(B)\n";
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const auto& p = layers[i];
-    const char* kind = "?";
-    switch (p.kind) {
-      case QLayerKind::kConv: kind = "conv"; break;
-      case QLayerKind::kDepthwise: kind = "dw"; break;
-      case QLayerKind::kLinear: kind = "fc"; break;
-      case QLayerKind::kGlobalAvgPool: kind = "pool"; break;
-    }
-    os << i << "\t" << kind << "\t" << core::to_string(p.scheme) << "\t"
+    os << i << "\t" << kind_name(p.kind) << "\t" << core::to_string(p.scheme)
+       << "\t"
        << p.macs << "\t" << p.ro_bytes() << "\t" << p.rw_bytes() << "\n";
   }
   os << "total MACs " << total_macs << ", RO " << total_ro_bytes
      << " B, peak RW " << peak_rw_bytes << " B\n";
+  return os.str();
+}
+
+PlannedProfile profile_planned(const ExecutionPlan& plan,
+                               const FloatTensor& image, int iters) {
+  if (iters <= 0) {
+    throw std::invalid_argument("profile_planned: iters must be positive");
+  }
+  const NetProfile stat = profile(plan.net());
+  PlannedProfile out;
+  out.total_macs = stat.total_macs;
+  out.layers.resize(stat.layers.size());
+  for (std::size_t i = 0; i < stat.layers.size(); ++i) {
+    out.layers[i].kind = stat.layers[i].kind;
+    out.layers[i].macs = stat.layers[i].macs;
+  }
+
+  std::vector<std::int64_t> per_layer_ns;
+  std::int64_t quantize_ns = 0;
+  plan.run_into(image.data());  // warm-up, untimed
+  for (int it = 0; it < iters; ++it) {
+    plan.run_timed(image.data(), per_layer_ns, &quantize_ns);
+    out.quantize_ns += static_cast<double>(quantize_ns);
+    for (std::size_t i = 0; i < per_layer_ns.size(); ++i) {
+      out.layers[i].ns += static_cast<double>(per_layer_ns[i]);
+    }
+  }
+  out.quantize_ns /= iters;
+  for (auto& l : out.layers) l.ns /= iters;
+  out.total_ns = out.quantize_ns;
+  for (const auto& l : out.layers) out.total_ns += l.ns;
+  return out;
+}
+
+std::string PlannedProfile::str() const {
+  std::ostringstream os;
+  os << "layer  kind       MACs        ns    MACs/ns\n";
+  os << std::fixed;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& l = layers[i];
+    os << i << "\t" << kind_name(l.kind) << "\t" << l.macs << "\t"
+       << std::setprecision(0)
+       << l.ns << "\t" << std::setprecision(3) << l.macs_per_ns() << "\n";
+  }
+  os << "quantize " << std::setprecision(0) << quantize_ns << " ns, total "
+     << total_ns << " ns, " << std::setprecision(3) << total_macs_per_ns()
+     << " MACs/ns\n";
   return os.str();
 }
 

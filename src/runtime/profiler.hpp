@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/plan.hpp"
 #include "runtime/qgraph.hpp"
 
 namespace mixq::runtime {
@@ -44,5 +45,36 @@ struct NetProfile {
 
 /// Analyse a deployed network.
 NetProfile profile(const QuantizedNet& net);
+
+// ---------------------------------------------------------------------------
+// Measured (wall-clock) attribution for the planned execution engine.
+// ---------------------------------------------------------------------------
+
+struct PlannedLayerStat {
+  QLayerKind kind{QLayerKind::kConv};
+  std::int64_t macs{0};   ///< static MAC count (same as LayerProfile)
+  double ns{0.0};         ///< mean wall-clock nanoseconds per inference
+  [[nodiscard]] double macs_per_ns() const {
+    return ns > 0.0 ? static_cast<double>(macs) / ns : 0.0;
+  }
+};
+
+struct PlannedProfile {
+  std::vector<PlannedLayerStat> layers;  ///< one entry per network layer
+  double quantize_ns{0.0};  ///< input-quantization stage
+  double total_ns{0.0};     ///< quantize + all layers
+  std::int64_t total_macs{0};
+
+  [[nodiscard]] double total_macs_per_ns() const {
+    return total_ns > 0.0 ? static_cast<double>(total_macs) / total_ns : 0.0;
+  }
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Measure per-layer wall-clock attribution of the planned engine: `iters`
+/// timed runs of `image` (after one untimed warm-up), averaged.
+PlannedProfile profile_planned(const ExecutionPlan& plan,
+                               const FloatTensor& image, int iters = 20);
 
 }  // namespace mixq::runtime

@@ -32,6 +32,17 @@ enum class QLayerKind : std::uint8_t {
   kGlobalAvgPool,
 };
 
+/// Short human-readable name of a layer kind ("conv", "dw", "fc", "pool").
+inline const char* kind_name(QLayerKind k) {
+  switch (k) {
+    case QLayerKind::kConv: return "conv";
+    case QLayerKind::kDepthwise: return "dw";
+    case QLayerKind::kLinear: return "fc";
+    case QLayerKind::kGlobalAvgPool: return "pool";
+  }
+  return "?";
+}
+
 /// One deployed layer.
 struct QLayer {
   QLayerKind kind{QLayerKind::kConv};

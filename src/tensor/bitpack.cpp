@@ -79,4 +79,66 @@ void unpack_range(const PackedBuffer& buf, std::int64_t first,
   throw std::logic_error("unpack_range: invalid bitwidth");
 }
 
+void pack_range(PackedBuffer& buf, std::int64_t first, std::int64_t count,
+                const std::int32_t* src) {
+  if (first < 0 || count < 0 || first + count > buf.numel()) {
+    throw std::out_of_range("pack_range: range outside buffer");
+  }
+  std::uint8_t* bytes = buf.data();
+  switch (buf.bitwidth()) {
+    case BitWidth::kQ8: {
+      for (std::int64_t i = 0; i < count; ++i) {
+        bytes[first + i] = static_cast<std::uint8_t>(src[i] & 0xFF);
+      }
+      return;
+    }
+    case BitWidth::kQ4: {
+      std::int64_t i = 0;
+      std::int64_t idx = first;
+      if ((idx & 1) != 0 && i < count) {
+        std::uint8_t& b = bytes[idx >> 1];
+        b = static_cast<std::uint8_t>((b & 0x0F) | ((src[i] & 0xF) << 4));
+        ++i;
+        ++idx;
+      }
+      for (; i + 1 < count; i += 2, idx += 2) {
+        bytes[idx >> 1] = static_cast<std::uint8_t>((src[i] & 0xF) |
+                                                    ((src[i + 1] & 0xF) << 4));
+      }
+      if (i < count) {
+        std::uint8_t& b = bytes[idx >> 1];
+        b = static_cast<std::uint8_t>((b & 0xF0) | (src[i] & 0xF));
+      }
+      return;
+    }
+    case BitWidth::kQ2: {
+      std::int64_t i = 0;
+      std::int64_t idx = first;
+      while (i < count && (idx & 3) != 0) {
+        const int shift = static_cast<int>(idx & 3) * 2;
+        std::uint8_t& b = bytes[idx >> 2];
+        b = static_cast<std::uint8_t>((b & ~(0x3 << shift)) |
+                                      ((src[i] & 0x3) << shift));
+        ++i;
+        ++idx;
+      }
+      for (; i + 3 < count; i += 4, idx += 4) {
+        bytes[idx >> 2] = static_cast<std::uint8_t>(
+            (src[i] & 0x3) | ((src[i + 1] & 0x3) << 2) |
+            ((src[i + 2] & 0x3) << 4) | ((src[i + 3] & 0x3) << 6));
+      }
+      while (i < count) {
+        const int shift = static_cast<int>(idx & 3) * 2;
+        std::uint8_t& b = bytes[idx >> 2];
+        b = static_cast<std::uint8_t>((b & ~(0x3 << shift)) |
+                                      ((src[i] & 0x3) << shift));
+        ++i;
+        ++idx;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("pack_range: invalid bitwidth");
+}
+
 }  // namespace mixq

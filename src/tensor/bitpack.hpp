@@ -111,4 +111,11 @@ std::vector<std::int32_t> unpack_codes(const PackedBuffer& buf);
 void unpack_range(const PackedBuffer& buf, std::int64_t first,
                   std::int64_t count, std::int32_t* out);
 
+/// Pack `count` codes from `src` into `buf` starting at element `first`.
+/// The bulk counterpart of PackedBuffer::set: whole bytes are assembled in
+/// one store instead of a masked read-modify-write per element. Codes must
+/// already be in [0, 2^Q - 1]; out-of-range bits are masked off.
+void pack_range(PackedBuffer& buf, std::int64_t first, std::int64_t count,
+                const std::int32_t* src);
+
 }  // namespace mixq

@@ -44,9 +44,19 @@ struct Shape {
 
   bool operator==(const Shape&) const = default;
 
+  // Built with += rather than operator+ chains: GCC 12 emits a -Wrestrict
+  // false positive when the rvalue-string operator+ is inlined.
   [[nodiscard]] std::string str() const {
-    return "[" + std::to_string(n) + "," + std::to_string(h) + "," +
-           std::to_string(w) + "," + std::to_string(c) + "]";
+    std::string s = "[";
+    s += std::to_string(n);
+    s += ',';
+    s += std::to_string(h);
+    s += ',';
+    s += std::to_string(w);
+    s += ',';
+    s += std::to_string(c);
+    s += ']';
+    return s;
   }
 };
 

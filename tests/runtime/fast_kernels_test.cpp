@@ -116,14 +116,20 @@ TEST(FastExecutor, WholeNetworkMatchesReference) {
       convert_qat_model(model, Shape(1, 8, 8, 3), {Scheme::kPCICN});
   Executor ref(net, /*fast=*/false);
   Executor fast(net, /*fast=*/true);
+  // run() per sample, not run_batch: fast-executor batches go through the
+  // planned engine, and this test exists to cover the whole-network
+  // chaining of the per-layer fast kernels specifically.
   FloatTensor imgs(Shape(6, 8, 8, 3));
   rng.fill_uniform(imgs.vec(), 0.0, 1.0);
-  const auto a = ref.run_batch(imgs);
-  const auto b = fast.run_batch(imgs);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].predicted, b[i].predicted);
-    for (std::size_t k = 0; k < a[i].logits.size(); ++k) {
-      ASSERT_FLOAT_EQ(a[i].logits[k], b[i].logits[k]);
+  for (std::int64_t n = 0; n < 6; ++n) {
+    FloatTensor one(Shape(1, 8, 8, 3));
+    std::copy(imgs.data() + n * 192, imgs.data() + (n + 1) * 192,
+              one.data());
+    const auto a = ref.run(one);
+    const auto b = fast.run(one);
+    ASSERT_EQ(a.predicted, b.predicted) << "sample " << n;
+    for (std::size_t k = 0; k < a.logits.size(); ++k) {
+      ASSERT_FLOAT_EQ(a.logits[k], b.logits[k]) << "sample " << n;
     }
   }
 }

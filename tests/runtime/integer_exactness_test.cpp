@@ -243,5 +243,66 @@ TEST_P(FastPathChainExactness, RandomHeadBitExact) {
 INSTANTIATE_TEST_SUITE_P(RandomTrials, FastPathChainExactness,
                          ::testing::Range(0, 6));
 
+// ---------------------------------------------------------------------------
+// Planned engine: the compiled ExecutionPlan (pre-unpacked weights,
+// ping-pong arena, im2col GEMM) must be bit-exact with the reference
+// executor through whole mixed-precision dw/pw chains ending in a head --
+// the same property the per-layer fast path asserts above, but across the
+// full amortized pipeline including input quantization and arena reuse.
+// ---------------------------------------------------------------------------
+
+class PlannedChainExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannedChainExactness, MixedPrecisionNetBitExact) {
+  Rng rng(static_cast<std::uint64_t>(6300 + GetParam()));
+  const Scheme schemes[] = {Scheme::kPLICN, Scheme::kPCICN,
+                            Scheme::kPCThresholds};
+  QuantizedNet net;
+  BitWidth qx = random_width(rng);
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, qx);
+  Shape shape(1, 6, 6, 4);
+
+  const QLayerKind kinds[] = {QLayerKind::kDepthwise, QLayerKind::kConv,
+                              QLayerKind::kDepthwise, QLayerKind::kConv};
+  for (const QLayerKind kind : kinds) {
+    const std::int64_t co =
+        kind == QLayerKind::kDepthwise ? shape.c
+                                       : 3 + static_cast<std::int64_t>(
+                                                 rng.uniform_int(4));
+    const BitWidth qw = random_width(rng);
+    const BitWidth qy = random_width(rng);
+    const Scheme scheme = schemes[rng.uniform_int(3)];
+    net.layers.push_back(
+        random_chain_layer(kind, shape, co, qx, qw, qy, scheme, rng));
+    shape = net.layers.back().out_shape;
+    qx = qy;
+  }
+  QLayer head = test_support::make_conv_family_layer(
+      QLayerKind::kLinear, shape, 4, 1, 1, 0, qx, random_width(rng),
+      BitWidth::kQ8, Scheme::kPCICN, rng);
+  head.raw_logits = true;
+  for (int c = 0; c < 4; ++c) head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+  net.layers.push_back(std::move(head));
+  net.validate();
+
+  Executor exec(net);
+  for (int img_i = 0; img_i < 3; ++img_i) {
+    FloatTensor img(net.layers.front().in_shape);
+    rng.fill_uniform(img.vec(), -0.1, 1.1);
+    const QInferenceResult ref = exec.run(img);
+    const QInferenceResult planned = exec.run_planned(img);
+    ASSERT_EQ(ref.logits.size(), planned.logits.size());
+    for (std::size_t i = 0; i < ref.logits.size(); ++i) {
+      // Bit-exact: both paths must accumulate the identical integers.
+      ASSERT_EQ(ref.logits[i], planned.logits[i])
+          << "trial " << GetParam() << " image " << img_i << " logit " << i;
+    }
+    EXPECT_EQ(ref.predicted, planned.predicted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, PlannedChainExactness,
+                         ::testing::Range(0, 6));
+
 }  // namespace
 }  // namespace mixq::runtime

@@ -1,0 +1,318 @@
+// Tests for the planned execution engine (runtime/plan.hpp).
+//
+// The contract is *integer equality* with the reference kernels -- no
+// tolerance anywhere -- across every geometry the kernels special-case:
+// stride 1 and 2, pad 0/1/"same", all 2/4/8-bit weight/activation
+// combinations, odd spatial sizes that exercise the border slow path, and
+// GEMM vs direct conv dispatch. Plus the systems properties the plan
+// exists for: arena reuse across inferences and zero steady-state heap
+// allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "mcu/device.hpp"
+#include "mcu/memory_map.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/plan.hpp"
+#include "support/random_qlayer.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation instrumentation: count every global operator new in this test
+// binary so the zero-allocation claim is enforced, not asserted on faith.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mixq::runtime {
+namespace {
+
+using core::BitWidth;
+using core::Scheme;
+using test_support::make_conv_family_layer;
+using test_support::random_width;
+
+ 
+
+/// A randomized validate-clean network: stem conv with the requested
+/// geometry, a dw/pw block, global pool, and a linear head.
+QuantizedNet random_net(std::int64_t hw_h, std::int64_t hw_w, std::int64_t k,
+                        std::int64_t stride, std::int64_t pad,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  const Scheme schemes[] = {Scheme::kPLICN, Scheme::kPCICN,
+                            Scheme::kPCThresholds};
+  QuantizedNet net;
+  net.input_qp =
+      core::make_quant_params(0.0f, 1.0f, random_width(rng));
+
+  Shape s(1, hw_h, hw_w, 2 + static_cast<std::int64_t>(rng.uniform_int(5)));
+  BitWidth qx = net.input_qp.q;
+
+  const auto next_scheme = [&] { return schemes[rng.uniform_int(3)]; };
+  // Stem conv with the geometry under test.
+  {
+    const BitWidth qw = random_width(rng);
+    const BitWidth qy = random_width(rng);
+    const std::int64_t co = 3 + static_cast<std::int64_t>(rng.uniform_int(6));
+    net.layers.push_back(make_conv_family_layer(QLayerKind::kConv, s, co, k, stride, pad,
+                                    qx, qw, qy, next_scheme(), rng));
+    s = net.layers.back().out_shape;
+    qx = net.layers.back().qy;
+  }
+  // Depthwise (same k/stride/pad family) + pointwise.
+  {
+    const BitWidth qy = random_width(rng);
+    net.layers.push_back(make_conv_family_layer(QLayerKind::kDepthwise, s, s.c, 3, stride,
+                                    1, qx, random_width(rng), qy,
+                                    next_scheme(), rng));
+    s = net.layers.back().out_shape;
+    qx = qy;
+    const BitWidth qy2 = random_width(rng);
+    const std::int64_t co = 4 + static_cast<std::int64_t>(rng.uniform_int(5));
+    net.layers.push_back(make_conv_family_layer(QLayerKind::kConv, s, co, 1, 1, 0, qx,
+                                    random_width(rng), qy2, next_scheme(),
+                                    rng));
+    s = net.layers.back().out_shape;
+    qx = qy2;
+  }
+  net.layers.push_back(make_conv_family_layer(QLayerKind::kGlobalAvgPool, s, 0, 1, 1, 0,
+                                  qx, qx, qx, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  QLayer head =
+      make_conv_family_layer(QLayerKind::kLinear, s, 3 + rng.uniform_int(4), 1, 1, 0, qx,
+                 random_width(rng), BitWidth::kQ8, Scheme::kPCICN, rng);
+  head.raw_logits = true;
+  for (std::int64_t c = 0; c < head.wshape.co; ++c) {
+    head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+  }
+  net.layers.push_back(std::move(head));
+  net.validate();
+  return net;
+}
+
+void expect_bit_exact(const QuantizedNet& net, std::uint64_t img_seed,
+                      const std::string& label) {
+  Executor exec(net);  // reference kernels
+  Rng rng(img_seed);
+  FloatTensor img(net.layers.front().in_shape);
+  rng.fill_uniform(img.vec(), -0.2, 1.2);
+  const QInferenceResult ref = exec.run(img);
+  const QInferenceResult planned = exec.run_planned(img);
+  ASSERT_EQ(ref.logits.size(), planned.logits.size()) << label;
+  for (std::size_t i = 0; i < ref.logits.size(); ++i) {
+    ASSERT_EQ(ref.logits[i], planned.logits[i])
+        << label << " logit " << i;
+  }
+  EXPECT_EQ(ref.predicted, planned.predicted) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized exactness across the kernel dispatch space.
+// ---------------------------------------------------------------------------
+
+class PlanExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanExactness, StridePadWidthCombinations) {
+  const int trial = GetParam();
+  // Odd spatial sizes exercise the border slow path and ragged interiors.
+  const std::int64_t sizes[][2] = {{8, 8}, {7, 5}, {9, 7}, {6, 9}};
+  const auto& hw = sizes[trial % 4];
+  for (const std::int64_t stride : {std::int64_t{1}, std::int64_t{2}}) {
+    for (const std::int64_t k : {std::int64_t{1}, std::int64_t{3}}) {
+      // pad 0, pad 1, and "same"-style pad (k-1)/2.
+      for (const std::int64_t pad :
+           {std::int64_t{0}, std::int64_t{1}, (k - 1) / 2}) {
+        const QuantizedNet net = random_net(
+            hw[0], hw[1], k, stride, pad,
+            1000 + static_cast<std::uint64_t>(trial) * 131 +
+                static_cast<std::uint64_t>(stride * 31 + k * 7 + pad));
+        expect_bit_exact(net,
+                         40 + static_cast<std::uint64_t>(trial),
+                         "trial " + std::to_string(trial) + " k=" +
+                             std::to_string(k) + " s=" +
+                             std::to_string(stride) + " p=" +
+                             std::to_string(pad));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, PlanExactness, ::testing::Range(0, 8));
+
+TEST(PlanExactness, AllWidthCombosOnPointwiseChain) {
+  // Every (qw, qa) pair from {2,4,8}^2 through the GEMM path.
+  const BitWidth widths[] = {BitWidth::kQ2, BitWidth::kQ4, BitWidth::kQ8};
+  int n = 0;
+  for (const BitWidth qw : widths) {
+    for (const BitWidth qa : widths) {
+      Rng rng(7000 + static_cast<std::uint64_t>(n));
+      QuantizedNet net;
+      net.input_qp = core::make_quant_params(0.0f, 1.0f, qa);
+      Shape s(1, 5, 5, 4);
+      net.layers.push_back(make_conv_family_layer(QLayerKind::kConv, s, 6, 1, 1, 0, qa,
+                                      qw, qa, Scheme::kPCICN, rng));
+      net.layers.push_back(make_conv_family_layer(QLayerKind::kConv,
+                                      net.layers.back().out_shape, 5, 1, 2, 0,
+                                      qa, qw, qa, Scheme::kPLICN, rng));
+      net.validate();
+      expect_bit_exact(net, 90 + static_cast<std::uint64_t>(n),
+                       "qw=" + std::to_string(core::bits(qw)) +
+                           " qa=" + std::to_string(core::bits(qa)));
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, 9);
+}
+
+TEST(PlanExactness, HeadlessNetworkReturnsFinalCodes) {
+  // Networks without a raw-logits head: the planned path must reproduce
+  // the reference fallback (final codes as logits).
+  Rng rng(31337);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ4);
+  Shape s(1, 6, 6, 3);
+  net.layers.push_back(make_conv_family_layer(QLayerKind::kConv, s, 5, 3, 1, 1,
+                                  BitWidth::kQ4, BitWidth::kQ4, BitWidth::kQ4,
+                                  Scheme::kPCICN, rng));
+  net.layers.push_back(make_conv_family_layer(QLayerKind::kGlobalAvgPool,
+                                  net.layers.back().out_shape, 0, 1, 1, 0,
+                                  BitWidth::kQ4, BitWidth::kQ4, BitWidth::kQ4,
+                                  Scheme::kPCICN, rng));
+  net.validate();
+  expect_bit_exact(net, 55, "headless");
+}
+
+// ---------------------------------------------------------------------------
+// Arena reuse and allocation freedom.
+// ---------------------------------------------------------------------------
+
+TEST(PlanArena, ConsecutiveRunsAreIndependent) {
+  const QuantizedNet net = random_net(8, 8, 3, 1, 1, 2024);
+  Executor exec(net);
+  Rng rng(99);
+  FloatTensor a(net.layers.front().in_shape);
+  FloatTensor b(net.layers.front().in_shape);
+  rng.fill_uniform(a.vec(), 0.0, 1.0);
+  rng.fill_uniform(b.vec(), 0.0, 1.0);
+
+  const QInferenceResult ref_a = exec.run(a);
+  const QInferenceResult ref_b = exec.run(b);
+  // Interleave planned runs on the same plan: results must not bleed.
+  const QInferenceResult p_a1 = exec.run_planned(a);
+  const QInferenceResult p_b = exec.run_planned(b);
+  const QInferenceResult p_a2 = exec.run_planned(a);
+  for (std::size_t i = 0; i < ref_a.logits.size(); ++i) {
+    ASSERT_EQ(ref_a.logits[i], p_a1.logits[i]) << "first run, logit " << i;
+    ASSERT_EQ(ref_b.logits[i], p_b.logits[i]) << "second image, logit " << i;
+    ASSERT_EQ(ref_a.logits[i], p_a2.logits[i]) << "arena reuse, logit " << i;
+  }
+}
+
+TEST(PlanArena, SteadyStateRunsDoNotAllocate) {
+  const QuantizedNet net = random_net(9, 7, 3, 2, 1, 4242);
+  const ExecutionPlan plan(net);
+  Rng rng(5);
+  FloatTensor img(net.layers.front().in_shape);
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+
+  plan.run_into(img.data());  // warm-up (already allocation-free, but fair)
+  const std::int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) plan.run_into(img.data());
+  const std::int64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "planned inference allocated on the steady-state path";
+}
+
+TEST(PlanArena, SizedLikeTheMemoryMapPingPong) {
+  // The arena must follow the same even/odd tensor assignment as the MCU
+  // memory map's ping-pong RAM regions (Eq. 7 realized).
+  const QuantizedNet net = random_net(8, 6, 3, 1, 1, 777);
+  const ExecutionPlan plan(net);
+
+  std::int64_t max_even = net.layers.front().in_shape.numel();
+  std::int64_t max_odd = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const QLayer& l = net.layers[i];
+    if (l.raw_logits) continue;
+    auto& slot = (i + 1) % 2 == 0 ? max_even : max_odd;
+    slot = std::max(slot, l.out_shape.numel());
+  }
+  EXPECT_EQ(plan.ping_elems(), max_even);
+  EXPECT_EQ(plan.pong_elems(), max_odd);
+  EXPECT_EQ(plan.arena_bytes(),
+            static_cast<std::int64_t>(sizeof(std::int32_t)) *
+                (plan.ping_elems() + plan.pong_elems() + plan.col_elems()));
+
+  // Cross-check against the memory map: every tensor the map places in a
+  // ping-pong RAM region fits the corresponding plan arena.
+  mcu::DeviceSpec dev;
+  dev.flash_bytes = std::int64_t{1} << 30;
+  dev.ram_bytes = std::int64_t{1} << 30;
+  const mcu::MemoryMap map = mcu::build_memory_map(net, dev);
+  ASSERT_EQ(map.ram.size(), 2u);
+  EXPECT_GE(plan.ping_elems() * 4, map.ram[0].size / 2)
+      << "int32 ping arena smaller than the packed ping region implies";
+}
+
+// ---------------------------------------------------------------------------
+// Executor integration: run_batch over the shared plan.
+// ---------------------------------------------------------------------------
+
+TEST(PlanExecutor, FastBatchMatchesReferencePerSample) {
+  const QuantizedNet net = random_net(7, 7, 3, 1, 1, 888);
+  Executor ref(net, /*fast=*/false);
+  Executor fast(net, /*fast=*/true);
+  const Shape& in = net.layers.front().in_shape;
+  Rng rng(17);
+  FloatTensor batch(Shape(4, in.h, in.w, in.c));
+  rng.fill_uniform(batch.vec(), 0.0, 1.0);
+
+  const auto fast_results = fast.run_batch(batch);
+  const auto ref_results = ref.run_batch(batch);
+  ASSERT_EQ(fast_results.size(), 4u);
+  for (std::size_t n = 0; n < 4; ++n) {
+    ASSERT_EQ(ref_results[n].logits.size(), fast_results[n].logits.size());
+    for (std::size_t i = 0; i < ref_results[n].logits.size(); ++i) {
+      ASSERT_EQ(ref_results[n].logits[i], fast_results[n].logits[i])
+          << "sample " << n << " logit " << i;
+    }
+    EXPECT_EQ(ref_results[n].predicted, fast_results[n].predicted);
+  }
+}
+
+TEST(PlanExecutor, RunBatchRejectsMismatchedSampleShape) {
+  const QuantizedNet net = random_net(8, 8, 3, 1, 1, 321);
+  Executor exec(net);
+  FloatTensor bad(Shape(2, 3, 3, 1));
+  EXPECT_THROW(exec.run_batch(bad), std::invalid_argument);
+}
+
+TEST(PlanExecutor, RunPlannedRejectsBatchGreaterThanOne) {
+  const QuantizedNet net = random_net(8, 8, 3, 1, 1, 654);
+  Executor exec(net);
+  const Shape& in = net.layers.front().in_shape;
+  FloatTensor two(Shape(2, in.h, in.w, in.c));
+  EXPECT_THROW(exec.run_planned(two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mixq::runtime

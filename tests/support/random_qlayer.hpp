@@ -59,4 +59,49 @@ inline void fill_random_quant_params(QLayer& l, Scheme scheme, Rng& rng,
   }
 }
 
+/// A conv-family layer (conv / depthwise / linear / global-avg-pool) with
+/// explicit geometry and randomized quantization parameters drawn via
+/// fill_random_quant_params. For kLinear the input tensor is flattened
+/// (fan-in = h*w*c); for kGlobalAvgPool no parameters are drawn. Shared by
+/// the runtime test suites and bench/bench_runtime.cpp so the randomized
+/// layer construction cannot drift between them.
+inline QLayer make_conv_family_layer(QLayerKind kind, Shape in_shape,
+                                     std::int64_t co, std::int64_t k,
+                                     std::int64_t stride, std::int64_t pad,
+                                     core::BitWidth qx, core::BitWidth qw,
+                                     core::BitWidth qy, Scheme scheme,
+                                     Rng& rng, double m_lo = 1e-4,
+                                     double m_hi = 0.05) {
+  QLayer l;
+  l.kind = kind;
+  l.qx = qx;
+  l.qw = qw;
+  l.qy = qy;
+  l.in_shape = in_shape;
+  l.spec.kh = l.spec.kw = static_cast<int>(k);
+  l.spec.stride = static_cast<int>(stride);
+  l.spec.pad = static_cast<int>(pad);
+  if (kind == QLayerKind::kGlobalAvgPool) {
+    l.out_shape = Shape(in_shape.n, 1, 1, in_shape.c);
+    return l;
+  }
+  if (kind == QLayerKind::kLinear) {
+    l.spec.kh = l.spec.kw = 1;
+    l.spec.stride = 1;
+    l.spec.pad = 0;
+    l.out_shape = Shape(in_shape.n, 1, 1, co);
+    l.wshape = WeightShape(co, 1, 1, in_shape.h * in_shape.w * in_shape.c);
+  } else {
+    const std::int64_t oh = conv_out_dim(in_shape.h, k, stride, pad);
+    const std::int64_t ow = conv_out_dim(in_shape.w, k, stride, pad);
+    l.out_shape = Shape(in_shape.n, oh, ow, co);
+    l.wshape = kind == QLayerKind::kDepthwise
+                   ? WeightShape(co, k, k, 1)
+                   : WeightShape(co, k, k, in_shape.c);
+  }
+  l.zy = static_cast<std::int32_t>(rng.uniform_int(core::levels(qy)));
+  fill_random_quant_params(l, scheme, rng, m_lo, m_hi);
+  return l;
+}
+
 }  // namespace mixq::runtime::test_support

@@ -111,6 +111,70 @@ TEST(UnpackRange, RejectsBadRange) {
   EXPECT_THROW(unpack_range(buf, -1, 1, out), std::out_of_range);
 }
 
+TEST(PackRange, RoundTripsAllWidthsAndOffsets) {
+  // pack_range must agree with element-wise set() for every bitwidth, at
+  // aligned and unaligned starting offsets and ragged counts.
+  for (const BitWidth q : {BitWidth::kQ2, BitWidth::kQ4, BitWidth::kQ8}) {
+    const std::int64_t n = 37;
+    std::vector<std::int32_t> codes(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      codes[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>((i * 7 + 3) % levels(q));
+    }
+    for (const std::int64_t first : {std::int64_t{0}, std::int64_t{1},
+                                     std::int64_t{2}, std::int64_t{3},
+                                     std::int64_t{5}}) {
+      for (const std::int64_t count : {std::int64_t{0}, std::int64_t{1},
+                                       std::int64_t{4}, std::int64_t{7},
+                                       n - 5}) {
+        PackedBuffer expect(n, q);
+        PackedBuffer got(n, q);
+        // Pre-fill both with a background pattern that the ranged write
+        // must not disturb outside [first, first+count).
+        for (std::int64_t i = 0; i < n; ++i) {
+          expect.set(i, static_cast<std::uint32_t>(i % levels(q)));
+          got.set(i, static_cast<std::uint32_t>(i % levels(q)));
+        }
+        for (std::int64_t i = 0; i < count; ++i) {
+          expect.set(first + i, static_cast<std::uint32_t>(
+                                    codes[static_cast<std::size_t>(i)]));
+        }
+        pack_range(got, first, count, codes.data());
+        for (std::int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(expect.get(i), got.get(i))
+              << "q=" << bits(q) << " first=" << first << " count=" << count
+              << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackRange, InverseOfUnpackRange) {
+  for (const BitWidth q : {BitWidth::kQ2, BitWidth::kQ4, BitWidth::kQ8}) {
+    const std::int64_t n = 64;
+    PackedBuffer buf(n, q);
+    for (std::int64_t i = 0; i < n; ++i) {
+      buf.set(i, static_cast<std::uint32_t>((i * 5 + 1) % levels(q)));
+    }
+    std::vector<std::int32_t> codes(static_cast<std::size_t>(n));
+    unpack_range(buf, 0, n, codes.data());
+    PackedBuffer back(n, q);
+    pack_range(back, 0, n, codes.data());
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf.get(i), back.get(i)) << "q=" << bits(q) << " elem " << i;
+    }
+  }
+}
+
+TEST(PackRange, RejectsBadRange) {
+  PackedBuffer buf(4, BitWidth::kQ4);
+  std::int32_t src[4] = {0, 1, 2, 3};
+  EXPECT_THROW(pack_range(buf, 2, 3, src), std::out_of_range);
+  EXPECT_THROW(pack_range(buf, -1, 1, src), std::out_of_range);
+  EXPECT_THROW(pack_range(buf, 0, -1, src), std::out_of_range);
+}
+
 TEST(PackedBuffer, DensityMatchesPaperStorageModel) {
   // A 4-bit tensor of N elements must occupy ceil(N/2) bytes -- the
   // storage assumption behind Eq. 6-7's mem(t, Q).
