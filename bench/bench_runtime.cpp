@@ -8,12 +8,18 @@
 //   * planned path    -- compiled ExecutionPlan (plan.hpp)
 //
 // and emits results/BENCH_runtime.json with end-to-end and per-layer
-// numbers so the perf trajectory is tracked PR over PR. Exit code is
-// non-zero only on a correctness failure, never on timing.
+// numbers so the perf trajectory is tracked PR over PR. A second section
+// sweeps the multi-threaded batch serving path (Executor::run_batch over
+// the shared plan) across thread counts, gating on bit-exactness at every
+// count, and records the SIMD ISA, the available hardware threads and the
+// git revision alongside the numbers. Exit code is non-zero only on a
+// correctness failure, never on timing.
 //
-// Usage: bench_runtime [--quick] [--out PATH]
+// Usage: bench_runtime [--quick] [--out PATH] [--threads N] [--batch N]
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -23,7 +29,9 @@
 #include <vector>
 
 #include "runtime/executor.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/profiler.hpp"
+#include "runtime/simd.hpp"
 #include "support/random_qlayer.hpp"
 #include "tensor/rng.hpp"
 
@@ -107,21 +115,52 @@ bool logits_equal(const std::vector<float>& a, const std::vector<float>& b) {
   return true;
 }
 
+/// `git describe --always --dirty` of the working tree, "unknown" when git
+/// or the repository is unavailable (e.g. running from an exported
+/// tarball).
+std::string git_describe() {
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {0};
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+struct ThroughputPoint {
+  int threads{1};
+  double ns_per_sample{0.0};
+  double samples_per_s{0.0};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "results/BENCH_runtime.json";
+  int max_threads = 0;  // 0 = hardware concurrency
+  std::int64_t batch = 0;  // 0 = default (64 full, 16 quick)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoll(argv[++i]);
     } else {
-      std::cerr << "usage: bench_runtime [--quick] [--out PATH]\n";
+      std::cerr << "usage: bench_runtime [--quick] [--out PATH] "
+                   "[--threads N] [--batch N]\n";
       return 2;
     }
   }
+  if (batch <= 0) batch = quick ? 16 : 64;
+  if (max_threads <= 0) max_threads = ThreadPool::hardware_lanes();
 
   const QuantizedNet net = make_workload();
   Rng rng(7);
@@ -154,12 +193,68 @@ int main(int argc, char** argv) {
   const PlannedProfile prof =
       profile_planned(plan, img, quick ? 5 : 50);
 
-  std::cout << "reference: " << ref_ns / 1e6 << " ms/inference\n"
+  std::cout << "simd: compiled=" << simd::compiled_isa()
+            << " active=" << simd::active_isa()
+            << ", hardware threads: " << ThreadPool::hardware_lanes()
+            << "\n"
+            << "reference: " << ref_ns / 1e6 << " ms/inference\n"
             << "fast (seed): " << fast_ns / 1e6 << " ms/inference\n"
             << "planned:   " << plan_ns / 1e6 << " ms/inference\n"
             << "speedup planned vs fast: " << fast_ns / plan_ns << "x\n"
             << "speedup planned vs reference: " << ref_ns / plan_ns << "x\n\n"
             << prof.str();
+
+  // Batch serving sweep: samples/s of run_batch over the shared plan at
+  // 1/2/4/max threads, gated on bit-exactness against the 1-thread run at
+  // every count.
+  const Shape& in_shape = net.layers.front().in_shape;
+  FloatTensor batch_t(Shape(batch, in_shape.h, in_shape.w, in_shape.c));
+  rng.fill_uniform(batch_t.vec(), 0.0, 1.0);
+  std::vector<int> sweep = {1, 2, 4, max_threads};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  sweep.erase(std::remove_if(sweep.begin(), sweep.end(),
+                             [&](int t) { return t < 1 || t > max_threads; }),
+              sweep.end());
+  if (sweep.empty()) sweep.push_back(1);
+
+  const auto base_results = fast_exec.run_batch(batch_t, 1);
+  const int reps = quick ? 1 : 3;
+  std::vector<ThroughputPoint> sweep_pts;
+  std::cout << "\nbatch throughput (batch=" << batch << "):\n";
+  for (const int t : sweep) {
+    // Exactness gate: every thread count must reproduce the 1-thread
+    // logits bit-for-bit.
+    const auto results = fast_exec.run_batch(batch_t, t);
+    for (std::size_t n = 0; n < results.size(); ++n) {
+      if (!logits_equal(results[n].logits, base_results[n].logits)) {
+        std::cerr << "bench_runtime: FATAL: run_batch at " << t
+                  << " threads diverges from 1 thread on sample " << n
+                  << "\n";
+        return 1;
+      }
+    }
+    double best_ns = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fast_exec.run_batch(batch_t, t);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+      if (r == 0 || ns < best_ns) best_ns = ns;
+    }
+    ThroughputPoint pt;
+    pt.threads = t;
+    pt.ns_per_sample = best_ns / static_cast<double>(batch);
+    pt.samples_per_s = 1e9 * static_cast<double>(batch) / best_ns;
+    sweep_pts.push_back(pt);
+    std::cout << "  " << t << " thread(s): " << pt.samples_per_s
+              << " samples/s (" << pt.ns_per_sample / 1e6
+              << " ms/sample), speedup vs 1 thread: "
+              << sweep_pts.front().ns_per_sample / pt.ns_per_sample << "x\n";
+  }
+  std::cout << "batch bit-exactness check passed (all thread counts)\n";
 
   std::filesystem::path out_file(out_path);
   if (out_file.has_parent_path()) {
@@ -175,6 +270,10 @@ int main(int argc, char** argv) {
         "PC+ICN\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
      << "  \"iters\": " << iters << ",\n"
+     << "  \"git\": \"" << git_describe() << "\",\n"
+     << "  \"simd\": {\"compiled\": \"" << simd::compiled_isa()
+     << "\", \"active\": \"" << simd::active_isa() << "\"},\n"
+     << "  \"threads_available\": " << ThreadPool::hardware_lanes() << ",\n"
      << "  \"total_macs\": " << prof.total_macs << ",\n"
      << "  \"end_to_end\": {\n"
      << "    \"reference_ns\": " << ref_ns << ",\n"
@@ -193,7 +292,22 @@ int main(int argc, char** argv) {
        << ", \"macs_per_ns\": " << l.macs_per_ns() << "}"
        << (i + 1 < prof.layers.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"batch_throughput\": {\n"
+     << "    \"batch\": " << batch << ",\n"
+     << "    \"reps\": " << reps << ",\n"
+     << "    \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep_pts.size(); ++i) {
+    const ThroughputPoint& pt = sweep_pts[i];
+    os << "      {\"threads\": " << pt.threads
+       << ", \"ns_per_sample\": " << pt.ns_per_sample
+       << ", \"samples_per_s\": " << pt.samples_per_s
+       << ", \"speedup_vs_1\": "
+       << sweep_pts.front().ns_per_sample / pt.ns_per_sample << "}"
+       << (i + 1 < sweep_pts.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n"
+     << "  }\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -36,8 +36,19 @@ QInferenceResult Executor::run(const FloatTensor& image) const {
 }
 
 const ExecutionPlan& Executor::plan() const {
-  if (!plan_) plan_ = std::make_unique<ExecutionPlan>(*net_);
+  std::call_once(plan_once_,
+                 [this] { plan_ = std::make_unique<ExecutionPlan>(*net_); });
   return *plan_;
+}
+
+ThreadPool& Executor::pool(int lanes) const {
+  // Grow-only: narrower jobs dispatch over a subset of an existing wider
+  // pool (parallel_for_lanes) instead of respawning threads per call.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_ || pool_->lanes() < lanes) {
+    pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+  return *pool_;
 }
 
 QInferenceResult Executor::run_planned(const FloatTensor& image) const {
@@ -81,8 +92,8 @@ QInferenceResult Executor::run_codes(PackedBuffer cur) const {
   return res;
 }
 
-std::vector<QInferenceResult> Executor::run_batch(
-    const FloatTensor& images) const {
+std::vector<QInferenceResult> Executor::run_batch(const FloatTensor& images,
+                                                  int threads) const {
   const Shape s = images.shape();
   const Shape& in = net_->layers.front().in_shape;
   if (s.h != in.h || s.w != in.w || s.c != in.c) {
@@ -92,9 +103,45 @@ std::vector<QInferenceResult> Executor::run_batch(
     msg += in.str();
     throw std::invalid_argument(msg);
   }
+  const std::int64_t per = s.h * s.w * s.c;
+  const int lanes = static_cast<int>(std::min<std::int64_t>(
+      threads <= 0 ? ThreadPool::hardware_lanes() : threads, s.n));
+
+  if (lanes > 1) {
+    // Batch serving path: the plan is compiled once (thread-safe) and
+    // shared read-only; each worker lane runs its contiguous slice of the
+    // batch through its own cached PlanArenas (or, for reference
+    // executors, through independent run_codes walks). Static
+    // partitioning + per-lane state make the results bit-identical to the
+    // serial path.
+    const ExecutionPlan* p = fast_ ? &plan() : nullptr;
+    if (fast_) {
+      while (lane_arenas_.size() < static_cast<std::size_t>(lanes)) {
+        lane_arenas_.push_back(std::make_unique<PlanArenas>(*p));
+      }
+    }
+    std::vector<QInferenceResult> out(static_cast<std::size_t>(s.n));
+    pool(lanes).parallel_for_lanes(
+        lanes, s.n, [&](int lane, std::int64_t b, std::int64_t e) {
+          if (fast_) {
+            PlanArenas& arenas =
+                *lane_arenas_[static_cast<std::size_t>(lane)];
+            for (std::int64_t n = b; n < e; ++n) {
+              out[static_cast<std::size_t>(n)] =
+                  p->run_sample(images.data() + n * per, arenas);
+            }
+          } else {
+            for (std::int64_t n = b; n < e; ++n) {
+              out[static_cast<std::size_t>(n)] = run_codes(quantize_sample(
+                  images.data() + n * per, per, net_->input_qp));
+            }
+          }
+        });
+    return out;
+  }
+
   std::vector<QInferenceResult> out;
   out.reserve(static_cast<std::size_t>(s.n));
-  const std::int64_t per = s.h * s.w * s.c;
   if (fast_) {
     // One compiled plan shared by every sample: weights stay unpacked, the
     // arena is reused, and each image is quantized straight from its

@@ -8,15 +8,30 @@
 //   * reference  -- packed get/set reference kernels (kernels.hpp);
 //   * fast       -- per-layer unpacked-scratch kernels (fast_kernels.hpp);
 //   * planned    -- the compiled ExecutionPlan (plan.hpp): weights unpacked
-//                   once, ping-pong arena, im2col GEMM, zero steady-state
-//                   allocations. Built lazily on first use and reused.
+//                   once, ping-pong arena, im2col GEMM + SIMD kernels, zero
+//                   steady-state allocations. Built lazily on first use.
+//
+// Thread-safety contract:
+//   * plan() is safe to call from any number of threads concurrently; the
+//     lazy compilation happens exactly once (std::call_once) and every
+//     caller observes the fully built plan.
+//   * run_batch(images, threads) with threads != 1 partitions the batch
+//     across a fixed-size ThreadPool; each worker lane runs the shared
+//     read-only plan through its own PlanArenas, so results are
+//     bit-identical to the serial path for every thread count.
+//   * run(), run_planned() and run_batch() itself use per-executor
+//     mutable scratch (and one cached pool), so they are NOT safe to call
+//     concurrently on one Executor instance -- parallelism lives *inside*
+//     run_batch, not across calls.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "runtime/fast_kernels.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/qgraph.hpp"
 
@@ -37,13 +52,20 @@ class Executor {
   /// first use, then reused; zero steady-state heap allocations inside).
   QInferenceResult run_planned(const FloatTensor& image) const;
 
-  /// The compiled plan for this network (built lazily, cached).
+  /// The compiled plan for this network. Lazily built exactly once and
+  /// cached; concurrent callers all block until it is ready (thread-safe).
   const ExecutionPlan& plan() const;
 
   /// Run a batch (N >= 1) image-by-image, returning one result per image.
   /// Samples are quantized straight from a strided view of `images`; fast
   /// executors route every sample through the shared ExecutionPlan.
-  std::vector<QInferenceResult> run_batch(const FloatTensor& images) const;
+  ///
+  /// `threads` != 1 partitions the samples contiguously across a
+  /// fixed-size thread pool (0 = hardware concurrency; capped at the batch
+  /// size). Each lane owns its own working arenas; the per-sample results
+  /// are bit-identical to the serial path for every thread count.
+  std::vector<QInferenceResult> run_batch(const FloatTensor& images,
+                                          int threads = 1) const;
 
   /// Float logits for a whole batch, shaped (N,1,1,K) -- convenient for
   /// comparing against the fake-quantized training graph.
@@ -54,14 +76,26 @@ class Executor {
   std::vector<std::int32_t> top_k(const FloatTensor& image, int k) const;
 
  private:
-  /// Layer walk over already-quantized packed codes (reference or fast
-  /// kernels according to fast_).
+  /// Layer walk over already-quantized packed codes, selecting reference
+  /// or fast kernels from the fast_ member. The reference path never
+  /// touches scratch_, so it is safe from worker threads.
   QInferenceResult run_codes(PackedBuffer cur) const;
+
+  /// The cached pool (grow-only: rebuilt under pool_mu_ only when more
+  /// lanes are requested than it has; narrower jobs dispatch over a
+  /// subset of its lanes).
+  ThreadPool& pool(int lanes) const;
 
   const QuantizedNet* net_;
   bool fast_;
   mutable Scratch scratch_;
+  mutable std::once_flag plan_once_;
   mutable std::unique_ptr<ExecutionPlan> plan_;
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  /// Per-lane working arenas for the threaded run_batch path, cached
+  /// across calls (grow-only, like the pool).
+  mutable std::vector<std::unique_ptr<PlanArenas>> lane_arenas_;
 };
 
 /// Quantize a batch-1 float image into packed input codes (bulk path:

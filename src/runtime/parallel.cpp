@@ -1,0 +1,109 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+
+namespace mixq::runtime {
+
+int ThreadPool::hardware_lanes() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::chunk(std::int64_t n, int lanes, int lane,
+                       std::int64_t& begin, std::int64_t& end) {
+  const std::int64_t per = n / lanes;
+  const std::int64_t rem = n % lanes;
+  begin = lane * per + std::min<std::int64_t>(lane, rem);
+  end = begin + per + (lane < rem ? 1 : 0);
+}
+
+ThreadPool::ThreadPool(int lanes) {
+  lanes_ = lanes <= 0 ? hardware_lanes() : lanes;
+  threads_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (int lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { worker(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Thunk thunk = nullptr;
+    void* ctx = nullptr;
+    std::int64_t n = 0;
+    int use_lanes = 1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      thunk = thunk_;
+      ctx = ctx_;
+      n = n_;
+      use_lanes = use_lanes_;
+    }
+    std::int64_t b = 0, e = 0;
+    if (lane < use_lanes) chunk(n, use_lanes, lane, b, e);
+    std::exception_ptr err;
+    if (b < e) {
+      try {
+        thunk(ctx, lane, b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::dispatch(std::int64_t n, Thunk thunk, void* ctx,
+                          int use_lanes) {
+  if (n <= 0) return;
+  use_lanes = std::max(1, std::min(use_lanes, lanes_));
+  if (use_lanes == 1) {
+    thunk(ctx, 0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thunk_ = thunk;
+    ctx_ = ctx;
+    n_ = n;
+    use_lanes_ = use_lanes;
+    pending_ = lanes_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  std::int64_t b = 0, e = 0;
+  chunk(n, use_lanes, 0, b, e);
+  std::exception_ptr caller_err;
+  if (b < e) {
+    try {
+      thunk(ctx, 0, b, e);
+    } catch (...) {
+      caller_err = std::current_exception();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  std::exception_ptr err = first_error_ ? first_error_ : caller_err;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mixq::runtime

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/quantizer.hpp"
 #include "core/thresholds.hpp"
+#include "runtime/parallel.hpp"
 
 namespace mixq::runtime {
 
 namespace {
+
+/// Layers below this static MAC count are not worth the dispatch cost of
+/// intra-layer row partitioning and run on the calling lane.
+constexpr std::int64_t kIntraParMinMacs = 16384;
 
 /// Local, inlinable replica of core::fixed_point_floor_mul -- identical
 /// integer arithmetic (asserted bit-exact by the cross-check suites), but
@@ -50,120 +56,100 @@ void interior_bounds(std::int64_t in, std::int64_t k, std::int64_t stride,
   lo = std::min(lo, hi);
 }
 
-/// Register-blocked integer GEMM over an im2col matrix A (M rows of K raw
-/// input codes): four output channels per block, dot products unrolled by
-/// four. The input zero-point is folded in afterwards via the precomputed
-/// full-kernel weight sums (every tap of a GEMM layer is always valid).
-template <typename AccT>
-void gemm_requant(const PlannedLayer& pl, const std::int32_t* A,
-                  std::int64_t M, std::int64_t K, std::int32_t* out) {
+/// Requantize one row of `co` raw int32 accumulators (sum X*(W-Zw)) into
+/// output codes: the vectorized table when provably exact, the scalar
+/// reference otherwise. Bit-exact either way.
+inline void requant_row(const PlannedLayer& pl, const std::int32_t* acc,
+                        std::int32_t* o, std::int64_t co) {
+  if (pl.rq.usable) {
+    simd::requant_icn_i32(pl.rq, acc, pl.rq.add.data(), o, co);
+    return;
+  }
+  const QLayer& l = *pl.layer;
+  const std::int64_t zx = l.zx;
+  for (std::int64_t oc = 0; oc < co; ++oc) {
+    o[oc] = requantize(
+        l, static_cast<std::int64_t>(acc[oc]) - zx * pl.wsum[oc], oc);
+  }
+}
+
+/// Register-blocked integer GEMM over an im2col matrix A (rows [m0, m1) of
+/// K raw input codes), INT32 accumulators (the plan proved them
+/// overflow-free, which is also why SIMD re-association is exact). The
+/// micro-kernel is 4 output channels x 8 int32 lanes (x 2 rows so each
+/// weight vector load is shared); accumulator rows land in row_acc, then
+/// requantize as a row. The input zero-point is folded in via the
+/// precomputed full-kernel weight sums (every tap of a GEMM layer is
+/// always valid).
+void gemm_rows_i32(const PlannedLayer& pl, const std::int32_t* A,
+                   std::int64_t m0, std::int64_t m1, std::int64_t K,
+                   std::int32_t* out, std::int32_t* row_acc) {
+  const std::int64_t co = pl.layer->wshape.co;
+  const std::int32_t* W = pl.w.data();
+  std::int64_t m = m0;
+  for (; m + 2 <= m1; m += 2) {
+    const std::int32_t* a0 = A + m * K;
+    const std::int32_t* a1 = a0 + K;
+    std::int32_t* acc0 = row_acc;
+    std::int32_t* acc1 = row_acc + co;
+    std::fill(row_acc, row_acc + 2 * co, 0);
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int32_t* wr = W + oc * K;
+      simd::dot2x4_i32(a0, a1, wr, wr + K, wr + 2 * K, wr + 3 * K, K,
+                       acc0 + oc, acc1 + oc);
+    }
+    for (; oc < co; ++oc) {
+      acc0[oc] = simd::dot_i32(a0, W + oc * K, K);
+      acc1[oc] = simd::dot_i32(a1, W + oc * K, K);
+    }
+    requant_row(pl, acc0, out + m * co, co);
+    requant_row(pl, acc1, out + (m + 1) * co, co);
+  }
+  for (; m < m1; ++m) {
+    const std::int32_t* a = A + m * K;
+    std::fill(row_acc, row_acc + co, 0);
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int32_t* wr = W + oc * K;
+      simd::dot1x4_i32(a, wr, wr + K, wr + 2 * K, wr + 3 * K, K,
+                       row_acc + oc);
+    }
+    for (; oc < co; ++oc) row_acc[oc] = simd::dot_i32(a, W + oc * K, K);
+    requant_row(pl, row_acc, out + m * co, co);
+  }
+}
+
+/// INT64-accumulator GEMM fallback (fan-in too large for provably safe
+/// INT32): plain scalar dots, requantized inline.
+void gemm_rows_i64(const PlannedLayer& pl, const std::int32_t* A,
+                   std::int64_t m0, std::int64_t m1, std::int64_t K,
+                   std::int32_t* out) {
   const QLayer& l = *pl.layer;
   const std::int64_t co = l.wshape.co;
   const std::int64_t zx = l.zx;
   const std::int32_t* W = pl.w.data();
-  std::int64_t m = 0;
-  // 2x4 register block: two output pixels share each weight load, four
-  // output channels share each activation load.
-  for (; m + 2 <= M; m += 2) {
-    const std::int32_t* __restrict__ a0 = A + m * K;
-    const std::int32_t* __restrict__ a1 = a0 + K;
-    std::int32_t* o0 = out + m * co;
-    std::int32_t* o1 = o0 + co;
-    std::int64_t oc = 0;
-    for (; oc + 4 <= co; oc += 4) {
-      const std::int32_t* __restrict__ w0 = W + oc * K;
-      const std::int32_t* __restrict__ w1 = w0 + K;
-      const std::int32_t* __restrict__ w2 = w1 + K;
-      const std::int32_t* __restrict__ w3 = w2 + K;
-      AccT r0c0 = 0, r0c1 = 0, r0c2 = 0, r0c3 = 0;
-      AccT r1c0 = 0, r1c1 = 0, r1c2 = 0, r1c3 = 0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        const AccT x0 = a0[k];
-        const AccT x1 = a1[k];
-        const AccT v0 = w0[k], v1 = w1[k], v2 = w2[k], v3 = w3[k];
-        r0c0 += x0 * v0;
-        r0c1 += x0 * v1;
-        r0c2 += x0 * v2;
-        r0c3 += x0 * v3;
-        r1c0 += x1 * v0;
-        r1c1 += x1 * v1;
-        r1c2 += x1 * v2;
-        r1c3 += x1 * v3;
-      }
-      o0[oc + 0] = requantize(
-          l, static_cast<std::int64_t>(r0c0) - zx * pl.wsum[oc + 0], oc + 0);
-      o0[oc + 1] = requantize(
-          l, static_cast<std::int64_t>(r0c1) - zx * pl.wsum[oc + 1], oc + 1);
-      o0[oc + 2] = requantize(
-          l, static_cast<std::int64_t>(r0c2) - zx * pl.wsum[oc + 2], oc + 2);
-      o0[oc + 3] = requantize(
-          l, static_cast<std::int64_t>(r0c3) - zx * pl.wsum[oc + 3], oc + 3);
-      o1[oc + 0] = requantize(
-          l, static_cast<std::int64_t>(r1c0) - zx * pl.wsum[oc + 0], oc + 0);
-      o1[oc + 1] = requantize(
-          l, static_cast<std::int64_t>(r1c1) - zx * pl.wsum[oc + 1], oc + 1);
-      o1[oc + 2] = requantize(
-          l, static_cast<std::int64_t>(r1c2) - zx * pl.wsum[oc + 2], oc + 2);
-      o1[oc + 3] = requantize(
-          l, static_cast<std::int64_t>(r1c3) - zx * pl.wsum[oc + 3], oc + 3);
-    }
-    for (; oc < co; ++oc) {
-      const std::int32_t* __restrict__ w0 = W + oc * K;
-      AccT acc0 = 0, acc1 = 0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        acc0 += static_cast<AccT>(a0[k]) * w0[k];
-        acc1 += static_cast<AccT>(a1[k]) * w0[k];
-      }
-      o0[oc] = requantize(
-          l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc], oc);
-      o1[oc] = requantize(
-          l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc], oc);
-    }
-  }
-  // Remainder row (and the M == 1 linear/head-input case).
-  for (; m < M; ++m) {
+  for (std::int64_t m = m0; m < m1; ++m) {
     const std::int32_t* __restrict__ a = A + m * K;
     std::int32_t* o = out + m * co;
-    std::int64_t oc = 0;
-    for (; oc + 4 <= co; oc += 4) {
+    for (std::int64_t oc = 0; oc < co; ++oc) {
       const std::int32_t* __restrict__ w0 = W + oc * K;
-      const std::int32_t* __restrict__ w1 = w0 + K;
-      const std::int32_t* __restrict__ w2 = w1 + K;
-      const std::int32_t* __restrict__ w3 = w2 + K;
-      AccT acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      std::int64_t acc = 0;
       for (std::int64_t k = 0; k < K; ++k) {
-        const AccT xv = a[k];
-        acc0 += xv * w0[k];
-        acc1 += xv * w1[k];
-        acc2 += xv * w2[k];
-        acc3 += xv * w3[k];
+        acc += static_cast<std::int64_t>(a[k]) * w0[k];
       }
-      o[oc + 0] = requantize(
-          l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc + 0], oc + 0);
-      o[oc + 1] = requantize(
-          l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc + 1], oc + 1);
-      o[oc + 2] = requantize(
-          l, static_cast<std::int64_t>(acc2) - zx * pl.wsum[oc + 2], oc + 2);
-      o[oc + 3] = requantize(
-          l, static_cast<std::int64_t>(acc3) - zx * pl.wsum[oc + 3], oc + 3);
-    }
-    for (; oc < co; ++oc) {
-      const std::int32_t* __restrict__ w0 = W + oc * K;
-      AccT acc = 0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        acc += static_cast<AccT>(a[k]) * w0[k];
-      }
-      o[oc] = requantize(l, static_cast<std::int64_t>(acc) - zx * pl.wsum[oc],
-                         oc);
+      o[oc] = requantize(l, acc - zx * pl.wsum[oc], oc);
     }
   }
 }
 
-/// General KxK convolution, interior/border split. The interior path has
-/// no bounds checks at all: each tap row is a contiguous kw*ci dot product.
-template <typename AccT>
-void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
-               std::int32_t* y) {
+/// General KxK convolution over output rows [r0, r1), interior/border
+/// split, INT32 accumulators. Interior pixels accumulate all `co` channels
+/// into row_acc (4-channel dot blocks, each tap row a contiguous kw*ci dot
+/// product), then requantize as a row.
+void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
+                   std::int32_t* y, std::int64_t r0, std::int64_t r1,
+                   std::int32_t* row_acc) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
@@ -179,7 +165,7 @@ void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
   const std::int64_t zx = l.zx;
   const std::int32_t* W = pl.w.data();
 
-  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+  for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
     std::int32_t* orow = y + oh * os.w * co;
@@ -188,50 +174,26 @@ void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
       const std::int64_t iw0 = ow * stride - pad;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
         const std::int32_t* xb = x + ih0 * row + iw0 * C;
+        std::fill(row_acc, row_acc + co, 0);
         std::int64_t oc = 0;
         for (; oc + 4 <= co; oc += 4) {
           const std::int32_t* w0 = W + oc * per;
-          const std::int32_t* w1 = w0 + per;
-          const std::int32_t* w2 = w1 + per;
-          const std::int32_t* w3 = w2 + per;
-          AccT acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
           for (std::int64_t ky = 0; ky < kh; ++ky) {
             const std::int32_t* xr = xb + ky * row;
             const std::int64_t wb = ky * klen;
-            for (std::int64_t k = 0; k < klen; ++k) {
-              const AccT xv = xr[k];
-              acc0 += xv * w0[wb + k];
-              acc1 += xv * w1[wb + k];
-              acc2 += xv * w2[wb + k];
-              acc3 += xv * w3[wb + k];
-            }
+            simd::dot1x4_i32(xr, w0 + wb, w0 + per + wb, w0 + 2 * per + wb,
+                             w0 + 3 * per + wb, klen, row_acc + oc);
           }
-          o[oc + 0] = requantize(
-              l, static_cast<std::int64_t>(acc0) - zx * pl.wsum[oc + 0],
-              oc + 0);
-          o[oc + 1] = requantize(
-              l, static_cast<std::int64_t>(acc1) - zx * pl.wsum[oc + 1],
-              oc + 1);
-          o[oc + 2] = requantize(
-              l, static_cast<std::int64_t>(acc2) - zx * pl.wsum[oc + 2],
-              oc + 2);
-          o[oc + 3] = requantize(
-              l, static_cast<std::int64_t>(acc3) - zx * pl.wsum[oc + 3],
-              oc + 3);
         }
         for (; oc < co; ++oc) {
           const std::int32_t* w0 = W + oc * per;
-          AccT acc = 0;
+          std::int32_t acc = 0;
           for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int32_t* xr = xb + ky * row;
-            const std::int32_t* wr = w0 + ky * klen;
-            for (std::int64_t k = 0; k < klen; ++k) {
-              acc += static_cast<AccT>(xr[k]) * wr[k];
-            }
+            acc += simd::dot_i32(xb + ky * row, w0 + ky * klen, klen);
           }
-          o[oc] = requantize(
-              l, static_cast<std::int64_t>(acc) - zx * pl.wsum[oc], oc);
+          row_acc[oc] = acc;
         }
+        requant_row(pl, row_acc, o, co);
       } else {
         // Border: the valid taps form a clamped rectangle, so the dot is
         // still contiguous per tap row and the Zx correction is a
@@ -244,14 +206,12 @@ void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
         for (std::int64_t oc = 0; oc < co; ++oc) {
           const std::int32_t* wch = W + oc * per;
           const std::int64_t* ts = pl.tap_sum.data() + oc * kh * kw;
-          AccT acc = 0;
+          std::int32_t acc = 0;
           std::int64_t svalid = 0;
           for (std::int64_t ky = ky0; ky < ky1; ++ky) {
             const std::int32_t* xr = x + (ih0 + ky) * row + (iw0 + kx0) * C;
             const std::int32_t* wr = wch + (ky * kw + kx0) * C;
-            for (std::int64_t k = 0; k < seg; ++k) {
-              acc += static_cast<AccT>(xr[k]) * wr[k];
-            }
+            acc += simd::dot_i32(xr, wr, seg);
             for (std::int64_t kx = kx0; kx < kx1; ++kx) {
               svalid += ts[ky * kw + kx];
             }
@@ -262,6 +222,87 @@ void conv_plan(const PlannedLayer& pl, const std::int32_t* x,
       }
     }
   }
+}
+
+/// INT64-accumulator KxK convolution fallback over output rows [r0, r1).
+void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
+                   std::int32_t* y, std::int64_t r0, std::int64_t r1) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t co = os.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t klen = kw * C;
+  const std::int64_t per = l.wshape.per_channel();
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+
+  for (std::int64_t oh = r0; oh < r1; ++oh) {
+    const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
+    const std::int64_t ih0 = oh * stride - pad;
+    std::int32_t* orow = y + oh * os.w * co;
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      std::int32_t* o = orow + ow * co;
+      const std::int64_t iw0 = ow * stride - pad;
+      const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
+      const std::int64_t ky1 = std::min(kh, is.h - ih0);
+      const std::int64_t kx0 = iw0 < 0 ? -iw0 : 0;
+      const std::int64_t kx1 = std::min(kw, is.w - iw0);
+      const bool interior = row_interior && ow >= pl.ow0 && ow < pl.ow1;
+      const std::int64_t seg = (kx1 - kx0) * C;
+      for (std::int64_t oc = 0; oc < co; ++oc) {
+        const std::int32_t* wch = W + oc * per;
+        std::int64_t acc = 0;
+        if (interior) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int32_t* xr = x + ih0 * row + iw0 * C + ky * row;
+            const std::int32_t* wr = wch + ky * klen;
+            for (std::int64_t k = 0; k < klen; ++k) {
+              acc += static_cast<std::int64_t>(xr[k]) * wr[k];
+            }
+          }
+          o[oc] = requantize(l, acc - zx * pl.wsum[oc], oc);
+        } else {
+          const std::int64_t* ts = pl.tap_sum.data() + oc * kh * kw;
+          std::int64_t svalid = 0;
+          for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+            const std::int32_t* xr = x + (ih0 + ky) * row + (iw0 + kx0) * C;
+            const std::int32_t* wr = wch + (ky * kw + kx0) * C;
+            for (std::int64_t k = 0; k < seg; ++k) {
+              acc += static_cast<std::int64_t>(xr[k]) * wr[k];
+            }
+            for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+              svalid += ts[ky * kw + kx];
+            }
+          }
+          o[oc] = requantize(l, acc - zx * svalid, oc);
+        }
+      }
+    }
+  }
+}
+
+/// Encodes a clamped depthwise tap window for the border-config lookup.
+/// Degenerate (empty) windows clamp to 0 so the encoding stays
+/// non-negative; both the plan builder and the kernel encode through here.
+inline std::int64_t border_cfg_key(std::int64_t ky0, std::int64_t ky1,
+                                   std::int64_t kx0, std::int64_t kx1) {
+  if (ky1 < 0) ky1 = 0;
+  if (kx1 < 0) kx1 = 0;
+  return (((ky0 << 8 | ky1) << 8 | kx0) << 8) | kx1;
+}
+
+inline const std::int32_t* border_add_for(const PlannedLayer& pl,
+                                          std::int64_t key) {
+  for (std::size_t i = 0; i < pl.border_key.size(); ++i) {
+    if (pl.border_key[i] == key) return pl.border_add[i].data();
+  }
+  return nullptr;
 }
 
 /// Depthwise border pixel: per-channel scalar taps over the clamped
@@ -298,11 +339,12 @@ void depthwise_border_pixel(const PlannedLayer& pl, const std::int32_t* x,
   }
 }
 
-/// Depthwise interior with INT32 accumulators: tap-major loop over the
-/// transposed weight bank, so every inner iteration is a contiguous
-/// multiply-accumulate across channels (vectorizable).
-void depthwise_plan_i32(const PlannedLayer& pl, const std::int32_t* x,
-                        std::int32_t* y, std::int32_t* __restrict__ acc) {
+/// Depthwise interior with INT32 accumulators over output rows [r0, r1):
+/// tap-major loop over the transposed weight bank, so every inner
+/// iteration is a contiguous SIMD multiply-accumulate across channels.
+void depthwise_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
+                        std::int32_t* y, std::int64_t r0, std::int64_t r1,
+                        std::int32_t* __restrict__ acc) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
@@ -313,10 +355,10 @@ void depthwise_plan_i32(const PlannedLayer& pl, const std::int32_t* x,
   const std::int64_t pad = l.spec.pad;
   const std::int64_t row = is.w * C;
   const std::int64_t per = kh * kw;
-  const std::int64_t zx = l.zx;
   const std::int64_t* toff = pl.tap_off.data();
+  const std::int32_t* wt = pl.wt.data();
 
-  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+  for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
     std::int32_t* orow = y + oh * os.w * C;
@@ -324,17 +366,29 @@ void depthwise_plan_i32(const PlannedLayer& pl, const std::int32_t* x,
       std::int32_t* o = orow + ow * C;
       const std::int64_t iw0 = ow * stride - pad;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
-        const std::int32_t* xb = x + ih0 * row + iw0 * C;
+        simd::dw_dot_i32(x + ih0 * row + iw0 * C, toff, wt, per, C, acc);
+        requant_row(pl, acc, o, C);
+      } else if (pl.rq.usable) {
+        // Vector border: MAC the valid-tap rectangle across channels, then
+        // requantize with this window's precomputed pre-add.
+        const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
+        const std::int64_t ky1 = std::min(kh, is.h - ih0);
+        const std::int64_t kx0 = iw0 < 0 ? -iw0 : 0;
+        const std::int64_t kx1 = std::min(kw, is.w - iw0);
+        const std::int32_t* addv =
+            border_add_for(pl, border_cfg_key(ky0, ky1, kx0, kx1));
+        if (addv == nullptr) {
+          depthwise_border_pixel<std::int32_t>(pl, x, o, ih0, iw0);
+          continue;
+        }
         std::fill(acc, acc + C, 0);
-        for (std::int64_t t = 0; t < per; ++t) {
-          const std::int32_t* __restrict__ xt = xb + toff[t];
-          const std::int32_t* __restrict__ wt = pl.wt.data() + t * C;
-          for (std::int64_t c = 0; c < C; ++c) acc[c] += xt[c] * wt[c];
+        for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+          for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+            simd::mac_i32(acc, x + (ih0 + ky) * row + (iw0 + kx) * C,
+                          wt + (ky * kw + kx) * C, C);
+          }
         }
-        for (std::int64_t c = 0; c < C; ++c) {
-          o[c] = requantize(
-              l, static_cast<std::int64_t>(acc[c]) - zx * pl.wsum[c], c);
-        }
+        simd::requant_icn_i32(pl.rq, acc, addv, o, C);
       } else {
         depthwise_border_pixel<std::int32_t>(pl, x, o, ih0, iw0);
       }
@@ -342,26 +396,22 @@ void depthwise_plan_i32(const PlannedLayer& pl, const std::int32_t* x,
   }
 }
 
-/// Depthwise convolution, direct blocked kernel with the same
-/// interior/border split; tap input offsets are precomputed in the plan.
-template <typename AccT>
-void depthwise_plan(const PlannedLayer& pl, const std::int32_t* x,
-                    std::int32_t* y) {
+/// INT64-accumulator depthwise fallback over output rows [r0, r1).
+void depthwise_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
+                        std::int32_t* y, std::int64_t r0, std::int64_t r1) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
   const std::int64_t C = is.c;
-  const std::int64_t kh = l.spec.kh;
-  const std::int64_t kw = l.spec.kw;
   const std::int64_t stride = l.spec.stride;
   const std::int64_t pad = l.spec.pad;
   const std::int64_t row = is.w * C;
-  const std::int64_t per = kh * kw;
+  const std::int64_t per = l.spec.kh * l.spec.kw;
   const std::int64_t zx = l.zx;
   const std::int32_t* W = pl.w.data();
   const std::int64_t* toff = pl.tap_off.data();
 
-  for (std::int64_t oh = 0; oh < os.h; ++oh) {
+  for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
     std::int32_t* orow = y + oh * os.w * C;
@@ -372,25 +422,35 @@ void depthwise_plan(const PlannedLayer& pl, const std::int32_t* x,
         const std::int32_t* xb = x + ih0 * row + iw0 * C;
         for (std::int64_t c = 0; c < C; ++c) {
           const std::int32_t* wch = W + c * per;
-          AccT acc = 0;
+          std::int64_t acc = 0;
           for (std::int64_t t = 0; t < per; ++t) {
-            acc += static_cast<AccT>(xb[toff[t] + c]) * wch[t];
+            acc += static_cast<std::int64_t>(xb[toff[t] + c]) * wch[t];
           }
-          o[c] = requantize(
-              l, static_cast<std::int64_t>(acc) - zx * pl.wsum[c], c);
+          o[c] = requantize(l, acc - zx * pl.wsum[c], c);
         }
       } else {
-        depthwise_border_pixel<AccT>(pl, x, o, ih0, iw0);
+        depthwise_border_pixel<std::int64_t>(pl, x, o, ih0, iw0);
       }
     }
   }
 }
 
-void gap_plan(const QLayer& l, const std::int32_t* x, std::int32_t* y) {
+void gap_plan(const PlannedLayer& pl, const std::int32_t* x, std::int32_t* y,
+              std::int32_t* row_acc) {
   // Raw codes, floor division: preserves scale and zero-point exactly as
-  // the reference kernel does.
+  // the reference kernel does. Codes are non-negative, so the INT32
+  // vector-accumulated path divides to the identical quotient.
+  const QLayer& l = *pl.layer;
   const std::int64_t hw = l.in_shape.h * l.in_shape.w;
   const std::int64_t C = l.in_shape.c;
+  if (pl.pool32) {
+    std::fill(row_acc, row_acc + C, 0);
+    for (std::int64_t r = 0; r < hw; ++r) {
+      simd::add_i32(row_acc, x + r * C, C);
+    }
+    for (std::int64_t c = 0; c < C; ++c) y[c] = row_acc[c] / hw;
+    return;
+  }
   for (std::int64_t c = 0; c < C; ++c) {
     std::int64_t sum = 0;
     for (std::int64_t r = 0; r < hw; ++r) sum += x[r * C + c];
@@ -398,30 +458,25 @@ void gap_plan(const QLayer& l, const std::int32_t* x, std::int32_t* y) {
   }
 }
 
-template <typename AccT>
-void head_plan(const PlannedLayer& pl, const std::int32_t* x,
-               std::vector<float>& logits) {
-  const QLayer& l = *pl.layer;
-  const std::int64_t K = l.wshape.per_channel();
-  const std::int64_t co = l.wshape.co;
-  const std::int64_t zx = l.zx;
-  const std::int32_t* W = pl.w.data();
-  for (std::int64_t oc = 0; oc < co; ++oc) {
-    const std::int32_t* w0 = W + oc * K;
-    AccT acc = 0;
-    for (std::int64_t k = 0; k < K; ++k) {
-      acc += static_cast<AccT>(x[k]) * w0[k];
-    }
-    const std::int64_t phi =
-        static_cast<std::int64_t>(acc) - zx * pl.wsum[oc];
-    const auto& ch = l.icn[static_cast<std::size_t>(oc)];
-    logits[static_cast<std::size_t>(oc)] =
-        static_cast<float>(l.out_mult[static_cast<std::size_t>(oc)] *
-                           static_cast<double>(phi + ch.bq));
-  }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PlanArenas
+// ---------------------------------------------------------------------------
+
+PlanArenas::PlanArenas(const ExecutionPlan& plan, int lanes_in)
+    : lanes(std::max(1, lanes_in)) {
+  ping.resize(static_cast<std::size_t>(plan.ping_elems()));
+  pong.resize(static_cast<std::size_t>(plan.pong_elems()));
+  col.resize(static_cast<std::size_t>(plan.col_elems()));
+  row_acc_per = plan.row_acc_elems();
+  row_acc.resize(static_cast<std::size_t>(row_acc_per * lanes));
+  logits.resize(static_cast<std::size_t>(plan.logit_elems()));
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// ExecutionPlan
+// ---------------------------------------------------------------------------
 
 ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
   net.validate();
@@ -440,6 +495,21 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
     if (!l.raw_logits) {
       auto& cap = (i + 1) % 2 == 0 ? ping_elems_ : pong_elems_;
       cap = std::max(cap, l.out_shape.numel());
+    }
+
+    switch (l.kind) {
+      case QLayerKind::kConv:
+        pl.macs = l.out_shape.numel() * l.spec.kh * l.spec.kw * l.wshape.ci;
+        break;
+      case QLayerKind::kDepthwise:
+        pl.macs = l.out_shape.numel() * l.spec.kh * l.spec.kw;
+        break;
+      case QLayerKind::kLinear:
+        pl.macs = l.wshape.co * l.wshape.per_channel();
+        break;
+      case QLayerKind::kGlobalAvgPool:
+        pl.macs = 0;
+        break;
     }
 
     if (l.kind != QLayerKind::kGlobalAvgPool) {
@@ -474,7 +544,39 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
       }
       // 32-bit accumulators are safe when every partial dot product is
       // bounded away from overflow (|sum| <= per * qmax(qx) * qmax(qw)).
-      pl.acc32 = core::phi_bound(per, l.qx, l.qw) <= (std::int64_t{1} << 30);
+      const std::int64_t bound = core::phi_bound(per, l.qx, l.qw);
+      pl.acc32 = bound <= (std::int64_t{1} << 30);
+
+      // Vectorized requantization table: usable only when the whole chain
+      // (phi+bq within int32, folded pre-add within int32, shift in
+      // [0, 62]) is provably exact in the vector form. The threshold
+      // scheme and the raw-logits head keep the scalar path.
+      if (pl.acc32 && !l.raw_logits && l.scheme != Scheme::kPCThresholds) {
+        simd::RequantTable& rq = pl.rq;
+        rq.zy = l.zy;
+        rq.hi = static_cast<std::int32_t>(core::qmax(l.qy));
+        rq.m0.reserve(static_cast<std::size_t>(co));
+        rq.shift.reserve(static_cast<std::size_t>(co));
+        rq.bias_sub.reserve(static_cast<std::size_t>(co));
+        rq.add.reserve(static_cast<std::size_t>(co));
+        bool ok = true;
+        constexpr std::int64_t kI32Max = 2147483647;
+        for (std::int64_t oc = 0; oc < co && ok; ++oc) {
+          const IcnChannel& ch = l.icn[static_cast<std::size_t>(oc)];
+          const std::int64_t shift = 31 - static_cast<std::int64_t>(ch.m.n0);
+          const std::int64_t add64 =
+              static_cast<std::int64_t>(ch.bq) -
+              static_cast<std::int64_t>(l.zx) * pl.wsum[oc];
+          ok = shift >= 0 && shift <= 62 && std::llabs(add64) <= kI32Max &&
+               std::llabs(static_cast<std::int64_t>(ch.bq)) + bound <= kI32Max;
+          if (!ok) break;
+          rq.m0.push_back(ch.m.m0_q31);
+          rq.shift.push_back(shift);
+          rq.bias_sub.push_back((std::int64_t{1} << 62) >> shift);
+          rq.add.push_back(static_cast<std::int32_t>(add64));
+        }
+        rq.usable = ok;
+      }
     }
 
     if (l.kind == QLayerKind::kConv || l.kind == QLayerKind::kDepthwise) {
@@ -507,19 +609,71 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
                 pl.w[static_cast<std::size_t>(c * taps + t)];
           }
         }
-        dw_acc_elems_ = std::max(dw_acc_elems_, C);
+        // Border requant configs: one pre-add vector (bq - Zx*svalid) per
+        // distinct clamped tap window, so border pixels stay on the
+        // vector path. Usability bounds: |svalid| is a tap subset of
+        // wsum, so |Zx*svalid| <= phi_bound and the |bq| + phi_bound
+        // check above covers every config.
+        if (pl.rq.usable) {
+          std::vector<std::pair<std::int64_t, std::int64_t>> kyw, kxw;
+          for (std::int64_t oh = 0; oh < l.out_shape.h; ++oh) {
+            const std::int64_t ih0 = oh * l.spec.stride - l.spec.pad;
+            kyw.emplace_back(ih0 < 0 ? -ih0 : 0,
+                             std::min(l.spec.kh, l.in_shape.h - ih0));
+          }
+          for (std::int64_t ow = 0; ow < l.out_shape.w; ++ow) {
+            const std::int64_t iw0 = ow * l.spec.stride - l.spec.pad;
+            kxw.emplace_back(iw0 < 0 ? -iw0 : 0,
+                             std::min(l.spec.kw, l.in_shape.w - iw0));
+          }
+          std::sort(kyw.begin(), kyw.end());
+          kyw.erase(std::unique(kyw.begin(), kyw.end()), kyw.end());
+          std::sort(kxw.begin(), kxw.end());
+          kxw.erase(std::unique(kxw.begin(), kxw.end()), kxw.end());
+          for (const auto& [ky0, ky1] : kyw) {
+            for (const auto& [kx0, kx1] : kxw) {
+              pl.border_key.push_back(border_cfg_key(ky0, ky1, kx0, kx1));
+              std::vector<std::int32_t> add(static_cast<std::size_t>(C));
+              for (std::int64_t c = 0; c < C; ++c) {
+                std::int64_t svalid = 0;
+                for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+                  for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+                    svalid += pl.tap_sum[static_cast<std::size_t>(
+                        c * taps + ky * l.spec.kw + kx)];
+                  }
+                }
+                add[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(
+                        l.icn[static_cast<std::size_t>(c)].bq) -
+                    static_cast<std::int64_t>(l.zx) * svalid);
+              }
+              pl.border_add.push_back(std::move(add));
+            }
+          }
+        }
       }
     }
+
+    // Per-lane row-accumulator scratch sizing: depthwise/pool rows are C
+    // wide, GEMM buffers two rows of co, direct conv one row of co.
+    if (l.kind == QLayerKind::kDepthwise) {
+      row_acc_elems_ = std::max(row_acc_elems_, l.in_shape.c);
+    } else if (l.kind == QLayerKind::kGlobalAvgPool) {
+      pl.pool32 = l.in_shape.h * l.in_shape.w * core::qmax(l.qx) <=
+                  std::int64_t{2147483647};
+      if (pl.pool32) {
+        row_acc_elems_ = std::max(row_acc_elems_, l.in_shape.c);
+      }
+    } else if (!l.raw_logits) {
+      row_acc_elems_ = std::max(row_acc_elems_, 2 * l.wshape.co);
+    }
+
     layers_.push_back(std::move(pl));
   }
 
-  ping_.resize(static_cast<std::size_t>(ping_elems_));
-  pong_.resize(static_cast<std::size_t>(pong_elems_));
-  col_.resize(static_cast<std::size_t>(col_elems_));
-  dw_acc_.resize(static_cast<std::size_t>(dw_acc_elems_));
   const QLayer& last = net.layers.back();
-  logits_.resize(static_cast<std::size_t>(
-      last.raw_logits ? last.wshape.co : last.out_shape.numel()));
+  logit_elems_ = last.raw_logits ? last.wshape.co : last.out_shape.numel();
+  self_ = std::make_unique<PlanArenas>(*this, 1);
 }
 
 std::int64_t ExecutionPlan::arena_bytes() const {
@@ -527,103 +681,193 @@ std::int64_t ExecutionPlan::arena_bytes() const {
          (ping_elems_ + pong_elems_ + col_elems_);
 }
 
-std::int32_t* ExecutionPlan::arena(int which) const {
-  return which == 0 ? ping_.data() : pong_.data();
-}
-
 void ExecutionPlan::quantize_input_into(const float* sample,
-                                        std::int32_t* dst) const {
+                                        std::int32_t* dst, std::int64_t i0,
+                                        std::int64_t i1) const {
   const core::QuantParams& qp = net_->input_qp;
-  const std::int64_t n = net_->layers.front().in_shape.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
+  for (std::int64_t i = i0; i < i1; ++i) {
     dst[i] = core::quantize_value(sample[i], qp, core::RoundMode::kNearest);
   }
 }
 
-void ExecutionPlan::run_one_layer(const PlannedLayer& pl,
-                                  const std::int32_t* x,
-                                  std::int32_t* y) const {
+std::int64_t ExecutionPlan::partition_rows(const PlannedLayer& pl) {
+  const QLayer& l = *pl.layer;
+  switch (l.kind) {
+    case QLayerKind::kConv:
+      return pl.gemm ? l.out_shape.h * l.out_shape.w : l.out_shape.h;
+    case QLayerKind::kDepthwise:
+      return l.out_shape.h;
+    case QLayerKind::kLinear:
+    case QLayerKind::kGlobalAvgPool:
+      return 1;
+  }
+  return 1;
+}
+
+void ExecutionPlan::run_layer_rows(const PlannedLayer& pl,
+                                   const std::int32_t* x, std::int32_t* y,
+                                   std::int64_t r0, std::int64_t r1,
+                                   std::int32_t* row_acc,
+                                   std::int32_t* col) const {
   const QLayer& l = *pl.layer;
   switch (l.kind) {
     case QLayerKind::kConv:
       if (pl.gemm) {
         const std::int64_t K = l.in_shape.c;
-        const std::int64_t M = l.out_shape.h * l.out_shape.w;
         const std::int32_t* A = x;
         if (l.spec.stride > 1) {
-          // im2col gather: strided pointwise rows become one dense matrix.
+          // im2col gather for this lane's rows: strided pointwise rows
+          // become a dense slice of the shared (row-disjoint) col matrix.
           const std::int64_t s = l.spec.stride;
           const std::int64_t row = l.in_shape.w * K;
-          std::int32_t* col = col_.data();
-          for (std::int64_t oh = 0; oh < l.out_shape.h; ++oh) {
-            for (std::int64_t ow = 0; ow < l.out_shape.w; ++ow) {
-              const std::int32_t* src = x + oh * s * row + ow * s * K;
-              std::copy(src, src + K,
-                        col + (oh * l.out_shape.w + ow) * K);
-            }
+          const std::int64_t ow_n = l.out_shape.w;
+          for (std::int64_t m = r0; m < r1; ++m) {
+            const std::int64_t oh = m / ow_n;
+            const std::int64_t ow = m % ow_n;
+            const std::int32_t* src = x + oh * s * row + ow * s * K;
+            std::copy(src, src + K, col + m * K);
           }
           A = col;
         }
         if (pl.acc32) {
-          gemm_requant<std::int32_t>(pl, A, M, K, y);
+          gemm_rows_i32(pl, A, r0, r1, K, y, row_acc);
         } else {
-          gemm_requant<std::int64_t>(pl, A, M, K, y);
+          gemm_rows_i64(pl, A, r0, r1, K, y);
         }
       } else if (pl.acc32) {
-        conv_plan<std::int32_t>(pl, x, y);
+        conv_rows_i32(pl, x, y, r0, r1, row_acc);
       } else {
-        conv_plan<std::int64_t>(pl, x, y);
+        conv_rows_i64(pl, x, y, r0, r1);
       }
       return;
     case QLayerKind::kDepthwise:
       if (pl.acc32) {
-        depthwise_plan_i32(pl, x, y, dw_acc_.data());
+        depthwise_rows_i32(pl, x, y, r0, r1, row_acc);
       } else {
-        depthwise_plan<std::int64_t>(pl, x, y);
+        depthwise_rows_i64(pl, x, y, r0, r1);
       }
       return;
     case QLayerKind::kLinear:
       if (pl.acc32) {
-        gemm_requant<std::int32_t>(pl, x, 1, l.wshape.per_channel(), y);
+        gemm_rows_i32(pl, x, 0, 1, l.wshape.per_channel(), y, row_acc);
       } else {
-        gemm_requant<std::int64_t>(pl, x, 1, l.wshape.per_channel(), y);
+        gemm_rows_i64(pl, x, 0, 1, l.wshape.per_channel(), y);
       }
       return;
     case QLayerKind::kGlobalAvgPool:
-      gap_plan(l, x, y);
+      gap_plan(pl, x, y, row_acc);
       return;
   }
   throw std::logic_error("ExecutionPlan: invalid layer kind");
 }
 
+void ExecutionPlan::run_head(const PlannedLayer& pl, const std::int32_t* x,
+                             std::vector<float>& logits) const {
+  const QLayer& l = *pl.layer;
+  const std::int64_t K = l.wshape.per_channel();
+  const std::int64_t co = l.wshape.co;
+  const std::int64_t zx = l.zx;
+  const std::int32_t* W = pl.w.data();
+  for (std::int64_t oc = 0; oc < co; ++oc) {
+    const std::int32_t* w0 = W + oc * K;
+    std::int64_t acc;
+    if (pl.acc32) {
+      acc = simd::dot_i32(x, w0, K);
+    } else {
+      std::int64_t a = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        a += static_cast<std::int64_t>(x[k]) * w0[k];
+      }
+      acc = a;
+    }
+    const std::int64_t phi = acc - zx * pl.wsum[oc];
+    const auto& ch = l.icn[static_cast<std::size_t>(oc)];
+    logits[static_cast<std::size_t>(oc)] =
+        static_cast<float>(l.out_mult[static_cast<std::size_t>(oc)] *
+                           static_cast<double>(phi + ch.bq));
+  }
+}
+
+const std::vector<float>& ExecutionPlan::finish_logits(
+    PlanArenas& arenas) const {
+  // No raw head: the last codes become the logits, as in Executor::run.
+  const std::int32_t* fin = arenas.arena(layers_.back().dst);
+  for (std::size_t i = 0; i < arenas.logits.size(); ++i) {
+    arenas.logits[i] = static_cast<float>(fin[i]);
+  }
+  return arenas.logits;
+}
+
 const std::vector<float>& ExecutionPlan::run_into(const float* sample) const {
-  quantize_input_into(sample, arena(0));
+  return run_into(sample, *self_);
+}
+
+const std::vector<float>& ExecutionPlan::run_into(const float* sample,
+                                                  PlanArenas& arenas) const {
+  quantize_input_into(sample, arenas.arena(0), 0,
+                      net_->layers.front().in_shape.numel());
   for (const PlannedLayer& pl : layers_) {
     if (pl.layer->raw_logits) {
-      if (pl.acc32) {
-        head_plan<std::int32_t>(pl, arena(pl.src), logits_);
-      } else {
-        head_plan<std::int64_t>(pl, arena(pl.src), logits_);
-      }
-      return logits_;
+      run_head(pl, arenas.arena(pl.src), arenas.logits);
+      return arenas.logits;
     }
-    run_one_layer(pl, arena(pl.src), arena(pl.dst));
+    run_layer_rows(pl, arenas.arena(pl.src), arenas.arena(pl.dst), 0,
+                   partition_rows(pl), arenas.lane_row_acc(0),
+                   arenas.col.data());
   }
-  // No raw head: the last codes become the logits, as in Executor::run.
-  const std::int32_t* fin = arena(layers_.back().dst);
-  for (std::size_t i = 0; i < logits_.size(); ++i) {
-    logits_[i] = static_cast<float>(fin[i]);
+  return finish_logits(arenas);
+}
+
+const std::vector<float>& ExecutionPlan::run_into(const float* sample,
+                                                  PlanArenas& arenas,
+                                                  ThreadPool& pool) const {
+  if (arenas.lanes < pool.lanes()) {
+    throw std::invalid_argument(
+        "ExecutionPlan::run_into: arenas built with fewer lanes than the "
+        "pool");
   }
-  return logits_;
+  if (pool.lanes() == 1) return run_into(sample, arenas);
+
+  const std::int64_t n_in = net_->layers.front().in_shape.numel();
+  std::int32_t* input = arenas.arena(0);
+  if (n_in >= 4096) {
+    pool.parallel_for(n_in,
+                      [&](int, std::int64_t b, std::int64_t e) {
+                        quantize_input_into(sample, input, b, e);
+                      });
+  } else {
+    quantize_input_into(sample, input, 0, n_in);
+  }
+  for (const PlannedLayer& pl : layers_) {
+    if (pl.layer->raw_logits) {
+      run_head(pl, arenas.arena(pl.src), arenas.logits);
+      return arenas.logits;
+    }
+    const std::int64_t rows = partition_rows(pl);
+    const std::int32_t* x = arenas.arena(pl.src);
+    std::int32_t* y = arenas.arena(pl.dst);
+    if (rows >= 2 && pl.macs >= kIntraParMinMacs) {
+      pool.parallel_for(rows, [&](int lane, std::int64_t b, std::int64_t e) {
+        run_layer_rows(pl, x, y, b, e, arenas.lane_row_acc(lane),
+                       arenas.col.data());
+      });
+    } else {
+      run_layer_rows(pl, x, y, 0, rows, arenas.lane_row_acc(0),
+                     arenas.col.data());
+    }
+  }
+  return finish_logits(arenas);
 }
 
 const std::vector<float>& ExecutionPlan::run_timed(
     const float* sample, std::vector<std::int64_t>& per_layer_ns,
     std::int64_t* quantize_ns) const {
   using clock = std::chrono::steady_clock;
+  PlanArenas& arenas = *self_;
   per_layer_ns.assign(layers_.size(), 0);
   auto t0 = clock::now();
-  quantize_input_into(sample, arena(0));
+  quantize_input_into(sample, arenas.arena(0), 0,
+                      net_->layers.front().in_shape.numel());
   auto t1 = clock::now();
   if (quantize_ns != nullptr) {
     *quantize_ns =
@@ -633,34 +877,33 @@ const std::vector<float>& ExecutionPlan::run_timed(
     const PlannedLayer& pl = layers_[i];
     t0 = clock::now();
     if (pl.layer->raw_logits) {
-      if (pl.acc32) {
-        head_plan<std::int32_t>(pl, arena(pl.src), logits_);
-      } else {
-        head_plan<std::int64_t>(pl, arena(pl.src), logits_);
-      }
+      run_head(pl, arenas.arena(pl.src), arenas.logits);
     } else {
-      run_one_layer(pl, arena(pl.src), arena(pl.dst));
+      run_layer_rows(pl, arenas.arena(pl.src), arenas.arena(pl.dst), 0,
+                     partition_rows(pl), arenas.lane_row_acc(0),
+                     arenas.col.data());
     }
     t1 = clock::now();
     per_layer_ns[i] =
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
-    if (pl.layer->raw_logits) return logits_;
+    if (pl.layer->raw_logits) return arenas.logits;
   }
-  const std::int32_t* fin = arena(layers_.back().dst);
-  for (std::size_t i = 0; i < logits_.size(); ++i) {
-    logits_[i] = static_cast<float>(fin[i]);
-  }
-  return logits_;
+  return finish_logits(arenas);
 }
 
-QInferenceResult ExecutionPlan::run_sample(const float* sample) const {
-  const std::vector<float>& logits = run_into(sample);
+QInferenceResult ExecutionPlan::run_sample(const float* sample,
+                                           PlanArenas& arenas) const {
+  const std::vector<float>& logits = run_into(sample, arenas);
   QInferenceResult res;
   res.logits = logits;
   res.predicted = static_cast<std::int32_t>(
       std::max_element(res.logits.begin(), res.logits.end()) -
       res.logits.begin());
   return res;
+}
+
+QInferenceResult ExecutionPlan::run_sample(const float* sample) const {
+  return run_sample(sample, *self_);
 }
 
 QInferenceResult ExecutionPlan::run(const FloatTensor& image) const {

@@ -18,25 +18,40 @@
 //     the spatial loop splits into a branch-free fast path and a border
 //     slow path;
 //   * whether 32-bit accumulators are provably overflow-free for the
-//     layer's fan-in (phi_bound < 2^30), which lets the compiler vectorize
-//     the integer dot products;
+//     layer's fan-in (phi_bound < 2^30), which selects the SIMD kernels
+//     (runtime/simd.hpp: vectorized depthwise MAC, the 4-channel x 8-lane
+//     GEMM micro-kernel, vectorized ICN requant/clamp and pool accumulate);
 //   * the ping-pong activation arena sizes, mirroring the even/odd tensor
 //     assignment of mcu::build_memory_map (Eq. 7): layer i reads one arena
 //     and writes the other.
 //
 // Pointwise (1x1) convolutions and linear layers run as im2col + a
-// register-blocked integer GEMM (4 output channels per block); for stride-1
-// pad-0 pointwise layers the NHWC activation tensor *is* the im2col matrix
-// and no gather is needed. Every result is bit-exact with the reference
-// kernels (kernels.hpp) -- integer equality, asserted by the test suite.
+// register-blocked integer GEMM; for stride-1 pad-0 pointwise layers the
+// NHWC activation tensor *is* the im2col matrix and no gather is needed.
+// Every result is bit-exact with the reference kernels (kernels.hpp) --
+// integer equality, asserted by the test suite -- on every ISA and for
+// every thread count.
+//
+// Thread-safety contract: an ExecutionPlan is immutable after construction.
+// run_into(sample, arenas) touches only the caller-supplied PlanArenas, so
+// any number of threads may run the *same* plan concurrently as long as
+// each uses its own PlanArenas (this is how Executor::run_batch partitions
+// a batch across a ThreadPool). The convenience overloads without an
+// arena argument share one internal arena set and are NOT thread-safe
+// against each other.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "runtime/qgraph.hpp"
+#include "runtime/simd.hpp"
 
 namespace mixq::runtime {
+
+class ExecutionPlan;
+class ThreadPool;
 
 /// Static per-layer execution recipe (see file comment).
 struct PlannedLayer {
@@ -46,26 +61,77 @@ struct PlannedLayer {
   std::vector<std::int64_t> tap_sum;  ///< (co, kh*kw) sums of offset weights
   std::vector<std::int64_t> wsum;     ///< (co) full-kernel sums
   std::vector<std::int64_t> tap_off;  ///< depthwise: input offset per tap
+  simd::RequantTable rq;              ///< vector requant (when provably exact)
+  /// Depthwise border configs (when rq is usable): for each distinct
+  /// clamped tap window (ky0,ky1,kx0,kx1) that occurs on this layer's
+  /// border, the per-channel requant pre-add bq - Zx*svalid, so border
+  /// pixels run the same vector MAC + requant path as the interior.
+  std::vector<std::int64_t> border_key;
+  std::vector<std::vector<std::int32_t>> border_add;
   std::int64_t oh0{0}, oh1{0};        ///< interior output rows [oh0, oh1)
   std::int64_t ow0{0}, ow1{0};        ///< interior output cols [ow0, ow1)
+  std::int64_t macs{0};               ///< static MAC count (partition policy)
   bool gemm{false};                   ///< 1x1 conv: im2col + GEMM path
   bool acc32{false};                  ///< int32 accumulators provably safe
+  bool pool32{false};                 ///< avg-pool sums provably fit int32
   int src{0};                         ///< arena holding the input (0=ping)
   int dst{1};                         ///< arena receiving the output
 };
 
-/// Compiled once per QuantizedNet; reusable across any number of inferences.
+/// One thread's working memory for running a plan: the ping-pong
+/// activation arenas, the im2col gather buffer, a per-lane row-accumulator
+/// scratch (depthwise/GEMM/pool rows before requant), and the logits
+/// buffer. Sized once from the plan; steady-state runs never grow it.
+/// `lanes` > 1 reserves one row-accumulator slice per lane for intra-layer
+/// row partitioning (every lane still shares ping/pong/col, whose writes
+/// are disjoint by row).
+struct PlanArenas {
+  explicit PlanArenas(const ExecutionPlan& plan, int lanes = 1);
+
+  [[nodiscard]] std::int32_t* arena(int which) {
+    return which == 0 ? ping.data() : pong.data();
+  }
+  [[nodiscard]] std::int32_t* lane_row_acc(int lane) {
+    return row_acc.data() + static_cast<std::int64_t>(lane) * row_acc_per;
+  }
+
+  std::vector<std::int32_t> ping;
+  std::vector<std::int32_t> pong;
+  std::vector<std::int32_t> col;
+  std::vector<std::int32_t> row_acc;
+  std::vector<float> logits;
+  std::int64_t row_acc_per{0};
+  int lanes{1};
+};
+
+/// Compiled once per QuantizedNet; reusable across any number of inferences
+/// and -- with per-thread PlanArenas -- any number of threads.
 class ExecutionPlan {
  public:
   explicit ExecutionPlan(const QuantizedNet& net);
 
   /// Run one batch-1 sample given as a raw HWC float pointer. Returns a
   /// reference to the plan's internal logits buffer (valid until the next
-  /// run): the zero-allocation steady-state entry point.
+  /// run): the zero-allocation steady-state entry point. Not thread-safe;
+  /// use the PlanArenas overload for concurrent runs.
   const std::vector<float>& run_into(const float* sample) const;
 
-  /// Same, recording wall-clock nanoseconds: per_layer_ns gets one entry
-  /// per network layer; *quantize_ns (optional) the input-quantize stage.
+  /// Thread-safe variant: all working state lives in `arenas`, so distinct
+  /// arena sets may run concurrently on the same plan. Returns a reference
+  /// to arenas.logits. Zero steady-state heap allocations.
+  const std::vector<float>& run_into(const float* sample,
+                                     PlanArenas& arenas) const;
+
+  /// Intra-layer parallel variant: partitions each large layer's output
+  /// rows (and the input quantization) across the pool's lanes. `arenas`
+  /// must have been built with lanes >= pool.lanes(). Bit-exact with the
+  /// serial path for every lane count.
+  const std::vector<float>& run_into(const float* sample, PlanArenas& arenas,
+                                     ThreadPool& pool) const;
+
+  /// Same as run_into(sample), recording wall-clock nanoseconds:
+  /// per_layer_ns gets one entry per network layer; *quantize_ns
+  /// (optional) the input-quantize stage.
   const std::vector<float>& run_timed(const float* sample,
                                       std::vector<std::int64_t>& per_layer_ns,
                                       std::int64_t* quantize_ns) const;
@@ -74,6 +140,7 @@ class ExecutionPlan {
   /// result's logits vector; the execution itself still does not).
   QInferenceResult run(const FloatTensor& image) const;
   QInferenceResult run_sample(const float* sample) const;
+  QInferenceResult run_sample(const float* sample, PlanArenas& arenas) const;
 
   [[nodiscard]] const QuantizedNet& net() const { return *net_; }
   [[nodiscard]] const std::vector<PlannedLayer>& layers() const {
@@ -86,30 +153,39 @@ class ExecutionPlan {
   [[nodiscard]] std::int64_t pong_elems() const { return pong_elems_; }
   /// im2col gather buffer capacity (strided pointwise layers only).
   [[nodiscard]] std::int64_t col_elems() const { return col_elems_; }
+  /// Per-lane row-accumulator scratch capacity.
+  [[nodiscard]] std::int64_t row_acc_elems() const { return row_acc_elems_; }
+  /// Logits buffer size.
+  [[nodiscard]] std::int64_t logit_elems() const { return logit_elems_; }
   /// Total arena footprint in bytes (unpacked INT32 working set). All
-  /// arenas are sized once here in the constructor and never grow --
-  /// allocation freedom of the run path is enforced by an instrumented
-  /// global-allocator test (tests/runtime/plan_test.cpp).
+  /// arenas are sized once and never grow -- allocation freedom of the run
+  /// path is enforced by an instrumented global-allocator test
+  /// (tests/runtime/plan_test.cpp).
   [[nodiscard]] std::int64_t arena_bytes() const;
 
  private:
-  void quantize_input_into(const float* sample, std::int32_t* dst) const;
-  void run_one_layer(const PlannedLayer& pl, const std::int32_t* x,
-                     std::int32_t* y) const;
-  std::int32_t* arena(int which) const;
+  void quantize_input_into(const float* sample, std::int32_t* dst,
+                           std::int64_t i0, std::int64_t i1) const;
+  /// Output rows a layer exposes to row partitioning (GEMM: output pixels;
+  /// conv/depthwise: output rows; everything else: 1 = serial).
+  static std::int64_t partition_rows(const PlannedLayer& pl);
+  void run_layer_rows(const PlannedLayer& pl, const std::int32_t* x,
+                      std::int32_t* y, std::int64_t r0, std::int64_t r1,
+                      std::int32_t* row_acc, std::int32_t* col) const;
+  void run_head(const PlannedLayer& pl, const std::int32_t* x,
+                std::vector<float>& logits) const;
+  const std::vector<float>& finish_logits(PlanArenas& arenas) const;
 
   const QuantizedNet* net_;
   std::vector<PlannedLayer> layers_;
   std::int64_t ping_elems_{0};
   std::int64_t pong_elems_{0};
   std::int64_t col_elems_{0};
-  std::int64_t dw_acc_elems_{0};
+  std::int64_t row_acc_elems_{0};
+  std::int64_t logit_elems_{0};
 
-  mutable std::vector<std::int32_t> ping_;
-  mutable std::vector<std::int32_t> pong_;
-  mutable std::vector<std::int32_t> col_;
-  mutable std::vector<std::int32_t> dw_acc_;  ///< one row of dw accumulators
-  mutable std::vector<float> logits_;
+  /// Arena set backing the non-thread-safe convenience overloads.
+  mutable std::unique_ptr<PlanArenas> self_;
 };
 
 }  // namespace mixq::runtime

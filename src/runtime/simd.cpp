@@ -1,0 +1,26 @@
+#include "runtime/simd.hpp"
+
+namespace mixq::runtime::simd {
+
+bool cpu_supports_compiled_isa() {
+#if defined(MIXQ_SIMD_AVX2)
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return true;
+#endif
+#elif defined(MIXQ_SIMD_SSE4)
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("sse4.1") != 0;
+#else
+  return true;
+#endif
+#else
+  // NEON builds target a baseline that implies support; scalar needs none.
+  return true;
+#endif
+}
+
+const char* active_isa() { return enabled() ? compiled_isa() : "scalar"; }
+
+}  // namespace mixq::runtime::simd

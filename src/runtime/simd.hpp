@@ -1,0 +1,515 @@
+// mixq/runtime/simd.hpp
+//
+// Portable SIMD dispatch layer for the planned execution engine's hot
+// loops. One ISA is selected at *compile time* from the compiler's target
+// flags (AVX2 > SSE4.1 on x86, NEON on AArch64, scalar otherwise) and a
+// cached *runtime* capability check (`enabled()`) routes each kernel to
+// its scalar body when the CPU lacks the compiled ISA. The runtime check
+// is defense in depth, not a portability guarantee: when the whole binary
+// is compiled with -march=x86-64-v3 (MIXQ_ENABLE_NATIVE) the compiler may
+// emit AVX2 anywhere, including the fallback loops, so binaries must still
+// run on hardware that supports their compile target. The check is load-
+// bearing only for toolchains/targets where the intrinsics are available
+// without the baseline including them.
+//
+// Bit-exactness contract: each kernel computes exactly the same integers as
+// its scalar reference. All integer kernels here are only used on values
+// where 32-bit accumulation provably cannot overflow (plan.cpp selects them
+// via phi_bound < 2^30), so re-associating the sums across SIMD lanes
+// cannot change the result; the requantization kernel reproduces
+// floor((v * m0) >> shift) exactly via a bias trick (see requant_icn_i32).
+// Enforced by tests/runtime/simd_test.cpp against the scalar references and
+// transitively by every randomized exactness suite over the planned engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define MIXQ_SIMD_AVX2 1
+#elif defined(__SSE4_1__)
+#include <smmintrin.h>
+#define MIXQ_SIMD_SSE4 1
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#define MIXQ_SIMD_NEON 1
+#endif
+
+namespace mixq::runtime::simd {
+
+/// ISA the translation units of this binary were compiled for.
+constexpr const char* compiled_isa() {
+#if defined(MIXQ_SIMD_AVX2)
+  return "avx2";
+#elif defined(MIXQ_SIMD_SSE4)
+  return "sse4.1";
+#elif defined(MIXQ_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// Whether the CPU executing this binary supports the compiled ISA.
+/// Best-effort (see the file comment: globally targeted builds can emit
+/// vector instructions outside these kernels). NEON/scalar builds always
+/// return true.
+bool cpu_supports_compiled_isa();
+
+/// Cached runtime switch every kernel branches on; the branch is perfectly
+/// predicted and costs nothing against the vector loop bodies.
+inline bool enabled() {
+  static const bool ok = cpu_supports_compiled_isa();
+  return ok;
+}
+
+/// ISA actually driving the kernels at runtime: compiled_isa() when the
+/// capability check passes, "scalar" otherwise.
+const char* active_isa();
+
+// ---------------------------------------------------------------------------
+// Elementwise multiply-accumulate / accumulate (depthwise interior, pool).
+// ---------------------------------------------------------------------------
+
+/// acc[i] += x[i] * w[i] for i in [0, n).
+inline void mac_i32(std::int32_t* __restrict__ acc,
+                    const std::int32_t* __restrict__ x,
+                    const std::int32_t* __restrict__ w, std::int64_t n) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+      const __m256i wv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+      __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+      a = _mm256_add_epi32(a, _mm256_mullo_epi32(xv, wv));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), a);
+    }
+    for (; i < n; ++i) acc[i] += x[i] * w[i];
+    return;
+  }
+#elif defined(MIXQ_SIMD_SSE4)
+  if (enabled()) {
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i xv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+      const __m128i wv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+      __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+      a = _mm_add_epi32(a, _mm_mullo_epi32(xv, wv));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), a);
+    }
+    for (; i < n; ++i) acc[i] += x[i] * w[i];
+    return;
+  }
+#elif defined(MIXQ_SIMD_NEON)
+  {
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const int32x4_t xv = vld1q_s32(x + i);
+      const int32x4_t wv = vld1q_s32(w + i);
+      int32x4_t a = vld1q_s32(acc + i);
+      a = vmlaq_s32(a, xv, wv);
+      vst1q_s32(acc + i, a);
+    }
+    for (; i < n; ++i) acc[i] += x[i] * w[i];
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) acc[i] += x[i] * w[i];
+}
+
+/// acc[i] += x[i] for i in [0, n) (global-average-pool row accumulate).
+inline void add_i32(std::int32_t* __restrict__ acc,
+                    const std::int32_t* __restrict__ x, std::int64_t n) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+      __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                          _mm256_add_epi32(a, xv));
+    }
+    for (; i < n; ++i) acc[i] += x[i];
+    return;
+  }
+#elif defined(MIXQ_SIMD_SSE4)
+  if (enabled()) {
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i xv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+      __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                       _mm_add_epi32(a, xv));
+    }
+    for (; i < n; ++i) acc[i] += x[i];
+    return;
+  }
+#elif defined(MIXQ_SIMD_NEON)
+  {
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_s32(acc + i, vaddq_s32(vld1q_s32(acc + i), vld1q_s32(x + i)));
+    }
+    for (; i < n; ++i) acc[i] += x[i];
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+/// Depthwise per-pixel dot across channels, tap-major:
+///   acc[c] = sum_t x[toff[t] + c] * wt[t*C + c],  c in [0, C).
+/// The channel block is the outer loop so the accumulator vector stays in
+/// a register across all taps (one store per 8 channels instead of one
+/// load+store per tap).
+inline void dw_dot_i32(const std::int32_t* __restrict__ x,
+                       const std::int64_t* __restrict__ toff,
+                       const std::int32_t* __restrict__ wt, std::int64_t taps,
+                       std::int64_t C, std::int32_t* __restrict__ acc) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    std::int64_t c = 0;
+    for (; c + 8 <= C; c += 8) {
+      __m256i a = _mm256_setzero_si256();
+      for (std::int64_t t = 0; t < taps; ++t) {
+        const __m256i xv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(x + toff[t] + c));
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(wt + t * C + c));
+        a = _mm256_add_epi32(a, _mm256_mullo_epi32(xv, wv));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + c), a);
+    }
+    for (; c < C; ++c) {
+      std::int32_t s = 0;
+      for (std::int64_t t = 0; t < taps; ++t) {
+        s += x[toff[t] + c] * wt[t * C + c];
+      }
+      acc[c] = s;
+    }
+    return;
+  }
+#elif defined(MIXQ_SIMD_SSE4)
+  if (enabled()) {
+    std::int64_t c = 0;
+    for (; c + 4 <= C; c += 4) {
+      __m128i a = _mm_setzero_si128();
+      for (std::int64_t t = 0; t < taps; ++t) {
+        const __m128i xv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + toff[t] + c));
+        const __m128i wv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(wt + t * C + c));
+        a = _mm_add_epi32(a, _mm_mullo_epi32(xv, wv));
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + c), a);
+    }
+    for (; c < C; ++c) {
+      std::int32_t s = 0;
+      for (std::int64_t t = 0; t < taps; ++t) {
+        s += x[toff[t] + c] * wt[t * C + c];
+      }
+      acc[c] = s;
+    }
+    return;
+  }
+#elif defined(MIXQ_SIMD_NEON)
+  {
+    std::int64_t c = 0;
+    for (; c + 4 <= C; c += 4) {
+      int32x4_t a = vdupq_n_s32(0);
+      for (std::int64_t t = 0; t < taps; ++t) {
+        a = vmlaq_s32(a, vld1q_s32(x + toff[t] + c),
+                      vld1q_s32(wt + t * C + c));
+      }
+      vst1q_s32(acc + c, a);
+    }
+    for (; c < C; ++c) {
+      std::int32_t s = 0;
+      for (std::int64_t t = 0; t < taps; ++t) {
+        s += x[toff[t] + c] * wt[t * C + c];
+      }
+      acc[c] = s;
+    }
+    return;
+  }
+#endif
+  for (std::int64_t c = 0; c < C; ++c) {
+    std::int32_t s = 0;
+    for (std::int64_t t = 0; t < taps; ++t) {
+      s += x[toff[t] + c] * wt[t * C + c];
+    }
+    acc[c] = s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Register-blocked integer dot products (GEMM micro-kernel). The block
+// shape is 4 output channels x 8 int32 lanes (x 2 rows in the widest
+// variant); all variants *accumulate into* their out slots.
+// ---------------------------------------------------------------------------
+
+#if defined(MIXQ_SIMD_AVX2)
+namespace detail {
+/// Reduce four 8-lane accumulators to their four scalar sums, in order.
+inline __m128i hsum4_epi32(__m256i v0, __m256i v1, __m256i v2, __m256i v3) {
+  const __m256i s01 = _mm256_hadd_epi32(v0, v1);
+  const __m256i s23 = _mm256_hadd_epi32(v2, v3);
+  const __m256i s = _mm256_hadd_epi32(s01, s23);
+  return _mm_add_epi32(_mm256_castsi256_si128(s),
+                       _mm256_extracti128_si256(s, 1));
+}
+}  // namespace detail
+#endif
+
+/// out[j] += sum_k a[k] * wj[k] for the four weight rows w0..w3.
+inline void dot1x4_i32(const std::int32_t* __restrict__ a,
+                       const std::int32_t* __restrict__ w0,
+                       const std::int32_t* __restrict__ w1,
+                       const std::int32_t* __restrict__ w2,
+                       const std::int32_t* __restrict__ w3, std::int64_t n,
+                       std::int32_t* __restrict__ out) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+    std::int64_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+      a0 = _mm256_add_epi32(
+          a0, _mm256_mullo_epi32(av, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(w0 + k))));
+      a1 = _mm256_add_epi32(
+          a1, _mm256_mullo_epi32(av, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(w1 + k))));
+      a2 = _mm256_add_epi32(
+          a2, _mm256_mullo_epi32(av, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(w2 + k))));
+      a3 = _mm256_add_epi32(
+          a3, _mm256_mullo_epi32(av, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(w3 + k))));
+    }
+    alignas(16) std::int32_t s[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(s),
+                    detail::hsum4_epi32(a0, a1, a2, a3));
+    out[0] += s[0];
+    out[1] += s[1];
+    out[2] += s[2];
+    out[3] += s[3];
+    for (; k < n; ++k) {
+      const std::int32_t av = a[k];
+      out[0] += av * w0[k];
+      out[1] += av * w1[k];
+      out[2] += av * w2[k];
+      out[3] += av * w3[k];
+    }
+    return;
+  }
+#endif
+  std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int32_t av = a[k];
+    s0 += av * w0[k];
+    s1 += av * w1[k];
+    s2 += av * w2[k];
+    s3 += av * w3[k];
+  }
+  out[0] += s0;
+  out[1] += s1;
+  out[2] += s2;
+  out[3] += s3;
+}
+
+/// Two-row variant: out0[j] += sum a0[k]*wj[k], out1[j] += sum a1[k]*wj[k].
+/// Each weight row is loaded once and shared by both activation rows.
+inline void dot2x4_i32(const std::int32_t* __restrict__ a0,
+                       const std::int32_t* __restrict__ a1,
+                       const std::int32_t* __restrict__ w0,
+                       const std::int32_t* __restrict__ w1,
+                       const std::int32_t* __restrict__ w2,
+                       const std::int32_t* __restrict__ w3, std::int64_t n,
+                       std::int32_t* __restrict__ out0,
+                       std::int32_t* __restrict__ out1) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    __m256i r0c0 = _mm256_setzero_si256(), r0c1 = _mm256_setzero_si256();
+    __m256i r0c2 = _mm256_setzero_si256(), r0c3 = _mm256_setzero_si256();
+    __m256i r1c0 = _mm256_setzero_si256(), r1c1 = _mm256_setzero_si256();
+    __m256i r1c2 = _mm256_setzero_si256(), r1c3 = _mm256_setzero_si256();
+    std::int64_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i av0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + k));
+      const __m256i av1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + k));
+      __m256i wv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w0 + k));
+      r0c0 = _mm256_add_epi32(r0c0, _mm256_mullo_epi32(av0, wv));
+      r1c0 = _mm256_add_epi32(r1c0, _mm256_mullo_epi32(av1, wv));
+      wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w1 + k));
+      r0c1 = _mm256_add_epi32(r0c1, _mm256_mullo_epi32(av0, wv));
+      r1c1 = _mm256_add_epi32(r1c1, _mm256_mullo_epi32(av1, wv));
+      wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w2 + k));
+      r0c2 = _mm256_add_epi32(r0c2, _mm256_mullo_epi32(av0, wv));
+      r1c2 = _mm256_add_epi32(r1c2, _mm256_mullo_epi32(av1, wv));
+      wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w3 + k));
+      r0c3 = _mm256_add_epi32(r0c3, _mm256_mullo_epi32(av0, wv));
+      r1c3 = _mm256_add_epi32(r1c3, _mm256_mullo_epi32(av1, wv));
+    }
+    alignas(16) std::int32_t s0[4], s1[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(s0),
+                    detail::hsum4_epi32(r0c0, r0c1, r0c2, r0c3));
+    _mm_store_si128(reinterpret_cast<__m128i*>(s1),
+                    detail::hsum4_epi32(r1c0, r1c1, r1c2, r1c3));
+    for (int j = 0; j < 4; ++j) {
+      out0[j] += s0[j];
+      out1[j] += s1[j];
+    }
+    for (; k < n; ++k) {
+      const std::int32_t x0 = a0[k];
+      const std::int32_t x1 = a1[k];
+      out0[0] += x0 * w0[k];
+      out0[1] += x0 * w1[k];
+      out0[2] += x0 * w2[k];
+      out0[3] += x0 * w3[k];
+      out1[0] += x1 * w0[k];
+      out1[1] += x1 * w1[k];
+      out1[2] += x1 * w2[k];
+      out1[3] += x1 * w3[k];
+    }
+    return;
+  }
+#endif
+  dot1x4_i32(a0, w0, w1, w2, w3, n, out0);
+  dot1x4_i32(a1, w0, w1, w2, w3, n, out1);
+}
+
+/// out += sum_k a[k] * w[k] (single-channel remainder).
+inline std::int32_t dot_i32(const std::int32_t* __restrict__ a,
+                            const std::int32_t* __restrict__ w,
+                            std::int64_t n) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    __m256i acc = _mm256_setzero_si256();
+    std::int64_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+      const __m256i wv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + k));
+      acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(av, wv));
+    }
+    const __m128i lo = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                     _mm256_extracti128_si256(acc, 1));
+    const __m128i h = _mm_hadd_epi32(lo, lo);
+    std::int32_t s = _mm_cvtsi128_si32(_mm_hadd_epi32(h, h));
+    for (; k < n; ++k) s += a[k] * w[k];
+    return s;
+  }
+#endif
+  std::int32_t s = 0;
+  for (std::int64_t k = 0; k < n; ++k) s += a[k] * w[k];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized ICN requantization (Eq. 5 clamp path).
+// ---------------------------------------------------------------------------
+
+/// Per-layer requantization constants laid out channel-major for the
+/// vector kernel. Built by the plan only when provably exact in this form:
+/// ICN scheme, 32-bit accumulators, every shift = 31 - n0 in [0, 62], and
+/// |phi + bq| plus the folded -Zx*wsum pre-add within int32 (see
+/// ExecutionPlan). `add[c]` folds bq_c - Zx*wsum_c so the kernel consumes
+/// the raw accumulator sum_k X*(W - Zw) directly.
+struct RequantTable {
+  std::vector<std::int64_t> m0;        ///< Q31 mantissa, one 64-bit lane each
+  std::vector<std::int64_t> shift;     ///< 31 - n0, in [0, 62]
+  std::vector<std::int64_t> bias_sub;  ///< (1 << 62) >> shift
+  std::vector<std::int32_t> add;       ///< bq - Zx * wsum
+  std::int32_t zy{0};
+  std::int32_t hi{0};                  ///< qmax(qy)
+  bool usable{false};
+};
+
+/// Scalar reference for one channel: clamp(zy + ((v * m0) >> shift), 0, hi)
+/// with v = acc + add -- identical arithmetic to the plan's requantize()
+/// (fixed_point_floor_mul specialised to shift in [0, 62]).
+inline std::int32_t requant_icn_one(std::int64_t v, std::int64_t m0,
+                                    std::int64_t shift, std::int32_t zy,
+                                    std::int64_t hi) {
+  const std::int64_t r = (v * m0) >> shift;
+  const std::int64_t y = static_cast<std::int64_t>(zy) + r;
+  return static_cast<std::int32_t>(y < 0 ? 0 : (y > hi ? hi : y));
+}
+
+/// out[c] = requantized code of raw accumulator acc[c], c in [0, n), with
+/// per-channel pre-add `add` (usually rq.add; depthwise border pixels pass
+/// their border-config pre-add bq - Zx*svalid instead).
+///
+/// The vector body reproduces the arithmetic right shift exactly with
+/// unsigned ops: |v*m0| < 2^62, so (v*m0 + 2^62) is non-negative and
+/// (v*m0 + 2^62) >>logical s  ==  (v*m0 >>arith s) + (2^62 >> s)
+/// because 2^62 is divisible by 2^s for every s <= 62.
+inline void requant_icn_i32(const RequantTable& rq,
+                            const std::int32_t* __restrict__ acc,
+                            const std::int32_t* __restrict__ add,
+                            std::int32_t* __restrict__ out, std::int64_t n) {
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    const __m256i bias = _mm256_set1_epi64x(std::int64_t{1} << 62);
+    const __m256i zyv = _mm256_set1_epi64x(rq.zy);
+    const __m256i hiv = _mm256_set1_epi64x(rq.hi);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    std::int64_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+      const __m128i a32 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + c));
+      const __m128i ad32 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(add + c));
+      // v = acc + add fits int32 by the usability conditions.
+      const __m256i v = _mm256_cvtepi32_epi64(_mm_add_epi32(a32, ad32));
+      const __m256i m0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rq.m0.data() + c));
+      const __m256i sh = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rq.shift.data() + c));
+      const __m256i bs = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rq.bias_sub.data() + c));
+      const __m256i prod = _mm256_mul_epi32(v, m0);
+      const __m256i t = _mm256_srlv_epi64(_mm256_add_epi64(prod, bias), sh);
+      __m256i y = _mm256_add_epi64(_mm256_sub_epi64(t, bs), zyv);
+      y = _mm256_andnot_si256(_mm256_cmpgt_epi64(zero, y), y);
+      y = _mm256_blendv_epi8(y, hiv, _mm256_cmpgt_epi64(y, hiv));
+      const __m256i packed = _mm256_permutevar8x32_epi32(y, pick);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + c),
+                       _mm256_castsi256_si128(packed));
+    }
+    for (; c < n; ++c) {
+      out[c] = requant_icn_one(
+          static_cast<std::int64_t>(acc[c]) + add[c],
+          rq.m0[static_cast<std::size_t>(c)],
+          rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi);
+    }
+    return;
+  }
+#endif
+  for (std::int64_t c = 0; c < n; ++c) {
+    out[c] = requant_icn_one(
+        static_cast<std::int64_t>(acc[c]) + add[c],
+        rq.m0[static_cast<std::size_t>(c)],
+        rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi);
+  }
+}
+
+}  // namespace mixq::runtime::simd

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "models/small_cnn.hpp"
 #include "runtime/convert.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/profiler.hpp"
 
 namespace mixq::runtime {
@@ -84,6 +88,87 @@ TEST(Profiler, SubByteWeightsShrinkRoBytes) {
       convert_qat_model(m2, Shape(1, 8, 8, 3), {Scheme::kPCICN}));
   EXPECT_LT(p2.total_ro_bytes, p8.total_ro_bytes);
   EXPECT_EQ(p2.total_macs, p8.total_macs);
+}
+
+// ---------------------------------------------------------------------------
+// Measured attribution: profile_planned (runtime/profiler.hpp).
+// ---------------------------------------------------------------------------
+
+QuantizedNet planned_profile_net(Rng& rng) {
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 16;
+  cfg.base_channels = 8;
+  cfg.num_blocks = 2;
+  cfg.num_classes = 5;
+  cfg.wgran = Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  return convert_qat_model(model, Shape(1, 16, 16, 3), {Scheme::kPCICN});
+}
+
+TEST(ProfilePlanned, MacsAttributionMatchesStaticProfile) {
+  // The measured profile's per-layer MAC attribution must be the static
+  // qgraph accounting, layer for layer -- only the nanoseconds are
+  // measured.
+  Rng rng(6);
+  const QuantizedNet net = planned_profile_net(rng);
+  const ExecutionPlan plan(net);
+  Rng img_rng(7);
+  FloatTensor img(net.layers.front().in_shape);
+  img_rng.fill_uniform(img.vec(), 0.0, 1.0);
+
+  const PlannedProfile pp = profile_planned(plan, img, 3);
+  const NetProfile stat = profile(net);
+  ASSERT_EQ(pp.layers.size(), net.layers.size());
+  ASSERT_EQ(pp.layers.size(), stat.layers.size());
+  for (std::size_t i = 0; i < pp.layers.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(pp.layers[i].kind),
+              static_cast<int>(stat.layers[i].kind))
+        << "layer " << i;
+    EXPECT_EQ(pp.layers[i].macs, stat.layers[i].macs) << "layer " << i;
+    EXPECT_GE(pp.layers[i].ns, 0.0) << "layer " << i;
+  }
+  EXPECT_EQ(pp.total_macs, stat.total_macs);
+}
+
+TEST(ProfilePlanned, PerLayerNsSumsToEndToEnd) {
+  // total_ns is exactly quantize + the per-layer attribution: nothing the
+  // engine executes falls outside the accounted stages.
+  Rng rng(8);
+  const QuantizedNet net = planned_profile_net(rng);
+  const ExecutionPlan plan(net);
+  Rng img_rng(9);
+  FloatTensor img(net.layers.front().in_shape);
+  img_rng.fill_uniform(img.vec(), 0.0, 1.0);
+
+  const PlannedProfile pp = profile_planned(plan, img, 5);
+  double sum = pp.quantize_ns;
+  for (const auto& l : pp.layers) sum += l.ns;
+  EXPECT_NEAR(pp.total_ns, sum, 1e-6 * std::max(1.0, pp.total_ns));
+  EXPECT_GT(pp.total_ns, 0.0);
+  EXPECT_GT(pp.total_macs_per_ns(), 0.0);
+  EXPECT_GE(pp.quantize_ns, 0.0);
+}
+
+TEST(ProfilePlanned, RejectsNonPositiveIters) {
+  Rng rng(10);
+  const QuantizedNet net = planned_profile_net(rng);
+  const ExecutionPlan plan(net);
+  FloatTensor img(net.layers.front().in_shape);
+  EXPECT_THROW(profile_planned(plan, img, 0), std::invalid_argument);
+  EXPECT_THROW(profile_planned(plan, img, -3), std::invalid_argument);
+}
+
+TEST(ProfilePlanned, StrRendersAttribution) {
+  Rng rng(11);
+  const QuantizedNet net = planned_profile_net(rng);
+  const ExecutionPlan plan(net);
+  Rng img_rng(12);
+  FloatTensor img(net.layers.front().in_shape);
+  img_rng.fill_uniform(img.vec(), 0.0, 1.0);
+  const PlannedProfile pp = profile_planned(plan, img, 2);
+  const std::string s = pp.str();
+  EXPECT_NE(s.find("MACs/ns"), std::string::npos);
+  EXPECT_NE(s.find("quantize"), std::string::npos);
 }
 
 TEST(Profiler, StrRendersAllLayers) {

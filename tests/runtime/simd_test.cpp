@@ -1,0 +1,191 @@
+// Tests for the SIMD dispatch layer (runtime/simd.hpp). Every kernel is
+// cross-checked for integer equality against a plain scalar loop on
+// randomized inputs covering remainder lanes (sizes straddling the 4/8
+// vector widths). On a scalar-compiled build these still pass (kernel ==
+// fallback == reference); on an AVX2 build they pin the vector bodies.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/icn.hpp"
+#include "runtime/simd.hpp"
+#include "tensor/rng.hpp"
+
+namespace mixq::runtime {
+namespace {
+
+const std::int64_t kSizes[] = {0, 1, 3, 4, 7, 8, 9, 15, 16, 17, 33, 100};
+
+std::vector<std::int32_t> random_codes(Rng& rng, std::int64_t n, int lo,
+                                       int hi) {
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = lo + static_cast<std::int32_t>(
+                 rng.uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  return v;
+}
+
+TEST(Simd, IsaDispatchIsConsistent) {
+  ASSERT_NE(simd::compiled_isa(), nullptr);
+  ASSERT_NE(simd::active_isa(), nullptr);
+  const std::string active = simd::active_isa();
+  if (simd::enabled()) {
+    EXPECT_EQ(active, std::string(simd::compiled_isa()));
+  } else {
+    EXPECT_EQ(active, std::string("scalar"));
+  }
+}
+
+TEST(Simd, MacMatchesScalar) {
+  Rng rng(1);
+  for (const std::int64_t n : kSizes) {
+    const auto x = random_codes(rng, n, -255, 255);
+    const auto w = random_codes(rng, n, -255, 255);
+    auto acc = random_codes(rng, n, -1000, 1000);
+    auto expect = acc;
+    for (std::int64_t i = 0; i < n; ++i) expect[i] += x[i] * w[i];
+    simd::mac_i32(acc.data(), x.data(), w.data(), n);
+    EXPECT_EQ(acc, expect) << "n=" << n;
+  }
+}
+
+TEST(Simd, AddMatchesScalar) {
+  Rng rng(2);
+  for (const std::int64_t n : kSizes) {
+    const auto x = random_codes(rng, n, -255, 255);
+    auto acc = random_codes(rng, n, -1000, 1000);
+    auto expect = acc;
+    for (std::int64_t i = 0; i < n; ++i) expect[i] += x[i];
+    simd::add_i32(acc.data(), x.data(), n);
+    EXPECT_EQ(acc, expect) << "n=" << n;
+  }
+}
+
+TEST(Simd, DwDotMatchesScalar) {
+  Rng rng(3);
+  for (const std::int64_t C : kSizes) {
+    if (C == 0) continue;
+    const std::int64_t taps = 9;
+    const std::int64_t in_w = 5;
+    // Input buffer covering taps laid out like a 3x3 window on a row-major
+    // HWC tensor of width in_w.
+    const auto x = random_codes(rng, (2 * in_w + 3) * C, 0, 255);
+    const auto wt = random_codes(rng, taps * C, -128, 127);
+    std::vector<std::int64_t> toff(static_cast<std::size_t>(taps));
+    for (std::int64_t ky = 0; ky < 3; ++ky) {
+      for (std::int64_t kx = 0; kx < 3; ++kx) {
+        toff[static_cast<std::size_t>(ky * 3 + kx)] = (ky * in_w + kx) * C;
+      }
+    }
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(C), -7);
+    std::vector<std::int32_t> expect(static_cast<std::size_t>(C));
+    for (std::int64_t c = 0; c < C; ++c) {
+      std::int32_t s = 0;
+      for (std::int64_t t = 0; t < taps; ++t) {
+        s += x[static_cast<std::size_t>(toff[static_cast<std::size_t>(t)] +
+                                        c)] *
+             wt[static_cast<std::size_t>(t * C + c)];
+      }
+      expect[static_cast<std::size_t>(c)] = s;
+    }
+    simd::dw_dot_i32(x.data(), toff.data(), wt.data(), taps, C, acc.data());
+    EXPECT_EQ(acc, expect) << "C=" << C;
+  }
+}
+
+TEST(Simd, DotBlocksMatchScalar) {
+  Rng rng(4);
+  for (const std::int64_t n : kSizes) {
+    const auto a0 = random_codes(rng, n, 0, 255);
+    const auto a1 = random_codes(rng, n, 0, 255);
+    std::vector<std::vector<std::int32_t>> w;
+    for (int j = 0; j < 4; ++j) w.push_back(random_codes(rng, n, -128, 127));
+
+    std::int32_t e0[4], e1[4];
+    for (int j = 0; j < 4; ++j) {
+      std::int32_t s0 = 100 + j, s1 = -3 * j;
+      for (std::int64_t k = 0; k < n; ++k) {
+        s0 += a0[static_cast<std::size_t>(k)] *
+              w[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+        s1 += a1[static_cast<std::size_t>(k)] *
+              w[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+      }
+      e0[j] = s0;
+      e1[j] = s1;
+    }
+
+    std::int32_t o0[4] = {100, 101, 102, 103};
+    std::int32_t o1[4] = {0, -3, -6, -9};
+    simd::dot2x4_i32(a0.data(), a1.data(), w[0].data(), w[1].data(),
+                     w[2].data(), w[3].data(), n, o0, o1);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(o0[j], e0[j]) << "row0 ch" << j << " n=" << n;
+      EXPECT_EQ(o1[j], e1[j]) << "row1 ch" << j << " n=" << n;
+    }
+
+    std::int32_t o2[4] = {100, 101, 102, 103};
+    simd::dot1x4_i32(a0.data(), w[0].data(), w[1].data(), w[2].data(),
+                     w[3].data(), n, o2);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(o2[j], e0[j]) << "1x4 ch" << j << " n=" << n;
+    }
+
+    std::int32_t expect_dot = 0;
+    for (std::int64_t k = 0; k < n; ++k) {
+      expect_dot += a0[static_cast<std::size_t>(k)] *
+                    w[0][static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(simd::dot_i32(a0.data(), w[0].data(), n), expect_dot)
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, RequantMatchesFixedPointReference) {
+  // The vector requant must equal the scalar ICN chain
+  // clamp(zy + fixed_point_floor_mul(acc + add, m), 0, hi) channel by
+  // channel, including negative multipliers and both clamp edges.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t n = kSizes[trial % 12];
+    simd::RequantTable rq;
+    rq.zy = static_cast<std::int32_t>(rng.uniform_int(32)) - 8;
+    rq.hi = (trial % 2 == 0) ? 255 : 15;
+    std::vector<core::FixedPointMult> ms;
+    for (std::int64_t c = 0; c < n; ++c) {
+      double m = rng.uniform(1e-6, 0.1);
+      if (rng.uniform() < 0.3) m = -m;
+      const core::FixedPointMult fp = core::decompose_multiplier(m);
+      const std::int64_t shift = 31 - static_cast<std::int64_t>(fp.n0);
+      ASSERT_GE(shift, 0);
+      ASSERT_LE(shift, 62);
+      ms.push_back(fp);
+      rq.m0.push_back(fp.m0_q31);
+      rq.shift.push_back(shift);
+      rq.bias_sub.push_back((std::int64_t{1} << 62) >> shift);
+      rq.add.push_back(static_cast<std::int32_t>(rng.uniform_int(4001)) -
+                       2000);
+    }
+    rq.usable = true;
+
+    const auto acc = random_codes(rng, n, -200000, 200000);
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n), -1);
+    simd::requant_icn_i32(rq, acc.data(), rq.add.data(), out.data(), n);
+    for (std::int64_t c = 0; c < n; ++c) {
+      const std::int64_t v =
+          static_cast<std::int64_t>(acc[static_cast<std::size_t>(c)]) +
+          rq.add[static_cast<std::size_t>(c)];
+      const std::int64_t r =
+          core::fixed_point_floor_mul(v, ms[static_cast<std::size_t>(c)]);
+      std::int64_t y = rq.zy + r;
+      y = y < 0 ? 0 : (y > rq.hi ? rq.hi : y);
+      EXPECT_EQ(out[static_cast<std::size_t>(c)],
+                static_cast<std::int32_t>(y))
+          << "trial " << trial << " channel " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mixq::runtime
