@@ -1,0 +1,283 @@
+// bench_serve -- throughput/latency of the batch inference daemon.
+//
+// Drives the serve subsystem in-process on a MobileNet-class mixed-precision
+// workload, two ways:
+//
+//   * engine level: RequestQueue + MicroBatcher + InferenceSession, swept
+//     over (max_batch, threads) configurations -- the serving fabric with
+//     protocol costs excluded;
+//   * protocol level: the full StreamServer over preformatted ndjson, so
+//     JSON parse/format overhead is measured once against the engine
+//     numbers.
+//
+// Every configuration is gated on bit-exactness against the serial planned
+// path; exit code is non-zero only on a correctness failure, never on
+// timing.
+//
+// Usage: bench_serve [--quick] [--requests N] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "serve/server.hpp"
+#include "support/random_qlayer.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace mixq;
+using namespace mixq::runtime;
+using namespace mixq::serve;
+
+/// Smaller sibling of bench_runtime's workload (32x32 input): the serving
+/// bench measures fabric overhead and scaling, not kernel speed.
+QuantizedNet make_workload() {
+  Rng rng(0xFEED);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, core::BitWidth::kQ8);
+  using BW = core::BitWidth;
+  Shape s(1, 32, 32, 3);
+  BW qx = BW::kQ8;
+  const auto layer = [&](QLayerKind kind, std::int64_t co, std::int64_t k,
+                         std::int64_t stride, std::int64_t pad, BW qw,
+                         BW qy) {
+    QLayer l = test_support::make_conv_family_layer(
+        kind, s, co, k, stride, pad, qx, qw, qy, core::Scheme::kPCICN, rng,
+        1e-4, 0.02);
+    s = l.out_shape;
+    qx = l.qy;
+    net.layers.push_back(std::move(l));
+  };
+  layer(QLayerKind::kConv, 16, 3, 2, 1, BW::kQ8, BW::kQ4);
+  layer(QLayerKind::kDepthwise, s.c, 3, 1, 1, BW::kQ8, qx);
+  layer(QLayerKind::kConv, 32, 1, 1, 0, BW::kQ4, BW::kQ4);
+  layer(QLayerKind::kDepthwise, s.c, 3, 2, 1, BW::kQ8, qx);
+  layer(QLayerKind::kConv, 64, 1, 1, 0, BW::kQ4, BW::kQ4);
+  layer(QLayerKind::kGlobalAvgPool, 0, 1, 1, 0, qx, qx);
+  QLayer head = test_support::make_conv_family_layer(
+      QLayerKind::kLinear, s, 10, 1, 1, 0, qx, BW::kQ8, BW::kQ8,
+      core::Scheme::kPCICN, rng, 1e-4, 0.02);
+  head.raw_logits = true;
+  for (int c = 0; c < 10; ++c) head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+  net.layers.push_back(std::move(head));
+  net.validate();
+  return net;
+}
+
+bool logits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+struct SweepPoint {
+  int max_batch{1};
+  int threads{1};
+  double wall_ms{0.0};
+  double samples_per_s{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+  double mean_fill{0.0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::int64_t n_requests = 0;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      n_requests = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--quick] [--requests N] [--out PATH]\n";
+      return 2;
+    }
+  }
+  if (n_requests <= 0) n_requests = quick ? 64 : 512;
+
+  const QuantizedNet net = make_workload();
+  const std::int64_t numel = net.layers.front().in_shape.numel();
+  Rng rng(17);
+  std::vector<std::vector<float>> inputs(
+      static_cast<std::size_t>(n_requests));
+  for (auto& s : inputs) {
+    s.resize(static_cast<std::size_t>(numel));
+    rng.fill_uniform(s, 0.0, 1.0);
+  }
+
+  // Serial planned reference for the bit-exactness gate.
+  Executor exec(net, /*fast=*/true);
+  const Shape& in_shape = net.layers.front().in_shape;
+  std::vector<QInferenceResult> expected(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    FloatTensor img(in_shape);
+    img.vec() = inputs[i];
+    expected[i] = exec.run_planned(img);
+  }
+
+  const int hw = ThreadPool::hardware_lanes();
+  std::vector<std::pair<int, int>> configs = {
+      {1, 1}, {8, 1}, {8, hw}, {32, hw}};
+  std::vector<SweepPoint> points;
+
+  std::cout << "serve engine sweep (" << n_requests << " requests, "
+            << hw << " hardware threads):\n";
+  for (const auto& [max_batch, threads] : configs) {
+    RequestQueue queue;
+    MicroBatcher batcher(queue, {max_batch, /*max_wait_us=*/200});
+    InferenceSession session(net, threads);
+
+    std::vector<QInferenceResult> got(inputs.size());
+    std::int64_t batches = 0;
+    std::vector<double> latencies;
+    latencies.reserve(inputs.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::thread consumer([&] {
+      std::vector<Request> batch;
+      std::vector<QInferenceResult> out;
+      while (batcher.next_batch(batch)) {
+        session.infer_batch(batch, out);
+        const auto done = Clock::now();
+        ++batches;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          got[static_cast<std::size_t>(batch[i].id)] = out[i];
+          latencies.push_back(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  done - batch[i].enqueued)
+                  .count() /
+              1e3);
+        }
+      }
+    });
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      Request r;
+      r.id = static_cast<std::int64_t>(i);
+      r.input = inputs[i];
+      queue.push(std::move(r));
+    }
+    queue.close();
+    consumer.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!logits_equal(got[i].logits, expected[i].logits)) {
+        std::cerr << "bench_serve: FATAL: served result diverges from "
+                     "serial planned path (max_batch="
+                  << max_batch << ", threads=" << threads << ", request "
+                  << i << ")\n";
+        return 1;
+      }
+    }
+
+    ServeStats st;
+    st.latency_us = latencies;
+    SweepPoint pt;
+    pt.max_batch = max_batch;
+    pt.threads = threads;
+    pt.wall_ms =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+        1e6;
+    pt.samples_per_s = static_cast<double>(n_requests) / (pt.wall_ms / 1e3);
+    pt.p50_us = st.latency_percentile_us(50);
+    pt.p99_us = st.latency_percentile_us(99);
+    pt.mean_fill =
+        static_cast<double>(n_requests) / static_cast<double>(batches);
+    points.push_back(pt);
+    std::printf(
+        "  max_batch %2d, threads %2d: %8.0f samples/s, p50 %7.0f us, "
+        "p99 %7.0f us, mean batch fill %.1f\n",
+        max_batch, threads, pt.samples_per_s, pt.p50_us, pt.p99_us,
+        pt.mean_fill);
+  }
+  std::cout << "engine bit-exactness check passed (all configurations)\n";
+
+  // Protocol-level pass: the full StreamServer incl. JSON parse/format.
+  std::string req_text;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    req_text += format_request_line(static_cast<std::int64_t>(i),
+                                    inputs[i].data(), numel);
+    req_text += "\n";
+  }
+  std::istringstream req_stream(req_text);
+  std::ostringstream resp_stream;
+  ServeConfig cfg;
+  cfg.threads = hw;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 200;
+  StreamServer server(net, cfg);
+  const auto p0 = std::chrono::steady_clock::now();
+  const ServeStats pstats = server.serve(req_stream, resp_stream);
+  const auto p1 = std::chrono::steady_clock::now();
+  if (pstats.responses != n_requests || pstats.errors != 0) {
+    std::cerr << "bench_serve: FATAL: protocol pass dropped requests\n";
+    return 1;
+  }
+  // Responses are in request order; check them against the shared
+  // formatter over the serial results (the byte-level invariant).
+  {
+    std::istringstream lines(resp_stream.str());
+    std::string line;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!std::getline(lines, line) ||
+          line !=
+              format_result_line(static_cast<std::int64_t>(i), expected[i])) {
+        std::cerr << "bench_serve: FATAL: protocol response " << i
+                  << " is not byte-identical to the serial result\n";
+        return 1;
+      }
+    }
+  }
+  const double proto_ms =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(p1 - p0).count() /
+      1e6;
+  std::printf(
+      "protocol (StreamServer, ndjson): %8.0f samples/s, p50 %7.0f us, "
+      "p99 %7.0f us\n",
+      static_cast<double>(n_requests) / (proto_ms / 1e3),
+      pstats.latency_percentile_us(50), pstats.latency_percentile_us(99));
+  std::cout << "protocol byte-exactness check passed\n";
+
+  if (!out_path.empty()) {
+    std::filesystem::path out_file(out_path);
+    if (out_file.has_parent_path()) {
+      std::filesystem::create_directories(out_file.parent_path());
+    }
+    std::ofstream os(out_file);
+    if (!os) {
+      std::cerr << "bench_serve: cannot write " << out_path << "\n";
+      return 1;
+    }
+    os << "{\n  \"requests\": " << n_requests
+       << ",\n  \"threads_available\": " << hw << ",\n  \"engine_sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& pt = points[i];
+      os << "    {\"max_batch\": " << pt.max_batch
+         << ", \"threads\": " << pt.threads
+         << ", \"samples_per_s\": " << pt.samples_per_s
+         << ", \"p50_us\": " << pt.p50_us << ", \"p99_us\": " << pt.p99_us
+         << ", \"mean_batch_fill\": " << pt.mean_fill << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"protocol\": {\"samples_per_s\": "
+       << static_cast<double>(n_requests) / (proto_ms / 1e3)
+       << ", \"p50_us\": " << pstats.latency_percentile_us(50)
+       << ", \"p99_us\": " << pstats.latency_percentile_us(99) << "}\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

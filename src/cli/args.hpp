@@ -1,0 +1,106 @@
+// mixq/cli/args.hpp
+//
+// Tiny header-only argument parser for the `mixq` CLI. Usage pattern:
+// consume every option with flag()/opt()/int_opt() first, then read the
+// positionals, then call done() -- which rejects any unrecognized --option
+// so a typo'd flag fails loudly instead of being silently ignored.
+// Both `--name value` and `--name=value` spellings are accepted.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mixq::cli {
+
+/// Thrown on malformed command lines; the CLI prints the message plus the
+/// command's usage string and exits with status 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv, int start) {
+    for (int i = start; i < argc; ++i) tokens_.emplace_back(argv[i]);
+    consumed_.assign(tokens_.size(), false);
+  }
+
+  /// Consume a boolean flag; true if present.
+  bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!consumed_[i] && tokens_[i] == name) {
+        consumed_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Consume `--name value` or `--name=value`; nullopt when absent.
+  std::optional<std::string> opt(const std::string& name) {
+    const std::string eq = name + "=";
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (consumed_[i]) continue;
+      if (tokens_[i] == name) {
+        if (i + 1 >= tokens_.size() || consumed_[i + 1]) {
+          throw UsageError("option " + name + " needs a value");
+        }
+        consumed_[i] = consumed_[i + 1] = true;
+        return tokens_[i + 1];
+      }
+      if (tokens_[i].rfind(eq, 0) == 0) {
+        consumed_[i] = true;
+        return tokens_[i].substr(eq.size());
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string opt_or(const std::string& name, const std::string& def) {
+    return opt(name).value_or(def);
+  }
+
+  std::int64_t int_opt_or(const std::string& name, std::int64_t def) {
+    const auto v = opt(name);
+    if (!v) return def;
+    std::int64_t out = 0;
+    const char* begin = v->data();
+    const char* end = begin + v->size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr != end) {
+      throw UsageError("option " + name + " needs an integer, got \"" + *v +
+                       "\"");
+    }
+    return out;
+  }
+
+  /// Remaining non-option tokens, in order. Call after consuming options.
+  [[nodiscard]] std::vector<std::string> positionals() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!consumed_[i] && tokens_[i].rfind("--", 0) != 0) {
+        out.push_back(tokens_[i]);
+      }
+    }
+    return out;
+  }
+
+  /// Reject any unconsumed --option (positionals are the caller's business).
+  void done() const {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!consumed_[i] && tokens_[i].rfind("--", 0) == 0) {
+        throw UsageError("unknown option " + tokens_[i]);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<bool> consumed_;
+};
+
+}  // namespace mixq::cli

@@ -1,0 +1,189 @@
+#include "cli/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace mixq::cli {
+
+namespace {
+
+constexpr const char* kTopUsage =
+    "usage: mixq <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  quantize   build + train + calibrate a model, emit a flash image\n"
+    "  inspect    decode a flash image: per-layer bits, MACs, memory map\n"
+    "  run        run planned/SIMD inference over a flash image\n"
+    "  serve      batch inference daemon (newline-delimited JSON)\n"
+    "\n"
+    "run `mixq <command> --help` for per-command options\n";
+
+std::vector<std::vector<float>> load_csv_inputs(const std::string& path,
+                                                std::int64_t numel) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::vector<std::vector<float>> samples;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
+    if (line.empty()) continue;
+    std::vector<float> row;
+    row.reserve(static_cast<std::size_t>(numel));
+    const char* p = line.data();
+    const char* end = p + line.size();
+    while (p < end) {
+      while (p < end && (*p == ' ' || *p == '\t')) ++p;
+      float v = 0.0f;
+      const auto res = std::from_chars(p, end, v);
+      if (res.ec != std::errc{}) {
+        throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                 ": malformed float");
+      }
+      row.push_back(v);
+      p = res.ptr;
+      while (p < end && (*p == ' ' || *p == '\t')) ++p;
+      if (p < end) {
+        if (*p != ',') {
+          throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                   ": expected ','");
+        }
+        ++p;
+      }
+    }
+    if (static_cast<std::int64_t>(row.size()) != numel) {
+      throw std::runtime_error(
+          path + ":" + std::to_string(lineno) + ": expected " +
+          std::to_string(numel) + " values, got " +
+          std::to_string(row.size()));
+    }
+    samples.push_back(std::move(row));
+  }
+  if (samples.empty()) throw std::runtime_error(path + ": no samples");
+  return samples;
+}
+
+std::vector<std::vector<float>> load_raw_inputs(const std::string& path,
+                                                std::int64_t numel) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const auto bytes = static_cast<std::int64_t>(f.tellg());
+  f.seekg(0);
+  const std::int64_t sample_bytes = numel * 4;
+  if (bytes == 0 || bytes % sample_bytes != 0) {
+    throw std::runtime_error(path + ": size " + std::to_string(bytes) +
+                             " is not a multiple of " +
+                             std::to_string(sample_bytes) +
+                             " bytes (one float32 sample)");
+  }
+  std::vector<std::vector<float>> samples(
+      static_cast<std::size_t>(bytes / sample_bytes));
+  for (auto& s : samples) {
+    s.resize(static_cast<std::size_t>(numel));
+    f.read(reinterpret_cast<char*>(s.data()), sample_bytes);
+  }
+  if (!f) throw std::runtime_error(path + ": read failed");
+  return samples;
+}
+
+}  // namespace
+
+core::Scheme parse_scheme(const std::string& name) {
+  if (name == "pc-icn") return core::Scheme::kPCICN;
+  if (name == "pl-icn") return core::Scheme::kPLICN;
+  if (name == "pl-fb") return core::Scheme::kPLFoldBN;
+  if (name == "pc-thr") return core::Scheme::kPCThresholds;
+  throw UsageError("unknown scheme \"" + name +
+                   "\" (want pc-icn, pl-icn, pl-fb or pc-thr)");
+}
+
+const char* scheme_slug(core::Scheme s) {
+  switch (s) {
+    case core::Scheme::kPLFoldBN: return "pl-fb";
+    case core::Scheme::kPLICN: return "pl-icn";
+    case core::Scheme::kPCICN: return "pc-icn";
+    case core::Scheme::kPCThresholds: return "pc-thr";
+  }
+  return "?";
+}
+
+core::BitWidth parse_bits(std::int64_t bits) {
+  if (bits == 2) return core::BitWidth::kQ2;
+  if (bits == 4) return core::BitWidth::kQ4;
+  if (bits == 8) return core::BitWidth::kQ8;
+  throw UsageError("bit width must be 2, 4 or 8, got " +
+                   std::to_string(bits));
+}
+
+mcu::DeviceSpec parse_device(const std::string& name) {
+  if (name == "stm32h7") return mcu::stm32h7();
+  if (name == "stm32-1mb-512k") return mcu::stm32_1mb_512k();
+  if (name == "stm32-1mb-256k") return mcu::stm32_1mb_256k();
+  throw UsageError("unknown device \"" + name +
+                   "\" (want stm32h7, stm32-1mb-512k or stm32-1mb-256k)");
+}
+
+std::vector<std::vector<float>> load_inputs(const std::string& spec,
+                                            const Shape& input_shape,
+                                            std::uint64_t seed) {
+  const std::int64_t numel = input_shape.numel();
+  if (spec.rfind("synthetic:", 0) == 0) {
+    std::int64_t n = 0;
+    const std::string count = spec.substr(10);
+    const auto res =
+        std::from_chars(count.data(), count.data() + count.size(), n);
+    if (res.ec != std::errc{} || res.ptr != count.data() + count.size() ||
+        n <= 0) {
+      throw UsageError("bad input spec \"" + spec +
+                       "\" (want synthetic:N with N > 0)");
+    }
+    Rng rng(seed);
+    std::vector<std::vector<float>> samples(static_cast<std::size_t>(n));
+    for (auto& s : samples) {
+      s.resize(static_cast<std::size_t>(numel));
+      rng.fill_uniform(s, 0.0, 1.0);
+    }
+    return samples;
+  }
+  if (spec.rfind("csv:", 0) == 0) return load_csv_inputs(spec.substr(4), numel);
+  if (spec.rfind("raw:", 0) == 0) return load_raw_inputs(spec.substr(4), numel);
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".csv") {
+    return load_csv_inputs(spec, numel);
+  }
+  return load_raw_inputs(spec, numel);
+}
+
+int run_cli(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kTopUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kTopUsage, stdout);
+    return 0;
+  }
+  Args args(argc, argv, 2);
+  try {
+    if (command == "quantize") return cmd_quantize(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "serve") return cmd_serve(args);
+    std::fprintf(stderr, "mixq: unknown command \"%s\"\n\n%s",
+                 command.c_str(), kTopUsage);
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "mixq %s: %s\n", command.c_str(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mixq %s: error: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace mixq::cli

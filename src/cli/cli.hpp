@@ -1,0 +1,65 @@
+// mixq/cli/cli.hpp
+//
+// The `mixq` deployment CLI: one binary wiring the whole paper pipeline
+// end to end.
+//
+//   mixq quantize  -- build/train/calibrate a model, emit a flash image
+//   mixq inspect   -- decode an image: per-layer bits, MACs, memory map
+//   mixq run       -- load an image and run planned/SIMD inference
+//   mixq serve     -- batch inference daemon (stdio or unix socket)
+//
+// Each command lives in its own cmd_*.cpp; shared input loading and enum
+// parsing live in cli.cpp. Everything is deterministic in --seed, and
+// `run --ndjson` output is byte-identical to what `serve` responds for the
+// same inputs (shared formatter, serve/server.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "core/quant_types.hpp"
+#include "mcu/device.hpp"
+#include "tensor/shape.hpp"
+
+namespace mixq::cli {
+
+/// Top-level dispatch; returns the process exit status (0 ok, 1 runtime
+/// failure, 2 usage error).
+int run_cli(int argc, char** argv);
+
+int cmd_quantize(Args& args);
+int cmd_inspect(Args& args);
+int cmd_run(Args& args);
+int cmd_serve(Args& args);
+
+// ---------------------------------------------------------------------------
+// Shared helpers (cli.cpp)
+// ---------------------------------------------------------------------------
+
+/// "pc-icn" | "pl-icn" | "pl-fb" | "pc-thr" -> Scheme. Throws UsageError.
+core::Scheme parse_scheme(const std::string& name);
+
+/// The inverse mapping (same table, kept adjacent in cli.cpp so the two
+/// cannot drift): every slug scheme_slug returns is one parse_scheme
+/// accepts.
+const char* scheme_slug(core::Scheme s);
+
+/// 2 | 4 | 8 -> BitWidth. Throws UsageError.
+core::BitWidth parse_bits(std::int64_t bits);
+
+/// "stm32h7" | "stm32-1mb-512k" | "stm32-1mb-256k" -> DeviceSpec.
+mcu::DeviceSpec parse_device(const std::string& name);
+
+/// Load inference inputs from an --input SPEC:
+///   synthetic:N       N deterministic samples (uniform [0,1), Rng(seed))
+///   csv:PATH          one sample per CSV row of H*W*C floats
+///   raw:PATH          packed little-endian float32, multiple of H*W*C
+/// A bare path is sniffed by extension (.csv -> csv, otherwise raw).
+/// Every sample has exactly `input_shape.numel()` floats.
+std::vector<std::vector<float>> load_inputs(const std::string& spec,
+                                            const Shape& input_shape,
+                                            std::uint64_t seed);
+
+}  // namespace mixq::cli

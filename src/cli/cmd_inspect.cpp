@@ -1,0 +1,133 @@
+// `mixq inspect` -- decode a flash image without running it: per-layer
+// precisions and schemes, static MAC counts from the profiler, Table-1
+// read-only footprint, the Eq. 7 activation peak, and (with --device) the
+// linker-map-level memory layout an MCU engineer would review before
+// flashing.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cli/cli.hpp"
+#include "mcu/memory_map.hpp"
+#include "runtime/flash_image.hpp"
+#include "runtime/profiler.hpp"
+#include "serve/json.hpp"
+
+namespace mixq::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mixq inspect IMAGE [options]\n"
+    "\n"
+    "  --json       machine-readable output (one JSON document)\n"
+    "  --device D   also lay out the image on a device and report fit\n"
+    "               (stm32h7 | stm32-1mb-512k | stm32-1mb-256k)\n";
+
+}  // namespace
+
+int cmd_inspect(Args& args) {
+  if (args.flag("--help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const bool json = args.flag("--json");
+  const auto device_name = args.opt("--device");
+  args.done();
+  const auto pos = args.positionals();
+  if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
+  const std::string& path = pos[0];
+
+  const runtime::QuantizedNet net = runtime::read_flash_image_file(path);
+  const runtime::NetProfile prof = runtime::profile(net);
+  const auto file_bytes = std::filesystem::file_size(path);
+
+  if (json) {
+    std::string out = "{\"file\":";
+    serve::append_json_string(out, path);
+    out += ",\"file_bytes\":" + std::to_string(file_bytes);
+    out += ",\"version\":" + std::to_string(runtime::kFlashImageVersion);
+    const Shape& in = net.layers.front().in_shape;
+    out += ",\"input\":{\"shape\":[" + std::to_string(in.h) + "," +
+           std::to_string(in.w) + "," + std::to_string(in.c) + "]";
+    out += ",\"bits\":" + std::to_string(core::bits(net.input_qp.q));
+    out += ",\"scale\":";
+    serve::append_json_float(out, net.input_qp.scale);
+    out += ",\"zero\":" + std::to_string(net.input_qp.zero) + "}";
+    out += ",\"layers\":[";
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+      const runtime::QLayer& l = net.layers[i];
+      const runtime::LayerProfile& lp = prof.layers[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"i\":" + std::to_string(i);
+      out += ",\"kind\":\"" + std::string(runtime::kind_name(l.kind)) + "\"";
+      out += ",\"scheme\":\"" + std::string(scheme_slug(l.scheme)) + "\"";
+      out += ",\"in\":[" + std::to_string(l.in_shape.h) + "," +
+             std::to_string(l.in_shape.w) + "," +
+             std::to_string(l.in_shape.c) + "]";
+      out += ",\"out\":[" + std::to_string(l.out_shape.h) + "," +
+             std::to_string(l.out_shape.w) + "," +
+             std::to_string(l.out_shape.c) + "]";
+      out += ",\"qx\":" + std::to_string(core::bits(l.qx));
+      out += ",\"qw\":" + std::to_string(core::bits(l.qw));
+      out += ",\"qy\":" + std::to_string(core::bits(l.qy));
+      out += ",\"macs\":" + std::to_string(lp.macs);
+      out += ",\"weight_bytes\":" + std::to_string(lp.weight_bytes);
+      out += ",\"static_bytes\":" + std::to_string(lp.static_bytes);
+      out += "}";
+    }
+    out += "],\"total_macs\":" + std::to_string(prof.total_macs);
+    out += ",\"ro_bytes\":" + std::to_string(prof.total_ro_bytes);
+    out += ",\"rw_peak_bytes\":" + std::to_string(prof.peak_rw_bytes);
+    if (device_name) {
+      const mcu::DeviceSpec dev = parse_device(*device_name);
+      const mcu::MemoryMap map = mcu::build_memory_map(net, dev);
+      out += ",\"device\":{\"name\":";
+      serve::append_json_string(out, dev.name);
+      out += ",\"flash_used\":" + std::to_string(map.flash_used);
+      out += ",\"flash_bytes\":" + std::to_string(dev.flash_bytes);
+      out += ",\"ram_used\":" + std::to_string(map.ram_used);
+      out += ",\"ram_bytes\":" + std::to_string(dev.ram_bytes);
+      out += ",\"fits\":";
+      out += map.fits() ? "true" : "false";
+      out += "}";
+    }
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("flash image: %s (%llu bytes, format v%u)\n", path.c_str(),
+              (unsigned long long)file_bytes, runtime::kFlashImageVersion);
+  const Shape& in = net.layers.front().in_shape;
+  std::printf("input: %lldx%lldx%lld UINT%d (scale %g, zero %d)\n",
+              (long long)in.h, (long long)in.w, (long long)in.c,
+              core::bits(net.input_qp.q), net.input_qp.scale,
+              net.input_qp.zero);
+  std::printf("\n%3s %-5s %-7s %-14s %-14s %-8s %12s %10s\n", "i", "kind",
+              "scheme", "in", "out", "Qx/Qw/Qy", "MACs", "RO bytes");
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const runtime::QLayer& l = net.layers[i];
+    const runtime::LayerProfile& lp = prof.layers[i];
+    char qbuf[16];
+    std::snprintf(qbuf, sizeof(qbuf), "%d/%d/%d", core::bits(l.qx),
+                  core::bits(l.qw), core::bits(l.qy));
+    std::printf("%3zu %-5s %-7s %-14s %-14s %-8s %12lld %10lld\n", i,
+                runtime::kind_name(l.kind), scheme_slug(l.scheme),
+                l.in_shape.str().c_str(), l.out_shape.str().c_str(), qbuf,
+                (long long)lp.macs, (long long)lp.ro_bytes());
+  }
+  std::printf("\ntotal: %lld MACs, RO %lld bytes, RW peak %lld bytes\n",
+              (long long)prof.total_macs, (long long)prof.total_ro_bytes,
+              (long long)prof.peak_rw_bytes);
+  if (device_name) {
+    const mcu::DeviceSpec dev = parse_device(*device_name);
+    const mcu::MemoryMap map = mcu::build_memory_map(net, dev);
+    std::printf("\nmemory map on %s:\n%s", dev.name.c_str(),
+                map.str().c_str());
+    std::printf("fits: %s\n", map.fits() ? "yes" : "NO");
+  }
+  return 0;
+}
+
+}  // namespace mixq::cli

@@ -1,0 +1,186 @@
+// `mixq quantize` -- the paper's Figure 1 flow as one command: (optionally)
+// plan per-layer precisions against a device memory budget (Algorithms
+// 1-2), build the fake-quantized model, run quantization-aware training on
+// the deterministic synthetic task (or restore a checkpoint), convert to
+// the integer-only deployment graph, and emit the flash image.
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+
+#include "cli/cli.hpp"
+#include "core/bit_allocation.hpp"
+#include "data/synthetic.hpp"
+#include "eval/checkpoint.hpp"
+#include "eval/trainer.hpp"
+#include "mcu/memory_map.hpp"
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/flash_image.hpp"
+
+namespace mixq::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mixq quantize --out IMAGE [options]\n"
+    "\n"
+    "model (a MobilenetV1-style depthwise-separable CNN):\n"
+    "  --hw N              input height/width (default 8)\n"
+    "  --channels N        stem output channels (default 8)\n"
+    "  --blocks N          depthwise-separable blocks (default 2)\n"
+    "  --classes N         output classes (default 4)\n"
+    "  --wbits 2|4|8       weight precision (default 4)\n"
+    "  --abits 2|4|8       activation precision (default 4)\n"
+    "  --scheme S          pc-icn | pl-icn | pl-fb | pc-thr (default pc-icn)\n"
+    "  --device D          memory-driven planning against a device budget\n"
+    "                      (stm32h7 | stm32-1mb-512k | stm32-1mb-256k);\n"
+    "                      overrides --wbits/--abits per layer (Alg. 1-2)\n"
+    "\n"
+    "training (deterministic synthetic task):\n"
+    "  --epochs N          QAT epochs (default 2; 0 = untrained weights)\n"
+    "  --train-size N      training samples (default 256)\n"
+    "  --test-size N       test samples (default 128)\n"
+    "  --seed N            master seed (default 1)\n"
+    "  --checkpoint F      restore trained weights instead of training\n"
+    "  --save-checkpoint F write trained weights for later runs\n"
+    "\n"
+    "output:\n"
+    "  --out IMAGE         flash image path (required)\n"
+    "  --quiet             suppress the summary\n";
+
+}  // namespace
+
+int cmd_quantize(Args& args) {
+  if (args.flag("--help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const auto out_path = args.opt("--out");
+  const std::int64_t hw = args.int_opt_or("--hw", 8);
+  const std::int64_t channels = args.int_opt_or("--channels", 8);
+  const std::int64_t blocks = args.int_opt_or("--blocks", 2);
+  const std::int64_t classes = args.int_opt_or("--classes", 4);
+  const core::BitWidth qw = parse_bits(args.int_opt_or("--wbits", 4));
+  const core::BitWidth qa = parse_bits(args.int_opt_or("--abits", 4));
+  const core::Scheme scheme = parse_scheme(args.opt_or("--scheme", "pc-icn"));
+  const auto device_name = args.opt("--device");
+  const std::int64_t epochs = args.int_opt_or("--epochs", 2);
+  const std::int64_t train_size = args.int_opt_or("--train-size", 256);
+  const std::int64_t test_size = args.int_opt_or("--test-size", 128);
+  const auto seed = static_cast<std::uint64_t>(args.int_opt_or("--seed", 1));
+  const auto checkpoint_in = args.opt("--checkpoint");
+  const auto checkpoint_out = args.opt("--save-checkpoint");
+  const bool quiet = args.flag("--quiet");
+  args.done();
+  if (!out_path) throw UsageError("--out IMAGE is required");
+  if (hw < 4 || channels < 1 || blocks < 1 || classes < 2) {
+    throw UsageError("implausible model geometry");
+  }
+
+  models::SmallCnnConfig mcfg;
+  mcfg.input_hw = hw;
+  mcfg.base_channels = channels;
+  mcfg.num_blocks = blocks;
+  mcfg.num_classes = classes;
+  mcfg.qw = qw;
+  mcfg.qa = qa;
+  mcfg.wgran = core::granularity_of(scheme);
+  mcfg.fold_bn = scheme == core::Scheme::kPLFoldBN;
+
+  // Memory-driven planning (the paper's core contribution): start from
+  // uniform 8 bit and cut activation/weight precisions until the device
+  // budgets hold.
+  std::optional<core::AllocResult> planned;
+  if (device_name) {
+    const mcu::DeviceSpec dev = parse_device(*device_name);
+    mcfg.qw = core::BitWidth::kQ8;
+    mcfg.qa = core::BitWidth::kQ8;
+    const core::NetDesc desc = models::small_cnn_desc(mcfg);
+    core::AllocConfig acfg;
+    acfg.ro_budget = dev.flash_bytes;
+    acfg.rw_budget = dev.ram_bytes;
+    acfg.scheme = scheme;
+    planned = core::plan_mixed_precision(desc, acfg);
+    if (!planned->feasible()) {
+      std::fprintf(stderr,
+                   "mixq quantize: %s budget infeasible even at 2 bit "
+                   "(RO %lld/%lld, RW %lld/%lld)\n",
+                   dev.name.c_str(), (long long)planned->ro_total_bytes,
+                   (long long)dev.flash_bytes,
+                   (long long)planned->rw_peak_bytes,
+                   (long long)dev.ram_bytes);
+      return 1;
+    }
+  }
+
+  Rng rng(seed);
+  core::QatModel model = models::build_small_cnn(mcfg, &rng);
+  if (planned) core::apply_assignment(model, planned->assignment);
+
+  data::SyntheticSpec dspec;
+  dspec.hw = hw;
+  dspec.channels = mcfg.in_channels;
+  dspec.num_classes = classes;
+  dspec.train_size = train_size;
+  dspec.test_size = test_size;
+  dspec.seed = seed;
+  auto [train, test] = data::make_synthetic(dspec);
+
+  eval::TrainResult tr;
+  if (checkpoint_in) {
+    // A checkpoint's array layout depends on the batch-norm frozen state
+    // (eval/checkpoint.cpp): training ends with BN frozen, --epochs 0
+    // writes an unfrozen one. Try the freshly built (unfrozen) layout
+    // first, then the frozen layout.
+    try {
+      eval::read_checkpoint_file(model, *checkpoint_in);
+    } catch (const std::runtime_error&) {
+      model.freeze_all_bn();
+      eval::read_checkpoint_file(model, *checkpoint_in);
+    }
+    if (!quiet) {
+      // Accuracies are only computed for the summary; the restore path
+      // itself needs no forward passes.
+      tr.train_accuracy = eval::evaluate_fake_quant(model, train);
+      tr.test_accuracy = eval::evaluate_fake_quant(model, test);
+    }
+  } else if (epochs > 0) {
+    eval::TrainConfig tcfg;
+    tcfg.epochs = static_cast<int>(epochs);
+    tcfg.lr = 3e-3f;
+    tcfg.seed = seed;
+    tr = eval::train_qat(model, train, test, tcfg);
+  }
+  if (checkpoint_out) eval::write_checkpoint_file(model, *checkpoint_out);
+
+  const runtime::QuantizedNet qnet = runtime::convert_qat_model(
+      model, Shape(1, hw, hw, mcfg.in_channels), {scheme});
+  qnet.validate();
+  runtime::write_flash_image_file(qnet, *out_path);
+
+  if (!quiet) {
+    if (planned) {
+      std::printf("memory-driven plan (%s): %d activation cuts, %d weight "
+                  "cuts, RO %lld B, RW peak %lld B\n",
+                  device_name->c_str(), planned->act_cuts,
+                  planned->weight_cuts, (long long)planned->ro_total_bytes,
+                  (long long)planned->rw_peak_bytes);
+    }
+    if (checkpoint_in || epochs > 0) {
+      std::printf("fake-quantized graph: train %.1f%%  test %.1f%%\n",
+                  tr.train_accuracy * 100, tr.test_accuracy * 100);
+    } else {
+      std::printf("fake-quantized graph: untrained (--epochs 0)\n");
+    }
+    const auto image_bytes = std::filesystem::file_size(*out_path);
+    std::printf("deployed image: %zu layers, scheme %s, RO %lld bytes, "
+                "RW peak %lld bytes\n",
+                qnet.layers.size(), core::to_string(scheme).c_str(),
+                (long long)qnet.ro_bytes(), (long long)qnet.rw_peak_bytes());
+    std::printf("wrote %s (%llu bytes)\n", out_path->c_str(),
+                (unsigned long long)image_bytes);
+  }
+  return 0;
+}
+
+}  // namespace mixq::cli

@@ -1,0 +1,67 @@
+// `mixq serve` -- the batch inference daemon. Stdio by default (requests
+// on stdin, responses on stdout, stats on stderr), or a unix-domain
+// socket with --socket for concurrent clients. Protocol and threading
+// contract: serve/server.hpp.
+#include <cstdio>
+#include <iostream>
+
+#include "cli/cli.hpp"
+#include "runtime/flash_image.hpp"
+#include "serve/server.hpp"
+
+namespace mixq::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mixq serve IMAGE [options]\n"
+    "\n"
+    "  --threads N      worker lanes (default 1, 0 = hardware)\n"
+    "  --max-batch N    micro-batch coalescing limit (default 8)\n"
+    "  --max-wait-us N  batch window after the first request (default 2000)\n"
+    "  --socket PATH    serve a unix-domain socket instead of stdio\n"
+    "  --quiet          suppress the final stats summary on stderr\n"
+    "\n"
+    "protocol (newline-delimited JSON):\n"
+    "  {\"id\":7,\"input\":[...H*W*C floats...]}\n"
+    "      -> {\"id\":7,\"predicted\":3,\"logits\":[...]}\n"
+    "  {\"cmd\":\"info\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"shutdown\"}\n";
+
+}  // namespace
+
+int cmd_serve(Args& args) {
+  if (args.flag("--help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  serve::ServeConfig cfg;
+  cfg.threads = static_cast<int>(args.int_opt_or("--threads", 1));
+  cfg.max_batch = static_cast<int>(args.int_opt_or("--max-batch", 8));
+  cfg.max_wait_us = args.int_opt_or("--max-wait-us", 2000);
+  const auto socket_path = args.opt("--socket");
+  const bool quiet = args.flag("--quiet");
+  args.done();
+  const auto pos = args.positionals();
+  if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
+  if (cfg.max_batch < 1) throw UsageError("--max-batch must be >= 1");
+  if (cfg.max_wait_us < 0) throw UsageError("--max-wait-us must be >= 0");
+
+  const runtime::QuantizedNet net = runtime::read_flash_image_file(pos[0]);
+
+  serve::ServeStats stats;
+  if (socket_path) {
+#ifdef _WIN32
+    throw std::runtime_error("--socket is not supported on this platform");
+#else
+    stats = serve::serve_unix_socket(net, cfg, *socket_path,
+                                     quiet ? nullptr : &std::cerr);
+#endif
+  } else {
+    serve::StreamServer server(net, cfg);
+    stats = server.serve(std::cin, std::cout);
+  }
+  if (!quiet) std::fputs(stats.str().c_str(), stderr);
+  return 0;
+}
+
+}  // namespace mixq::cli

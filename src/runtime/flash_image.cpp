@@ -54,6 +54,20 @@ class Reader {
     pos_ += n;
   }
   [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  /// Reject a declared element count before anything is resized/allocated
+  /// from it: `count` entries of at least `min_entry_bytes` each must
+  /// still fit in the unread payload. This makes every variable-length
+  /// field self-limiting -- a crafted count can never drive an allocation
+  /// larger than the blob that carries it.
+  void check_count(std::uint64_t count, std::size_t min_entry_bytes,
+                   const char* what) const {
+    if (count > remaining() / min_entry_bytes) {
+      throw std::runtime_error(std::string("flash image: declared ") + what +
+                               " count exceeds payload size");
+    }
+  }
 
  private:
   const std::uint8_t* data_;
@@ -75,6 +89,13 @@ Shape get_shape(Reader& r) {
   const auto c = r.get<std::int64_t>();
   if (n < 0 || h < 0 || ww < 0 || c < 0) {
     throw std::runtime_error("flash image: negative shape dimension");
+  }
+  // Bound each dimension and the element count so Shape::numel() can never
+  // overflow int64 downstream (2^14 per dim caps the product at 2^56;
+  // every real deployment shape is orders of magnitude smaller).
+  constexpr std::int64_t kMaxDim = std::int64_t{1} << 14;
+  if (n > kMaxDim || h > kMaxDim || ww > kMaxDim || c > kMaxDim) {
+    throw std::runtime_error("flash image: implausible shape dimension");
   }
   return Shape(n, h, ww, c);
 }
@@ -166,6 +187,11 @@ QLayer get_layer(Reader& r) {
   if (co <= 0 || kh <= 0 || kw <= 0 || ci <= 0) {
     throw std::runtime_error("flash image: invalid weight shape");
   }
+  constexpr std::int64_t kMaxWeightDim = std::int64_t{1} << 14;
+  if (co > kMaxWeightDim || kh > kMaxWeightDim || kw > kMaxWeightDim ||
+      ci > kMaxWeightDim) {
+    throw std::runtime_error("flash image: implausible weight shape");
+  }
   l.wshape = WeightShape(co, kh, kw, ci);
   l.zx = r.get<std::int32_t>();
   l.zy = r.get<std::int32_t>();
@@ -176,6 +202,7 @@ QLayer get_layer(Reader& r) {
       zw_count != static_cast<std::uint32_t>(co)) {
     throw std::runtime_error("flash image: zw count must be 0, 1 or cO");
   }
+  r.check_count(zw_count, sizeof(std::int32_t), "zw");
   l.zw.resize(zw_count);
   for (auto& z : l.zw) z = r.get<std::int32_t>();
 
@@ -183,6 +210,7 @@ QLayer get_layer(Reader& r) {
   if (icn_count != 0 && icn_count != static_cast<std::uint32_t>(co)) {
     throw std::runtime_error("flash image: icn count must be 0 or cO");
   }
+  r.check_count(icn_count, sizeof(std::int32_t) * 2 + 1, "icn");
   l.icn.resize(icn_count);
   for (auto& ch : l.icn) {
     ch.bq = r.get<std::int32_t>();
@@ -194,6 +222,7 @@ QLayer get_layer(Reader& r) {
   if (thr_count != 0 && thr_count != static_cast<std::uint32_t>(co)) {
     throw std::runtime_error("flash image: threshold count must be 0 or cO");
   }
+  r.check_count(thr_count, 1 + sizeof(std::uint32_t), "threshold");
   l.thresholds.resize(thr_count);
   for (auto& th : l.thresholds) {
     th.rising = r.get<std::uint8_t>() != 0;
@@ -201,6 +230,7 @@ QLayer get_layer(Reader& r) {
     if (n > static_cast<std::uint32_t>(core::qmax(l.qy))) {
       throw std::runtime_error("flash image: too many thresholds for Qy");
     }
+    r.check_count(n, sizeof(std::int64_t), "threshold level");
     th.thr.resize(n);
     for (auto& t : th.thr) t = r.get<std::int64_t>();
   }
@@ -209,12 +239,22 @@ QLayer get_layer(Reader& r) {
   if (mult_count != 0 && mult_count != static_cast<std::uint32_t>(co)) {
     throw std::runtime_error("flash image: out_mult count must be 0 or cO");
   }
+  r.check_count(mult_count, sizeof(double), "out_mult");
   l.out_mult.resize(mult_count);
   for (auto& m : l.out_mult) m = r.get<double>();
 
   const auto wnumel = r.get<std::int64_t>();
   if (wnumel < 0) throw std::runtime_error("flash image: negative weights");
   const BitWidth wq = get_bitwidth(r);
+  // The packed codes are inline in the payload, so the declared element
+  // count can never legitimately imply more bytes than are left to read.
+  // Checked BEFORE the PackedBuffer allocation: a crafted wnumel must not
+  // be able to drive an arbitrarily large allocation.
+  if (wnumel > static_cast<std::int64_t>(r.remaining()) *
+                   elems_per_byte(wq)) {
+    throw std::runtime_error(
+        "flash image: declared weight count exceeds payload size");
+  }
   l.weights = PackedBuffer(wnumel, wq);
   r.get_bytes(l.weights.data(),
               static_cast<std::size_t>(l.weights.size_bytes()));
@@ -257,7 +297,8 @@ std::vector<std::uint8_t> save_flash_image(const QuantizedNet& net) {
   return blob;
 }
 
-QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob) {
+QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob,
+                              const FlashLoadLimits& limits) {
   constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8 + 4;
   if (blob.size() < kHeader) {
     throw std::runtime_error("flash image: blob smaller than header");
@@ -290,6 +331,11 @@ QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob) {
     throw std::runtime_error("flash image: non-positive input scale");
   }
   const auto count = r.get<std::uint32_t>();
+  // A serialized layer's fixed fields alone are ~150 bytes (kind/scheme/
+  // spec/shapes/precisions/zero-points/counts/weight header); bounding by
+  // a conservative 128 keeps reserve() below -- whose per-entry cost is a
+  // ~250-byte QLayer -- from amplifying a crafted count.
+  r.check_count(count, 128, "layer");
   net.layers.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     net.layers.push_back(get_layer(r));
@@ -300,6 +346,27 @@ QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob) {
   // Field-level parsing succeeded; now check cross-layer consistency so a
   // corrupted-but-parseable image can never reach the kernels.
   net.validate();
+  // Finally the resource ceiling: the declared geometry fixes the
+  // input+output activation pair every layer needs (Eq. 7). The bound is
+  // taken on the UNPACKED INT32 working set -- 4 bytes per element, what
+  // the host executor's ping-pong arenas actually allocate when a plan is
+  // compiled -- not on the packed bit-width bytes, which understate the
+  // host cost by up to 16x at Q2. A CRC-valid image whose geometry
+  // implies more than the limit is rejected here, before any executor
+  // allocates for it.
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const QLayer& l = net.layers[i];
+    const std::int64_t pair_bytes =
+        (l.in_shape.numel() + l.out_shape.numel()) *
+        static_cast<std::int64_t>(sizeof(std::int32_t));
+    if (pair_bytes > limits.max_activation_pair_bytes) {
+      throw std::runtime_error(
+          "flash image: layer " + std::to_string(i) +
+          " activation pair (" + std::to_string(pair_bytes) +
+          " unpacked bytes) exceeds the load limit of " +
+          std::to_string(limits.max_activation_pair_bytes) + " bytes");
+    }
+  }
   return net;
 }
 
@@ -313,7 +380,8 @@ void write_flash_image_file(const QuantizedNet& net,
   if (!f) throw std::runtime_error("flash image: write failed for " + path);
 }
 
-QuantizedNet read_flash_image_file(const std::string& path) {
+QuantizedNet read_flash_image_file(const std::string& path,
+                                   const FlashLoadLimits& limits) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw std::runtime_error("flash image: cannot open " + path);
   const auto size = static_cast<std::size_t>(f.tellg());
@@ -322,7 +390,7 @@ QuantizedNet read_flash_image_file(const std::string& path) {
   f.read(reinterpret_cast<char*>(blob.data()),
          static_cast<std::streamsize>(size));
   if (!f) throw std::runtime_error("flash image: read failed for " + path);
-  return load_flash_image(blob);
+  return load_flash_image(blob, limits);
 }
 
 }  // namespace mixq::runtime

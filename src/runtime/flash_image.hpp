@@ -26,17 +26,40 @@ namespace mixq::runtime {
 /// Current format version. Bump on any layout change.
 inline constexpr std::uint32_t kFlashImageVersion = 1;
 
+/// Resource ceilings enforced while *loading* an image, before any
+/// executor touches it. A CRC only proves the image is the one its
+/// producer wrote -- a hostile or buggy producer can still declare layer
+/// geometry whose activation buffers would exhaust host memory the moment
+/// a plan is compiled. The loader therefore rejects:
+///   * any count/array field implying more bytes than the payload holds
+///     (so a crafted length can never drive an allocation; this check is
+///     unconditional, not configurable), and
+///   * any layer whose input+output activation pair (the Eq. 7 quantity)
+///     exceeds `max_activation_pair_bytes`, measured as the UNPACKED
+///     INT32 working set (4 bytes/element) the host executor's ping-pong
+///     arenas allocate when a plan is compiled -- the packed bit-width
+///     bytes would understate the host cost by up to 16x at Q2.
+/// The default is far above every real MCU deployment (the paper's
+/// largest target has 512 kB of RAM) while still bounding what a loaded
+/// image can make the host allocate.
+struct FlashLoadLimits {
+  std::int64_t max_activation_pair_bytes{std::int64_t{1} << 30};  ///< 1 GiB
+};
+
 /// Serialize a deployed network into a flash image blob.
 std::vector<std::uint8_t> save_flash_image(const QuantizedNet& net);
 
 /// Parse and validate a flash image. Throws std::runtime_error with a
 /// descriptive message on bad magic, version mismatch, size mismatch, CRC
-/// failure, or any field that fails structural validation.
-QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob);
+/// failure, any field that fails structural validation, or geometry that
+/// violates `limits` (see FlashLoadLimits).
+QuantizedNet load_flash_image(const std::vector<std::uint8_t>& blob,
+                              const FlashLoadLimits& limits = {});
 
 /// File helpers.
 void write_flash_image_file(const QuantizedNet& net, const std::string& path);
-QuantizedNet read_flash_image_file(const std::string& path);
+QuantizedNet read_flash_image_file(const std::string& path,
+                                   const FlashLoadLimits& limits = {});
 
 /// CRC32 (IEEE, reflected) used by the image format; exposed for tests.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n);

@@ -1,0 +1,106 @@
+// mixq/serve/queue.hpp
+//
+// Thread-safe FIFO of inference requests, the hand-off point between the
+// daemon's protocol readers (one per client connection, or the single
+// stdio reader) and the batching worker. Closeable: close() wakes every
+// waiter, producers are rejected afterwards, and consumers continue to
+// drain whatever was already queued -- which is how a graceful shutdown
+// finishes in-flight work before exiting.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace mixq::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// One inference request. `client` routes the response back to the
+/// connection that sent it (kClientLocal for stdio / in-process callers).
+struct Request {
+  std::int64_t id{0};
+  std::vector<float> input;
+  Clock::time_point enqueued{};
+  int client{-1};
+};
+
+inline constexpr int kClientLocal = -1;
+
+class RequestQueue {
+ public:
+  /// Enqueue one request (stamping its arrival time). Returns false --
+  /// leaving the queue untouched -- once the queue is closed.
+  bool push(Request r) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      r.enqueued = Clock::now();
+      q_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits until a request is available or the queue is
+  /// closed *and* drained (then returns false).
+  bool pop(Request& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Pop with a deadline: like pop(), but gives up (returning false with
+  /// the queue still open) once `deadline` passes.
+  bool pop_until(Request& out, Clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  bool try_pop(Request& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Reject future producers and wake every waiter. Already queued
+  /// requests remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_{false};
+};
+
+}  // namespace mixq::serve

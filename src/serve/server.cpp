@@ -1,0 +1,710 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cmath>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/json.hpp"
+
+#ifndef _WIN32
+#include <cerrno>
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace mixq::serve {
+
+// ---------------------------------------------------------------------------
+// InferenceSession
+// ---------------------------------------------------------------------------
+
+InferenceSession::InferenceSession(const runtime::QuantizedNet& net,
+                                   int threads)
+    : exec_(net, /*fast=*/true) {
+  // Compile the plan now so the first served request pays no compilation
+  // latency (idempotent and thread-safe).
+  exec_.warm_up();
+  plan_ = &exec_.plan();
+  int lanes = threads;
+  if (lanes <= 0) lanes = runtime::ThreadPool::hardware_lanes();
+  pool_ = std::make_unique<runtime::ThreadPool>(lanes);
+  arenas_.reserve(static_cast<std::size_t>(pool_->lanes()));
+  for (int i = 0; i < pool_->lanes(); ++i) {
+    arenas_.push_back(std::make_unique<runtime::PlanArenas>(*plan_));
+  }
+}
+
+InferenceSession::~InferenceSession() = default;
+
+const runtime::QuantizedNet& InferenceSession::net() const {
+  return exec_.net();
+}
+
+const Shape& InferenceSession::input_shape() const {
+  return exec_.input_shape();
+}
+
+std::int64_t InferenceSession::input_numel() const {
+  return input_shape().numel();
+}
+
+int InferenceSession::lanes() const { return pool_->lanes(); }
+
+void InferenceSession::infer_batch(
+    const std::vector<Request>& batch,
+    std::vector<runtime::QInferenceResult>& out) {
+  out.resize(batch.size());
+  const auto n = static_cast<std::int64_t>(batch.size());
+  pool_->parallel_for(n, [&](int lane, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      out[static_cast<std::size_t>(i)] = plan_->run_sample(
+          batch[static_cast<std::size_t>(i)].input.data(), *arenas_[lane]);
+    }
+  });
+}
+
+runtime::QInferenceResult InferenceSession::infer(const float* sample) {
+  return plan_->run_sample(sample, *arenas_[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Shared line formatting
+// ---------------------------------------------------------------------------
+
+std::string format_result_line(std::int64_t id,
+                               const runtime::QInferenceResult& r) {
+  std::string line = "{\"id\":";
+  line += std::to_string(id);
+  line += ",\"predicted\":";
+  line += std::to_string(r.predicted);
+  line += ",\"logits\":[";
+  for (std::size_t i = 0; i < r.logits.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    append_json_float(line, r.logits[i]);
+  }
+  line += "]}";
+  return line;
+}
+
+std::string format_request_line(std::int64_t id, const float* input,
+                                std::int64_t numel) {
+  std::string line = "{\"id\":";
+  line += std::to_string(id);
+  line += ",\"input\":[";
+  for (std::int64_t i = 0; i < numel; ++i) {
+    if (i > 0) line.push_back(',');
+    append_json_float(line, input[i]);
+  }
+  line += "]}";
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t percentile_index(double p, std::size_t n) {
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  return static_cast<std::size_t>(
+      clamped / 100.0 * static_cast<double>(n - 1) + 0.5);
+}
+
+/// p50/p95/p99 from one sorted copy (a stats request would otherwise copy
+/// the latency vector once per percentile).
+std::array<double, 3> percentile_triple(const std::vector<double>& lat) {
+  if (lat.empty()) return {0.0, 0.0, 0.0};
+  std::vector<double> v = lat;
+  std::sort(v.begin(), v.end());
+  return {v[percentile_index(50, v.size())],
+          v[percentile_index(95, v.size())],
+          v[percentile_index(99, v.size())]};
+}
+
+}  // namespace
+
+double ServeStats::latency_percentile_us(double p) const {
+  if (latency_us.empty()) return 0.0;
+  std::vector<double> v = latency_us;
+  const auto idx = percentile_index(p, v.size());
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+double ServeStats::latency_mean_us() const {
+  if (latency_us.empty()) return 0.0;
+  double s = 0.0;
+  for (const double l : latency_us) s += l;
+  return s / static_cast<double>(latency_us.size());
+}
+
+std::string ServeStats::json() const {
+  std::string out = "{\"requests\":";
+  out += std::to_string(requests);
+  out += ",\"responses\":";
+  out += std::to_string(responses);
+  out += ",\"errors\":";
+  out += std::to_string(errors);
+  out += ",\"batches\":";
+  out += std::to_string(batches);
+  out += ",\"max_batch_fill\":";
+  out += std::to_string(max_batch_fill);
+  out += ",\"mean_batch_fill\":";
+  append_json_double(out, mean_batch_fill());
+  out += ",\"latency_mean_us\":";
+  append_json_double(out, latency_mean_us());
+  const auto [p50, p95, p99] = percentile_triple(latency_us);
+  out += ",\"latency_p50_us\":";
+  append_json_double(out, p50);
+  out += ",\"latency_p95_us\":";
+  append_json_double(out, p95);
+  out += ",\"latency_p99_us\":";
+  append_json_double(out, p99);
+  out += "}";
+  return out;
+}
+
+std::string ServeStats::str() const {
+  std::string s;
+  s += "requests: " + std::to_string(requests) +
+       ", responses: " + std::to_string(responses) +
+       ", errors: " + std::to_string(errors) + "\n";
+  s += "batches: " + std::to_string(batches) + " (mean fill " +
+       std::to_string(mean_batch_fill()) + ", max fill " +
+       std::to_string(max_batch_fill) + ")\n";
+  const auto [p50, p95, p99] = percentile_triple(latency_us);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "latency: mean %.1f us, p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+                latency_mean_us(), p50, p95, p99);
+  s += buf;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol engine (shared by the stream and socket front-ends)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cap on recorded per-request latencies: a ring of the most recent 64K
+/// samples, so percentiles track the current window and a stats snapshot
+/// copies at most ~512 KiB under the stats lock.
+constexpr std::size_t kMaxLatencySamples = 1u << 16;
+
+class Engine {
+ public:
+  using WriteFn = std::function<void(int client, const std::string& line)>;
+
+  Engine(const runtime::QuantizedNet& net, const ServeConfig& cfg,
+         WriteFn write)
+      : session_(net, cfg.threads),
+        batcher_(queue_, BatcherConfig{cfg.max_batch, cfg.max_wait_us}),
+        write_(std::move(write)) {}
+
+  /// Unwind safety: a throw between start() and drain_and_stop() must
+  /// join the worker, not destroy a joinable thread (std::terminate).
+  ~Engine() { drain_and_stop(); }
+
+  /// Upper bound on an acceptable request line. A well-formed request is
+  /// at most ~17 bytes per float plus punctuation; anything much larger
+  /// is rejected BEFORE parse_json, because the JsonValue tree amplifies
+  /// input bytes ~40x -- the daemon-side analogue of the flash loader's
+  /// "a declared count can never outgrow the bytes that carry it" rule.
+  [[nodiscard]] std::size_t max_line_bytes() const {
+    return 256 + 32 * static_cast<std::size_t>(session_.input_numel());
+  }
+
+  void start() {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+
+  /// Process one protocol line from `client`. Returns false when the line
+  /// asked for shutdown (the caller should stop reading and drain).
+  bool handle_line(int client, const std::string& line) {
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string::npos) {
+      return true;  // blank lines are ignored, not errors
+    }
+    if (line.size() > max_line_bytes()) {
+      emit_error(client,
+                 ("request line exceeds " + std::to_string(max_line_bytes()) +
+                  " bytes")
+                     .c_str(),
+                 nullptr);
+      return true;
+    }
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::runtime_error& e) {
+      emit_error(client, e.what(), nullptr);
+      return true;
+    }
+    if (!v.is_object()) {
+      emit_error(client, "request must be a JSON object", nullptr);
+      return true;
+    }
+    if (const JsonValue* cmd = v.find("cmd")) {
+      if (!cmd->is_string()) {
+        emit_error(client, "\"cmd\" must be a string", v.find("id"));
+        return true;
+      }
+      if (cmd->string == "shutdown") return false;
+      if (cmd->string == "stats") {
+        write(client, "{\"stats\":" + stats_snapshot().json() + "}");
+        return true;
+      }
+      if (cmd->string == "info") {
+        write(client, info_line());
+        return true;
+      }
+      emit_error(client, ("unknown cmd \"" + cmd->string + "\"").c_str(),
+                 v.find("id"));
+      return true;
+    }
+
+    const JsonValue* id = v.find("id");
+    const JsonValue* input = v.find("input");
+    if (id == nullptr || !id->is_integer()) {
+      emit_error(client, "missing or non-integer \"id\"", nullptr);
+      return true;
+    }
+    if (input == nullptr || !input->is_array()) {
+      emit_error(client, "missing \"input\" array", id);
+      return true;
+    }
+    const std::int64_t want = session_.input_numel();
+    if (static_cast<std::int64_t>(input->array.size()) != want) {
+      emit_error(client,
+                 ("\"input\" must have " + std::to_string(want) +
+                  " elements, got " + std::to_string(input->array.size()))
+                     .c_str(),
+                 id);
+      return true;
+    }
+    Request r;
+    r.id = id->as_integer();
+    r.client = client;
+    r.input.reserve(input->array.size());
+    for (const JsonValue& x : input->array) {
+      if (!x.is_number()) {
+        emit_error(client, "\"input\" elements must be numbers", id);
+        return true;
+      }
+      r.input.push_back(static_cast<float>(x.number));
+    }
+    // Counted BEFORE the push: the worker may complete and count the
+    // response the instant the request is queued, and a stats snapshot
+    // must never show responses > requests.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+    }
+    if (!queue_.push(std::move(r))) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        --stats_.requests;
+      }
+      emit_error(client, "server is shutting down", id);
+      return true;
+    }
+    return true;
+  }
+
+  /// Close the queue, let the worker drain every accepted request, and
+  /// join it. Idempotent and safe to call from multiple threads (e.g. two
+  /// clients racing to send shutdown).
+  void drain_and_stop() {
+    queue_.close();
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (worker_.joinable()) worker_.join();
+  }
+
+  [[nodiscard]] ServeStats stats_snapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+  /// Serialization of concurrent writers (the protocol reader emitting
+  /// errors vs the batch worker emitting responses) is the WriteFn's
+  /// responsibility: the stdio front-end guards its one ostream with one
+  /// mutex, while the socket front-end locks per connection -- a stalled
+  /// client there must block only its own connection, never the daemon.
+  void write(int client, const std::string& line) { write_(client, line); }
+
+  [[nodiscard]] InferenceSession& session() { return session_; }
+
+  /// For front-ends that detect a protocol violation before handle_line
+  /// (e.g. an over-cap line discarded during streaming): emits the error
+  /// response and counts it.
+  void protocol_error(int client, const char* why) {
+    emit_error(client, why, nullptr);
+  }
+
+ private:
+  void emit_error(int client, const char* why, const JsonValue* id) {
+    std::string line = "{\"error\":";
+    append_json_string(line, why);
+    if (id != nullptr && id->is_integer()) {
+      line += ",\"id\":" + std::to_string(id->as_integer());
+    }
+    line += "}";
+    write(client, line);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  }
+
+  std::string info_line() const {
+    const runtime::QuantizedNet& net = session_.net();
+    const Shape& in = net.layers.front().in_shape;
+    std::string line = "{\"info\":{\"layers\":";
+    line += std::to_string(net.layers.size());
+    line += ",\"input\":[" + std::to_string(in.h) + "," +
+            std::to_string(in.w) + "," + std::to_string(in.c) + "]";
+    line += ",\"classes\":" +
+            std::to_string(net.layers.back().out_shape.c);
+    line += ",\"ro_bytes\":" + std::to_string(net.ro_bytes());
+    line += ",\"rw_peak_bytes\":" + std::to_string(net.rw_peak_bytes());
+    line += ",\"lanes\":" + std::to_string(session_.lanes());
+    line += "}}";
+    return line;
+  }
+
+  void worker_loop() {
+    std::vector<Request> batch;
+    std::vector<runtime::QInferenceResult> results;
+    while (batcher_.next_batch(batch)) {
+      session_.infer_batch(batch, results);
+      const auto done = Clock::now();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        write(batch[i].client,
+              format_result_line(batch[i].id, results[i]));
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+      stats_.responses += static_cast<std::int64_t>(batch.size());
+      stats_.max_batch_fill = std::max(
+          stats_.max_batch_fill, static_cast<std::int64_t>(batch.size()));
+      for (const Request& r : batch) {
+        const double us =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                done - r.enqueued)
+                .count() /
+            1e3;
+        if (stats_.latency_us.size() < kMaxLatencySamples) {
+          stats_.latency_us.push_back(us);
+        } else {
+          stats_.latency_us[latency_ring_next_] = us;
+          latency_ring_next_ = (latency_ring_next_ + 1) % kMaxLatencySamples;
+        }
+      }
+    }
+  }
+
+  // `session_` must outlive `worker_`; member order is load-bearing.
+  InferenceSession session_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+  WriteFn write_;
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+  std::size_t latency_ring_next_{0};
+  std::mutex join_mu_;
+  std::thread worker_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamServer
+// ---------------------------------------------------------------------------
+
+StreamServer::StreamServer(const runtime::QuantizedNet& net, ServeConfig cfg)
+    : net_(&net), cfg_(cfg) {}
+
+namespace {
+
+enum class LineRead { kOk, kTooLong, kEof };
+
+/// getline with a memory bound: past `cap` bytes the remainder of the
+/// line is discarded (bounded, streaming) instead of buffered -- the
+/// stdio analogue of the socket reader's pending-size cap.
+LineRead read_line_bounded(std::istream& in, std::string& line,
+                           std::size_t cap) {
+  line.clear();
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    if (c == '\n') return LineRead::kOk;
+    if (line.size() >= cap) {
+      while ((c = in.get()) != std::char_traits<char>::eof() && c != '\n') {
+      }
+      return LineRead::kTooLong;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  return line.empty() ? LineRead::kEof : LineRead::kOk;
+}
+
+}  // namespace
+
+ServeStats StreamServer::serve(std::istream& in, std::ostream& out) {
+  // One mutex for the one output stream: the protocol reader (errors,
+  // info/stats) and the batch worker (responses) both write here.
+  std::mutex out_mu;
+  Engine engine(*net_, cfg_, [&out, &out_mu](int, const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << line << '\n';
+    out.flush();
+  });
+  engine.start();
+  std::string line;
+  bool shutdown_cmd = false;
+  while (true) {
+    const LineRead r = read_line_bounded(in, line, engine.max_line_bytes());
+    if (r == LineRead::kEof) break;
+    if (r == LineRead::kTooLong) {
+      engine.protocol_error(kClientLocal, "request line too long");
+      continue;
+    }
+    if (!engine.handle_line(kClientLocal, line)) {
+      shutdown_cmd = true;
+      break;
+    }
+  }
+  engine.drain_and_stop();
+  if (shutdown_cmd) engine.write(kClientLocal, "{\"ok\":\"shutdown\"}");
+  return engine.stats_snapshot();
+}
+
+// ---------------------------------------------------------------------------
+// AF_UNIX daemon
+// ---------------------------------------------------------------------------
+
+#ifndef _WIN32
+
+namespace {
+
+/// Send one response line. Returns false when the client is unusable --
+/// disconnected, or so slow its socket buffer stayed full past the
+/// SO_SNDTIMEO send timeout. The caller then writes the connection off:
+/// a stalled consumer costs the (single) batch worker at most one timeout,
+/// never a livelock, and only its own responses are lost.
+bool send_all(int fd, const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+#ifdef MSG_NOSIGNAL
+    const auto n = ::send(fd, buf.data() + off, buf.size() - off,
+                          MSG_NOSIGNAL);
+#else
+    const auto n = ::send(fd, buf.data() + off, buf.size() - off, 0);
+#endif
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Per-connection send timeout (see send_all).
+constexpr long kSendTimeoutSec = 5;
+
+}  // namespace
+
+ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
+                             const ServeConfig& cfg,
+                             const std::string& socket_path,
+                             std::ostream* log) {
+#ifndef MSG_NOSIGNAL
+  // Platforms without a per-send suppression flag (e.g. macOS): a write
+  // to a freshly disconnected client must produce an error, not SIGPIPE's
+  // default process kill.
+  ::signal(SIGPIPE, SIG_IGN);
+#endif
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + socket_path);
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw std::runtime_error("serve: socket() failed");
+  addr.sun_family = AF_UNIX;
+  socket_path.copy(addr.sun_path, socket_path.size());
+  ::unlink(socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd);
+    throw std::runtime_error("serve: cannot bind " + socket_path);
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    throw std::runtime_error("serve: listen() failed");
+  }
+
+  // client id -> connection, for response routing. Writers take a
+  // shared_ptr under conns_mu and then send under the connection's own
+  // lock: the fd cannot be closed-and-reused between lookup and send
+  // (the reader marks it closed under the same per-connection lock), and
+  // a stalled client blocks only its own connection, not the registry.
+  struct Conn {
+    int fd{-1};
+    std::mutex mu;
+    bool closed{false};
+  };
+  std::mutex conns_mu;
+  std::vector<std::pair<int, std::shared_ptr<Conn>>> conns;
+  const auto conn_of = [&](int client) -> std::shared_ptr<Conn> {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& [c, conn] : conns) {
+      if (c == client) return conn;
+    }
+    return nullptr;
+  };
+
+  Engine engine(net, cfg, [&](int client, const std::string& line) {
+    const std::shared_ptr<Conn> conn = conn_of(client);
+    if (!conn) return;  // client went away; its responses are dropped
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    if (!send_all(conn->fd, line)) {
+      // Dead or hopelessly slow consumer: give up on the connection so
+      // the batch worker never stalls on it again. SHUT_RDWR wakes its
+      // reader, which performs the actual close/unregister.
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  });
+  engine.start();
+  if (log != nullptr) {
+    *log << "mixq serve: listening on " << socket_path << "\n";
+  }
+
+  std::atomic<bool> shutdown{false};
+  // One reader thread per connection. Finished readers are reaped on the
+  // next accept() and at final shutdown, bounding the retained
+  // exited-but-joinable threads by the connections of one idle period.
+  struct Reader {
+    std::thread t;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Reader> readers;
+  const auto reap_finished = [&] {
+    for (auto it = readers.begin(); it != readers.end();) {
+      if (it->done->load()) {
+        it->t.join();
+        it = readers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  int next_client = 0;
+  while (!shutdown.load()) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket shut down, or an unrecoverable error
+    }
+    // Bound how long a response write may block on this client.
+    timeval send_timeout{};
+    send_timeout.tv_sec = kSendTimeoutSec;
+    ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    reap_finished();
+    const int client = next_client++;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = conn_fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.emplace_back(client, conn);
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    readers.push_back(Reader{std::thread([&, conn_fd, client, conn, done] {
+      std::string pending;
+      char buf[4096];
+      bool open = true;
+      while (open) {
+        const auto n = ::recv(conn_fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        pending.append(buf, static_cast<std::size_t>(n));
+        // A client streaming an endless line (no newline) must not grow
+        // the buffer without bound; over the engine's line cap the
+        // connection is dropped.
+        if (pending.find('\n') == std::string::npos &&
+            pending.size() > engine.max_line_bytes()) {
+          engine.protocol_error(client, "request line too long");
+          break;
+        }
+        std::size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+          const std::string line = pending.substr(0, nl);
+          pending.erase(0, nl + 1);
+          if (!engine.handle_line(client, line)) {
+            // Shutdown request: drain in-flight work, acknowledge, then
+            // stop accepting and unblock every reader still parked in
+            // recv() on an idle connection -- otherwise the join below
+            // would wait forever on clients that never disconnect.
+            engine.drain_and_stop();
+            engine.write(client, "{\"ok\":\"shutdown\"}");
+            shutdown.store(true);
+            ::shutdown(listen_fd, SHUT_RDWR);
+            {
+              std::lock_guard<std::mutex> lock(conns_mu);
+              for (const auto& [c, other] : conns) {
+                if (c != client) ::shutdown(other->fd, SHUT_RD);
+              }
+            }
+            open = false;
+            break;
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        std::erase_if(conns,
+                      [&](const auto& p) { return p.first == client; });
+      }
+      {
+        // Mark closed under the connection lock so an in-flight response
+        // writer can never touch the (soon recycled) fd.
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->closed = true;
+        ::close(conn_fd);
+      }
+      done->store(true);
+    }),
+                            done});
+  }
+
+  // The accept loop has exited -- by shutdown command or an accept
+  // failure -- so the connection set is final and the daemon is coming
+  // down either way. Unblock every reader still parked in recv() on an
+  // idle client (unconditional: gating this on the shutdown flag would
+  // deadlock the joins below on the error path).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& [c, conn] : conns) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (auto& r : readers) r.t.join();
+  engine.drain_and_stop();  // idempotent; covers EOF-of-all-clients exits
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  return engine.stats_snapshot();
+}
+
+#endif  // !_WIN32
+
+}  // namespace mixq::serve

@@ -129,6 +129,213 @@ TEST(FlashImage, MissingFileThrows) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Hostile geometry: CRC-valid images whose *declared* shapes would make a
+// host allocate absurd amounts of memory must be rejected at load time.
+// ---------------------------------------------------------------------------
+
+/// A structurally valid single-conv-layer net whose activation tensors are
+/// huge while its weight bank stays tiny (1x1 conv): chain-consistent, so
+/// QuantizedNet::validate() alone cannot reject it.
+QuantizedNet make_huge_activation_net() {
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, core::BitWidth::kQ8);
+  QLayer l;
+  l.kind = QLayerKind::kConv;
+  l.scheme = Scheme::kPCICN;
+  l.spec.kh = l.spec.kw = 1;
+  l.spec.stride = 1;
+  l.spec.pad = 0;
+  // 16384 x 16384 x 4: 2^30 elements per tensor, so the unpacked INT32
+  // arena pair the executor would allocate is 8 GiB -- far over the
+  // default 1 GiB load limit (regardless of the packed bit width).
+  l.in_shape = Shape(1, 16384, 16384, 4);
+  l.out_shape = Shape(1, 16384, 16384, 4);
+  l.qx = l.qw = l.qy = core::BitWidth::kQ8;
+  l.wshape = WeightShape(4, 1, 1, 4);
+  l.weights = PackedBuffer(l.wshape.numel(), l.qw);
+  l.zw = {0};
+  for (int c = 0; c < 4; ++c) {
+    core::IcnChannel ch;
+    ch.bq = 0;
+    ch.m.m0_q31 = 1 << 30;
+    ch.m.n0 = 0;
+    l.icn.push_back(ch);
+  }
+  net.layers.push_back(l);
+  net.validate();  // genuinely chain-consistent
+  return net;
+}
+
+TEST(FlashImage, RejectsActivationGeometryOverLoadLimit) {
+  const auto blob = save_flash_image(make_huge_activation_net());
+  try {
+    load_flash_image(blob);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("activation pair"),
+              std::string::npos);
+  }
+  // An explicitly raised limit admits the same image (its unpacked arena
+  // pair is exactly 8 GiB; loading allocates only the tiny weight bank).
+  FlashLoadLimits generous;
+  generous.max_activation_pair_bytes = std::int64_t{16} << 30;
+  EXPECT_NO_THROW(load_flash_image(blob, generous));
+  // A tightened limit models a small device: even ordinary nets fail it.
+  FlashLoadLimits tiny;
+  tiny.max_activation_pair_bytes = 16;
+  EXPECT_THROW(load_flash_image(save_flash_image(make_net(Scheme::kPCICN, 20)),
+                                tiny),
+               std::runtime_error);
+}
+
+/// Little-endian payload writer mirroring the on-disk layout, for crafting
+/// adversarial images the reference Writer would never produce.
+struct RawWriter {
+  std::vector<std::uint8_t> bytes;
+  template <typename T>
+  void put(T v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(T));
+  }
+  void put_shape(std::int64_t n, std::int64_t h, std::int64_t w,
+                 std::int64_t c) {
+    put<std::int64_t>(n);
+    put<std::int64_t>(h);
+    put<std::int64_t>(w);
+    put<std::int64_t>(c);
+  }
+};
+
+std::vector<std::uint8_t> wrap_payload(const std::vector<std::uint8_t>& p) {
+  std::vector<std::uint8_t> blob;
+  const char magic[8] = {'M', 'I', 'X', 'Q', 'I', 'M', 'G', '1'};
+  blob.insert(blob.end(), magic, magic + 8);
+  RawWriter h;
+  h.put<std::uint32_t>(kFlashImageVersion);
+  h.put<std::uint64_t>(p.size());
+  h.put<std::uint32_t>(crc32(p.data(), p.size()));
+  blob.insert(blob.end(), h.bytes.begin(), h.bytes.end());
+  blob.insert(blob.end(), p.begin(), p.end());
+  return blob;
+}
+
+/// One conv layer whose fixed fields are sane; `wnumel` and the trailing
+/// weight bytes are the caller's to corrupt.
+std::vector<std::uint8_t> craft_single_conv_payload(std::int64_t wnumel,
+                                                    std::int64_t weight_bytes,
+                                                    std::uint32_t icn_count) {
+  RawWriter w;
+  w.put<float>(0.05f);          // input scale
+  w.put<std::int32_t>(0);       // input zero
+  w.put<std::uint8_t>(8);       // input bits
+  w.put<std::uint32_t>(1);      // layer count
+  w.put<std::uint8_t>(0);       // kind = conv
+  w.put<std::uint8_t>(2);       // scheme = PC+ICN
+  w.put<std::int32_t>(1);       // kh
+  w.put<std::int32_t>(1);       // kw
+  w.put<std::int32_t>(1);       // stride
+  w.put<std::int32_t>(0);       // pad
+  w.put_shape(1, 4, 4, 1);      // in_shape
+  w.put_shape(1, 4, 4, 1);      // out_shape
+  w.put<std::uint8_t>(8);       // qx
+  w.put<std::uint8_t>(8);       // qw
+  w.put<std::uint8_t>(8);       // qy
+  w.put<std::int64_t>(1);       // wshape co
+  w.put<std::int64_t>(1);       // wshape kh
+  w.put<std::int64_t>(1);       // wshape kw
+  w.put<std::int64_t>(1);       // wshape ci
+  w.put<std::int32_t>(0);       // zx
+  w.put<std::int32_t>(0);       // zy
+  w.put<std::uint8_t>(0);       // raw_logits
+  w.put<std::uint32_t>(1);      // zw count
+  w.put<std::int32_t>(0);       // zw[0]
+  w.put<std::uint32_t>(icn_count);
+  for (std::uint32_t i = 0; i < std::min<std::uint32_t>(icn_count, 1); ++i) {
+    w.put<std::int32_t>(0);           // bq
+    w.put<std::int32_t>(1 << 30);     // m0_q31
+    w.put<std::int8_t>(0);            // n0
+  }
+  w.put<std::uint32_t>(0);      // threshold count
+  w.put<std::uint32_t>(0);      // out_mult count
+  w.put<std::int64_t>(wnumel);  // declared weight elements
+  w.put<std::uint8_t>(8);       // weight bits
+  for (std::int64_t i = 0; i < weight_bytes; ++i) w.put<std::uint8_t>(0);
+  return w.bytes;
+}
+
+TEST(FlashImage, SaneCraftedPayloadLoads) {
+  // Control: the crafted layout matches the real reader bit for bit.
+  const auto blob = wrap_payload(craft_single_conv_payload(1, 1, 1));
+  const QuantizedNet net = load_flash_image(blob);
+  ASSERT_EQ(net.layers.size(), 1u);
+  EXPECT_EQ(net.layers[0].weights.numel(), 1);
+}
+
+TEST(FlashImage, RejectsWeightCountExceedingPayload) {
+  // A CRC-valid image declaring 2^40 weight elements while carrying one
+  // byte: the loader must refuse BEFORE sizing a buffer from the field.
+  const auto blob = wrap_payload(
+      craft_single_conv_payload(std::int64_t{1} << 40, 1, 1));
+  try {
+    load_flash_image(blob);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("weight count exceeds payload"),
+              std::string::npos);
+  }
+}
+
+TEST(FlashImage, RejectsImplausibleShapeDimensions) {
+  // Shape dims past the 2^14 cap (here 2^40) would overflow numel math;
+  // the dimension check fires as the shape is read, before anything else
+  // of the layer is even parsed.
+  RawWriter w;
+  w.put<float>(0.05f);
+  w.put<std::int32_t>(0);
+  w.put<std::uint8_t>(8);
+  w.put<std::uint32_t>(1);
+  w.put<std::uint8_t>(0);
+  w.put<std::uint8_t>(2);
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(0);
+  w.put_shape(1, std::int64_t{1} << 40, std::int64_t{1} << 40, 1);
+  EXPECT_THROW(load_flash_image(wrap_payload(w.bytes)), std::runtime_error);
+}
+
+TEST(FlashImage, RejectsCountFieldExceedingPayload) {
+  // icn_count must equal cO; craft cO = 16384 (at the dim cap) with an
+  // icn_count to match but a payload holding a single entry.
+  RawWriter w;
+  w.put<float>(0.05f);
+  w.put<std::int32_t>(0);
+  w.put<std::uint8_t>(8);
+  w.put<std::uint32_t>(1);
+  w.put<std::uint8_t>(0);       // conv
+  w.put<std::uint8_t>(2);       // PC+ICN
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(1);
+  w.put<std::int32_t>(0);
+  w.put_shape(1, 4, 4, 1);
+  w.put_shape(1, 4, 4, 16384);
+  w.put<std::uint8_t>(8);
+  w.put<std::uint8_t>(8);
+  w.put<std::uint8_t>(8);
+  w.put<std::int64_t>(16384);   // co
+  w.put<std::int64_t>(1);
+  w.put<std::int64_t>(1);
+  w.put<std::int64_t>(1);
+  w.put<std::int32_t>(0);
+  w.put<std::int32_t>(0);
+  w.put<std::uint8_t>(0);
+  w.put<std::uint32_t>(16384);  // zw count == co, but ~64 KiB implied
+  w.put<std::int32_t>(0);       // ...while only one entry is present
+  EXPECT_THROW(load_flash_image(wrap_payload(w.bytes)), std::runtime_error);
+}
+
 TEST(FlashImage, ImageSizeTracksRoBytes) {
   // The serialized blob should be within a small overhead of the
   // accounting model's RO bytes (the blob also carries shapes/specs and

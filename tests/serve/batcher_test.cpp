@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+
+namespace mixq::serve {
+namespace {
+
+Request req(std::int64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+TEST(RequestQueue, FifoOrderAndSize) {
+  RequestQueue q;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(req(i)));
+  EXPECT_EQ(q.size(), 5u);
+  Request r;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(r));
+    EXPECT_EQ(r.id, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, CloseRejectsProducersButDrainsConsumers) {
+  RequestQueue q;
+  ASSERT_TRUE(q.push(req(1)));
+  q.close();
+  EXPECT_FALSE(q.push(req(2)));
+  Request r;
+  ASSERT_TRUE(q.pop(r));  // already-queued work survives close
+  EXPECT_EQ(r.id, 1);
+  EXPECT_FALSE(q.pop(r));  // closed + drained -> immediate false
+}
+
+TEST(RequestQueue, PopUnblocksOnClose) {
+  RequestQueue q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.close();
+  });
+  Request r;
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(q.pop(r));  // wakes via close, not a timeout
+  closer.join();
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(10));
+}
+
+TEST(MicroBatcher, CoalescesQueuedBurstUpToMaxBatch) {
+  RequestQueue q;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.push(req(i)));
+  q.close();
+  MicroBatcher b(q, {/*max_batch=*/4, /*max_wait_us=*/0});
+  std::vector<Request> batch;
+  ASSERT_TRUE(b.next_batch(batch));
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);
+  ASSERT_TRUE(b.next_batch(batch));
+  ASSERT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(b.next_batch(batch));
+  ASSERT_EQ(batch.size(), 2u);  // FIFO tail, not dropped
+  EXPECT_FALSE(b.next_batch(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(MicroBatcher, FlushesPartialBatchAtDeadline) {
+  RequestQueue q;
+  ASSERT_TRUE(q.push(req(7)));
+  MicroBatcher b(q, {/*max_batch=*/8, /*max_wait_us=*/20'000});
+  std::vector<Request> batch;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(b.next_batch(batch));
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_EQ(batch.size(), 1u);  // nothing else arrived inside the window
+  EXPECT_EQ(batch[0].id, 7);
+  // The flush happened because the window expired, not because anything
+  // closed the queue -- and it did not hang anywhere near forever.
+  EXPECT_FALSE(q.closed());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(MicroBatcher, CoalescesLateArrivalWithinWindow) {
+  RequestQueue q;
+  MicroBatcher b(q, {/*max_batch=*/2, /*max_wait_us=*/5'000'000});
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(req(1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    ASSERT_TRUE(q.push(req(2)));
+  });
+  std::vector<Request> batch;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(b.next_batch(batch));
+  producer.join();
+  // The second request arrived well inside the 5 s window, so it must be
+  // coalesced into the same batch -- and hitting max_batch must have
+  // flushed immediately rather than waiting out the window.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 2);
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(4));
+}
+
+TEST(MicroBatcher, CloseDuringWindowReleasesPartialBatch) {
+  RequestQueue q;
+  MicroBatcher b(q, {/*max_batch=*/8, /*max_wait_us=*/60'000'000});
+  std::thread closer([&] {
+    ASSERT_TRUE(q.push(req(5)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.close();
+  });
+  std::vector<Request> batch;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(b.next_batch(batch));  // in-flight work released on shutdown
+  closer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 5);
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(30));
+  EXPECT_FALSE(b.next_batch(batch));
+}
+
+}  // namespace
+}  // namespace mixq::serve

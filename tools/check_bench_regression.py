@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the tracked runtime benchmark.
+
+Diffs a freshly measured BENCH_runtime.json against the committed baseline:
+
+  * HARD FAIL (exit 1) on semantic drift -- a changed workload string, a
+    changed total or per-layer static MAC count, or a changed layer
+    structure. These are correctness/accounting regressions: the benchmark
+    must keep measuring the same work. (Bit-exactness failures already
+    hard-fail earlier: bench_runtime exits non-zero on them.)
+  * WARN ONLY on timing -- CI runners are too noisy for wall-clock hard
+    gates. A planned-path slowdown beyond --warn-pct emits a GitHub
+    ::warning annotation and a table, but exits 0.
+
+usage: check_bench_regression.py BASELINE FRESH [--warn-pct 30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"::error::perf-regression: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--warn-pct", type=float, default=30.0,
+                    help="warn when planned_ns regresses more than this")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    # --- hard gates: the benchmark must still measure the same work -----
+    if base["workload"] != fresh["workload"]:
+        fail(f"workload changed: {base['workload']!r} -> {fresh['workload']!r}")
+    if base["total_macs"] != fresh["total_macs"]:
+        fail(f"total MAC count drifted: {base['total_macs']} -> "
+             f"{fresh['total_macs']}")
+    base_layers = base["layers"]
+    fresh_layers = fresh["layers"]
+    if len(base_layers) != len(fresh_layers):
+        fail(f"layer count drifted: {len(base_layers)} -> {len(fresh_layers)}")
+    for i, (bl, fl) in enumerate(zip(base_layers, fresh_layers)):
+        if bl["kind"] != fl["kind"]:
+            fail(f"layer {i} kind drifted: {bl['kind']} -> {fl['kind']}")
+        if bl["macs"] != fl["macs"]:
+            fail(f"layer {i} ({bl['kind']}) MACs drifted: "
+                 f"{bl['macs']} -> {fl['macs']}")
+    print(f"MAC accounting unchanged: {fresh['total_macs']} MACs over "
+          f"{len(fresh_layers)} layers")
+
+    # --- timing: report, warn past threshold, never fail ----------------
+    rows = []
+    for key in ("reference_ns", "fast_ns", "planned_ns"):
+        b = base["end_to_end"][key]
+        fr = fresh["end_to_end"][key]
+        delta = (fr - b) / b * 100.0 if b else 0.0
+        rows.append((key, b, fr, delta))
+    print(f"{'path':<14} {'baseline ms':>12} {'fresh ms':>12} {'delta':>8}")
+    for key, b, fr, delta in rows:
+        print(f"{key:<14} {b / 1e6:>12.3f} {fr / 1e6:>12.3f} {delta:>+7.1f}%")
+    print(f"baseline git: {base.get('git', '?')}  simd: "
+          f"{base.get('simd', {}).get('active', '?')}")
+    print(f"fresh git:    {fresh.get('git', '?')}  simd: "
+          f"{fresh.get('simd', {}).get('active', '?')}")
+
+    base_isa = base.get("simd", {}).get("active", "?")
+    fresh_isa = fresh.get("simd", {}).get("active", "?")
+    planned_delta = rows[2][3]
+    if base_isa != fresh_isa:
+        print(f"timing comparison skipped: baseline ISA ({base_isa}) != "
+              f"fresh ISA ({fresh_isa}); wall-clock numbers are not "
+              f"comparable across kernel sets")
+    elif planned_delta > args.warn_pct:
+        print(f"::warning::planned path is {planned_delta:.1f}% slower than "
+              f"the committed baseline ({rows[2][1] / 1e6:.3f} ms -> "
+              f"{rows[2][2] / 1e6:.3f} ms); timing is warn-only, but take a "
+              f"look if this persists across runs")
+    else:
+        print(f"planned-path timing within budget "
+              f"({planned_delta:+.1f}% vs baseline, warn at "
+              f"+{args.warn_pct:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

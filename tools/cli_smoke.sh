@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the mixq deployment CLI:
+#
+#   quantize -> inspect -> run -> serve
+#
+# on a tiny deterministic model, asserting that the daemon's responses are
+# BYTE-identical to `mixq run --ndjson` on the same inputs, and that `run`
+# itself is thread-count invariant. Run by CI (cli-smoke job) and by CTest
+# (tools_cli_smoke).
+#
+# usage: cli_smoke.sh path/to/mixq [workdir]
+set -euo pipefail
+
+MIXQ="${1:?usage: cli_smoke.sh path/to/mixq [workdir]}"
+DIR="${2:-$(mktemp -d)}"
+# Only ever delete a directory this script created (marker file) or an
+# empty one -- never an arbitrary pre-existing path the caller mistyped.
+if [ -e "$DIR" ] && [ ! -f "$DIR/.mixq-cli-smoke" ] \
+    && [ -n "$(ls -A "$DIR" 2>/dev/null)" ]; then
+  echo "cli_smoke.sh: refusing to clobber non-empty $DIR (no .mixq-cli-smoke marker)" >&2
+  exit 1
+fi
+rm -rf "$DIR"
+mkdir -p "$DIR"
+touch "$DIR/.mixq-cli-smoke"
+
+echo "== quantize (train a tiny W4A4 PC+ICN model, emit the flash image)"
+"$MIXQ" quantize --out "$DIR/model.img" \
+  --hw 8 --channels 8 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pc-icn \
+  --epochs 1 --train-size 96 --test-size 48 --seed 1 \
+  --save-checkpoint "$DIR/model.ckpt"
+
+echo "== quantize again from the checkpoint: image must be bit-identical"
+"$MIXQ" quantize --out "$DIR/model2.img" \
+  --hw 8 --channels 8 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pc-icn \
+  --checkpoint "$DIR/model.ckpt" --seed 1 --train-size 96 --test-size 48 \
+  --quiet
+cmp "$DIR/model.img" "$DIR/model2.img"
+
+echo "== inspect"
+"$MIXQ" inspect "$DIR/model.img" --device stm32h7
+"$MIXQ" inspect "$DIR/model.img" --json > "$DIR/inspect.json"
+grep -q '"total_macs"' "$DIR/inspect.json"
+grep -q '"qw":4' "$DIR/inspect.json"
+
+echo "== run (planned/SIMD inference on deterministic synthetic inputs)"
+"$MIXQ" run "$DIR/model.img" --input synthetic:8 --seed 7 \
+  --ndjson --emit-requests "$DIR/requests.ndjson" > "$DIR/run.ndjson"
+test "$(wc -l < "$DIR/run.ndjson")" = 8
+test "$(wc -l < "$DIR/requests.ndjson")" = 8
+
+echo "== run with 2 threads: output must be byte-identical"
+"$MIXQ" run "$DIR/model.img" --input synthetic:8 --seed 7 --threads 2 \
+  --ndjson > "$DIR/run_t2.ndjson"
+cmp "$DIR/run.ndjson" "$DIR/run_t2.ndjson"
+
+echo "== serve (stdio daemon): responses must be byte-identical to run"
+"$MIXQ" serve "$DIR/model.img" --max-batch 4 --max-wait-us 500 --quiet \
+  < "$DIR/requests.ndjson" > "$DIR/serve.ndjson"
+cmp "$DIR/run.ndjson" "$DIR/serve.ndjson"
+
+echo "== serve with a different batching config: still byte-identical"
+"$MIXQ" serve "$DIR/model.img" --max-batch 1 --max-wait-us 0 --threads 2 \
+  --quiet < "$DIR/requests.ndjson" > "$DIR/serve_b1.ndjson"
+cmp "$DIR/run.ndjson" "$DIR/serve_b1.ndjson"
+
+echo "== serve handles protocol garbage without dying"
+{
+  echo 'this is not json'
+  echo '{"id":0}'
+  head -n 1 "$DIR/requests.ndjson"
+  echo '{"cmd":"stats"}'
+  echo '{"cmd":"shutdown"}'
+} | "$MIXQ" serve "$DIR/model.img" --quiet > "$DIR/serve_err.ndjson"
+grep -c '"error"' "$DIR/serve_err.ndjson" | grep -qx 2
+head -n 1 "$DIR/run.ndjson" | cmp - <(grep '"predicted"' "$DIR/serve_err.ndjson")
+grep -q '"stats"' "$DIR/serve_err.ndjson"
+grep -q '"ok":"shutdown"' "$DIR/serve_err.ndjson"
+
+echo "== CSV inputs round-trip through run (2 samples of 8*8*3 floats)"
+awk 'BEGIN { for (i = 0; i < 2; i++) { line = ""; for (j = 0; j < 192; j++) line = line (j ? "," : "") ((i * 192 + j) % 7 / 7.0); print line } }' \
+  > "$DIR/inputs.csv"
+"$MIXQ" run "$DIR/model.img" --input "csv:$DIR/inputs.csv" --ndjson \
+  > "$DIR/run_csv.ndjson"
+test "$(wc -l < "$DIR/run_csv.ndjson")" = 2
+
+echo "cli smoke: OK"

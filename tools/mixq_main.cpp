@@ -1,0 +1,5 @@
+// The `mixq` deployment CLI entry point. All logic lives in src/cli/ so
+// the commands are testable as a library; this file only dispatches.
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return mixq::cli::run_cli(argc, argv); }
