@@ -2,11 +2,22 @@
 // throughput across precisions (Q2/Q4/Q8), schemes (PL vs PC, ICN vs
 // thresholds) and kernel kinds (conv / depthwise / pointwise / linear).
 // These support the cycle-model factors documented in mcu/cycle_model.hpp.
+//
+// The `BM_*Micro*` group tracks the narrow-domain SIMD kernels against
+// their INT32 counterparts in isolation (panel GEMM u8 x s8 and the
+// widening u8 x s16 dots vs the i32 register-blocked GEMM; the direct
+// pair-interleaved depthwise u8 kernel vs the tap-major i32 one), so
+// per-kernel gains stay visible independently of the end-to-end
+// bench_runtime number.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
 
 #include "core/thresholds.hpp"
 #include "runtime/fast_kernels.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/simd.hpp"
 #include "tensor/rng.hpp"
 
 using namespace mixq;
@@ -165,5 +176,178 @@ void BM_FastVsReference(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_FastVsReference)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Narrow-vs-wide SIMD micro-kernels (runtime/simd.hpp), independent of the
+// layer plumbing: one iteration computes M x co output accumulators over
+// fan-in K, matching what the planned GEMM does per row block.
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kMicroM = 64;
+constexpr std::int64_t kMicroCo = 64;
+constexpr std::int64_t kMicroK = 128;
+
+void BM_GemmMicro_i32(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::int32_t> a(static_cast<std::size_t>(kMicroM * kMicroK));
+  std::vector<std::int32_t> w(static_cast<std::size_t>(kMicroCo * kMicroK));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(2 * kMicroCo));
+  for (auto& v : a) v = static_cast<std::int32_t>(rng.uniform_int(256));
+  for (auto& v : w) {
+    v = static_cast<std::int32_t>(rng.uniform_int(31)) - 15;
+  }
+  for (auto _ : state) {
+    for (std::int64_t m = 0; m < kMicroM; m += 2) {
+      const std::int32_t* a0 = a.data() + m * kMicroK;
+      const std::int32_t* a1 = a0 + kMicroK;
+      std::fill(acc.begin(), acc.end(), 0);
+      for (std::int64_t oc = 0; oc < kMicroCo; oc += 4) {
+        const std::int32_t* wr = w.data() + oc * kMicroK;
+        runtime::simd::dot2x4_i32(a0, a1, wr, wr + kMicroK, wr + 2 * kMicroK,
+                                  wr + 3 * kMicroK, kMicroK, acc.data() + oc,
+                                  acc.data() + kMicroCo + oc);
+      }
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kMicroM * kMicroCo * kMicroK),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmMicro_i32);
+
+void BM_GemmMicro_u8s8_panel(benchmark::State& state) {
+  Rng rng(12);
+  const std::int64_t ocb = runtime::simd::gemm_u8s8_ocb();
+  const std::int64_t kp = runtime::simd::gemm_u8s8_kp(kMicroK);
+  const std::int64_t co_pad = runtime::simd::round_up(kMicroCo, ocb);
+  std::vector<std::uint8_t> a(
+      static_cast<std::size_t>(kMicroM * kMicroK + 32));
+  std::vector<std::int32_t> w(static_cast<std::size_t>(kMicroCo * kMicroK));
+  std::vector<std::int8_t> panel(static_cast<std::size_t>(
+      runtime::simd::gemm_u8s8_panel_elems(kMicroCo, kMicroK)));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(2 * co_pad));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& v : w) {
+    v = static_cast<std::int32_t>(rng.uniform_int(31)) - 15;
+  }
+  runtime::simd::gemm_u8s8_pack(w.data(), kMicroCo, kMicroK, panel.data());
+  for (auto _ : state) {
+    for (std::int64_t m = 0; m < kMicroM; m += 2) {
+      const std::uint8_t* a0 = a.data() + m * kMicroK;
+      const std::uint8_t* a1 = a0 + kMicroK;
+      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
+        runtime::simd::gemm_u8s8_x2(a0, a1, panel.data() + ob * ocb * kp, kp,
+                                    acc.data() + ob * ocb,
+                                    acc.data() + co_pad + ob * ocb);
+      }
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kMicroM * kMicroCo * kMicroK),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmMicro_u8s8_panel);
+
+void BM_GemmMicro_u8s16(benchmark::State& state) {
+  Rng rng(13);
+  const std::int64_t kp = runtime::simd::round_up(kMicroK, 16);
+  std::vector<std::uint8_t> a(
+      static_cast<std::size_t>(kMicroM * kMicroK + 32));
+  std::vector<std::int16_t> w(static_cast<std::size_t>(kMicroCo * kp), 0);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(2 * kMicroCo));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (std::int64_t oc = 0; oc < kMicroCo; ++oc) {
+    for (std::int64_t k = 0; k < kMicroK; ++k) {
+      w[static_cast<std::size_t>(oc * kp + k)] = static_cast<std::int16_t>(
+          static_cast<std::int32_t>(rng.uniform_int(511)) - 255);
+    }
+  }
+  for (auto _ : state) {
+    for (std::int64_t m = 0; m < kMicroM; m += 2) {
+      const std::uint8_t* a0 = a.data() + m * kMicroK;
+      const std::uint8_t* a1 = a0 + kMicroK;
+      std::fill(acc.begin(), acc.end(), 0);
+      for (std::int64_t oc = 0; oc < kMicroCo; oc += 4) {
+        const std::int16_t* wr = w.data() + oc * kp;
+        runtime::simd::dot2x4_u8s16(a0, a1, wr, wr + kp, wr + 2 * kp,
+                                    wr + 3 * kp, kp, acc.data() + oc,
+                                    acc.data() + kMicroCo + oc);
+      }
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kMicroM * kMicroCo * kMicroK),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmMicro_u8s16);
+
+constexpr std::int64_t kDwC = 128;
+constexpr std::int64_t kDwTaps = 9;
+constexpr std::int64_t kDwPixels = 64;
+
+void BM_DwMicro_i32(benchmark::State& state) {
+  Rng rng(14);
+  const std::int64_t in_w = kDwPixels + 2;
+  std::vector<std::int32_t> x(static_cast<std::size_t>(3 * in_w * kDwC));
+  std::vector<std::int32_t> wt(static_cast<std::size_t>(kDwTaps * kDwC));
+  std::vector<std::int64_t> toff(static_cast<std::size_t>(kDwTaps));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(kDwC));
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(256));
+  for (auto& v : wt) {
+    v = static_cast<std::int32_t>(rng.uniform_int(511)) - 255;
+  }
+  for (std::int64_t ky = 0; ky < 3; ++ky) {
+    for (std::int64_t kx = 0; kx < 3; ++kx) {
+      toff[static_cast<std::size_t>(ky * 3 + kx)] = (ky * in_w + kx) * kDwC;
+    }
+  }
+  for (auto _ : state) {
+    for (std::int64_t p = 0; p < kDwPixels; ++p) {
+      runtime::simd::dw_dot_i32(x.data() + p * kDwC, toff.data(), wt.data(),
+                                kDwTaps, kDwC, acc.data());
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kDwPixels * kDwTaps * kDwC),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DwMicro_i32);
+
+void BM_DwMicro_u8s16(benchmark::State& state) {
+  Rng rng(15);
+  const std::int64_t in_w = kDwPixels + 2;
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(3 * in_w * kDwC));
+  std::vector<std::int16_t> wt(static_cast<std::size_t>(kDwTaps * kDwC));
+  std::vector<std::int16_t> wtp(static_cast<std::size_t>(
+      runtime::simd::dw_pairs(kDwTaps) * 2 * kDwC));
+  std::vector<std::int64_t> toff(static_cast<std::size_t>(kDwTaps));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(kDwC));
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& v : wt) {
+    v = static_cast<std::int16_t>(
+        static_cast<std::int32_t>(rng.uniform_int(511)) - 255);
+  }
+  for (std::int64_t ky = 0; ky < 3; ++ky) {
+    for (std::int64_t kx = 0; kx < 3; ++kx) {
+      toff[static_cast<std::size_t>(ky * 3 + kx)] = (ky * in_w + kx) * kDwC;
+    }
+  }
+  runtime::simd::dw_pack_u8s16(wt.data(), kDwTaps, kDwC, wtp.data());
+  for (auto _ : state) {
+    for (std::int64_t p = 0; p < kDwPixels; ++p) {
+      runtime::simd::dw_dot_u8s16p(x.data() + p * kDwC, toff.data(),
+                                   wtp.data(), kDwTaps, kDwC, acc.data());
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kDwPixels * kDwTaps * kDwC),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DwMicro_u8s16);
 
 }  // namespace

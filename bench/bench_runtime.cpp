@@ -190,6 +190,12 @@ int main(int argc, char** argv) {
   const double plan_ns =
       time_ns_per_run(iters, [&] { plan.run_into(img.data()); });
 
+  // Arena-footprint comparison: the narrow domain's u8 arenas vs what the
+  // same workload costs when every layer is forced onto the INT32 path.
+  const ExecutionPlan plan_i32(net, PlanOptions{/*allow_i8=*/false});
+  const std::int64_t arena_i8 = plan.arena_bytes();
+  const std::int64_t arena_i32 = plan_i32.arena_bytes();
+
   const PlannedProfile prof =
       profile_planned(plan, img, quick ? 5 : 50);
 
@@ -201,7 +207,11 @@ int main(int argc, char** argv) {
             << "fast (seed): " << fast_ns / 1e6 << " ms/inference\n"
             << "planned:   " << plan_ns / 1e6 << " ms/inference\n"
             << "speedup planned vs fast: " << fast_ns / plan_ns << "x\n"
-            << "speedup planned vs reference: " << ref_ns / plan_ns << "x\n\n"
+            << "speedup planned vs reference: " << ref_ns / plan_ns << "x\n"
+            << "activation arenas: " << arena_i8 << " B (i8 domain) vs "
+            << arena_i32 << " B (all-INT32), "
+            << static_cast<double>(arena_i32) / static_cast<double>(arena_i8)
+            << "x smaller\n\n"
             << prof.str();
 
   // Batch serving sweep: samples/s of run_batch over the shared plan at
@@ -283,11 +293,18 @@ int main(int argc, char** argv) {
      << "    \"speedup_planned_vs_reference\": " << ref_ns / plan_ns << ",\n"
      << "    \"planned_macs_per_ns\": " << prof.total_macs_per_ns() << "\n"
      << "  },\n"
+     << "  \"arena\": {\n"
+     << "    \"i8_bytes\": " << arena_i8 << ",\n"
+     << "    \"i32_bytes\": " << arena_i32 << ",\n"
+     << "    \"reduction\": "
+     << static_cast<double>(arena_i32) / static_cast<double>(arena_i8)
+     << "\n  },\n"
      << "  \"quantize_ns\": " << prof.quantize_ns << ",\n"
      << "  \"layers\": [\n";
   for (std::size_t i = 0; i < prof.layers.size(); ++i) {
     const auto& l = prof.layers[i];
     os << "    {\"i\": " << i << ", \"kind\": \"" << kind_name(l.kind)
+       << "\", \"domain\": \"" << domain_name(l.domain)
        << "\", \"macs\": " << l.macs << ", \"planned_ns\": " << l.ns
        << ", \"macs_per_ns\": " << l.macs_per_ns() << "}"
        << (i + 1 < prof.layers.size() ? "," : "") << "\n";
@@ -296,6 +313,11 @@ int main(int argc, char** argv) {
      << "  \"batch_throughput\": {\n"
      << "    \"batch\": " << batch << ",\n"
      << "    \"reps\": " << reps << ",\n"
+     // A 1-vCPU host cannot demonstrate multi-thread speedup; flag the
+     // sweep so the regression gate skips speedup comparison instead of
+     // mistaking the host limit for a scaling regression.
+     << "    \"limited_by_host\": "
+     << (ThreadPool::hardware_lanes() <= 1 ? "true" : "false") << ",\n"
      << "    \"sweep\": [\n";
   for (std::size_t i = 0; i < sweep_pts.size(); ++i) {
     const ThroughputPoint& pt = sweep_pts[i];

@@ -1,8 +1,10 @@
 // `mixq inspect` -- decode a flash image without running it: per-layer
 // precisions and schemes, static MAC counts from the profiler, Table-1
-// read-only footprint, the Eq. 7 activation peak, and (with --device) the
-// linker-map-level memory layout an MCU engineer would review before
-// flashing.
+// read-only footprint, the Eq. 7 activation peak, the host executor's
+// per-layer domain decision (narrow i8 vs INT32 fallback, what the
+// eligibility prover decided) with its arena footprint, and (with
+// --device) the linker-map-level memory layout an MCU engineer would
+// review before flashing.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -10,6 +12,7 @@
 #include "cli/cli.hpp"
 #include "mcu/memory_map.hpp"
 #include "runtime/flash_image.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/profiler.hpp"
 #include "serve/json.hpp"
 
@@ -41,6 +44,11 @@ int cmd_inspect(Args& args) {
   const runtime::QuantizedNet net = runtime::read_flash_image_file(path);
   const runtime::NetProfile prof = runtime::profile(net);
   const auto file_bytes = std::filesystem::file_size(path);
+  // Host-executor plan: which domain the eligibility prover chose per
+  // layer and what the ping-pong arenas cost (vs forcing all-INT32).
+  const runtime::ExecutionPlan plan(net);
+  const runtime::ExecutionPlan plan_i32(
+      net, runtime::PlanOptions{/*allow_i8=*/false});
 
   if (json) {
     std::string out = "{\"file\":";
@@ -74,11 +82,17 @@ int cmd_inspect(Args& args) {
       out += ",\"macs\":" + std::to_string(lp.macs);
       out += ",\"weight_bytes\":" + std::to_string(lp.weight_bytes);
       out += ",\"static_bytes\":" + std::to_string(lp.static_bytes);
-      out += "}";
+      out += ",\"domain\":\"";
+      out += runtime::domain_name(plan.layers()[i].domain);
+      out += "\"}";
     }
     out += "],\"total_macs\":" + std::to_string(prof.total_macs);
     out += ",\"ro_bytes\":" + std::to_string(prof.total_ro_bytes);
     out += ",\"rw_peak_bytes\":" + std::to_string(prof.peak_rw_bytes);
+    out += ",\"host\":{\"i8_layers\":" + std::to_string(plan.i8_layer_count());
+    out += ",\"arena_bytes\":" + std::to_string(plan.arena_bytes());
+    out += ",\"arena_bytes_i32\":" + std::to_string(plan_i32.arena_bytes());
+    out += "}";
     if (device_name) {
       const mcu::DeviceSpec dev = parse_device(*device_name);
       const mcu::MemoryMap map = mcu::build_memory_map(net, dev);
@@ -104,22 +118,30 @@ int cmd_inspect(Args& args) {
               (long long)in.h, (long long)in.w, (long long)in.c,
               core::bits(net.input_qp.q), net.input_qp.scale,
               net.input_qp.zero);
-  std::printf("\n%3s %-5s %-7s %-14s %-14s %-8s %12s %10s\n", "i", "kind",
-              "scheme", "in", "out", "Qx/Qw/Qy", "MACs", "RO bytes");
+  std::printf("\n%3s %-5s %-7s %-4s %-14s %-14s %-8s %12s %10s\n", "i",
+              "kind", "scheme", "dom", "in", "out", "Qx/Qw/Qy", "MACs",
+              "RO bytes");
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const runtime::QLayer& l = net.layers[i];
     const runtime::LayerProfile& lp = prof.layers[i];
     char qbuf[16];
     std::snprintf(qbuf, sizeof(qbuf), "%d/%d/%d", core::bits(l.qx),
                   core::bits(l.qw), core::bits(l.qy));
-    std::printf("%3zu %-5s %-7s %-14s %-14s %-8s %12lld %10lld\n", i,
+    std::printf("%3zu %-5s %-7s %-4s %-14s %-14s %-8s %12lld %10lld\n", i,
                 runtime::kind_name(l.kind), scheme_slug(l.scheme),
+                runtime::domain_name(plan.layers()[i].domain),
                 l.in_shape.str().c_str(), l.out_shape.str().c_str(), qbuf,
                 (long long)lp.macs, (long long)lp.ro_bytes());
   }
   std::printf("\ntotal: %lld MACs, RO %lld bytes, RW peak %lld bytes\n",
               (long long)prof.total_macs, (long long)prof.total_ro_bytes,
               (long long)prof.peak_rw_bytes);
+  std::printf(
+      "host executor: %lld/%zu layers in the i8 domain, activation arenas "
+      "%lld bytes (all-INT32 plan: %lld bytes, %.2fx larger)\n",
+      (long long)plan.i8_layer_count(), net.layers.size(),
+      (long long)plan.arena_bytes(), (long long)plan_i32.arena_bytes(),
+      (double)plan_i32.arena_bytes() / (double)plan.arena_bytes());
   if (device_name) {
     const mcu::DeviceSpec dev = parse_device(*device_name);
     const mcu::MemoryMap map = mcu::build_memory_map(net, dev);

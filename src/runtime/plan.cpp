@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/quantizer.hpp"
 #include "core/thresholds.hpp"
@@ -57,19 +59,38 @@ void interior_bounds(std::int64_t in, std::int64_t k, std::int64_t stride,
 }
 
 /// Requantize one row of `co` raw int32 accumulators (sum X*(W-Zw)) into
-/// output codes: the vectorized table when provably exact, the scalar
-/// reference otherwise. Bit-exact either way.
+/// output codes of either storage width: the vectorized table when
+/// provably exact, the scalar reference otherwise. Bit-exact either way;
+/// the u8 store never truncates (codes are in [0, qmax(qy)] <= 255).
+template <typename OutT>
 inline void requant_row(const PlannedLayer& pl, const std::int32_t* acc,
-                        std::int32_t* o, std::int64_t co) {
+                        OutT* o, std::int64_t co) {
   if (pl.rq.usable) {
-    simd::requant_icn_i32(pl.rq, acc, pl.rq.add.data(), o, co);
+    if constexpr (std::is_same_v<OutT, std::uint8_t>) {
+      simd::requant_icn_u8(pl.rq, acc, pl.rq.add.data(), o, co);
+    } else {
+      simd::requant_icn_i32(pl.rq, acc, pl.rq.add.data(), o, co);
+    }
     return;
   }
   const QLayer& l = *pl.layer;
   const std::int64_t zx = l.zx;
   for (std::int64_t oc = 0; oc < co; ++oc) {
-    o[oc] = requantize(
-        l, static_cast<std::int64_t>(acc[oc]) - zx * pl.wsum[oc], oc);
+    o[oc] = static_cast<OutT>(requantize(
+        l, static_cast<std::int64_t>(acc[oc]) - zx * pl.wsum[oc], oc));
+  }
+}
+
+/// Border-config requantize (depthwise): vector table with the window's
+/// pre-add, stored at either width.
+template <typename OutT>
+inline void requant_border(const PlannedLayer& pl, const std::int32_t* acc,
+                           const std::int32_t* addv, OutT* o,
+                           std::int64_t co) {
+  if constexpr (std::is_same_v<OutT, std::uint8_t>) {
+    simd::requant_icn_u8(pl.rq, acc, addv, o, co);
+  } else {
+    simd::requant_icn_i32(pl.rq, acc, addv, o, co);
   }
 }
 
@@ -81,9 +102,10 @@ inline void requant_row(const PlannedLayer& pl, const std::int32_t* acc,
 /// requantize as a row. The input zero-point is folded in via the
 /// precomputed full-kernel weight sums (every tap of a GEMM layer is
 /// always valid).
+template <typename OutT>
 void gemm_rows_i32(const PlannedLayer& pl, const std::int32_t* A,
                    std::int64_t m0, std::int64_t m1, std::int64_t K,
-                   std::int32_t* out, std::int32_t* row_acc) {
+                   OutT* out, std::int32_t* row_acc) {
   const std::int64_t co = pl.layer->wshape.co;
   const std::int32_t* W = pl.w.data();
   std::int64_t m = m0;
@@ -122,23 +144,25 @@ void gemm_rows_i32(const PlannedLayer& pl, const std::int32_t* A,
 
 /// INT64-accumulator GEMM fallback (fan-in too large for provably safe
 /// INT32): plain scalar dots, requantized inline.
+template <typename OutT>
 void gemm_rows_i64(const PlannedLayer& pl, const std::int32_t* A,
                    std::int64_t m0, std::int64_t m1, std::int64_t K,
-                   std::int32_t* out) {
+                   OutT* out) {
   const QLayer& l = *pl.layer;
   const std::int64_t co = l.wshape.co;
   const std::int64_t zx = l.zx;
   const std::int32_t* W = pl.w.data();
   for (std::int64_t m = m0; m < m1; ++m) {
     const std::int32_t* __restrict__ a = A + m * K;
-    std::int32_t* o = out + m * co;
+    OutT* o = out + m * co;
     for (std::int64_t oc = 0; oc < co; ++oc) {
       const std::int32_t* __restrict__ w0 = W + oc * K;
       std::int64_t acc = 0;
       for (std::int64_t k = 0; k < K; ++k) {
         acc += static_cast<std::int64_t>(a[k]) * w0[k];
       }
-      o[oc] = requantize(l, acc - zx * pl.wsum[oc], oc);
+      o[oc] = static_cast<OutT>(
+          requantize(l, acc - zx * pl.wsum[oc], oc));
     }
   }
 }
@@ -147,9 +171,9 @@ void gemm_rows_i64(const PlannedLayer& pl, const std::int32_t* A,
 /// split, INT32 accumulators. Interior pixels accumulate all `co` channels
 /// into row_acc (4-channel dot blocks, each tap row a contiguous kw*ci dot
 /// product), then requantize as a row.
-void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
-                   std::int32_t* y, std::int64_t r0, std::int64_t r1,
-                   std::int32_t* row_acc) {
+template <typename OutT>
+void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x, OutT* y,
+                   std::int64_t r0, std::int64_t r1, std::int32_t* row_acc) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
@@ -168,9 +192,9 @@ void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
   for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
-    std::int32_t* orow = y + oh * os.w * co;
+    OutT* orow = y + oh * os.w * co;
     for (std::int64_t ow = 0; ow < os.w; ++ow) {
-      std::int32_t* o = orow + ow * co;
+      OutT* o = orow + ow * co;
       const std::int64_t iw0 = ow * stride - pad;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
         const std::int32_t* xb = x + ih0 * row + iw0 * C;
@@ -216,8 +240,8 @@ void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
               svalid += ts[ky * kw + kx];
             }
           }
-          o[oc] = requantize(
-              l, static_cast<std::int64_t>(acc) - zx * svalid, oc);
+          o[oc] = static_cast<OutT>(requantize(
+              l, static_cast<std::int64_t>(acc) - zx * svalid, oc));
         }
       }
     }
@@ -225,8 +249,9 @@ void conv_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
 }
 
 /// INT64-accumulator KxK convolution fallback over output rows [r0, r1).
-void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
-                   std::int32_t* y, std::int64_t r0, std::int64_t r1) {
+template <typename OutT>
+void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x, OutT* y,
+                   std::int64_t r0, std::int64_t r1) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
@@ -245,9 +270,9 @@ void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
   for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
-    std::int32_t* orow = y + oh * os.w * co;
+    OutT* orow = y + oh * os.w * co;
     for (std::int64_t ow = 0; ow < os.w; ++ow) {
-      std::int32_t* o = orow + ow * co;
+      OutT* o = orow + ow * co;
       const std::int64_t iw0 = ow * stride - pad;
       const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
       const std::int64_t ky1 = std::min(kh, is.h - ih0);
@@ -266,7 +291,8 @@ void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
               acc += static_cast<std::int64_t>(xr[k]) * wr[k];
             }
           }
-          o[oc] = requantize(l, acc - zx * pl.wsum[oc], oc);
+          o[oc] = static_cast<OutT>(
+              requantize(l, acc - zx * pl.wsum[oc], oc));
         } else {
           const std::int64_t* ts = pl.tap_sum.data() + oc * kh * kw;
           std::int64_t svalid = 0;
@@ -280,7 +306,7 @@ void conv_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
               svalid += ts[ky * kw + kx];
             }
           }
-          o[oc] = requantize(l, acc - zx * svalid, oc);
+          o[oc] = static_cast<OutT>(requantize(l, acc - zx * svalid, oc));
         }
       }
     }
@@ -306,11 +332,11 @@ inline const std::int32_t* border_add_for(const PlannedLayer& pl,
 }
 
 /// Depthwise border pixel: per-channel scalar taps over the clamped
-/// rectangle (shared by both depthwise kernels).
-template <typename AccT>
-void depthwise_border_pixel(const PlannedLayer& pl, const std::int32_t* x,
-                            std::int32_t* o, std::int64_t ih0,
-                            std::int64_t iw0) {
+/// rectangle (shared by every depthwise kernel, both domains -- XT is the
+/// activation storage type, AccT the proven accumulator width).
+template <typename AccT, typename XT, typename OutT>
+void depthwise_border_pixel(const PlannedLayer& pl, const XT* x, OutT* o,
+                            std::int64_t ih0, std::int64_t iw0) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const std::int64_t C = is.c;
@@ -329,21 +355,23 @@ void depthwise_border_pixel(const PlannedLayer& pl, const std::int32_t* x,
     AccT acc = 0;
     std::int64_t svalid = 0;
     for (std::int64_t ky = ky0; ky < ky1; ++ky) {
-      const std::int32_t* xr = x + (ih0 + ky) * row + c;
+      const XT* xr = x + (ih0 + ky) * row + c;
       for (std::int64_t kx = kx0; kx < kx1; ++kx) {
         acc += static_cast<AccT>(xr[(iw0 + kx) * C]) * wch[ky * kw + kx];
         svalid += ts[ky * kw + kx];
       }
     }
-    o[c] = requantize(l, static_cast<std::int64_t>(acc) - zx * svalid, c);
+    o[c] = static_cast<OutT>(requantize(
+        l, static_cast<std::int64_t>(acc) - zx * svalid, c));
   }
 }
 
 /// Depthwise interior with INT32 accumulators over output rows [r0, r1):
 /// tap-major loop over the transposed weight bank, so every inner
 /// iteration is a contiguous SIMD multiply-accumulate across channels.
+template <typename OutT>
 void depthwise_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
-                        std::int32_t* y, std::int64_t r0, std::int64_t r1,
+                        OutT* y, std::int64_t r0, std::int64_t r1,
                         std::int32_t* __restrict__ acc) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
@@ -361,9 +389,9 @@ void depthwise_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
   for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
-    std::int32_t* orow = y + oh * os.w * C;
+    OutT* orow = y + oh * os.w * C;
     for (std::int64_t ow = 0; ow < os.w; ++ow) {
-      std::int32_t* o = orow + ow * C;
+      OutT* o = orow + ow * C;
       const std::int64_t iw0 = ow * stride - pad;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
         simd::dw_dot_i32(x + ih0 * row + iw0 * C, toff, wt, per, C, acc);
@@ -388,7 +416,7 @@ void depthwise_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
                           wt + (ky * kw + kx) * C, C);
           }
         }
-        simd::requant_icn_i32(pl.rq, acc, addv, o, C);
+        requant_border(pl, acc, addv, o, C);
       } else {
         depthwise_border_pixel<std::int32_t>(pl, x, o, ih0, iw0);
       }
@@ -397,8 +425,9 @@ void depthwise_rows_i32(const PlannedLayer& pl, const std::int32_t* x,
 }
 
 /// INT64-accumulator depthwise fallback over output rows [r0, r1).
+template <typename OutT>
 void depthwise_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
-                        std::int32_t* y, std::int64_t r0, std::int64_t r1) {
+                        OutT* y, std::int64_t r0, std::int64_t r1) {
   const QLayer& l = *pl.layer;
   const Shape& is = l.in_shape;
   const Shape& os = l.out_shape;
@@ -414,9 +443,9 @@ void depthwise_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
   for (std::int64_t oh = r0; oh < r1; ++oh) {
     const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
     const std::int64_t ih0 = oh * stride - pad;
-    std::int32_t* orow = y + oh * os.w * C;
+    OutT* orow = y + oh * os.w * C;
     for (std::int64_t ow = 0; ow < os.w; ++ow) {
-      std::int32_t* o = orow + ow * C;
+      OutT* o = orow + ow * C;
       const std::int64_t iw0 = ow * stride - pad;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
         const std::int32_t* xb = x + ih0 * row + iw0 * C;
@@ -426,7 +455,8 @@ void depthwise_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
           for (std::int64_t t = 0; t < per; ++t) {
             acc += static_cast<std::int64_t>(xb[toff[t] + c]) * wch[t];
           }
-          o[c] = requantize(l, acc - zx * pl.wsum[c], c);
+          o[c] = static_cast<OutT>(
+              requantize(l, acc - zx * pl.wsum[c], c));
         }
       } else {
         depthwise_border_pixel<std::int64_t>(pl, x, o, ih0, iw0);
@@ -435,7 +465,8 @@ void depthwise_rows_i64(const PlannedLayer& pl, const std::int32_t* x,
   }
 }
 
-void gap_plan(const PlannedLayer& pl, const std::int32_t* x, std::int32_t* y,
+template <typename OutT>
+void gap_plan(const PlannedLayer& pl, const std::int32_t* x, OutT* y,
               std::int32_t* row_acc) {
   // Raw codes, floor division: preserves scale and zero-point exactly as
   // the reference kernel does. Codes are non-negative, so the INT32
@@ -448,13 +479,221 @@ void gap_plan(const PlannedLayer& pl, const std::int32_t* x, std::int32_t* y,
     for (std::int64_t r = 0; r < hw; ++r) {
       simd::add_i32(row_acc, x + r * C, C);
     }
-    for (std::int64_t c = 0; c < C; ++c) y[c] = row_acc[c] / hw;
+    for (std::int64_t c = 0; c < C; ++c) {
+      y[c] = static_cast<OutT>(row_acc[c] / hw);
+    }
     return;
   }
   for (std::int64_t c = 0; c < C; ++c) {
     std::int64_t sum = 0;
     for (std::int64_t r = 0; r < hw; ++r) sum += x[r * C + c];
-    y[c] = static_cast<std::int32_t>(sum / hw);
+    y[c] = static_cast<OutT>(sum / hw);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Narrow-domain (u8 activation) layer kernels.
+// ---------------------------------------------------------------------------
+
+/// u8 im2col for output pixels [m0, m1) of a narrow conv's GEMM, written
+/// to a row tile at `col` (pixel m lands at (m - m0) * kp): each output
+/// pixel becomes one row of kp bytes (the layer's padded K). Out-of-bounds
+/// taps are filled with the input zero-point Zx -- algebraically identical
+/// to the valid-tap rectangle sum because the requant pre-add folds the
+/// FULL kernel weight sum: sum_pad Zx*w = Zx*(wsum - svalid). Each lane
+/// gathers into its own tile, so intra-layer partitioning never shares a
+/// destination.
+void im2col8_rows(const PlannedLayer& pl, const std::uint8_t* x,
+                  std::uint8_t* col, std::int64_t m0, std::int64_t m1) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t ow_n = l.out_shape.w;
+  const std::int64_t K = l.wshape.per_channel();
+  const std::int64_t kp = pl.kp;
+  const std::uint8_t zx = static_cast<std::uint8_t>(l.zx);
+
+  for (std::int64_t m = m0; m < m1; ++m) {
+    const std::int64_t oh = m / ow_n;
+    const std::int64_t ow = m % ow_n;
+    const std::int64_t ih0 = oh * stride - pad;
+    const std::int64_t iw0 = ow * stride - pad;
+    std::uint8_t* d = col + (m - m0) * kp;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      const std::int64_t iy = ih0 + ky;
+      if (iy < 0 || iy >= is.h) {
+        std::memset(d, zx, static_cast<std::size_t>(kw * C));
+        d += kw * C;
+        continue;
+      }
+      // Clamp the kx range once; the valid middle is one contiguous copy.
+      const std::int64_t kx0 = std::min(kw, iw0 < 0 ? -iw0 : 0);
+      const std::int64_t kx1 = std::min(kw, is.w - iw0);
+      if (kx0 > 0) std::memset(d, zx, static_cast<std::size_t>(kx0 * C));
+      if (kx1 > kx0) {
+        std::memcpy(d + kx0 * C, x + iy * row + (iw0 + kx0) * C,
+                    static_cast<std::size_t>((kx1 - kx0) * C));
+      }
+      if (kx1 < kw) {
+        std::memset(d + (kx1 > kx0 ? kx1 : kx0) * C, zx,
+                    static_cast<std::size_t>((kw - std::max(kx0, kx1)) * C));
+      }
+      d += kw * C;
+    }
+    if (kp > K) std::memset(d, 0, static_cast<std::size_t>(kp - K));
+  }
+}
+
+/// Narrow GEMM over rows [m0, m1): the s8 panel micro-kernel when the
+/// i16-pair bound is proven, the u8 x s16 widening kernels otherwise.
+/// `A` rows are `lda` bytes apart and must be readable for kp bytes each
+/// (arena slack / col8 padding guarantee it; padded weights are zero, so
+/// the extra products vanish exactly).
+template <typename OutT>
+void gemm8_rows(const PlannedLayer& pl, const std::uint8_t* A,
+                std::int64_t lda, std::int64_t m0, std::int64_t m1,
+                OutT* out, std::int32_t* row_acc) {
+  const std::int64_t co = pl.layer->wshape.co;
+  const std::int64_t kp = pl.kp;
+  if (pl.i8_panel) {
+    const std::int64_t ocb = simd::gemm_u8s8_ocb();
+    const std::int64_t co_pad = pl.co_pad;
+    const std::int8_t* panel = pl.w8.data();
+    std::int64_t m = m0;
+    for (; m + 2 <= m1; m += 2) {
+      const std::uint8_t* a0 = A + m * lda;
+      const std::uint8_t* a1 = a0 + lda;
+      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
+        simd::gemm_u8s8_x2(a0, a1, panel + ob * ocb * kp, kp,
+                           row_acc + ob * ocb, row_acc + co_pad + ob * ocb);
+      }
+      requant_row(pl, row_acc, out + m * co, co);
+      requant_row(pl, row_acc + co_pad, out + (m + 1) * co, co);
+    }
+    for (; m < m1; ++m) {
+      const std::uint8_t* a = A + m * lda;
+      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
+        simd::gemm_u8s8_x1(a, panel + ob * ocb * kp, kp, row_acc + ob * ocb);
+      }
+      requant_row(pl, row_acc, out + m * co, co);
+    }
+    return;
+  }
+  const std::int16_t* W = pl.w16.data();
+  std::int64_t m = m0;
+  for (; m + 2 <= m1; m += 2) {
+    const std::uint8_t* a0 = A + m * lda;
+    const std::uint8_t* a1 = a0 + lda;
+    std::fill(row_acc, row_acc + 2 * co, 0);
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int16_t* wr = W + oc * kp;
+      simd::dot2x4_u8s16(a0, a1, wr, wr + kp, wr + 2 * kp, wr + 3 * kp, kp,
+                         row_acc + oc, row_acc + co + oc);
+    }
+    for (; oc < co; ++oc) {
+      row_acc[oc] = simd::dot_u8s16(a0, W + oc * kp, kp);
+      row_acc[co + oc] = simd::dot_u8s16(a1, W + oc * kp, kp);
+    }
+    requant_row(pl, row_acc, out + m * co, co);
+    requant_row(pl, row_acc + co, out + (m + 1) * co, co);
+  }
+  for (; m < m1; ++m) {
+    const std::uint8_t* a = A + m * lda;
+    std::fill(row_acc, row_acc + co, 0);
+    std::int64_t oc = 0;
+    for (; oc + 4 <= co; oc += 4) {
+      const std::int16_t* wr = W + oc * kp;
+      simd::dot1x4_u8s16(a, wr, wr + kp, wr + 2 * kp, wr + 3 * kp, kp,
+                         row_acc + oc);
+    }
+    for (; oc < co; ++oc) row_acc[oc] = simd::dot_u8s16(a, W + oc * kp, kp);
+    requant_row(pl, row_acc, out + m * co, co);
+  }
+}
+
+/// Direct depthwise u8 kernel over output rows [r0, r1): no im2col --
+/// interior pixels run the pair-interleaved widening dot across channels
+/// and requantize straight back to the output storage; border windows MAC
+/// their valid taps elementwise and requantize with the window's
+/// precomputed pre-add (rq is always usable in the narrow domain).
+template <typename OutT>
+void depthwise8_rows(const PlannedLayer& pl, const std::uint8_t* x, OutT* y,
+                     std::int64_t r0, std::int64_t r1,
+                     std::int32_t* __restrict__ acc) {
+  const QLayer& l = *pl.layer;
+  const Shape& is = l.in_shape;
+  const Shape& os = l.out_shape;
+  const std::int64_t C = is.c;
+  const std::int64_t kh = l.spec.kh;
+  const std::int64_t kw = l.spec.kw;
+  const std::int64_t stride = l.spec.stride;
+  const std::int64_t pad = l.spec.pad;
+  const std::int64_t row = is.w * C;
+  const std::int64_t per = kh * kw;
+  const std::int64_t* toff = pl.tap_off.data();
+
+  for (std::int64_t oh = r0; oh < r1; ++oh) {
+    const bool row_interior = oh >= pl.oh0 && oh < pl.oh1;
+    const std::int64_t ih0 = oh * stride - pad;
+    OutT* orow = y + oh * os.w * C;
+    for (std::int64_t ow = 0; ow < os.w; ++ow) {
+      OutT* o = orow + ow * C;
+      const std::int64_t iw0 = ow * stride - pad;
+      if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
+        simd::dw_dot_u8s16p(x + ih0 * row + iw0 * C, toff,
+                            pl.wt16p.data(), per, C, acc);
+        requant_row(pl, acc, o, C);
+      } else {
+        const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
+        const std::int64_t ky1 = std::min(kh, is.h - ih0);
+        const std::int64_t kx0 = iw0 < 0 ? -iw0 : 0;
+        const std::int64_t kx1 = std::min(kw, is.w - iw0);
+        const std::int32_t* addv =
+            border_add_for(pl, border_cfg_key(ky0, ky1, kx0, kx1));
+        if (addv == nullptr) {
+          depthwise_border_pixel<std::int32_t>(pl, x, o, ih0, iw0);
+          continue;
+        }
+        std::fill(acc, acc + C, 0);
+        for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+          for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+            simd::mac_u8s16(acc, x + (ih0 + ky) * row + (iw0 + kx) * C,
+                            pl.wt16.data() + (ky * kw + kx) * C, C);
+          }
+        }
+        requant_border(pl, acc, addv, o, C);
+      }
+    }
+  }
+}
+
+/// Global average pool over u8 codes.
+template <typename OutT>
+void gap8_plan(const PlannedLayer& pl, const std::uint8_t* x, OutT* y,
+               std::int32_t* row_acc) {
+  const QLayer& l = *pl.layer;
+  const std::int64_t hw = l.in_shape.h * l.in_shape.w;
+  const std::int64_t C = l.in_shape.c;
+  if (pl.pool32) {
+    std::fill(row_acc, row_acc + C, 0);
+    for (std::int64_t r = 0; r < hw; ++r) {
+      simd::add_u8_i32(row_acc, x + r * C, C);
+    }
+    for (std::int64_t c = 0; c < C; ++c) {
+      y[c] = static_cast<OutT>(row_acc[c] / hw);
+    }
+    return;
+  }
+  for (std::int64_t c = 0; c < C; ++c) {
+    std::int64_t sum = 0;
+    for (std::int64_t r = 0; r < hw; ++r) sum += x[r * C + c];
+    y[c] = static_cast<OutT>(sum / hw);
   }
 }
 
@@ -468,7 +707,11 @@ PlanArenas::PlanArenas(const ExecutionPlan& plan, int lanes_in)
     : lanes(std::max(1, lanes_in)) {
   ping.resize(static_cast<std::size_t>(plan.ping_elems()));
   pong.resize(static_cast<std::size_t>(plan.pong_elems()));
+  ping8.resize(static_cast<std::size_t>(arena_u8_padded(plan.ping8_elems())));
+  pong8.resize(static_cast<std::size_t>(arena_u8_padded(plan.pong8_elems())));
   col.resize(static_cast<std::size_t>(plan.col_elems()));
+  col8_per = arena_u8_padded(plan.col8_elems());
+  col8.resize(static_cast<std::size_t>(col8_per * lanes));
   row_acc_per = plan.row_acc_elems();
   row_acc.resize(static_cast<std::size_t>(row_acc_per * lanes));
   logits.resize(static_cast<std::size_t>(plan.logit_elems()));
@@ -478,24 +721,17 @@ PlanArenas::PlanArenas(const ExecutionPlan& plan, int lanes_in)
 // ExecutionPlan
 // ---------------------------------------------------------------------------
 
-ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
+ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
+    : net_(&net), opts_(opts) {
   net.validate();
   layers_.reserve(net.layers.size());
 
-  // Tensor 0 (the quantized input) lives in the ping arena; layer i reads
-  // tensor i and writes tensor i+1 into the opposite arena -- the same
-  // even/odd assignment mcu::build_memory_map uses for its RAM regions.
-  ping_elems_ = net.layers.front().in_shape.numel();
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const QLayer& l = net.layers[i];
     PlannedLayer pl;
     pl.layer = &l;
     pl.src = static_cast<int>(i % 2);
     pl.dst = static_cast<int>((i + 1) % 2);
-    if (!l.raw_logits) {
-      auto& cap = (i + 1) % 2 == 0 ? ping_elems_ : pong_elems_;
-      cap = std::max(cap, l.out_shape.numel());
-    }
 
     switch (l.kind) {
       case QLayerKind::kConv:
@@ -586,10 +822,6 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
                       l.out_shape.w, pl.ow0, pl.ow1);
       pl.gemm = l.kind == QLayerKind::kConv && l.spec.kh == 1 &&
                 l.spec.kw == 1 && l.spec.pad == 0;
-      if (pl.gemm && l.spec.stride > 1) {
-        col_elems_ = std::max(
-            col_elems_, l.out_shape.h * l.out_shape.w * l.in_shape.c);
-      }
       if (l.kind == QLayerKind::kDepthwise) {
         const std::int64_t taps = l.spec.kh * l.spec.kw;
         const std::int64_t C = l.in_shape.c;
@@ -654,21 +886,141 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
       }
     }
 
-    // Per-lane row-accumulator scratch sizing: depthwise/pool rows are C
-    // wide, GEMM buffers two rows of co, direct conv one row of co.
+    if (l.kind == QLayerKind::kGlobalAvgPool) {
+      pl.pool32 = l.in_shape.h * l.in_shape.w * core::qmax(l.qx) <=
+                  std::int64_t{2147483647};
+    }
+
+    // -----------------------------------------------------------------
+    // Narrow-domain eligibility prover + weight repacking.
+    // -----------------------------------------------------------------
+    if (l.kind == QLayerKind::kGlobalAvgPool || l.raw_logits) {
+      // Pool and head carry no requantizing MAC kernel of their own; they
+      // read whatever codes arrive, so narrow storage is always exact.
+      pl.domain = opts.allow_i8 ? ExecDomain::kI8 : ExecDomain::kI32;
+    } else if (opts.allow_i8 && pl.acc32 && pl.rq.usable) {
+      pl.domain = ExecDomain::kI8;
+      const std::int64_t per = l.wshape.per_channel();
+      const std::int64_t co = l.wshape.co;
+      if (l.kind == QLayerKind::kDepthwise) {
+        // Offset weights always fit i16 (|w - Zw| <= 255): build the
+        // tap-major s16 bank (border taps) and its pair-interleaved form
+        // (interior vpmaddwd kernel).
+        const std::int64_t taps = l.spec.kh * l.spec.kw;
+        const std::int64_t C = l.in_shape.c;
+        pl.wt16.resize(static_cast<std::size_t>(taps * C));
+        for (std::size_t k = 0; k < pl.wt.size(); ++k) {
+          pl.wt16[k] = static_cast<std::int16_t>(pl.wt[k]);
+        }
+        pl.wt16p.assign(
+            static_cast<std::size_t>(simd::dw_pairs(taps) * 2 * C), 0);
+        simd::dw_pack_u8s16(pl.wt16.data(), taps, C, pl.wt16p.data());
+      } else {
+        // Conv (any kernel size, via u8 im2col) and linear run as GEMM.
+        // s8 panel tier: weights fit int8 AND the widening MAC's i16 pair
+        // sums are proven exact: max (|w[2k]| + |w[2k+1]|) * amax <= 32767
+        // over every adjacent pair of the panel's 4-byte K groups.
+        const std::int64_t amax = core::qmax(l.qx);
+        std::int64_t wmin = 0, wmax = 0, pair_max = 0;
+        for (std::int64_t oc = 0; oc < co; ++oc) {
+          const std::int32_t* wr = pl.w.data() + oc * per;
+          for (std::int64_t k = 0; k < per; k += 2) {
+            const std::int64_t m0 = std::abs(wr[k]);
+            const std::int64_t m1 = k + 1 < per ? std::abs(wr[k + 1]) : 0;
+            pair_max = std::max(pair_max, m0 + m1);
+          }
+          for (std::int64_t k = 0; k < per; ++k) {
+            wmin = std::min<std::int64_t>(wmin, wr[k]);
+            wmax = std::max<std::int64_t>(wmax, wr[k]);
+          }
+        }
+        pl.i8_panel =
+            wmin >= -128 && wmax <= 127 && pair_max * amax <= 32767;
+        if (pl.i8_panel) {
+          pl.kp = simd::gemm_u8s8_kp(per);
+          pl.co_pad = simd::round_up(co, simd::gemm_u8s8_ocb());
+          pl.w8.resize(
+              static_cast<std::size_t>(simd::gemm_u8s8_panel_elems(co, per)));
+          simd::gemm_u8s8_pack(pl.w.data(), co, per, pl.w8.data());
+        } else {
+          // s16 tier: rows padded to the widest vector step (16 i16) so
+          // the dot kernels run remainder-free; pad weights are zero.
+          pl.kp = simd::round_up(per, 16);
+          pl.co_pad = co;
+          pl.w16.assign(static_cast<std::size_t>(co * pl.kp), 0);
+          for (std::int64_t oc = 0; oc < co; ++oc) {
+            for (std::int64_t k = 0; k < per; ++k) {
+              pl.w16[static_cast<std::size_t>(oc * pl.kp + k)] =
+                  static_cast<std::int16_t>(pl.w[oc * per + k]);
+            }
+          }
+        }
+      }
+    }
+
+    layers_.push_back(std::move(pl));
+  }
+
+  // -------------------------------------------------------------------
+  // Storage assignment: a tensor lives in the u8 arenas exactly when its
+  // CONSUMER runs in the narrow domain; the producer writes that type
+  // directly, so domain seams cost nothing extra.
+  // -------------------------------------------------------------------
+  const std::size_t n_layers = layers_.size();
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    layers_[i].in_u8 = layers_[i].domain == ExecDomain::kI8;
+    layers_[i].out_u8 = i + 1 < n_layers
+                            ? layers_[i + 1].domain == ExecDomain::kI8
+                            : layers_[i].domain == ExecDomain::kI8;
+  }
+
+  // Arena sizing: tensor 0 (the quantized input) lives in the ping arena
+  // pair of its consumer's domain; layer i writes tensor i+1 into the
+  // opposite arena -- the same even/odd assignment mcu::build_memory_map
+  // uses for its RAM regions (Eq. 7).
+  {
+    const std::int64_t n_in = net.layers.front().in_shape.numel();
+    auto& in_cap = layers_.front().in_u8 ? ping8_elems_ : ping_elems_;
+    in_cap = std::max(in_cap, n_in);
+  }
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const QLayer& l = net.layers[i];
+    const PlannedLayer& pl = layers_[i];
+    if (l.raw_logits) continue;
+    const bool even = (i + 1) % 2 == 0;
+    auto& cap = pl.out_u8 ? (even ? ping8_elems_ : pong8_elems_)
+                          : (even ? ping_elems_ : pong_elems_);
+    cap = std::max(cap, l.out_shape.numel());
+  }
+
+  // Gather-buffer and row-accumulator sizing.
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const QLayer& l = net.layers[i];
+    const PlannedLayer& pl = layers_[i];
+    if (l.kind == QLayerKind::kConv) {
+      const bool direct = l.spec.kh == 1 && l.spec.kw == 1 &&
+                          l.spec.pad == 0 && l.spec.stride == 1;
+      if (pl.domain == ExecDomain::kI8 && !direct) {
+        const std::int64_t rows =
+            std::min(l.out_shape.h * l.out_shape.w, kIm2colTileRows);
+        col8_elems_ = std::max(col8_elems_, rows * pl.kp);
+      } else if (pl.domain == ExecDomain::kI32 && pl.gemm &&
+                 l.spec.stride > 1) {
+        col_elems_ = std::max(
+            col_elems_, l.out_shape.h * l.out_shape.w * l.in_shape.c);
+      }
+    }
     if (l.kind == QLayerKind::kDepthwise) {
       row_acc_elems_ = std::max(row_acc_elems_, l.in_shape.c);
     } else if (l.kind == QLayerKind::kGlobalAvgPool) {
-      pl.pool32 = l.in_shape.h * l.in_shape.w * core::qmax(l.qx) <=
-                  std::int64_t{2147483647};
       if (pl.pool32) {
         row_acc_elems_ = std::max(row_acc_elems_, l.in_shape.c);
       }
     } else if (!l.raw_logits) {
-      row_acc_elems_ = std::max(row_acc_elems_, 2 * l.wshape.co);
+      const std::int64_t width =
+          pl.domain == ExecDomain::kI8 ? pl.co_pad : l.wshape.co;
+      row_acc_elems_ = std::max(row_acc_elems_, 2 * width);
     }
-
-    layers_.push_back(std::move(pl));
   }
 
   const QLayer& last = net.layers.back();
@@ -678,15 +1030,27 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net) : net_(&net) {
 
 std::int64_t ExecutionPlan::arena_bytes() const {
   return static_cast<std::int64_t>(sizeof(std::int32_t)) *
-         (ping_elems_ + pong_elems_ + col_elems_);
+             (ping_elems_ + pong_elems_ + col_elems_) +
+         arena_u8_padded(ping8_elems_) + arena_u8_padded(pong8_elems_) +
+         arena_u8_padded(col8_elems_);
 }
 
-void ExecutionPlan::quantize_input_into(const float* sample,
-                                        std::int32_t* dst, std::int64_t i0,
+std::int64_t ExecutionPlan::i8_layer_count() const {
+  std::int64_t n = 0;
+  for (const PlannedLayer& pl : layers_) {
+    n += pl.domain == ExecDomain::kI8 ? 1 : 0;
+  }
+  return n;
+}
+
+template <typename T>
+void ExecutionPlan::quantize_input_into(const float* sample, T* dst,
+                                        std::int64_t i0,
                                         std::int64_t i1) const {
   const core::QuantParams& qp = net_->input_qp;
   for (std::int64_t i = i0; i < i1; ++i) {
-    dst[i] = core::quantize_value(sample[i], qp, core::RoundMode::kNearest);
+    dst[i] = static_cast<T>(
+        core::quantize_value(sample[i], qp, core::RoundMode::kNearest));
   }
 }
 
@@ -694,7 +1058,9 @@ std::int64_t ExecutionPlan::partition_rows(const PlannedLayer& pl) {
   const QLayer& l = *pl.layer;
   switch (l.kind) {
     case QLayerKind::kConv:
-      return pl.gemm ? l.out_shape.h * l.out_shape.w : l.out_shape.h;
+      return (pl.domain == ExecDomain::kI8 || pl.gemm)
+                 ? l.out_shape.h * l.out_shape.w
+                 : l.out_shape.h;
     case QLayerKind::kDepthwise:
       return l.out_shape.h;
     case QLayerKind::kLinear:
@@ -704,12 +1070,72 @@ std::int64_t ExecutionPlan::partition_rows(const PlannedLayer& pl) {
   return 1;
 }
 
-void ExecutionPlan::run_layer_rows(const PlannedLayer& pl,
-                                   const std::int32_t* x, std::int32_t* y,
-                                   std::int64_t r0, std::int64_t r1,
-                                   std::int32_t* row_acc,
-                                   std::int32_t* col) const {
+void ExecutionPlan::run_layer_rows(const PlannedLayer& pl, PlanArenas& arenas,
+                                   int lane, std::int64_t r0,
+                                   std::int64_t r1) const {
   const QLayer& l = *pl.layer;
+  std::int32_t* row_acc = arenas.lane_row_acc(lane);
+
+  if (pl.domain == ExecDomain::kI8) {
+    const std::uint8_t* x = arenas.arena8(pl.src);
+    switch (l.kind) {
+      case QLayerKind::kConv: {
+        const std::int64_t K = l.wshape.per_channel();
+        const std::int64_t co = l.wshape.co;
+        const bool direct = l.spec.kh == 1 && l.spec.kw == 1 &&
+                            l.spec.pad == 0 && l.spec.stride == 1;
+        if (direct) {
+          if (pl.out_u8) {
+            gemm8_rows(pl, x, K, r0, r1, arenas.arena8(pl.dst), row_acc);
+          } else {
+            gemm8_rows(pl, x, K, r0, r1, arenas.arena(pl.dst), row_acc);
+          }
+          return;
+        }
+        // Cache-blocked: gather kIm2colTileRows output pixels into this
+        // lane's L1-resident u8 tile, run the panel GEMM on it, advance.
+        std::uint8_t* tile = arenas.lane_col8(lane);
+        for (std::int64_t t0 = r0; t0 < r1; t0 += kIm2colTileRows) {
+          const std::int64_t t1 = std::min(r1, t0 + kIm2colTileRows);
+          im2col8_rows(pl, x, tile, t0, t1);
+          if (pl.out_u8) {
+            gemm8_rows(pl, tile, pl.kp, 0, t1 - t0,
+                       arenas.arena8(pl.dst) + t0 * co, row_acc);
+          } else {
+            gemm8_rows(pl, tile, pl.kp, 0, t1 - t0,
+                       arenas.arena(pl.dst) + t0 * co, row_acc);
+          }
+        }
+        return;
+      }
+      case QLayerKind::kDepthwise:
+        if (pl.out_u8) {
+          depthwise8_rows(pl, x, arenas.arena8(pl.dst), r0, r1, row_acc);
+        } else {
+          depthwise8_rows(pl, x, arenas.arena(pl.dst), r0, r1, row_acc);
+        }
+        return;
+      case QLayerKind::kLinear:
+        if (pl.out_u8) {
+          gemm8_rows(pl, x, l.wshape.per_channel(), 0, 1,
+                     arenas.arena8(pl.dst), row_acc);
+        } else {
+          gemm8_rows(pl, x, l.wshape.per_channel(), 0, 1,
+                     arenas.arena(pl.dst), row_acc);
+        }
+        return;
+      case QLayerKind::kGlobalAvgPool:
+        if (pl.out_u8) {
+          gap8_plan(pl, x, arenas.arena8(pl.dst), row_acc);
+        } else {
+          gap8_plan(pl, x, arenas.arena(pl.dst), row_acc);
+        }
+        return;
+    }
+    throw std::logic_error("ExecutionPlan: invalid layer kind");
+  }
+
+  const std::int32_t* x = arenas.arena(pl.src);
   switch (l.kind) {
     case QLayerKind::kConv:
       if (pl.gemm) {
@@ -718,6 +1144,7 @@ void ExecutionPlan::run_layer_rows(const PlannedLayer& pl,
         if (l.spec.stride > 1) {
           // im2col gather for this lane's rows: strided pointwise rows
           // become a dense slice of the shared (row-disjoint) col matrix.
+          std::int32_t* col = arenas.col.data();
           const std::int64_t s = l.spec.stride;
           const std::int64_t row = l.in_shape.w * K;
           const std::int64_t ow_n = l.out_shape.w;
@@ -730,53 +1157,94 @@ void ExecutionPlan::run_layer_rows(const PlannedLayer& pl,
           A = col;
         }
         if (pl.acc32) {
-          gemm_rows_i32(pl, A, r0, r1, K, y, row_acc);
+          if (pl.out_u8) {
+            gemm_rows_i32(pl, A, r0, r1, K, arenas.arena8(pl.dst), row_acc);
+          } else {
+            gemm_rows_i32(pl, A, r0, r1, K, arenas.arena(pl.dst), row_acc);
+          }
+        } else if (pl.out_u8) {
+          gemm_rows_i64(pl, A, r0, r1, K, arenas.arena8(pl.dst));
         } else {
-          gemm_rows_i64(pl, A, r0, r1, K, y);
+          gemm_rows_i64(pl, A, r0, r1, K, arenas.arena(pl.dst));
         }
       } else if (pl.acc32) {
-        conv_rows_i32(pl, x, y, r0, r1, row_acc);
+        if (pl.out_u8) {
+          conv_rows_i32(pl, x, arenas.arena8(pl.dst), r0, r1, row_acc);
+        } else {
+          conv_rows_i32(pl, x, arenas.arena(pl.dst), r0, r1, row_acc);
+        }
+      } else if (pl.out_u8) {
+        conv_rows_i64(pl, x, arenas.arena8(pl.dst), r0, r1);
       } else {
-        conv_rows_i64(pl, x, y, r0, r1);
+        conv_rows_i64(pl, x, arenas.arena(pl.dst), r0, r1);
       }
       return;
     case QLayerKind::kDepthwise:
       if (pl.acc32) {
-        depthwise_rows_i32(pl, x, y, r0, r1, row_acc);
+        if (pl.out_u8) {
+          depthwise_rows_i32(pl, x, arenas.arena8(pl.dst), r0, r1, row_acc);
+        } else {
+          depthwise_rows_i32(pl, x, arenas.arena(pl.dst), r0, r1, row_acc);
+        }
+      } else if (pl.out_u8) {
+        depthwise_rows_i64(pl, x, arenas.arena8(pl.dst), r0, r1);
       } else {
-        depthwise_rows_i64(pl, x, y, r0, r1);
+        depthwise_rows_i64(pl, x, arenas.arena(pl.dst), r0, r1);
       }
       return;
     case QLayerKind::kLinear:
       if (pl.acc32) {
-        gemm_rows_i32(pl, x, 0, 1, l.wshape.per_channel(), y, row_acc);
+        if (pl.out_u8) {
+          gemm_rows_i32(pl, x, 0, 1, l.wshape.per_channel(),
+                        arenas.arena8(pl.dst), row_acc);
+        } else {
+          gemm_rows_i32(pl, x, 0, 1, l.wshape.per_channel(),
+                        arenas.arena(pl.dst), row_acc);
+        }
+      } else if (pl.out_u8) {
+        gemm_rows_i64(pl, x, 0, 1, l.wshape.per_channel(),
+                      arenas.arena8(pl.dst));
       } else {
-        gemm_rows_i64(pl, x, 0, 1, l.wshape.per_channel(), y);
+        gemm_rows_i64(pl, x, 0, 1, l.wshape.per_channel(),
+                      arenas.arena(pl.dst));
       }
       return;
     case QLayerKind::kGlobalAvgPool:
-      gap_plan(pl, x, y, row_acc);
+      if (pl.out_u8) {
+        gap_plan(pl, x, arenas.arena8(pl.dst), row_acc);
+      } else {
+        gap_plan(pl, x, arenas.arena(pl.dst), row_acc);
+      }
       return;
   }
   throw std::logic_error("ExecutionPlan: invalid layer kind");
 }
 
-void ExecutionPlan::run_head(const PlannedLayer& pl, const std::int32_t* x,
-                             std::vector<float>& logits) const {
+void ExecutionPlan::run_head(const PlannedLayer& pl,
+                             PlanArenas& arenas) const {
   const QLayer& l = *pl.layer;
   const std::int64_t K = l.wshape.per_channel();
   const std::int64_t co = l.wshape.co;
   const std::int64_t zx = l.zx;
   const std::int32_t* W = pl.w.data();
+  std::vector<float>& logits = arenas.logits;
+  const std::int32_t* x32 = pl.in_u8 ? nullptr : arenas.arena(pl.src);
+  const std::uint8_t* x8 = pl.in_u8 ? arenas.arena8(pl.src) : nullptr;
   for (std::int64_t oc = 0; oc < co; ++oc) {
     const std::int32_t* w0 = W + oc * K;
     std::int64_t acc;
     if (pl.acc32) {
-      acc = simd::dot_i32(x, w0, K);
+      acc = pl.in_u8 ? simd::dot_u8_i32(x8, w0, K) : simd::dot_i32(x32, w0, K);
     } else {
       std::int64_t a = 0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        a += static_cast<std::int64_t>(x[k]) * w0[k];
+      if (pl.in_u8) {
+        for (std::int64_t k = 0; k < K; ++k) {
+          a += static_cast<std::int64_t>(x8[k]) * w0[k];
+        }
+      } else {
+        for (std::int64_t k = 0; k < K; ++k) {
+          a += static_cast<std::int64_t>(x32[k]) * w0[k];
+        }
       }
       acc = a;
     }
@@ -791,9 +1259,17 @@ void ExecutionPlan::run_head(const PlannedLayer& pl, const std::int32_t* x,
 const std::vector<float>& ExecutionPlan::finish_logits(
     PlanArenas& arenas) const {
   // No raw head: the last codes become the logits, as in Executor::run.
-  const std::int32_t* fin = arenas.arena(layers_.back().dst);
-  for (std::size_t i = 0; i < arenas.logits.size(); ++i) {
-    arenas.logits[i] = static_cast<float>(fin[i]);
+  const PlannedLayer& last = layers_.back();
+  if (last.out_u8) {
+    const std::uint8_t* fin = arenas.arena8(last.dst);
+    for (std::size_t i = 0; i < arenas.logits.size(); ++i) {
+      arenas.logits[i] = static_cast<float>(fin[i]);
+    }
+  } else {
+    const std::int32_t* fin = arenas.arena(last.dst);
+    for (std::size_t i = 0; i < arenas.logits.size(); ++i) {
+      arenas.logits[i] = static_cast<float>(fin[i]);
+    }
   }
   return arenas.logits;
 }
@@ -804,16 +1280,18 @@ const std::vector<float>& ExecutionPlan::run_into(const float* sample) const {
 
 const std::vector<float>& ExecutionPlan::run_into(const float* sample,
                                                   PlanArenas& arenas) const {
-  quantize_input_into(sample, arenas.arena(0), 0,
-                      net_->layers.front().in_shape.numel());
+  const std::int64_t n_in = net_->layers.front().in_shape.numel();
+  if (layers_.front().in_u8) {
+    quantize_input_into(sample, arenas.arena8(0), 0, n_in);
+  } else {
+    quantize_input_into(sample, arenas.arena(0), 0, n_in);
+  }
   for (const PlannedLayer& pl : layers_) {
     if (pl.layer->raw_logits) {
-      run_head(pl, arenas.arena(pl.src), arenas.logits);
+      run_head(pl, arenas);
       return arenas.logits;
     }
-    run_layer_rows(pl, arenas.arena(pl.src), arenas.arena(pl.dst), 0,
-                   partition_rows(pl), arenas.lane_row_acc(0),
-                   arenas.col.data());
+    run_layer_rows(pl, arenas, 0, 0, partition_rows(pl));
   }
   return finish_logits(arenas);
 }
@@ -829,31 +1307,35 @@ const std::vector<float>& ExecutionPlan::run_into(const float* sample,
   if (pool.lanes() == 1) return run_into(sample, arenas);
 
   const std::int64_t n_in = net_->layers.front().in_shape.numel();
-  std::int32_t* input = arenas.arena(0);
   if (n_in >= 4096) {
-    pool.parallel_for(n_in,
-                      [&](int, std::int64_t b, std::int64_t e) {
-                        quantize_input_into(sample, input, b, e);
-                      });
+    if (layers_.front().in_u8) {
+      std::uint8_t* input = arenas.arena8(0);
+      pool.parallel_for(n_in, [&](int, std::int64_t b, std::int64_t e) {
+        quantize_input_into(sample, input, b, e);
+      });
+    } else {
+      std::int32_t* input = arenas.arena(0);
+      pool.parallel_for(n_in, [&](int, std::int64_t b, std::int64_t e) {
+        quantize_input_into(sample, input, b, e);
+      });
+    }
+  } else if (layers_.front().in_u8) {
+    quantize_input_into(sample, arenas.arena8(0), 0, n_in);
   } else {
-    quantize_input_into(sample, input, 0, n_in);
+    quantize_input_into(sample, arenas.arena(0), 0, n_in);
   }
   for (const PlannedLayer& pl : layers_) {
     if (pl.layer->raw_logits) {
-      run_head(pl, arenas.arena(pl.src), arenas.logits);
+      run_head(pl, arenas);
       return arenas.logits;
     }
     const std::int64_t rows = partition_rows(pl);
-    const std::int32_t* x = arenas.arena(pl.src);
-    std::int32_t* y = arenas.arena(pl.dst);
     if (rows >= 2 && pl.macs >= kIntraParMinMacs) {
       pool.parallel_for(rows, [&](int lane, std::int64_t b, std::int64_t e) {
-        run_layer_rows(pl, x, y, b, e, arenas.lane_row_acc(lane),
-                       arenas.col.data());
+        run_layer_rows(pl, arenas, lane, b, e);
       });
     } else {
-      run_layer_rows(pl, x, y, 0, rows, arenas.lane_row_acc(0),
-                     arenas.col.data());
+      run_layer_rows(pl, arenas, 0, 0, rows);
     }
   }
   return finish_logits(arenas);
@@ -865,9 +1347,13 @@ const std::vector<float>& ExecutionPlan::run_timed(
   using clock = std::chrono::steady_clock;
   PlanArenas& arenas = *self_;
   per_layer_ns.assign(layers_.size(), 0);
+  const std::int64_t n_in = net_->layers.front().in_shape.numel();
   auto t0 = clock::now();
-  quantize_input_into(sample, arenas.arena(0), 0,
-                      net_->layers.front().in_shape.numel());
+  if (layers_.front().in_u8) {
+    quantize_input_into(sample, arenas.arena8(0), 0, n_in);
+  } else {
+    quantize_input_into(sample, arenas.arena(0), 0, n_in);
+  }
   auto t1 = clock::now();
   if (quantize_ns != nullptr) {
     *quantize_ns =
@@ -877,11 +1363,9 @@ const std::vector<float>& ExecutionPlan::run_timed(
     const PlannedLayer& pl = layers_[i];
     t0 = clock::now();
     if (pl.layer->raw_logits) {
-      run_head(pl, arenas.arena(pl.src), arenas.logits);
+      run_head(pl, arenas);
     } else {
-      run_layer_rows(pl, arenas.arena(pl.src), arenas.arena(pl.dst), 0,
-                     partition_rows(pl), arenas.lane_row_acc(0),
-                     arenas.col.data());
+      run_layer_rows(pl, arenas, 0, 0, partition_rows(pl));
     }
     t1 = clock::now();
     per_layer_ns[i] =

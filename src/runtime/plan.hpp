@@ -5,32 +5,49 @@
 // path does no unpacking, no parameter derivation, and -- after the plan is
 // built -- no heap allocation at all.
 //
-// What the plan precomputes per layer:
-//   * the weight bank, bulk-unpacked from its packed FLASH form to flat
-//     INT32 and offset by the (per-channel) zero-point, so the inner loops
-//     are plain dot products;
-//   * per-(channel, tap) sums of those offset weights. With them the input
-//     zero-point folds out of the hot loop entirely:
-//        Phi = sum (X - Zx)(W - Zw) = sum X*(W - Zw) - Zx * sum(W - Zw)
-//     where the second term is a precomputed constant on the interior and a
-//     small rectangle-sum of tap sums on the border;
-//   * the interior output region in which every kernel tap is in bounds, so
-//     the spatial loop splits into a branch-free fast path and a border
-//     slow path;
-//   * whether 32-bit accumulators are provably overflow-free for the
-//     layer's fan-in (phi_bound < 2^30), which selects the SIMD kernels
-//     (runtime/simd.hpp: vectorized depthwise MAC, the 4-channel x 8-lane
-//     GEMM micro-kernel, vectorized ICN requant/clamp and pool accumulate);
-//   * the ping-pong activation arena sizes, mirroring the even/odd tensor
-//     assignment of mcu::build_memory_map (Eq. 7): layer i reads one arena
-//     and writes the other.
+// The plan compiles each layer into one of two execution domains:
 //
-// Pointwise (1x1) convolutions and linear layers run as im2col + a
-// register-blocked integer GEMM; for stride-1 pad-0 pointwise layers the
-// NHWC activation tensor *is* the im2col matrix and no gather is needed.
-// Every result is bit-exact with the reference kernels (kernels.hpp) --
-// integer equality, asserted by the test suite -- on every ISA and for
-// every thread count.
+//   INT8 (narrow) domain -- the deployment arithmetic the paper's mixed
+//   2/4/8-bit quantization pays for. Selected when the plan can PROVE, from
+//   the quantizer's value bounds, that the narrow pipeline computes exactly
+//   the reference integers:
+//     * activations are unsigned <= 8-bit codes (always true post-ICN), so
+//       the layer's input/output tensors live in packed u8 ping-pong
+//       arenas: 4x smaller working set than the INT32 arenas;
+//     * 32-bit accumulation is overflow-free (phi_bound < 2^30, the same
+//       bound the INT32 SIMD path uses) and the vector requantization
+//       chain is exact (RequantTable usable);
+//     * weights: zero-point-offset weights always fit i16; when they also
+//       fit s8 AND every adjacent-pair magnitude satisfies
+//       max(|w[2k]| + |w[2k+1]|) * qmax(qx) <= 32767 the layer's GEMM runs
+//       through the cache-blocked s8 panel (vpmaddubsw -> vpmaddwd, 32
+//       MACs per AVX2 instruction sequence, intermediate i16 sums proven
+//       exact); otherwise the u8 x s16 widening kernels run (vpmaddwd,
+//       always exact).
+//   Conv layers (any kernel size) run as panel/row GEMM over a u8 im2col
+//   whose padded taps are filled with Zx -- algebraically identical to the
+//   valid-tap + rectangle-sum form, so one requant pre-add (bq - Zx*wsum)
+//   covers interior and border alike. Depthwise runs a direct u8 kernel
+//   (no im2col): taps pair-interleaved for vpmaddwd across channels,
+//   vectorized requantization straight back to u8, border windows on the
+//   same vector path via precomputed per-window pre-adds.
+//
+//   INT32 (wide) domain -- the PR 2/3 engine, kept verbatim as the
+//   per-layer fallback whenever any narrow proof fails (threshold-scheme
+//   requant, non-exact vector requant chains, fan-in too large for i32
+//   accumulators, or PlanOptions{allow_i8=false}).
+//
+// Domains are chosen per layer; a tensor crossing a domain seam is simply
+// written in the consumer's storage type (every kernel can emit u8 or i32
+// codes), so mixed chains need no separate conversion passes. Every path
+// remains bit-exact with the reference kernels (integer equality) on every
+// ISA and thread count -- asserted by the test suite.
+//
+// What the plan still precomputes per layer (both domains): bulk-unpacked
+// zero-point-offset weights, per-(channel, tap) weight sums folding Zx out
+// of the hot loops, interior/border spatial split, accumulator-width and
+// requant-exactness proofs, and the ping-pong arena sizing mirroring
+// mcu::build_memory_map's even/odd tensor assignment (Eq. 7).
 //
 // Thread-safety contract: an ExecutionPlan is immutable after construction.
 // run_into(sample, arenas) touches only the caller-supplied PlanArenas, so
@@ -52,6 +69,23 @@ namespace mixq::runtime {
 
 class ExecutionPlan;
 class ThreadPool;
+
+/// Execution domain of one planned layer (see file comment).
+enum class ExecDomain : std::uint8_t {
+  kI32,  ///< wide fallback: INT32 activations, INT32/INT64 accumulation
+  kI8,   ///< narrow: u8 activations, s8-panel or s16 weights, widening MACs
+};
+
+inline const char* domain_name(ExecDomain d) {
+  return d == ExecDomain::kI8 ? "i8" : "i32";
+}
+
+/// Plan compilation options.
+struct PlanOptions {
+  /// Allow the narrow INT8 domain where provable. false forces every layer
+  /// onto the INT32 path (used by tests and footprint comparisons).
+  bool allow_i8{true};
+};
 
 /// Static per-layer execution recipe (see file comment).
 struct PlannedLayer {
@@ -76,31 +110,71 @@ struct PlannedLayer {
   bool pool32{false};                 ///< avg-pool sums provably fit int32
   int src{0};                         ///< arena holding the input (0=ping)
   int dst{1};                         ///< arena receiving the output
+
+  // Narrow-domain recipe (domain == kI8) -------------------------------
+  ExecDomain domain{ExecDomain::kI32};
+  bool in_u8{false};    ///< reads its input tensor as packed u8 codes
+  bool out_u8{false};   ///< writes its output tensor as packed u8 codes
+  bool i8_panel{false}; ///< s8 panel tier proven (else u8 x s16 rows)
+  std::int64_t kp{0};   ///< padded GEMM depth (panel: 4-aligned; s16: 16)
+  std::int64_t co_pad{0};             ///< co rounded to the panel block
+  std::vector<std::int8_t> w8;        ///< s8 GEMM panel (i8_panel)
+  std::vector<std::int16_t> w16;      ///< s16 GEMM rows, co x kp (!i8_panel)
+  std::vector<std::int16_t> wt16;     ///< depthwise tap-major s16 (border)
+  std::vector<std::int16_t> wt16p;    ///< depthwise pair-interleaved s16
 };
 
-/// One thread's working memory for running a plan: the ping-pong
-/// activation arenas, the im2col gather buffer, a per-lane row-accumulator
-/// scratch (depthwise/GEMM/pool rows before requant), and the logits
-/// buffer. Sized once from the plan; steady-state runs never grow it.
-/// `lanes` > 1 reserves one row-accumulator slice per lane for intra-layer
-/// row partitioning (every lane still shares ping/pong/col, whose writes
-/// are disjoint by row).
+/// Slack bytes appended to every non-empty u8 arena so the panel kernels'
+/// 4-byte activation reads at padded K never leave the allocation (vectors
+/// are zero-initialized, so the overread is defined AND deterministic).
+inline constexpr std::int64_t kArenaU8Slack = 32;
+
+/// Allocated size of a u8 arena holding `n` logical elements -- the single
+/// definition both PlanArenas (allocation) and arena_bytes() (reporting)
+/// use, so the two can never drift apart.
+inline constexpr std::int64_t arena_u8_padded(std::int64_t n) {
+  return n > 0 ? n + kArenaU8Slack : 0;
+}
+
+/// Narrow convs gather their u8 im2col in row tiles of this many output
+/// pixels: the tile (tile * kp bytes, per lane) stays L1-resident under
+/// the panel GEMM instead of materialising the whole im2col matrix.
+inline constexpr std::int64_t kIm2colTileRows = 16;
+
+/// One thread's working memory for running a plan: the INT32 and u8
+/// ping-pong activation arenas (a tensor lives in the u8 pair exactly when
+/// its consumer layer runs in the narrow domain), the im2col gather
+/// buffers (INT32 for wide strided-pointwise layers, u8 for narrow convs),
+/// a per-lane row-accumulator scratch and the logits buffer. Sized once
+/// from the plan; steady-state runs never grow it. `lanes` > 1 reserves
+/// one row-accumulator slice per lane for intra-layer row partitioning
+/// (every lane still shares the arenas, whose writes are disjoint by row).
 struct PlanArenas {
   explicit PlanArenas(const ExecutionPlan& plan, int lanes = 1);
 
   [[nodiscard]] std::int32_t* arena(int which) {
     return which == 0 ? ping.data() : pong.data();
   }
+  [[nodiscard]] std::uint8_t* arena8(int which) {
+    return which == 0 ? ping8.data() : pong8.data();
+  }
   [[nodiscard]] std::int32_t* lane_row_acc(int lane) {
     return row_acc.data() + static_cast<std::int64_t>(lane) * row_acc_per;
+  }
+  [[nodiscard]] std::uint8_t* lane_col8(int lane) {
+    return col8.data() + static_cast<std::int64_t>(lane) * col8_per;
   }
 
   std::vector<std::int32_t> ping;
   std::vector<std::int32_t> pong;
+  std::vector<std::uint8_t> ping8;
+  std::vector<std::uint8_t> pong8;
   std::vector<std::int32_t> col;
+  std::vector<std::uint8_t> col8;
   std::vector<std::int32_t> row_acc;
   std::vector<float> logits;
   std::int64_t row_acc_per{0};
+  std::int64_t col8_per{0};
   int lanes{1};
 };
 
@@ -108,7 +182,7 @@ struct PlanArenas {
 /// and -- with per-thread PlanArenas -- any number of threads.
 class ExecutionPlan {
  public:
-  explicit ExecutionPlan(const QuantizedNet& net);
+  explicit ExecutionPlan(const QuantizedNet& net, PlanOptions opts = {});
 
   /// Run one batch-1 sample given as a raw HWC float pointer. Returns a
   /// reference to the plan's internal logits buffer (valid until the next
@@ -146,41 +220,55 @@ class ExecutionPlan {
   [[nodiscard]] const std::vector<PlannedLayer>& layers() const {
     return layers_;
   }
+  [[nodiscard]] const PlanOptions& options() const { return opts_; }
 
-  /// Ping/pong arena capacities in elements (max even-/odd-indexed
-  /// activation tensor, same assignment as mcu::build_memory_map).
+  /// INT32 ping/pong arena capacities in elements (max even-/odd-indexed
+  /// activation tensor whose consumer runs in the wide domain; the same
+  /// even/odd assignment as mcu::build_memory_map).
   [[nodiscard]] std::int64_t ping_elems() const { return ping_elems_; }
   [[nodiscard]] std::int64_t pong_elems() const { return pong_elems_; }
-  /// im2col gather buffer capacity (strided pointwise layers only).
+  /// u8 ping/pong arena capacities (narrow-domain tensors), sans slack.
+  [[nodiscard]] std::int64_t ping8_elems() const { return ping8_elems_; }
+  [[nodiscard]] std::int64_t pong8_elems() const { return pong8_elems_; }
+  /// im2col gather capacities: whole-matrix for wide strided pointwise
+  /// layers; per-lane kIm2colTileRows-row tile for narrow convs.
   [[nodiscard]] std::int64_t col_elems() const { return col_elems_; }
+  [[nodiscard]] std::int64_t col8_elems() const { return col8_elems_; }
   /// Per-lane row-accumulator scratch capacity.
   [[nodiscard]] std::int64_t row_acc_elems() const { return row_acc_elems_; }
   /// Logits buffer size.
   [[nodiscard]] std::int64_t logit_elems() const { return logit_elems_; }
-  /// Total arena footprint in bytes (unpacked INT32 working set). All
-  /// arenas are sized once and never grow -- allocation freedom of the run
-  /// path is enforced by an instrumented global-allocator test
-  /// (tests/runtime/plan_test.cpp).
+  /// Total activation-arena footprint in bytes as actually allocated:
+  /// 4 bytes per INT32 arena element plus 1 byte per u8 arena element
+  /// (including each non-empty u8 arena's kArenaU8Slack). The narrow
+  /// domain shrinks this by ~4x versus an all-INT32 plan; asserted by
+  /// tests/runtime/plan_test.cpp, which also enforces that runs never
+  /// allocate beyond it (instrumented global operator new).
   [[nodiscard]] std::int64_t arena_bytes() const;
+  /// Number of layers compiled into the narrow domain.
+  [[nodiscard]] std::int64_t i8_layer_count() const;
 
  private:
-  void quantize_input_into(const float* sample, std::int32_t* dst,
-                           std::int64_t i0, std::int64_t i1) const;
-  /// Output rows a layer exposes to row partitioning (GEMM: output pixels;
-  /// conv/depthwise: output rows; everything else: 1 = serial).
+  template <typename T>
+  void quantize_input_into(const float* sample, T* dst, std::int64_t i0,
+                           std::int64_t i1) const;
+  /// Output rows a layer exposes to row partitioning (GEMM and narrow
+  /// convs: output pixels; wide conv/depthwise: output rows; rest: 1).
   static std::int64_t partition_rows(const PlannedLayer& pl);
-  void run_layer_rows(const PlannedLayer& pl, const std::int32_t* x,
-                      std::int32_t* y, std::int64_t r0, std::int64_t r1,
-                      std::int32_t* row_acc, std::int32_t* col) const;
-  void run_head(const PlannedLayer& pl, const std::int32_t* x,
-                std::vector<float>& logits) const;
+  void run_layer_rows(const PlannedLayer& pl, PlanArenas& arenas, int lane,
+                      std::int64_t r0, std::int64_t r1) const;
+  void run_head(const PlannedLayer& pl, PlanArenas& arenas) const;
   const std::vector<float>& finish_logits(PlanArenas& arenas) const;
 
   const QuantizedNet* net_;
+  PlanOptions opts_;
   std::vector<PlannedLayer> layers_;
   std::int64_t ping_elems_{0};
   std::int64_t pong_elems_{0};
+  std::int64_t ping8_elems_{0};
+  std::int64_t pong8_elems_{0};
   std::int64_t col_elems_{0};
+  std::int64_t col8_elems_{0};
   std::int64_t row_acc_elems_{0};
   std::int64_t logit_elems_{0};
 

@@ -72,7 +72,9 @@ PlannedProfile profile_planned(const ExecutionPlan& plan,
   for (std::size_t i = 0; i < stat.layers.size(); ++i) {
     out.layers[i].kind = stat.layers[i].kind;
     out.layers[i].macs = stat.layers[i].macs;
+    out.layers[i].domain = plan.layers()[i].domain;
   }
+  out.i8_layers = plan.i8_layer_count();
 
   std::vector<std::int64_t> per_layer_ns;
   std::int64_t quantize_ns = 0;
@@ -93,17 +95,18 @@ PlannedProfile profile_planned(const ExecutionPlan& plan,
 
 std::string PlannedProfile::str() const {
   std::ostringstream os;
-  os << "layer  kind       MACs        ns    MACs/ns\n";
+  os << "layer  kind  dom        MACs        ns    MACs/ns\n";
   os << std::fixed;
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const auto& l = layers[i];
-    os << i << "\t" << kind_name(l.kind) << "\t" << l.macs << "\t"
-       << std::setprecision(0)
-       << l.ns << "\t" << std::setprecision(3) << l.macs_per_ns() << "\n";
+    os << i << "\t" << kind_name(l.kind) << "\t" << domain_name(l.domain)
+       << "\t" << l.macs << "\t" << std::setprecision(0) << l.ns << "\t"
+       << std::setprecision(3) << l.macs_per_ns() << "\n";
   }
   os << "quantize " << std::setprecision(0) << quantize_ns << " ns, total "
      << total_ns << " ns, " << std::setprecision(3) << total_macs_per_ns()
-     << " MACs/ns\n";
+     << " MACs/ns (" << i8_layers << "/" << layers.size()
+     << " layers in the i8 domain)\n";
   return os.str();
 }
 

@@ -52,6 +52,7 @@ NetProfile profile(const QuantizedNet& net);
 
 struct PlannedLayerStat {
   QLayerKind kind{QLayerKind::kConv};
+  ExecDomain domain{ExecDomain::kI32};  ///< execution domain the plan chose
   std::int64_t macs{0};   ///< static MAC count (same as LayerProfile)
   double ns{0.0};         ///< mean wall-clock nanoseconds per inference
   [[nodiscard]] double macs_per_ns() const {
@@ -64,6 +65,7 @@ struct PlannedProfile {
   double quantize_ns{0.0};  ///< input-quantization stage
   double total_ns{0.0};     ///< quantize + all layers
   std::int64_t total_macs{0};
+  std::int64_t i8_layers{0};  ///< layers the plan compiled narrow
 
   [[nodiscard]] double total_macs_per_ns() const {
     return total_ns > 0.0 ? static_cast<double>(total_macs) / total_ns : 0.0;

@@ -243,34 +243,281 @@ TEST(PlanArena, SteadyStateRunsDoNotAllocate) {
 }
 
 TEST(PlanArena, SizedLikeTheMemoryMapPingPong) {
-  // The arena must follow the same even/odd tensor assignment as the MCU
-  // memory map's ping-pong RAM regions (Eq. 7 realized).
+  // The arenas must follow the same even/odd tensor assignment as the MCU
+  // memory map's ping-pong RAM regions (Eq. 7 realized), with each tensor
+  // stored in the u8 or INT32 arena pair according to its CONSUMER
+  // layer's execution domain.
   const QuantizedNet net = random_net(8, 6, 3, 1, 1, 777);
   const ExecutionPlan plan(net);
+  const auto& pls = plan.layers();
 
-  std::int64_t max_even = net.layers.front().in_shape.numel();
-  std::int64_t max_odd = 0;
+  std::int64_t e32 = 0, o32 = 0, e8 = 0, o8 = 0;
+  {
+    auto& slot = pls.front().in_u8 ? e8 : e32;
+    slot = std::max(slot, net.layers.front().in_shape.numel());
+  }
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const QLayer& l = net.layers[i];
     if (l.raw_logits) continue;
-    auto& slot = (i + 1) % 2 == 0 ? max_even : max_odd;
+    const bool even = (i + 1) % 2 == 0;
+    auto& slot = pls[i].out_u8 ? (even ? e8 : o8) : (even ? e32 : o32);
     slot = std::max(slot, l.out_shape.numel());
   }
-  EXPECT_EQ(plan.ping_elems(), max_even);
-  EXPECT_EQ(plan.pong_elems(), max_odd);
+  EXPECT_EQ(plan.ping_elems(), e32);
+  EXPECT_EQ(plan.pong_elems(), o32);
+  EXPECT_EQ(plan.ping8_elems(), e8);
+  EXPECT_EQ(plan.pong8_elems(), o8);
   EXPECT_EQ(plan.arena_bytes(),
             static_cast<std::int64_t>(sizeof(std::int32_t)) *
-                (plan.ping_elems() + plan.pong_elems() + plan.col_elems()));
+                    (plan.ping_elems() + plan.pong_elems() +
+                     plan.col_elems()) +
+                arena_u8_padded(plan.ping8_elems()) +
+                arena_u8_padded(plan.pong8_elems()) +
+                arena_u8_padded(plan.col8_elems()));
 
   // Cross-check against the memory map: every tensor the map places in a
-  // ping-pong RAM region fits the corresponding plan arena.
+  // ping-pong RAM region fits the corresponding plan arena pair (whether
+  // that pair is the u8 or the unpacked INT32 one).
   mcu::DeviceSpec dev;
   dev.flash_bytes = std::int64_t{1} << 30;
   dev.ram_bytes = std::int64_t{1} << 30;
   const mcu::MemoryMap map = mcu::build_memory_map(net, dev);
   ASSERT_EQ(map.ram.size(), 2u);
-  EXPECT_GE(plan.ping_elems() * 4, map.ram[0].size / 2)
-      << "int32 ping arena smaller than the packed ping region implies";
+  EXPECT_GE(plan.ping_elems() * 4 + plan.ping8_elems(), map.ram[0].size / 2)
+      << "ping arenas smaller than the packed ping region implies";
+}
+
+// ---------------------------------------------------------------------------
+// Narrow-domain eligibility prover and mixed-domain execution.
+// ---------------------------------------------------------------------------
+
+/// Bit-exactness of a specific plan (with options) vs the reference
+/// executor, over a few images including an all-maximum one (codes 255)
+/// that drives the widening MACs to their proven extremes.
+void expect_plan_bit_exact(const QuantizedNet& net, const ExecutionPlan& plan,
+                           const std::string& label) {
+  Executor exec(net);  // reference kernels
+  Rng rng(4711);
+  FloatTensor img(net.layers.front().in_shape);
+  for (int trial = 0; trial < 3; ++trial) {
+    if (trial == 0) {
+      std::fill(img.vec().begin(), img.vec().end(), 2.0f);  // clamps to 255
+    } else {
+      rng.fill_uniform(img.vec(), -0.2, 1.2);
+    }
+    const QInferenceResult ref = exec.run(img);
+    const QInferenceResult planned = plan.run(img);
+    ASSERT_EQ(ref.logits.size(), planned.logits.size()) << label;
+    for (std::size_t i = 0; i < ref.logits.size(); ++i) {
+      ASSERT_EQ(ref.logits[i], planned.logits[i])
+          << label << " trial " << trial << " logit " << i;
+    }
+  }
+}
+
+/// An ICN chain whose conv weights are 4-bit: offset weights are always
+/// within [-15, 15], so the s8 panel's pair bound holds for any activation
+/// width and the prover must select the panel tier.
+TEST(PlanDomain, IcnChainCompilesNarrowWithPanelTier) {
+  Rng rng(31);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+  Shape s(1, 9, 9, 5);
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 8, 3, 2, 1, BitWidth::kQ8, BitWidth::kQ4,
+      BitWidth::kQ4, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kDepthwise, s, s.c, 3, 1, 1, BitWidth::kQ4, BitWidth::kQ8,
+      BitWidth::kQ4, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 6, 1, 1, 0, BitWidth::kQ4, BitWidth::kQ2,
+      BitWidth::kQ8, Scheme::kPCICN, rng));
+  net.validate();
+
+  const ExecutionPlan plan(net);
+  ASSERT_EQ(plan.layers().size(), 3u);
+  for (const PlannedLayer& pl : plan.layers()) {
+    EXPECT_EQ(pl.domain, ExecDomain::kI8);
+  }
+  // 4/2-bit conv weights must take the s8 panel; the q8-weight depthwise
+  // always has an s16 bank.
+  EXPECT_TRUE(plan.layers()[0].i8_panel);
+  EXPECT_FALSE(plan.layers()[0].w8.empty());
+  EXPECT_FALSE(plan.layers()[1].wt16p.empty());
+  EXPECT_TRUE(plan.layers()[2].i8_panel);
+  EXPECT_EQ(plan.i8_layer_count(), 3);
+  expect_plan_bit_exact(net, plan, "narrow icn chain");
+}
+
+/// Adversarial i16-overflow-bound layers: a linear layer with q8 weights
+/// whose zero-point centres them (fits s8). With every adjacent pair's
+/// |w| sum exactly 128, 255 * 128 = 32640 <= 32767 and the panel tier is
+/// provable; bump one pair (in the last K-block) to 129 and the prover
+/// must reject the panel and fall back to the s16 widening tier -- still
+/// narrow, still bit-exact, on max-magnitude activations.
+TEST(PlanDomain, PanelTierStraddlesI16PairBound) {
+  const std::int64_t K = 40;  // 10 panel K-blocks
+  for (const bool over : {false, true}) {
+    Rng rng(32);
+    QuantizedNet net;
+    net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+    Shape s(1, 1, 1, K);
+    QLayer l = make_conv_family_layer(QLayerKind::kLinear, s, 4, 1, 1, 0,
+                                      BitWidth::kQ8, BitWidth::kQ8,
+                                      BitWidth::kQ8, Scheme::kPCICN, rng);
+    l.zw.assign(l.zw.size(), 128);
+    // Codes 255/129 give offset weights +-127/+1: every pair sums to 128.
+    for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+      l.weights.set(i, i % 2 == 0 ? (i % 4 == 0 ? 1 : 255) : 129);
+    }
+    if (over) {
+      // Last K-block, last pair: (127, 2) -> 129 * 255 > 32767.
+      l.weights.set(K - 1, 130);
+    }
+    net.layers.push_back(std::move(l));
+    net.validate();
+
+    const ExecutionPlan plan(net);
+    const PlannedLayer& pl = plan.layers().front();
+    ASSERT_EQ(pl.domain, ExecDomain::kI8) << "over=" << over;
+    EXPECT_EQ(pl.i8_panel, !over);
+    EXPECT_EQ(pl.w8.empty(), over);
+    EXPECT_EQ(pl.w16.empty(), !over);
+    expect_plan_bit_exact(net, plan,
+                          over ? "pair bound exceeded" : "pair bound exact");
+  }
+}
+
+TEST(PlanDomain, ThresholdSchemeFallsBackToInt32) {
+  Rng rng(33);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ4);
+  Shape s(1, 6, 6, 4);
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 5, 3, 1, 1, BitWidth::kQ4, BitWidth::kQ4,
+      BitWidth::kQ4, Scheme::kPCThresholds, rng));
+  net.validate();
+  const ExecutionPlan plan(net);
+  EXPECT_EQ(plan.layers().front().domain, ExecDomain::kI32)
+      << "threshold requant has no exact vector form; must stay wide";
+  expect_plan_bit_exact(net, plan, "threshold fallback");
+}
+
+TEST(PlanDomain, HugeFanInFallsBackToInt32) {
+  // phi_bound = 20000 * 255 * 255 > 2^30: int32 accumulators are not
+  // provably safe, so the layer must run the wide INT64 path.
+  Rng rng(34);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+  Shape s(1, 50, 50, 8);
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kLinear, s, 3, 1, 1, 0, BitWidth::kQ8, BitWidth::kQ8,
+      BitWidth::kQ8, Scheme::kPCICN, rng));
+  net.validate();
+  const ExecutionPlan plan(net);
+  EXPECT_FALSE(plan.layers().front().acc32);
+  EXPECT_EQ(plan.layers().front().domain, ExecDomain::kI32);
+  expect_plan_bit_exact(net, plan, "huge fan-in fallback");
+}
+
+TEST(PlanDomain, MixedDomainChainWithSeamsIsBitExact) {
+  // i8 conv -> i32 (thresholds) conv -> i8 conv -> pool -> head: the
+  // narrow producers write INT32 for the wide consumer and vice versa;
+  // every seam crossing must be bit-exact.
+  Rng rng(35);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+  Shape s(1, 8, 8, 3);
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 6, 3, 1, 1, BitWidth::kQ8, BitWidth::kQ4,
+      BitWidth::kQ4, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 5, 1, 1, 0, BitWidth::kQ4, BitWidth::kQ4,
+      BitWidth::kQ4, Scheme::kPCThresholds, rng));
+  s = net.layers.back().out_shape;
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 7, 3, 2, 1, BitWidth::kQ4, BitWidth::kQ2,
+      BitWidth::kQ8, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kGlobalAvgPool, s, 0, 1, 1, 0, BitWidth::kQ8,
+      BitWidth::kQ8, BitWidth::kQ8, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  QLayer head = make_conv_family_layer(QLayerKind::kLinear, s, 4, 1, 1, 0,
+                                       BitWidth::kQ8, BitWidth::kQ8,
+                                       BitWidth::kQ8, Scheme::kPCICN, rng);
+  head.raw_logits = true;
+  for (int c = 0; c < 4; ++c) head.out_mult.push_back(rng.uniform(1e-5, 0.02));
+  net.layers.push_back(std::move(head));
+  net.validate();
+
+  const ExecutionPlan plan(net);
+  const auto& pls = plan.layers();
+  EXPECT_EQ(pls[0].domain, ExecDomain::kI8);
+  EXPECT_EQ(pls[1].domain, ExecDomain::kI32);
+  EXPECT_EQ(pls[2].domain, ExecDomain::kI8);
+  // Seam storage: layer 0 writes wide (consumer is i32), layer 1 writes
+  // narrow (consumer is i8).
+  EXPECT_FALSE(pls[0].out_u8);
+  EXPECT_TRUE(pls[1].out_u8);
+  EXPECT_TRUE(pls[2].out_u8);
+  expect_plan_bit_exact(net, plan, "mixed-domain seams");
+  // And through the executor's default plan (intra-executor path).
+  expect_bit_exact(net, 77, "mixed-domain executor");
+}
+
+TEST(PlanDomain, AllowI8FalseForcesWideEverywhere) {
+  const QuantizedNet net = random_net(8, 8, 3, 1, 1, 9090);
+  const ExecutionPlan narrow(net);
+  const ExecutionPlan wide(net, PlanOptions{/*allow_i8=*/false});
+  for (const PlannedLayer& pl : wide.layers()) {
+    EXPECT_EQ(pl.domain, ExecDomain::kI32);
+    EXPECT_FALSE(pl.in_u8);
+    EXPECT_FALSE(pl.out_u8);
+  }
+  EXPECT_EQ(wide.i8_layer_count(), 0);
+  EXPECT_EQ(wide.ping8_elems(), 0);
+  EXPECT_EQ(wide.pong8_elems(), 0);
+  expect_plan_bit_exact(net, wide, "forced all-int32");
+  EXPECT_GE(wide.arena_bytes(), narrow.arena_bytes());
+}
+
+TEST(PlanArena, NarrowDomainShrinksArenaFootprintAtLeast3x) {
+  // MobileNet-class mixed-precision stack (the tracked workload's shape):
+  // the all-ICN chain compiles fully narrow, so the u8 arenas must cut
+  // the activation working set by at least 3x vs the all-INT32 plan.
+  Rng rng(36);
+  QuantizedNet net;
+  net.input_qp = core::make_quant_params(0.0f, 1.0f, BitWidth::kQ8);
+  Shape s(1, 32, 32, 3);
+  net.layers.push_back(make_conv_family_layer(
+      QLayerKind::kConv, s, 16, 3, 2, 1, BitWidth::kQ8, BitWidth::kQ8,
+      BitWidth::kQ4, Scheme::kPCICN, rng));
+  s = net.layers.back().out_shape;
+  BitWidth qx = BitWidth::kQ4;
+  for (const std::int64_t co : {32, 64}) {
+    net.layers.push_back(make_conv_family_layer(
+        QLayerKind::kDepthwise, s, s.c, 3, 1, 1, qx, BitWidth::kQ8, qx,
+        Scheme::kPCICN, rng));
+    s = net.layers.back().out_shape;
+    net.layers.push_back(make_conv_family_layer(
+        QLayerKind::kConv, s, co, 1, 1, 0, qx, BitWidth::kQ4, BitWidth::kQ4,
+        Scheme::kPCICN, rng));
+    s = net.layers.back().out_shape;
+  }
+  net.validate();
+
+  const ExecutionPlan narrow(net);
+  const ExecutionPlan wide(net, PlanOptions{/*allow_i8=*/false});
+  EXPECT_EQ(narrow.i8_layer_count(),
+            static_cast<std::int64_t>(net.layers.size()));
+  EXPECT_GE(wide.arena_bytes(), 3 * narrow.arena_bytes())
+      << "narrow " << narrow.arena_bytes() << " B vs wide "
+      << wide.arena_bytes() << " B";
+  expect_plan_bit_exact(net, narrow, "footprint workload");
 }
 
 // ---------------------------------------------------------------------------

@@ -142,6 +142,279 @@ TEST(Simd, DotBlocksMatchScalar) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Narrow-domain (u8 activation) kernels.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> random_u8(Rng& rng, std::int64_t n, int lo,
+                                    int hi) {
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::uint8_t>(
+        lo + static_cast<int>(rng.uniform_int(
+                 static_cast<std::uint64_t>(hi - lo + 1))));
+  }
+  return v;
+}
+
+TEST(SimdNarrow, GemmPanelPackLayoutRoundTrips) {
+  Rng rng(20);
+  for (const std::int64_t K : {1, 3, 4, 7, 16, 33}) {
+    for (const std::int64_t co : {1, 4, 5, 8, 9, 17}) {
+      const auto w = random_codes(rng, co * K, -128, 127);
+      std::vector<std::int8_t> panel(static_cast<std::size_t>(
+          simd::gemm_u8s8_panel_elems(co, K)));
+      simd::gemm_u8s8_pack(w.data(), co, K, panel.data());
+      const std::int64_t kp = simd::gemm_u8s8_kp(K);
+      for (std::int64_t oc = 0; oc < co; ++oc) {
+        for (std::int64_t k = 0; k < K; ++k) {
+          ASSERT_EQ(panel[static_cast<std::size_t>(
+                        simd::gemm_u8s8_index(kp, oc, k))],
+                    static_cast<std::int8_t>(
+                        w[static_cast<std::size_t>(oc * K + k)]))
+              << "co=" << co << " K=" << K << " oc=" << oc << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+/// Cross-checks the panel micro-kernels against a plain dot product on
+/// data that respects (and sits exactly on) the i16 pair bound the plan's
+/// eligibility prover enforces: max(|w[2k]| + |w[2k+1]|) * amax <= 32767.
+TEST(SimdNarrow, GemmPanelU8S8MatchesScalar) {
+  Rng rng(21);
+  const std::int64_t ocb = simd::gemm_u8s8_ocb();
+  for (int trial = 0; trial < 3; ++trial) {
+    for (const std::int64_t K : {1, 3, 4, 8, 17, 40, 64}) {
+      for (const std::int64_t co : {ocb, 2 * ocb}) {
+        std::vector<std::uint8_t> a;
+        std::vector<std::int32_t> w;
+        if (trial == 0) {
+          // Random within the provable envelope for amax = 255: each
+          // adjacent pair's magnitudes sum to <= 128.
+          a = random_u8(rng, K + 64, 0, 255);
+          w = random_codes(rng, co * K, -64, 63);
+        } else if (trial == 1) {
+          // Exactly on the bound: activations 255, pairs (127, 1) ->
+          // |pair product sum| = 255 * 128 = 32640 <= 32767.
+          a.assign(static_cast<std::size_t>(K + 64), 255);
+          w.assign(static_cast<std::size_t>(co * K), 0);
+          for (std::int64_t i = 0; i < co * K; ++i) {
+            w[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 127 : 1;
+            if (i % 4 == 0) w[static_cast<std::size_t>(i)] = -127;
+          }
+        } else {
+          // One off the i16 limit: activations 129, weights +-127 ->
+          // pair sums of +-32766.
+          a.assign(static_cast<std::size_t>(K + 64), 129);
+          w.assign(static_cast<std::size_t>(co * K), 127);
+          for (std::int64_t i = 0; i < co * K; i += 3) {
+            w[static_cast<std::size_t>(i)] = -127;
+          }
+        }
+        const std::int64_t kp = simd::gemm_u8s8_kp(K);
+        std::vector<std::int8_t> panel(static_cast<std::size_t>(
+            simd::gemm_u8s8_panel_elems(co, K)));
+        simd::gemm_u8s8_pack(w.data(), co, K, panel.data());
+
+        std::vector<std::int32_t> acc0(static_cast<std::size_t>(ocb), -1);
+        std::vector<std::int32_t> acc1(static_cast<std::size_t>(ocb), -1);
+        const std::uint8_t* a0 = a.data();
+        const std::uint8_t* a1 = a.data() + 32;
+        for (std::int64_t ob = 0; ob * ocb < co; ++ob) {
+          simd::gemm_u8s8_x2(a0, a1, panel.data() + ob * ocb * kp, kp,
+                             acc0.data(), acc1.data());
+          for (std::int64_t j = 0; j < ocb && ob * ocb + j < co; ++j) {
+            const std::int64_t oc = ob * ocb + j;
+            std::int32_t e0 = 0, e1 = 0;
+            for (std::int64_t k = 0; k < K; ++k) {
+              e0 += static_cast<std::int32_t>(a0[k]) *
+                    w[static_cast<std::size_t>(oc * K + k)];
+              e1 += static_cast<std::int32_t>(a1[k]) *
+                    w[static_cast<std::size_t>(oc * K + k)];
+            }
+            EXPECT_EQ(acc0[static_cast<std::size_t>(j)], e0)
+                << "trial=" << trial << " K=" << K << " oc=" << oc;
+            EXPECT_EQ(acc1[static_cast<std::size_t>(j)], e1)
+                << "trial=" << trial << " K=" << K << " oc=" << oc;
+          }
+          simd::gemm_u8s8_x1(a0, panel.data() + ob * ocb * kp, kp,
+                             acc1.data());
+          for (std::int64_t j = 0; j < ocb && ob * ocb + j < co; ++j) {
+            EXPECT_EQ(acc1[static_cast<std::size_t>(j)],
+                      acc0[static_cast<std::size_t>(j)])
+                << "x1 vs x2, trial=" << trial << " K=" << K;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdNarrow, DotU8S16BlocksMatchScalar) {
+  Rng rng(22);
+  for (const std::int64_t n : kSizes) {
+    const auto a0 = random_u8(rng, n, 0, 255);
+    const auto a1 = random_u8(rng, n, 0, 255);
+    std::vector<std::vector<std::int16_t>> w;
+    for (int j = 0; j < 4; ++j) {
+      std::vector<std::int16_t> row(static_cast<std::size_t>(n));
+      for (auto& v : row) {
+        v = static_cast<std::int16_t>(
+            static_cast<int>(rng.uniform_int(511)) - 255);
+      }
+      w.push_back(std::move(row));
+    }
+    std::int32_t e0[4], e1[4];
+    for (int j = 0; j < 4; ++j) {
+      std::int32_t s0 = 7 + j, s1 = -j;
+      for (std::int64_t k = 0; k < n; ++k) {
+        s0 += static_cast<std::int32_t>(a0[static_cast<std::size_t>(k)]) *
+              w[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+        s1 += static_cast<std::int32_t>(a1[static_cast<std::size_t>(k)]) *
+              w[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+      }
+      e0[j] = s0;
+      e1[j] = s1;
+    }
+    std::int32_t o0[4] = {7, 8, 9, 10};
+    std::int32_t o1[4] = {0, -1, -2, -3};
+    simd::dot2x4_u8s16(a0.data(), a1.data(), w[0].data(), w[1].data(),
+                       w[2].data(), w[3].data(), n, o0, o1);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(o0[j], e0[j]) << "row0 ch" << j << " n=" << n;
+      EXPECT_EQ(o1[j], e1[j]) << "row1 ch" << j << " n=" << n;
+    }
+    std::int32_t o2[4] = {7, 8, 9, 10};
+    simd::dot1x4_u8s16(a0.data(), w[0].data(), w[1].data(), w[2].data(),
+                       w[3].data(), n, o2);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(o2[j], e0[j]) << "1x4 ch" << j << " n=" << n;
+    }
+    std::int32_t expect_dot = 0;
+    for (std::int64_t k = 0; k < n; ++k) {
+      expect_dot +=
+          static_cast<std::int32_t>(a0[static_cast<std::size_t>(k)]) *
+          w[0][static_cast<std::size_t>(k)];
+    }
+    EXPECT_EQ(simd::dot_u8s16(a0.data(), w[0].data(), n), expect_dot)
+        << "n=" << n;
+  }
+}
+
+TEST(SimdNarrow, DwPairDotMatchesScalar) {
+  Rng rng(23);
+  for (const std::int64_t taps : {std::int64_t{4}, std::int64_t{9}}) {
+    for (const std::int64_t C : kSizes) {
+      if (C == 0) continue;
+      const std::int64_t in_w = 5;
+      const auto x = random_u8(rng, (2 * in_w + 3) * C, 0, 255);
+      std::vector<std::int16_t> wt(static_cast<std::size_t>(taps * C));
+      for (auto& v : wt) {
+        v = static_cast<std::int16_t>(
+            static_cast<int>(rng.uniform_int(511)) - 255);
+      }
+      std::vector<std::int64_t> toff(static_cast<std::size_t>(taps));
+      for (std::int64_t t = 0; t < taps; ++t) {
+        toff[static_cast<std::size_t>(t)] = ((t / 3) * in_w + t % 3) * C;
+      }
+      std::vector<std::int16_t> wtp(
+          static_cast<std::size_t>(simd::dw_pairs(taps) * 2 * C));
+      simd::dw_pack_u8s16(wt.data(), taps, C, wtp.data());
+      std::vector<std::int32_t> acc(static_cast<std::size_t>(C), -5);
+      simd::dw_dot_u8s16p(x.data(), toff.data(), wtp.data(), taps, C,
+                          acc.data());
+      for (std::int64_t c = 0; c < C; ++c) {
+        std::int32_t s = 0;
+        for (std::int64_t t = 0; t < taps; ++t) {
+          s += static_cast<std::int32_t>(
+                   x[static_cast<std::size_t>(
+                       toff[static_cast<std::size_t>(t)] + c)]) *
+               wt[static_cast<std::size_t>(t * C + c)];
+        }
+        EXPECT_EQ(acc[static_cast<std::size_t>(c)], s)
+            << "taps=" << taps << " C=" << C << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SimdNarrow, ElementwiseHelpersMatchScalar) {
+  Rng rng(24);
+  for (const std::int64_t n : kSizes) {
+    const auto x = random_u8(rng, n, 0, 255);
+    std::vector<std::int16_t> w16(static_cast<std::size_t>(n));
+    for (auto& v : w16) {
+      v = static_cast<std::int16_t>(
+          static_cast<int>(rng.uniform_int(511)) - 255);
+    }
+    auto acc = random_codes(rng, n, -1000, 1000);
+    auto expect = acc;
+    for (std::int64_t i = 0; i < n; ++i) {
+      expect[static_cast<std::size_t>(i)] +=
+          static_cast<std::int32_t>(x[static_cast<std::size_t>(i)]) *
+          w16[static_cast<std::size_t>(i)];
+    }
+    simd::mac_u8s16(acc.data(), x.data(), w16.data(), n);
+    EXPECT_EQ(acc, expect) << "mac_u8s16 n=" << n;
+
+    auto acc2 = random_codes(rng, n, -1000, 1000);
+    auto expect2 = acc2;
+    for (std::int64_t i = 0; i < n; ++i) {
+      expect2[static_cast<std::size_t>(i)] +=
+          x[static_cast<std::size_t>(i)];
+    }
+    simd::add_u8_i32(acc2.data(), x.data(), n);
+    EXPECT_EQ(acc2, expect2) << "add_u8_i32 n=" << n;
+
+    const auto w32 = random_codes(rng, n, -100000, 100000);
+    std::int32_t expect_dot = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      expect_dot +=
+          static_cast<std::int32_t>(x[static_cast<std::size_t>(i)]) *
+          w32[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(simd::dot_u8_i32(x.data(), w32.data(), n), expect_dot)
+        << "dot_u8_i32 n=" << n;
+  }
+}
+
+TEST(SimdNarrow, RequantU8MatchesI32Kernel) {
+  // The u8-store requant must emit exactly the codes the i32 kernel does
+  // (they are bounded by hi <= 255), channel for channel.
+  Rng rng(25);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t n = kSizes[trial % 12];
+    simd::RequantTable rq;
+    rq.zy = static_cast<std::int32_t>(rng.uniform_int(16));
+    rq.hi = (trial % 2 == 0) ? 255 : 15;
+    for (std::int64_t c = 0; c < n; ++c) {
+      double m = rng.uniform(1e-6, 0.1);
+      if (rng.uniform() < 0.3) m = -m;
+      const core::FixedPointMult fp = core::decompose_multiplier(m);
+      rq.m0.push_back(fp.m0_q31);
+      rq.shift.push_back(31 - static_cast<std::int64_t>(fp.n0));
+      rq.bias_sub.push_back(
+          (std::int64_t{1} << 62) >>
+          (31 - static_cast<std::int64_t>(fp.n0)));
+      rq.add.push_back(static_cast<std::int32_t>(rng.uniform_int(4001)) -
+                       2000);
+    }
+    rq.usable = true;
+    const auto acc = random_codes(rng, n, -200000, 200000);
+    std::vector<std::int32_t> out32(static_cast<std::size_t>(n), -1);
+    std::vector<std::uint8_t> out8(static_cast<std::size_t>(n), 7);
+    simd::requant_icn_i32(rq, acc.data(), rq.add.data(), out32.data(), n);
+    simd::requant_icn_u8(rq, acc.data(), rq.add.data(), out8.data(), n);
+    for (std::int64_t c = 0; c < n; ++c) {
+      EXPECT_EQ(static_cast<std::int32_t>(out8[static_cast<std::size_t>(c)]),
+                out32[static_cast<std::size_t>(c)])
+          << "trial " << trial << " channel " << c;
+    }
+  }
+}
+
 TEST(Simd, RequantMatchesFixedPointReference) {
   // The vector requant must equal the scalar ICN chain
   // clamp(zy + fixed_point_floor_mul(acc + add, m), 0, hi) channel by

@@ -4,13 +4,19 @@
 Diffs a freshly measured BENCH_runtime.json against the committed baseline:
 
   * HARD FAIL (exit 1) on semantic drift -- a changed workload string, a
-    changed total or per-layer static MAC count, or a changed layer
-    structure. These are correctness/accounting regressions: the benchmark
-    must keep measuring the same work. (Bit-exactness failures already
-    hard-fail earlier: bench_runtime exits non-zero on them.)
+    changed total or per-layer static MAC count, a changed layer
+    structure, or a layer that the baseline ran in the narrow i8 domain
+    silently falling back to i32 (that is a 2-4x perf cliff the timing
+    noise could mask). These are correctness/accounting regressions: the
+    benchmark must keep measuring the same work the same way.
+    (Bit-exactness failures already hard-fail earlier: bench_runtime exits
+    non-zero on them.)
   * WARN ONLY on timing -- CI runners are too noisy for wall-clock hard
     gates. A planned-path slowdown beyond --warn-pct emits a GitHub
-    ::warning annotation and a table, but exits 0.
+    ::warning annotation and a table, but exits 0. The batch-throughput
+    sweep's thread-scaling comparison is skipped entirely (not warned)
+    when either measurement is flagged "limited_by_host": a 1-vCPU runner
+    cannot demonstrate scaling, and warning about it is noise.
 
 usage: check_bench_regression.py BASELINE FRESH [--warn-pct 30]
 """
@@ -54,8 +60,18 @@ def main() -> None:
         if bl["macs"] != fl["macs"]:
             fail(f"layer {i} ({bl['kind']}) MACs drifted: "
                  f"{bl['macs']} -> {fl['macs']}")
+        # Execution-domain gate: a previously-i8-eligible layer must not
+        # silently fall back to the INT32 path (domain selection is
+        # ISA-independent, so this compares across build targets too).
+        if bl.get("domain") == "i8" and fl.get("domain") == "i32":
+            fail(f"layer {i} ({bl['kind']}) fell back from the i8 domain "
+                 f"to i32: the eligibility proof regressed")
+        if bl.get("domain") == "i32" and fl.get("domain") == "i8":
+            print(f"note: layer {i} ({bl['kind']}) is newly i8-eligible; "
+                  f"commit the fresh baseline to lock it in")
+    n_i8 = sum(1 for fl in fresh_layers if fl.get("domain") == "i8")
     print(f"MAC accounting unchanged: {fresh['total_macs']} MACs over "
-          f"{len(fresh_layers)} layers")
+          f"{len(fresh_layers)} layers ({n_i8} in the i8 domain)")
 
     # --- timing: report, warn past threshold, never fail ----------------
     rows = []
@@ -88,6 +104,35 @@ def main() -> None:
         print(f"planned-path timing within budget "
               f"({planned_delta:+.1f}% vs baseline, warn at "
               f"+{args.warn_pct:.0f}%)")
+
+    # --- batch-throughput thread scaling: warn-only, host-aware --------
+    base_bt = base.get("batch_throughput", {})
+    fresh_bt = fresh.get("batch_throughput", {})
+    if not base_bt.get("sweep") or not fresh_bt.get("sweep"):
+        print("thread-scaling comparison skipped: no sweep data")
+        return
+    if base_bt.get("limited_by_host") or fresh_bt.get("limited_by_host"):
+        print("thread-scaling comparison skipped: sweep flagged "
+              "limited_by_host (single-vCPU runner cannot demonstrate "
+              "multi-thread speedup)")
+        return
+    if base_isa != fresh_isa:
+        print("thread-scaling comparison skipped: ISA mismatch")
+        return
+    base_by_t = {p["threads"]: p for p in base_bt["sweep"]}
+    for pt in fresh_bt["sweep"]:
+        bp = base_by_t.get(pt["threads"])
+        if bp is None or pt["threads"] == 1:
+            continue
+        b_sp = bp.get("speedup_vs_1", 0.0)
+        f_sp = pt.get("speedup_vs_1", 0.0)
+        if b_sp > 0 and f_sp < 0.75 * b_sp:
+            print(f"::warning::run_batch at {pt['threads']} threads scales "
+                  f"{f_sp:.2f}x vs baseline {b_sp:.2f}x; timing is "
+                  f"warn-only, but take a look if this persists")
+        else:
+            print(f"thread scaling at {pt['threads']} threads: "
+                  f"{f_sp:.2f}x (baseline {b_sp:.2f}x)")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,11 @@ echo "== inspect"
 "$MIXQ" inspect "$DIR/model.img" --json > "$DIR/inspect.json"
 grep -q '"total_macs"' "$DIR/inspect.json"
 grep -q '"qw":4' "$DIR/inspect.json"
+# Execution-domain attribution: every layer reports the domain the host
+# executor's eligibility prover chose, plus the arena footprint pair.
+grep -q '"domain":"i8"\|"domain":"i32"' "$DIR/inspect.json"
+grep -q '"arena_bytes"' "$DIR/inspect.json"
+grep -q '"arena_bytes_i32"' "$DIR/inspect.json"
 
 echo "== run (planned/SIMD inference on deterministic synthetic inputs)"
 "$MIXQ" run "$DIR/model.img" --input synthetic:8 --seed 7 \
