@@ -11,13 +11,18 @@
 // bench_runtime number.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/thresholds.hpp"
+#include "runtime/autotune.hpp"
 #include "runtime/fast_kernels.hpp"
 #include "runtime/kernels.hpp"
 #include "runtime/simd.hpp"
+#include "runtime/simd_vnni.hpp"
 #include "tensor/rng.hpp"
 
 using namespace mixq;
@@ -349,5 +354,122 @@ void BM_DwMicro_u8s16(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_DwMicro_u8s16);
+
+// VNNI panel GEMM (vpdpbusd) at the exact shape of BM_GemmMicro_u8s8_panel,
+// so the two rows read side by side as "one dpbusd vs the vpmaddubsw +
+// vpmaddwd pair". Skipped (not failed) on hosts without AVX-512 VNNI.
+void BM_GemmMicro_vnni_panel(benchmark::State& state) {
+  if (!runtime::simd::vnni_enabled()) {
+    state.SkipWithError("host lacks AVX-512 VNNI");
+    return;
+  }
+  Rng rng(16);
+  const std::int64_t ocb = runtime::simd::vnni_ocb();
+  const std::int64_t kp = runtime::simd::vnni_kp(kMicroK);
+  const std::int64_t co_pad = runtime::simd::round_up(kMicroCo, ocb);
+  std::vector<std::uint8_t> a(
+      static_cast<std::size_t>(kMicroM * kMicroK + 32));
+  std::vector<std::int32_t> w(static_cast<std::size_t>(kMicroCo * kMicroK));
+  std::vector<std::int8_t> panel(static_cast<std::size_t>(
+      runtime::simd::vnni_panel_elems(kMicroCo, kMicroK)));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(2 * co_pad));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& v : w) {
+    v = static_cast<std::int32_t>(rng.uniform_int(31)) - 15;
+  }
+  runtime::simd::vnni_pack(w.data(), kMicroCo, kMicroK, panel.data());
+  for (auto _ : state) {
+    for (std::int64_t m = 0; m < kMicroM; m += 2) {
+      const std::uint8_t* a0 = a.data() + m * kMicroK;
+      const std::uint8_t* a1 = a0 + kMicroK;
+      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
+        runtime::simd::vnni_gemm_x2(a0, a1, panel.data() + ob * ocb * kp, kp,
+                                    acc.data() + ob * ocb,
+                                    acc.data() + co_pad + ob * ocb,
+                                    /*accumulate=*/0);
+      }
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(kMicroM * kMicroCo * kMicroK),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmMicro_vnni_panel);
+
+// Tile-gather + panel GEMM at a conv-like shape, parameterized by the
+// im2col tile rows: 16 (the pre-autotuner fixed constant) vs whatever the
+// analytic cache model picks on this host. Runs the best panel tier the
+// host has (VNNI when available, else the s8 panel) so the comparison
+// matches what the plan would actually execute.
+void BM_Im2colTileRows(benchmark::State& state) {
+  const std::int64_t rows = state.range(0) > 0
+                                ? state.range(0)
+                                : [] {
+                                    runtime::GemmShape g;
+                                    g.out_pixels = 1024;
+                                    g.co_pad = 64;
+                                    g.kp = 288;  // 3x3 x 32ch conv depth
+                                    g.ocb = runtime::simd::vnni_enabled()
+                                                ? runtime::simd::vnni_ocb()
+                                                : runtime::simd::
+                                                      gemm_u8s8_ocb();
+                                    g.wbytes = 1;
+                                    g.kq = 4;
+                                    return runtime::autotune_analytic(
+                                               g, runtime::detect_caches())
+                                        .rows;
+                                  }();
+  const bool vnni = runtime::simd::vnni_enabled();
+  const std::int64_t kp = 288;
+  const std::int64_t co_pad = 64;
+  const std::int64_t pixels = 1024;
+  const std::int64_t ocb =
+      vnni ? runtime::simd::vnni_ocb() : runtime::simd::gemm_u8s8_ocb();
+  Rng rng(17);
+  std::vector<std::uint8_t> input(static_cast<std::size_t>(1 << 20));
+  std::vector<std::int8_t> panel(static_cast<std::size_t>(co_pad * kp));
+  std::vector<std::uint8_t> tile(static_cast<std::size_t>(128 * kp + 64));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(2 * co_pad));
+  for (auto& v : input) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& v : panel) {
+    v = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(rng.uniform_int(31)) - 15);
+  }
+  for (auto _ : state) {
+    std::int64_t off = 0;
+    for (std::int64_t p0 = 0; p0 < pixels; p0 += rows) {
+      const std::int64_t pr = std::min(rows, pixels - p0);
+      const std::int64_t bytes = pr * kp;
+      if (off + bytes > static_cast<std::int64_t>(input.size())) off = 0;
+      std::memcpy(tile.data(), input.data() + off, bytes);
+      off += bytes;
+      for (std::int64_t m = 0; m + 2 <= pr; m += 2) {
+        const std::uint8_t* a0 = tile.data() + m * kp;
+        const std::uint8_t* a1 = a0 + kp;
+        for (std::int64_t cb = 0; cb < co_pad; cb += ocb) {
+          if (vnni) {
+            runtime::simd::vnni_gemm_x2(a0, a1, panel.data() + cb * kp, kp,
+                                        acc.data() + cb,
+                                        acc.data() + co_pad + cb,
+                                        /*accumulate=*/0);
+          } else {
+            runtime::simd::gemm_u8s8_x2(a0, a1, panel.data() + cb * kp, kp,
+                                        acc.data() + cb,
+                                        acc.data() + co_pad + cb);
+          }
+        }
+      }
+      benchmark::DoNotOptimize(acc.data());
+    }
+  }
+  state.SetLabel(std::string(vnni ? "vnni" : "s8-panel") + " rows=" +
+                 std::to_string(rows));
+  state.counters["MACs/s"] = benchmark::Counter(
+      static_cast<double>(pixels * co_pad * kp),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+// Arg 16: the pre-autotuner fixed tile. Arg 0: autotuned on this host.
+BENCHMARK(BM_Im2colTileRows)->Arg(16)->Arg(0);
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include "runtime/parallel.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/simd.hpp"
+#include "runtime/simd_vnni.hpp"
 #include "support/random_qlayer.hpp"
 #include "tensor/rng.hpp"
 
@@ -275,14 +276,24 @@ int main(int argc, char** argv) {
     std::cerr << "bench_runtime: cannot write " << out_path << "\n";
     return 1;
   }
+  const std::string git = git_describe();
+  const bool git_dirty =
+      git.size() >= 6 && git.compare(git.size() - 6, 6, "-dirty") == 0;
   os << "{\n"
      << "  \"workload\": \"mobilenet-class 48x48x3, mixed 2/4/8-bit, "
         "PC+ICN\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
      << "  \"iters\": " << iters << ",\n"
-     << "  \"git\": \"" << git_describe() << "\",\n"
+     << "  \"git\": \"" << git << "\",\n"
+     // Provenance: numbers from a dirty tree are not attributable to the
+     // recorded revision; the regression checker warns when a committed
+     // baseline carries this flag.
+     << "  \"git_dirty\": " << (git_dirty ? "true" : "false") << ",\n"
      << "  \"simd\": {\"compiled\": \"" << simd::compiled_isa()
-     << "\", \"active\": \"" << simd::active_isa() << "\"},\n"
+     << "\", \"active\": \"" << simd::active_isa()
+     << "\", \"vnni_host\": " << (simd::vnni_enabled() ? "true" : "false")
+     << ", \"vnni_kernels\": "
+     << (simd::vnni_compiled() ? "true" : "false") << "},\n"
      << "  \"threads_available\": " << ThreadPool::hardware_lanes() << ",\n"
      << "  \"total_macs\": " << prof.total_macs << ",\n"
      << "  \"end_to_end\": {\n"
@@ -304,8 +315,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < prof.layers.size(); ++i) {
     const auto& l = prof.layers[i];
     os << "    {\"i\": " << i << ", \"kind\": \"" << kind_name(l.kind)
-       << "\", \"domain\": \"" << domain_name(l.domain)
-       << "\", \"macs\": " << l.macs << ", \"planned_ns\": " << l.ns
+       << "\", \"domain\": \"" << domain_name(l.domain) << "\", \"tier\": \""
+       << tier_name(l.tier) << "\", \"tile\": {\"rows\": " << l.tile.rows
+       << ", \"kb\": " << l.tile.kb << ", \"nb\": " << l.tile.nb << "}"
+       << ", \"macs\": " << l.macs << ", \"planned_ns\": " << l.ns
        << ", \"macs_per_ns\": " << l.macs_per_ns() << "}"
        << (i + 1 < prof.layers.size() ? "," : "") << "\n";
   }

@@ -14,6 +14,7 @@
 #include "runtime/flash_image.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/profiler.hpp"
+#include "runtime/simd_vnni.hpp"
 #include "serve/json.hpp"
 
 namespace mixq::cli {
@@ -84,12 +85,20 @@ int cmd_inspect(Args& args) {
       out += ",\"static_bytes\":" + std::to_string(lp.static_bytes);
       out += ",\"domain\":\"";
       out += runtime::domain_name(plan.layers()[i].domain);
-      out += "\"}";
+      out += "\"";
+      const runtime::PlannedLayer& pl = plan.layers()[i];
+      out += ",\"tier\":\"" + std::string(runtime::tier_name(pl.tier)) + "\"";
+      out += ",\"tile\":{\"rows\":" + std::to_string(pl.tile.rows) +
+             ",\"kb\":" + std::to_string(pl.tile.kb) +
+             ",\"nb\":" + std::to_string(pl.tile.nb) + "}";
+      out += "}";
     }
     out += "],\"total_macs\":" + std::to_string(prof.total_macs);
     out += ",\"ro_bytes\":" + std::to_string(prof.total_ro_bytes);
     out += ",\"rw_peak_bytes\":" + std::to_string(prof.peak_rw_bytes);
     out += ",\"host\":{\"i8_layers\":" + std::to_string(plan.i8_layer_count());
+    out += ",\"vnni_host\":";
+    out += runtime::simd::vnni_enabled() ? "true" : "false";
     out += ",\"arena_bytes\":" + std::to_string(plan.arena_bytes());
     out += ",\"arena_bytes_i32\":" + std::to_string(plan_i32.arena_bytes());
     out += "}";
@@ -118,20 +127,35 @@ int cmd_inspect(Args& args) {
               (long long)in.h, (long long)in.w, (long long)in.c,
               core::bits(net.input_qp.q), net.input_qp.scale,
               net.input_qp.zero);
-  std::printf("\n%3s %-5s %-7s %-4s %-14s %-14s %-8s %12s %10s\n", "i",
-              "kind", "scheme", "dom", "in", "out", "Qx/Qw/Qy", "MACs",
-              "RO bytes");
+  std::printf("\n%3s %-5s %-7s %-4s %-8s %-11s %-14s %-14s %-8s %12s %10s\n",
+              "i", "kind", "scheme", "dom", "tier", "tile", "in", "out",
+              "Qx/Qw/Qy", "MACs", "RO bytes");
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const runtime::QLayer& l = net.layers[i];
     const runtime::LayerProfile& lp = prof.layers[i];
+    const runtime::PlannedLayer& pl = plan.layers()[i];
     char qbuf[16];
     std::snprintf(qbuf, sizeof(qbuf), "%d/%d/%d", core::bits(l.qx),
                   core::bits(l.qw), core::bits(l.qy));
-    std::printf("%3zu %-5s %-7s %-4s %-14s %-14s %-8s %12lld %10lld\n", i,
-                runtime::kind_name(l.kind), scheme_slug(l.scheme),
-                runtime::domain_name(plan.layers()[i].domain),
-                l.in_shape.str().c_str(), l.out_shape.str().c_str(), qbuf,
-                (long long)lp.macs, (long long)lp.ro_bytes());
+    char tbuf[32] = "-";
+    if (pl.tile.rows > 0 || pl.tile.kb > 0 || pl.tile.nb > 0) {
+      int n = std::snprintf(tbuf, sizeof(tbuf), "r%lld",
+                            (long long)pl.tile.rows);
+      if (pl.tile.kb > 0) {
+        n += std::snprintf(tbuf + n, sizeof(tbuf) - n, "/k%lld",
+                           (long long)pl.tile.kb);
+      }
+      if (pl.tile.nb > 0) {
+        std::snprintf(tbuf + n, sizeof(tbuf) - n, "/n%lld",
+                      (long long)pl.tile.nb);
+      }
+    }
+    std::printf("%3zu %-5s %-7s %-4s %-8s %-11s %-14s %-14s %-8s %12lld "
+                "%10lld\n",
+                i, runtime::kind_name(l.kind), scheme_slug(l.scheme),
+                runtime::domain_name(pl.domain), runtime::tier_name(pl.tier),
+                tbuf, l.in_shape.str().c_str(), l.out_shape.str().c_str(),
+                qbuf, (long long)lp.macs, (long long)lp.ro_bytes());
   }
   std::printf("\ntotal: %lld MACs, RO %lld bytes, RW peak %lld bytes\n",
               (long long)prof.total_macs, (long long)prof.total_ro_bytes,

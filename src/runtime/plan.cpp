@@ -10,6 +10,7 @@
 #include "core/quantizer.hpp"
 #include "core/thresholds.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/simd_vnni.hpp"
 
 namespace mixq::runtime {
 
@@ -58,27 +59,43 @@ void interior_bounds(std::int64_t in, std::int64_t k, std::int64_t stride,
   lo = std::min(lo, hi);
 }
 
-/// Requantize one row of `co` raw int32 accumulators (sum X*(W-Zw)) into
-/// output codes of either storage width: the vectorized table when
-/// provably exact, the scalar reference otherwise. Bit-exact either way;
-/// the u8 store never truncates (codes are in [0, qmax(qy)] <= 255).
+/// Requantize the channel chunk [c0, c0 + len) of one output row of raw
+/// int32 accumulators (sum X*(W-Zw)): the vectorized table when provably
+/// exact (the VNNI requantizer on VNNI-tier layers, whose vpsravq needs no
+/// bias trick), the scalar reference otherwise. `acc`/`o` point AT the
+/// chunk; c0 offsets the per-channel tables. Bit-exact on every path; the
+/// u8 store never truncates (codes are in [0, qmax(qy)] <= 255).
 template <typename OutT>
-inline void requant_row(const PlannedLayer& pl, const std::int32_t* acc,
-                        OutT* o, std::int64_t co) {
+inline void requant_chunk(const PlannedLayer& pl, const std::int32_t* acc,
+                          OutT* o, std::int64_t c0, std::int64_t len) {
   if (pl.rq.usable) {
     if constexpr (std::is_same_v<OutT, std::uint8_t>) {
-      simd::requant_icn_u8(pl.rq, acc, pl.rq.add.data(), o, co);
+      if (pl.tier == KernelTier::kVnni) {
+        simd::vnni_requant_u8(acc, pl.rq.add.data() + c0,
+                              pl.rq.m0.data() + c0, pl.rq.shift.data() + c0,
+                              pl.rq.zy, pl.rq.hi, o, len);
+        return;
+      }
+      simd::requant_icn_u8(pl.rq, acc, pl.rq.add.data() + c0, o, len, c0);
     } else {
-      simd::requant_icn_i32(pl.rq, acc, pl.rq.add.data(), o, co);
+      simd::requant_icn_i32(pl.rq, acc, pl.rq.add.data() + c0, o, len, c0);
     }
     return;
   }
   const QLayer& l = *pl.layer;
   const std::int64_t zx = l.zx;
-  for (std::int64_t oc = 0; oc < co; ++oc) {
-    o[oc] = static_cast<OutT>(requantize(
-        l, static_cast<std::int64_t>(acc[oc]) - zx * pl.wsum[oc], oc));
+  for (std::int64_t j = 0; j < len; ++j) {
+    const std::int64_t oc = c0 + j;
+    o[j] = static_cast<OutT>(requantize(
+        l, static_cast<std::int64_t>(acc[j]) - zx * pl.wsum[oc], oc));
   }
+}
+
+/// Whole-row requantize (the unblocked common case).
+template <typename OutT>
+inline void requant_row(const PlannedLayer& pl, const std::int32_t* acc,
+                        OutT* o, std::int64_t co) {
+  requant_chunk(pl, acc, o, 0, co);
 }
 
 /// Border-config requantize (depthwise): vector table with the window's
@@ -88,6 +105,11 @@ inline void requant_border(const PlannedLayer& pl, const std::int32_t* acc,
                            const std::int32_t* addv, OutT* o,
                            std::int64_t co) {
   if constexpr (std::is_same_v<OutT, std::uint8_t>) {
+    if (pl.tier == KernelTier::kVnni) {
+      simd::vnni_requant_u8(acc, addv, pl.rq.m0.data(), pl.rq.shift.data(),
+                            pl.rq.zy, pl.rq.hi, o, co);
+      return;
+    }
     simd::requant_icn_u8(pl.rq, acc, addv, o, co);
   } else {
     simd::requant_icn_i32(pl.rq, acc, addv, o, co);
@@ -518,11 +540,42 @@ void im2col8_rows(const PlannedLayer& pl, const std::uint8_t* x,
   const std::int64_t kp = pl.kp;
   const std::uint8_t zx = static_cast<std::uint8_t>(l.zx);
 
+  // Row width of one kernel tap row in the tile. Small-C stems (e.g. a
+  // 3-channel 3x3 first layer) copy only a handful of bytes per tap row;
+  // copy_row shortcuts those with two overlapping word copies (exact
+  // coverage for 5..16 bytes, no over-read/over-write) instead of paying
+  // the libc memcpy dispatch per call.
+  const auto copy_row = [](std::uint8_t* dst, const std::uint8_t* src,
+                           std::int64_t len) {
+    if (len >= 8 && len <= 16) {
+      std::uint64_t a, b;
+      std::memcpy(&a, src, 8);
+      std::memcpy(&b, src + len - 8, 8);
+      std::memcpy(dst, &a, 8);
+      std::memcpy(dst + len - 8, &b, 8);
+    } else if (len >= 4 && len < 8) {
+      std::uint32_t a, b;
+      std::memcpy(&a, src, 4);
+      std::memcpy(&b, src + len - 4, 4);
+      std::memcpy(dst, &a, 4);
+      std::memcpy(dst + len - 4, &b, 4);
+    } else {
+      std::memcpy(dst, src, static_cast<std::size_t>(len));
+    }
+  };
+
+  // Output coordinates advance incrementally: a div/mod per pixel is a real
+  // 64-bit division (runtime divisor) and dominated the gather for small-K
+  // stems.
+  std::int64_t oh = m0 / ow_n;
+  std::int64_t ow = m0 % ow_n;
   for (std::int64_t m = m0; m < m1; ++m) {
-    const std::int64_t oh = m / ow_n;
-    const std::int64_t ow = m % ow_n;
     const std::int64_t ih0 = oh * stride - pad;
     const std::int64_t iw0 = ow * stride - pad;
+    if (++ow == ow_n) {
+      ow = 0;
+      ++oh;
+    }
     std::uint8_t* d = col + (m - m0) * kp;
     for (std::int64_t ky = 0; ky < kh; ++ky) {
       const std::int64_t iy = ih0 + ky;
@@ -536,8 +589,8 @@ void im2col8_rows(const PlannedLayer& pl, const std::uint8_t* x,
       const std::int64_t kx1 = std::min(kw, is.w - iw0);
       if (kx0 > 0) std::memset(d, zx, static_cast<std::size_t>(kx0 * C));
       if (kx1 > kx0) {
-        std::memcpy(d + kx0 * C, x + iy * row + (iw0 + kx0) * C,
-                    static_cast<std::size_t>((kx1 - kx0) * C));
+        copy_row(d + kx0 * C, x + iy * row + (iw0 + kx0) * C,
+                 (kx1 - kx0) * C);
       }
       if (kx1 < kw) {
         std::memset(d + (kx1 > kx0 ? kx1 : kx0) * C, zx,
@@ -549,8 +602,13 @@ void im2col8_rows(const PlannedLayer& pl, const std::uint8_t* x,
   }
 }
 
-/// Narrow GEMM over rows [m0, m1): the s8 panel micro-kernel when the
-/// i16-pair bound is proven, the u8 x s16 widening kernels otherwise.
+/// Narrow GEMM over rows [m0, m1), dispatched on the layer's plan-time
+/// kernel tier: the VNNI panel (vpdpbusd, no pair bound), the AVX2-era s8
+/// panel (i16-pair bound proven), or the u8 x s16 widening kernels. All
+/// tiers honour the autotuned K/N cache blocking (pl.tile.kb / pl.tile.nb;
+/// 0 = unblocked): K-blocks accumulate exact i32 partial sums, N-blocks
+/// requantize each channel chunk as soon as its accumulators complete, so
+/// blocking is bit-exact with the single-pass GEMM.
 /// `A` rows are `lda` bytes apart and must be readable for kp bytes each
 /// (arena slack / col8 padding guarantee it; padded weights are zero, so
 /// the extra products vanish exactly).
@@ -560,60 +618,116 @@ void gemm8_rows(const PlannedLayer& pl, const std::uint8_t* A,
                 OutT* out, std::int32_t* row_acc) {
   const std::int64_t co = pl.layer->wshape.co;
   const std::int64_t kp = pl.kp;
-  if (pl.i8_panel) {
-    const std::int64_t ocb = simd::gemm_u8s8_ocb();
-    const std::int64_t co_pad = pl.co_pad;
+  const std::int64_t co_pad = pl.co_pad;
+  const std::int64_t kb = pl.tile.kb > 0 ? pl.tile.kb : kp;
+  const std::int64_t nb = pl.tile.nb > 0 ? pl.tile.nb : co_pad;
+
+  if (pl.tier == KernelTier::kVnni || pl.tier == KernelTier::kS8Panel) {
+    const bool vnni = pl.tier == KernelTier::kVnni;
+    const std::int64_t ocb = vnni ? simd::vnni_ocb() : simd::gemm_u8s8_ocb();
     const std::int8_t* panel = pl.w8.data();
     std::int64_t m = m0;
     for (; m + 2 <= m1; m += 2) {
       const std::uint8_t* a0 = A + m * lda;
       const std::uint8_t* a1 = a0 + lda;
-      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
-        simd::gemm_u8s8_x2(a0, a1, panel + ob * ocb * kp, kp,
-                           row_acc + ob * ocb, row_acc + co_pad + ob * ocb);
+      for (std::int64_t c0 = 0; c0 < co_pad; c0 += nb) {
+        const std::int64_t c1 = std::min(co_pad, c0 + nb);
+        for (std::int64_t k0 = 0; k0 < kp; k0 += kb) {
+          const std::int64_t klen = std::min(kp, k0 + kb) - k0;
+          const bool accum = k0 > 0;
+          for (std::int64_t cb = c0; cb < c1; cb += ocb) {
+            const std::int8_t* blk = panel + cb * kp + (k0 / 4) * ocb * 4;
+            if (vnni) {
+              simd::vnni_gemm_x2(a0 + k0, a1 + k0, blk, klen, row_acc + cb,
+                                 row_acc + co_pad + cb, accum ? 1 : 0);
+            } else {
+              simd::gemm_u8s8_x2(a0 + k0, a1 + k0, blk, klen, row_acc + cb,
+                                 row_acc + co_pad + cb, accum);
+            }
+          }
+        }
+        const std::int64_t len = std::min(c1, co) - c0;
+        if (len > 0) {
+          requant_chunk(pl, row_acc + c0, out + m * co + c0, c0, len);
+          requant_chunk(pl, row_acc + co_pad + c0, out + (m + 1) * co + c0,
+                        c0, len);
+        }
       }
-      requant_row(pl, row_acc, out + m * co, co);
-      requant_row(pl, row_acc + co_pad, out + (m + 1) * co, co);
     }
     for (; m < m1; ++m) {
       const std::uint8_t* a = A + m * lda;
-      for (std::int64_t ob = 0; ob * ocb < co_pad; ++ob) {
-        simd::gemm_u8s8_x1(a, panel + ob * ocb * kp, kp, row_acc + ob * ocb);
+      for (std::int64_t c0 = 0; c0 < co_pad; c0 += nb) {
+        const std::int64_t c1 = std::min(co_pad, c0 + nb);
+        for (std::int64_t k0 = 0; k0 < kp; k0 += kb) {
+          const std::int64_t klen = std::min(kp, k0 + kb) - k0;
+          const bool accum = k0 > 0;
+          for (std::int64_t cb = c0; cb < c1; cb += ocb) {
+            const std::int8_t* blk = panel + cb * kp + (k0 / 4) * ocb * 4;
+            if (vnni) {
+              simd::vnni_gemm_x1(a + k0, blk, klen, row_acc + cb,
+                                 accum ? 1 : 0);
+            } else {
+              simd::gemm_u8s8_x1(a + k0, blk, klen, row_acc + cb, accum);
+            }
+          }
+        }
+        const std::int64_t len = std::min(c1, co) - c0;
+        if (len > 0) {
+          requant_chunk(pl, row_acc + c0, out + m * co + c0, c0, len);
+        }
       }
-      requant_row(pl, row_acc, out + m * co, co);
     }
     return;
   }
+
   const std::int16_t* W = pl.w16.data();
   std::int64_t m = m0;
   for (; m + 2 <= m1; m += 2) {
     const std::uint8_t* a0 = A + m * lda;
     const std::uint8_t* a1 = a0 + lda;
-    std::fill(row_acc, row_acc + 2 * co, 0);
-    std::int64_t oc = 0;
-    for (; oc + 4 <= co; oc += 4) {
-      const std::int16_t* wr = W + oc * kp;
-      simd::dot2x4_u8s16(a0, a1, wr, wr + kp, wr + 2 * kp, wr + 3 * kp, kp,
-                         row_acc + oc, row_acc + co + oc);
+    for (std::int64_t c0 = 0; c0 < co; c0 += nb) {
+      const std::int64_t c1 = std::min(co, c0 + nb);
+      std::fill(row_acc + c0, row_acc + c1, 0);
+      std::fill(row_acc + co_pad + c0, row_acc + co_pad + c1, 0);
+      for (std::int64_t k0 = 0; k0 < kp; k0 += kb) {
+        const std::int64_t klen = std::min(kp, k0 + kb) - k0;
+        std::int64_t oc = c0;
+        for (; oc + 4 <= c1; oc += 4) {
+          const std::int16_t* wr = W + oc * kp + k0;
+          simd::dot2x4_u8s16(a0 + k0, a1 + k0, wr, wr + kp, wr + 2 * kp,
+                             wr + 3 * kp, klen, row_acc + oc,
+                             row_acc + co_pad + oc);
+        }
+        for (; oc < c1; ++oc) {
+          const std::int16_t* wr = W + oc * kp + k0;
+          row_acc[oc] += simd::dot_u8s16(a0 + k0, wr, klen);
+          row_acc[co_pad + oc] += simd::dot_u8s16(a1 + k0, wr, klen);
+        }
+      }
+      requant_chunk(pl, row_acc + c0, out + m * co + c0, c0, c1 - c0);
+      requant_chunk(pl, row_acc + co_pad + c0, out + (m + 1) * co + c0, c0,
+                    c1 - c0);
     }
-    for (; oc < co; ++oc) {
-      row_acc[oc] = simd::dot_u8s16(a0, W + oc * kp, kp);
-      row_acc[co + oc] = simd::dot_u8s16(a1, W + oc * kp, kp);
-    }
-    requant_row(pl, row_acc, out + m * co, co);
-    requant_row(pl, row_acc + co, out + (m + 1) * co, co);
   }
   for (; m < m1; ++m) {
     const std::uint8_t* a = A + m * lda;
-    std::fill(row_acc, row_acc + co, 0);
-    std::int64_t oc = 0;
-    for (; oc + 4 <= co; oc += 4) {
-      const std::int16_t* wr = W + oc * kp;
-      simd::dot1x4_u8s16(a, wr, wr + kp, wr + 2 * kp, wr + 3 * kp, kp,
-                         row_acc + oc);
+    for (std::int64_t c0 = 0; c0 < co; c0 += nb) {
+      const std::int64_t c1 = std::min(co, c0 + nb);
+      std::fill(row_acc + c0, row_acc + c1, 0);
+      for (std::int64_t k0 = 0; k0 < kp; k0 += kb) {
+        const std::int64_t klen = std::min(kp, k0 + kb) - k0;
+        std::int64_t oc = c0;
+        for (; oc + 4 <= c1; oc += 4) {
+          const std::int16_t* wr = W + oc * kp + k0;
+          simd::dot1x4_u8s16(a + k0, wr, wr + kp, wr + 2 * kp, wr + 3 * kp,
+                             klen, row_acc + oc);
+        }
+        for (; oc < c1; ++oc) {
+          row_acc[oc] += simd::dot_u8s16(a + k0, W + oc * kp + k0, klen);
+        }
+      }
+      requant_chunk(pl, row_acc + c0, out + m * co + c0, c0, c1 - c0);
     }
-    for (; oc < co; ++oc) row_acc[oc] = simd::dot_u8s16(a, W + oc * kp, kp);
-    requant_row(pl, row_acc, out + m * co, co);
   }
 }
 
@@ -645,9 +759,15 @@ void depthwise8_rows(const PlannedLayer& pl, const std::uint8_t* x, OutT* y,
     for (std::int64_t ow = 0; ow < os.w; ++ow) {
       OutT* o = orow + ow * C;
       const std::int64_t iw0 = ow * stride - pad;
+      const bool vnni = pl.tier == KernelTier::kVnni;
       if (row_interior && ow >= pl.ow0 && ow < pl.ow1) {
-        simd::dw_dot_u8s16p(x + ih0 * row + iw0 * C, toff,
-                            pl.wt16p.data(), per, C, acc);
+        if (vnni) {
+          simd::vnni_dw_dot_u8s16p(x + ih0 * row + iw0 * C, toff,
+                                   pl.wt16p.data(), per, C, acc);
+        } else {
+          simd::dw_dot_u8s16p(x + ih0 * row + iw0 * C, toff,
+                              pl.wt16p.data(), per, C, acc);
+        }
         requant_row(pl, acc, o, C);
       } else {
         const std::int64_t ky0 = ih0 < 0 ? -ih0 : 0;
@@ -663,8 +783,13 @@ void depthwise8_rows(const PlannedLayer& pl, const std::uint8_t* x, OutT* y,
         std::fill(acc, acc + C, 0);
         for (std::int64_t ky = ky0; ky < ky1; ++ky) {
           for (std::int64_t kx = kx0; kx < kx1; ++kx) {
-            simd::mac_u8s16(acc, x + (ih0 + ky) * row + (iw0 + kx) * C,
-                            pl.wt16.data() + (ky * kw + kx) * C, C);
+            if (vnni) {
+              simd::vnni_mac_u8s16(acc, x + (ih0 + ky) * row + (iw0 + kx) * C,
+                                   pl.wt16.data() + (ky * kw + kx) * C, C);
+            } else {
+              simd::mac_u8s16(acc, x + (ih0 + ky) * row + (iw0 + kx) * C,
+                              pl.wt16.data() + (ky * kw + kx) * C, C);
+            }
           }
         }
         requant_border(pl, acc, addv, o, C);
@@ -725,6 +850,13 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
     : net_(&net), opts_(opts) {
   net.validate();
   layers_.reserve(net.layers.size());
+
+  // VNNI tier policy and the cache geometry feeding the tile auto-tuner,
+  // resolved once per plan (both are host-stable).
+  const bool vnni_want =
+      opts.vnni == PlanOptions::Vnni::kForce ||
+      (opts.vnni == PlanOptions::Vnni::kAuto && simd::vnni_enabled());
+  const CacheInfo caches = detect_caches();
 
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const QLayer& l = net.layers[i];
@@ -905,7 +1037,8 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
       if (l.kind == QLayerKind::kDepthwise) {
         // Offset weights always fit i16 (|w - Zw| <= 255): build the
         // tap-major s16 bank (border taps) and its pair-interleaved form
-        // (interior vpmaddwd kernel).
+        // (the interior vpmaddwd kernel; the VNNI tier's vpdpwssd kernel
+        // consumes the same bank).
         const std::int64_t taps = l.spec.kh * l.spec.kw;
         const std::int64_t C = l.in_shape.c;
         pl.wt16.resize(static_cast<std::size_t>(taps * C));
@@ -915,8 +1048,11 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
         pl.wt16p.assign(
             static_cast<std::size_t>(simd::dw_pairs(taps) * 2 * C), 0);
         simd::dw_pack_u8s16(pl.wt16.data(), taps, C, pl.wt16p.data());
+        pl.tier = vnni_want ? KernelTier::kVnni : KernelTier::kU8S16;
       } else {
         // Conv (any kernel size, via u8 im2col) and linear run as GEMM.
+        // VNNI tier: weights fit int8 -- vpdpbusd accumulates u8 x s8
+        // straight into i32, so no i16 pair-sum bound applies.
         // s8 panel tier: weights fit int8 AND the widening MAC's i16 pair
         // sums are proven exact: max (|w[2k]| + |w[2k+1]|) * amax <= 32767
         // over every adjacent pair of the panel's 4-byte K groups.
@@ -934,9 +1070,22 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
             wmax = std::max<std::int64_t>(wmax, wr[k]);
           }
         }
-        pl.i8_panel =
-            wmin >= -128 && wmax <= 127 && pair_max * amax <= 32767;
-        if (pl.i8_panel) {
+        const bool fits_s8 = wmin >= -128 && wmax <= 127;
+        if (fits_s8 && vnni_want) {
+          pl.tier = KernelTier::kVnni;
+        } else if (fits_s8 && pair_max * amax <= 32767) {
+          pl.tier = KernelTier::kS8Panel;
+        } else {
+          pl.tier = KernelTier::kU8S16;
+        }
+        pl.i8_panel = pl.tier == KernelTier::kS8Panel;
+        if (pl.tier == KernelTier::kVnni) {
+          pl.kp = simd::vnni_kp(per);
+          pl.co_pad = simd::round_up(co, simd::vnni_ocb());
+          pl.w8.resize(
+              static_cast<std::size_t>(simd::vnni_panel_elems(co, per)));
+          simd::vnni_pack(pl.w.data(), co, per, pl.w8.data());
+        } else if (pl.tier == KernelTier::kS8Panel) {
           pl.kp = simd::gemm_u8s8_kp(per);
           pl.co_pad = simd::round_up(co, simd::gemm_u8s8_ocb());
           pl.w8.resize(
@@ -955,6 +1104,35 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
             }
           }
         }
+        // Tile auto-tuning for the GEMM tiers: the analytic cache model,
+        // optionally refined by the timing micro-probe, or the caller's
+        // fixed tile. kb/nb are normalized to the tier's quanta so every
+        // kernel pass stays remainder-free.
+        GemmShape gs;
+        gs.out_pixels = l.kind == QLayerKind::kConv
+                            ? l.out_shape.h * l.out_shape.w
+                            : 1;
+        gs.co_pad = pl.co_pad;
+        gs.kp = pl.kp;
+        gs.ocb = pl.tier == KernelTier::kVnni ? simd::vnni_ocb()
+                 : pl.tier == KernelTier::kS8Panel ? simd::gemm_u8s8_ocb()
+                                                   : 4;
+        gs.wbytes = pl.tier == KernelTier::kU8S16 ? 2 : 1;
+        gs.kq = pl.tier == KernelTier::kU8S16 ? 16 : 4;
+        switch (opts.autotune) {
+          case PlanOptions::Autotune::kFixed:
+            pl.tile = opts.fixed_tile;
+            if (pl.tile.rows <= 0) pl.tile.rows = kIm2colTileRows;
+            break;
+          case PlanOptions::Autotune::kProbe:
+            pl.tile = autotune_probe(gs, autotune_analytic(gs, caches));
+            break;
+          case PlanOptions::Autotune::kAnalytic:
+            pl.tile = autotune_analytic(gs, caches);
+            break;
+        }
+        if (pl.tile.kb > 0) pl.tile.kb = simd::round_up(pl.tile.kb, gs.kq);
+        if (pl.tile.nb > 0) pl.tile.nb = simd::round_up(pl.tile.nb, gs.ocb);
       }
     }
 
@@ -1001,8 +1179,10 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
       const bool direct = l.spec.kh == 1 && l.spec.kw == 1 &&
                           l.spec.pad == 0 && l.spec.stride == 1;
       if (pl.domain == ExecDomain::kI8 && !direct) {
+        const std::int64_t trows =
+            pl.tile.rows > 0 ? pl.tile.rows : kIm2colTileRows;
         const std::int64_t rows =
-            std::min(l.out_shape.h * l.out_shape.w, kIm2colTileRows);
+            std::min(l.out_shape.h * l.out_shape.w, trows);
         col8_elems_ = std::max(col8_elems_, rows * pl.kp);
       } else if (pl.domain == ExecDomain::kI32 && pl.gemm &&
                  l.spec.stride > 1) {
@@ -1048,9 +1228,16 @@ void ExecutionPlan::quantize_input_into(const float* sample, T* dst,
                                         std::int64_t i0,
                                         std::int64_t i1) const {
   const core::QuantParams& qp = net_->input_qp;
-  for (std::int64_t i = i0; i < i1; ++i) {
-    dst[i] = static_cast<T>(
-        core::quantize_value(sample[i], qp, core::RoundMode::kNearest));
+  // Vectorized, bit-exact with core::quantize_value(kNearest) -- see the
+  // exactness argument in simd.hpp. The scalar path was a measurable slice
+  // of end-to-end latency (a libm lround call plus a float divide per
+  // element).
+  if constexpr (std::is_same_v<T, std::uint8_t>) {
+    simd::quantize_f32_u8(sample + i0, i1 - i0, qp.scale, qp.zero,
+                          core::qmax(qp.q), dst + i0);
+  } else {
+    simd::quantize_f32_i32(sample + i0, i1 - i0, qp.scale, qp.zero,
+                           core::qmax(qp.q), dst + i0);
   }
 }
 
@@ -1092,11 +1279,13 @@ void ExecutionPlan::run_layer_rows(const PlannedLayer& pl, PlanArenas& arenas,
           }
           return;
         }
-        // Cache-blocked: gather kIm2colTileRows output pixels into this
-        // lane's L1-resident u8 tile, run the panel GEMM on it, advance.
+        // Cache-blocked: gather the autotuned number of output pixels into
+        // this lane's L1-resident u8 tile, run the panel GEMM, advance.
+        const std::int64_t trows =
+            pl.tile.rows > 0 ? pl.tile.rows : kIm2colTileRows;
         std::uint8_t* tile = arenas.lane_col8(lane);
-        for (std::int64_t t0 = r0; t0 < r1; t0 += kIm2colTileRows) {
-          const std::int64_t t1 = std::min(r1, t0 + kIm2colTileRows);
+        for (std::int64_t t0 = r0; t0 < r1; t0 += trows) {
+          const std::int64_t t1 = std::min(r1, t0 + trows);
           im2col8_rows(pl, x, tile, t0, t1);
           if (pl.out_u8) {
             gemm8_rows(pl, tile, pl.kp, 0, t1 - t0,

@@ -62,6 +62,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/autotune.hpp"
 #include "runtime/qgraph.hpp"
 #include "runtime/simd.hpp"
 
@@ -80,11 +81,58 @@ inline const char* domain_name(ExecDomain d) {
   return d == ExecDomain::kI8 ? "i8" : "i32";
 }
 
+/// MAC kernel tier of one narrow-domain layer, fixed at plan compile time:
+///   s8-panel -- AVX2-era u8 x s8 panel (vpmaddubsw -> vpmaddwd), requires
+///               weights in int8 AND the i16 pair-sum bound;
+///   u8s16    -- u8 x s16 widening kernels, always exact;
+///   vnni     -- AVX-512 VNNI (vpdpbusd panel / vpdpwssd depthwise):
+///               accumulates straight into i32, so only the int8 weight
+///               fit is required -- the pair-sum bound vanishes.
+/// Wide-domain layers and layers without a requantizing MAC kernel of
+/// their own (pool, raw-logits head) carry kNone.
+enum class KernelTier : std::uint8_t { kNone, kS8Panel, kU8S16, kVnni };
+
+inline const char* tier_name(KernelTier t) {
+  switch (t) {
+    case KernelTier::kS8Panel:
+      return "s8-panel";
+    case KernelTier::kU8S16:
+      return "u8s16";
+    case KernelTier::kVnni:
+      return "vnni";
+    case KernelTier::kNone:
+      break;
+  }
+  return "-";
+}
+
 /// Plan compilation options.
 struct PlanOptions {
   /// Allow the narrow INT8 domain where provable. false forces every layer
   /// onto the INT32 path (used by tests and footprint comparisons).
   bool allow_i8{true};
+
+  /// AVX-512 VNNI tier policy. kAuto selects the tier exactly when the
+  /// binary carries the VNNI kernels and the host CPU reports the ISA
+  /// (simd::vnni_enabled()); kOff never selects it (tests pin the AVX2
+  /// tiers this way); kForce selects it unconditionally. Plan CONSTRUCTION
+  /// under kForce is safe on any host (packing is portable code), but
+  /// RUNNING a forced plan executes the VNNI kernel bodies -- callers only
+  /// do so when vnni_enabled(), or when the build's VNNI TU is the
+  /// portable fallback (simd::vnni_compiled() == false).
+  enum class Vnni : std::uint8_t { kAuto, kOff, kForce };
+  Vnni vnni{Vnni::kAuto};
+
+  /// Kernel tile auto-tuning mode: the cache-aware analytic model
+  /// (default; deterministic for a given net + host), the analytic model
+  /// refined by a timing micro-probe, or a caller-fixed TileConfig.
+  enum class Autotune : std::uint8_t { kAnalytic, kProbe, kFixed };
+  Autotune autotune{Autotune::kAnalytic};
+
+  /// Tile applied to every GEMM layer when autotune == kFixed. rows <= 0
+  /// falls back to kIm2colTileRows; kb/nb <= 0 leave that axis unblocked
+  /// (the pre-autotuner behaviour is fixed_tile = {} i.e. {16, 0, 0}).
+  TileConfig fixed_tile{};
 };
 
 /// Static per-layer execution recipe (see file comment).
@@ -115,7 +163,9 @@ struct PlannedLayer {
   ExecDomain domain{ExecDomain::kI32};
   bool in_u8{false};    ///< reads its input tensor as packed u8 codes
   bool out_u8{false};   ///< writes its output tensor as packed u8 codes
-  bool i8_panel{false}; ///< s8 panel tier proven (else u8 x s16 rows)
+  KernelTier tier{KernelTier::kNone};  ///< selected MAC kernel tier
+  TileConfig tile{};    ///< autotuned im2col/K/N blocking (GEMM layers)
+  bool i8_panel{false}; ///< tier == kS8Panel (kept for compat/asserts)
   std::int64_t kp{0};   ///< padded GEMM depth (panel: 4-aligned; s16: 16)
   std::int64_t co_pad{0};             ///< co rounded to the panel block
   std::vector<std::int8_t> w8;        ///< s8 GEMM panel (i8_panel)
@@ -136,9 +186,12 @@ inline constexpr std::int64_t arena_u8_padded(std::int64_t n) {
   return n > 0 ? n + kArenaU8Slack : 0;
 }
 
-/// Narrow convs gather their u8 im2col in row tiles of this many output
-/// pixels: the tile (tile * kp bytes, per lane) stays L1-resident under
-/// the panel GEMM instead of materialising the whole im2col matrix.
+/// Fallback im2col tile rows: narrow convs gather their u8 im2col in row
+/// tiles so the tile (rows * kp bytes, per lane) stays L1-resident under
+/// the panel GEMM instead of materialising the whole im2col matrix. The
+/// per-layer tile is normally chosen by the auto-tuner (PlannedLayer.tile);
+/// this constant is the pre-autotuner default, used when a fixed TileConfig
+/// leaves rows unset.
 inline constexpr std::int64_t kIm2colTileRows = 16;
 
 /// One thread's working memory for running a plan: the INT32 and u8
@@ -231,7 +284,7 @@ class ExecutionPlan {
   [[nodiscard]] std::int64_t ping8_elems() const { return ping8_elems_; }
   [[nodiscard]] std::int64_t pong8_elems() const { return pong8_elems_; }
   /// im2col gather capacities: whole-matrix for wide strided pointwise
-  /// layers; per-lane kIm2colTileRows-row tile for narrow convs.
+  /// layers; per-lane autotuned-rows tile for narrow convs.
   [[nodiscard]] std::int64_t col_elems() const { return col_elems_; }
   [[nodiscard]] std::int64_t col8_elems() const { return col8_elems_; }
   /// Per-lane row-accumulator scratch capacity.

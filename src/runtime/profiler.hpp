@@ -53,6 +53,8 @@ NetProfile profile(const QuantizedNet& net);
 struct PlannedLayerStat {
   QLayerKind kind{QLayerKind::kConv};
   ExecDomain domain{ExecDomain::kI32};  ///< execution domain the plan chose
+  KernelTier tier{KernelTier::kNone};   ///< kernel tier the plan selected
+  TileConfig tile{};      ///< autotuned blocking (rows/kb/nb; 0 = n/a)
   std::int64_t macs{0};   ///< static MAC count (same as LayerProfile)
   double ns{0.0};         ///< mean wall-clock nanoseconds per inference
   [[nodiscard]] double macs_per_ns() const {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -463,10 +464,14 @@ inline std::int32_t requant_icn_one(std::int64_t v, std::int64_t m0,
 /// unsigned ops: |v*m0| < 2^62, so (v*m0 + 2^62) is non-negative and
 /// (v*m0 + 2^62) >>logical s  ==  (v*m0 >>arith s) + (2^62 >> s)
 /// because 2^62 is divisible by 2^s for every s <= 62.
+/// `c0` offsets the TABLE columns (m0/shift/bias_sub) only: N-blocked GEMMs
+/// requantize channel chunk [c0, c0+n) with acc/add/out already pointing at
+/// the chunk.
 inline void requant_icn_i32(const RequantTable& rq,
                             const std::int32_t* __restrict__ acc,
                             const std::int32_t* __restrict__ add,
-                            std::int32_t* __restrict__ out, std::int64_t n) {
+                            std::int32_t* __restrict__ out, std::int64_t n,
+                            std::int64_t c0 = 0) {
 #if defined(MIXQ_SIMD_AVX2)
   if (enabled()) {
     const __m256i bias = _mm256_set1_epi64x(std::int64_t{1} << 62);
@@ -483,11 +488,11 @@ inline void requant_icn_i32(const RequantTable& rq,
       // v = acc + add fits int32 by the usability conditions.
       const __m256i v = _mm256_cvtepi32_epi64(_mm_add_epi32(a32, ad32));
       const __m256i m0 = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.m0.data() + c));
+          reinterpret_cast<const __m256i*>(rq.m0.data() + c0 + c));
       const __m256i sh = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.shift.data() + c));
+          reinterpret_cast<const __m256i*>(rq.shift.data() + c0 + c));
       const __m256i bs = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.bias_sub.data() + c));
+          reinterpret_cast<const __m256i*>(rq.bias_sub.data() + c0 + c));
       const __m256i prod = _mm256_mul_epi32(v, m0);
       const __m256i t = _mm256_srlv_epi64(_mm256_add_epi64(prod, bias), sh);
       __m256i y = _mm256_add_epi64(_mm256_sub_epi64(t, bs), zyv);
@@ -500,8 +505,8 @@ inline void requant_icn_i32(const RequantTable& rq,
     for (; c < n; ++c) {
       out[c] = requant_icn_one(
           static_cast<std::int64_t>(acc[c]) + add[c],
-          rq.m0[static_cast<std::size_t>(c)],
-          rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi);
+          rq.m0[static_cast<std::size_t>(c0 + c)],
+          rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi);
     }
     return;
   }
@@ -509,8 +514,8 @@ inline void requant_icn_i32(const RequantTable& rq,
   for (std::int64_t c = 0; c < n; ++c) {
     out[c] = requant_icn_one(
         static_cast<std::int64_t>(acc[c]) + add[c],
-        rq.m0[static_cast<std::size_t>(c)],
-        rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi);
+        rq.m0[static_cast<std::size_t>(c0 + c)],
+        rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi);
   }
 }
 
@@ -594,15 +599,19 @@ inline void gemm_u8s8_pack(const std::int32_t* w, std::int64_t co,
 }
 
 /// One activation row against one panel block: acc[j] = sum_k a[k] *
-/// W[block_oc j][k] for the block's `ocb` channels (overwrites acc).
+/// W[block_oc j][k] for the block's `ocb` channels (overwrites acc;
+/// `accumulate` adds into it instead -- the K-blocked GEMM's partial sums).
 /// `a` must be readable for kp bytes (the plan's u8 arenas carry slack).
 inline void gemm_u8s8_x1(const std::uint8_t* __restrict__ a,
                          const std::int8_t* __restrict__ block,
-                         std::int64_t kp, std::int32_t* __restrict__ acc) {
+                         std::int64_t kp, std::int32_t* __restrict__ acc,
+                         bool accumulate = false) {
 #if defined(MIXQ_SIMD_AVX2)
   if (enabled()) {
     const __m256i ones = _mm256_set1_epi16(1);
-    __m256i av_acc = _mm256_setzero_si256();
+    __m256i av_acc =
+        accumulate ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc))
+                   : _mm256_setzero_si256();
     for (std::int64_t k = 0; k < kp; k += 4) {
       const __m256i wv = _mm256_loadu_si256(
           reinterpret_cast<const __m256i*>(block + k * 8));
@@ -618,7 +627,9 @@ inline void gemm_u8s8_x1(const std::uint8_t* __restrict__ a,
 #elif defined(MIXQ_SIMD_SSE4)
   if (enabled()) {
     const __m128i ones = _mm_set1_epi16(1);
-    __m128i av_acc = _mm_setzero_si128();
+    __m128i av_acc =
+        accumulate ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc))
+                   : _mm_setzero_si128();
     for (std::int64_t k = 0; k < kp; k += 4) {
       const __m128i wv =
           _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + k * 4));
@@ -633,7 +644,7 @@ inline void gemm_u8s8_x1(const std::uint8_t* __restrict__ a,
   }
 #elif defined(MIXQ_SIMD_NEON)
   {
-    int32x4_t av_acc = vdupq_n_s32(0);
+    int32x4_t av_acc = accumulate ? vld1q_s32(acc) : vdupq_n_s32(0);
     for (std::int64_t k = 0; k < kp; k += 4) {
       const int8x16_t wv = vld1q_s8(block + k * 4);
       const int16x8_t w01 = vmovl_s8(vget_low_s8(wv));
@@ -661,7 +672,7 @@ inline void gemm_u8s8_x1(const std::uint8_t* __restrict__ a,
       s += static_cast<std::int32_t>(a[k]) *
            block[(k / 4) * ocb * 4 + j * 4 + k % 4];
     }
-    acc[j] = s;
+    acc[j] = accumulate ? acc[j] + s : s;
   }
 }
 
@@ -671,12 +682,17 @@ inline void gemm_u8s8_x2(const std::uint8_t* __restrict__ a0,
                          const std::uint8_t* __restrict__ a1,
                          const std::int8_t* __restrict__ block,
                          std::int64_t kp, std::int32_t* __restrict__ acc0,
-                         std::int32_t* __restrict__ acc1) {
+                         std::int32_t* __restrict__ acc1,
+                         bool accumulate = false) {
 #if defined(MIXQ_SIMD_AVX2)
   if (enabled()) {
     const __m256i ones = _mm256_set1_epi16(1);
-    __m256i v0 = _mm256_setzero_si256();
-    __m256i v1 = _mm256_setzero_si256();
+    __m256i v0 =
+        accumulate ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc0))
+                   : _mm256_setzero_si256();
+    __m256i v1 =
+        accumulate ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc1))
+                   : _mm256_setzero_si256();
     for (std::int64_t k = 0; k < kp; k += 4) {
       const __m256i wv = _mm256_loadu_si256(
           reinterpret_cast<const __m256i*>(block + k * 8));
@@ -697,8 +713,12 @@ inline void gemm_u8s8_x2(const std::uint8_t* __restrict__ a0,
 #elif defined(MIXQ_SIMD_SSE4)
   if (enabled()) {
     const __m128i ones = _mm_set1_epi16(1);
-    __m128i v0 = _mm_setzero_si128();
-    __m128i v1 = _mm_setzero_si128();
+    __m128i v0 =
+        accumulate ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc0))
+                   : _mm_setzero_si128();
+    __m128i v1 =
+        accumulate ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc1))
+                   : _mm_setzero_si128();
     for (std::int64_t k = 0; k < kp; k += 4) {
       const __m128i wv =
           _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + k * 4));
@@ -719,8 +739,8 @@ inline void gemm_u8s8_x2(const std::uint8_t* __restrict__ a0,
     return;
   }
 #endif
-  gemm_u8s8_x1(a0, block, kp, acc0);
-  gemm_u8s8_x1(a1, block, kp, acc1);
+  gemm_u8s8_x1(a0, block, kp, acc0, accumulate);
+  gemm_u8s8_x1(a1, block, kp, acc1, accumulate);
 }
 
 // ---------------------------------------------------------------------------
@@ -1308,10 +1328,12 @@ inline std::int32_t dot_u8_i32(const std::uint8_t* __restrict__ a,
 /// Narrow-store variant of requant_icn_i32: identical arithmetic, output
 /// stored as packed u8 codes (every requantized code is in [0, hi] with
 /// hi <= 255, so the narrowing never truncates).
+/// `c0` offsets the table columns as in requant_icn_i32.
 inline void requant_icn_u8(const RequantTable& rq,
                            const std::int32_t* __restrict__ acc,
                            const std::int32_t* __restrict__ add,
-                           std::uint8_t* __restrict__ out, std::int64_t n) {
+                           std::uint8_t* __restrict__ out, std::int64_t n,
+                           std::int64_t c0 = 0) {
 #if defined(MIXQ_SIMD_AVX2)
   if (enabled()) {
     const __m256i bias = _mm256_set1_epi64x(std::int64_t{1} << 62);
@@ -1327,11 +1349,11 @@ inline void requant_icn_u8(const RequantTable& rq,
           _mm_loadu_si128(reinterpret_cast<const __m128i*>(add + c));
       const __m256i v = _mm256_cvtepi32_epi64(_mm_add_epi32(a32, ad32));
       const __m256i m0 = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.m0.data() + c));
+          reinterpret_cast<const __m256i*>(rq.m0.data() + c0 + c));
       const __m256i sh = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.shift.data() + c));
+          reinterpret_cast<const __m256i*>(rq.shift.data() + c0 + c));
       const __m256i bs = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(rq.bias_sub.data() + c));
+          reinterpret_cast<const __m256i*>(rq.bias_sub.data() + c0 + c));
       const __m256i prod = _mm256_mul_epi32(v, m0);
       const __m256i t = _mm256_srlv_epi64(_mm256_add_epi64(prod, bias), sh);
       __m256i y = _mm256_add_epi64(_mm256_sub_epi64(t, bs), zyv);
@@ -1346,8 +1368,8 @@ inline void requant_icn_u8(const RequantTable& rq,
     for (; c < n; ++c) {
       out[c] = static_cast<std::uint8_t>(requant_icn_one(
           static_cast<std::int64_t>(acc[c]) + add[c],
-          rq.m0[static_cast<std::size_t>(c)],
-          rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi));
+          rq.m0[static_cast<std::size_t>(c0 + c)],
+          rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi));
     }
     return;
   }
@@ -1366,15 +1388,15 @@ inline void requant_icn_u8(const RequantTable& rq,
               _mm_loadu_si128(reinterpret_cast<const __m128i*>(add + c))));
       for (int j = 0; j < 4; ++j) {
         out[c + j] = static_cast<std::uint8_t>(requant_icn_one(
-            v[j], rq.m0[static_cast<std::size_t>(c + j)],
-            rq.shift[static_cast<std::size_t>(c + j)], rq.zy, rq.hi));
+            v[j], rq.m0[static_cast<std::size_t>(c0 + c + j)],
+            rq.shift[static_cast<std::size_t>(c0 + c + j)], rq.zy, rq.hi));
       }
     }
     for (; c < n; ++c) {
       out[c] = static_cast<std::uint8_t>(requant_icn_one(
           static_cast<std::int64_t>(acc[c]) + add[c],
-          rq.m0[static_cast<std::size_t>(c)],
-          rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi));
+          rq.m0[static_cast<std::size_t>(c0 + c)],
+          rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi));
     }
     return;
   }
@@ -1389,9 +1411,9 @@ inline void requant_icn_u8(const RequantTable& rq,
     for (; c + 2 <= n; c += 2) {
       const int32x2_t v32 =
           vadd_s32(vld1_s32(acc + c), vld1_s32(add + c));
-      const int32x2_t m032 = vmovn_s64(vld1q_s64(rq.m0.data() + c));
+      const int32x2_t m032 = vmovn_s64(vld1q_s64(rq.m0.data() + c0 + c));
       const int64x2_t prod = vmull_s32(v32, m032);
-      const int64x2_t sh = vnegq_s64(vld1q_s64(rq.shift.data() + c));
+      const int64x2_t sh = vnegq_s64(vld1q_s64(rq.shift.data() + c0 + c));
       int64x2_t y = vaddq_s64(vshlq_s64(prod, sh), zyv);
       y = vbslq_s64(vcltq_s64(y, zero), zero, y);
       y = vbslq_s64(vcgtq_s64(y, hiv), hiv, y);
@@ -1401,8 +1423,8 @@ inline void requant_icn_u8(const RequantTable& rq,
     for (; c < n; ++c) {
       out[c] = static_cast<std::uint8_t>(requant_icn_one(
           static_cast<std::int64_t>(acc[c]) + add[c],
-          rq.m0[static_cast<std::size_t>(c)],
-          rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi));
+          rq.m0[static_cast<std::size_t>(c0 + c)],
+          rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi));
     }
     return;
   }
@@ -1410,8 +1432,102 @@ inline void requant_icn_u8(const RequantTable& rq,
   for (std::int64_t c = 0; c < n; ++c) {
     out[c] = static_cast<std::uint8_t>(requant_icn_one(
         static_cast<std::int64_t>(acc[c]) + add[c],
-        rq.m0[static_cast<std::size_t>(c)],
-        rq.shift[static_cast<std::size_t>(c)], rq.zy, rq.hi));
+        rq.m0[static_cast<std::size_t>(c0 + c)],
+        rq.shift[static_cast<std::size_t>(c0 + c)], rq.zy, rq.hi));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Input quantization: code = clamp(lround(x / scale + zero), 0, hi).
+//
+// Bit-exact with core::quantize_value(kNearest) by construction: vdivps is
+// the same correctly-rounded IEEE single division as the scalar `/`, and
+// lround's round-half-away-from-zero differs from the hardware cvtps
+// (round-half-to-even) only on exact .5 ties, which the vector path detects
+// (x - rne(x) == +0.5 exactly) and bumps up by one. Negative ties round the
+// other way under lround, but every candidate code there is <= 0 and the
+// [0, hi] clamp collapses both answers to 0, so no fix-up is needed.
+// Pre-clamping the scaled value into [-1, hi] in float space changes no
+// final code (monotone + idempotent under the integer clamp) and keeps the
+// int32 conversion in range for arbitrarily large inputs.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for one value (identical to core::quantize_value with
+/// RoundMode::kNearest; restated here so the header stays self-contained).
+inline std::int32_t quantize_f32_one(float x, float scale, std::int32_t zero,
+                                     std::int32_t hi) {
+  const float scaled = x / scale + static_cast<float>(zero);
+  const std::int32_t code = static_cast<std::int32_t>(std::lround(scaled));
+  return std::clamp(code, 0, hi);
+}
+
+#if defined(MIXQ_SIMD_AVX2)
+namespace detail {
+/// Eight input floats -> eight quantized codes in [0, hi].
+inline __m256i quantize8_ps(__m256 v, __m256 vscale, __m256 vzero,
+                            __m256 vhi, __m256 vlo, __m256 vhalf) {
+  __m256 s = _mm256_add_ps(_mm256_div_ps(v, vscale), vzero);
+  s = _mm256_min_ps(_mm256_max_ps(s, vlo), vhi);
+  __m256i r = _mm256_cvtps_epi32(s);  // round-to-nearest-even
+  const __m256 diff = _mm256_sub_ps(s, _mm256_cvtepi32_ps(r));
+  // Exact positive tie: rne rounded down, lround goes away from zero.
+  const __m256 tie = _mm256_cmp_ps(diff, vhalf, _CMP_EQ_OQ);
+  r = _mm256_sub_epi32(r, _mm256_castps_si256(tie));  // mask is -1 -> +1
+  r = _mm256_max_epi32(r, _mm256_setzero_si256());
+  return _mm256_min_epi32(r, _mm256_cvtps_epi32(vhi));
+}
+}  // namespace detail
+#endif
+
+/// dst[i] = quantized code of x[i], packed to u8 (hi <= 255).
+inline void quantize_f32_u8(const float* __restrict__ x, std::int64_t n,
+                            float scale, std::int32_t zero, std::int32_t hi,
+                            std::uint8_t* __restrict__ dst) {
+  std::int64_t i = 0;
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vzero = _mm256_set1_ps(static_cast<float>(zero));
+    const __m256 vhi = _mm256_set1_ps(static_cast<float>(hi));
+    const __m256 vlo = _mm256_set1_ps(-1.0f);
+    const __m256 vhalf = _mm256_set1_ps(0.5f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256i r = detail::quantize8_ps(_mm256_loadu_ps(x + i), vscale,
+                                             vzero, vhi, vlo, vhalf);
+      const __m128i lo = _mm256_castsi256_si128(r);
+      const __m128i hi128 = _mm256_extracti128_si256(r, 1);
+      const __m128i w = _mm_packs_epi32(lo, hi128);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packus_epi16(w, w));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(quantize_f32_one(x[i], scale, zero, hi));
+  }
+}
+
+/// dst[i] = quantized code of x[i], stored as i32 (wide-domain input).
+inline void quantize_f32_i32(const float* __restrict__ x, std::int64_t n,
+                             float scale, std::int32_t zero, std::int32_t hi,
+                             std::int32_t* __restrict__ dst) {
+  std::int64_t i = 0;
+#if defined(MIXQ_SIMD_AVX2)
+  if (enabled()) {
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vzero = _mm256_set1_ps(static_cast<float>(zero));
+    const __m256 vhi = _mm256_set1_ps(static_cast<float>(hi));
+    const __m256 vlo = _mm256_set1_ps(-1.0f);
+    const __m256 vhalf = _mm256_set1_ps(0.5f);
+    for (; i + 8 <= n; i += 8) {
+      const __m256i r = detail::quantize8_ps(_mm256_loadu_ps(x + i), vscale,
+                                             vzero, vhi, vlo, vhalf);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = quantize_f32_one(x[i], scale, zero, hi);
   }
 }
 

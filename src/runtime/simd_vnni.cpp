@@ -1,0 +1,301 @@
+// AVX-512 VNNI kernel bodies -- the ONE translation unit compiled with
+// -mavx512{f,bw,vl,vnni} (appended per-source in src/runtime/CMakeLists.txt
+// when the MIXQ_HAS_AVX512VNNI compile check passes, which also defines
+// MIXQ_VNNI_NATIVE for this file). Nothing here includes simd.hpp: its
+// inline kernels must not be compiled under AVX-512 flags (ODR across
+// TUs), and no struct is ever passed or copied (the GCC 12.2 AVX-512
+// miscompile the build works around was a struct copy).
+//
+// Without MIXQ_VNNI_NATIVE the same functions build as portable scalar
+// bodies with bit-identical arithmetic, so forced-tier plans and the
+// exactness tests run on every toolchain.
+//
+// When MIXQ_VNNI_NATIVE is set these bodies (including their scalar tail
+// loops, which the compiler may autovectorize to AVX-512) execute AVX-512
+// instructions unconditionally: callers must gate on vnni_enabled().
+
+#include "runtime/simd_vnni.hpp"
+
+#include <cstring>
+
+#if defined(MIXQ_VNNI_NATIVE)
+#include <immintrin.h>
+#endif
+
+namespace mixq::runtime::simd {
+
+bool vnni_compiled() {
+#if defined(MIXQ_VNNI_NATIVE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Panel block byte index of weight lane j at depth k (ocb = 16): K groups
+/// of 4 bytes, each channel's 4 bytes contiguous within the group. Local
+/// replica of the layout contract published by vnni_index (simd.cpp); the
+/// pack/kernel round-trip tests pin the two together.
+[[maybe_unused]] inline std::int64_t blk_idx(std::int64_t k, std::int64_t j) {
+  return (k / 4) * 64 + j * 4 + k % 4;
+}
+
+}  // namespace
+
+#if defined(MIXQ_VNNI_NATIVE)
+
+void vnni_gemm_x1(const std::uint8_t* a, const std::int8_t* block,
+                  std::int64_t klen, std::int32_t* acc, int accumulate) {
+  // Two dependency chains to cover vpdpbusd latency; k*16 == (k/4)*ocb*4.
+  __m512i v0 = _mm512_setzero_si512();
+  __m512i v1 = _mm512_setzero_si512();
+  std::int64_t k = 0;
+  for (; k + 8 <= klen; k += 8) {
+    const __m512i w0 = _mm512_loadu_si512(block + k * 16);
+    const __m512i w1 = _mm512_loadu_si512(block + k * 16 + 64);
+    std::uint32_t u0, u1;
+    std::memcpy(&u0, a + k, 4);
+    std::memcpy(&u1, a + k + 4, 4);
+    v0 = _mm512_dpbusd_epi32(v0, _mm512_set1_epi32(static_cast<int>(u0)), w0);
+    v1 = _mm512_dpbusd_epi32(v1, _mm512_set1_epi32(static_cast<int>(u1)), w1);
+  }
+  for (; k < klen; k += 4) {
+    const __m512i wv = _mm512_loadu_si512(block + k * 16);
+    std::uint32_t u;
+    std::memcpy(&u, a + k, 4);
+    v0 = _mm512_dpbusd_epi32(v0, _mm512_set1_epi32(static_cast<int>(u)), wv);
+  }
+  __m512i v = _mm512_add_epi32(v0, v1);
+  if (accumulate) v = _mm512_add_epi32(v, _mm512_loadu_si512(acc));
+  _mm512_storeu_si512(acc, v);
+}
+
+void vnni_gemm_x2(const std::uint8_t* a0, const std::uint8_t* a1,
+                  const std::int8_t* block, std::int64_t klen,
+                  std::int32_t* acc0, std::int32_t* acc1, int accumulate) {
+  __m512i p0 = _mm512_setzero_si512(), p1 = _mm512_setzero_si512();
+  __m512i q0 = _mm512_setzero_si512(), q1 = _mm512_setzero_si512();
+  std::int64_t k = 0;
+  for (; k + 8 <= klen; k += 8) {
+    const __m512i w0 = _mm512_loadu_si512(block + k * 16);
+    const __m512i w1 = _mm512_loadu_si512(block + k * 16 + 64);
+    std::uint32_t r0a, r0b, r1a, r1b;
+    std::memcpy(&r0a, a0 + k, 4);
+    std::memcpy(&r0b, a0 + k + 4, 4);
+    std::memcpy(&r1a, a1 + k, 4);
+    std::memcpy(&r1b, a1 + k + 4, 4);
+    p0 = _mm512_dpbusd_epi32(p0, _mm512_set1_epi32(static_cast<int>(r0a)), w0);
+    p1 = _mm512_dpbusd_epi32(p1, _mm512_set1_epi32(static_cast<int>(r0b)), w1);
+    q0 = _mm512_dpbusd_epi32(q0, _mm512_set1_epi32(static_cast<int>(r1a)), w0);
+    q1 = _mm512_dpbusd_epi32(q1, _mm512_set1_epi32(static_cast<int>(r1b)), w1);
+  }
+  for (; k < klen; k += 4) {
+    const __m512i wv = _mm512_loadu_si512(block + k * 16);
+    std::uint32_t u0, u1;
+    std::memcpy(&u0, a0 + k, 4);
+    std::memcpy(&u1, a1 + k, 4);
+    p0 = _mm512_dpbusd_epi32(p0, _mm512_set1_epi32(static_cast<int>(u0)), wv);
+    q0 = _mm512_dpbusd_epi32(q0, _mm512_set1_epi32(static_cast<int>(u1)), wv);
+  }
+  __m512i p = _mm512_add_epi32(p0, p1);
+  __m512i q = _mm512_add_epi32(q0, q1);
+  if (accumulate) {
+    p = _mm512_add_epi32(p, _mm512_loadu_si512(acc0));
+    q = _mm512_add_epi32(q, _mm512_loadu_si512(acc1));
+  }
+  _mm512_storeu_si512(acc0, p);
+  _mm512_storeu_si512(acc1, q);
+}
+
+void vnni_dw_dot_u8s16p(const std::uint8_t* x, const std::int64_t* toff,
+                        const std::int16_t* wtp, std::int64_t taps,
+                        std::int64_t C, std::int32_t* acc) {
+  const std::int64_t pairs = (taps + 1) / 2;
+  std::int64_t c = 0;
+  // 32 channels per iteration. _mm256_unpack*_epi8 interleaves per
+  // 128-bit lane, so the widened activation pairs land in channel order
+  // [c..c+7, c+16..c+23] (lo) / [c+8..c+15, c+24..c+31] (hi); the weight
+  // bank is linear, so one vshufi64x2 per madd reorders it to match, and
+  // two more restore linear channel order for the acc stores.
+  for (; c + 32 <= C; c += 32) {
+    __m512i alo = _mm512_setzero_si512();
+    __m512i ahi = _mm512_setzero_si512();
+    for (std::int64_t p = 0; p < pairs; ++p) {
+      // Odd tap counts read tap t0 twice; its pack partner weight is 0.
+      const std::int64_t t1 = 2 * p + 1 < taps ? 2 * p + 1 : 2 * p;
+      const __m256i x0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(x + toff[2 * p] + c));
+      const __m256i x1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(x + toff[t1] + c));
+      const __m512i vlo = _mm512_cvtepu8_epi16(_mm256_unpacklo_epi8(x0, x1));
+      const __m512i vhi = _mm512_cvtepu8_epi16(_mm256_unpackhi_epi8(x0, x1));
+      const __m512i wa = _mm512_loadu_si512(wtp + p * 2 * C + 2 * c);
+      const __m512i wb = _mm512_loadu_si512(wtp + p * 2 * C + 2 * c + 32);
+      alo = _mm512_dpwssd_epi32(alo, vlo, _mm512_shuffle_i64x2(wa, wb, 0x44));
+      ahi = _mm512_dpwssd_epi32(ahi, vhi, _mm512_shuffle_i64x2(wa, wb, 0xEE));
+    }
+    _mm512_storeu_si512(acc + c, _mm512_shuffle_i64x2(alo, ahi, 0x44));
+    _mm512_storeu_si512(acc + c + 16, _mm512_shuffle_i64x2(alo, ahi, 0xEE));
+  }
+  // 16-channel step: 128-bit unpack is linear across the register, so no
+  // reordering is needed (same shape as the AVX2 kernel, dpwssd-fused).
+  for (; c + 16 <= C; c += 16) {
+    __m256i a0v = _mm256_setzero_si256();
+    __m256i a1v = _mm256_setzero_si256();
+    for (std::int64_t p = 0; p < pairs; ++p) {
+      const std::int64_t t1 = 2 * p + 1 < taps ? 2 * p + 1 : 2 * p;
+      const __m128i x0 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(x + toff[2 * p] + c));
+      const __m128i x1 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(x + toff[t1] + c));
+      const __m256i vlo = _mm256_cvtepu8_epi16(_mm_unpacklo_epi8(x0, x1));
+      const __m256i vhi = _mm256_cvtepu8_epi16(_mm_unpackhi_epi8(x0, x1));
+      const __m256i wlo = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(wtp + p * 2 * C + 2 * c));
+      const __m256i whi = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(wtp + p * 2 * C + 2 * c + 16));
+      a0v = _mm256_dpwssd_epi32(a0v, vlo, wlo);
+      a1v = _mm256_dpwssd_epi32(a1v, vhi, whi);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + c), a0v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + c + 8), a1v);
+  }
+  for (; c < C; ++c) {
+    std::int32_t s = 0;
+    for (std::int64_t t = 0; t < taps; ++t) {
+      s += static_cast<std::int32_t>(x[toff[t] + c]) *
+           wtp[(t / 2) * 2 * C + 2 * c + (t & 1)];
+    }
+    acc[c] = s;
+  }
+}
+
+void vnni_mac_u8s16(std::int32_t* acc, const std::uint8_t* x,
+                    const std::int16_t* w, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i xv = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)));
+    const __m512i wv = _mm512_cvtepi16_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i)));
+    const __m512i av = _mm512_loadu_si512(acc + i);
+    _mm512_storeu_si512(acc + i,
+                        _mm512_add_epi32(av, _mm512_mullo_epi32(xv, wv)));
+  }
+  for (; i < n; ++i) acc[i] += static_cast<std::int32_t>(x[i]) * w[i];
+}
+
+std::int32_t vnni_dot_u8s16(const std::uint8_t* a, const std::int16_t* w,
+                            std::int64_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::int64_t k = 0;
+  for (; k + 32 <= n; k += 32) {
+    const __m512i av = _mm512_cvtepu8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k)));
+    acc = _mm512_dpwssd_epi32(acc, av, _mm512_loadu_si512(w + k));
+  }
+  std::int32_t s = _mm512_reduce_add_epi32(acc);
+  for (; k < n; ++k) s += static_cast<std::int32_t>(a[k]) * w[k];
+  return s;
+}
+
+void vnni_requant_u8(const std::int32_t* acc, const std::int32_t* add,
+                     const std::int64_t* m0, const std::int64_t* shift,
+                     std::int32_t zy, std::int32_t hi, std::uint8_t* out,
+                     std::int64_t n) {
+  const __m512i zyv = _mm512_set1_epi64(zy);
+  const __m512i hiv = _mm512_set1_epi64(hi);
+  const __m512i zero = _mm512_setzero_si512();
+  std::int64_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256i a32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + c));
+    const __m256i ad32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(add + c));
+    // v = acc + add fits int32 by the plan's usability proof; vpmuldq
+    // reads the (sign-extended) low dwords, so the product is the exact
+    // 64-bit v * m0 (0 <= m0 < 2^31).
+    const __m512i v = _mm512_cvtepi32_epi64(_mm256_add_epi32(a32, ad32));
+    const __m512i prod = _mm512_mul_epi32(v, _mm512_loadu_si512(m0 + c));
+    const __m512i sh = _mm512_loadu_si512(shift + c);
+    __m512i y = _mm512_add_epi64(_mm512_srav_epi64(prod, sh), zyv);
+    y = _mm512_max_epi64(y, zero);
+    y = _mm512_min_epi64(y, hiv);
+    // Codes are in [0, hi] <= 255: vpmovqb's truncation never loses bits.
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + c),
+                     _mm512_cvtepi64_epi8(y));
+  }
+  for (; c < n; ++c) {
+    const std::int64_t v = static_cast<std::int64_t>(acc[c]) + add[c];
+    const std::int64_t y =
+        static_cast<std::int64_t>(zy) + ((v * m0[c]) >> shift[c]);
+    out[c] = static_cast<std::uint8_t>(y < 0 ? 0 : (y > hi ? hi : y));
+  }
+}
+
+#else  // !MIXQ_VNNI_NATIVE: portable scalar bodies, identical arithmetic.
+
+void vnni_gemm_x1(const std::uint8_t* a, const std::int8_t* block,
+                  std::int64_t klen, std::int32_t* acc, int accumulate) {
+  for (std::int64_t j = 0; j < 16; ++j) {
+    std::int32_t s = accumulate ? acc[j] : 0;
+    for (std::int64_t k = 0; k < klen; ++k) {
+      s += static_cast<std::int32_t>(a[k]) * block[blk_idx(k, j)];
+    }
+    acc[j] = s;
+  }
+}
+
+void vnni_gemm_x2(const std::uint8_t* a0, const std::uint8_t* a1,
+                  const std::int8_t* block, std::int64_t klen,
+                  std::int32_t* acc0, std::int32_t* acc1, int accumulate) {
+  vnni_gemm_x1(a0, block, klen, acc0, accumulate);
+  vnni_gemm_x1(a1, block, klen, acc1, accumulate);
+}
+
+void vnni_dw_dot_u8s16p(const std::uint8_t* x, const std::int64_t* toff,
+                        const std::int16_t* wtp, std::int64_t taps,
+                        std::int64_t C, std::int32_t* acc) {
+  for (std::int64_t c = 0; c < C; ++c) {
+    std::int32_t s = 0;
+    for (std::int64_t t = 0; t < taps; ++t) {
+      s += static_cast<std::int32_t>(x[toff[t] + c]) *
+           wtp[(t / 2) * 2 * C + 2 * c + (t & 1)];
+    }
+    acc[c] = s;
+  }
+}
+
+void vnni_mac_u8s16(std::int32_t* acc, const std::uint8_t* x,
+                    const std::int16_t* w, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc[i] += static_cast<std::int32_t>(x[i]) * w[i];
+  }
+}
+
+std::int32_t vnni_dot_u8s16(const std::uint8_t* a, const std::int16_t* w,
+                            std::int64_t n) {
+  std::int32_t s = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    s += static_cast<std::int32_t>(a[k]) * w[k];
+  }
+  return s;
+}
+
+void vnni_requant_u8(const std::int32_t* acc, const std::int32_t* add,
+                     const std::int64_t* m0, const std::int64_t* shift,
+                     std::int32_t zy, std::int32_t hi, std::uint8_t* out,
+                     std::int64_t n) {
+  for (std::int64_t c = 0; c < n; ++c) {
+    const std::int64_t v = static_cast<std::int64_t>(acc[c]) + add[c];
+    const std::int64_t y =
+        static_cast<std::int64_t>(zy) + ((v * m0[c]) >> shift[c]);
+    out[c] = static_cast<std::uint8_t>(y < 0 ? 0 : (y > hi ? hi : y));
+  }
+}
+
+#endif  // MIXQ_VNNI_NATIVE
+
+}  // namespace mixq::runtime::simd

@@ -1,0 +1,114 @@
+// mixq/runtime/simd_vnni.hpp
+//
+// AVX-512 VNNI kernel tier: u8 x s8 panel GEMM through vpdpbusd (64 8-bit
+// MACs per instruction, accumulating straight into i32 lanes -- no
+// intermediate i16 pair sums, so the AVX2 panel's
+// max(|w[2k]| + |w[2k+1]|) * qmax(qx) <= 32767 eligibility bound does not
+// apply), a vpdpwssd depthwise variant over the same pair-interleaved s16
+// bank the AVX2 kernel uses, elementwise/dot u8 x s16 variants for the
+// depthwise border path, and an exact-arithmetic-shift requantizer
+// (vpsravq needs no unsigned bias trick).
+//
+// ODR / miscompile isolation: this header carries DECLARATIONS ONLY -- no
+// inline kernels. The implementations live in simd_vnni.cpp, the one
+// translation unit compiled with -mavx512{f,bw,vl,vnni} appended to the
+// baseline flags (CMake per-source COMPILE_OPTIONS); every other TU stays
+// at x86-64-v3, which both sidesteps the GCC 12.2 AVX-512 struct-copy
+// miscompile documented in the top-level CMakeLists.txt and keeps the
+// inline kernels of simd.hpp compiling identically in every TU. When the
+// toolchain cannot target VNNI (MIXQ_HAS_AVX512VNNI compile check fails),
+// the same TU builds portable scalar bodies instead -- bit-identical
+// arithmetic, so forced-tier tests run everywhere.
+//
+// Signatures are deliberately struct-free (raw pointers and integers
+// only): the flagged TU never copies a struct, the failure mode of the
+// GCC 12 bug above.
+//
+// Runtime contract: when vnni_compiled() is true the kernel bodies execute
+// AVX-512 instructions unconditionally; callers gate on vnni_enabled()
+// (the plan's tier selection does). Kernels are bit-exact against the
+// scalar references in simd.hpp -- asserted by
+// tests/runtime/simd_vnni_test.cpp, including data beyond the i16 pair
+// bound.
+#pragma once
+
+#include <cstdint>
+
+namespace mixq::runtime::simd {
+
+/// True when simd_vnni.cpp was built with real AVX-512 VNNI intrinsics
+/// (MIXQ_HAS_AVX512VNNI passed and the per-file flags were applied).
+bool vnni_compiled();
+
+/// True when the host CPU reports avx512f+avx512bw+avx512vl+avx512vnni.
+bool vnni_cpu();
+
+/// Cached conjunction of the two: the plan consults this (once per tier
+/// selection) exactly like simd::enabled() gates the AVX2 kernels.
+bool vnni_enabled();
+
+// ---------------------------------------------------------------------------
+// Panel layout: same family as gemm_u8s8_* but 16 i32 lanes per block
+// (one zmm of output channels). K grouped in 4s, each channel's 4 bytes
+// contiguous within the group.
+// ---------------------------------------------------------------------------
+
+/// Output channels interleaved per panel block (16 = one zmm of i32).
+std::int64_t vnni_ocb();
+
+/// K padded to the 4-byte group size.
+std::int64_t vnni_kp(std::int64_t K);
+
+/// Panel capacity in bytes for a co x K weight matrix.
+std::int64_t vnni_panel_elems(std::int64_t co, std::int64_t K);
+
+/// Byte index of weight (oc, k) inside the packed panel.
+std::int64_t vnni_index(std::int64_t kp, std::int64_t oc, std::int64_t k);
+
+/// Pack offset int32 weights (co rows of K, row-major; caller proved they
+/// fit int8) into the 16-lane panel. Pad lanes/groups are zero.
+void vnni_pack(const std::int32_t* w, std::int64_t co, std::int64_t K,
+               std::int8_t* panel);
+
+// ---------------------------------------------------------------------------
+// Kernels. `klen` is a 4-aligned K range; `block` points at the panel
+// offset for that range ((k0/4)*ocb*4 into the block row). `accumulate`
+// nonzero adds into acc instead of overwriting (K-blocked GEMM).
+// ---------------------------------------------------------------------------
+
+/// acc[j] (+)= sum_k a[k] * W[block j][k] for the block's 16 channels.
+/// `a` must be readable for klen bytes (4-aligned; arena slack covers it).
+void vnni_gemm_x1(const std::uint8_t* a, const std::int8_t* block,
+                  std::int64_t klen, std::int32_t* acc, int accumulate);
+
+/// Two-row variant: each 64-byte weight group is loaded once.
+void vnni_gemm_x2(const std::uint8_t* a0, const std::uint8_t* a1,
+                  const std::int8_t* block, std::int64_t klen,
+                  std::int32_t* acc0, std::int32_t* acc1, int accumulate);
+
+/// Depthwise interior: acc[c] = sum_t x[toff[t] + c] * w[t][c] over the
+/// pair-interleaved i16 bank from dw_pack_u8s16 (32 channels per
+/// iteration via vpdpwssd). Overwrites acc. Bit-exact with dw_dot_u8s16p.
+void vnni_dw_dot_u8s16p(const std::uint8_t* x, const std::int64_t* toff,
+                        const std::int16_t* wtp, std::int64_t taps,
+                        std::int64_t C, std::int32_t* acc);
+
+/// Elementwise acc[i] += x[i] * w[i] (depthwise border taps).
+void vnni_mac_u8s16(std::int32_t* acc, const std::uint8_t* x,
+                    const std::int16_t* w, std::int64_t n);
+
+/// Row dot sum_k a[k] * w[k] (u8 x s16 remainder/bench reference).
+std::int32_t vnni_dot_u8s16(const std::uint8_t* a, const std::int16_t* w,
+                            std::int64_t n);
+
+/// Requantize n channels: out[c] = clamp(zy + ((acc[c]+add[c]) * m0[c])
+/// >>arith shift[c], 0, hi) -- identical arithmetic to requant_icn_one.
+/// m0/shift point at the RequantTable columns (callers offset them for
+/// channel-blocked requant). vpsravq is an exact arithmetic shift, so no
+/// 2^62 bias trick is needed.
+void vnni_requant_u8(const std::int32_t* acc, const std::int32_t* add,
+                     const std::int64_t* m0, const std::int64_t* shift,
+                     std::int32_t zy, std::int32_t hi, std::uint8_t* out,
+                     std::int64_t n);
+
+}  // namespace mixq::runtime::simd

@@ -336,7 +336,11 @@ TEST(PlanDomain, IcnChainCompilesNarrowWithPanelTier) {
       BitWidth::kQ8, Scheme::kPCICN, rng));
   net.validate();
 
-  const ExecutionPlan plan(net);
+  // Pin the AVX2-era tiers: on a VNNI host the auto policy would promote
+  // the panel layers to the VNNI tier (covered by autotune_test.cpp).
+  PlanOptions opts;
+  opts.vnni = PlanOptions::Vnni::kOff;
+  const ExecutionPlan plan(net, opts);
   ASSERT_EQ(plan.layers().size(), 3u);
   for (const PlannedLayer& pl : plan.layers()) {
     EXPECT_EQ(pl.domain, ExecDomain::kI8);
@@ -379,7 +383,11 @@ TEST(PlanDomain, PanelTierStraddlesI16PairBound) {
     net.layers.push_back(std::move(l));
     net.validate();
 
-    const ExecutionPlan plan(net);
+    // vnni=kOff: the VNNI tier accepts BOTH variants (no pair bound), so
+    // the straddle only shows on the pinned AVX2 tiers.
+    PlanOptions opts;
+    opts.vnni = PlanOptions::Vnni::kOff;
+    const ExecutionPlan plan(net, opts);
     const PlannedLayer& pl = plan.layers().front();
     ASSERT_EQ(pl.domain, ExecDomain::kI8) << "over=" << over;
     EXPECT_EQ(pl.i8_panel, !over);
@@ -471,8 +479,15 @@ TEST(PlanDomain, MixedDomainChainWithSeamsIsBitExact) {
 
 TEST(PlanDomain, AllowI8FalseForcesWideEverywhere) {
   const QuantizedNet net = random_net(8, 8, 3, 1, 1, 9090);
-  const ExecutionPlan narrow(net);
-  const ExecutionPlan wide(net, PlanOptions{/*allow_i8=*/false});
+  // Fixed (pre-autotuner) tiles for the footprint comparison: the
+  // auto-tuner may pick a larger im2col tile for a tiny net, which is a
+  // gather-buffer choice, not part of the domain-footprint invariant.
+  PlanOptions fixed;
+  fixed.autotune = PlanOptions::Autotune::kFixed;
+  const ExecutionPlan narrow(net, fixed);
+  PlanOptions wide_opts = fixed;
+  wide_opts.allow_i8 = false;
+  const ExecutionPlan wide(net, wide_opts);
   for (const PlannedLayer& pl : wide.layers()) {
     EXPECT_EQ(pl.domain, ExecDomain::kI32);
     EXPECT_FALSE(pl.in_u8);

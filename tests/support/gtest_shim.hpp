@@ -10,6 +10,7 @@
 //   ::testing::Values / ::testing::Range / ::testing::Combine
 //   EXPECT_/ASSERT_ {EQ,NE,LT,LE,GT,GE,TRUE,FALSE,FLOAT_EQ,DOUBLE_EQ,NEAR}
 //   EXPECT_THROW / EXPECT_NO_THROW / SUCCEED / FAIL / ADD_FAILURE
+//   GTEST_SKIP (returns from TestBody; the test reports [ SKIPPED ])
 //   streamed failure messages (EXPECT_EQ(a, b) << "context")
 //
 // Assertion arguments are evaluated exactly once, as in real GoogleTest.
@@ -56,15 +57,18 @@ class Registry {
     tests_.push_back({std::move(suite), std::move(name), std::move(f)});
   }
   void record_failure() { ++current_failures_; }
+  void record_skip() { current_skipped_ = true; }
 
   int run_all() {
     std::printf("[==========] Running %zu tests (mixq gtest shim).\n",
                 tests_.size());
     std::vector<std::string> failed_names;
+    std::size_t skipped = 0;
     for (const auto& t : tests_) {
       const std::string full = t.suite + "." + t.name;
       std::printf("[ RUN      ] %s\n", full.c_str());
       current_failures_ = 0;
+      current_skipped_ = false;
       try {
         std::unique_ptr<Test> test(t.factory());
         test->SetUp();
@@ -77,16 +81,20 @@ class Registry {
         std::printf("unexpected non-std exception\n");
         ++current_failures_;
       }
-      if (current_failures_ == 0) {
-        std::printf("[       OK ] %s\n", full.c_str());
-      } else {
+      if (current_failures_ != 0) {
         std::printf("[  FAILED  ] %s\n", full.c_str());
         failed_names.push_back(full);
+      } else if (current_skipped_) {
+        std::printf("[  SKIPPED ] %s\n", full.c_str());
+        ++skipped;
+      } else {
+        std::printf("[       OK ] %s\n", full.c_str());
       }
     }
     std::printf("[==========] %zu tests ran.\n", tests_.size());
     std::printf("[  PASSED  ] %zu tests.\n",
-                tests_.size() - failed_names.size());
+                tests_.size() - failed_names.size() - skipped);
+    if (skipped != 0) std::printf("[  SKIPPED ] %zu tests.\n", skipped);
     if (!failed_names.empty()) {
       std::printf("[  FAILED  ] %zu tests, listed below:\n",
                   failed_names.size());
@@ -100,6 +108,7 @@ class Registry {
  private:
   std::vector<TestCase> tests_;
   int current_failures_ = 0;
+  bool current_skipped_ = false;
 };
 
 // Message sink supporting `<< "context"` after an assertion macro.
@@ -134,6 +143,24 @@ class FailReporter {
   const char* file_;
   int line_;
   std::string summary_;
+};
+
+// Same assign-a-Message trick for GTEST_SKIP(): the macro `return`s this
+// assignment, so skipping exits TestBody immediately, as in real gtest
+// (SetUp/TearDown skips are not supported -- the suite doesn't use them).
+class SkipReporter {
+ public:
+  SkipReporter(const char* file, int line) : file_(file), line_(line) {}
+  void operator=(const Message& m) const {
+    const std::string why = m.str();
+    std::printf("%s:%d: Skipped\n%s\n", file_, line_,
+                why.empty() ? "(no reason given)" : why.c_str());
+    Registry::instance().record_skip();
+  }
+
+ private:
+  const char* file_;
+  int line_;
 };
 
 template <typename T, typename = void>
@@ -498,3 +525,6 @@ inline int RUN_ALL_TESTS() {
 #define SUCCEED() static_cast<void>(0)
 #define ADD_FAILURE() MIXQ_SHIM_REPORT_("Failure")
 #define FAIL() return MIXQ_SHIM_REPORT_("Failure")
+#define GTEST_SKIP()                                               \
+  return ::testing::internal::SkipReporter(__FILE__, __LINE__) = \
+      ::testing::internal::Message()

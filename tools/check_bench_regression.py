@@ -69,9 +69,44 @@ def main() -> None:
         if bl.get("domain") == "i32" and fl.get("domain") == "i8":
             print(f"note: layer {i} ({bl['kind']}) is newly i8-eligible; "
                   f"commit the fresh baseline to lock it in")
+        # Kernel-tier gate: a layer the baseline ran on the VNNI tier must
+        # not silently drop to a slower tier when the fresh host still
+        # reports VNNI capability -- that is a plan-selection regression,
+        # not timing noise. On a non-VNNI host the drop is the expected
+        # capability fallback and only noted. The s8-panel -> u8s16 drop is
+        # host-independent (the pair-sum proof is a function of the weights
+        # alone), so it always fails.
+        rank = {"vnni": 3, "s8-panel": 2, "u8s16": 1, "-": 0}
+        bt, ft = bl.get("tier"), fl.get("tier")
+        if bt is not None and ft is not None and bt != ft:
+            fresh_vnni_host = fresh.get("simd", {}).get("vnni_host", False)
+            if bt == "vnni" and rank.get(ft, 0) < 3:
+                if fresh_vnni_host:
+                    fail(f"layer {i} ({bl['kind']}) silently dropped from "
+                         f"the vnni tier to {ft} on a VNNI-capable host: "
+                         f"the tier selection regressed")
+                print(f"note: layer {i} ({bl['kind']}) runs {ft} instead of "
+                      f"vnni (host lacks AVX-512 VNNI; expected fallback)")
+            elif bt == "s8-panel" and ft == "u8s16":
+                fail(f"layer {i} ({bl['kind']}) dropped from the s8-panel "
+                     f"tier to u8s16: the pair-sum eligibility proof "
+                     f"regressed")
+            elif rank.get(ft, 0) > rank.get(bt, 0):
+                print(f"note: layer {i} ({bl['kind']}) upgraded "
+                      f"{bt} -> {ft}; commit the fresh baseline to lock it "
+                      f"in")
     n_i8 = sum(1 for fl in fresh_layers if fl.get("domain") == "i8")
     print(f"MAC accounting unchanged: {fresh['total_macs']} MACs over "
           f"{len(fresh_layers)} layers ({n_i8} in the i8 domain)")
+
+    # --- provenance: a dirty-tree baseline is not attributable ----------
+    base_dirty = base.get("git_dirty", str(base.get("git", "")).endswith(
+        "-dirty"))
+    if base_dirty:
+        print("::warning::committed baseline was measured from a dirty "
+              "working tree; its numbers are not attributable to the "
+              "recorded revision -- re-measure from a clean checkout and "
+              "commit the refresh")
 
     # --- timing: report, warn past threshold, never fail ----------------
     rows = []
