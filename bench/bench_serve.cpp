@@ -14,6 +14,12 @@
 // path; exit code is non-zero only on a correctness failure, never on
 // timing.
 //
+// A third pass drives the epoll TCP front-end (serve/net/) to saturation:
+// pipelined bursts over a connection sweep against a deliberately shallow
+// admission queue, recording shed rate and p50/p99/p999 -- and asserting
+// that every request sent was answered (`predicted`, `overloaded`, or
+// `timeout`), i.e. overload degrades by shedding, never by dropping.
+//
 // Usage: bench_serve [--quick] [--requests N] [--out PATH]
 #include <chrono>
 #include <cstdio>
@@ -29,6 +35,19 @@
 #include "serve/server.hpp"
 #include "support/random_qlayer.hpp"
 #include "tensor/rng.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "serve/net/epoll_server.hpp"
+#endif
 
 namespace {
 
@@ -88,6 +107,79 @@ struct SweepPoint {
   double p99_us{0.0};
   double mean_fill{0.0};
 };
+
+#ifndef _WIN32
+
+struct SaturationPoint {
+  int conns{0};
+  std::int64_t sent{0};
+  std::int64_t ok{0};
+  std::int64_t shed{0};
+  std::int64_t timeouts{0};
+  double shed_rate{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+  double p999_us{0.0};
+  double samples_per_s{0.0};
+  bool exact{false};  ///< every delivered result byte-matched the reference
+};
+
+/// Minimal blocking loopback client for the saturation pass.
+class SatClient {
+ public:
+  ~SatClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect_tcp(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval tv{30, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool send_all(const std::string& text) {
+    std::size_t off = 0;
+    while (off < text.size()) {
+      const auto n =
+          ::send(fd_, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool read_line(std::string& out) {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_{-1};
+  std::string buf_;
+};
+
+#endif  // !_WIN32
 
 }  // namespace
 
@@ -252,6 +344,137 @@ int main(int argc, char** argv) {
       pstats.latency_percentile_us(50), pstats.latency_percentile_us(99));
   std::cout << "protocol byte-exactness check passed\n";
 
+#ifndef _WIN32
+  // Saturation pass: the epoll TCP front-end under pipelined overload.
+  // The admission queue is kept shallow on purpose -- the interesting
+  // number is how the server degrades: shed rate and tail latency, with
+  // the hard invariant that sent == ok + shed + timeout for every client.
+  std::vector<SaturationPoint> saturation;
+  {
+    const std::vector<int> conn_sweep = quick ? std::vector<int>{1, 4}
+                                              : std::vector<int>{1, 4, 16};
+    const std::int64_t per_conn = quick ? 32 : 64;
+    std::cout << "epoll saturation sweep (" << per_conn
+              << " pipelined requests/conn, queue depth 4):\n";
+    for (const int conns : conn_sweep) {
+      NetConfig ncfg;
+      ncfg.tcp_port = 0;
+      ncfg.engine.threads = hw;
+      ncfg.engine.max_batch = 8;
+      ncfg.engine.max_wait_us = 200;
+      ncfg.queue_depth = 4;  // force admission control to work
+      ncfg.retry_after_ms = 5;
+      EpollServer server(net, ncfg);
+      const int port = server.tcp_port();
+      NetStats nstats;
+      std::thread loop([&] { nstats = server.run(); });
+
+      std::atomic<std::int64_t> ok{0};
+      std::atomic<std::int64_t> shed{0};
+      std::atomic<std::int64_t> timeouts{0};
+      std::atomic<std::int64_t> unanswered{0};
+      std::atomic<bool> exact{true};
+      const auto s0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < conns; ++c) {
+        clients.emplace_back([&, c] {
+          SatClient client;
+          if (!client.connect_tcp(port)) {
+            unanswered += per_conn;
+            return;
+          }
+          std::string burst;
+          std::set<std::int64_t> pending;
+          for (std::int64_t j = 0; j < per_conn; ++j) {
+            const std::int64_t id = c * 1'000'000 + j;
+            std::string req = format_request_line(
+                id,
+                inputs[static_cast<std::size_t>(id) % inputs.size()].data(),
+                numel);
+            req.insert(req.size() - 1, ",\"deadline_ms\":2000");
+            burst += req;
+            burst += "\n";
+            pending.insert(id);
+          }
+          if (!client.send_all(burst)) {
+            unanswered += static_cast<std::int64_t>(pending.size());
+            return;
+          }
+          std::string line;
+          while (!pending.empty() && client.read_line(line)) {
+            const std::size_t idpos = line.find("\"id\":");
+            if (idpos == std::string::npos) continue;
+            const std::int64_t id =
+                std::strtoll(line.c_str() + idpos + 5, nullptr, 10);
+            if (pending.erase(id) == 0) continue;
+            if (line.find("\"predicted\"") != std::string::npos) {
+              if (line != format_result_line(
+                              id, expected[static_cast<std::size_t>(id) %
+                                           expected.size()])) {
+                exact = false;
+              }
+              ++ok;
+            } else if (line.find("\"code\":\"overloaded\"") !=
+                       std::string::npos) {
+              ++shed;
+            } else if (line.find("\"code\":\"timeout\"") !=
+                       std::string::npos) {
+              ++timeouts;
+            }
+          }
+          unanswered += static_cast<std::int64_t>(pending.size());
+        });
+      }
+      for (auto& t : clients) t.join();
+      const auto s1 = std::chrono::steady_clock::now();
+      server.request_drain();
+      loop.join();
+
+      if (unanswered.load() != 0) {
+        std::cerr << "bench_serve: FATAL: " << unanswered.load()
+                  << " requests silently dropped under saturation (conns="
+                  << conns << ")\n";
+        return 1;
+      }
+      if (!exact.load()) {
+        std::cerr << "bench_serve: FATAL: saturated epoll response diverges "
+                     "from the serial planned path (conns="
+                  << conns << ")\n";
+        return 1;
+      }
+
+      // Tail latency over the served (non-shed) requests comes from the
+      // server's own stats ring; the shed rate is the overload story.
+      SaturationPoint pt;
+      pt.conns = conns;
+      pt.sent = static_cast<std::int64_t>(conns) * per_conn;
+      pt.ok = ok.load();
+      pt.shed = shed.load();
+      pt.timeouts = timeouts.load();
+      pt.shed_rate =
+          static_cast<double>(pt.shed) / static_cast<double>(pt.sent);
+      pt.p50_us = nstats.engine.latency_percentile_us(50);
+      pt.p99_us = nstats.engine.latency_percentile_us(99);
+      pt.p999_us = nstats.engine.latency_percentile_us(99.9);
+      const double wall_ms =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+              .count() /
+          1e6;
+      pt.samples_per_s = static_cast<double>(pt.ok) / (wall_ms / 1e3);
+      pt.exact = true;
+      saturation.push_back(pt);
+      std::printf(
+          "  conns %2d: sent %5lld, ok %5lld, shed %5lld (%.0f%%), "
+          "timeout %4lld, %7.0f served/s\n",
+          conns, static_cast<long long>(pt.sent),
+          static_cast<long long>(pt.ok), static_cast<long long>(pt.shed),
+          pt.shed_rate * 100.0, static_cast<long long>(pt.timeouts),
+          pt.samples_per_s);
+    }
+  }
+  std::cout << "saturation accounting check passed (no request dropped)\n";
+#endif  // !_WIN32
+
   if (!out_path.empty()) {
     std::filesystem::path out_file(out_path);
     if (out_file.has_parent_path()) {
@@ -276,7 +499,24 @@ int main(int argc, char** argv) {
     os << "  ],\n  \"protocol\": {\"samples_per_s\": "
        << static_cast<double>(n_requests) / (proto_ms / 1e3)
        << ", \"p50_us\": " << pstats.latency_percentile_us(50)
-       << ", \"p99_us\": " << pstats.latency_percentile_us(99) << "}\n}\n";
+       << ", \"p99_us\": " << pstats.latency_percentile_us(99) << "}";
+#ifndef _WIN32
+    os << ",\n  \"saturation\": [\n";
+    for (std::size_t i = 0; i < saturation.size(); ++i) {
+      const SaturationPoint& pt = saturation[i];
+      os << "    {\"conns\": " << pt.conns << ", \"sent\": " << pt.sent
+         << ", \"ok\": " << pt.ok << ", \"shed\": " << pt.shed
+         << ", \"timeouts\": " << pt.timeouts
+         << ", \"shed_rate\": " << pt.shed_rate
+         << ", \"p50_us\": " << pt.p50_us << ", \"p99_us\": " << pt.p99_us
+         << ", \"p999_us\": " << pt.p999_us
+         << ", \"samples_per_s\": " << pt.samples_per_s
+         << ", \"exact\": " << (pt.exact ? "true" : "false") << "}"
+         << (i + 1 < saturation.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+#endif
+    os << "\n}\n";
     std::cout << "wrote " << out_path << "\n";
   }
   return 0;

@@ -1,13 +1,18 @@
 // `mixq serve` -- the batch inference daemon. Stdio by default (requests
-// on stdin, responses on stdout, stats on stderr), or a unix-domain
-// socket with --socket for concurrent clients. Protocol and threading
-// contract: serve/server.hpp.
+// on stdin, responses on stdout, stats on stderr), a unix-domain socket
+// with --socket, or the fault-tolerant epoll front-end with --tcp (which
+// may also carry --socket as a second listener). Protocol and threading
+// contract: serve/server.hpp; event-loop semantics: serve/net/.
 #include <cstdio>
 #include <iostream>
 
 #include "cli/cli.hpp"
 #include "runtime/flash_image.hpp"
 #include "serve/server.hpp"
+
+#ifndef _WIN32
+#include "serve/net/epoll_server.hpp"
+#endif
 
 namespace mixq::cli {
 
@@ -16,16 +21,35 @@ namespace {
 constexpr const char* kUsage =
     "usage: mixq serve IMAGE [options]\n"
     "\n"
-    "  --threads N      worker lanes (default 1, 0 = hardware)\n"
-    "  --max-batch N    micro-batch coalescing limit (default 8)\n"
-    "  --max-wait-us N  batch window after the first request (default 2000)\n"
-    "  --socket PATH    serve a unix-domain socket instead of stdio\n"
-    "  --quiet          suppress the final stats summary on stderr\n"
+    "  --threads N         worker lanes (default 1, 0 = hardware)\n"
+    "  --max-batch N       micro-batch coalescing limit (default 8)\n"
+    "  --max-wait-us N     batch window after the first request (default 2000)\n"
+    "  --socket PATH       serve a unix-domain socket\n"
+    "  --tcp PORT          serve TCP on the epoll front-end (0 = ephemeral;\n"
+    "                      combines with --socket for both transports)\n"
+    "  --tcp-bind ADDR     TCP bind address (default 127.0.0.1)\n"
+    "  --max-conns N       connection cap; excess accepts are answered\n"
+    "                      `overloaded` and closed (default 256)\n"
+    "  --queue-depth N     admission bound; past it requests are shed with\n"
+    "                      `overloaded` + retry_after_ms (default 256)\n"
+    "  --deadline-default N  deadline_ms stamped on requests that carry\n"
+    "                      none (default 0 = no deadline)\n"
+    "  --idle-timeout-ms N close idle connections (default 60000, 0 = never)\n"
+    "  --drain-timeout-ms N graceful-drain bound on SIGTERM/shutdown\n"
+    "                      (default 5000)\n"
+    "  --fault-spec SPEC   fault injection, e.g. seed=7,drop=0.05,trunc=0.3\n"
+    "                      (also via MIXQ_FAULT_SPEC; testing only)\n"
+    "  --quiet             suppress the final stats summary on stderr\n"
     "\n"
     "protocol (newline-delimited JSON):\n"
     "  {\"id\":7,\"input\":[...H*W*C floats...]}\n"
     "      -> {\"id\":7,\"predicted\":3,\"logits\":[...]}\n"
-    "  {\"cmd\":\"info\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"shutdown\"}\n";
+    "  {\"id\":7,\"input\":[...],\"deadline_ms\":50}\n"
+    "      -> the response, or a {\"code\":\"timeout\"} error if unexecuted\n"
+    "         50 ms after arrival\n"
+    "  {\"cmd\":\"info\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"shutdown\"}\n"
+    "errors: {\"error\":MSG,\"code\":malformed|timeout|overloaded|\n"
+    "         shutting_down|internal,\"retryable\":B[,\"retry_after_ms\":M]}\n";
 
 }  // namespace
 
@@ -38,17 +62,50 @@ int cmd_serve(Args& args) {
   cfg.threads = static_cast<int>(args.int_opt_or("--threads", 1));
   cfg.max_batch = static_cast<int>(args.int_opt_or("--max-batch", 8));
   cfg.max_wait_us = args.int_opt_or("--max-wait-us", 2000);
+  cfg.max_conns = static_cast<int>(args.int_opt_or("--max-conns", 256));
+  cfg.default_deadline_ms = args.int_opt_or("--deadline-default", 0);
   const auto socket_path = args.opt("--socket");
+  const std::int64_t tcp_port = args.int_opt_or("--tcp", -1);
+  const std::string tcp_bind = args.opt_or("--tcp-bind", "127.0.0.1");
+  const std::int64_t queue_depth = args.int_opt_or("--queue-depth", 256);
+  const std::int64_t idle_ms = args.int_opt_or("--idle-timeout-ms", 60'000);
+  const std::int64_t drain_ms = args.int_opt_or("--drain-timeout-ms", 5'000);
+  const auto fault_spec = args.opt("--fault-spec");
   const bool quiet = args.flag("--quiet");
   args.done();
   const auto pos = args.positionals();
   if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
   if (cfg.max_batch < 1) throw UsageError("--max-batch must be >= 1");
   if (cfg.max_wait_us < 0) throw UsageError("--max-wait-us must be >= 0");
+  if (cfg.max_conns < 1) throw UsageError("--max-conns must be >= 1");
+  if (tcp_port > 65535) throw UsageError("--tcp must be a port in [0, 65535]");
+  if (queue_depth < 1) throw UsageError("--queue-depth must be >= 1");
+  if (drain_ms < 1) throw UsageError("--drain-timeout-ms must be >= 1");
 
   const runtime::QuantizedNet net = runtime::read_flash_image_file(pos[0]);
 
   serve::ServeStats stats;
+  if (tcp_port >= 0) {
+#ifdef _WIN32
+    throw std::runtime_error("--tcp is not supported on this platform");
+#else
+    serve::NetConfig ncfg;
+    ncfg.engine = cfg;
+    ncfg.tcp_port = static_cast<int>(tcp_port);
+    ncfg.tcp_bind = tcp_bind;
+    if (socket_path) ncfg.unix_path = *socket_path;
+    ncfg.queue_depth = static_cast<std::size_t>(queue_depth);
+    ncfg.idle_timeout_ms = idle_ms;
+    ncfg.drain_timeout_ms = drain_ms;
+    ncfg.faults = fault_spec ? serve::parse_fault_spec(*fault_spec)
+                             : serve::fault_config_from_env();
+    serve::EpollServer server(net, ncfg);
+    server.install_signal_handlers();  // SIGTERM/SIGINT -> graceful drain
+    const serve::NetStats nstats = server.run(quiet ? nullptr : &std::cerr);
+    if (!quiet) std::fputs(nstats.str().c_str(), stderr);
+    return 0;
+#endif
+  }
   if (socket_path) {
 #ifdef _WIN32
     throw std::runtime_error("--socket is not supported on this platform");

@@ -1,0 +1,118 @@
+#include "serve/net/fault_injector.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace mixq::serve {
+
+namespace {
+
+double parse_prob(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || p < 0.0 || p > 1.0) {
+    throw std::runtime_error("fault spec: \"" + key +
+                             "\" needs a probability in [0,1], got \"" +
+                             text + "\"");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("fault spec: expected key=value, got \"" +
+                               item + "\"");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      cfg.seed = std::strtoull(val.c_str(), nullptr, 10);
+      if (cfg.seed == 0) cfg.seed = 1;  // xorshift must not start at 0
+    } else if (key == "drop") {
+      cfg.drop_conn_p = parse_prob(key, val);
+    } else if (key == "trunc") {
+      cfg.truncate_write_p = parse_prob(key, val);
+    } else if (key == "execerr") {
+      cfg.exec_error_p = parse_prob(key, val);
+    } else if (key == "delay") {
+      const std::size_t colon = val.find(':');
+      cfg.delay_flush_p = parse_prob(key, val.substr(0, colon));
+      cfg.delay_flush_us = 1000;
+      if (colon != std::string::npos) {
+        cfg.delay_flush_us = std::atoi(val.c_str() + colon + 1);
+        if (cfg.delay_flush_us < 0 || cfg.delay_flush_us > 10'000'000) {
+          throw std::runtime_error(
+              "fault spec: delay microseconds out of range");
+        }
+      }
+    } else {
+      throw std::runtime_error("fault spec: unknown key \"" + key + "\"");
+    }
+  }
+  return cfg;
+}
+
+FaultConfig fault_config_from_env() {
+  const char* spec = std::getenv("MIXQ_FAULT_SPEC");
+  if (spec == nullptr || *spec == '\0') return FaultConfig{};
+  return parse_fault_spec(spec);
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg)
+    : cfg_(cfg), enabled_(cfg.any()), state_(cfg.seed ? cfg.seed : 1) {}
+
+bool FaultInjector::roll(double p) {
+  if (p <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // xorshift64*: deterministic, fast, and plenty for fault scheduling.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t x = state_ * 0x2545F4914F6CDD1DULL;
+  return (static_cast<double>(x >> 11) * 0x1.0p-53) < p;
+}
+
+bool FaultInjector::should_drop_conn() {
+  return enabled_ && roll(cfg_.drop_conn_p);
+}
+
+std::size_t FaultInjector::admissible_write(std::size_t n) {
+  if (!enabled_ || n <= 1 || !roll(cfg_.truncate_write_p)) return n;
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t x = state_ * 0x2545F4914F6CDD1DULL;
+  return 1 + static_cast<std::size_t>(x % (n - 1));  // in [1, n)
+}
+
+bool FaultInjector::should_fail_exec() {
+  return enabled_ && roll(cfg_.exec_error_p);
+}
+
+void FaultInjector::maybe_delay_flush() {
+  if (!enabled_ || cfg_.delay_flush_us <= 0 || !roll(cfg_.delay_flush_p)) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(cfg_.delay_flush_us));
+}
+
+}  // namespace mixq::serve

@@ -1,0 +1,147 @@
+#include "serve/protocol.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "serve/json.hpp"
+
+namespace mixq::serve {
+
+const char* err_code_slug(ErrCode code) {
+  switch (code) {
+    case ErrCode::kMalformed: return "malformed";
+    case ErrCode::kTimeout: return "timeout";
+    case ErrCode::kOverloaded: return "overloaded";
+    case ErrCode::kShuttingDown: return "shutting_down";
+    case ErrCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool err_code_retryable(ErrCode code) {
+  // A timed-out request was never executed, so resubmitting it is safe;
+  // only malformed bytes can never succeed on retry.
+  return code != ErrCode::kMalformed;
+}
+
+std::string format_error_line(ErrCode code, std::string_view message,
+                              const std::int64_t* id,
+                              std::int64_t retry_after_ms) {
+  std::string line = "{\"error\":";
+  append_json_string(line, message);
+  line += ",\"code\":\"";
+  line += err_code_slug(code);
+  line += "\",\"retryable\":";
+  line += err_code_retryable(code) ? "true" : "false";
+  if (id != nullptr) {
+    line += ",\"id\":" + std::to_string(*id);
+  }
+  if (retry_after_ms >= 0) {
+    line += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
+  line += "}";
+  return line;
+}
+
+std::string ParsedLine::error_line() const {
+  return format_error_line(code, error, has_id ? &id : nullptr);
+}
+
+namespace {
+
+ParsedLine make_error(std::string message, const JsonValue* id) {
+  ParsedLine p;
+  p.kind = ParsedLine::Kind::kError;
+  p.code = ErrCode::kMalformed;
+  p.error = std::move(message);
+  if (id != nullptr && id->is_integer()) {
+    p.has_id = true;
+    p.id = id->as_integer();
+  }
+  return p;
+}
+
+}  // namespace
+
+ParsedLine parse_protocol_line(std::string_view line, std::int64_t input_numel,
+                               std::size_t max_line_bytes,
+                               std::int64_t default_deadline_ms) {
+  ParsedLine p;
+  if (line.empty() || line.find_first_not_of(" \t\r") == std::string_view::npos) {
+    return p;  // kBlank
+  }
+  if (line.size() > max_line_bytes) {
+    return make_error(
+        "request line exceeds " + std::to_string(max_line_bytes) + " bytes",
+        nullptr);
+  }
+  JsonValue v;
+  try {
+    v = parse_json(line);
+  } catch (const std::runtime_error& e) {
+    return make_error(e.what(), nullptr);
+  }
+  if (!v.is_object()) {
+    return make_error("request must be a JSON object", nullptr);
+  }
+  if (const JsonValue* cmd = v.find("cmd")) {
+    if (!cmd->is_string()) {
+      return make_error("\"cmd\" must be a string", v.find("id"));
+    }
+    if (cmd->string == "shutdown") {
+      p.kind = ParsedLine::Kind::kShutdown;
+      return p;
+    }
+    if (cmd->string == "stats") {
+      p.kind = ParsedLine::Kind::kStats;
+      return p;
+    }
+    if (cmd->string == "info") {
+      p.kind = ParsedLine::Kind::kInfo;
+      return p;
+    }
+    return make_error("unknown cmd \"" + cmd->string + "\"", v.find("id"));
+  }
+
+  const JsonValue* id = v.find("id");
+  const JsonValue* input = v.find("input");
+  if (id == nullptr || !id->is_integer()) {
+    return make_error("missing or non-integer \"id\"", nullptr);
+  }
+  if (input == nullptr || !input->is_array()) {
+    return make_error("missing \"input\" array", id);
+  }
+  if (static_cast<std::int64_t>(input->array.size()) != input_numel) {
+    return make_error("\"input\" must have " + std::to_string(input_numel) +
+                          " elements, got " +
+                          std::to_string(input->array.size()),
+                      id);
+  }
+  std::int64_t deadline_ms = default_deadline_ms;
+  if (const JsonValue* dl = v.find("deadline_ms")) {
+    if (!dl->is_integer() || dl->as_integer() < 1 ||
+        dl->as_integer() > kMaxDeadlineMs) {
+      return make_error("\"deadline_ms\" must be an integer in [1, " +
+                            std::to_string(kMaxDeadlineMs) + "]",
+                        id);
+    }
+    deadline_ms = dl->as_integer();
+  }
+
+  p.kind = ParsedLine::Kind::kRequest;
+  p.request.id = id->as_integer();
+  p.request.input.reserve(input->array.size());
+  for (const JsonValue& x : input->array) {
+    if (!x.is_number()) {
+      return make_error("\"input\" elements must be numbers", id);
+    }
+    p.request.input.push_back(static_cast<float>(x.number));
+  }
+  if (deadline_ms > 0) {
+    p.request.deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+  return p;
+}
+
+}  // namespace mixq::serve

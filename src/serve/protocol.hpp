@@ -1,0 +1,106 @@
+// mixq/serve/protocol.hpp
+//
+// The one place the serving wire protocol is parsed and its errors are
+// formatted. Every front-end -- the stdio StreamServer, the classic
+// thread-per-connection unix-socket daemon, and the epoll event loop in
+// serve/net/ -- feeds raw request lines through parse_protocol_line and
+// emits failures through format_error_line, so the three transports
+// cannot drift apart in what they accept or how they refuse.
+//
+// Request lines (newline-delimited JSON):
+//   {"id":N,"input":[...H*W*C floats...]}            inference request
+//   {"id":N,"input":[...],"deadline_ms":M}           ... with a deadline:
+//        if still unexecuted M ms after arrival the request is answered
+//        with a `timeout` error instead of occupying a batch slot
+//   {"cmd":"info"} | {"cmd":"stats"} | {"cmd":"shutdown"}
+//
+// Error taxonomy (the "code" field of every error response):
+//   malformed      request not understood; retrying the same bytes cannot
+//                  succeed (retryable:false)
+//   timeout        the request's deadline expired before execution
+//   overloaded     admission control shed the request; retry after the
+//                  "retry_after_ms" hint
+//   shutting_down  the daemon is draining and accepts no new work
+//   internal       transient executor failure; safe to retry
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/queue.hpp"
+
+namespace mixq::serve {
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+// ---------------------------------------------------------------------------
+
+enum class ErrCode : std::uint8_t {
+  kMalformed,
+  kTimeout,
+  kOverloaded,
+  kShuttingDown,
+  kInternal,
+};
+
+/// The wire slug ("malformed", "timeout", ...).
+[[nodiscard]] const char* err_code_slug(ErrCode code);
+
+/// Whether a client may retry the identical request and hope for a
+/// different outcome. Malformed input is the only terminal refusal.
+[[nodiscard]] bool err_code_retryable(ErrCode code);
+
+/// One structured error response line:
+///   {"error":MSG,"code":SLUG,"retryable":B[,"id":N][,"retry_after_ms":M]}
+/// `id` is echoed when the offending request carried one (pass nullptr
+/// otherwise); `retry_after_ms >= 0` appends the backoff hint used by
+/// `overloaded` responses.
+[[nodiscard]] std::string format_error_line(ErrCode code,
+                                            std::string_view message,
+                                            const std::int64_t* id = nullptr,
+                                            std::int64_t retry_after_ms = -1);
+
+// ---------------------------------------------------------------------------
+// Request-line parsing.
+// ---------------------------------------------------------------------------
+
+/// Upper bound accepted for "deadline_ms": anything longer is
+/// indistinguishable from "no deadline" at serving timescales, and a
+/// bound keeps now+deadline arithmetic overflow-free.
+inline constexpr std::int64_t kMaxDeadlineMs = 3'600'000;  // one hour
+
+struct ParsedLine {
+  enum class Kind : std::uint8_t {
+    kBlank,     ///< empty/whitespace line: ignore silently
+    kRequest,   ///< `request` is populated
+    kInfo,      ///< {"cmd":"info"}
+    kStats,     ///< {"cmd":"stats"}
+    kShutdown,  ///< {"cmd":"shutdown"}
+    kError,     ///< `code`/`error` (+ id when echoed) are populated
+  };
+
+  Kind kind{Kind::kBlank};
+  Request request;
+
+  ErrCode code{ErrCode::kMalformed};
+  std::string error;
+  bool has_id{false};
+  std::int64_t id{0};
+
+  /// The error response for a kError parse (uses the echoed id if any).
+  [[nodiscard]] std::string error_line() const;
+};
+
+/// Parse one protocol line. `input_numel` is the model's required input
+/// length; `max_line_bytes` rejects oversized lines BEFORE JSON parsing
+/// can amplify them (the JsonValue tree costs ~40x its input bytes).
+/// A parsed request's absolute deadline is stamped from "deadline_ms"
+/// when present, else from `default_deadline_ms` (<= 0 = none). Never
+/// throws: malformed input comes back as Kind::kError.
+[[nodiscard]] ParsedLine parse_protocol_line(std::string_view line,
+                                             std::int64_t input_numel,
+                                             std::size_t max_line_bytes,
+                                             std::int64_t default_deadline_ms);
+
+}  // namespace mixq::serve

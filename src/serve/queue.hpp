@@ -21,14 +21,27 @@ using Clock = std::chrono::steady_clock;
 
 /// One inference request. `client` routes the response back to the
 /// connection that sent it (kClientLocal for stdio / in-process callers).
+/// `deadline` is absolute: a request still unexecuted past it is answered
+/// with a structured `timeout` error instead of occupying a batch slot
+/// (Clock::time_point::max() = no deadline).
 struct Request {
   std::int64_t id{0};
   std::vector<float> input;
   Clock::time_point enqueued{};
+  Clock::time_point deadline{Clock::time_point::max()};
   int client{-1};
+
+  [[nodiscard]] bool expired(Clock::time_point now) const {
+    return deadline != Clock::time_point::max() && now > deadline;
+  }
 };
 
 inline constexpr int kClientLocal = -1;
+
+/// Outcome of a bounded push (admission control lives in front of the
+/// queue: kOverflow is the signal to shed with an `overloaded` response
+/// instead of queueing unboundedly).
+enum class PushResult { kOk, kClosed, kOverflow };
 
 class RequestQueue {
  public:
@@ -43,6 +56,22 @@ class RequestQueue {
     }
     cv_.notify_one();
     return true;
+  }
+
+  /// Like push(), but refuses (leaving the queue untouched) when the
+  /// queue already holds `max_depth` requests. The check and the insert
+  /// are one critical section, so concurrent producers cannot overshoot
+  /// the bound.
+  PushResult push_bounded(Request r, std::size_t max_depth) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (q_.size() >= max_depth) return PushResult::kOverflow;
+      r.enqueued = Clock::now();
+      q_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocking pop: waits until a request is available or the queue is

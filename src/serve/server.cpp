@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "serve/json.hpp"
+#include "serve/protocol.hpp"
 
 #ifndef _WIN32
 #include <cerrno>
@@ -158,6 +159,10 @@ std::string ServeStats::json() const {
   out += std::to_string(responses);
   out += ",\"errors\":";
   out += std::to_string(errors);
+  out += ",\"timeouts\":";
+  out += std::to_string(timeouts);
+  out += ",\"shed\":";
+  out += std::to_string(shed);
   out += ",\"batches\":";
   out += std::to_string(batches);
   out += ",\"max_batch_fill\":";
@@ -181,7 +186,9 @@ std::string ServeStats::str() const {
   std::string s;
   s += "requests: " + std::to_string(requests) +
        ", responses: " + std::to_string(responses) +
-       ", errors: " + std::to_string(errors) + "\n";
+       ", errors: " + std::to_string(errors) +
+       ", timeouts: " + std::to_string(timeouts) +
+       ", shed: " + std::to_string(shed) + "\n";
   s += "batches: " + std::to_string(batches) + " (mean fill " +
        std::to_string(mean_batch_fill()) + ", max fill " +
        std::to_string(max_batch_fill) + ")\n";
@@ -213,7 +220,8 @@ class Engine {
          WriteFn write)
       : session_(net, cfg.threads),
         batcher_(queue_, BatcherConfig{cfg.max_batch, cfg.max_wait_us}),
-        write_(std::move(write)) {}
+        write_(std::move(write)),
+        cfg_default_deadline_ms_(cfg.default_deadline_ms) {}
 
   /// Unwind safety: a throw between start() and drain_and_stop() must
   /// join the worker, not destroy a joinable thread (std::terminate).
@@ -235,78 +243,33 @@ class Engine {
   /// Process one protocol line from `client`. Returns false when the line
   /// asked for shutdown (the caller should stop reading and drain).
   bool handle_line(int client, const std::string& line) {
-    if (line.empty() ||
-        line.find_first_not_of(" \t\r") == std::string::npos) {
-      return true;  // blank lines are ignored, not errors
-    }
-    if (line.size() > max_line_bytes()) {
-      emit_error(client,
-                 ("request line exceeds " + std::to_string(max_line_bytes()) +
-                  " bytes")
-                     .c_str(),
-                 nullptr);
-      return true;
-    }
-    JsonValue v;
-    try {
-      v = parse_json(line);
-    } catch (const std::runtime_error& e) {
-      emit_error(client, e.what(), nullptr);
-      return true;
-    }
-    if (!v.is_object()) {
-      emit_error(client, "request must be a JSON object", nullptr);
-      return true;
-    }
-    if (const JsonValue* cmd = v.find("cmd")) {
-      if (!cmd->is_string()) {
-        emit_error(client, "\"cmd\" must be a string", v.find("id"));
-        return true;
-      }
-      if (cmd->string == "shutdown") return false;
-      if (cmd->string == "stats") {
+    ParsedLine p = parse_protocol_line(line, session_.input_numel(),
+                                       max_line_bytes(),
+                                       cfg_default_deadline_ms_);
+    switch (p.kind) {
+      case ParsedLine::Kind::kBlank:
+        return true;  // blank lines are ignored, not errors
+      case ParsedLine::Kind::kShutdown:
+        return false;
+      case ParsedLine::Kind::kStats:
         write(client, "{\"stats\":" + stats_snapshot().json() + "}");
         return true;
-      }
-      if (cmd->string == "info") {
+      case ParsedLine::Kind::kInfo:
         write(client, info_line());
         return true;
-      }
-      emit_error(client, ("unknown cmd \"" + cmd->string + "\"").c_str(),
-                 v.find("id"));
-      return true;
-    }
-
-    const JsonValue* id = v.find("id");
-    const JsonValue* input = v.find("input");
-    if (id == nullptr || !id->is_integer()) {
-      emit_error(client, "missing or non-integer \"id\"", nullptr);
-      return true;
-    }
-    if (input == nullptr || !input->is_array()) {
-      emit_error(client, "missing \"input\" array", id);
-      return true;
-    }
-    const std::int64_t want = session_.input_numel();
-    if (static_cast<std::int64_t>(input->array.size()) != want) {
-      emit_error(client,
-                 ("\"input\" must have " + std::to_string(want) +
-                  " elements, got " + std::to_string(input->array.size()))
-                     .c_str(),
-                 id);
-      return true;
-    }
-    Request r;
-    r.id = id->as_integer();
-    r.client = client;
-    r.input.reserve(input->array.size());
-    for (const JsonValue& x : input->array) {
-      if (!x.is_number()) {
-        emit_error(client, "\"input\" elements must be numbers", id);
+      case ParsedLine::Kind::kError:
+        write(client, p.error_line());
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.errors;
+        }
         return true;
-      }
-      r.input.push_back(static_cast<float>(x.number));
+      case ParsedLine::Kind::kRequest:
+        break;
     }
+    Request r = std::move(p.request);
+    const std::int64_t rid = r.id;
+    r.client = client;
     // Counted BEFORE the push: the worker may complete and count the
     // response the instant the request is queued, and a stats snapshot
     // must never show responses > requests.
@@ -319,7 +282,10 @@ class Engine {
         std::lock_guard<std::mutex> lock(stats_mu_);
         --stats_.requests;
       }
-      emit_error(client, "server is shutting down", id);
+      write(client, format_error_line(ErrCode::kShuttingDown,
+                                      "server is shutting down", &rid));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
       return true;
     }
     return true;
@@ -357,13 +323,11 @@ class Engine {
 
  private:
   void emit_error(int client, const char* why, const JsonValue* id) {
-    std::string line = "{\"error\":";
-    append_json_string(line, why);
-    if (id != nullptr && id->is_integer()) {
-      line += ",\"id\":" + std::to_string(id->as_integer());
-    }
-    line += "}";
-    write(client, line);
+    std::int64_t id_val = 0;
+    const bool has_id = id != nullptr && id->is_integer();
+    if (has_id) id_val = id->as_integer();
+    write(client, format_error_line(ErrCode::kMalformed, why,
+                                    has_id ? &id_val : nullptr));
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.errors;
   }
@@ -388,6 +352,32 @@ class Engine {
     std::vector<Request> batch;
     std::vector<runtime::QInferenceResult> results;
     while (batcher_.next_batch(batch)) {
+      // Deadline gate: a request that expired while queued (or during the
+      // batch window) is answered with a structured timeout error HERE,
+      // before inference, so it never occupies a batch slot.
+      {
+        const auto now = Clock::now();
+        std::size_t kept = 0;
+        std::int64_t expired = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch[i].expired(now)) {
+            write(batch[i].client,
+                  format_error_line(ErrCode::kTimeout,
+                                    "deadline expired before execution",
+                                    &batch[i].id));
+            ++expired;
+          } else {
+            if (kept != i) batch[kept] = std::move(batch[i]);
+            ++kept;
+          }
+        }
+        if (expired > 0) {
+          batch.resize(kept);
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.timeouts += expired;
+        }
+        if (batch.empty()) continue;
+      }
       session_.infer_batch(batch, results);
       const auto done = Clock::now();
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -420,6 +410,7 @@ class Engine {
   RequestQueue queue_;
   MicroBatcher batcher_;
   WriteFn write_;
+  std::int64_t cfg_default_deadline_ms_{0};
   mutable std::mutex stats_mu_;
   ServeStats stats_;
   std::size_t latency_ring_next_{0};
@@ -498,11 +489,12 @@ ServeStats StreamServer::serve(std::istream& in, std::ostream& out) {
 
 namespace {
 
-/// Send one response line. Returns false when the client is unusable --
-/// disconnected, or so slow its socket buffer stayed full past the
-/// SO_SNDTIMEO send timeout. The caller then writes the connection off:
-/// a stalled consumer costs the (single) batch worker at most one timeout,
-/// never a livelock, and only its own responses are lost.
+/// Send one response line, retrying EINTR and resuming partial writes.
+/// Returns false when the client is unusable -- disconnected, or so slow
+/// its socket buffer stayed full past the SO_SNDTIMEO send timeout. The
+/// caller then writes the connection off: a stalled consumer costs the
+/// (single) batch worker at most one timeout, never a livelock, and only
+/// its own responses are lost.
 bool send_all(int fd, const std::string& line) {
   std::string buf = line;
   buf.push_back('\n');
@@ -514,10 +506,21 @@ bool send_all(int fd, const std::string& line) {
 #else
     const auto n = ::send(fd, buf.data() + off, buf.size() - off, 0);
 #endif
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// recv with an EINTR retry loop: a signal delivery (SIGTERM forwarded to
+/// a thread, a profiler tick) must not be mistaken for a disconnect.
+ssize_t recv_retry(int fd, char* buf, std::size_t n) {
+  while (true) {
+    const auto r = ::recv(fd, buf, n, 0);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
 }
 
 /// Per-connection send timeout (see send_all).
@@ -529,12 +532,11 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
                              const ServeConfig& cfg,
                              const std::string& socket_path,
                              std::ostream* log) {
-#ifndef MSG_NOSIGNAL
-  // Platforms without a per-send suppression flag (e.g. macOS): a write
-  // to a freshly disconnected client must produce an error, not SIGPIPE's
-  // default process kill.
+  // A write to a freshly disconnected client must produce an error, not
+  // SIGPIPE's default process kill. MSG_NOSIGNAL already covers the
+  // send() calls where available, but ignoring the signal as well keeps a
+  // dead client from killing the daemon through any other write path.
   ::signal(SIGPIPE, SIG_IGN);
-#endif
   sockaddr_un addr{};
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     throw std::runtime_error("serve: socket path too long: " + socket_path);
@@ -601,6 +603,8 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
     std::shared_ptr<std::atomic<bool>> done;
   };
   std::vector<Reader> readers;
+  std::mutex rejected_mu;
+  std::int64_t rejected_conns = 0;
   const auto reap_finished = [&] {
     for (auto it = readers.begin(); it != readers.end();) {
       if (it->done->load()) {
@@ -624,6 +628,31 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
     ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                  sizeof(send_timeout));
     reap_finished();
+    // Admission control: past max_conns the connection is answered with a
+    // structured retryable error and closed -- never an unbounded reader
+    // thread per accept.
+    {
+      std::size_t live;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        live = conns.size();
+      }
+      if (cfg.max_conns > 0 &&
+          live >= static_cast<std::size_t>(cfg.max_conns)) {
+        send_all(conn_fd,
+                 format_error_line(
+                     ErrCode::kOverloaded,
+                     "connection limit " + std::to_string(cfg.max_conns) +
+                         " reached",
+                     nullptr, /*retry_after_ms=*/100));
+        ::close(conn_fd);
+        {
+          std::lock_guard<std::mutex> lock(rejected_mu);
+          ++rejected_conns;
+        }
+        continue;
+      }
+    }
     const int client = next_client++;
     auto conn = std::make_shared<Conn>();
     conn->fd = conn_fd;
@@ -637,7 +666,7 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
       char buf[4096];
       bool open = true;
       while (open) {
-        const auto n = ::recv(conn_fd, buf, sizeof(buf), 0);
+        const auto n = recv_retry(conn_fd, buf, sizeof(buf));
         if (n <= 0) break;
         pending.append(buf, static_cast<std::size_t>(n));
         // A client streaming an endless line (no newline) must not grow
@@ -702,7 +731,12 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
   engine.drain_and_stop();  // idempotent; covers EOF-of-all-clients exits
   ::close(listen_fd);
   ::unlink(socket_path.c_str());
-  return engine.stats_snapshot();
+  ServeStats stats = engine.stats_snapshot();
+  {
+    std::lock_guard<std::mutex> lock(rejected_mu);
+    stats.shed += rejected_conns;
+  }
+  return stats;
 }
 
 #endif  // !_WIN32

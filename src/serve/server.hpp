@@ -8,14 +8,19 @@
 // bit-identical to a serial Executor::run_planned() for every lane count
 // and every batch composition.
 //
-// Protocol (newline-delimited JSON, one request/response per line):
+// Protocol (newline-delimited JSON, one request/response per line; the
+// parser and error taxonomy live in serve/protocol.hpp, shared with the
+// epoll front-end in serve/net/):
 //   {"id": 7, "input": [f0, f1, ...]}   -> {"id":7,"predicted":3,"logits":[...]}
+//   {"id": 7, "input": [...], "deadline_ms": 50}
+//       -> the response, or {"error":...,"code":"timeout",...} if still
+//          unexecuted 50 ms after arrival (the slot is never wasted)
 //   {"cmd": "info"}                     -> {"info":{...model metadata...}}
 //   {"cmd": "stats"}                    -> {"stats":{...latency/batch stats...}}
 //   {"cmd": "shutdown"}                 -> {"ok":"shutdown"}   (after drain)
-// Malformed or invalid lines get {"error":"...","id":N?} and never kill
-// the daemon. `input` length must equal the model's H*W*C. Responses to
-// one client's valid requests are emitted in request order.
+// Malformed or invalid lines get {"error":...,"code":"malformed",...}
+// and never kill the daemon. `input` length must equal the model's H*W*C.
+// Responses to one client's valid requests are emitted in request order.
 //
 // Threading contract (see also Executor::plan() in runtime/executor.hpp):
 //   * InferenceSession::infer_batch may be called from ONE thread at a
@@ -96,6 +101,8 @@ struct ServeStats {
   std::int64_t requests{0};   ///< well-formed inference requests accepted
   std::int64_t responses{0};  ///< inference responses emitted
   std::int64_t errors{0};     ///< protocol errors answered
+  std::int64_t timeouts{0};   ///< accepted requests answered `timeout`
+  std::int64_t shed{0};       ///< requests/connections refused `overloaded`
   std::int64_t batches{0};    ///< micro-batches executed
   std::int64_t max_batch_fill{0};
   std::vector<double> latency_us;  ///< per-request enqueue -> response
@@ -123,6 +130,15 @@ struct ServeConfig {
   int threads{1};                  ///< worker lanes (0 = hardware)
   int max_batch{8};
   std::int64_t max_wait_us{2000};
+  /// Concurrent-connection cap of the socket front-ends. The classic
+  /// unix daemon answers the excess connection with a structured
+  /// `overloaded` error and closes it instead of spawning an unbounded
+  /// reader thread per accept.
+  int max_conns{256};
+  /// Deadline stamped on requests that carry no "deadline_ms" field
+  /// (<= 0 = none). An accepted request still unexecuted past its
+  /// deadline is answered with a `timeout` error, never silently dropped.
+  std::int64_t default_deadline_ms{0};
 };
 
 class StreamServer {

@@ -18,7 +18,16 @@ Diffs a freshly measured BENCH_runtime.json against the committed baseline:
     when either measurement is flagged "limited_by_host": a 1-vCPU runner
     cannot demonstrate scaling, and warning about it is noise.
 
+With --serve, additionally (or instead) validates a BENCH_serve.json
+produced by bench_serve: the epoll saturation sweep must be present with
+its full schema (shed counts, shed_rate, p50/p99/p999), every point must
+carry exact=true (bit-exactness under overload), and the per-point
+accounting must balance (sent == ok + shed + timeouts -- an unbalanced
+row means a request was silently dropped). These are HARD gates: unlike
+wall-clock timing they are load-bearing correctness claims.
+
 usage: check_bench_regression.py BASELINE FRESH [--warn-pct 30]
+       check_bench_regression.py [BASELINE FRESH] --serve BENCH_serve.json
 """
 
 import argparse
@@ -31,13 +40,68 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_serve(path: str) -> None:
+    """Hard-gate the bench_serve saturation section's schema + invariants."""
+    with open(path) as f:
+        serve = json.load(f)
+    sat = serve.get("saturation")
+    if not isinstance(sat, list) or not sat:
+        fail(f"{path}: missing or empty \"saturation\" section -- the "
+             f"epoll front-end sweep did not run")
+    required = ("conns", "sent", "ok", "shed", "timeouts", "shed_rate",
+                "p50_us", "p99_us", "p999_us", "samples_per_s", "exact")
+    any_shed = False
+    for i, pt in enumerate(sat):
+        missing = [k for k in required if k not in pt]
+        if missing:
+            fail(f"{path}: saturation[{i}] is missing fields: "
+                 f"{', '.join(missing)}")
+        if pt["exact"] is not True:
+            fail(f"{path}: saturation[{i}] (conns={pt['conns']}) reports "
+                 f"exact={pt['exact']}: served responses diverged from the "
+                 f"serial planned path under load")
+        answered = pt["ok"] + pt["shed"] + pt["timeouts"]
+        if answered != pt["sent"]:
+            fail(f"{path}: saturation[{i}] (conns={pt['conns']}) accounting "
+                 f"does not balance: sent={pt['sent']} but "
+                 f"ok+shed+timeouts={answered} -- a request was silently "
+                 f"dropped")
+        if not 0.0 <= pt["shed_rate"] <= 1.0:
+            fail(f"{path}: saturation[{i}] shed_rate={pt['shed_rate']} "
+                 f"outside [0, 1]")
+        if pt["ok"] > 0 and not (0.0 <= pt["p50_us"] <= pt["p99_us"]
+                                 <= pt["p999_us"]):
+            fail(f"{path}: saturation[{i}] latency percentiles are not "
+                 f"monotone: p50={pt['p50_us']} p99={pt['p99_us']} "
+                 f"p999={pt['p999_us']}")
+        any_shed = any_shed or pt["shed"] > 0
+    if not any_shed:
+        print("::warning::saturation sweep never shed a request; the "
+              "queue-depth setting no longer saturates this host and the "
+              "overload path went unexercised")
+    conns = ", ".join(str(pt["conns"]) for pt in sat)
+    print(f"serve saturation schema ok: {len(sat)} points (conns {conns}), "
+          f"accounting balanced, exact=true throughout")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
     ap.add_argument("--warn-pct", type=float, default=30.0,
                     help="warn when planned_ns regresses more than this")
+    ap.add_argument("--serve", metavar="BENCH_SERVE_JSON",
+                    help="also hard-gate a bench_serve saturation JSON")
     args = ap.parse_args()
+
+    if args.serve:
+        check_serve(args.serve)
+    if args.baseline is None and args.fresh is None:
+        if not args.serve:
+            ap.error("nothing to check: pass BASELINE FRESH and/or --serve")
+        return
+    if args.baseline is None or args.fresh is None:
+        ap.error("BASELINE and FRESH must be given together")
 
     with open(args.baseline) as f:
         base = json.load(f)

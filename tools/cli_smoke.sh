@@ -84,6 +84,106 @@ head -n 1 "$DIR/run.ndjson" | cmp - <(grep '"predicted"' "$DIR/serve_err.ndjson"
 grep -q '"stats"' "$DIR/serve_err.ndjson"
 grep -q '"ok":"shutdown"' "$DIR/serve_err.ndjson"
 
+if command -v python3 >/dev/null 2>&1; then
+  echo "== serve --tcp (epoll front-end): round trip byte-identical to run"
+  "$MIXQ" serve "$DIR/model.img" --tcp 0 --max-batch 4 --max-wait-us 500 \
+    2> "$DIR/tcp1.log" &
+  SRV=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$DIR/tcp1.log" | head -n 1)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  test -n "$PORT"
+  PY_RC=0
+  python3 - "$PORT" "$DIR/requests.ndjson" "$DIR/tcp.ndjson" <<'PYEOF' || PY_RC=$?
+import socket, sys
+port, req_path, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+reqs = open(req_path, "rb").read().splitlines()
+s = socket.create_connection(("127.0.0.1", port), timeout=30)
+f = s.makefile("rwb")
+for r in reqs:
+    f.write(r + b"\n")
+f.write(b'{"cmd":"shutdown"}\n')
+f.flush()
+with open(out_path, "wb") as out:
+    for _ in reqs:
+        line = f.readline()
+        assert b'"predicted"' in line, line
+        out.write(line)
+ack = f.readline()
+assert ack.rstrip() == b'{"ok":"shutdown"}', ack
+assert f.readline() == b""  # clean close after the drain
+s.close()
+PYEOF
+  if [ "$PY_RC" -ne 0 ]; then
+    kill "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    exit "$PY_RC"
+  fi
+  wait "$SRV"
+  cmp "$DIR/run.ndjson" "$DIR/tcp.ndjson"
+
+  echo "== serve --tcp: SIGTERM mid-stream drains admitted work, exit 0"
+  "$MIXQ" serve "$DIR/model.img" --tcp 0 --max-batch 4 --max-wait-us 500 \
+    2> "$DIR/tcp2.log" &
+  SRV=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$DIR/tcp2.log" | head -n 1)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  test -n "$PORT"
+  PY_RC=0
+  python3 - "$PORT" "$SRV" "$DIR/requests.ndjson" "$DIR/tcp_term.ndjson" \
+    <<'PYEOF' || PY_RC=$?
+import os, signal, socket, sys
+port, srv_pid = int(sys.argv[1]), int(sys.argv[2])
+req_path, out_path = sys.argv[3], sys.argv[4]
+reqs = open(req_path, "rb").read().splitlines()
+s = socket.create_connection(("127.0.0.1", port), timeout=30)
+f = s.makefile("rwb")
+for r in reqs:
+    f.write(r + b"\n")
+f.write(b'{"cmd":"stats"}\n')
+f.flush()
+# Responses may interleave with the stats line (the batch worker races
+# the loop's read of the final TCP segment), so classify as they arrive.
+responses = []
+while True:
+    line = f.readline()
+    assert line, "connection closed before the stats response"
+    if b'"stats"' in line:
+        # Proves every request line sent before it was admitted.
+        assert b'"requests":%d' % len(reqs) in line, line
+        break
+    assert b'"predicted"' in line, line
+    responses.append(line)
+os.kill(srv_pid, signal.SIGTERM)  # drain NOW, with work still in flight
+while len(responses) < len(reqs):
+    line = f.readline()
+    assert b'"predicted"' in line, line or b"<dropped by drain>"
+    responses.append(line)
+assert f.readline() == b""  # server closed the connection after flushing
+s.close()
+with open(out_path, "wb") as out:
+    out.writelines(responses)
+PYEOF
+  if [ "$PY_RC" -ne 0 ]; then
+    kill "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    exit "$PY_RC"
+  fi
+  wait "$SRV"
+  cmp "$DIR/run.ndjson" "$DIR/tcp_term.ndjson"
+else
+  echo "== serve --tcp smoke skipped: python3 not available"
+fi
+
 echo "== CSV inputs round-trip through run (2 samples of 8*8*3 floats)"
 awk 'BEGIN { for (i = 0; i < 2; i++) { line = ""; for (j = 0; j < 192; j++) line = line (j ? "," : "") ((i * 192 + j) % 7 / 7.0); print line } }' \
   > "$DIR/inputs.csv"
