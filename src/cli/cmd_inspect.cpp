@@ -5,9 +5,11 @@
 // eligibility prover decided) with its arena footprint, and (with
 // --device) the linker-map-level memory layout an MCU engineer would
 // review before flashing.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "cli/cli.hpp"
 #include "mcu/memory_map.hpp"
@@ -42,9 +44,28 @@ int cmd_inspect(Args& args) {
   if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
   const std::string& path = pos[0];
 
-  const runtime::QuantizedNet net = runtime::read_flash_image_file(path);
+  runtime::FlashImageStats img;
+  const runtime::QuantizedNet net =
+      runtime::read_flash_image_file(path, {}, &img);
   const runtime::NetProfile prof = runtime::profile(net);
   const auto file_bytes = std::filesystem::file_size(path);
+  // Per-layer decode cost: time one weight_codes_to_i32 pass (bulk unpack
+  // for raw banks, streaming Huffman decode for coded ones) -- the work a
+  // plan compile pays per layer to land the bank in its INT32 panel.
+  std::vector<double> decode_us(net.layers.size(), 0.0);
+  {
+    std::vector<std::int32_t> scratch;
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+      const runtime::QLayer& l = net.layers[i];
+      if (l.kind == runtime::QLayerKind::kGlobalAvgPool) continue;
+      scratch.resize(static_cast<std::size_t>(l.weights_numel()));
+      const auto t0 = std::chrono::steady_clock::now();
+      l.weight_codes_to_i32(scratch.data());
+      const auto t1 = std::chrono::steady_clock::now();
+      decode_us[i] =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+    }
+  }
   // Host-executor plan: which domain the eligibility prover chose per
   // layer and what the ping-pong arenas cost (vs forcing all-INT32).
   const runtime::ExecutionPlan plan(net);
@@ -55,7 +76,7 @@ int cmd_inspect(Args& args) {
     std::string out = "{\"file\":";
     serve::append_json_string(out, path);
     out += ",\"file_bytes\":" + std::to_string(file_bytes);
-    out += ",\"version\":" + std::to_string(runtime::kFlashImageVersion);
+    out += ",\"version\":" + std::to_string(img.version);
     const Shape& in = net.layers.front().in_shape;
     out += ",\"input\":{\"shape\":[" + std::to_string(in.h) + "," +
            std::to_string(in.w) + "," + std::to_string(in.c) + "]";
@@ -91,6 +112,15 @@ int cmd_inspect(Args& args) {
       out += ",\"tile\":{\"rows\":" + std::to_string(pl.tile.rows) +
              ",\"kb\":" + std::to_string(pl.tile.kb) +
              ",\"nb\":" + std::to_string(pl.tile.nb) + "}";
+      if (i < img.layers.size()) {
+        const runtime::FlashLayerStats& ls = img.layers[i];
+        out += ",\"codec\":\"";
+        out += ls.codec == 1 ? "huffman" : "raw";
+        out += "\",\"stored_bytes\":" + std::to_string(ls.stored_bytes);
+        out += ",\"raw_weight_bytes\":" + std::to_string(ls.raw_bytes);
+        out += ",\"decode_us\":";
+        serve::append_json_float(out, decode_us[i]);
+      }
       out += "}";
     }
     out += "],\"total_macs\":" + std::to_string(prof.total_macs);
@@ -101,6 +131,17 @@ int cmd_inspect(Args& args) {
     out += runtime::simd::vnni_enabled() ? "true" : "false";
     out += ",\"arena_bytes\":" + std::to_string(plan.arena_bytes());
     out += ",\"arena_bytes_i32\":" + std::to_string(plan_i32.arena_bytes());
+    out += "}";
+    out += ",\"image\":{\"payload_bytes\":" +
+           std::to_string(img.payload_bytes);
+    out += ",\"weight_raw_bytes\":" + std::to_string(img.weight_raw_bytes);
+    out += ",\"weight_stored_bytes\":" +
+           std::to_string(img.weight_stored_bytes);
+    out += ",\"compression_ratio\":";
+    serve::append_json_float(
+        out, img.weight_stored_bytes > 0
+                 ? (double)img.weight_raw_bytes / (double)img.weight_stored_bytes
+                 : 1.0);
     out += "}";
     if (device_name) {
       const mcu::DeviceSpec dev = parse_device(*device_name);
@@ -121,7 +162,7 @@ int cmd_inspect(Args& args) {
   }
 
   std::printf("flash image: %s (%llu bytes, format v%u)\n", path.c_str(),
-              (unsigned long long)file_bytes, runtime::kFlashImageVersion);
+              (unsigned long long)file_bytes, img.version);
   const Shape& in = net.layers.front().in_shape;
   std::printf("input: %lldx%lldx%lld UINT%d (scale %g, zero %d)\n",
               (long long)in.h, (long long)in.w, (long long)in.c,
@@ -160,6 +201,29 @@ int cmd_inspect(Args& args) {
   std::printf("\ntotal: %lld MACs, RO %lld bytes, RW peak %lld bytes\n",
               (long long)prof.total_macs, (long long)prof.total_ro_bytes,
               (long long)prof.peak_rw_bytes);
+  if (img.version >= 2) {
+    std::printf("\nweight storage (format v2):\n");
+    std::printf("%3s %-8s %10s %10s %7s %10s\n", "i", "codec", "stored",
+                "raw", "ratio", "decode");
+    for (std::size_t i = 0; i < img.layers.size(); ++i) {
+      const runtime::FlashLayerStats& ls = img.layers[i];
+      if (ls.wnumel == 0) continue;
+      std::printf("%3zu %-8s %10lld %10lld %6.2fx %8.1fus\n", i,
+                  ls.codec == 1 ? "huffman" : "raw",
+                  (long long)ls.stored_bytes, (long long)ls.raw_bytes,
+                  ls.stored_bytes > 0
+                      ? (double)ls.raw_bytes / (double)ls.stored_bytes
+                      : 1.0,
+                  decode_us[i]);
+    }
+    std::printf("weights total: %lld -> %lld bytes (%.2fx)\n",
+                (long long)img.weight_raw_bytes,
+                (long long)img.weight_stored_bytes,
+                img.weight_stored_bytes > 0
+                    ? (double)img.weight_raw_bytes /
+                          (double)img.weight_stored_bytes
+                    : 1.0);
+  }
   std::printf(
       "host executor: %lld/%zu layers in the i8 domain, activation arenas "
       "%lld bytes (all-INT32 plan: %lld bytes, %.2fx larger)\n",

@@ -46,6 +46,8 @@ constexpr const char* kUsage =
     "\n"
     "output:\n"
     "  --out IMAGE         flash image path (required)\n"
+    "  --compress          entropy-code weight sections (format v2); each\n"
+    "                      layer keeps Huffman only when it is smaller\n"
     "  --quiet             suppress the summary\n";
 
 }  // namespace
@@ -70,6 +72,7 @@ int cmd_quantize(Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.int_opt_or("--seed", 1));
   const auto checkpoint_in = args.opt("--checkpoint");
   const auto checkpoint_out = args.opt("--save-checkpoint");
+  const bool compress = args.flag("--compress");
   const bool quiet = args.flag("--quiet");
   args.done();
   if (!out_path) throw UsageError("--out IMAGE is required");
@@ -156,7 +159,7 @@ int cmd_quantize(Args& args) {
   const runtime::QuantizedNet qnet = runtime::convert_qat_model(
       model, Shape(1, hw, hw, mcfg.in_channels), {scheme});
   qnet.validate();
-  runtime::write_flash_image_file(qnet, *out_path);
+  runtime::write_flash_image_file(qnet, *out_path, {compress});
 
   if (!quiet) {
     if (planned) {
@@ -177,8 +180,22 @@ int cmd_quantize(Args& args) {
                 "RW peak %lld bytes\n",
                 qnet.layers.size(), core::to_string(scheme).c_str(),
                 (long long)qnet.ro_bytes(), (long long)qnet.rw_peak_bytes());
-    std::printf("wrote %s (%llu bytes)\n", out_path->c_str(),
-                (unsigned long long)image_bytes);
+    if (compress) {
+      runtime::FlashImageStats st;
+      runtime::read_flash_image_file(*out_path, {}, &st);
+      int coded = 0;
+      for (const auto& ls : st.layers) coded += ls.codec == 1;
+      std::printf("entropy coding: %d/%zu layers huffman, weights %lld -> "
+                  "%lld bytes (%.2fx)\n",
+                  coded, st.layers.size(), (long long)st.weight_raw_bytes,
+                  (long long)st.weight_stored_bytes,
+                  st.weight_stored_bytes > 0
+                      ? (double)st.weight_raw_bytes /
+                            (double)st.weight_stored_bytes
+                      : 1.0);
+    }
+    std::printf("wrote %s (%llu bytes, format v%d)\n", out_path->c_str(),
+                (unsigned long long)image_bytes, compress ? 2 : 1);
   }
   return 0;
 }

@@ -21,6 +21,10 @@ constexpr const char* kUsage =
     "usage: mixq run IMAGE --input SPEC [options]\n"
     "\n"
     "  --input SPEC         synthetic:N | csv:PATH | raw:PATH (required)\n"
+    "  --mmap               zero-copy load: map the image instead of\n"
+    "                       reading it (raw weights stay in the mapping,\n"
+    "                       entropy-coded weights decode straight into the\n"
+    "                       plan); results are bit-identical either way\n"
     "  --seed N             synthetic input seed (default 7)\n"
     "  --threads N          worker lanes (default 1, 0 = hardware)\n"
     "  --ndjson             one {\"id\":...,\"predicted\":...,\"logits\":[...]}\n"
@@ -38,6 +42,7 @@ int cmd_run(Args& args) {
     return 0;
   }
   const auto input_spec = args.opt("--input");
+  const bool use_mmap = args.flag("--mmap");
   const auto seed = static_cast<std::uint64_t>(args.int_opt_or("--seed", 7));
   const int threads = static_cast<int>(args.int_opt_or("--threads", 1));
   const bool ndjson = args.flag("--ndjson");
@@ -48,7 +53,9 @@ int cmd_run(Args& args) {
   if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
   if (!input_spec) throw UsageError("--input SPEC is required");
 
-  const runtime::QuantizedNet net = runtime::read_flash_image_file(pos[0]);
+  const runtime::QuantizedNet net =
+      use_mmap ? runtime::load_flash_image_mmap(pos[0])
+               : runtime::read_flash_image_file(pos[0]);
   serve::InferenceSession session(net, threads);
   auto samples = load_inputs(*input_spec, session.input_shape(), seed);
 

@@ -62,6 +62,14 @@ QInferenceResult Executor::run_codes(PackedBuffer cur) const {
   QInferenceResult res;
   for (std::size_t i = 0; i < net_->layers.size(); ++i) {
     const QLayer& l = net_->layers[i];
+    if (!fast_ && l.weights_deferred()) {
+      // The reference kernels random-access packed codes; an entropy-coded
+      // (deferred) bank has none. The planned engine decodes such banks
+      // natively -- for the reference path the caller must materialize.
+      throw std::logic_error(
+          "Executor: reference path needs materialized weights "
+          "(call QLayer::materialize_weights or use the planned engine)");
+    }
     if (l.raw_logits) {
       if (i + 1 != net_->layers.size()) {
         throw std::logic_error("Executor: head layer must be last");
@@ -263,10 +271,10 @@ void QuantizedNet::validate() const {
 
     if (l.kind != QLayerKind::kGlobalAvgPool) {
       const std::int64_t co = l.wshape.co;
-      if (l.weights.numel() != l.wshape.numel()) {
+      if (l.weights_numel() != l.wshape.numel()) {
         fail(i, "weight buffer size mismatch");
       }
-      if (l.weights.bitwidth() != l.qw) fail(i, "weight bitwidth mismatch");
+      if (l.weights_bitwidth() != l.qw) fail(i, "weight bitwidth mismatch");
       if (l.zw.size() != 1 && l.zw.size() != static_cast<std::size_t>(co)) {
         fail(i, "zw count");
       }

@@ -23,9 +23,12 @@ void unpack_offset_input(const PackedBuffer& buf, std::int32_t zx,
 }
 
 /// Unpack weight codes and pre-subtract the (per-channel) zero-point, so
-/// the inner loops are plain dot products.
+/// the inner loops are plain dot products. Goes through the storage-form
+/// accessor so entropy-coded (deferred) weight banks decode straight into
+/// the int32 scratch without ever materializing a packed buffer.
 void unpack_offset_weights(const QLayer& l, std::vector<std::int32_t>& out) {
-  unpack_into(l.weights, out);
+  out.resize(static_cast<std::size_t>(l.weights_numel()));
+  l.weight_codes_to_i32(out.data());
   const std::int64_t per = l.wshape.per_channel();
   for (std::int64_t oc = 0; oc < l.wshape.co; ++oc) {
     const std::int32_t zw = l.zw_of(oc);

@@ -881,13 +881,18 @@ ExecutionPlan::ExecutionPlan(const QuantizedNet& net, PlanOptions opts)
     }
 
     if (l.kind != QLayerKind::kGlobalAvgPool) {
-      // Bulk-unpack the packed weight bank (one contiguous row range per
-      // output channel) and pre-subtract the per-channel zero-point.
+      // Land the whole weight bank in the pre-unpacked INT32 panel in one
+      // sequential pass (rows are contiguous, so the bank-wide walk equals
+      // the per-channel row walks), then pre-subtract the per-channel
+      // zero-point. weight_codes_to_i32 bulk-unpacks raw packed banks and
+      // STREAMING-DECODES entropy-coded (mmap'ed, still-compressed) banks
+      // straight into the panel -- the unpacked image never exists
+      // anywhere else.
       const std::int64_t per = l.wshape.per_channel();
       const std::int64_t co = l.wshape.co;
-      pl.w.resize(static_cast<std::size_t>(l.weights.numel()));
+      pl.w.resize(static_cast<std::size_t>(l.weights_numel()));
+      l.weight_codes_to_i32(pl.w.data());
       for (std::int64_t oc = 0; oc < co; ++oc) {
-        unpack_range(l.weights, oc * per, per, pl.w.data() + oc * per);
         const std::int32_t zw = l.zw_of(oc);
         if (zw != 0) {
           std::int32_t* wp = pl.w.data() + oc * per;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -43,6 +44,24 @@ inline const char* kind_name(QLayerKind k) {
   return "?";
 }
 
+/// Entropy-coded weight section left UNDECODED: what the zero-copy mmap
+/// flash loader (format v2, runtime/flash_image.hpp) attaches to a layer
+/// instead of a materialized PackedBuffer. The canonical-Huffman table is
+/// tiny and copied; the bitstream stays a view into the mapped file, with
+/// `backing` keeping the mapping alive. ExecutionPlan streams such a
+/// section straight into its pre-unpacked INT32 panels at compile time
+/// (QLayer::weight_codes_to_i32) -- the packed form is never materialized
+/// unless someone calls QLayer::materialize_weights().
+struct EncodedWeights {
+  BitWidth q{BitWidth::kQ8};
+  std::int64_t numel{0};
+  std::vector<std::uint8_t> lens;        ///< canonical code lengths
+  const std::uint8_t* stream{nullptr};   ///< bitstream view (not owned)
+  std::uint64_t stream_bytes{0};
+  std::uint64_t nbits{0};
+  std::shared_ptr<const void> backing;   ///< keeps the mapping alive
+};
+
 /// One deployed layer.
 struct QLayer {
   QLayerKind kind{QLayerKind::kConv};
@@ -70,10 +89,39 @@ struct QLayer {
   bool raw_logits{false};
   std::vector<double> out_mult;      ///< per-channel Si*Sw_c (head only)
 
+  /// Deferred entropy-coded weights (mmap fast path). When set, `weights`
+  /// is empty and consumers must go through weight_codes_to_i32() /
+  /// materialize_weights(); only the planned engine does so natively --
+  /// the reference executor requires materialized weights.
+  std::shared_ptr<const EncodedWeights> enc;
+  /// Keepalive for a `weights` buffer borrowed from an mmap'ed image
+  /// (PackedBuffer::borrow). Null for ordinary owning buffers.
+  std::shared_ptr<const void> weights_backing;
+
   [[nodiscard]] std::int32_t zw_of(std::int64_t oc) const {
     return zw.size() == 1 ? zw[0] : zw[static_cast<std::size_t>(oc)];
   }
   [[nodiscard]] std::int64_t out_channels() const { return wshape.co; }
+
+  /// Weight-bank geometry regardless of the storage form.
+  [[nodiscard]] bool weights_deferred() const { return enc != nullptr; }
+  [[nodiscard]] std::int64_t weights_numel() const {
+    return enc ? enc->numel : weights.numel();
+  }
+  [[nodiscard]] BitWidth weights_bitwidth() const {
+    return enc ? enc->q : weights.bitwidth();
+  }
+
+  /// Unpack (raw) or streaming-decode (entropy-coded) the whole weight
+  /// bank into `out[0, weights_numel())` as int32 codes -- the plan's
+  /// panel-source hook; no intermediate packed allocation on the encoded
+  /// path. Implemented in runtime/flash_image.cpp.
+  void weight_codes_to_i32(std::int32_t* out) const;
+
+  /// Decode a deferred entropy section into an owning PackedBuffer (and
+  /// drop the section), so the reference/fast executors can random-access
+  /// the codes. No-op when weights are already materialized.
+  void materialize_weights();
 };
 
 /// Result of running a quantized network on one input.

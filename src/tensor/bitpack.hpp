@@ -59,6 +59,13 @@ inline BitWidth bitwidth_from_int(int q) {
 }
 
 /// Densely packed buffer of unsigned Q-bit codes.
+///
+/// Normally owns its bytes. `borrow()` builds a non-owning READ-ONLY view
+/// over caller-managed memory instead -- the zero-copy path the mmap flash
+/// image loader uses to reference weight sections directly in the mapped
+/// file. A borrowed buffer rejects every mutation (the mapping is
+/// PROT_READ); the borrower is responsible for keeping the backing memory
+/// alive (QLayer carries a keepalive handle for exactly this).
 class PackedBuffer {
  public:
   PackedBuffer() = default;
@@ -66,16 +73,39 @@ class PackedBuffer {
       : numel_(numel), q_(q),
         bytes_(static_cast<std::size_t>(packed_bytes(numel, q)), 0) {}
 
+  /// Non-owning view over `packed_bytes(numel, q)` bytes at `bytes`.
+  static PackedBuffer borrow(const std::uint8_t* bytes, std::int64_t numel,
+                             BitWidth q) {
+    PackedBuffer b;
+    b.numel_ = numel;
+    b.q_ = q;
+    b.view_ = bytes;
+    b.view_bytes_ = packed_bytes(numel, q);
+    return b;
+  }
+
+  [[nodiscard]] bool borrowed() const { return view_ != nullptr; }
+
   [[nodiscard]] std::int64_t numel() const { return numel_; }
   [[nodiscard]] BitWidth bitwidth() const { return q_; }
   [[nodiscard]] std::int64_t size_bytes() const {
-    return static_cast<std::int64_t>(bytes_.size());
+    return view_ ? view_bytes_ : static_cast<std::int64_t>(bytes_.size());
   }
-  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
-  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return view_ ? view_ : bytes_.data();
+  }
+  [[nodiscard]] std::uint8_t* data() {
+    if (view_) {
+      throw std::logic_error("PackedBuffer: mutable access to borrowed view");
+    }
+    return bytes_.data();
+  }
 
   /// Store code `v` (must fit in Q bits) at element index `i`.
   void set(std::int64_t i, std::uint32_t v) {
+    if (view_) {
+      throw std::logic_error("PackedBuffer: set() on borrowed view");
+    }
     const int b = bits(q_);
     const int per = elems_per_byte(q_);
     const std::size_t byte = static_cast<std::size_t>(i / per);
@@ -92,13 +122,15 @@ class PackedBuffer {
     const int per = elems_per_byte(q_);
     const std::size_t byte = static_cast<std::size_t>(i / per);
     const int slot = static_cast<int>(i % per);
-    return (bytes_[byte] >> (slot * b)) & static_cast<std::uint32_t>(qmax(q_));
+    return (data()[byte] >> (slot * b)) & static_cast<std::uint32_t>(qmax(q_));
   }
 
  private:
   std::int64_t numel_{0};
   BitWidth q_{BitWidth::kQ8};
   std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* view_{nullptr};  ///< non-null => borrowed, read-only
+  std::int64_t view_bytes_{0};
 };
 
 /// Pack a vector of unsigned codes (each already in [0, 2^Q - 1]).

@@ -1,0 +1,149 @@
+// mixq/tensor/bitstream.hpp
+//
+// MSB-first bit-granular writer/reader over byte buffers -- the transport
+// layer of the entropy-coded flash image sections (runtime/entropy.hpp).
+//
+// Bit order: the first bit written is the most significant bit of the
+// first byte. Canonical Huffman codes are numerically ordered under this
+// convention, which is what makes the per-length first-code decode tables
+// work with plain integer comparisons.
+//
+// The reader is written for hostile inputs: it never reads past the buffer
+// it was constructed over, and consuming more bits than the stream holds
+// throws instead of yielding zeros -- a truncated section must fail loudly,
+// not decode to garbage that happens to parse.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace mixq {
+
+/// Append-only MSB-first bit writer over a caller-owned byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Append the `len` low bits of `code`, most significant first.
+  /// len must be in [0, 32] and `code` must fit in `len` bits.
+  void put(std::uint32_t code, int len) {
+    if (len < 0 || len > 32) {
+      throw std::logic_error("BitWriter::put: length out of range");
+    }
+    if (len < 32 && (code >> len) != 0) {
+      throw std::logic_error("BitWriter::put: code wider than length");
+    }
+    acc_ = (acc_ << len) | static_cast<std::uint64_t>(code);
+    fill_ += len;
+    nbits_ += static_cast<std::uint64_t>(len);
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> fill_));
+    }
+  }
+
+  /// Total bits written so far (before padding).
+  [[nodiscard]] std::uint64_t bit_count() const { return nbits_; }
+
+  /// Flush the final partial byte, padding with ZERO bits. The zero
+  /// padding is part of the format contract: readers verify it, so two
+  /// encoders cannot produce byte-different streams for the same input.
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+      fill_ = 0;
+    }
+    acc_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t acc_{0};   ///< staging register, low `fill_` bits valid
+  int fill_{0};            ///< bits currently staged in acc_
+  std::uint64_t nbits_{0};
+};
+
+/// Bounds-checked MSB-first bit reader with a peek/consume interface
+/// (what a canonical Huffman decoder wants: peek a window, consume the
+/// matched code length).
+class BitReader {
+ public:
+  /// Read at most `nbits` bits out of `data[0, size)`. Throws immediately
+  /// when the declared bit count does not fit the byte buffer.
+  BitReader(const std::uint8_t* data, std::size_t size, std::uint64_t nbits)
+      : data_(data), size_(size), nbits_(nbits) {
+    if (nbits > static_cast<std::uint64_t>(size) * 8) {
+      throw std::runtime_error("bitstream: declared bit count exceeds buffer");
+    }
+  }
+
+  /// Next `width` bits (MSB-first) without consuming, zero-padded past the
+  /// declared end. width must be in [1, 24].
+  [[nodiscard]] std::uint32_t peek(int width) {
+    while (fill_ < width && byte_pos_ < size_) {
+      acc_ = (acc_ << 8) | data_[byte_pos_++];
+      fill_ += 8;
+    }
+    if (fill_ >= width) {
+      return static_cast<std::uint32_t>(acc_ >> (fill_ - width)) &
+             ((1u << width) - 1u);
+    }
+    // Past the end of the byte buffer: pad with zeros (consume() still
+    // enforces the declared nbits bound, so padding can never be consumed
+    // as real payload).
+    return static_cast<std::uint32_t>(acc_ << (width - fill_)) &
+           ((1u << width) - 1u);
+  }
+
+  /// Consume `n` bits. Throws when the stream's declared bit budget is
+  /// exhausted: a code that runs past the end means a truncated or lying
+  /// section, never silent zero-fill.
+  void consume(int n) {
+    if (consumed_ + static_cast<std::uint64_t>(n) > nbits_) {
+      throw std::runtime_error("bitstream: truncated (read past declared end)");
+    }
+    while (fill_ < n && byte_pos_ < size_) {
+      acc_ = (acc_ << 8) | data_[byte_pos_++];
+      fill_ += 8;
+    }
+    // consumed_ <= nbits_ <= 8*size_ guarantees fill_ >= n here.
+    fill_ -= n;
+    consumed_ += static_cast<std::uint64_t>(n);
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const { return consumed_; }
+  [[nodiscard]] std::uint64_t bits_declared() const { return nbits_; }
+
+  /// Format contract check, called after the last symbol: every declared
+  /// bit consumed, and the padding bits of the final byte all zero.
+  void finish() const {
+    if (consumed_ != nbits_) {
+      throw std::runtime_error("bitstream: trailing bits after last symbol");
+    }
+    const std::size_t used_bytes =
+        static_cast<std::size_t>((nbits_ + 7) / 8);
+    if (used_bytes != size_) {
+      throw std::runtime_error("bitstream: byte length disagrees with bits");
+    }
+    const int pad = static_cast<int>(used_bytes * 8 - nbits_);
+    if (pad > 0) {
+      const std::uint8_t last = data_[used_bytes - 1];
+      if ((last & ((1u << pad) - 1u)) != 0) {
+        throw std::runtime_error("bitstream: nonzero padding bits");
+      }
+    }
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::uint64_t nbits_;
+  std::size_t byte_pos_{0};
+  std::uint64_t acc_{0};
+  int fill_{0};
+  std::uint64_t consumed_{0};
+};
+
+}  // namespace mixq

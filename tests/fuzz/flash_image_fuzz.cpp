@@ -1,0 +1,34 @@
+// libFuzzer target for the flash-image loader: any byte blob in, either a
+// loaded net or a thrown std::runtime_error out -- never a crash, hang,
+// or sanitizer finding. Seed with the committed corpus:
+//
+//   flash_image_fuzz tests/corpus/flash -max_total_time=60
+//
+// Built only when MIXQ_BUILD_FUZZERS=ON and the compiler is Clang (the
+// fuzz-loader CI job probes support and skips gracefully otherwise).
+// Tight limits keep one iteration cheap: the default FlashLoadLimits
+// accept multi-MB images, which would let the fuzzer spend its budget
+// memset-ing giant tensors instead of exploring the parser.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/flash_image.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::uint8_t> blob(data, data + size);
+  mixq::runtime::FlashLoadLimits limits;
+  limits.max_layers = 64;
+  limits.max_tensor_numel = 1 << 18;
+  try {
+    const auto net = mixq::runtime::load_flash_image(blob, limits);
+    // A parse that survives must also survive the deep validation the
+    // runtime relies on.
+    net.validate();
+  } catch (const std::runtime_error&) {
+    // Rejection is the expected outcome for almost every input.
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "models/small_cnn.hpp"
 #include "runtime/convert.hpp"
@@ -13,12 +15,13 @@ namespace {
 using core::Granularity;
 using core::Scheme;
 
-QuantizedNet make_net(Scheme scheme, std::uint64_t seed) {
+QuantizedNet make_net(Scheme scheme, std::uint64_t seed,
+                      int base_channels = 4, int num_blocks = 1) {
   Rng rng(seed);
   models::SmallCnnConfig cfg;
   cfg.input_hw = 8;
-  cfg.base_channels = 4;
-  cfg.num_blocks = 1;
+  cfg.base_channels = base_channels;
+  cfg.num_blocks = num_blocks;
   cfg.num_classes = 3;
   cfg.qw = core::BitWidth::kQ4;
   cfg.wgran = Granularity::kPerChannel;
@@ -207,12 +210,13 @@ struct RawWriter {
   }
 };
 
-std::vector<std::uint8_t> wrap_payload(const std::vector<std::uint8_t>& p) {
+std::vector<std::uint8_t> wrap_payload(const std::vector<std::uint8_t>& p,
+                                       std::uint32_t version = 1) {
   std::vector<std::uint8_t> blob;
   const char magic[8] = {'M', 'I', 'X', 'Q', 'I', 'M', 'G', '1'};
   blob.insert(blob.end(), magic, magic + 8);
   RawWriter h;
-  h.put<std::uint32_t>(kFlashImageVersion);
+  h.put<std::uint32_t>(version);
   h.put<std::uint64_t>(p.size());
   h.put<std::uint32_t>(crc32(p.data(), p.size()));
   blob.insert(blob.end(), h.bytes.begin(), h.bytes.end());
@@ -334,6 +338,376 @@ TEST(FlashImage, RejectsCountFieldExceedingPayload) {
   w.put<std::uint32_t>(16384);  // zw count == co, but ~64 KiB implied
   w.put<std::int32_t>(0);       // ...while only one entry is present
   EXPECT_THROW(load_flash_image(wrap_payload(w.bytes)), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: entropy-coded weight sections + zero-copy mmap loading.
+// ---------------------------------------------------------------------------
+
+/// Recompute the payload CRC after a deliberate payload mutation, so the
+/// corruption reaches the structural checks instead of the CRC gate.
+void fixup_crc(std::vector<std::uint8_t>& blob) {
+  const std::size_t header = 8 + 4 + 8 + 4;
+  const std::uint32_t c = crc32(blob.data() + header, blob.size() - header);
+  std::memcpy(blob.data() + 8 + 4 + 8, &c, 4);
+}
+
+/// Read a little-endian field out of a blob.
+template <typename T>
+T read_le(const std::vector<std::uint8_t>& blob, std::size_t off) {
+  T v;
+  std::memcpy(&v, blob.data() + off, sizeof(T));
+  return v;
+}
+template <typename T>
+void write_le(std::vector<std::uint8_t>& blob, std::size_t off, T v) {
+  std::memcpy(blob.data() + off, &v, sizeof(T));
+}
+
+/// Blob offsets of v2 section-table entry `i` (28-byte entries; the table
+/// follows the 24-byte header + 9-byte input qp + 4-byte layer count).
+struct EntryOffsets {
+  std::size_t codec, wbits, reserved, wnumel, off, len;
+};
+EntryOffsets entry_offsets(std::size_t i) {
+  const std::size_t base = 24 + 9 + 4 + i * 28;
+  return {base, base + 1, base + 2, base + 4, base + 12, base + 20};
+}
+
+/// A net whose weight banks are heavily skewed (mostly one code), so the
+/// v2 writer provably picks the Huffman codec for the big layer.
+QuantizedNet make_compressible_net() {
+  QuantizedNet net = make_net(Scheme::kPCICN, 11, /*base_channels=*/16,
+                              /*num_blocks=*/2);
+  for (auto& l : net.layers) {
+    if (l.kind == QLayerKind::kGlobalAvgPool) continue;
+    for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+      // ~87% of codes collapse onto one symbol; the rest keep variety.
+      if (i % 8 != 0) l.weights.set(i, 3);
+    }
+  }
+  return net;
+}
+
+TEST(FlashImageV2, CompressedRoundTripIsBitExact) {
+  const QuantizedNet net = make_compressible_net();
+  const auto raw_blob = save_flash_image(net);
+  const auto v2_blob = save_flash_image(net, {/*compress=*/true});
+  EXPECT_LT(v2_blob.size(), raw_blob.size());
+
+  FlashImageStats stats;
+  const QuantizedNet back = load_flash_image(v2_blob, {}, &stats);
+  EXPECT_EQ(stats.version, 2u);
+  EXPECT_GT(stats.weight_raw_bytes, stats.weight_stored_bytes);
+  bool any_coded = false;
+  for (const auto& ls : stats.layers) any_coded |= ls.codec == 1;
+  EXPECT_TRUE(any_coded);
+
+  // Integer equality of every decoded weight code against the original.
+  ASSERT_EQ(back.layers.size(), net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    EXPECT_EQ(unpack_codes(back.layers[i].weights),
+              unpack_codes(net.layers[i].weights))
+        << "layer " << i;
+  }
+
+  // And the planned engine produces identical results from either image.
+  const QuantizedNet raw_back = load_flash_image(raw_blob);
+  Executor a(raw_back, /*fast=*/true), b(back, /*fast=*/true);
+  Rng rng(4);
+  FloatTensor imgs(Shape(4, 8, 8, 3));
+  rng.fill_uniform(imgs.vec(), 0.0, 1.0);
+  for (std::int64_t n = 0; n < 4; ++n) {
+    FloatTensor img(Shape(1, 8, 8, 3));
+    std::copy(imgs.data() + n * img.numel(),
+              imgs.data() + (n + 1) * img.numel(), img.data());
+    const auto ra = a.run_planned(img);
+    const auto rb = b.run_planned(img);
+    ASSERT_EQ(ra.predicted, rb.predicted);
+    ASSERT_EQ(ra.logits, rb.logits);
+  }
+}
+
+TEST(FlashImageV2, SaveIsDeterministic) {
+  const QuantizedNet net = make_compressible_net();
+  EXPECT_EQ(save_flash_image(net, {true}), save_flash_image(net, {true}));
+}
+
+TEST(FlashImageV2, IncompressibleLayersFallBackToRaw) {
+  // Uniform-random codes cannot shrink: every section must record codec 0
+  // and the v2 image differs from v1 only by the table overhead.
+  QuantizedNet net = make_net(Scheme::kPCICN, 12);
+  Rng rng(13);
+  for (auto& l : net.layers) {
+    for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+      l.weights.set(i, static_cast<std::uint32_t>(rng.uniform_int(
+                           core::levels(l.weights.bitwidth()))));
+    }
+  }
+  FlashImageStats stats;
+  const QuantizedNet back =
+      load_flash_image(save_flash_image(net, {true}), {}, &stats);
+  for (const auto& ls : stats.layers) EXPECT_EQ(ls.codec, 0);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    EXPECT_EQ(unpack_codes(back.layers[i].weights),
+              unpack_codes(net.layers[i].weights));
+  }
+}
+
+TEST(FlashImageV2, MmapLoadMatchesStreamingLoad) {
+  const QuantizedNet net = make_compressible_net();
+  const std::string path = "/tmp/mixq_flash_v2_mmap.img";
+  write_flash_image_file(net, path, {/*compress=*/true});
+
+  FlashImageStats stats;
+  const QuantizedNet mapped = load_flash_image_mmap(path, {}, &stats);
+  EXPECT_EQ(stats.version, 2u);
+  // Raw sections are borrowed views, coded sections stay deferred: the
+  // zero-copy contract.
+  bool any_deferred = false, any_borrowed = false;
+  for (const auto& l : mapped.layers) {
+    any_deferred |= l.weights_deferred();
+    any_borrowed |= l.weights.borrowed();
+  }
+  EXPECT_TRUE(any_deferred);
+
+  // The planned engine decodes deferred banks natively; results must be
+  // identical to the streaming-loaded net.
+  const QuantizedNet streamed = read_flash_image_file(path);
+  Executor a(streamed, /*fast=*/true), b(mapped, /*fast=*/true);
+  Rng rng(5);
+  FloatTensor img(Shape(1, 8, 8, 3));
+  rng.fill_uniform(img.vec(), 0.0, 1.0);
+  const auto ra = a.run_planned(img);
+  const auto rb = b.run_planned(img);
+  EXPECT_EQ(ra.predicted, rb.predicted);
+  EXPECT_EQ(ra.logits, rb.logits);
+
+  // The reference path refuses deferred banks...
+  Executor ref(mapped, /*fast=*/false);
+  EXPECT_THROW(ref.run(img), std::logic_error);
+
+  // ...until they are materialized, after which it agrees bit for bit.
+  QuantizedNet materialized = load_flash_image_mmap(path);
+  for (auto& l : materialized.layers) l.materialize_weights();
+  for (std::size_t i = 0; i < materialized.layers.size(); ++i) {
+    EXPECT_EQ(unpack_codes(materialized.layers[i].weights),
+              unpack_codes(streamed.layers[i].weights));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlashImageV2, MmapLoadsV1ImagesZeroCopy) {
+  const QuantizedNet net = make_net(Scheme::kPCICN, 14);
+  const std::string path = "/tmp/mixq_flash_v1_mmap.img";
+  write_flash_image_file(net, path);  // v1
+  const QuantizedNet mapped = load_flash_image_mmap(path);
+  bool any_borrowed = false;
+  for (const auto& l : mapped.layers) {
+    any_borrowed |= l.weights.borrowed();
+  }
+  EXPECT_TRUE(any_borrowed);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    EXPECT_EQ(unpack_codes(mapped.layers[i].weights),
+              unpack_codes(net.layers[i].weights));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlashImageV2, ErrorsCarrySectionAndOffset) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  const auto eo = entry_offsets(0);
+  write_le<std::uint8_t>(blob, eo.codec, 2);
+  fixup_crc(blob);
+  try {
+    load_flash_image(blob);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("flash image: table:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("invalid weight codec"), std::string::npos) << msg;
+  }
+}
+
+TEST(FlashImageV2, RejectsReservedFieldNonZero) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  write_le<std::uint16_t>(blob, entry_offsets(0).reserved, 1);
+  fixup_crc(blob);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImageV2, RejectsSectionEscapingPayload) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  write_le<std::uint64_t>(blob, entry_offsets(0).len,
+                          std::uint64_t{1} << 40);  // length bomb
+  fixup_crc(blob);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImageV2, RejectsOverlappingOrGappySections) {
+  {
+    auto blob = save_flash_image(make_compressible_net(), {true});
+    const auto off = read_le<std::uint64_t>(blob, entry_offsets(1).off);
+    write_le<std::uint64_t>(blob, entry_offsets(1).off, off - 1);  // overlap
+    fixup_crc(blob);
+    EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+  }
+  {
+    auto blob = save_flash_image(make_compressible_net(), {true});
+    const auto off = read_le<std::uint64_t>(blob, entry_offsets(1).off);
+    write_le<std::uint64_t>(blob, entry_offsets(1).off, off + 1);  // gap
+    fixup_crc(blob);
+    EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+  }
+}
+
+TEST(FlashImageV2, RejectsWeightCountMismatchOnRawSection) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  // Find a raw section and inflate its declared element count.
+  FlashImageStats stats;
+  load_flash_image(blob, {}, &stats);
+  for (std::size_t i = 0; i < stats.layers.size(); ++i) {
+    if (stats.layers[i].codec != 0 || stats.layers[i].wnumel == 0) continue;
+    write_le<std::int64_t>(blob, entry_offsets(i).wnumel,
+                           stats.layers[i].wnumel + 8);
+    fixup_crc(blob);
+    EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+    return;
+  }
+  FAIL() << "fixture has no raw section to corrupt";
+}
+
+TEST(FlashImageV2, RejectsWeightCountBombBeforeAllocating) {
+  // A degenerate entropy stream encodes any element count in zero bits,
+  // so wnumel is not payload-bounded the way raw sections are; the
+  // per-layer byte cap must reject the bomb at table parse, before any
+  // decode buffer is sized from it.
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  write_le<std::int64_t>(blob, entry_offsets(0).wnumel,
+                         std::int64_t{1} << 45);
+  fixup_crc(blob);
+  try {
+    load_flash_image(blob);
+    FAIL() << "weight count bomb was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("weight byte limit"),
+              std::string::npos)
+        << e.what();
+  }
+  // Same rejection on the zero-copy path: the cap guards the deferred
+  // decode's buffer sizing too.
+  const std::string path = "/tmp/mixq_flash_v2_bomb.img";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  }
+  EXPECT_THROW(load_flash_image_mmap(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+/// Locate the first huffman section's blob offsets: returns {entry index,
+/// section blob offset, section length}.
+struct CodedSection {
+  std::size_t index, blob_off, len;
+};
+CodedSection find_coded_section(const std::vector<std::uint8_t>& blob) {
+  const auto count = read_le<std::uint32_t>(blob, 24 + 9);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto eo = entry_offsets(i);
+    if (read_le<std::uint8_t>(blob, eo.codec) == 1) {
+      return {i, 24 + static_cast<std::size_t>(
+                          read_le<std::uint64_t>(blob, eo.off)),
+              static_cast<std::size_t>(read_le<std::uint64_t>(blob, eo.len))};
+    }
+  }
+  throw std::runtime_error("fixture has no coded section");
+}
+
+TEST(FlashImageV2, RejectsCorruptHuffmanTable) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  const CodedSection s = find_coded_section(blob);
+  // The nibble-packed length table starts after the u32 alphabet; zeroing
+  // a populated byte breaks the Kraft equality.
+  blob[s.blob_off + 4] ^= 0x0F;
+  fixup_crc(blob);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImageV2, RejectsAlphabetMismatch) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  const CodedSection s = find_coded_section(blob);
+  write_le<std::uint32_t>(blob, s.blob_off, 16u);  // real alphabet is 256
+  fixup_crc(blob);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+}
+
+TEST(FlashImageV2, RejectsTruncatedDeclaredBitCount) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  const CodedSection s = find_coded_section(blob);
+  // nbits sits after alphabet (4) + 128 length bytes. Inflating it makes
+  // the stream length disagree; deflating it strands stream bytes.
+  const std::size_t nbits_off = s.blob_off + 4 + 128;
+  const auto nbits = read_le<std::uint64_t>(blob, nbits_off);
+  for (const std::uint64_t bad : {nbits + 9, nbits - 8}) {
+    auto mutated = blob;
+    write_le<std::uint64_t>(mutated, nbits_off, bad);
+    fixup_crc(mutated);
+    EXPECT_THROW(load_flash_image(mutated), std::runtime_error);
+  }
+}
+
+TEST(FlashImageV2, RejectsCorruptStreamEverywhereItIsDecoded) {
+  auto blob = save_flash_image(make_compressible_net(), {true});
+  const CodedSection s = find_coded_section(blob);
+  // Flip bits in the middle of the entropy stream: the streaming loader
+  // must reject at load; the mmap loader at the first decode.
+  blob[s.blob_off + s.len - (s.len - 140) / 2] ^= 0xFF;
+  fixup_crc(blob);
+  EXPECT_THROW(load_flash_image(blob), std::runtime_error);
+
+  const std::string path = "/tmp/mixq_flash_v2_hostile.img";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  }
+  bool threw = false;
+  try {
+    QuantizedNet mapped = load_flash_image_mmap(path);
+    for (auto& l : mapped.layers) l.materialize_weights();
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  std::remove(path.c_str());
+}
+
+TEST(FlashImageV2, MmapRejectsSameHostileTableInputs) {
+  // The structural hostile suite must behave identically under mmap: every
+  // table/section defect is a LOAD-time error there too.
+  const std::string path = "/tmp/mixq_flash_v2_hostile2.img";
+  auto hostile = [&](void (*mutate)(std::vector<std::uint8_t>&)) {
+    auto blob = save_flash_image(make_compressible_net(), {true});
+    mutate(blob);
+    fixup_crc(blob);
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    f.close();
+    EXPECT_THROW(load_flash_image_mmap(path), std::runtime_error);
+  };
+  hostile([](std::vector<std::uint8_t>& b) {
+    write_le<std::uint8_t>(b, entry_offsets(0).codec, 2);
+  });
+  hostile([](std::vector<std::uint8_t>& b) {
+    write_le<std::uint64_t>(b, entry_offsets(0).len, std::uint64_t{1} << 40);
+  });
+  hostile([](std::vector<std::uint8_t>& b) {
+    const CodedSection s = find_coded_section(b);
+    b[s.blob_off + 4] ^= 0x0F;  // Kraft violation
+  });
+  std::remove(path.c_str());
 }
 
 TEST(FlashImage, ImageSizeTracksRoBytes) {

@@ -26,8 +26,18 @@ accounting must balance (sent == ok + shed + timeouts -- an unbalanced
 row means a request was silently dropped). These are HARD gates: unlike
 wall-clock timing they are load-bearing correctness claims.
 
+With --image, additionally (or instead) validates a BENCH_image.json
+produced by bench_image: the schema must be complete, decode_bit_exact
+must be true (compressed and mmap loads reproduce the raw image's weight
+codes and logits exactly), and the whole-image compression ratio must
+hold the floor (--min-ratio, default 1.25) -- the entropy coder earning
+its place in the format is a tracked claim, not a hope. Load times are
+warn-only: a compressed-mmap cold start slower than the raw streaming
+load gets a ::warning, never a failure.
+
 usage: check_bench_regression.py BASELINE FRESH [--warn-pct 30]
        check_bench_regression.py [BASELINE FRESH] --serve BENCH_serve.json
+       check_bench_regression.py [BASELINE FRESH] --image BENCH_image.json
 """
 
 import argparse
@@ -84,6 +94,59 @@ def check_serve(path: str) -> None:
           f"accounting balanced, exact=true throughout")
 
 
+def check_image(path: str, min_ratio: float) -> None:
+    """Hard-gate a bench_image JSON: schema, bit-exactness, ratio floor."""
+    with open(path) as f:
+        img = json.load(f)
+    required = ("workload", "format_version", "image_bytes_raw",
+                "image_bytes_compressed", "compression_ratio",
+                "weight_raw_bytes", "weight_stored_bytes", "coded_layers",
+                "total_layers", "decode_bit_exact", "load_ms", "layers")
+    missing = [k for k in required if k not in img]
+    if missing:
+        fail(f"{path}: missing fields: {', '.join(missing)}")
+    load_keys = ("raw_stream", "compressed_stream", "raw_mmap",
+                 "compressed_mmap", "cold_start_plan_stream",
+                 "cold_start_plan_mmap")
+    missing = [k for k in load_keys if k not in img["load_ms"]]
+    if missing:
+        fail(f"{path}: load_ms is missing fields: {', '.join(missing)}")
+    if img["decode_bit_exact"] is not True:
+        fail(f"{path}: decode_bit_exact={img['decode_bit_exact']}: the "
+             f"compressed or mmap load path no longer reproduces the raw "
+             f"image")
+    ratio = img["compression_ratio"]
+    if ratio < min_ratio:
+        fail(f"{path}: compression ratio {ratio:.3f} fell below the "
+             f"{min_ratio:.2f} floor on the tracked workload -- the "
+             f"entropy coder regressed (raw {img['image_bytes_raw']} B, "
+             f"compressed {img['image_bytes_compressed']} B)")
+    # Cross-check the ratio against the byte counts it claims to summarize.
+    derived = img["image_bytes_raw"] / max(1, img["image_bytes_compressed"])
+    if abs(derived - ratio) > 0.01:
+        fail(f"{path}: compression_ratio {ratio:.3f} does not match "
+             f"image_bytes_raw/image_bytes_compressed = {derived:.3f}")
+    if img["coded_layers"] < 1:
+        fail(f"{path}: no layer chose the huffman codec on the tracked "
+             f"workload; the per-layer selection logic regressed")
+    stored = sum(l["stored_bytes"] for l in img["layers"])
+    if stored != img["weight_stored_bytes"]:
+        fail(f"{path}: per-layer stored_bytes sum {stored} != "
+             f"weight_stored_bytes {img['weight_stored_bytes']}")
+    # --- load times: warn-only, CI wall clocks are noisy -----------------
+    lm = img["load_ms"]
+    if lm["compressed_mmap"] > 2.0 * max(1e-9, lm["raw_stream"]):
+        print(f"::warning::compressed-mmap cold start "
+              f"({lm['compressed_mmap']:.2f} ms) is more than 2x the raw "
+              f"streaming load ({lm['raw_stream']:.2f} ms); the zero-copy "
+              f"path stopped paying for itself (warn-only)")
+    print(f"image bench ok: {ratio:.3f}x compression "
+          f"({img['coded_layers']}/{img['total_layers']} layers huffman), "
+          f"decode bit-exact, mmap cold start "
+          f"{lm['cold_start_plan_mmap']:.2f} ms vs streaming "
+          f"{lm['cold_start_plan_stream']:.2f} ms")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", nargs="?")
@@ -92,13 +155,20 @@ def main() -> None:
                     help="warn when planned_ns regresses more than this")
     ap.add_argument("--serve", metavar="BENCH_SERVE_JSON",
                     help="also hard-gate a bench_serve saturation JSON")
+    ap.add_argument("--image", metavar="BENCH_IMAGE_JSON",
+                    help="also hard-gate a bench_image flash-image JSON")
+    ap.add_argument("--min-ratio", type=float, default=1.25,
+                    help="--image: minimum whole-image compression ratio")
     args = ap.parse_args()
 
     if args.serve:
         check_serve(args.serve)
+    if args.image:
+        check_image(args.image, args.min_ratio)
     if args.baseline is None and args.fresh is None:
-        if not args.serve:
-            ap.error("nothing to check: pass BASELINE FRESH and/or --serve")
+        if not (args.serve or args.image):
+            ap.error("nothing to check: pass BASELINE FRESH and/or "
+                     "--serve/--image")
         return
     if args.baseline is None or args.fresh is None:
         ap.error("BASELINE and FRESH must be given together")

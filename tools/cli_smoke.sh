@@ -61,6 +61,51 @@ echo "== run with 2 threads: output must be byte-identical"
   --ndjson > "$DIR/run_t2.ndjson"
 cmp "$DIR/run.ndjson" "$DIR/run_t2.ndjson"
 
+echo "== quantize --compress (entropy-coded v2 image, per-layer scheme)"
+# Per-layer granularity concentrates the trained codes into few symbols,
+# so at least one layer genuinely picks the huffman codec here (per-channel
+# scaling would leave everything on the raw fallback). Training is
+# deterministic under a pinned seed, so the raw and compressed images
+# below carry the SAME weights despite separate training runs.
+"$MIXQ" quantize --out "$DIR/plain.img" \
+  --hw 8 --channels 16 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pl-icn \
+  --epochs 1 --train-size 96 --test-size 48 --seed 1 --quiet
+"$MIXQ" quantize --out "$DIR/packed.img" --compress \
+  --hw 8 --channels 16 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pl-icn \
+  --epochs 1 --train-size 96 --test-size 48 --seed 1 --quiet
+
+echo "== quantize --compress is deterministic: rerun must be bit-identical"
+"$MIXQ" quantize --out "$DIR/packed2.img" --compress \
+  --hw 8 --channels 16 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pl-icn \
+  --epochs 1 --train-size 96 --test-size 48 --seed 1 --quiet
+cmp "$DIR/packed.img" "$DIR/packed2.img"
+
+echo "== inspect reports the v2 codec split and compression ratio"
+"$MIXQ" inspect "$DIR/packed.img" --json > "$DIR/inspect_v2.json"
+grep -q '"version":2' "$DIR/inspect_v2.json"
+grep -q '"codec":"huffman"' "$DIR/inspect_v2.json"
+grep -q '"codec":"raw"' "$DIR/inspect_v2.json"
+grep -q '"compression_ratio"' "$DIR/inspect_v2.json"
+grep -q '"decode_us"' "$DIR/inspect_v2.json"
+
+echo "== compressed inference is byte-identical to the raw image"
+"$MIXQ" run "$DIR/plain.img" --input synthetic:8 --seed 7 --ndjson \
+  > "$DIR/run_plain.ndjson"
+"$MIXQ" run "$DIR/packed.img" --input synthetic:8 --seed 7 --ndjson \
+  > "$DIR/run_packed.ndjson"
+cmp "$DIR/run_plain.ndjson" "$DIR/run_packed.ndjson"
+
+echo "== run --mmap (zero-copy load): still byte-identical"
+"$MIXQ" run "$DIR/packed.img" --input synthetic:8 --seed 7 --ndjson --mmap \
+  > "$DIR/run_mmap.ndjson"
+cmp "$DIR/run_plain.ndjson" "$DIR/run_mmap.ndjson"
+"$MIXQ" run "$DIR/plain.img" --input synthetic:8 --seed 7 --ndjson --mmap \
+  > "$DIR/run_mmap_v1.ndjson"
+cmp "$DIR/run_plain.ndjson" "$DIR/run_mmap_v1.ndjson"
+
 echo "== serve (stdio daemon): responses must be byte-identical to run"
 "$MIXQ" serve "$DIR/model.img" --max-batch 4 --max-wait-us 500 --quiet \
   < "$DIR/requests.ndjson" > "$DIR/serve.ndjson"

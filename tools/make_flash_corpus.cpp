@@ -1,0 +1,258 @@
+// make_flash_corpus -- deterministic generator for the committed flash
+// image corpus under tests/corpus/flash/. Each file is a small v1 or v2
+// image: the ok_* set must load through both the streaming and the mmap
+// loader; the bad_* set is CRC-valid but structurally hostile (except the
+// dedicated CRC cases) and must be rejected without crashing -- the same
+// blobs the corpus-replay test and the fuzz-loader CI job replay under
+// ASan/UBSan, and the seed set for the libFuzzer target.
+//
+// Regenerate with `make_flash_corpus OUTPUT_DIR` after a format change,
+// and commit the result; the generator is deterministic (fixed seeds, no
+// wall clock), so a regeneration with no format change is a no-op diff.
+//
+// The mutation offsets mirror the v2 layout contract pinned by
+// tests/runtime/flash_image_test.cpp:
+//   header 24 B | input qp 9 B | layer count u32 | table (28 B/entry) |
+//   per-layer meta | weight heap.  Table entry i sits at blob offset
+//   24 + 9 + 4 + 28*i with fields codec(+0) wbits(+1) reserved(+2)
+//   wnumel(+4) off(+12) len(+20); a huffman section at heap offset
+//   `off` is [u32 alphabet][alphabet/2 len nibbles][u64 nbits][stream].
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "models/small_cnn.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/flash_image.hpp"
+
+namespace {
+
+using namespace mixq;
+using namespace mixq::runtime;
+
+constexpr std::size_t kHeader = 24;
+constexpr std::size_t kTableBase = kHeader + 9 + 4;
+constexpr std::size_t kEntry = 28;
+
+QuantizedNet make_net(core::Scheme scheme, std::uint64_t seed,
+                      int base_channels = 4, int num_blocks = 1) {
+  Rng rng(seed);
+  models::SmallCnnConfig cfg;
+  cfg.input_hw = 8;
+  cfg.base_channels = base_channels;
+  cfg.num_blocks = num_blocks;
+  cfg.num_classes = 3;
+  cfg.qw = core::BitWidth::kQ4;
+  cfg.wgran = scheme == core::Scheme::kPLICN
+                  ? core::Granularity::kPerLayer
+                  : core::Granularity::kPerChannel;
+  auto model = models::build_small_cnn(cfg, &rng);
+  return convert_qat_model(model, Shape(1, 8, 8, 3), {scheme});
+}
+
+/// Skew the weight codes so several layers genuinely pick the huffman
+/// codec (untrained weights are uniform and would all fall back to raw).
+QuantizedNet make_compressible_net(std::int32_t filler) {
+  QuantizedNet net = make_net(core::Scheme::kPLICN, 11, 16, 2);
+  for (auto& l : net.layers) {
+    for (std::int64_t i = 0; i < l.weights.numel(); ++i) {
+      if (i % 8 != 0) l.weights.set(i, filler);
+    }
+  }
+  return net;
+}
+
+std::uint64_t read_le64(const std::vector<std::uint8_t>& b, std::size_t off) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data() + off, 8);
+  return v;
+}
+
+void write_le(std::vector<std::uint8_t>& b, std::size_t off,
+              std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Recompute the payload CRC so a mutation reaches the parser instead of
+/// dying at the checksum gate.
+void fixup_crc(std::vector<std::uint8_t>& b) {
+  write_le(b, 20, crc32(b.data() + kHeader, b.size() - kHeader), 4);
+}
+
+struct CodedSection {
+  std::size_t entry;     ///< table index
+  std::size_t blob_off;  ///< section start, blob-relative
+  std::uint64_t len;
+};
+
+/// First table entry carrying codec=huffman (the corpus nets always have
+/// at least one).
+CodedSection find_coded_section(const std::vector<std::uint8_t>& b,
+                                std::size_t layers) {
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::size_t e = kTableBase + i * kEntry;
+    if (b[e] == 1) {
+      return {i, kHeader + static_cast<std::size_t>(read_le64(b, e + 12)),
+              read_le64(b, e + 20)};
+    }
+  }
+  std::fprintf(stderr, "make_flash_corpus: no huffman section in v2 blob\n");
+  std::exit(1);
+}
+
+void emit(const std::filesystem::path& dir, const std::string& name,
+          const std::vector<std::uint8_t>& blob) {
+  std::ofstream os(dir / name, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "make_flash_corpus: cannot write %s\n",
+                 (dir / name).string().c_str());
+    std::exit(1);
+  }
+  os.write(reinterpret_cast<const char*>(blob.data()),
+           static_cast<std::streamsize>(blob.size()));
+  std::printf("  %-32s %6zu B\n", name.c_str(), blob.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_flash_corpus OUTPUT_DIR\n");
+    return 2;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::filesystem::create_directories(dir);
+
+  // --- valid images: every loader path must accept these ---------------
+  const auto v1 = save_flash_image(make_net(core::Scheme::kPCICN, 1));
+  emit(dir, "ok_v1_pcicn.img", v1);
+  emit(dir, "ok_v1_thresholds.img",
+       save_flash_image(make_net(core::Scheme::kPCThresholds, 3)));
+
+  const QuantizedNet cnet = make_compressible_net(3);
+  const auto v2 = save_flash_image(cnet, {/*compress=*/true});
+  emit(dir, "ok_v2_huffman.img", v2);
+  // Uniform untrained weights: every layer falls back to codec=raw.
+  emit(dir, "ok_v2_raw_fallback.img",
+       save_flash_image(make_net(core::Scheme::kPCICN, 5), {true}));
+  // Constant weights: the degenerate one-symbol table with an empty
+  // bitstream, the edge the decoder's table validation special-cases.
+  // Layers must be big enough that the fixed table overhead still wins,
+  // or every layer falls back to raw and the edge goes uncovered.
+  QuantizedNet dnet = make_net(core::Scheme::kPLICN, 7, 16, 1);
+  for (auto& l : dnet.layers) {
+    for (std::int64_t i = 0; i < l.weights.numel(); ++i) l.weights.set(i, 2);
+  }
+  const auto dv2 = save_flash_image(dnet, {true});
+  find_coded_section(dv2, dnet.layers.size());  // exits if none coded
+  emit(dir, "ok_v2_degenerate.img", dv2);
+
+  const std::size_t nlayers = cnet.layers.size();
+  const CodedSection sec = find_coded_section(v2, nlayers);
+  const std::uint32_t alphabet =
+      static_cast<std::uint32_t>(read_le64(v2, sec.blob_off) & 0xFFFFFFFFu);
+  const std::size_t nbits_off = sec.blob_off + 4 + alphabet / 2;
+
+  // --- framing defects: rejected before the payload is parsed ----------
+  {
+    auto b = v1;
+    b[0] = 'X';
+    emit(dir, "bad_magic.img", b);
+  }
+  {
+    auto b = v1;
+    b[8] = 0x7F;  // unsupported version (header field, outside the CRC)
+    emit(dir, "bad_version.img", b);
+  }
+  {
+    auto b = v1;
+    b[kHeader + 5] ^= 0xFF;  // payload flip without a CRC fixup
+    emit(dir, "bad_crc.img", b);
+  }
+  emit(dir, "bad_truncated_header.img",
+       std::vector<std::uint8_t>(v1.begin(), v1.begin() + 10));
+  {
+    auto b = v1;
+    b.resize(b.size() - 7);  // declared payload size now exceeds the blob
+    emit(dir, "bad_truncated_payload.img", b);
+  }
+  {
+    auto b = v1;
+    write_le(b, 12, read_le64(b, 12) + 64, 8);  // length bomb in the header
+    emit(dir, "bad_v1_payload_bomb.img", b);
+  }
+
+  // --- v2 section-table defects: CRC-valid, parser must reject ---------
+  {
+    auto b = v2;
+    b[kTableBase + sec.entry * kEntry] = 7;  // unknown codec
+    fixup_crc(b);
+    emit(dir, "bad_v2_codec.img", b);
+  }
+  {
+    auto b = v2;
+    b[kTableBase + sec.entry * kEntry + 2] = 1;  // reserved must be zero
+    fixup_crc(b);
+    emit(dir, "bad_v2_reserved.img", b);
+  }
+  {
+    auto b = v2;
+    write_le(b, kTableBase + sec.entry * kEntry + 20,
+             std::uint64_t{1} << 40, 8);  // section length bomb
+    fixup_crc(b);
+    emit(dir, "bad_v2_len_bomb.img", b);
+  }
+  {
+    auto b = v2;
+    // Shrink entry 0's length: the next section no longer starts where
+    // the previous one ends (a gap the contiguity check must catch).
+    const std::size_t e0 = kTableBase + 20;
+    write_le(b, e0, read_le64(b, e0) - 1, 8);
+    fixup_crc(b);
+    emit(dir, "bad_v2_gap.img", b);
+  }
+  {
+    auto b = v2;
+    // Grow entry 0's length past the next section's start: overlap.
+    const std::size_t e0 = kTableBase + 20;
+    write_le(b, e0, read_le64(b, e0) + 1, 8);
+    fixup_crc(b);
+    emit(dir, "bad_v2_overlap.img", b);
+  }
+
+  // --- v2 huffman-section defects --------------------------------------
+  {
+    auto b = v2;
+    write_le(b, sec.blob_off, 64, 4);  // alphabet disagrees with wbits
+    fixup_crc(b);
+    emit(dir, "bad_v2_huff_alphabet.img", b);
+  }
+  {
+    auto b = v2;
+    b[sec.blob_off + 4] ^= 0x11;  // code-length nibble flip: Kraft breaks
+    fixup_crc(b);
+    emit(dir, "bad_v2_huff_kraft.img", b);
+  }
+  {
+    auto b = v2;
+    write_le(b, nbits_off, read_le64(b, nbits_off) + 3, 8);
+    fixup_crc(b);
+    emit(dir, "bad_v2_huff_nbits.img", b);
+  }
+  {
+    auto b = v2;
+    b[sec.blob_off + sec.len - 1] ^= 0xFF;  // corrupt stream tail
+    fixup_crc(b);
+    emit(dir, "bad_v2_huff_stream.img", b);
+  }
+
+  std::printf("wrote corpus to %s\n", dir.string().c_str());
+  return 0;
+}
