@@ -20,7 +20,14 @@
 // that every request sent was answered (`predicted`, `overloaded`, or
 // `timeout`), i.e. overload degrades by shedding, never by dropping.
 //
-// Usage: bench_serve [--quick] [--requests N] [--out PATH]
+// A fourth pass (--reload-sweep) measures the cost of hot-swap reloads:
+// the same pipelined TCP traffic is run twice against a ModelRegistry --
+// once undisturbed, once with a background thread continuously
+// validate-then-swap reloading the serving model -- and the p50/p99
+// delta is recorded. Gated on zero lost requests, bit-exact responses
+// in both passes, and every reload acknowledged.
+//
+// Usage: bench_serve [--quick] [--requests N] [--reload-sweep] [--out PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +39,8 @@
 #include <vector>
 
 #include "runtime/executor.hpp"
+#include "runtime/flash_image.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "support/random_qlayer.hpp"
 #include "tensor/rng.hpp"
@@ -185,17 +194,21 @@ class SatClient {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool reload_sweep = false;
   std::int64_t n_requests = 0;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--reload-sweep") == 0) {
+      reload_sweep = true;
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       n_requests = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_serve [--quick] [--requests N] [--out PATH]\n";
+      std::cerr << "usage: bench_serve [--quick] [--requests N] "
+                   "[--reload-sweep] [--out PATH]\n";
       return 2;
     }
   }
@@ -473,6 +486,162 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "saturation accounting check passed (no request dropped)\n";
+
+  // Reload sweep: identical traffic with and without a background thread
+  // continuously hot-swapping the serving model; the p99 delta is the
+  // price of a reload-heavy control plane. The two images hold the same
+  // weights, so every generation must answer bit-exactly.
+  struct ReloadSweepResult {
+    std::int64_t requests{0};
+    std::int64_t reloads_attempted{0};
+    std::int64_t reloads_ok{0};
+    std::int64_t lost{0};
+    bool exact{true};
+    double base_p50_us{0.0}, base_p99_us{0.0}, base_samples_per_s{0.0};
+    double swap_p50_us{0.0}, swap_p99_us{0.0}, swap_samples_per_s{0.0};
+  } rsweep;
+  if (reload_sweep) {
+    namespace fs = std::filesystem;
+    const std::string img_a =
+        (fs::temp_directory_path() / "bench_serve_reload_a.img").string();
+    const std::string img_b =
+        (fs::temp_directory_path() / "bench_serve_reload_b.img").string();
+    write_flash_image_file(net, img_a);
+    write_flash_image_file(net, img_b);
+
+    const std::int64_t per_conn = quick ? 64 : 256;
+    const int conns = 2;
+    rsweep.requests = static_cast<std::int64_t>(conns) * per_conn * 2;
+    std::cout << "reload sweep (" << conns << " conns x " << per_conn
+              << " requests, baseline vs continuous hot-swap):\n";
+    for (const bool swapping : {false, true}) {
+      ModelRegistry reg(hw);
+      reg.add_model("default", img_a);
+      NetConfig ncfg;
+      ncfg.tcp_port = 0;
+      ncfg.engine.threads = hw;
+      ncfg.engine.max_batch = 8;
+      ncfg.engine.max_wait_us = 200;
+      ncfg.queue_depth = 1024;  // deep: measuring latency, not shedding
+      EpollServer server(reg, ncfg);
+      const int port = server.tcp_port();
+      NetStats nstats;
+      std::thread loop([&] { nstats = server.run(); });
+
+      std::atomic<bool> traffic_done{false};
+      std::atomic<std::int64_t> reload_ok_n{0};
+      std::atomic<std::int64_t> reload_n{0};
+      std::thread reloader;
+      if (swapping) {
+        reloader = std::thread([&] {
+          bool to_b = true;
+          while (!traffic_done.load(std::memory_order_relaxed)) {
+            ++reload_n;
+            if (reg.reload("default", to_b ? img_b : img_a).ok) {
+              ++reload_ok_n;
+            }
+            to_b = !to_b;
+          }
+        });
+      }
+
+      std::atomic<std::int64_t> answered{0};
+      std::atomic<bool> exact{true};
+      const auto r0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < conns; ++c) {
+        clients.emplace_back([&, c] {
+          SatClient client;
+          if (!client.connect_tcp(port)) return;
+          constexpr std::int64_t kWindow = 16;
+          std::string line;
+          for (std::int64_t j = 0; j < per_conn; ++j) {
+            std::string burst;
+            for (std::int64_t w = 0; w < kWindow; ++w) {
+              const std::int64_t id = c * 1'000'000 + j * kWindow + w;
+              burst += format_request_line(
+                  id,
+                  inputs[static_cast<std::size_t>(id) % inputs.size()].data(),
+                  numel);
+              burst += "\n";
+            }
+            if (!client.send_all(burst)) return;
+            for (std::int64_t w = 0; w < kWindow; ++w) {
+              if (!client.read_line(line)) return;
+              const std::size_t idpos = line.find("\"id\":");
+              if (idpos == std::string::npos) continue;
+              const std::int64_t id =
+                  std::strtoll(line.c_str() + idpos + 5, nullptr, 10);
+              if (line != format_result_line(
+                              id, expected[static_cast<std::size_t>(id) %
+                                           expected.size()])) {
+                exact = false;
+              }
+              ++answered;
+            }
+            j += kWindow - 1;
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      const auto r1 = std::chrono::steady_clock::now();
+      traffic_done = true;
+      if (reloader.joinable()) reloader.join();
+      server.request_drain();
+      loop.join();
+
+      const std::int64_t sent = static_cast<std::int64_t>(conns) * per_conn;
+      const double wall_ms =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0)
+              .count() /
+          1e6;
+      const double p50 = nstats.engine.latency_percentile_us(50);
+      const double p99 = nstats.engine.latency_percentile_us(99);
+      const double rate = static_cast<double>(answered.load()) /
+                          (wall_ms / 1e3);
+      if (swapping) {
+        rsweep.swap_p50_us = p50;
+        rsweep.swap_p99_us = p99;
+        rsweep.swap_samples_per_s = rate;
+        rsweep.reloads_attempted = reload_n.load();
+        rsweep.reloads_ok = reload_ok_n.load();
+      } else {
+        rsweep.base_p50_us = p50;
+        rsweep.base_p99_us = p99;
+        rsweep.base_samples_per_s = rate;
+      }
+      rsweep.lost += sent - answered.load();
+      rsweep.exact = rsweep.exact && exact.load();
+      std::printf(
+          "  %-9s %7.0f samples/s, p50 %7.0f us, p99 %7.0f us"
+          "%s%lld reloads\n",
+          swapping ? "hot-swap:" : "baseline:", rate, p50, p99,
+          swapping ? ", " : ", no ",
+          static_cast<long long>(reload_n.load()));
+    }
+    std::remove(img_a.c_str());
+    std::remove(img_b.c_str());
+
+    if (rsweep.lost != 0) {
+      std::cerr << "bench_serve: FATAL: " << rsweep.lost
+                << " requests lost during the reload sweep\n";
+      return 1;
+    }
+    if (!rsweep.exact) {
+      std::cerr << "bench_serve: FATAL: a response diverged from the serial "
+                   "planned path during hot-swap reloads\n";
+      return 1;
+    }
+    if (rsweep.reloads_ok != rsweep.reloads_attempted) {
+      std::cerr << "bench_serve: FATAL: " << rsweep.reloads_attempted
+                << " reloads attempted but only " << rsweep.reloads_ok
+                << " succeeded (good image, same shape: all must land)\n";
+      return 1;
+    }
+    std::cout << "reload sweep checks passed (bit-exact, nothing lost, "
+              << rsweep.reloads_ok << "/" << rsweep.reloads_attempted
+              << " reloads landed)\n";
+  }
 #endif  // !_WIN32
 
   if (!out_path.empty()) {
@@ -515,6 +684,25 @@ int main(int argc, char** argv) {
          << (i + 1 < saturation.size() ? "," : "") << "\n";
     }
     os << "  ]";
+    if (reload_sweep) {
+      const double delta_pct =
+          rsweep.base_p99_us > 0.0
+              ? (rsweep.swap_p99_us - rsweep.base_p99_us) /
+                    rsweep.base_p99_us * 100.0
+              : 0.0;
+      os << ",\n  \"reload\": {\"requests\": " << rsweep.requests
+         << ", \"reloads_attempted\": " << rsweep.reloads_attempted
+         << ", \"reloads_ok\": " << rsweep.reloads_ok
+         << ", \"lost\": " << rsweep.lost
+         << ", \"exact\": " << (rsweep.exact ? "true" : "false")
+         << ",\n    \"baseline\": {\"p50_us\": " << rsweep.base_p50_us
+         << ", \"p99_us\": " << rsweep.base_p99_us
+         << ", \"samples_per_s\": " << rsweep.base_samples_per_s << "}"
+         << ",\n    \"hot_swap\": {\"p50_us\": " << rsweep.swap_p50_us
+         << ", \"p99_us\": " << rsweep.swap_p99_us
+         << ", \"samples_per_s\": " << rsweep.swap_samples_per_s << "}"
+         << ",\n    \"p99_delta_pct\": " << delta_pct << "}";
+    }
 #endif
     os << "\n}\n";
     std::cout << "wrote " << out_path << "\n";

@@ -64,6 +64,15 @@ class Args {
     return opt(name).value_or(def);
   }
 
+  /// Consume EVERY occurrence of a repeatable `--name value` /
+  /// `--name=value` option, in command-line order (e.g.
+  /// `--model a=x.img --model b=y.img`). Empty when absent.
+  std::vector<std::string> opt_all(const std::string& name) {
+    std::vector<std::string> out;
+    while (auto v = opt(name)) out.push_back(std::move(*v));
+    return out;
+  }
+
   std::int64_t int_opt_or(const std::string& name, std::int64_t def) {
     const auto v = opt(name);
     if (!v) return def;

@@ -134,6 +134,21 @@ int cmd_inspect(Args& args) {
     out += "}";
     out += ",\"image\":{\"payload_bytes\":" +
            std::to_string(img.payload_bytes);
+    // Codec summary in the same shape the serve {"cmd":"info"} probe
+    // reports per model, so tooling can diff the two directly.
+    {
+      std::int64_t raw_banks = 0;
+      std::int64_t huff_banks = 0;
+      for (const runtime::FlashLayerStats& ls : img.layers) {
+        if (ls.codec == 1) {
+          ++huff_banks;
+        } else {
+          ++raw_banks;
+        }
+      }
+      out += ",\"codec\":{\"raw\":" + std::to_string(raw_banks) +
+             ",\"huffman\":" + std::to_string(huff_banks) + "}";
+    }
     out += ",\"weight_raw_bytes\":" + std::to_string(img.weight_raw_bytes);
     out += ",\"weight_stored_bytes\":" +
            std::to_string(img.weight_stored_bytes);

@@ -8,6 +8,7 @@
 
 #include "cli/cli.hpp"
 #include "runtime/flash_image.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 
 #ifndef _WIN32
@@ -19,8 +20,13 @@ namespace mixq::cli {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: mixq serve IMAGE [options]\n"
+    "usage: mixq serve [IMAGE] [--model NAME=IMAGE ...] [options]\n"
     "\n"
+    "  A bare IMAGE is served as model \"default\". --model (repeatable)\n"
+    "  adds named models; the first model given is the default one that\n"
+    "  requests without a \"model\" field route to.\n"
+    "\n"
+    "  --model NAME=IMAGE  serve IMAGE as model NAME (repeatable)\n"
     "  --threads N         worker lanes (default 1, 0 = hardware)\n"
     "  --max-batch N       micro-batch coalescing limit (default 8)\n"
     "  --max-wait-us N     batch window after the first request (default 2000)\n"
@@ -47,9 +53,15 @@ constexpr const char* kUsage =
     "  {\"id\":7,\"input\":[...],\"deadline_ms\":50}\n"
     "      -> the response, or a {\"code\":\"timeout\"} error if unexecuted\n"
     "         50 ms after arrival\n"
+    "  {\"id\":7,\"model\":\"b\",\"input\":[...]}  route to model \"b\"\n"
     "  {\"cmd\":\"info\"} | {\"cmd\":\"stats\"} | {\"cmd\":\"shutdown\"}\n"
+    "  {\"cmd\":\"health\"}                 per-model readiness probe\n"
+    "  {\"cmd\":\"reload\",\"model\":\"b\",\"path\":\"new.img\"}\n"
+    "      validate-then-swap hot reload (path defaults to the model's\n"
+    "      current image); SIGHUP reloads every model in place\n"
     "errors: {\"error\":MSG,\"code\":malformed|timeout|overloaded|\n"
-    "         shutting_down|internal,\"retryable\":B[,\"retry_after_ms\":M]}\n";
+    "         shutting_down|internal|not_found|reload_failed,\n"
+    "         \"retryable\":B[,\"retry_after_ms\":M]}\n";
 
 }  // namespace
 
@@ -72,9 +84,13 @@ int cmd_serve(Args& args) {
   const std::int64_t drain_ms = args.int_opt_or("--drain-timeout-ms", 5'000);
   const auto fault_spec = args.opt("--fault-spec");
   const bool quiet = args.flag("--quiet");
+  const std::vector<std::string> model_specs = args.opt_all("--model");
   args.done();
   const auto pos = args.positionals();
-  if (pos.size() != 1) throw UsageError("expected exactly one IMAGE path");
+  if (pos.size() > 1) throw UsageError("expected at most one IMAGE path");
+  if (pos.empty() && model_specs.empty()) {
+    throw UsageError("expected an IMAGE path or at least one --model");
+  }
   if (cfg.max_batch < 1) throw UsageError("--max-batch must be >= 1");
   if (cfg.max_wait_us < 0) throw UsageError("--max-wait-us must be >= 0");
   if (cfg.max_conns < 1) throw UsageError("--max-conns must be >= 1");
@@ -82,7 +98,17 @@ int cmd_serve(Args& args) {
   if (queue_depth < 1) throw UsageError("--queue-depth must be >= 1");
   if (drain_ms < 1) throw UsageError("--drain-timeout-ms must be >= 1");
 
-  const runtime::QuantizedNet net = runtime::read_flash_image_file(pos[0]);
+  // The registry owns every served model (bare IMAGE = model "default",
+  // listed first so it stays the default when --model entries follow).
+  serve::ModelRegistry registry(cfg.threads);
+  if (!pos.empty()) registry.add_model("default", pos[0]);
+  for (const std::string& spec : model_specs) {
+    const std::size_t eq = spec.find('=');
+    if (eq == 0 || eq == std::string::npos || eq + 1 >= spec.size()) {
+      throw UsageError("--model needs NAME=IMAGE, got \"" + spec + "\"");
+    }
+    registry.add_model(spec.substr(0, eq), spec.substr(eq + 1));
+  }
 
   serve::ServeStats stats;
   if (tcp_port >= 0) {
@@ -99,8 +125,9 @@ int cmd_serve(Args& args) {
     ncfg.drain_timeout_ms = drain_ms;
     ncfg.faults = fault_spec ? serve::parse_fault_spec(*fault_spec)
                              : serve::fault_config_from_env();
-    serve::EpollServer server(net, ncfg);
-    server.install_signal_handlers();  // SIGTERM/SIGINT -> graceful drain
+    serve::EpollServer server(registry, ncfg);
+    // SIGTERM/SIGINT -> graceful drain; SIGHUP -> reload every model
+    server.install_signal_handlers();
     const serve::NetStats nstats = server.run(quiet ? nullptr : &std::cerr);
     if (!quiet) std::fputs(nstats.str().c_str(), stderr);
     return 0;
@@ -110,11 +137,11 @@ int cmd_serve(Args& args) {
 #ifdef _WIN32
     throw std::runtime_error("--socket is not supported on this platform");
 #else
-    stats = serve::serve_unix_socket(net, cfg, *socket_path,
+    stats = serve::serve_unix_socket(registry, cfg, *socket_path,
                                      quiet ? nullptr : &std::cerr);
 #endif
   } else {
-    serve::StreamServer server(net, cfg);
+    serve::StreamServer server(registry, cfg);
     stats = server.serve(std::cin, std::cout);
   }
   if (!quiet) std::fputs(stats.str().c_str(), stderr);

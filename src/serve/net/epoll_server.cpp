@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -27,8 +29,10 @@
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/json.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
+#include "serve/registry.hpp"
 
 namespace mixq::serve {
 
@@ -71,7 +75,14 @@ constexpr std::uint64_t kTagTcpListen = 1;
 constexpr std::uint64_t kTagUnixListen = 2;
 constexpr std::uint64_t kTagMailbox = 3;
 constexpr std::uint64_t kTagDrain = 4;
+constexpr std::uint64_t kTagReloadSig = 5;
 constexpr int kFirstConnId = 16;
+
+/// Mailbox sentinels (Outbound::conn values below 0): thread-exit
+/// notifications and results with no client to answer.
+constexpr int kConnWorkerDone = -1;   ///< batch worker exited
+constexpr int kConnControlDone = -2;  ///< reload control thread exited
+constexpr int kConnLogOnly = -3;      ///< SIGHUP reload result -> the log
 
 /// Ring cap on recorded latencies (matches the stdio engine).
 constexpr std::size_t kMaxLatencySamples = 1u << 16;
@@ -87,8 +98,11 @@ void close_if_open(int& fd) {
 /// handler (one serving daemon per process; the latest install wins).
 std::atomic<int> g_drain_eventfd{-1};
 
-void drain_signal_handler(int) {
-  const int fd = g_drain_eventfd.load(std::memory_order_relaxed);
+/// Likewise for SIGHUP -> reload-all-models.
+std::atomic<int> g_reload_eventfd{-1};
+
+void signal_eventfd(const std::atomic<int>& target) {
+  const int fd = target.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const std::uint64_t one = 1;
     // write() is async-signal-safe; the result is irrelevant (a full
@@ -97,10 +111,14 @@ void drain_signal_handler(int) {
   }
 }
 
+void drain_signal_handler(int) { signal_eventfd(g_drain_eventfd); }
+void reload_signal_handler(int) { signal_eventfd(g_reload_eventfd); }
+
 }  // namespace
 
 struct EpollServer::Impl {
-  const runtime::QuantizedNet* net{nullptr};
+  ModelRegistry* reg{nullptr};
+  std::unique_ptr<ModelRegistry> owned_reg;  ///< set by the net-based ctor
   NetConfig cfg;
   FaultInjector injector;
 
@@ -109,6 +127,7 @@ struct EpollServer::Impl {
   int unix_listen_fd{-1};
   int mailbox_efd{-1};
   int drain_efd{-1};
+  int reload_efd{-1};
   std::string unix_path_bound;
   bool ran{false};
 
@@ -119,6 +138,7 @@ struct EpollServer::Impl {
     close_if_open(unix_listen_fd);
     close_if_open(mailbox_efd);
     close_if_open(drain_efd);
+    close_if_open(reload_efd);
     close_if_open(epoll_fd);
     if (!unix_path_bound.empty()) ::unlink(unix_path_bound.c_str());
   }
@@ -130,22 +150,46 @@ struct EpollServer::Impl {
 
 EpollServer::EpollServer(const runtime::QuantizedNet& net, NetConfig cfg)
     : impl_(new Impl(cfg)) {
-  impl_->net = &net;
+  try {
+    impl_->owned_reg = std::make_unique<ModelRegistry>(cfg.engine.threads);
+    impl_->owned_reg->add_model("default", net);
+    impl_->reg = impl_->owned_reg.get();
+    init_sockets();
+  } catch (...) {
+    delete impl_;
+    throw;
+  }
+}
+
+EpollServer::EpollServer(ModelRegistry& registry, NetConfig cfg)
+    : impl_(new Impl(cfg)) {
+  impl_->reg = &registry;
+  try {
+    init_sockets();
+  } catch (...) {
+    delete impl_;
+    throw;
+  }
+}
+
+void EpollServer::init_sockets() {
+  const NetConfig& cfg = impl_->cfg;
   ::signal(SIGPIPE, SIG_IGN);  // a dead client must never kill the daemon
 
   if (cfg.tcp_port < 0 && cfg.unix_path.empty()) {
-    delete impl_;
     throw std::runtime_error("epoll serve: no listener configured");
   }
 
-  try {
+  {
     impl_->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     if (impl_->epoll_fd < 0) {
       throw std::runtime_error("epoll serve: epoll_create1 failed");
     }
     impl_->mailbox_efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     impl_->drain_efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-    if (impl_->mailbox_efd < 0 || impl_->drain_efd < 0) {
+    impl_->reload_efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (impl_->mailbox_efd < 0 || impl_->drain_efd < 0 ||
+        impl_->reload_efd < 0) {
       throw std::runtime_error("epoll serve: eventfd failed");
     }
 
@@ -159,6 +203,7 @@ EpollServer::EpollServer(const runtime::QuantizedNet& net, NetConfig cfg)
     };
     add_to_epoll(impl_->mailbox_efd, kTagMailbox);
     add_to_epoll(impl_->drain_efd, kTagDrain);
+    add_to_epoll(impl_->reload_efd, kTagReloadSig);
 
     if (cfg.tcp_port >= 0) {
       const int fd = ::socket(AF_INET,
@@ -213,9 +258,6 @@ EpollServer::EpollServer(const runtime::QuantizedNet& net, NetConfig cfg)
       }
       add_to_epoll(fd, kTagUnixListen);
     }
-  } catch (...) {
-    delete impl_;
-    throw;
   }
 }
 
@@ -229,12 +271,18 @@ void EpollServer::request_drain() {
 
 void EpollServer::install_signal_handlers() {
   g_drain_eventfd.store(impl_->drain_efd, std::memory_order_relaxed);
+  g_reload_eventfd.store(impl_->reload_efd, std::memory_order_relaxed);
   struct sigaction sa{};
   sa.sa_handler = drain_signal_handler;
   sigemptyset(&sa.sa_mask);
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sh{};
+  sh.sa_handler = reload_signal_handler;
+  sigemptyset(&sh.sa_mask);
+  sh.sa_flags = SA_RESTART;
+  ::sigaction(SIGHUP, &sh, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -250,14 +298,15 @@ NetStats EpollServer::run(std::ostream* log) {
   const NetConfig& cfg = im.cfg;
 
   // -- engine fabric -------------------------------------------------------
-  InferenceSession session(*im.net, cfg.engine.threads);
+  ModelRegistry& reg = *im.reg;
+  reg.set_fault_injector(&im.injector);  // arms the rtrunc/rexecerr/rdelay sites
   RequestQueue queue;
   MicroBatcher batcher(queue,
                        BatcherConfig{cfg.engine.max_batch,
                                      cfg.engine.max_wait_us});
-  const std::int64_t input_numel = session.input_numel();
+  const std::int64_t input_numel = reg.default_model()->input_numel();
   const std::size_t max_line_bytes =
-      256 + 32 * static_cast<std::size_t>(input_numel);
+      256 + 32 * static_cast<std::size_t>(reg.max_input_numel());
 
   std::mutex stats_mu;
   NetStats stats;
@@ -291,6 +340,7 @@ NetStats EpollServer::run(std::ostream* log) {
     std::vector<Request> batch;
     std::vector<Request> live;
     std::vector<runtime::QInferenceResult> results;
+    std::vector<std::size_t> group;
     std::vector<Outbound> out;
     while (batcher.next_batch(batch)) {
       im.injector.maybe_delay_flush();
@@ -305,6 +355,7 @@ NetStats EpollServer::run(std::ostream* log) {
                              ErrCode::kTimeout,
                              "deadline expired before execution", &r.id),
                          true});
+          reg.record_timeout(*r.route);
           ++expired;
         } else if (im.injector.should_fail_exec()) {
           out.push_back({r.client,
@@ -312,6 +363,7 @@ NetStats EpollServer::run(std::ostream* log) {
                              ErrCode::kInternal,
                              "injected transient executor fault", &r.id),
                          true});
+          reg.record_error(*r.route);
           ++injected;
         } else {
           live.push_back(std::move(r));
@@ -319,7 +371,22 @@ NetStats EpollServer::run(std::ostream* log) {
       }
       if (!live.empty()) {
         try {
-          session.infer_batch(live, results);
+          // A micro-batch may mix models (and generations mid-reload):
+          // execute group by group against each request's PINNED route,
+          // results staying in admission order.
+          results.clear();
+          results.resize(live.size());
+          std::vector<const ServableModel*> ran;
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const ServableModel* m = live[i].route.get();
+            if (std::find(ran.begin(), ran.end(), m) != ran.end()) continue;
+            ran.push_back(m);
+            group.clear();
+            for (std::size_t j = i; j < live.size(); ++j) {
+              if (live[j].route.get() == m) group.push_back(j);
+            }
+            reg.infer_indices(*m, live, group, results);
+          }
         } catch (const std::exception& e) {
           // A real executor failure: answer every request retryably
           // rather than taking the daemon down mid-drain.
@@ -328,6 +395,7 @@ NetStats EpollServer::run(std::ostream* log) {
                            format_error_line(ErrCode::kInternal, e.what(),
                                              &r.id),
                            true});
+            reg.record_error(*r.route);
             ++injected;
           }
           live.clear();
@@ -355,6 +423,7 @@ NetStats EpollServer::run(std::ostream* log) {
                     done - r.enqueued)
                     .count() /
                 1e3;
+            reg.record_response(*r.route, us);
             if (stats.engine.latency_us.size() < kMaxLatencySamples) {
               stats.engine.latency_us.push_back(us);
             } else {
@@ -367,7 +436,65 @@ NetStats EpollServer::run(std::ostream* log) {
       post_batch(out);
     }
     std::vector<Outbound> done_sentinel;
-    done_sentinel.push_back({-1, std::string(), false});
+    done_sentinel.push_back({kConnWorkerDone, std::string(), false});
+    post_batch(done_sentinel);
+  });
+
+  // -- reload control thread ------------------------------------------------
+  // {"cmd":"reload"} and SIGHUP run validate-then-swap OFF the event loop:
+  // loading + plan compilation + the probe inference of a replacement
+  // image can take longer than any client is willing to stall, and the
+  // loop must keep serving both models throughout. Jobs are answered back
+  // through the same mailbox as batch results (a reload holds one
+  // in-flight slot on its connection, so graceful drain waits for it).
+  struct CtlJob {
+    int conn{kConnLogOnly};
+    std::string model;
+    std::string path;
+  };
+  std::mutex ctl_mu;
+  std::condition_variable ctl_cv;
+  std::deque<CtlJob> ctl_jobs;
+  bool ctl_stop = false;
+  const auto submit_reload = [&](int conn, std::string model,
+                                 std::string path) {
+    {
+      std::lock_guard<std::mutex> lock(ctl_mu);
+      ctl_jobs.push_back({conn, std::move(model), std::move(path)});
+    }
+    ctl_cv.notify_one();
+  };
+  std::thread control([&] {
+    while (true) {
+      CtlJob job;
+      {
+        std::unique_lock<std::mutex> lock(ctl_mu);
+        ctl_cv.wait(lock, [&] { return ctl_stop || !ctl_jobs.empty(); });
+        if (ctl_jobs.empty()) break;  // stop requested, queue drained
+        job = std::move(ctl_jobs.front());
+        ctl_jobs.pop_front();
+      }
+      const ReloadResult rr = reg.reload(job.model, job.path);
+      std::string line;
+      if (rr.ok) {
+        line = "{\"ok\":\"reload\",\"model\":";
+        append_json_string(line, rr.model);
+        line += ",\"generation\":" + std::to_string(rr.generation);
+        line += ",\"format_version\":" + std::to_string(rr.format_version);
+        line += "}";
+      } else {
+        line = format_error_line(
+            rr.not_found ? ErrCode::kNotFound : ErrCode::kReloadFailed,
+            rr.error, nullptr);
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++stats.engine.errors;
+      }
+      std::vector<Outbound> out;
+      out.push_back({job.conn, std::move(line), job.conn >= 0});
+      post_batch(out);
+    }
+    std::vector<Outbound> done_sentinel;
+    done_sentinel.push_back({kConnControlDone, std::string(), false});
     post_batch(done_sentinel);
   });
 
@@ -391,6 +518,7 @@ NetStats EpollServer::run(std::ostream* log) {
   int next_conn_id = kFirstConnId;
   bool draining = false;
   bool worker_done = false;
+  bool control_done = false;
   bool drain_acked = false;
   int drain_ack_conn = -1;
   Clock::time_point drain_deadline = Clock::time_point::max();
@@ -454,7 +582,7 @@ NetStats EpollServer::run(std::ostream* log) {
   /// client no more bytes.
   const auto drained_idle = [&](const Conn& c) {
     return c.state == Conn::State::kDraining && c.outbox.empty() &&
-           c.in_flight == 0 && worker_done;
+           c.in_flight == 0 && worker_done && control_done;
   };
 
   // Queue one response line on a connection (bounded outbox -> a slow
@@ -486,7 +614,10 @@ NetStats EpollServer::run(std::ostream* log) {
   };
 
   const auto info_line = [&]() {
-    const runtime::QuantizedNet& net = session.net();
+    // Legacy top-level fields describe the DEFAULT model; "models" carries
+    // per-model metadata (format version, codec summary, generation).
+    const std::shared_ptr<const ServableModel> def = reg.default_model();
+    const runtime::QuantizedNet& net = def->net;
     const Shape& in = net.layers.front().in_shape;
     std::string line = "{\"info\":{\"layers\":";
     line += std::to_string(net.layers.size());
@@ -495,7 +626,11 @@ NetStats EpollServer::run(std::ostream* log) {
     line += ",\"classes\":" + std::to_string(net.layers.back().out_shape.c);
     line += ",\"ro_bytes\":" + std::to_string(net.ro_bytes());
     line += ",\"rw_peak_bytes\":" + std::to_string(net.rw_peak_bytes());
-    line += ",\"lanes\":" + std::to_string(session.lanes());
+    line += ",\"lanes\":" + std::to_string(reg.lanes());
+    line += ",\"format_version\":" + std::to_string(def->image.version);
+    line += ",\"default\":";
+    append_json_string(line, reg.default_name());
+    line += ",\"models\":" + reg.models_info_json();
     line += "}}";
     return line;
   };
@@ -518,13 +653,21 @@ NetStats EpollServer::run(std::ostream* log) {
       }
     }
     queue.close();  // the worker drains every admitted request, then exits
+    {
+      // The control thread answers every already-submitted reload, then
+      // exits; new reloads are refused at admission once draining is set.
+      std::lock_guard<std::mutex> lock(ctl_mu);
+      ctl_stop = true;
+    }
+    ctl_cv.notify_one();
   };
 
   // One parsed protocol line from connection `c`. Returns false when the
   // connection was closed while answering.
   const auto handle_line = [&](Conn& c, std::string_view line) -> bool {
     ParsedLine p = parse_protocol_line(line, input_numel, max_line_bytes,
-                                       cfg.engine.default_deadline_ms);
+                                       cfg.engine.default_deadline_ms,
+                                       &reg.directory());
     switch (p.kind) {
       case ParsedLine::Kind::kBlank:
         return true;
@@ -541,10 +684,31 @@ NetStats EpollServer::run(std::ostream* log) {
           std::lock_guard<std::mutex> lock(stats_mu);
           snapshot = stats;
         }
-        return queue_line(c, "{\"stats\":" + snapshot.json() + "}");
+        // The engine-wide object plus the per-model breakdown.
+        std::string s = snapshot.json();
+        s.pop_back();
+        s += ",\"models\":" + reg.stats_json() + "}";
+        return queue_line(c, "{\"stats\":" + s + "}");
       }
       case ParsedLine::Kind::kInfo:
         return queue_line(c, info_line());
+      case ParsedLine::Kind::kHealth:
+        return queue_line(c, "{\"health\":" + reg.health_json() + "}");
+      case ParsedLine::Kind::kReload: {
+        if (draining) {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          ++stats.engine.errors;
+          return queue_line(c,
+                            format_error_line(ErrCode::kShuttingDown,
+                                              "server is draining", nullptr));
+        }
+        // Handed to the control thread; the response arrives through the
+        // mailbox. The in-flight slot makes graceful drain wait for it.
+        ++c.in_flight;
+        submit_reload(c.id, std::move(p.reload_model),
+                      std::move(p.reload_path));
+        return true;
+      }
       case ParsedLine::Kind::kShutdown:
         start_drain(c.id);
         return true;
@@ -554,12 +718,25 @@ NetStats EpollServer::run(std::ostream* log) {
     Request r = std::move(p.request);
     const std::int64_t rid = r.id;
     r.client = c.id;
+    // Pin the CURRENT generation at admission: the batch worker executes
+    // against exactly this plan even if a reload swaps the slot later.
+    r.route = reg.resolve(r.model);
+    if (r.route == nullptr) {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      ++stats.engine.errors;
+      return queue_line(c, format_error_line(ErrCode::kNotFound,
+                                             "unknown model \"" + r.model +
+                                                 "\"",
+                                             &rid));
+    }
     if (draining) {
       std::lock_guard<std::mutex> lock(stats_mu);
       ++stats.engine.errors;
       return queue_line(c, format_error_line(ErrCode::kShuttingDown,
                                              "server is draining", &rid));
     }
+    reg.record_admitted(*r.route);
+    const std::shared_ptr<const ServableModel> route = r.route;
     switch (queue.push_bounded(std::move(r), cfg.queue_depth)) {
       case PushResult::kOk: {
         ++c.in_flight;
@@ -568,6 +745,7 @@ NetStats EpollServer::run(std::ostream* log) {
         return true;
       }
       case PushResult::kOverflow: {
+        reg.record_shed(*route);
         {
           std::lock_guard<std::mutex> lock(stats_mu);
           ++stats.engine.shed;
@@ -582,6 +760,7 @@ NetStats EpollServer::run(std::ostream* log) {
                    &rid, cfg.retry_after_ms));
       }
       case PushResult::kClosed: {
+        reg.record_shed(*route);
         std::lock_guard<std::mutex> lock(stats_mu);
         ++stats.engine.errors;
         return queue_line(c, format_error_line(ErrCode::kShuttingDown,
@@ -712,9 +891,10 @@ NetStats EpollServer::run(std::ostream* log) {
   std::vector<epoll_event> events(128);
   std::vector<int> scratch_ids;
   while (true) {
-    // Exit: drain finished (worker done, every connection flushed+closed)
-    // or the drain deadline passed (wedged clients are cut loose).
-    if (draining && worker_done) {
+    // Exit: drain finished (worker + control done, every connection
+    // flushed+closed) or the drain deadline passed (wedged clients are cut
+    // loose).
+    if (draining && worker_done && control_done) {
       if (!drain_acked && drain_ack_conn >= 0) {
         drain_acked = true;
         const auto it = conns.find(drain_ack_conn);
@@ -782,6 +962,17 @@ NetStats EpollServer::run(std::ostream* log) {
         start_drain(-1);
         continue;
       }
+      if (tag == kTagReloadSig) {
+        drain_eventfd(im.reload_efd);
+        // SIGHUP: re-read every model from its current backing path (the
+        // "config changed under me" daemon contract). Ignored mid-drain.
+        if (!draining) {
+          for (const std::string& name : reg.names()) {
+            submit_reload(kConnLogOnly, name, std::string());
+          }
+        }
+        continue;
+      }
       if (tag == kTagMailbox) {
         drain_eventfd(im.mailbox_efd);
         std::vector<Outbound> batch;
@@ -790,8 +981,21 @@ NetStats EpollServer::run(std::ostream* log) {
           batch.swap(mailbox);
         }
         for (Outbound& o : batch) {
-          if (o.conn < 0) {
+          if (o.conn == kConnWorkerDone) {
             worker_done = true;
+            continue;
+          }
+          if (o.conn == kConnControlDone) {
+            control_done = true;
+            continue;
+          }
+          if (o.conn == kConnLogOnly) {
+            // A SIGHUP-initiated reload has no client; its outcome goes to
+            // the operator log.
+            if (log != nullptr) {
+              *log << "mixq serve: reload " << o.line << "\n";
+              log->flush();
+            }
             continue;
           }
           const auto it = conns.find(o.conn);
@@ -903,6 +1107,12 @@ NetStats EpollServer::run(std::ostream* log) {
   // -- teardown -------------------------------------------------------------
   queue.close();  // idempotent; covers abnormal exits from the loop
   worker.join();
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu);
+    ctl_stop = true;
+  }
+  ctl_cv.notify_one();
+  control.join();
   for (auto& [id, c] : conns) ::close(c.fd);
   conns.clear();
   close_if_open(im.tcp_listen_fd);

@@ -93,8 +93,18 @@ class EpollServer {
  public:
   /// Binds and listens (throwing std::runtime_error on setup failure) so
   /// tcp_port() is valid -- and clients may already connect -- before
-  /// run() is entered.
+  /// run() is entered. Single-model compatibility form: wraps `net` in an
+  /// owned one-entry registry named "default".
   EpollServer(const runtime::QuantizedNet& net, NetConfig cfg);
+
+  /// Multi-model form: serves every model in `registry` (which must
+  /// outlive the server). Requests route by their "model" field;
+  /// {"cmd":"reload"} runs validate-then-swap on a dedicated control
+  /// thread (the event loop and batch worker never block on it) and
+  /// {"cmd":"health"} reports per-model readiness. SIGHUP (via
+  /// install_signal_handlers) reloads every model from its current
+  /// backing path.
+  EpollServer(ModelRegistry& registry, NetConfig cfg);
   ~EpollServer();
   EpollServer(const EpollServer&) = delete;
   EpollServer& operator=(const EpollServer&) = delete;
@@ -110,13 +120,18 @@ class EpollServer {
   /// eventfd write), so the SIGTERM handler may call it directly.
   void request_drain();
 
-  /// Route SIGTERM/SIGINT to this server's request_drain(). The handler
-  /// holds a process-global eventfd; the most recently installed server
-  /// wins (one daemon per process in practice).
+  /// Route SIGTERM/SIGINT to this server's request_drain(), and SIGHUP to
+  /// a reload of every model from its current backing path (the classic
+  /// "re-read your config" daemon contract). The handlers hold
+  /// process-global eventfds; the most recently installed server wins
+  /// (one daemon per process in practice).
   void install_signal_handlers();
 
  private:
   struct Impl;
+
+  void init_sockets();
+
   Impl* impl_;
   int bound_tcp_port_{-1};
 };

@@ -63,6 +63,21 @@ FaultConfig parse_fault_spec(const std::string& spec) {
               "fault spec: delay microseconds out of range");
         }
       }
+    } else if (key == "rtrunc") {
+      cfg.reload_trunc_p = parse_prob(key, val);
+    } else if (key == "rexecerr") {
+      cfg.reload_exec_p = parse_prob(key, val);
+    } else if (key == "rdelay") {
+      const std::size_t colon = val.find(':');
+      cfg.reload_delay_p = parse_prob(key, val.substr(0, colon));
+      cfg.reload_delay_us = 1000;
+      if (colon != std::string::npos) {
+        cfg.reload_delay_us = std::atoi(val.c_str() + colon + 1);
+        if (cfg.reload_delay_us < 0 || cfg.reload_delay_us > 10'000'000) {
+          throw std::runtime_error(
+              "fault spec: rdelay microseconds out of range");
+        }
+      }
     } else {
       throw std::runtime_error("fault spec: unknown key \"" + key + "\"");
     }
@@ -113,6 +128,21 @@ void FaultInjector::maybe_delay_flush() {
     return;
   }
   std::this_thread::sleep_for(std::chrono::microseconds(cfg_.delay_flush_us));
+}
+
+bool FaultInjector::should_truncate_reload() {
+  return enabled_ && roll(cfg_.reload_trunc_p);
+}
+
+bool FaultInjector::should_fail_reload_exec() {
+  return enabled_ && roll(cfg_.reload_exec_p);
+}
+
+void FaultInjector::maybe_delay_swap() {
+  if (!enabled_ || cfg_.reload_delay_us <= 0 || !roll(cfg_.reload_delay_p)) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(cfg_.reload_delay_us));
 }
 
 }  // namespace mixq::serve

@@ -15,6 +15,18 @@
 //   delay    sleep before a batch flush, inflating queue dwell time (how
 //            the deadline and admission-control paths get exercised)
 //
+// Reload-time sites (consulted by ModelRegistry::reload, never by the
+// serving hot path):
+//
+//   rtrunc   truncate the replacement image mid-read, as a crashed
+//            publisher or torn copy would -- the hardened loader must
+//            refuse it and the old model must keep serving
+//   rexecerr fail the validation smoke inference of a candidate model
+//            (the validate-THEN-swap gate: a candidate that cannot
+//            execute is never published)
+//   rdelay   sleep between validation and the atomic swap, widening the
+//            race window the reload chaos suite drives traffic through
+//
 // Selected by code (tests), by CLI flag (`mixq serve --fault-spec`), or
 // by the MIXQ_FAULT_SPEC environment variable; the spec grammar is
 // documented at parse_fault_spec. All randomness is a seeded xorshift so
@@ -34,15 +46,22 @@ struct FaultConfig {
   double exec_error_p{0.0};     ///< P(injected executor error) per request
   double delay_flush_p{0.0};    ///< P(sleep before flush) per batch
   int delay_flush_us{0};        ///< the sleep length for `delay`
+  double reload_trunc_p{0.0};   ///< P(truncate the image) per reload
+  double reload_exec_p{0.0};    ///< P(validation smoke-infer fails) per reload
+  double reload_delay_p{0.0};   ///< P(sleep before the swap) per reload
+  int reload_delay_us{0};       ///< the sleep length for `rdelay`
 
   [[nodiscard]] bool any() const {
     return drop_conn_p > 0.0 || truncate_write_p > 0.0 ||
-           exec_error_p > 0.0 || delay_flush_p > 0.0;
+           exec_error_p > 0.0 || delay_flush_p > 0.0 ||
+           reload_trunc_p > 0.0 || reload_exec_p > 0.0 ||
+           reload_delay_p > 0.0;
   }
 };
 
-/// "seed=7,drop=0.05,trunc=0.3,execerr=0.1,delay=0.2:2000" -- any subset
-/// of keys, comma-separated; `delay` is P[:microseconds] (default 1000).
+/// "seed=7,drop=0.05,trunc=0.3,execerr=0.1,delay=0.2:2000,rtrunc=0.5,
+/// rexecerr=0.5,rdelay=1:500" -- any subset of keys, comma-separated;
+/// `delay`/`rdelay` are P[:microseconds] (default 1000).
 /// Throws std::runtime_error on an unknown key or unparsable value.
 [[nodiscard]] FaultConfig parse_fault_spec(const std::string& spec);
 
@@ -70,6 +89,15 @@ class FaultInjector {
 
   /// Worker site: sleep (maybe) before flushing a batch.
   void maybe_delay_flush();
+
+  /// Reload site: should the replacement image be truncated mid-read?
+  [[nodiscard]] bool should_truncate_reload();
+
+  /// Reload site: should the candidate's validation smoke-infer fail?
+  [[nodiscard]] bool should_fail_reload_exec();
+
+  /// Reload site: sleep (maybe) between validation and the atomic swap.
+  void maybe_delay_swap();
 
  private:
   [[nodiscard]] bool roll(double p);

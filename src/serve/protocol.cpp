@@ -14,14 +14,20 @@ const char* err_code_slug(ErrCode code) {
     case ErrCode::kOverloaded: return "overloaded";
     case ErrCode::kShuttingDown: return "shutting_down";
     case ErrCode::kInternal: return "internal";
+    case ErrCode::kNotFound: return "not_found";
+    case ErrCode::kReloadFailed: return "reload_failed";
   }
   return "internal";
 }
 
 bool err_code_retryable(ErrCode code) {
   // A timed-out request was never executed, so resubmitting it is safe;
-  // only malformed bytes can never succeed on retry.
-  return code != ErrCode::kMalformed;
+  // malformed bytes can never succeed on retry, and neither can a request
+  // naming a model the registry does not hold (the model SET is fixed at
+  // startup -- only a model's content is swappable). A failed reload IS
+  // retryable: the same command succeeds once the image at that path is
+  // replaced with a valid one.
+  return code != ErrCode::kMalformed && code != ErrCode::kNotFound;
 }
 
 std::string format_error_line(ErrCode code, std::string_view message,
@@ -49,10 +55,11 @@ std::string ParsedLine::error_line() const {
 
 namespace {
 
-ParsedLine make_error(std::string message, const JsonValue* id) {
+ParsedLine make_error(std::string message, const JsonValue* id,
+                      ErrCode code = ErrCode::kMalformed) {
   ParsedLine p;
   p.kind = ParsedLine::Kind::kError;
-  p.code = ErrCode::kMalformed;
+  p.code = code;
   p.error = std::move(message);
   if (id != nullptr && id->is_integer()) {
     p.has_id = true;
@@ -65,7 +72,8 @@ ParsedLine make_error(std::string message, const JsonValue* id) {
 
 ParsedLine parse_protocol_line(std::string_view line, std::int64_t input_numel,
                                std::size_t max_line_bytes,
-                               std::int64_t default_deadline_ms) {
+                               std::int64_t default_deadline_ms,
+                               const ModelDirectory* models) {
   ParsedLine p;
   if (line.empty() || line.find_first_not_of(" \t\r") == std::string_view::npos) {
     return p;  // kBlank
@@ -100,6 +108,24 @@ ParsedLine parse_protocol_line(std::string_view line, std::int64_t input_numel,
       p.kind = ParsedLine::Kind::kInfo;
       return p;
     }
+    if (cmd->string == "health") {
+      p.kind = ParsedLine::Kind::kHealth;
+      return p;
+    }
+    if (cmd->string == "reload") {
+      const JsonValue* m = v.find("model");
+      const JsonValue* path = v.find("path");
+      if (m != nullptr && !m->is_string()) {
+        return make_error("\"model\" must be a string", v.find("id"));
+      }
+      if (path != nullptr && !path->is_string()) {
+        return make_error("\"path\" must be a string", v.find("id"));
+      }
+      p.kind = ParsedLine::Kind::kReload;
+      if (m != nullptr) p.reload_model = m->string;
+      if (path != nullptr) p.reload_path = path->string;
+      return p;
+    }
     return make_error("unknown cmd \"" + cmd->string + "\"", v.find("id"));
   }
 
@@ -111,8 +137,27 @@ ParsedLine parse_protocol_line(std::string_view line, std::int64_t input_numel,
   if (input == nullptr || !input->is_array()) {
     return make_error("missing \"input\" array", id);
   }
-  if (static_cast<std::int64_t>(input->array.size()) != input_numel) {
-    return make_error("\"input\" must have " + std::to_string(input_numel) +
+  // The model name routes the request AND selects the input length the
+  // array is validated against -- resolution must precede the numel check.
+  std::string model_name;
+  if (const JsonValue* m = v.find("model")) {
+    if (!m->is_string()) {
+      return make_error("\"model\" must be a string", id);
+    }
+    model_name = m->string;
+  }
+  std::int64_t want_numel = input_numel;
+  if (!model_name.empty()) {
+    const std::int64_t n =
+        models != nullptr ? models->numel_of(model_name) : -1;
+    if (n < 0) {
+      return make_error("unknown model \"" + model_name + "\"", id,
+                        ErrCode::kNotFound);
+    }
+    want_numel = n;
+  }
+  if (static_cast<std::int64_t>(input->array.size()) != want_numel) {
+    return make_error("\"input\" must have " + std::to_string(want_numel) +
                           " elements, got " +
                           std::to_string(input->array.size()),
                       id);
@@ -130,6 +175,7 @@ ParsedLine parse_protocol_line(std::string_view line, std::int64_t input_numel,
 
   p.kind = ParsedLine::Kind::kRequest;
   p.request.id = id->as_integer();
+  p.request.model = std::move(model_name);
   p.request.input.reserve(input->array.size());
   for (const JsonValue& x : input->array) {
     if (!x.is_number()) {

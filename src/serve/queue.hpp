@@ -12,21 +12,33 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace mixq::serve {
 
 using Clock = std::chrono::steady_clock;
 
+struct ServableModel;  // registry.hpp: one published model generation
+
 /// One inference request. `client` routes the response back to the
 /// connection that sent it (kClientLocal for stdio / in-process callers).
 /// `deadline` is absolute: a request still unexecuted past it is answered
 /// with a structured `timeout` error instead of occupying a batch slot
 /// (Clock::time_point::max() = no deadline).
+///
+/// `route` pins the model GENERATION that admitted the request: the batch
+/// worker executes against exactly this plan even if a reload publishes a
+/// newer generation while the request is queued, and the shared_ptr keeps
+/// the old plan (and its mmap borrow) alive until the last in-flight
+/// request referencing it is answered.
 struct Request {
   std::int64_t id{0};
   std::vector<float> input;
+  std::string model;  ///< requested model name ("" = the default model)
+  std::shared_ptr<const ServableModel> route;  ///< resolved at admission
   Clock::time_point enqueued{};
   Clock::time_point deadline{Clock::time_point::max()};
   int client{-1};

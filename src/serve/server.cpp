@@ -14,6 +14,7 @@
 
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 
 #ifndef _WIN32
 #include <cerrno>
@@ -216,9 +217,9 @@ class Engine {
  public:
   using WriteFn = std::function<void(int client, const std::string& line)>;
 
-  Engine(const runtime::QuantizedNet& net, const ServeConfig& cfg,
-         WriteFn write)
-      : session_(net, cfg.threads),
+  Engine(ModelRegistry& registry, const ServeConfig& cfg, WriteFn write)
+      : reg_(registry),
+        default_numel_(registry.default_model()->input_numel()),
         batcher_(queue_, BatcherConfig{cfg.max_batch, cfg.max_wait_us}),
         write_(std::move(write)),
         cfg_default_deadline_ms_(cfg.default_deadline_ms) {}
@@ -233,7 +234,7 @@ class Engine {
   /// input bytes ~40x -- the daemon-side analogue of the flash loader's
   /// "a declared count can never outgrow the bytes that carry it" rule.
   [[nodiscard]] std::size_t max_line_bytes() const {
-    return 256 + 32 * static_cast<std::size_t>(session_.input_numel());
+    return 256 + 32 * static_cast<std::size_t>(reg_.max_input_numel());
   }
 
   void start() {
@@ -243,19 +244,34 @@ class Engine {
   /// Process one protocol line from `client`. Returns false when the line
   /// asked for shutdown (the caller should stop reading and drain).
   bool handle_line(int client, const std::string& line) {
-    ParsedLine p = parse_protocol_line(line, session_.input_numel(),
+    ParsedLine p = parse_protocol_line(line, default_numel_,
                                        max_line_bytes(),
-                                       cfg_default_deadline_ms_);
+                                       cfg_default_deadline_ms_,
+                                       &reg_.directory());
     switch (p.kind) {
       case ParsedLine::Kind::kBlank:
         return true;  // blank lines are ignored, not errors
       case ParsedLine::Kind::kShutdown:
         return false;
-      case ParsedLine::Kind::kStats:
-        write(client, "{\"stats\":" + stats_snapshot().json() + "}");
+      case ParsedLine::Kind::kStats: {
+        // The engine-wide object plus a per-model breakdown.
+        std::string s = stats_snapshot().json();
+        s.pop_back();  // reopen the object to splice "models" in
+        s += ",\"models\":" + reg_.stats_json() + "}";
+        write(client, "{\"stats\":" + s + "}");
         return true;
+      }
       case ParsedLine::Kind::kInfo:
         write(client, info_line());
+        return true;
+      case ParsedLine::Kind::kHealth:
+        write(client, "{\"health\":" + reg_.health_json() + "}");
+        return true;
+      case ParsedLine::Kind::kReload:
+        // Synchronous on the reader thread: the stdio/unix front-ends have
+        // no event loop to hand the work to, and validate-then-swap never
+        // touches the batch worker, so serving continues underneath.
+        handle_reload(client, p.reload_model, p.reload_path);
         return true;
       case ParsedLine::Kind::kError:
         write(client, p.error_line());
@@ -270,6 +286,17 @@ class Engine {
     Request r = std::move(p.request);
     const std::int64_t rid = r.id;
     r.client = client;
+    // Pin the CURRENT generation at admission: the batch worker executes
+    // against exactly this plan even if a reload swaps the slot later.
+    r.route = reg_.resolve(r.model);
+    if (r.route == nullptr) {
+      write(client, format_error_line(ErrCode::kNotFound,
+                                      "unknown model \"" + r.model + "\"",
+                                      &rid));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      return true;
+    }
     // Counted BEFORE the push: the worker may complete and count the
     // response the instant the request is queued, and a stats snapshot
     // must never show responses > requests.
@@ -277,11 +304,14 @@ class Engine {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.requests;
     }
+    reg_.record_admitted(*r.route);
+    const std::shared_ptr<const ServableModel> route = r.route;
     if (!queue_.push(std::move(r))) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         --stats_.requests;
       }
+      reg_.record_shed(*route);
       write(client, format_error_line(ErrCode::kShuttingDown,
                                       "server is shutting down", &rid));
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -289,6 +319,29 @@ class Engine {
       return true;
     }
     return true;
+  }
+
+  /// {"cmd":"reload"}: validate-then-swap via the registry; the response
+  /// is either the new generation or a structured reload_failed /
+  /// not_found error. Serving is never interrupted either way.
+  void handle_reload(int client, const std::string& model,
+                     const std::string& path) {
+    const ReloadResult rr = reg_.reload(model, path);
+    if (rr.ok) {
+      std::string line = "{\"ok\":\"reload\",\"model\":";
+      append_json_string(line, rr.model);
+      line += ",\"generation\":" + std::to_string(rr.generation);
+      line += ",\"format_version\":" + std::to_string(rr.format_version);
+      line += "}";
+      write(client, line);
+      return;
+    }
+    write(client,
+          format_error_line(
+              rr.not_found ? ErrCode::kNotFound : ErrCode::kReloadFailed,
+              rr.error, nullptr));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
   }
 
   /// Close the queue, let the worker drain every accepted request, and
@@ -312,8 +365,6 @@ class Engine {
   /// client there must block only its own connection, never the daemon.
   void write(int client, const std::string& line) { write_(client, line); }
 
-  [[nodiscard]] InferenceSession& session() { return session_; }
-
   /// For front-ends that detect a protocol violation before handle_line
   /// (e.g. an over-cap line discarded during streaming): emits the error
   /// response and counts it.
@@ -333,7 +384,11 @@ class Engine {
   }
 
   std::string info_line() const {
-    const runtime::QuantizedNet& net = session_.net();
+    // Legacy top-level fields describe the DEFAULT model (existing
+    // single-model clients keep parsing them); "models" carries the full
+    // per-model metadata including image format version and codec summary.
+    const std::shared_ptr<const ServableModel> def = reg_.default_model();
+    const runtime::QuantizedNet& net = def->net;
     const Shape& in = net.layers.front().in_shape;
     std::string line = "{\"info\":{\"layers\":";
     line += std::to_string(net.layers.size());
@@ -343,7 +398,11 @@ class Engine {
             std::to_string(net.layers.back().out_shape.c);
     line += ",\"ro_bytes\":" + std::to_string(net.ro_bytes());
     line += ",\"rw_peak_bytes\":" + std::to_string(net.rw_peak_bytes());
-    line += ",\"lanes\":" + std::to_string(session_.lanes());
+    line += ",\"lanes\":" + std::to_string(reg_.lanes());
+    line += ",\"format_version\":" + std::to_string(def->image.version);
+    line += ",\"default\":";
+    append_json_string(line, reg_.default_name());
+    line += ",\"models\":" + reg_.models_info_json();
     line += "}}";
     return line;
   }
@@ -351,6 +410,7 @@ class Engine {
   void worker_loop() {
     std::vector<Request> batch;
     std::vector<runtime::QInferenceResult> results;
+    std::vector<std::size_t> group;
     while (batcher_.next_batch(batch)) {
       // Deadline gate: a request that expired while queued (or during the
       // batch window) is answered with a structured timeout error HERE,
@@ -365,6 +425,7 @@ class Engine {
                   format_error_line(ErrCode::kTimeout,
                                     "deadline expired before execution",
                                     &batch[i].id));
+            reg_.record_timeout(*batch[i].route);
             ++expired;
           } else {
             if (kept != i) batch[kept] = std::move(batch[i]);
@@ -378,7 +439,7 @@ class Engine {
         }
         if (batch.empty()) continue;
       }
-      session_.infer_batch(batch, results);
+      infer_grouped(batch, results, group);
       const auto done = Clock::now();
       for (std::size_t i = 0; i < batch.size(); ++i) {
         write(batch[i].client,
@@ -395,6 +456,7 @@ class Engine {
                 done - r.enqueued)
                 .count() /
             1e3;
+        reg_.record_response(*r.route, us);
         if (stats_.latency_us.size() < kMaxLatencySamples) {
           stats_.latency_us.push_back(us);
         } else {
@@ -405,8 +467,42 @@ class Engine {
     }
   }
 
-  // `session_` must outlive `worker_`; member order is load-bearing.
-  InferenceSession session_;
+  /// Execute a micro-batch that may mix models (and generations): group
+  /// by pinned route, run each group across the pool, keep results in
+  /// admission order. Single-route batches take the whole-batch fast path.
+  void infer_grouped(const std::vector<Request>& batch,
+                     std::vector<runtime::QInferenceResult>& results,
+                     std::vector<std::size_t>& group) {
+    bool mixed = false;
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      if (batch[i].route != batch[0].route) {
+        mixed = true;
+        break;
+      }
+    }
+    if (!mixed) {
+      reg_.infer_batch(*batch[0].route, batch, results);
+      return;
+    }
+    results.clear();
+    results.resize(batch.size());
+    std::vector<const ServableModel*> done;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const ServableModel* m = batch[i].route.get();
+      if (std::find(done.begin(), done.end(), m) != done.end()) continue;
+      done.push_back(m);
+      group.clear();
+      for (std::size_t j = i; j < batch.size(); ++j) {
+        if (batch[j].route.get() == m) group.push_back(j);
+      }
+      reg_.infer_indices(*m, batch, group, results);
+    }
+  }
+
+  // The registry (and its pool) is owned by the front-end and must
+  // outlive `worker_`; member order within the engine is load-bearing.
+  ModelRegistry& reg_;
+  std::int64_t default_numel_;
   RequestQueue queue_;
   MicroBatcher batcher_;
   WriteFn write_;
@@ -425,7 +521,16 @@ class Engine {
 // ---------------------------------------------------------------------------
 
 StreamServer::StreamServer(const runtime::QuantizedNet& net, ServeConfig cfg)
-    : net_(&net), cfg_(cfg) {}
+    : cfg_(cfg) {
+  owned_ = std::make_unique<ModelRegistry>(cfg.threads);
+  owned_->add_model("default", net);
+  registry_ = owned_.get();
+}
+
+StreamServer::StreamServer(ModelRegistry& registry, ServeConfig cfg)
+    : registry_(&registry), cfg_(cfg) {}
+
+StreamServer::~StreamServer() = default;
 
 namespace {
 
@@ -456,7 +561,8 @@ ServeStats StreamServer::serve(std::istream& in, std::ostream& out) {
   // One mutex for the one output stream: the protocol reader (errors,
   // info/stats) and the batch worker (responses) both write here.
   std::mutex out_mu;
-  Engine engine(*net_, cfg_, [&out, &out_mu](int, const std::string& line) {
+  Engine engine(*registry_, cfg_,
+                [&out, &out_mu](int, const std::string& line) {
     std::lock_guard<std::mutex> lock(out_mu);
     out << line << '\n';
     out.flush();
@@ -532,6 +638,14 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
                              const ServeConfig& cfg,
                              const std::string& socket_path,
                              std::ostream* log) {
+  ModelRegistry registry(cfg.threads);
+  registry.add_model("default", net);
+  return serve_unix_socket(registry, cfg, socket_path, log);
+}
+
+ServeStats serve_unix_socket(ModelRegistry& registry, const ServeConfig& cfg,
+                             const std::string& socket_path,
+                             std::ostream* log) {
   // A write to a freshly disconnected client must produce an error, not
   // SIGPIPE's default process kill. MSG_NOSIGNAL already covers the
   // send() calls where available, but ignoring the signal as well keeps a
@@ -577,7 +691,7 @@ ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
     return nullptr;
   };
 
-  Engine engine(net, cfg, [&](int client, const std::string& line) {
+  Engine engine(registry, cfg, [&](int client, const std::string& line) {
     const std::shared_ptr<Conn> conn = conn_of(client);
     if (!conn) return;  // client went away; its responses are dropped
     std::lock_guard<std::mutex> lock(conn->mu);

@@ -48,6 +48,8 @@
 
 namespace mixq::serve {
 
+class ModelRegistry;  // serve/registry.hpp: multi-model hot-swap registry
+
 // ---------------------------------------------------------------------------
 // Inference engine shared by `mixq run` and `mixq serve`.
 // ---------------------------------------------------------------------------
@@ -143,7 +145,19 @@ struct ServeConfig {
 
 class StreamServer {
  public:
+  /// Single-model compatibility form: wraps `net` in an owned one-entry
+  /// registry named "default". The model is loaded/probed here, so the
+  /// first served request pays no compilation latency.
   StreamServer(const runtime::QuantizedNet& net, ServeConfig cfg);
+
+  /// Multi-model form: serves every model in `registry` (which must
+  /// outlive the server). Requests route by their "model" field (absent =
+  /// the registry's default); {"cmd":"reload"} hot-swaps a model and
+  /// {"cmd":"health"} reports per-model readiness.
+  StreamServer(ModelRegistry& registry, ServeConfig cfg);
+  ~StreamServer();
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
 
   /// Blocking serve loop: reads request lines from `in`, writes response
   /// lines to `out`, until EOF or {"cmd":"shutdown"}; drains in-flight
@@ -151,7 +165,8 @@ class StreamServer {
   ServeStats serve(std::istream& in, std::ostream& out);
 
  private:
-  const runtime::QuantizedNet* net_;
+  ModelRegistry* registry_{nullptr};
+  std::unique_ptr<ModelRegistry> owned_;  ///< set by the net-based ctor
   ServeConfig cfg_;
 };
 
@@ -163,6 +178,11 @@ class StreamServer {
 /// connection. Throws std::runtime_error on socket setup failure.
 ServeStats serve_unix_socket(const runtime::QuantizedNet& net,
                              const ServeConfig& cfg,
+                             const std::string& socket_path,
+                             std::ostream* log = nullptr);
+
+/// Multi-model form of the AF_UNIX daemon (see StreamServer).
+ServeStats serve_unix_socket(ModelRegistry& registry, const ServeConfig& cfg,
                              const std::string& socket_path,
                              std::ostream* log = nullptr);
 #endif

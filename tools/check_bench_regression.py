@@ -23,8 +23,12 @@ produced by bench_serve: the epoll saturation sweep must be present with
 its full schema (shed counts, shed_rate, p50/p99/p999), every point must
 carry exact=true (bit-exactness under overload), and the per-point
 accounting must balance (sent == ok + shed + timeouts -- an unbalanced
-row means a request was silently dropped). These are HARD gates: unlike
-wall-clock timing they are load-bearing correctness claims.
+row means a request was silently dropped). A "reload" section (from
+bench_serve --reload-sweep) is gated the same way when present: zero
+lost requests, exact=true under continuous hot-swap, every reload
+acknowledged and landed; its p99 impact is warn-only like all timing.
+These are HARD gates: unlike wall-clock timing they are load-bearing
+correctness claims.
 
 With --image, additionally (or instead) validates a BENCH_image.json
 produced by bench_image: the schema must be complete, decode_bit_exact
@@ -92,6 +96,53 @@ def check_serve(path: str) -> None:
     conns = ", ".join(str(pt["conns"]) for pt in sat)
     print(f"serve saturation schema ok: {len(sat)} points (conns {conns}), "
           f"accounting balanced, exact=true throughout")
+
+    reload = serve.get("reload")
+    if reload is None:
+        print("::warning::no \"reload\" section in the serve JSON; run "
+              "bench_serve with --reload-sweep to gate hot-swap behavior")
+        return
+    required = ("requests", "reloads_attempted", "reloads_ok", "lost",
+                "exact", "baseline", "hot_swap", "p99_delta_pct")
+    missing = [k for k in required if k not in reload]
+    if missing:
+        fail(f"{path}: reload section is missing fields: "
+             f"{', '.join(missing)}")
+    for pass_name in ("baseline", "hot_swap"):
+        sub = reload[pass_name]
+        sub_missing = [k for k in ("p50_us", "p99_us", "samples_per_s")
+                       if k not in sub]
+        if sub_missing:
+            fail(f"{path}: reload.{pass_name} is missing fields: "
+                 f"{', '.join(sub_missing)}")
+        if not 0.0 <= sub["p50_us"] <= sub["p99_us"]:
+            fail(f"{path}: reload.{pass_name} percentiles are not monotone: "
+                 f"p50={sub['p50_us']} p99={sub['p99_us']}")
+    if reload["exact"] is not True:
+        fail(f"{path}: reload sweep reports exact={reload['exact']}: a "
+             f"response diverged from the serial planned path while the "
+             f"model was being hot-swapped")
+    if reload["lost"] != 0:
+        fail(f"{path}: reload sweep lost {reload['lost']} requests -- a "
+             f"hot swap dropped admitted work")
+    if reload["reloads_attempted"] < 1:
+        fail(f"{path}: reload sweep performed no reloads; the hot-swap "
+             f"path went unexercised")
+    if reload["reloads_ok"] != reload["reloads_attempted"]:
+        fail(f"{path}: only {reload['reloads_ok']} of "
+             f"{reload['reloads_attempted']} reloads landed (same-shape "
+             f"good image: all must)")
+    delta = reload["p99_delta_pct"]
+    if delta > 100.0:
+        print(f"::warning::hot-swap reloads inflate serving p99 by "
+              f"{delta:.0f}% ({reload['baseline']['p99_us']:.0f} us -> "
+              f"{reload['hot_swap']['p99_us']:.0f} us); timing is "
+              f"warn-only, but the swap path may be contending with the "
+              f"hot path")
+    print(f"reload sweep ok: {reload['reloads_ok']} hot swaps under "
+          f"{reload['requests']} requests, nothing lost, bit-exact, "
+          f"p99 {reload['baseline']['p99_us']:.0f} -> "
+          f"{reload['hot_swap']['p99_us']:.0f} us ({delta:+.0f}%)")
 
 
 def check_image(path: str, min_ratio: float) -> None:

@@ -229,6 +229,66 @@ else
   echo "== serve --tcp smoke skipped: python3 not available"
 fi
 
+echo "== train a second model (different seed) for the hot-swap round trip"
+"$MIXQ" quantize --out "$DIR/model_b.img" \
+  --hw 8 --channels 8 --blocks 2 --classes 4 \
+  --wbits 4 --abits 4 --scheme pc-icn \
+  --epochs 1 --train-size 96 --test-size 48 --seed 2 --quiet
+"$MIXQ" run "$DIR/model_b.img" --input synthetic:8 --seed 7 --ndjson \
+  > "$DIR/run_b.ndjson"
+# The whole hot-swap check rests on A and B being distinguishable.
+if cmp -s "$DIR/run.ndjson" "$DIR/run_b.ndjson"; then
+  echo "cli_smoke.sh: seed 1 and seed 2 models answer identically?!" >&2
+  exit 1
+fi
+
+echo "== serve: hot-swap reload mid-stream (A answers, swap, B answers)"
+# Requests admitted before the reload line are pinned to the old
+# generation; everything after routes to the new one. The reload ack may
+# interleave with in-flight responses, so classify by line kind.
+{
+  head -n 4 "$DIR/requests.ndjson"
+  echo "{\"cmd\":\"reload\",\"model\":\"default\",\"path\":\"$DIR/model_b.img\"}"
+  tail -n 4 "$DIR/requests.ndjson"
+  echo '{"cmd":"health"}'
+  echo '{"cmd":"shutdown"}'
+} | "$MIXQ" serve "$DIR/model.img" --max-batch 4 --max-wait-us 500 --quiet \
+  > "$DIR/hotswap.ndjson"
+grep '"predicted"' "$DIR/hotswap.ndjson" > "$DIR/hotswap_results.ndjson"
+{ head -n 4 "$DIR/run.ndjson"; tail -n 4 "$DIR/run_b.ndjson"; } \
+  | cmp - "$DIR/hotswap_results.ndjson"
+grep -q '"ok":"reload".*"generation":2' "$DIR/hotswap.ndjson"
+grep -q '"health":{"status":"ok"' "$DIR/hotswap.ndjson"
+grep -q '"reloads_ok":1' "$DIR/hotswap.ndjson"
+
+echo "== serve: a hostile replacement image is refused and A keeps serving"
+CORPUS="$(cd "$(dirname "$0")/.." && pwd)/tests/corpus/flash"
+if [ -f "$CORPUS/bad_crc.img" ]; then
+  BAD="$CORPUS/bad_crc.img"
+else
+  head -c 1200 "$DIR/model.img" > "$DIR/bad.img"  # torn copy
+  BAD="$DIR/bad.img"
+fi
+{
+  echo "{\"cmd\":\"reload\",\"model\":\"default\",\"path\":\"$BAD\"}"
+  head -n 1 "$DIR/requests.ndjson"
+  echo '{"cmd":"shutdown"}'
+} | "$MIXQ" serve "$DIR/model.img" --quiet > "$DIR/badswap.ndjson"
+grep -q '"code":"reload_failed"' "$DIR/badswap.ndjson"
+head -n 1 "$DIR/run.ndjson" | cmp - <(grep '"predicted"' "$DIR/badswap.ndjson")
+
+echo "== serve --model: named multi-model routing (and not_found)"
+{
+  head -n 1 "$DIR/requests.ndjson"
+  head -n 1 "$DIR/requests.ndjson" | sed 's/{"id":0,/{"id":0,"model":"b",/'
+  head -n 1 "$DIR/requests.ndjson" | sed 's/{"id":0,/{"id":0,"model":"nope",/'
+  echo '{"cmd":"shutdown"}'
+} | "$MIXQ" serve --model a="$DIR/model.img" --model b="$DIR/model_b.img" \
+  --quiet > "$DIR/multi.ndjson"
+grep '"predicted"' "$DIR/multi.ndjson" \
+  | cmp - <(head -n 1 "$DIR/run.ndjson"; head -n 1 "$DIR/run_b.ndjson")
+grep -q '"code":"not_found"' "$DIR/multi.ndjson"
+
 echo "== CSV inputs round-trip through run (2 samples of 8*8*3 floats)"
 awk 'BEGIN { for (i = 0; i < 2; i++) { line = ""; for (j = 0; j < 192; j++) line = line (j ? "," : "") ((i * 192 + j) % 7 / 7.0); print line } }' \
   > "$DIR/inputs.csv"
